@@ -1,0 +1,63 @@
+//! Criterion bench: routing-trace sampling and one virtual evaluation step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vela::prelude::*;
+use vela::runtime::routing::sample_expert_counts;
+
+fn bench_sampling(c: &mut Criterion) {
+    let spec = MoeSpec::mixtral_8x7b();
+    let profile = LocalityProfile::synthetic("r", spec.blocks, spec.experts, 1.2, 4);
+    c.bench_function("sample_block_4096tok_top2", |b| {
+        let mut rng = DetRng::new(1);
+        b.iter(|| {
+            black_box(sample_expert_counts(
+                black_box(&profile),
+                0,
+                4096,
+                2,
+                &mut rng,
+            ))
+        });
+    });
+}
+
+fn bench_virtual_step(c: &mut Criterion) {
+    let spec = MoeSpec::mixtral_8x7b();
+    let scale = ScaleConfig {
+        batch: 8,
+        seq: 128, // smaller workload so one iteration stays sub-second
+        ..ScaleConfig::paper_default(spec)
+    };
+    let profile = LocalityProfile::synthetic("r", spec.blocks, spec.experts, 1.2, 4);
+    let topology = Topology::paper_testbed();
+    let workers: Vec<DeviceId> = (0..6).map(DeviceId).collect();
+    let placement = Placement::new(
+        (0..spec.blocks)
+            .map(|_| (0..spec.experts).map(|e| e % 6).collect())
+            .collect(),
+        6,
+    );
+    let mut engine = VirtualEngine::launch(
+        topology.clone(),
+        DeviceId(0),
+        workers.clone(),
+        placement,
+        profile.clone(),
+        scale.clone(),
+    );
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    group.bench_function("virtual_engine_step_32blocks", |b| {
+        b.iter(|| black_box(engine.step()));
+    });
+    let mut ep = EpEngine::new(topology, workers, profile, scale);
+    group.bench_function("ep_engine_step_32blocks", |b| {
+        b.iter(|| black_box(ep.step()));
+    });
+    group.finish();
+    engine.shutdown();
+}
+
+criterion_group!(benches, bench_sampling, bench_virtual_step);
+criterion_main!(benches);

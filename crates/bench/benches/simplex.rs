@@ -1,0 +1,43 @@
+//! Criterion bench: the placement LP at paper scale.
+//!
+//! The paper claims the LP "can be efficiently solved by off-the-shelf
+//! solvers"; this bench demonstrates the from-scratch bounded simplex
+//! handles the 6-worker × 32-block × 8-expert instance comfortably.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vela::prelude::*;
+
+fn problem(blocks: usize) -> PlacementProblem {
+    let spec = MoeSpec::mixtral_8x7b();
+    let profile = LocalityProfile::synthetic("b", blocks, spec.experts, 1.2, 3);
+    let topology = Topology::paper_testbed();
+    let workers: Vec<DeviceId> = (0..6).map(DeviceId).collect();
+    PlacementProblem::new(
+        topology,
+        DeviceId(0),
+        workers,
+        profile.to_matrix(),
+        8192.0,
+        spec.token_bytes(),
+        PlacementProblem::even_capacities(blocks, spec.experts, 6, 5),
+    )
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_lp");
+    group.sample_size(10);
+    for blocks in [8usize, 16, 32] {
+        let p = problem(blocks);
+        group.bench_with_input(BenchmarkId::new("vela_solve", blocks), &p, |b, p| {
+            b.iter(|| black_box(Strategy::Vela.place(black_box(p))));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_solve", blocks), &p, |b, p| {
+            b.iter(|| black_box(Strategy::Greedy.place(black_box(p))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

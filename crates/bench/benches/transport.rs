@@ -1,0 +1,71 @@
+//! Criterion bench: message serialization and the master↔worker transport.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+use vela::cluster::TrafficLedger;
+use vela::prelude::*;
+use vela::runtime::message::{Message, Payload};
+use vela::runtime::transport::star;
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut rng = DetRng::new(1);
+    let t = Tensor::uniform((96, 32), -1.0, 1.0, &mut rng);
+    let msg = Message::TokenBatch {
+        block: 5,
+        expert: 3,
+        payload: Payload::from_tensor(&t),
+    };
+    let bytes = msg.encode();
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_real_96x32", |b| {
+        b.iter(|| black_box(black_box(&msg).encode()));
+    });
+    group.bench_function("decode_real_96x32", |b| {
+        b.iter(|| black_box(Message::decode(black_box(bytes.clone()))));
+    });
+    let virt = Message::TokenBatch {
+        block: 5,
+        expert: 3,
+        payload: Payload::Virtual {
+            rows: 4096,
+            bytes_per_token: 8192,
+        },
+    };
+    group.bench_function("encode_virtual", |b| {
+        b.iter(|| black_box(black_box(&virt).encode()));
+    });
+    group.finish();
+}
+
+fn bench_star_roundtrip(c: &mut Criterion) {
+    let ledger = Arc::new(TrafficLedger::new(Topology::paper_testbed()));
+    let (hub, mut ports) = star(ledger, DeviceId(0), &[DeviceId(2)]);
+    let port = ports.remove(0);
+    // Echo thread.
+    let echo = std::thread::spawn(move || loop {
+        match port.recv() {
+            Message::Shutdown => break,
+            msg => port.send(&msg),
+        }
+    });
+    let mut rng = DetRng::new(2);
+    let t = Tensor::uniform((96, 32), -1.0, 1.0, &mut rng);
+    let msg = Message::TokenBatch {
+        block: 0,
+        expert: 0,
+        payload: Payload::from_tensor(&t),
+    };
+    c.bench_function("star_roundtrip_96x32", |b| {
+        b.iter(|| {
+            hub.send(0, black_box(&msg));
+            black_box(hub.recv())
+        });
+    });
+    hub.send(0, &Message::Shutdown);
+    echo.join().unwrap();
+}
+
+criterion_group!(benches, bench_encode_decode, bench_star_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation: where does locality-aware placement stop mattering as the
+//! inter-node link approaches intra-node speed?
+//!
+//! Sweeps the inter-node bandwidth from Ethernet (the paper's 1.17 GB/s)
+//! up to NVLink-class and reports VELA's expected-time advantage over
+//! sequential placement at each point.
+//!
+//! Run: `cargo run --release -p vela-bench --bin ablation_bandwidth`
+
+use vela::prelude::*;
+
+fn main() {
+    println!("== Ablation: benefit vs inter-node bandwidth ==");
+    let spec = MoeSpec::mixtral_8x7b();
+    let profile = LocalityProfile::synthetic("p", spec.blocks, spec.experts, 1.2, 5);
+    println!(
+        "{:>14} | {:>12} | {:>13} | {:>9} | {:>12}",
+        "inter (GB/s)", "seq (s/step)", "vela (s/step)", "gain", "saved (s)"
+    );
+    for inter in [0.3, 1.17, 3.0, 6.0, 12.0, 18.3] {
+        let topology = Topology::builder(3, 2)
+            .inter_bandwidth(Bandwidth::from_gbytes_per_sec(inter))
+            .build();
+        let workers: Vec<DeviceId> = (0..6).map(DeviceId).collect();
+        let caps =
+            vela::runtime::virtual_engine::capacity_from_memory(&topology, &workers, &spec, 0.5);
+        let problem = PlacementProblem::new(
+            topology,
+            DeviceId(0),
+            workers,
+            profile.to_matrix(),
+            8192.0,
+            spec.token_bytes(),
+            caps,
+        );
+        let seq = problem.expected_comm_time(&Strategy::Sequential.place(&problem));
+        let vela = problem.expected_comm_time(&Strategy::Vela.place(&problem));
+        println!(
+            "{inter:>14.2} | {seq:>12.4} | {vela:>13.4} | {:>8.1}% | {:>12.4}",
+            RunSummary::reduction_vs(vela, seq) * 100.0,
+            seq - vela
+        );
+    }
+    println!(
+        "\n(the relative gain persists — the master-colocated worker is free at any link \
+         speed — but the absolute seconds saved per step collapse as the network flattens, \
+         which is what decides whether placement is worth optimizing)"
+    );
+}

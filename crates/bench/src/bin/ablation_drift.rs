@@ -1,0 +1,62 @@
+//! Ablation: how robust is a one-shot placement to routing drift?
+//!
+//! VELA measures the probability matrix `P` once before fine-tuning
+//! (§IV-B) and argues Theorem 1 makes that safe. This ablation injects
+//! much stronger drift than fine-tuning produces and watches the placement
+//! decay: the one-shot placement is re-evaluated against a profile that
+//! keeps sharpening *around a moving permutation* (worst case: popularity
+//! migrates to experts the placement put on slow links).
+//!
+//! Run: `cargo run --release -p vela-bench --bin ablation_drift`
+
+use vela::prelude::*;
+use vela_bench::scale_problem;
+
+fn main() {
+    println!("== Ablation: stale-profile robustness under routing drift ==");
+    let spec = MoeSpec::mixtral_8x7b();
+    let scale = ScaleConfig::paper_default(spec);
+    let topology = Topology::paper_testbed();
+    let initial = LocalityProfile::synthetic("d", spec.blocks, spec.experts, 1.2, 33);
+
+    // Place once, against the *initial* profile (the paper's protocol).
+    let problem = scale_problem(&initial, &spec, &topology, &scale);
+    let placement = Strategy::Vela.place(&problem);
+    let seq = Strategy::Sequential.place(&problem);
+
+    println!(
+        "{:>18} | {:>12} | {:>12} | {:>9}",
+        "drift", "seq E[T] (s)", "vela E[T] (s)", "gain"
+    );
+    // Benign drift: the measured distribution sharpens in place (what
+    // Theorem 1 predicts and Fig. 3(c)/5(a) show).
+    let mut benign = initial.clone();
+    for (label, sharpen) in [("none", 0.0), ("sharpen x0.1", 0.1), ("sharpen x0.3", 0.3)] {
+        benign.sharpen(sharpen);
+        let p = scale_problem(&benign, &spec, &topology, &scale);
+        let tv = p.expected_comm_time(&placement);
+        let ts = p.expected_comm_time(&seq);
+        println!(
+            "{label:>18} | {ts:>12.4} | {tv:>12.4} | {:>8.1}%",
+            RunSummary::reduction_vs(tv, ts) * 100.0
+        );
+    }
+    // Adversarial drift: popularity migrates to *different experts* —
+    // exactly what Theorem 1 says does not happen in fine-tuning. The
+    // placement decays toward baseline.
+    for seed in [1u64, 2, 3] {
+        let migrated = initial.upscale(spec.blocks, spec.experts, seed ^ 0xDEAD);
+        let p = scale_problem(&migrated, &spec, &topology, &scale);
+        let tv = p.expected_comm_time(&placement);
+        let ts = p.expected_comm_time(&seq);
+        println!(
+            "{:>18} | {ts:>12.4} | {tv:>12.4} | {:>8.1}%",
+            format!("migrated (s{seed})"),
+            RunSummary::reduction_vs(tv, ts) * 100.0
+        );
+    }
+    println!(
+        "\n(benign sharpening preserves — even grows — the advantage; only a popularity \
+         *migration*, which Theorem 1 rules out for fine-tuning, erases it)"
+    );
+}

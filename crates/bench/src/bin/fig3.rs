@@ -1,0 +1,129 @@
+//! Fig. 3 — the expert-locality measurement study (§III).
+//!
+//! Reproduces all three panels on the TinyMistral analogue (12 MoE blocks
+//! × 6 experts, top-2) fine-tuned on the Tiny-Shakespeare analogue:
+//!
+//! * **(a)** per-block expert access frequency after pre-training, before
+//!   any fine-tuning;
+//! * **(b)** the CDF of the summed softmax scores of the selected experts
+//!   in the first MoE block;
+//! * **(c)** per-expert access frequency of the first block across 300
+//!   fine-tuning steps.
+//!
+//! Run: `cargo run --release -p vela-bench --bin fig3`
+
+use vela::prelude::*;
+use vela_bench::heat_cell;
+
+fn main() {
+    let tok = CharTokenizer::new();
+    let cfg = ModelConfig::tiny_mistral(tok.vocab_size());
+    println!("== Fig. 3: expert locality in fine-tuning ==");
+    println!(
+        "model: TinyMistral analogue ({} blocks x {} experts, top-{})",
+        cfg.blocks, cfg.experts, cfg.top_k
+    );
+
+    // Pre-train on the mixed corpus with the balancing aux loss.
+    println!("\npre-training micro model ({} steps)...", 300);
+    let pre = pretrain(
+        &cfg,
+        &PretrainConfig {
+            steps: 300,
+            batch_size: 8,
+            corpus_chars: 150_000,
+            seed: 42,
+            ..PretrainConfig::default()
+        },
+    );
+    let (mut model, mut experts) = (pre.model, pre.experts);
+    println!(
+        "pre-train loss: {:.3} -> {:.3}",
+        pre.losses[0],
+        pre.losses.last().unwrap()
+    );
+
+    // Freeze + LoRA, as fine-tuning would see the model.
+    vela::model::finetune::prepare_for_finetune(
+        &mut model,
+        &mut experts,
+        LoraConfig::default(),
+        &mut DetRng::new(7),
+    );
+
+    let dataset = TokenDataset::from_text(&tok, &Corpus::TinyShakespeare.generate(80_000, 5));
+
+    // ---- (a) access frequency per block, inference pass ------------------
+    let mut tracker = AccessTracker::new(cfg.blocks, cfg.experts);
+    let mut score_sums: Vec<f32> = Vec::new();
+    for batch in dataset.sequential_batches(8, cfg.seq_len).iter().take(24) {
+        model.forward(&batch.inputs, batch.batch_size, batch.seq_len, &mut experts);
+        let snap = model.routing_snapshot();
+        tracker.record(&snap);
+        score_sums.extend(snap[0].selected_score_sums());
+    }
+    println!("\n-- Fig. 3(a): expert access frequency per block (pre-fine-tuning) --");
+    println!("{:>7} | freq per expert (heat)", "block");
+    for l in 0..cfg.blocks {
+        let f = tracker.frequencies(l);
+        let heat: String = f.iter().map(|&p| heat_cell(p)).collect();
+        let nums: Vec<String> = f.iter().map(|p| format!("{p:.3}")).collect();
+        println!("{:>7} | [{}]  {}", l + 1, heat, nums.join(" "));
+    }
+    let peak: f64 = (0..cfg.blocks).map(|l| tracker.peak_share(l)).sum::<f64>() / cfg.blocks as f64;
+    println!(
+        "mean peak expert share: {:.3} (uniform would be {:.3}) -> locality {}",
+        peak,
+        1.0 / cfg.experts as f64,
+        if peak > 1.3 / cfg.experts as f64 { "PRESENT" } else { "weak" }
+    );
+
+    // ---- (b) CDF of selected softmax score sums (block 1) ----------------
+    let cdf = Cdf::from_samples(score_sums);
+    println!("\n-- Fig. 3(b): CDF of selected-expert softmax score sums (block 1) --");
+    for (value, frac) in cdf.curve(11) {
+        println!("  score <= {value:.3}: {:5.1}%", frac * 100.0);
+    }
+    println!(
+        "  fraction of score sums > 0.5: {:5.1}%   > 0.7: {:5.1}%",
+        cdf.fraction_above(0.5) * 100.0,
+        cdf.fraction_above(0.7) * 100.0
+    );
+
+    // ---- (c) frequency during fine-tuning ---------------------------------
+    println!("\n-- Fig. 3(c): block-1 expert access frequency over 300 fine-tuning steps --");
+    let steps = 300;
+    let mut series: Vec<Vec<f64>> = Vec::with_capacity(steps);
+    let mut opt_m = AdamW::new(AdamWConfig::default());
+    let mut opt_e = AdamW::new(AdamWConfig::default());
+    let mut rng = DetRng::new(99);
+    use vela::nn::param::Module;
+    for step in 0..steps {
+        let batch = dataset.sample_batch(8, cfg.seq_len, &mut rng);
+        experts.zero_grad();
+        model.train_step(
+            &batch.inputs,
+            &batch.targets,
+            batch.batch_size,
+            batch.seq_len,
+            &mut experts,
+        );
+        opt_m.step(&mut model);
+        opt_e.step(&mut experts);
+        let snap = model.routing_snapshot();
+        series.push(snap[0].frequencies().iter().map(|&f| f as f64).collect());
+        if step % 50 == 0 || step == steps - 1 {
+            let f = &series[series.len() - 1];
+            let nums: Vec<String> = f.iter().map(|p| format!("{p:.3}")).collect();
+            println!("  step {:>3}: {}", step, nums.join(" "));
+        }
+    }
+    let report = StabilityReport::new(series);
+    println!(
+        "\nstability: max consecutive TV = {:.4}, end-to-end TV = {:.4}, popularity rank preserved: {}",
+        report.max_consecutive_tv(),
+        report.end_to_end_tv(),
+        report.popularity_rank_preserved()
+    );
+    println!("(paper: frequencies remain very stable; popular experts drift slightly up)");
+}

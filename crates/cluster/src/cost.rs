@@ -1,0 +1,230 @@
+//! The communication/compute cost model (Eqs. (5)–(7) of the paper).
+
+use crate::topology::{DeviceId, Topology};
+
+/// Computes transfer, synchronization and compute times over a
+/// [`Topology`].
+///
+/// Two communication patterns matter to the evaluation:
+///
+/// * **one-to-all** (VELA's master–worker design): the master exchanges
+///   data with each worker directly; workers transfer concurrently, so a
+///   block's communication time is the *maximum* over workers (Eq. (7));
+/// * **all-to-all** (conventional expert parallelism): every device
+///   exchanges with every other, and the transfer must be preceded by a
+///   *status synchronization* round in which devices agree on how many
+///   tokens each will receive — the overhead VELA's architecture removes
+///   (§V-B, "Fine-tuning acceleration").
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    topology: Topology,
+    /// Fixed software overhead per synchronization round, seconds.
+    sync_software_overhead_s: f64,
+}
+
+impl CostModel {
+    /// A cost model over `topology` with the default per-round
+    /// synchronization overhead (2 ms — the size-exchange collective plus
+    /// host-side synchronization that frameworks run before each
+    /// all-to-all on an Ethernet cluster).
+    pub fn new(topology: Topology) -> Self {
+        CostModel {
+            topology,
+            sync_software_overhead_s: 2e-3,
+        }
+    }
+
+    /// Overrides the fixed per-round synchronization overhead.
+    pub fn with_sync_overhead(mut self, secs: f64) -> Self {
+        self.sync_software_overhead_s = secs;
+        self
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Time to move `bytes` from `src` to `dst` (latency + serialization).
+    /// Zero for a device to itself.
+    pub fn transfer_time(&self, src: DeviceId, dst: DeviceId, bytes: u64) -> f64 {
+        if src == dst {
+            return 0.0;
+        }
+        self.topology.latency(src, dst) + self.topology.bandwidth(src, dst).transfer_secs(bytes)
+    }
+
+    /// One-to-all time: the master exchanges `bytes` with each worker
+    /// concurrently; returns the slowest leg (Eq. (7): the master waits for
+    /// all workers).
+    pub fn one_to_all_time(&self, master: DeviceId, per_worker_bytes: &[(DeviceId, u64)]) -> f64 {
+        per_worker_bytes
+            .iter()
+            .map(|&(w, b)| self.transfer_time(master, w, b))
+            .fold(0.0, f64::max)
+    }
+
+    /// All-to-all transfer time, modelled as the classic pairwise-exchange
+    /// algorithm used for large messages on TCP clusters: `N − 1`
+    /// sequential rounds, where round `r` pairs device `d` with
+    /// `(d + r) mod N` and the round lasts as long as its slowest
+    /// exchange. This is what makes EP's collective slower than VELA's
+    /// independent one-to-all legs despite similar byte counts — the
+    /// effect the paper measures in Fig. 6.
+    pub fn all_to_all_time(&self, per_pair_bytes: &[(DeviceId, DeviceId, u64)]) -> f64 {
+        // Collect the participating devices (ordered, deduplicated).
+        let mut devices: Vec<DeviceId> = per_pair_bytes
+            .iter()
+            .flat_map(|&(s, d, _)| [s, d])
+            .collect();
+        devices.sort_unstable();
+        devices.dedup();
+        let n = devices.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let index = |id: DeviceId| devices.iter().position(|&d| d == id).expect("listed");
+        // Bytes per ordered pair.
+        let mut bytes = vec![vec![0u64; n]; n];
+        for &(s, d, b) in per_pair_bytes {
+            bytes[index(s)][index(d)] += b;
+        }
+        let mut total = 0.0;
+        for round in 1..n {
+            let mut round_time = 0.0f64;
+            for src in 0..n {
+                let dst = (src + round) % n;
+                round_time =
+                    round_time.max(self.transfer_time(devices[src], devices[dst], bytes[src][dst]));
+            }
+            total += round_time;
+        }
+        total
+    }
+
+    /// The status-synchronization round preceding an all-to-all among
+    /// `devices`: every device exchanges token counts with every other
+    /// (tiny payload, latency-bound) plus fixed software overhead.
+    pub fn all_to_all_sync_time(&self, devices: &[DeviceId]) -> f64 {
+        let max_latency = devices
+            .iter()
+            .flat_map(|&a| devices.iter().map(move |&b| self.topology.latency(a, b)))
+            .fold(0.0, f64::max);
+        // Counts out + barrier back.
+        2.0 * max_latency + self.sync_software_overhead_s
+    }
+
+    /// Ring all-reduce time for `bytes` of gradients across `devices`
+    /// (2·(N−1)/N · bytes through the slowest link, plus 2·(N−1) latency
+    /// hops).
+    ///
+    /// # Panics
+    /// Panics if fewer than two devices participate.
+    pub fn allreduce_time(&self, devices: &[DeviceId], bytes: u64) -> f64 {
+        assert!(devices.len() >= 2, "all-reduce needs at least two devices");
+        let n = devices.len() as f64;
+        // Slowest link on the ring (consecutive pairs, wrapping).
+        let mut min_bw = f64::INFINITY;
+        let mut max_lat = 0.0f64;
+        for i in 0..devices.len() {
+            let a = devices[i];
+            let b = devices[(i + 1) % devices.len()];
+            min_bw = min_bw.min(self.topology.bandwidth(a, b).bytes_per_sec());
+            max_lat = max_lat.max(self.topology.latency(a, b));
+        }
+        2.0 * (n - 1.0) / n * bytes as f64 / min_bw + 2.0 * (n - 1.0) * max_lat
+    }
+
+    /// Compute time for `flops` on `device`.
+    pub fn compute_time(&self, device: DeviceId, flops: f64) -> f64 {
+        flops / self.topology.device(device).flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(Topology::paper_testbed())
+    }
+
+    #[test]
+    fn transfer_time_components() {
+        let m = model();
+        let bytes = 1_170_000_000; // exactly 1 s of inter-node serialization
+        let t = m.transfer_time(DeviceId(0), DeviceId(2), bytes);
+        assert!((t - (1.0 + 100e-6)).abs() < 1e-6);
+        assert_eq!(m.transfer_time(DeviceId(0), DeviceId(0), bytes), 0.0);
+    }
+
+    #[test]
+    fn intra_node_is_much_faster() {
+        let m = model();
+        let bytes = 100 << 20;
+        let intra = m.transfer_time(DeviceId(0), DeviceId(1), bytes);
+        let inter = m.transfer_time(DeviceId(0), DeviceId(2), bytes);
+        assert!(inter > 10.0 * intra, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn one_to_all_takes_the_max_leg() {
+        let m = model();
+        // Same bytes to a local and a remote worker: remote dominates.
+        let t = m.one_to_all_time(
+            DeviceId(0),
+            &[(DeviceId(1), 1 << 20), (DeviceId(2), 1 << 20)],
+        );
+        assert!((t - m.transfer_time(DeviceId(0), DeviceId(2), 1 << 20)).abs() < 1e-12);
+        // Moving the hot bytes to the local worker reduces the time.
+        let t2 = m.one_to_all_time(
+            DeviceId(0),
+            &[(DeviceId(1), 1 << 22), (DeviceId(2), 1 << 18)],
+        );
+        assert!(t2 < t);
+    }
+
+    #[test]
+    fn all_to_all_sync_is_latency_plus_overhead() {
+        let m = model();
+        let devs: Vec<DeviceId> = (0..6).map(DeviceId).collect();
+        let t = m.all_to_all_sync_time(&devs);
+        assert!((t - (2.0 * 100e-6 + 2e-3)).abs() < 1e-9);
+        // All devices on one node: cheaper sync.
+        let local: Vec<DeviceId> = vec![DeviceId(0), DeviceId(1)];
+        assert!(m.all_to_all_sync_time(&local) < t);
+    }
+
+    #[test]
+    fn allreduce_scales_with_bytes() {
+        let m = model();
+        let devs: Vec<DeviceId> = (0..6).map(DeviceId).collect();
+        let t1 = m.allreduce_time(&devs, 1 << 20);
+        let t2 = m.allreduce_time(&devs, 1 << 24);
+        assert!(t2 > t1 * 5.0, "t1 {t1} t2 {t2}");
+        // Asymptotically 16x more bytes cost ~16x more time.
+        let big1 = m.allreduce_time(&devs, 1 << 28);
+        let big2 = m.allreduce_time(&devs, 1 << 32);
+        assert!((big2 / big1 - 16.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn compute_time_uses_device_flops() {
+        let m = model();
+        let t = m.compute_time(DeviceId(0), 1.0e14);
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_sync_overhead() {
+        let m = model().with_sync_overhead(0.0);
+        let devs = vec![DeviceId(0), DeviceId(2)];
+        assert!((m.all_to_all_sync_time(&devs) - 2.0 * 100e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two devices")]
+    fn allreduce_single_device_panics() {
+        model().allreduce_time(&[DeviceId(0)], 100);
+    }
+}

@@ -1,0 +1,190 @@
+//! Byte-accurate traffic accounting.
+
+use parking_lot::Mutex;
+
+use crate::topology::{DeviceId, Topology};
+
+/// Traffic accumulated within one window (one fine-tuning step in the
+/// evaluation).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StepTraffic {
+    /// Bytes that crossed node boundaries, attributed to the *sending*
+    /// node, indexed by node id.
+    pub external_sent_per_node: Vec<u64>,
+    /// Bytes that crossed node boundaries, attributed to the *receiving*
+    /// node, indexed by node id.
+    pub external_recv_per_node: Vec<u64>,
+    /// Bytes moved between devices of the same node.
+    pub internal_bytes: u64,
+    /// All bytes moved (internal + external).
+    pub total_bytes: u64,
+}
+
+impl StepTraffic {
+    /// Total cross-node bytes.
+    pub fn external_total(&self) -> u64 {
+        self.external_sent_per_node.iter().sum()
+    }
+
+    /// The paper's Fig. 5 metric: average cross-node traffic per node
+    /// (bytes each node pushed onto the inter-node network, averaged over
+    /// nodes; receive totals mirror send totals cluster-wide).
+    pub fn external_avg_per_node(&self) -> f64 {
+        let nodes = self.external_sent_per_node.len().max(1) as f64;
+        self.external_sent_per_node.iter().sum::<u64>() as f64 / nodes
+    }
+}
+
+/// A thread-safe ledger of inter-device transfers.
+///
+/// The runtime's transports record every message here; the evaluation
+/// drains one [`StepTraffic`] per fine-tuning step.
+#[derive(Debug)]
+pub struct TrafficLedger {
+    topology: Topology,
+    window: Mutex<StepTraffic>,
+}
+
+impl TrafficLedger {
+    /// A ledger over `topology` with an empty window.
+    pub fn new(topology: Topology) -> Self {
+        let nodes = topology.node_count();
+        TrafficLedger {
+            topology,
+            window: Mutex::new(StepTraffic {
+                external_sent_per_node: vec![0; nodes],
+                external_recv_per_node: vec![0; nodes],
+                internal_bytes: 0,
+                total_bytes: 0,
+            }),
+        }
+    }
+
+    /// The topology this ledger classifies transfers against.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Records a transfer of `bytes` from `src` to `dst`. Transfers within
+    /// one device are free and ignored.
+    pub fn record(&self, src: DeviceId, dst: DeviceId, bytes: u64) {
+        if src == dst || bytes == 0 {
+            return;
+        }
+        let mut w = self.window.lock();
+        w.total_bytes += bytes;
+        let (sn, dn) = (self.topology.node_of(src), self.topology.node_of(dst));
+        if sn == dn {
+            w.internal_bytes += bytes;
+        } else {
+            w.external_sent_per_node[sn.0] += bytes;
+            w.external_recv_per_node[dn.0] += bytes;
+        }
+    }
+
+    /// Current window without resetting.
+    pub fn peek(&self) -> StepTraffic {
+        self.window.lock().clone()
+    }
+
+    /// Drains the window, returning its totals and resetting counters.
+    pub fn take_step(&self) -> StepTraffic {
+        let nodes = self.topology.node_count();
+        std::mem::replace(
+            &mut *self.window.lock(),
+            StepTraffic {
+                external_sent_per_node: vec![0; nodes],
+                external_recv_per_node: vec![0; nodes],
+                internal_bytes: 0,
+                total_bytes: 0,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger() -> TrafficLedger {
+        TrafficLedger::new(Topology::paper_testbed())
+    }
+
+    #[test]
+    fn classifies_internal_vs_external() {
+        let l = ledger();
+        l.record(DeviceId(0), DeviceId(1), 100); // same node 0
+        l.record(DeviceId(0), DeviceId(2), 200); // node 0 -> node 1
+        let t = l.peek();
+        assert_eq!(t.internal_bytes, 100);
+        assert_eq!(t.external_sent_per_node, vec![200, 0, 0]);
+        assert_eq!(t.external_recv_per_node, vec![0, 200, 0]);
+        assert_eq!(t.total_bytes, 300);
+        assert_eq!(t.external_total(), 200);
+    }
+
+    #[test]
+    fn self_transfers_are_free() {
+        let l = ledger();
+        l.record(DeviceId(3), DeviceId(3), 1_000_000);
+        assert_eq!(l.peek().total_bytes, 0);
+    }
+
+    #[test]
+    fn take_step_resets() {
+        let l = ledger();
+        l.record(DeviceId(0), DeviceId(4), 50);
+        let first = l.take_step();
+        assert_eq!(first.external_total(), 50);
+        assert_eq!(l.peek().total_bytes, 0);
+        assert_eq!(l.peek().external_sent_per_node.len(), 3);
+    }
+
+    #[test]
+    fn avg_per_node_counts_sent_bytes() {
+        let l = ledger();
+        l.record(DeviceId(0), DeviceId(2), 300); // n0 -> n1
+        let t = l.peek();
+        // 300 sent by n0, over 3 nodes = 100.
+        assert!((t.external_avg_per_node() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservation_sent_equals_received() {
+        let l = ledger();
+        let transfers = [
+            (0usize, 2usize, 10u64),
+            (2, 4, 20),
+            (4, 0, 30),
+            (1, 5, 40),
+            (3, 1, 50),
+        ];
+        for &(s, d, b) in &transfers {
+            l.record(DeviceId(s), DeviceId(d), b);
+        }
+        let t = l.peek();
+        assert_eq!(
+            t.external_sent_per_node.iter().sum::<u64>(),
+            t.external_recv_per_node.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let l = std::sync::Arc::new(ledger());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = l.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        l.record(DeviceId(0), DeviceId(2), 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(l.peek().external_total(), 4000);
+    }
+}

@@ -1,0 +1,333 @@
+//! Seeded synthetic corpus generators.
+//!
+//! Each [`Corpus`] draws sentences from a different mixture of vocabulary
+//! *domains*. Domains differ in character-level statistics (names and
+//! colons in drama, years and headings in encyclopedic text, symbols in
+//! code, digits in arithmetic), which is what lets the experts of a
+//! character-level MoE model specialise — and therefore what produces the
+//! expert-locality contrast between corpora that the VELA evaluation
+//! depends on.
+
+use vela_tensor::rng::DetRng;
+
+/// A synthetic stand-in for one of the paper's datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corpus {
+    /// Drama dialogue — the Tiny-Shakespeare analogue used by the
+    /// measurement study (§III).
+    TinyShakespeare,
+    /// Narrow-domain encyclopedic prose — the WikiText analogue
+    /// (concentrated expert access).
+    WikiText,
+    /// Many-domain instruction/response pairs — the Alpaca analogue
+    /// (more uniform expert access).
+    Alpaca,
+    /// Uniform mixture over all domains — the pre-training corpus.
+    Mixed,
+}
+
+impl Corpus {
+    /// All fine-tuning corpora (excludes the pre-training mixture).
+    pub const FINE_TUNE: [Corpus; 3] = [Corpus::TinyShakespeare, Corpus::WikiText, Corpus::Alpaca];
+
+    /// Generates roughly `target_chars` characters of text, deterministically
+    /// from `seed`.
+    pub fn generate(self, target_chars: usize, seed: u64) -> String {
+        let mut rng = DetRng::new(seed ^ self.salt());
+        let mut out = String::with_capacity(target_chars + 128);
+        while out.len() < target_chars {
+            match self {
+                Corpus::TinyShakespeare => drama_scene(&mut out, &mut rng),
+                Corpus::WikiText => wiki_article(&mut out, &mut rng),
+                Corpus::Alpaca => alpaca_pair(&mut out, &mut rng),
+                Corpus::Mixed => match rng.below(6) {
+                    0 => drama_scene(&mut out, &mut rng),
+                    1 => wiki_article(&mut out, &mut rng),
+                    2 => alpaca_pair(&mut out, &mut rng),
+                    3 => code_snippet(&mut out, &mut rng),
+                    4 => arithmetic_drill(&mut out, &mut rng),
+                    _ => travel_note(&mut out, &mut rng),
+                },
+            }
+        }
+        out.truncate(target_chars);
+        out
+    }
+
+    /// The human-readable dataset name used in harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Corpus::TinyShakespeare => "tiny-shakespeare",
+            Corpus::WikiText => "wikitext",
+            Corpus::Alpaca => "alpaca",
+            Corpus::Mixed => "mixed-pretrain",
+        }
+    }
+
+    fn salt(self) -> u64 {
+        match self {
+            Corpus::TinyShakespeare => 0x5AEB_0001,
+            Corpus::WikiText => 0x5AEB_0002,
+            Corpus::Alpaca => 0x5AEB_0003,
+            Corpus::Mixed => 0x5AEB_0004,
+        }
+    }
+}
+
+impl std::fmt::Display for Corpus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn pick<'a>(rng: &mut DetRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.below(pool.len())]
+}
+
+// ---------------------------------------------------------------------------
+// Domain: drama (Tiny-Shakespeare analogue)
+// ---------------------------------------------------------------------------
+
+const SPEAKERS: &[&str] = &[
+    "ROMEO", "JULIET", "MACBETH", "HAMLET", "OPHELIA", "PORTIA", "BRUTUS", "VIOLA",
+];
+const ARCHAIC: &[&str] = &[
+    "thou", "thee", "thy", "hath", "doth", "wherefore", "anon", "prithee", "forsooth", "alas",
+];
+const DRAMA_NOUNS: &[&str] = &[
+    "dagger", "crown", "moon", "heart", "ghost", "garden", "sword", "love", "night", "throne",
+];
+const DRAMA_VERBS: &[&str] = &[
+    "speak", "weep", "swear", "dream", "plot", "mourn", "vanish", "kneel",
+];
+
+fn drama_scene(out: &mut String, rng: &mut DetRng) {
+    out.push_str(pick(rng, SPEAKERS));
+    out.push_str(":\n");
+    let lines = 2 + rng.below(3);
+    for _ in 0..lines {
+        out.push_str(pick(rng, ARCHAIC));
+        out.push(' ');
+        out.push_str(pick(rng, DRAMA_VERBS));
+        out.push_str(" upon the ");
+        out.push_str(pick(rng, DRAMA_NOUNS));
+        out.push_str(", ");
+        out.push_str(pick(rng, ARCHAIC));
+        out.push(' ');
+        out.push_str(pick(rng, DRAMA_NOUNS));
+        out.push_str("!\n");
+    }
+    out.push('\n');
+}
+
+// ---------------------------------------------------------------------------
+// Domain: encyclopedic (WikiText analogue) — deliberately narrow
+// ---------------------------------------------------------------------------
+
+const WIKI_SUBJECTS: &[&str] = &[
+    "The ancient fortress", "The river delta", "The railway line", "The cathedral",
+    "The observatory", "The canal system",
+];
+const WIKI_FACTS: &[&str] = &[
+    "was constructed", "was restored", "was surveyed", "was expanded", "was documented",
+];
+const WIKI_PLACES: &[&str] = &[
+    "in the northern province", "near the coastal plain", "along the trade route",
+    "within the old district",
+];
+
+fn wiki_article(out: &mut String, rng: &mut DetRng) {
+    out.push_str("= ");
+    out.push_str(pick(rng, WIKI_SUBJECTS));
+    out.push_str(" =\n");
+    let sentences = 3 + rng.below(3);
+    for _ in 0..sentences {
+        out.push_str(pick(rng, WIKI_SUBJECTS));
+        out.push(' ');
+        out.push_str(pick(rng, WIKI_FACTS));
+        out.push(' ');
+        out.push_str(pick(rng, WIKI_PLACES));
+        out.push_str(" in ");
+        let year = 1100 + rng.below(900);
+        out.push_str(&year.to_string());
+        out.push_str(" [");
+        out.push_str(&(1 + rng.below(40)).to_string());
+        out.push_str("].\n");
+    }
+    out.push('\n');
+}
+
+// ---------------------------------------------------------------------------
+// Domains for the instruction corpus (Alpaca analogue) — deliberately broad
+// ---------------------------------------------------------------------------
+
+const COOK_ITEMS: &[&str] = &["onions", "lentils", "rice", "peppers", "garlic", "noodles"];
+const COOK_VERBS: &[&str] = &["chop", "simmer", "roast", "whisk", "saute", "season"];
+const TRAVEL_CITIES: &[&str] = &["Kyoto", "Lisbon", "Oslo", "Quito", "Hanoi", "Tunis"];
+const ADVICE_TOPICS: &[&str] = &["sleep", "budgeting", "focus", "exercise", "reading"];
+
+fn alpaca_pair(out: &mut String, rng: &mut DetRng) {
+    match rng.below(5) {
+        0 => {
+            out.push_str("# Instruction:\nWrite a recipe step.\n# Response:\n");
+            out.push_str(pick(rng, COOK_VERBS));
+            out.push_str(" the ");
+            out.push_str(pick(rng, COOK_ITEMS));
+            out.push_str(", then ");
+            out.push_str(pick(rng, COOK_VERBS));
+            out.push_str(" with ");
+            out.push_str(pick(rng, COOK_ITEMS));
+            out.push_str(".\n\n");
+        }
+        1 => {
+            out.push_str("# Instruction:\nSuggest a travel stop.\n# Response:\nVisit ");
+            out.push_str(pick(rng, TRAVEL_CITIES));
+            out.push_str(" before ");
+            out.push_str(pick(rng, TRAVEL_CITIES));
+            out.push_str("; stay ");
+            out.push_str(&(2 + rng.below(8)).to_string());
+            out.push_str(" nights.\n\n");
+        }
+        2 => {
+            out.push_str("# Instruction:\nWrite a line of code.\n# Response:\n");
+            code_snippet(out, rng);
+        }
+        3 => {
+            out.push_str("# Instruction:\nSolve the sum.\n# Response:\n");
+            arithmetic_drill(out, rng);
+        }
+        _ => {
+            out.push_str("# Instruction:\nGive advice about ");
+            out.push_str(pick(rng, ADVICE_TOPICS));
+            out.push_str(".\n# Response:\nImprove your ");
+            out.push_str(pick(rng, ADVICE_TOPICS));
+            out.push_str(" with a daily routine.\n\n");
+        }
+    }
+}
+
+const CODE_VARS: &[&str] = &["total", "index", "count", "buffer", "limit"];
+
+fn code_snippet(out: &mut String, rng: &mut DetRng) {
+    out.push_str(pick(rng, CODE_VARS));
+    out.push_str(" = ");
+    out.push_str(pick(rng, CODE_VARS));
+    out.push('[');
+    out.push_str(&rng.below(100).to_string());
+    out.push_str("] ");
+    out.push_str("- ");
+    out.push_str(&rng.below(50).to_string());
+    out.push_str("\n\n");
+}
+
+fn arithmetic_drill(out: &mut String, rng: &mut DetRng) {
+    let a = rng.below(90) + 10;
+    let b = rng.below(90) + 10;
+    out.push_str(&a.to_string());
+    out.push_str(" - ");
+    out.push_str(&b.to_string());
+    out.push_str(" = ");
+    out.push_str(&(a as i64 - b as i64).to_string());
+    out.push('\n');
+}
+
+fn travel_note(out: &mut String, rng: &mut DetRng) {
+    out.push_str("From ");
+    out.push_str(pick(rng, TRAVEL_CITIES));
+    out.push_str(" the road runs to ");
+    out.push_str(pick(rng, TRAVEL_CITIES));
+    out.push_str(" in ");
+    out.push_str(&(3 + rng.below(20)).to_string());
+    out.push_str(" hours.\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Corpus::WikiText.generate(5_000, 42);
+        let b = Corpus::WikiText.generate(5_000, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Corpus::WikiText.generate(2_000, 1);
+        let b = Corpus::WikiText.generate(2_000, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn target_length_respected() {
+        for corpus in [
+            Corpus::TinyShakespeare,
+            Corpus::WikiText,
+            Corpus::Alpaca,
+            Corpus::Mixed,
+        ] {
+            assert_eq!(corpus.generate(3_333, 5).len(), 3_333);
+        }
+    }
+
+    #[test]
+    fn corpora_have_distinct_character_statistics() {
+        let drama = Corpus::TinyShakespeare.generate(20_000, 3);
+        let wiki = Corpus::WikiText.generate(20_000, 3);
+        let digit_frac = |s: &str| {
+            s.chars().filter(|c| c.is_ascii_digit()).count() as f64 / s.len() as f64
+        };
+        // Encyclopedic text is digit-heavy (years, citations); drama is not.
+        assert!(digit_frac(&wiki) > 4.0 * digit_frac(&drama).max(1e-9));
+        // Drama is colon/name heavy.
+        let colon = |s: &str| s.matches(':').count();
+        assert!(colon(&drama) > colon(&wiki));
+    }
+
+    #[test]
+    fn alpaca_mixes_more_domains_than_wiki() {
+        // Proxy: unique trigram count is higher for the broad corpus.
+        let trigrams = |s: &str| {
+            let b = s.as_bytes();
+            let mut set = std::collections::HashSet::new();
+            for w in b.windows(3) {
+                set.insert(w.to_vec());
+            }
+            set.len()
+        };
+        let alpaca = Corpus::Alpaca.generate(30_000, 9);
+        let wiki = Corpus::WikiText.generate(30_000, 9);
+        assert!(
+            trigrams(&alpaca) > trigrams(&wiki),
+            "alpaca {} vs wiki {}",
+            trigrams(&alpaca),
+            trigrams(&wiki)
+        );
+    }
+
+    #[test]
+    fn all_corpora_stay_within_tokenizer_charset() {
+        let tok = crate::CharTokenizer::new();
+        for corpus in [
+            Corpus::TinyShakespeare,
+            Corpus::WikiText,
+            Corpus::Alpaca,
+            Corpus::Mixed,
+        ] {
+            let text = corpus.generate(10_000, 11);
+            let unk = tok
+                .encode(&text)
+                .iter()
+                .filter(|&&id| id == tok.unk_id())
+                .count();
+            assert_eq!(unk, 0, "{corpus} emits chars outside the charset");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Corpus::WikiText.to_string(), "wikitext");
+        assert_eq!(Corpus::FINE_TUNE.len(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! Tokenized datasets and batch sampling.
+
+use vela_tensor::rng::DetRng;
+
+use crate::CharTokenizer;
+
+/// One language-modelling batch: `inputs[i]` predicts `targets[i]`.
+///
+/// Both are flattened `[batch · seq]` id sequences, grouped by batch
+/// element, matching the `[tokens, features]` layout used by the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// Input token ids, length `batch_size * seq_len`.
+    pub inputs: Vec<usize>,
+    /// Next-token targets, same length as `inputs`.
+    pub targets: Vec<usize>,
+    /// Number of sequences in the batch.
+    pub batch_size: usize,
+    /// Tokens per sequence.
+    pub seq_len: usize,
+}
+
+impl Batch {
+    /// Total number of tokens in the batch.
+    pub fn token_count(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+/// A tokenized corpus supporting deterministic random-window batching.
+#[derive(Debug, Clone)]
+pub struct TokenDataset {
+    tokens: Vec<usize>,
+}
+
+impl TokenDataset {
+    /// Tokenizes `text` with `tokenizer`.
+    pub fn from_text(tokenizer: &CharTokenizer, text: &str) -> Self {
+        TokenDataset {
+            tokens: tokenizer.encode(text),
+        }
+    }
+
+    /// Wraps an existing id sequence.
+    pub fn from_tokens(tokens: Vec<usize>) -> Self {
+        TokenDataset { tokens }
+    }
+
+    /// Number of tokens in the dataset.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Returns `true` if the dataset holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The raw token ids.
+    pub fn tokens(&self) -> &[usize] {
+        &self.tokens
+    }
+
+    /// Samples a batch of `batch_size` random windows of `seq_len` tokens,
+    /// with next-token targets.
+    ///
+    /// # Panics
+    /// Panics if the dataset is shorter than `seq_len + 1`.
+    pub fn sample_batch(&self, batch_size: usize, seq_len: usize, rng: &mut DetRng) -> Batch {
+        assert!(
+            self.tokens.len() > seq_len,
+            "dataset ({} tokens) too short for seq_len {seq_len}",
+            self.tokens.len()
+        );
+        let max_start = self.tokens.len() - seq_len - 1;
+        let mut inputs = Vec::with_capacity(batch_size * seq_len);
+        let mut targets = Vec::with_capacity(batch_size * seq_len);
+        for _ in 0..batch_size {
+            let start = rng.below(max_start + 1);
+            inputs.extend_from_slice(&self.tokens[start..start + seq_len]);
+            targets.extend_from_slice(&self.tokens[start + 1..start + seq_len + 1]);
+        }
+        Batch {
+            inputs,
+            targets,
+            batch_size,
+            seq_len,
+        }
+    }
+
+    /// Iterates sequential non-overlapping evaluation batches covering the
+    /// whole dataset (the inference pass used to measure expert locality).
+    pub fn sequential_batches(&self, batch_size: usize, seq_len: usize) -> Vec<Batch> {
+        let window = seq_len + 1;
+        let mut batches = Vec::new();
+        let mut cursor = 0;
+        loop {
+            let mut inputs = Vec::with_capacity(batch_size * seq_len);
+            let mut targets = Vec::with_capacity(batch_size * seq_len);
+            let mut rows = 0;
+            while rows < batch_size && cursor + window <= self.tokens.len() {
+                inputs.extend_from_slice(&self.tokens[cursor..cursor + seq_len]);
+                targets.extend_from_slice(&self.tokens[cursor + 1..cursor + window]);
+                cursor += seq_len;
+                rows += 1;
+            }
+            if rows == 0 {
+                break;
+            }
+            batches.push(Batch {
+                inputs,
+                targets,
+                batch_size: rows,
+                seq_len,
+            });
+            if cursor + window > self.tokens.len() {
+                break;
+            }
+        }
+        batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Corpus;
+
+    fn small_dataset() -> TokenDataset {
+        let tok = CharTokenizer::new();
+        TokenDataset::from_text(&tok, &Corpus::Mixed.generate(2_000, 1))
+    }
+
+    #[test]
+    fn sample_batch_shapes() {
+        let data = small_dataset();
+        let mut rng = DetRng::new(0);
+        let b = data.sample_batch(4, 16, &mut rng);
+        assert_eq!(b.inputs.len(), 64);
+        assert_eq!(b.targets.len(), 64);
+        assert_eq!(b.token_count(), 64);
+        assert_eq!(b.batch_size, 4);
+        assert_eq!(b.seq_len, 16);
+    }
+
+    #[test]
+    fn targets_are_shifted_inputs() {
+        let data = TokenDataset::from_tokens((0..100).collect());
+        let mut rng = DetRng::new(1);
+        let b = data.sample_batch(2, 10, &mut rng);
+        for row in 0..2 {
+            for i in 0..9 {
+                assert_eq!(b.inputs[row * 10 + i + 1], b.targets[row * 10 + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let data = small_dataset();
+        let b1 = data.sample_batch(2, 8, &mut DetRng::new(5));
+        let b2 = data.sample_batch(2, 8, &mut DetRng::new(5));
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn sequential_batches_cover_dataset_without_overlap() {
+        let data = TokenDataset::from_tokens((0..100).collect());
+        let batches = data.sequential_batches(2, 10);
+        let mut seen = Vec::new();
+        for b in &batches {
+            seen.extend_from_slice(&b.inputs);
+        }
+        // Windows advance by seq_len, so inputs are consecutive ids.
+        for w in seen.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+        assert!(seen.len() >= 80, "most of the dataset is covered");
+    }
+
+    #[test]
+    fn sequential_batches_handle_partial_final_batch() {
+        let data = TokenDataset::from_tokens((0..35).collect());
+        let batches = data.sequential_batches(2, 10);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].batch_size, 2);
+        assert_eq!(batches[1].batch_size, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_dataset_panics() {
+        TokenDataset::from_tokens(vec![1, 2, 3]).sample_batch(1, 8, &mut DetRng::new(0));
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic corpora, tokenizer and batching for MoE fine-tuning workloads.
+//!
+//! The VELA evaluation fine-tunes on Tiny-Shakespeare, WikiText and Alpaca.
+//! Those datasets are not available offline, so this crate generates seeded
+//! synthetic stand-ins with the *statistical property that matters to the
+//! paper*: each corpus draws from a different mixture of vocabulary domains,
+//! which is what makes different experts specialise on different corpora
+//! (concentrated access for the narrow-domain `wiki_like` corpus, more
+//! uniform access for the many-domain `alpaca_like` corpus).
+//!
+//! # Example
+//!
+//! ```
+//! use vela_data::{Corpus, CharTokenizer, TokenDataset};
+//!
+//! let text = Corpus::TinyShakespeare.generate(2_000, 7);
+//! let tok = CharTokenizer::new();
+//! let data = TokenDataset::from_text(&tok, &text);
+//! assert!(data.len() > 1_000);
+//! ```
+
+mod corpus;
+mod dataset;
+mod tokenizer;
+
+pub use corpus::Corpus;
+pub use dataset::{Batch, TokenDataset};
+pub use tokenizer::CharTokenizer;

@@ -1,0 +1,124 @@
+//! Character-level tokenizer with a fixed, corpus-independent vocabulary.
+
+/// The fixed character set shared by every corpus in the workspace.
+///
+/// Keeping the vocabulary fixed (rather than derived per corpus) means one
+/// pre-trained model can be fine-tuned on any corpus without id remapping —
+/// mirroring how a real pre-trained LLM's tokenizer is reused downstream.
+const CHARSET: &str =
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 .,:;!?'\"()-\n#=[]";
+
+/// A character-level tokenizer over a fixed vocabulary.
+///
+/// Unknown characters map to the dedicated `<unk>` id (the last id).
+#[derive(Debug, Clone)]
+pub struct CharTokenizer {
+    chars: Vec<char>,
+    lookup: Vec<Option<usize>>,
+}
+
+impl CharTokenizer {
+    /// Creates the workspace-standard tokenizer.
+    pub fn new() -> Self {
+        let chars: Vec<char> = CHARSET.chars().collect();
+        let mut lookup = vec![None; 128];
+        for (i, &c) in chars.iter().enumerate() {
+            lookup[c as usize] = Some(i);
+        }
+        CharTokenizer { chars, lookup }
+    }
+
+    /// Vocabulary size, including the `<unk>` id.
+    pub fn vocab_size(&self) -> usize {
+        self.chars.len() + 1
+    }
+
+    /// The id reserved for unknown characters.
+    pub fn unk_id(&self) -> usize {
+        self.chars.len()
+    }
+
+    /// Encodes text into token ids.
+    pub fn encode(&self, text: &str) -> Vec<usize> {
+        text.chars()
+            .map(|c| {
+                let idx = c as usize;
+                if idx < 128 {
+                    self.lookup[idx].unwrap_or(self.chars.len())
+                } else {
+                    self.chars.len()
+                }
+            })
+            .collect()
+    }
+
+    /// Decodes token ids back into text; `<unk>` renders as `ä` (a character
+    /// deliberately outside the charset).
+    ///
+    /// # Panics
+    /// Panics if any id exceeds the vocabulary.
+    pub fn decode(&self, ids: &[usize]) -> String {
+        ids.iter()
+            .map(|&id| {
+                assert!(id < self.vocab_size(), "id {id} out of vocab");
+                if id == self.unk_id() {
+                    'ä'
+                } else {
+                    self.chars[id]
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for CharTokenizer {
+    fn default() -> Self {
+        CharTokenizer::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_known_text() {
+        let tok = CharTokenizer::new();
+        let text = "Hello, World! 42\n";
+        assert_eq!(tok.decode(&tok.encode(text)), text);
+    }
+
+    #[test]
+    fn unknown_chars_map_to_unk() {
+        let tok = CharTokenizer::new();
+        let ids = tok.encode("a€b");
+        assert_eq!(ids[1], tok.unk_id());
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn vocab_size_is_stable() {
+        let tok = CharTokenizer::new();
+        // Charset + <unk>; the model configs depend on this being stable.
+        assert_eq!(tok.vocab_size(), CHARSET.chars().count() + 1);
+        assert!(tok.vocab_size() < 100, "char vocab stays small");
+    }
+
+    #[test]
+    fn ids_are_dense_and_unique() {
+        let tok = CharTokenizer::new();
+        let ids = tok.encode(CHARSET);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "every charset char has its own id");
+        assert_eq!(*sorted.last().unwrap(), tok.vocab_size() - 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn decode_rejects_bad_id() {
+        let tok = CharTokenizer::new();
+        tok.decode(&[tok.vocab_size()]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF over `f32` samples (used for the Fig. 3(b) analysis of
+/// selected-expert softmax scores).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f32>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are rejected).
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn from_samples(mut samples: Vec<f32>) -> Self {
+        assert!(!samples.is_empty(), "CDF needs at least one sample");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "CDF samples must not contain NaN"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` if the CDF has no samples (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≤ x)`.
+    pub fn fraction_at_or_below(&self, x: f32) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// `P(X > x)`.
+    pub fn fraction_above(&self, x: f32) -> f64 {
+        1.0 - self.fraction_at_or_below(x)
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`, nearest-rank).
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f32 {
+        assert!((0.0..=1.0).contains(&q), "quantile q out of [0,1]");
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        self.sorted[idx]
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f32 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f32 {
+        *self.sorted.last().expect("nonempty")
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().map(|&x| x as f64).sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Evenly spaced `(value, cumulative_fraction)` points for plotting.
+    pub fn curve(&self, points: usize) -> Vec<(f32, f64)> {
+        let n = points.max(2);
+        (0..n)
+            .map(|i| {
+                let idx = i * (self.sorted.len() - 1) / (n - 1);
+                (
+                    self.sorted[idx],
+                    (idx + 1) as f64 / self.sorted.len() as f64,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_quantiles() {
+        let cdf = Cdf::from_samples(vec![0.1, 0.2, 0.3, 0.4, 0.5]);
+        assert_eq!(cdf.len(), 5);
+        assert!((cdf.fraction_at_or_below(0.3) - 0.6).abs() < 1e-12);
+        assert!((cdf.fraction_above(0.3) - 0.4).abs() < 1e-12);
+        assert_eq!(cdf.quantile(0.0), 0.1);
+        assert_eq!(cdf.quantile(1.0), 0.5);
+        assert_eq!(cdf.quantile(0.5), 0.3);
+        assert_eq!(cdf.min(), 0.1);
+        assert_eq!(cdf.max(), 0.5);
+        assert!((cdf.mean() - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let cdf = Cdf::from_samples(vec![0.5, 0.1, 0.3]);
+        assert_eq!(cdf.min(), 0.1);
+        assert_eq!(cdf.max(), 0.5);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let samples: Vec<f32> = (0..100).map(|i| (i as f32) / 100.0).collect();
+        let cdf = Cdf::from_samples(samples);
+        let curve = cdf.curve(10);
+        assert_eq!(curve.len(), 10);
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_fraction() {
+        let cdf = Cdf::from_samples(vec![1.0, 2.0]);
+        assert_eq!(cdf.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(5.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_panics() {
+        Cdf::from_samples(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain NaN")]
+    fn nan_panics() {
+        Cdf::from_samples(vec![f32::NAN]);
+    }
+}

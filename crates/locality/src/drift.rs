@@ -1,0 +1,204 @@
+//! Online routing-drift detection.
+//!
+//! Theorem 1 guarantees routing stays *nearly* stable during fine-tuning —
+//! but "nearly" accumulates, and a placement computed from a pre-run
+//! profile slowly ages. [`DriftDetector`] watches live routing snapshots,
+//! maintains an exponentially smoothed total-variation distance to the
+//! reference profile, and signals when a re-placement would pay off. It is
+//! the measurement half of the dynamic re-placement extension (the
+//! migration half lives in the runtime).
+
+use vela_model::RoutingInfo;
+
+use crate::profile::LocalityProfile;
+use crate::stability::total_variation;
+
+/// Watches routing snapshots for drift away from a reference profile.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    reference: LocalityProfile,
+    /// EMA smoothing factor in `(0, 1]` (1 = no smoothing).
+    alpha: f64,
+    /// Re-plan once the smoothed drift exceeds this TV distance.
+    threshold: f64,
+    smoothed: f64,
+    observations: usize,
+}
+
+impl DriftDetector {
+    /// Creates a detector against `reference` that trips at a smoothed
+    /// mean-TV distance of `threshold`.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is not positive.
+    pub fn new(reference: LocalityProfile, threshold: f64) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        DriftDetector {
+            reference,
+            alpha: 0.2,
+            threshold,
+            smoothed: 0.0,
+            observations: 0,
+        }
+    }
+
+    /// Overrides the EMA smoothing factor.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn with_smoothing(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        self.alpha = alpha;
+        self
+    }
+
+    /// The reference profile drift is measured against.
+    pub fn reference(&self) -> &LocalityProfile {
+        &self.reference
+    }
+
+    /// The current smoothed drift (mean TV distance across blocks).
+    pub fn drift(&self) -> f64 {
+        self.smoothed
+    }
+
+    /// Number of snapshots observed.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Ingests one step's routing snapshot (one [`RoutingInfo`] per block)
+    /// and returns the updated smoothed drift.
+    ///
+    /// # Panics
+    /// Panics if the snapshot's shape disagrees with the reference.
+    pub fn observe(&mut self, snapshot: &[RoutingInfo]) -> f64 {
+        assert_eq!(
+            snapshot.len(),
+            self.reference.blocks(),
+            "snapshot block count mismatch"
+        );
+        let mut total = 0.0;
+        for (l, info) in snapshot.iter().enumerate() {
+            let freqs: Vec<f64> = info.frequencies().iter().map(|&f| f as f64).collect();
+            assert_eq!(
+                freqs.len(),
+                self.reference.experts(),
+                "snapshot expert count mismatch"
+            );
+            total += total_variation(&freqs, self.reference.row(l));
+        }
+        let mean_tv = total / snapshot.len() as f64;
+        self.smoothed = if self.observations == 0 {
+            mean_tv
+        } else {
+            self.alpha * mean_tv + (1.0 - self.alpha) * self.smoothed
+        };
+        self.observations += 1;
+        self.smoothed
+    }
+
+    /// Whether the smoothed drift has crossed the re-plan threshold.
+    pub fn should_replan(&self) -> bool {
+        self.observations > 0 && self.smoothed > self.threshold
+    }
+
+    /// Re-baselines the detector after a re-placement: the new reference
+    /// becomes `profile` and the smoothed drift resets.
+    pub fn rebaseline(&mut self, profile: LocalityProfile) {
+        self.reference = profile;
+        self.smoothed = 0.0;
+        self.observations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(freqs: Vec<Vec<f64>>, tokens: usize) -> Vec<RoutingInfo> {
+        freqs
+            .into_iter()
+            .map(|f| {
+                let k = 2;
+                let counts: Vec<usize> = f
+                    .iter()
+                    .map(|&p| (p * (tokens * k) as f64).round() as usize)
+                    .collect();
+                RoutingInfo {
+                    selected: Vec::new(),
+                    selected_probs: Vec::new(),
+                    counts,
+                    tokens,
+                    k,
+                    dropped: 0,
+                }
+            })
+            .collect()
+    }
+
+    fn reference() -> LocalityProfile {
+        LocalityProfile::from_frequencies(
+            "ref",
+            vec![vec![0.5, 0.3, 0.2], vec![0.4, 0.4, 0.2]],
+        )
+    }
+
+    #[test]
+    fn matching_routing_reports_no_drift() {
+        let mut d = DriftDetector::new(reference(), 0.1);
+        let snap = snapshot(vec![vec![0.5, 0.3, 0.2], vec![0.4, 0.4, 0.2]], 100);
+        let drift = d.observe(&snap);
+        assert!(drift < 0.01, "drift {drift}");
+        assert!(!d.should_replan());
+        assert_eq!(d.observations(), 1);
+    }
+
+    #[test]
+    fn migrated_routing_trips_the_detector() {
+        let mut d = DriftDetector::new(reference(), 0.1).with_smoothing(1.0);
+        let snap = snapshot(vec![vec![0.1, 0.2, 0.7], vec![0.1, 0.2, 0.7]], 100);
+        d.observe(&snap);
+        assert!(d.should_replan(), "drift {}", d.drift());
+    }
+
+    #[test]
+    fn smoothing_damps_single_outliers() {
+        let mut d = DriftDetector::new(reference(), 0.3).with_smoothing(0.1);
+        // One wild snapshot after many calm ones barely moves the EMA.
+        let calm = snapshot(vec![vec![0.5, 0.3, 0.2], vec![0.4, 0.4, 0.2]], 100);
+        for _ in 0..10 {
+            d.observe(&calm);
+        }
+        let wild = snapshot(vec![vec![0.0, 0.0, 1.0], vec![0.0, 0.0, 1.0]], 100);
+        d.observe(&wild);
+        assert!(!d.should_replan(), "one outlier must not trip: {}", d.drift());
+        // Sustained drift eventually does.
+        for _ in 0..30 {
+            d.observe(&wild);
+        }
+        assert!(d.should_replan());
+    }
+
+    #[test]
+    fn rebaseline_resets() {
+        let mut d = DriftDetector::new(reference(), 0.1).with_smoothing(1.0);
+        let wild = snapshot(vec![vec![0.0, 0.0, 1.0], vec![0.0, 0.0, 1.0]], 100);
+        d.observe(&wild);
+        assert!(d.should_replan());
+        d.rebaseline(LocalityProfile::from_frequencies(
+            "new",
+            vec![vec![0.0001, 0.0001, 1.0], vec![0.0001, 0.0001, 1.0]],
+        ));
+        assert!(!d.should_replan());
+        assert_eq!(d.observations(), 0);
+        let drift = d.observe(&wild);
+        assert!(drift < 0.02, "rebaselined drift {drift}");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_panics() {
+        DriftDetector::new(reference(), 0.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Binary checkpointing of parameters.
+//!
+//! Saves and restores every parameter of a [`Module`] by name in a simple
+//! length-prefixed binary format. Used to cache pre-trained micro models
+//! between harness runs and to ship expert weights between processes.
+//!
+//! The format is intentionally minimal (this workspace is its only
+//! producer and consumer):
+//!
+//! ```text
+//! magic "VELA" | u32 version | u32 param_count |
+//!   per param: u32 name_len | name bytes | u32 value_len | f32 values...
+//! ```
+
+use std::io::{self, Read, Write};
+
+use vela_nn::param::Module;
+
+const MAGIC: &[u8; 4] = b"VELA";
+const VERSION: u32 = 1;
+
+/// Serializes every parameter of `module` into `writer`.
+///
+/// # Errors
+/// Returns any I/O error from the writer.
+pub fn save(module: &mut dyn Module, writer: &mut dyn Write) -> io::Result<()> {
+    let mut params: Vec<(String, Vec<f32>)> = Vec::new();
+    module.visit_params(&mut |p| {
+        params.push((p.name().to_string(), p.value.as_slice().to_vec()));
+    });
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(params.len() as u32).to_le_bytes())?;
+    for (name, values) in &params {
+        writer.write_all(&(name.len() as u32).to_le_bytes())?;
+        writer.write_all(name.as_bytes())?;
+        writer.write_all(&(values.len() as u32).to_le_bytes())?;
+        for v in values {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Restores parameters into `module` from `reader`.
+///
+/// Every checkpoint parameter must exist in the module with a matching
+/// element count; module parameters missing from the checkpoint are left
+/// untouched (so a backbone checkpoint can be loaded into a model that has
+/// since gained LoRA adapters).
+///
+/// # Errors
+/// Returns an error on malformed input, unknown parameters, or shape
+/// mismatches.
+pub fn load(module: &mut dyn Module, reader: &mut dyn Read) -> io::Result<()> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a VELA checkpoint"));
+    }
+    let version = read_u32(reader)?;
+    if version != VERSION {
+        return Err(bad(&format!("unsupported checkpoint version {version}")));
+    }
+    let count = read_u32(reader)? as usize;
+    let mut entries: std::collections::HashMap<String, Vec<f32>> =
+        std::collections::HashMap::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(reader)? as usize;
+        if name_len > 4096 {
+            return Err(bad("parameter name too long"));
+        }
+        let mut name = vec![0u8; name_len];
+        reader.read_exact(&mut name)?;
+        let name = String::from_utf8(name).map_err(|_| bad("non-UTF8 parameter name"))?;
+        let value_len = read_u32(reader)? as usize;
+        let mut values = Vec::with_capacity(value_len);
+        let mut buf = [0u8; 4];
+        for _ in 0..value_len {
+            reader.read_exact(&mut buf)?;
+            values.push(f32::from_le_bytes(buf));
+        }
+        entries.insert(name, values);
+    }
+
+    let mut error: Option<io::Error> = None;
+    module.visit_params(&mut |p| {
+        if error.is_some() {
+            return;
+        }
+        if let Some(values) = entries.remove(p.name()) {
+            if values.len() != p.value.len() {
+                error = Some(bad(&format!(
+                    "shape mismatch for {}: checkpoint {} vs model {}",
+                    p.name(),
+                    values.len(),
+                    p.value.len()
+                )));
+                return;
+            }
+            p.value.as_mut_slice().copy_from_slice(&values);
+        }
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    if let Some(name) = entries.keys().next() {
+        return Err(bad(&format!("checkpoint parameter {name} not in model")));
+    }
+    Ok(())
+}
+
+/// Saves to a file path.
+///
+/// # Errors
+/// Propagates file-system and serialization errors.
+pub fn save_to_path(module: &mut dyn Module, path: &std::path::Path) -> io::Result<()> {
+    let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+    save(module, &mut file)
+}
+
+/// Loads from a file path.
+///
+/// # Errors
+/// Propagates file-system and deserialization errors.
+pub fn load_from_path(module: &mut dyn Module, path: &std::path::Path) -> io::Result<()> {
+    let mut file = io::BufReader::new(std::fs::File::open(path)?);
+    load(module, &mut file)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn read_u32(reader: &mut dyn Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LocalExpertStore, ModelConfig, MoeModel};
+    use vela_tensor::rng::DetRng;
+
+    fn fingerprint(m: &mut dyn Module) -> Vec<(String, f32)> {
+        let mut out = Vec::new();
+        m.visit_params(&mut |p| out.push((p.name().to_string(), p.value.sum())));
+        out
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_weights() {
+        let cfg = ModelConfig::test_small();
+        let (mut model, _) = MoeModel::new(&cfg, &mut DetRng::new(1));
+        let before = fingerprint(&mut model);
+
+        let mut buf = Vec::new();
+        save(&mut model, &mut buf).unwrap();
+
+        // Different init, then restore.
+        let (mut other, _) = MoeModel::new(&cfg, &mut DetRng::new(2));
+        assert_ne!(fingerprint(&mut other), before);
+        load(&mut other, &mut buf.as_slice()).unwrap();
+        assert_eq!(fingerprint(&mut other), before);
+    }
+
+    #[test]
+    fn expert_store_roundtrip() {
+        let cfg = ModelConfig::test_small();
+        let mut store = LocalExpertStore::new(&cfg, &mut DetRng::new(3));
+        let before = fingerprint(&mut store);
+        let mut buf = Vec::new();
+        save(&mut store, &mut buf).unwrap();
+        let mut other = LocalExpertStore::new(&cfg, &mut DetRng::new(4));
+        load(&mut other, &mut buf.as_slice()).unwrap();
+        assert_eq!(fingerprint(&mut other), before);
+    }
+
+    #[test]
+    fn partial_checkpoint_leaves_extras_untouched() {
+        // Save a bare model, then load into a LoRA-augmented one.
+        let cfg = ModelConfig::test_small();
+        let (mut bare, _) = MoeModel::new(&cfg, &mut DetRng::new(5));
+        let mut buf = Vec::new();
+        save(&mut bare, &mut buf).unwrap();
+
+        let (mut lora, _) = MoeModel::new(&cfg, &mut DetRng::new(6));
+        lora.freeze_all();
+        lora.attach_lora(2, 4.0, &mut DetRng::new(7));
+        load(&mut lora, &mut buf.as_slice()).unwrap();
+        // Backbone weights match the checkpoint; adapters still present.
+        let mut has_lora = false;
+        lora.visit_params(&mut |p| has_lora |= p.name().contains("lora"));
+        assert!(has_lora);
+    }
+
+    #[test]
+    fn unknown_checkpoint_param_is_an_error() {
+        let cfg = ModelConfig::test_small();
+        let (mut big, _) = MoeModel::new(&cfg, &mut DetRng::new(8));
+        let mut buf = Vec::new();
+        save(&mut big, &mut buf).unwrap();
+
+        let mut small = ModelConfig::test_small();
+        small.blocks = 1;
+        let (mut target, _) = MoeModel::new(&small, &mut DetRng::new(9));
+        let err = load(&mut target, &mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let cfg = ModelConfig::test_small();
+        let (mut model, _) = MoeModel::new(&cfg, &mut DetRng::new(10));
+        let mut buf = Vec::new();
+        save(&mut model, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load(&mut model, &mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn wrong_magic_is_an_error() {
+        let cfg = ModelConfig::test_small();
+        let (mut model, _) = MoeModel::new(&cfg, &mut DetRng::new(11));
+        let err = load(&mut model, &mut b"NOPE....".as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let cfg = ModelConfig::test_small();
+        let (mut model, _) = MoeModel::new(&cfg, &mut DetRng::new(12));
+        let before = fingerprint(&mut model);
+        let dir = std::env::temp_dir().join("vela-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.vela");
+        save_to_path(&mut model, &path).unwrap();
+        let (mut other, _) = MoeModel::new(&cfg, &mut DetRng::new(13));
+        load_from_path(&mut other, &path).unwrap();
+        assert_eq!(fingerprint(&mut other), before);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,253 @@
+//! Model configurations and the abstract MoE "spec" used by placement and
+//! traffic accounting.
+
+/// Full configuration of a trainable MoE transformer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Vocabulary size (set from the tokenizer).
+    pub vocab: usize,
+    /// Model width (feature size `H` in the paper's cost model).
+    pub dim: usize,
+    /// Attention query heads (must divide `dim`).
+    pub heads: usize,
+    /// Attention key/value heads (grouped-query attention when fewer than
+    /// `heads`; must divide `heads`).
+    pub kv_heads: usize,
+    /// Inner width of each expert FFN.
+    pub ffn_hidden: usize,
+    /// Number of transformer blocks (`L` MoE blocks).
+    pub blocks: usize,
+    /// Experts per MoE block (`E`).
+    pub experts: usize,
+    /// Experts selected per token (`k`).
+    pub top_k: usize,
+    /// Sequence length used for training batches.
+    pub seq_len: usize,
+    /// Weight of the load-balancing auxiliary loss (pre-training only).
+    pub aux_loss_weight: f32,
+}
+
+impl ModelConfig {
+    /// The TinyMistral-6x248M analogue of the paper's measurement study
+    /// (§III): 12 MoE blocks, six experts each, two selected per token.
+    /// Width is scaled down so the measurement runs on a CPU in seconds.
+    /// The auxiliary-loss weight is calibrated so pre-training balances
+    /// expert utilisation without erasing specialisation (the source of
+    /// expert locality).
+    pub fn tiny_mistral(vocab: usize) -> Self {
+        ModelConfig {
+            vocab,
+            dim: 32,
+            heads: 4,
+            kv_heads: 4,
+            ffn_hidden: 64,
+            blocks: 12,
+            experts: 6,
+            top_k: 2,
+            seq_len: 48,
+            aux_loss_weight: 2e-3,
+        }
+    }
+
+    /// A Mixtral-8x7B-shaped micro model: 8 experts per block, top-2.
+    /// Used to *measure* locality profiles that the scale-virtual runs
+    /// replay at full Mixtral dimensions.
+    pub fn mixtral_micro(vocab: usize) -> Self {
+        ModelConfig {
+            vocab,
+            dim: 32,
+            heads: 4,
+            kv_heads: 4,
+            ffn_hidden: 64,
+            blocks: 8,
+            experts: 8,
+            top_k: 2,
+            seq_len: 48,
+            aux_loss_weight: 2e-3,
+        }
+    }
+
+    /// A deliberately tiny configuration for unit tests.
+    pub fn test_small() -> Self {
+        ModelConfig {
+            vocab: 82,
+            dim: 16,
+            heads: 2,
+            kv_heads: 2,
+            ffn_hidden: 24,
+            blocks: 2,
+            experts: 4,
+            top_k: 2,
+            seq_len: 12,
+            aux_loss_weight: 1e-2,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics if the configuration is inconsistent (e.g. `top_k > experts`
+    /// or `dim` not divisible by `heads`).
+    pub fn validate(&self) {
+        assert!(self.vocab > 1, "vocab must exceed 1");
+        assert!(self.dim > 0 && self.dim.is_multiple_of(self.heads), "dim % heads != 0");
+        assert!(
+            self.kv_heads > 0 && self.heads.is_multiple_of(self.kv_heads),
+            "heads % kv_heads != 0"
+        );
+        assert!(self.blocks > 0, "need at least one block");
+        assert!(
+            self.top_k >= 1 && self.top_k <= self.experts,
+            "top_k {} out of 1..={}",
+            self.top_k,
+            self.experts
+        );
+        assert!(self.seq_len > 1, "seq_len must exceed 1");
+    }
+
+    /// The abstract spec (shape-only view) of this configuration.
+    pub fn spec(&self) -> MoeSpec {
+        MoeSpec {
+            blocks: self.blocks,
+            experts: self.experts,
+            top_k: self.top_k,
+            hidden: self.dim,
+            ffn: self.ffn_hidden,
+            bits: 32,
+        }
+    }
+}
+
+/// Shape-only description of an MoE model, sufficient for placement and
+/// traffic/time accounting (Eqs. (5)–(7) of the paper).
+///
+/// The evaluation's scale-virtual runs use the *real* Mixtral/GritLM shapes
+/// here even though the routed payloads are virtual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MoeSpec {
+    /// Number of MoE blocks `L`.
+    pub blocks: usize,
+    /// Experts per block `E`.
+    pub experts: usize,
+    /// Experts selected per token `k`.
+    pub top_k: usize,
+    /// Feature size `H` of the tokens exchanged with experts.
+    pub hidden: usize,
+    /// Inner width of each expert FFN (drives compute-time modelling).
+    pub ffn: usize,
+    /// Bit depth `b` of exchanged features.
+    pub bits: usize,
+}
+
+impl MoeSpec {
+    /// The published Mixtral-8x7B shape: 32 blocks × 8 experts, top-2,
+    /// `H = 4096`, half precision.
+    pub fn mixtral_8x7b() -> Self {
+        MoeSpec {
+            blocks: 32,
+            experts: 8,
+            top_k: 2,
+            hidden: 4096,
+            ffn: 14336,
+            bits: 16,
+        }
+    }
+
+    /// GritLM-8x7B — a Mixtral fine-tune, so the same shape (the paper's
+    /// two evaluation models share their architecture).
+    pub fn gritlm_8x7b() -> Self {
+        MoeSpec::mixtral_8x7b()
+    }
+
+    /// Total number of experts across all blocks.
+    pub fn total_experts(&self) -> usize {
+        self.blocks * self.experts
+    }
+
+    /// Bytes of feature data for one token at this spec's precision
+    /// (`b·H/8` in the paper's Eq. (5)).
+    pub fn token_bytes(&self) -> u64 {
+        (self.bits as u64 * self.hidden as u64) / 8
+    }
+
+    /// Forward FLOPs for one token through one expert (three `H × ffn`
+    /// mat-muls at 2 FLOPs per multiply-add).
+    pub fn expert_flops_per_token(&self) -> f64 {
+        2.0 * 3.0 * self.hidden as f64 * self.ffn as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        ModelConfig::tiny_mistral(82).validate();
+        ModelConfig::mixtral_micro(82).validate();
+        ModelConfig::test_small().validate();
+    }
+
+    #[test]
+    fn tiny_mistral_matches_paper_shape() {
+        let cfg = ModelConfig::tiny_mistral(82);
+        assert_eq!(cfg.blocks, 12);
+        assert_eq!(cfg.experts, 6);
+        assert_eq!(cfg.top_k, 2);
+    }
+
+    #[test]
+    fn mixtral_spec_matches_paper() {
+        let spec = MoeSpec::mixtral_8x7b();
+        assert_eq!(spec.blocks, 32);
+        assert_eq!(spec.experts, 8);
+        assert_eq!(spec.top_k, 2);
+        assert_eq!(spec.hidden, 4096);
+        assert_eq!(spec.bits, 16);
+        // One token = 4096 features × 2 bytes = 8 KiB; the paper's 16.4 MB
+        // for ~2000 tokens checks out with this.
+        assert_eq!(spec.token_bytes(), 8192);
+        assert_eq!(spec.total_experts(), 256);
+    }
+
+    #[test]
+    fn spec_from_config() {
+        let cfg = ModelConfig::test_small();
+        let spec = cfg.spec();
+        assert_eq!(spec.blocks, cfg.blocks);
+        assert_eq!(spec.hidden, cfg.dim);
+        assert_eq!(spec.bits, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "top_k")]
+    fn invalid_topk_panics() {
+        let mut cfg = ModelConfig::test_small();
+        cfg.top_k = 10;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "dim % heads")]
+    fn invalid_heads_panics() {
+        let mut cfg = ModelConfig::test_small();
+        cfg.heads = 3;
+        cfg.kv_heads = 3;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "heads % kv_heads")]
+    fn invalid_kv_heads_panics() {
+        let mut cfg = ModelConfig::test_small();
+        cfg.kv_heads = 3;
+        cfg.validate();
+    }
+
+    #[test]
+    fn gqa_config_is_valid() {
+        let mut cfg = ModelConfig::tiny_mistral(82);
+        cfg.kv_heads = 2;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,45 @@
+//! Mixture-of-Experts transformer: backbone, router, experts, pre-training
+//! and fine-tuning.
+//!
+//! This crate implements the model side of the VELA reproduction:
+//!
+//! * a Mistral-style decoder-only transformer whose FFNs are replaced by
+//!   MoE blocks ([`MoeBlock`]) with top-k softmax gating ([`Router`]);
+//! * the **Expert Broker seam** ([`ExpertProvider`]): the backbone never
+//!   owns expert weights — every expert evaluation goes through a provider,
+//!   which is a [`LocalExpertStore`] in single-process runs and a network
+//!   broker in the distributed runtime;
+//! * [`pretrain`](pretrain::pretrain): balanced pre-training with the
+//!   load-balancing auxiliary loss, which is how expert specialisation (and
+//!   therefore expert locality) *emerges* in this reproduction;
+//! * [`finetune`]: LoRA fine-tuning preparation matching the
+//!   paper's setup (all linear layers except the gate, `r = 8`, `α = 16`).
+//!
+//! # Example
+//!
+//! ```
+//! use vela_model::{MoeModel, ModelConfig, LocalExpertStore};
+//! use vela_tensor::rng::DetRng;
+//!
+//! let cfg = ModelConfig::test_small();
+//! let mut rng = DetRng::new(0);
+//! let (mut model, mut experts) = MoeModel::new(&cfg, &mut rng);
+//! let tokens = vec![1usize; cfg.seq_len * 2];
+//! let logits = model.forward(&tokens, 2, cfg.seq_len, &mut experts);
+//! assert_eq!(logits.rows(), tokens.len());
+//! ```
+
+pub mod checkpoint;
+pub mod config;
+pub mod finetune;
+pub mod moe_block;
+pub mod model;
+pub mod pretrain;
+pub mod provider;
+pub mod router;
+
+pub use config::{MoeSpec, ModelConfig};
+pub use model::{MoeModel, StepStats};
+pub use moe_block::{MoeBlock, RoutingInfo};
+pub use provider::{ExpertProvider, LocalExpertStore};
+pub use router::{Router, RouterOutput};

@@ -1,0 +1,475 @@
+//! The MoE block: gate, dispatch, expert evaluation, weighted combine.
+//!
+//! Mirrors Fig. 1 of the paper. The block computes the gating decision
+//! locally (the gate is part of the backbone) and delegates expert FFN
+//! evaluation to an [`ExpertProvider`] — the broker seam that lets the same
+//! backbone run single-process or distributed.
+
+use vela_nn::param::{Module, Param};
+use vela_tensor::rng::DetRng;
+use vela_tensor::Tensor;
+
+use crate::provider::{ExpertBatch, ExpertProvider};
+use crate::router::Router;
+
+/// What the gate decided for one batch at one block — the routing metadata
+/// that locality measurement and traffic accounting consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingInfo {
+    /// Selected expert ids, `[tokens · k]`, row-major.
+    pub selected: Vec<usize>,
+    /// Softmax scores of the selected experts, `[tokens · k]`.
+    pub selected_probs: Vec<f32>,
+    /// Tokens routed to each expert (length = experts), after any
+    /// capacity-limit drops.
+    pub counts: Vec<usize>,
+    /// Number of tokens in the batch.
+    pub tokens: usize,
+    /// Experts per token.
+    pub k: usize,
+    /// (token, slot) assignments dropped by the expert-capacity limit
+    /// (0 when no capacity factor is set).
+    pub dropped: usize,
+}
+
+impl RoutingInfo {
+    /// Per-expert access frequency: `counts[e] / (tokens · k)`.
+    pub fn frequencies(&self) -> Vec<f32> {
+        let total = (self.tokens * self.k).max(1) as f32;
+        self.counts.iter().map(|&c| c as f32 / total).collect()
+    }
+
+    /// Sum of the selected softmax scores per token (the Fig. 3(b) metric).
+    pub fn selected_score_sums(&self) -> Vec<f32> {
+        (0..self.tokens)
+            .map(|t| self.selected_probs[t * self.k..(t + 1) * self.k].iter().sum())
+            .collect()
+    }
+}
+
+/// One MoE block: a [`Router`] plus provider-mediated expert dispatch.
+#[derive(Debug)]
+pub struct MoeBlock {
+    router: Router,
+    block: usize,
+    experts: usize,
+    dim: usize,
+    /// Switch-style expert capacity factor: each expert accepts at most
+    /// `ceil(tokens·k/E · factor)` assignments per batch; overflow slots
+    /// are dropped (their tokens ride the residual connection).
+    capacity_factor: Option<f32>,
+    last_routing: Option<RoutingInfo>,
+    cache: Option<BlockCache>,
+}
+
+#[derive(Debug)]
+struct BlockCache {
+    /// Token row indices grouped per dispatched expert, forward order.
+    groups: Vec<(usize, Vec<usize>)>,
+    /// Slot index (`t·k + j`) for each grouped token, aligned with `groups`.
+    slots: Vec<Vec<usize>>,
+    /// Expert outputs, aligned with `groups`.
+    outputs: Vec<Tensor>,
+    /// Mixture weights `[tokens · k]`.
+    weights: Vec<f32>,
+    tokens: usize,
+}
+
+impl MoeBlock {
+    /// Creates block `block` with `experts` experts and top-`k` routing.
+    pub fn new(
+        block: usize,
+        dim: usize,
+        experts: usize,
+        k: usize,
+        aux_weight: f32,
+        rng: &mut DetRng,
+    ) -> Self {
+        MoeBlock {
+            router: Router::new(format!("block{block}"), dim, experts, k, aux_weight, rng),
+            block,
+            experts,
+            dim,
+            capacity_factor: None,
+            last_routing: None,
+            cache: None,
+        }
+    }
+
+    /// Enables the Switch-style expert-capacity limit (used during
+    /// pre-training to bound stragglers; disabled by default and during
+    /// fine-tuning).
+    ///
+    /// # Panics
+    /// Panics if `factor` is not positive.
+    pub fn set_capacity_factor(&mut self, factor: Option<f32>) {
+        if let Some(f) = factor {
+            assert!(f > 0.0, "capacity factor must be positive");
+        }
+        self.capacity_factor = factor;
+    }
+
+    /// Assignments each expert may accept for a batch of `tokens` tokens
+    /// (`usize::MAX` when no factor is set).
+    pub fn expert_capacity(&self, tokens: usize) -> usize {
+        match self.capacity_factor {
+            None => usize::MAX,
+            Some(f) => {
+                let fair = (tokens * self.router.k()) as f32 / self.experts as f32;
+                (fair * f).ceil() as usize
+            }
+        }
+    }
+
+    /// The block index within the model.
+    pub fn index(&self) -> usize {
+        self.block
+    }
+
+    /// The router (gate) of this block.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Mutable router access (used to freeze the gate for fine-tuning).
+    pub fn router_mut(&mut self) -> &mut Router {
+        &mut self.router
+    }
+
+    /// Routing metadata from the most recent forward pass.
+    pub fn last_routing(&self) -> Option<&RoutingInfo> {
+        self.last_routing.as_ref()
+    }
+
+    /// Forward pass over `[tokens, dim]`, evaluating experts through
+    /// `provider`.
+    pub fn forward(&mut self, x: &Tensor, provider: &mut dyn ExpertProvider) -> Tensor {
+        let tokens = x.rows();
+        let rout = self.router.forward(x);
+        let capacity = self.expert_capacity(tokens);
+
+        // Group (token, slot) pairs by expert, ascending expert id; slots
+        // beyond an expert's capacity are dropped (tokens arrive in batch
+        // order, matching Switch's first-come policy).
+        let mut token_groups: Vec<Vec<usize>> = vec![Vec::new(); self.experts];
+        let mut slot_groups: Vec<Vec<usize>> = vec![Vec::new(); self.experts];
+        let mut dropped = 0usize;
+        for t in 0..tokens {
+            for j in 0..rout.k {
+                let slot = t * rout.k + j;
+                let e = rout.selected[slot];
+                if token_groups[e].len() >= capacity {
+                    dropped += 1;
+                    continue;
+                }
+                token_groups[e].push(t);
+                slot_groups[e].push(slot);
+            }
+        }
+
+        let mut groups = Vec::new();
+        let mut slots = Vec::new();
+        let mut batches = Vec::new();
+        for e in 0..self.experts {
+            if token_groups[e].is_empty() {
+                continue;
+            }
+            batches.push(ExpertBatch {
+                expert: e,
+                xs: x.gather_rows(&token_groups[e]),
+            });
+            groups.push((e, std::mem::take(&mut token_groups[e])));
+            slots.push(std::mem::take(&mut slot_groups[e]));
+        }
+
+        let outputs = provider.forward_block(self.block, &batches);
+        assert_eq!(outputs.len(), groups.len(), "provider returned wrong count");
+
+        // Weighted combine (Eq. (1)).
+        let mut y = Tensor::zeros((tokens, self.dim));
+        for (gi, (_, toks)) in groups.iter().enumerate() {
+            let out = &outputs[gi];
+            for (pos, &t) in toks.iter().enumerate() {
+                let w = rout.weights[slots[gi][pos]];
+                let dst = y.row_mut(t);
+                for (d, &s) in dst.iter_mut().zip(out.row(pos)) {
+                    *d += w * s;
+                }
+            }
+        }
+
+        let mut counts = vec![0usize; self.experts];
+        for (e, toks) in &groups {
+            counts[*e] = toks.len();
+        }
+        self.last_routing = Some(RoutingInfo {
+            selected: rout.selected.clone(),
+            selected_probs: rout.selected_probs.clone(),
+            counts,
+            tokens,
+            k: rout.k,
+            dropped,
+        });
+        self.cache = Some(BlockCache {
+            groups,
+            slots,
+            outputs,
+            weights: rout.weights,
+            tokens,
+        });
+        y
+    }
+
+    /// Backward pass; accumulates router gradients, sends expert gradients
+    /// through `provider`, and returns the input gradient.
+    ///
+    /// # Panics
+    /// Panics if called before [`forward`](Self::forward).
+    pub fn backward(&mut self, grad_out: &Tensor, provider: &mut dyn ExpertProvider) -> Tensor {
+        let cache = self.cache.take().expect("MoeBlock::backward before forward");
+        let k = self.router.k();
+
+        // Gradient w.r.t. each mixture weight: ⟨grad_out_t, y_expert_t⟩.
+        let mut grad_weights = vec![0.0f32; cache.tokens * k];
+        // Gradient batches for the experts: w · grad_out_t per grouped token.
+        let mut grad_batches = Vec::with_capacity(cache.groups.len());
+        for (gi, (e, toks)) in cache.groups.iter().enumerate() {
+            let out = &cache.outputs[gi];
+            let mut g = Tensor::zeros((toks.len(), self.dim));
+            for (pos, &t) in toks.iter().enumerate() {
+                let slot = cache.slots[gi][pos];
+                let w = cache.weights[slot];
+                let go = grad_out.row(t);
+                grad_weights[slot] = go
+                    .iter()
+                    .zip(out.row(pos))
+                    .map(|(&a, &b)| a * b)
+                    .sum::<f32>();
+                let dst = g.row_mut(pos);
+                for (d, &s) in dst.iter_mut().zip(go) {
+                    *d = w * s;
+                }
+            }
+            grad_batches.push(ExpertBatch { expert: *e, xs: g });
+        }
+
+        let input_grads = provider.backward_block(self.block, &grad_batches);
+        assert_eq!(
+            input_grads.len(),
+            cache.groups.len(),
+            "provider returned wrong gradient count"
+        );
+
+        let mut gx = Tensor::zeros((cache.tokens, self.dim));
+        for (gi, (_, toks)) in cache.groups.iter().enumerate() {
+            gx.scatter_add_rows(toks, &input_grads[gi]);
+        }
+        gx.add_assign(&self.router.backward(&grad_weights));
+        gx
+    }
+}
+
+impl Module for MoeBlock {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.router.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::LocalExpertStore;
+    use crate::ModelConfig;
+
+    fn setup() -> (MoeBlock, LocalExpertStore, ModelConfig) {
+        let cfg = ModelConfig::test_small();
+        let mut rng = DetRng::new(10);
+        let store = LocalExpertStore::new(&cfg, &mut rng);
+        let block = MoeBlock::new(0, cfg.dim, cfg.experts, cfg.top_k, 0.0, &mut rng);
+        (block, store, cfg)
+    }
+
+    #[test]
+    fn forward_shape_and_routing_info() {
+        let (mut block, mut store, cfg) = setup();
+        let mut rng = DetRng::new(1);
+        let x = Tensor::uniform((9, cfg.dim), -1.0, 1.0, &mut rng);
+        let y = block.forward(&x, &mut store);
+        assert_eq!(y.shape().as_2d(), (9, cfg.dim));
+        let info = block.last_routing().unwrap();
+        assert_eq!(info.tokens, 9);
+        assert_eq!(info.counts.iter().sum::<usize>(), 9 * cfg.top_k);
+        let freq_sum: f32 = info.frequencies().iter().sum();
+        assert!((freq_sum - 1.0).abs() < 1e-5);
+        assert_eq!(info.selected_score_sums().len(), 9);
+    }
+
+    #[test]
+    fn output_is_convex_combination_of_expert_outputs() {
+        // With k = experts = 1-expert selection impossible here, instead
+        // verify against a manual recomputation.
+        let (mut block, mut store, cfg) = setup();
+        let mut rng = DetRng::new(2);
+        let x = Tensor::uniform((4, cfg.dim), -1.0, 1.0, &mut rng);
+        let y = block.forward(&x, &mut store);
+        let info = block.last_routing().unwrap().clone();
+
+        // Manual: for token 0, recompute w0·E_a(x0) + w1·E_b(x0).
+        let e0 = info.selected[0];
+        let e1 = info.selected[1];
+        let p0 = info.selected_probs[0];
+        let p1 = info.selected_probs[1];
+        let (w0, w1) = (p0 / (p0 + p1), p1 / (p0 + p1));
+        let x0 = x.gather_rows(&[0]);
+        let y0a = store.expert_mut(0, e0).forward(&x0);
+        let y0b = store.expert_mut(0, e1).forward(&x0);
+        let manual = y0a.scale(w0).add(&y0b.scale(w1));
+        assert!(vela_tensor::approx_eq(y.row(0), manual.as_slice(), 1e-4));
+    }
+
+    #[test]
+    fn backward_produces_full_input_gradient() {
+        let (mut block, mut store, cfg) = setup();
+        let mut rng = DetRng::new(3);
+        let x = Tensor::uniform((6, cfg.dim), -1.0, 1.0, &mut rng);
+        block.forward(&x, &mut store);
+        let g = Tensor::uniform((6, cfg.dim), -1.0, 1.0, &mut rng);
+        let gx = block.backward(&g, &mut store);
+        assert_eq!(gx.shape().as_2d(), (6, cfg.dim));
+        assert!(gx.norm() > 0.0);
+    }
+
+    #[test]
+    fn backward_input_grad_matches_finite_difference() {
+        let (mut block, mut store, cfg) = setup();
+        let mut rng = DetRng::new(4);
+        let x = Tensor::uniform((3, cfg.dim), -0.5, 0.5, &mut rng);
+        let gout = Tensor::uniform((3, cfg.dim), -1.0, 1.0, &mut rng);
+
+        block.forward(&x, &mut store);
+        let gx = block.backward(&gout, &mut store);
+
+        let probe = |block: &mut MoeBlock, store: &mut LocalExpertStore, x: &Tensor| -> f32 {
+            block
+                .forward(x, store)
+                .as_slice()
+                .iter()
+                .zip(gout.as_slice())
+                .map(|(&y, &g)| y * g)
+                .sum()
+        };
+        let eps = 1e-2f32;
+        let mut checked = 0;
+        for idx in (0..x.len()).step_by(7) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            // Skip points where the perturbation flips the routing decision
+            // (the function is only piecewise smooth).
+            let fp = probe(&mut block, &mut store, &xp);
+            let sel_p = block.last_routing().unwrap().selected.clone();
+            let fm = probe(&mut block, &mut store, &xm);
+            let sel_m = block.last_routing().unwrap().selected.clone();
+            if sel_p != sel_m {
+                continue;
+            }
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - gx.at(idx)).abs() < 5e-2 * (1.0 + numeric.abs()),
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                gx.at(idx)
+            );
+            checked += 1;
+        }
+        assert!(checked >= 3, "too few smooth points checked");
+    }
+
+    #[test]
+    fn expert_gradients_flow_only_to_selected_experts() {
+        let (mut block, mut store, cfg) = setup();
+        let mut rng = DetRng::new(5);
+        let x = Tensor::uniform((2, cfg.dim), -1.0, 1.0, &mut rng);
+        block.forward(&x, &mut store);
+        let selected: std::collections::HashSet<usize> = block
+            .last_routing()
+            .unwrap()
+            .selected
+            .iter()
+            .copied()
+            .collect();
+        block.backward(&Tensor::ones((2, cfg.dim)), &mut store);
+        for e in 0..cfg.experts {
+            let mut grad_norm = 0.0f32;
+            store
+                .expert_mut(0, e)
+                .visit_params(&mut |p| grad_norm += p.grad.norm());
+            if selected.contains(&e) {
+                assert!(grad_norm > 0.0, "selected expert {e} got no gradient");
+            } else {
+                assert_eq!(grad_norm, 0.0, "unselected expert {e} got gradient");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_factor_drops_overflow() {
+        let (mut block, mut store, cfg) = setup();
+        // Capacity 1x fair share: with skew, some assignments must drop.
+        block.set_capacity_factor(Some(0.5));
+        let mut rng = DetRng::new(21);
+        let x = Tensor::uniform((16, cfg.dim), -1.0, 1.0, &mut rng);
+        let cap = block.expert_capacity(16);
+        let y = block.forward(&x, &mut store);
+        assert_eq!(y.shape().as_2d(), (16, cfg.dim));
+        let info = block.last_routing().unwrap();
+        assert!(info.counts.iter().all(|&c| c <= cap), "{:?} > {cap}", info.counts);
+        assert!(info.dropped > 0, "0.5x capacity must drop something");
+        assert_eq!(
+            info.counts.iter().sum::<usize>() + info.dropped,
+            16 * cfg.top_k
+        );
+        // Backward still works with dropped slots.
+        let gx = block.backward(&Tensor::ones((16, cfg.dim)), &mut store);
+        assert_eq!(gx.shape().as_2d(), (16, cfg.dim));
+    }
+
+    #[test]
+    fn no_capacity_factor_drops_nothing() {
+        let (mut block, mut store, cfg) = setup();
+        let mut rng = DetRng::new(22);
+        let x = Tensor::uniform((8, cfg.dim), -1.0, 1.0, &mut rng);
+        block.forward(&x, &mut store);
+        assert_eq!(block.last_routing().unwrap().dropped, 0);
+        assert_eq!(block.expert_capacity(8), usize::MAX);
+    }
+
+    #[test]
+    fn generous_capacity_matches_unlimited_exactly() {
+        let cfg = ModelConfig::test_small();
+        let mut rng = DetRng::new(23);
+        let x = Tensor::uniform((6, cfg.dim), -1.0, 1.0, &mut rng);
+        let run = |factor: Option<f32>| {
+            let mut rng = DetRng::new(10);
+            let mut store = LocalExpertStore::new(&cfg, &mut rng);
+            let mut block = MoeBlock::new(0, cfg.dim, cfg.experts, cfg.top_k, 0.0, &mut rng);
+            block.set_capacity_factor(factor);
+            block.forward(&x, &mut store)
+        };
+        assert_eq!(run(None), run(Some(100.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity factor must be positive")]
+    fn zero_capacity_factor_panics() {
+        let (mut block, _, _) = setup();
+        block.set_capacity_factor(Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward")]
+    fn backward_before_forward_panics() {
+        let (mut block, mut store, cfg) = setup();
+        block.backward(&Tensor::zeros((1, cfg.dim)), &mut store);
+    }
+}

@@ -1,0 +1,283 @@
+//! The Expert Broker seam: providers evaluate experts on the backbone's
+//! behalf.
+//!
+//! VELA's framework contribution is the separation of expert layers from the
+//! model backbone (§IV-A). In this codebase that separation is the
+//! [`ExpertProvider`] trait: the backbone's MoE blocks group tokens by
+//! selected expert and hand the groups to a provider, never touching expert
+//! weights themselves. [`LocalExpertStore`] is the single-process provider;
+//! the distributed runtime implements the same trait with a broker that
+//! ships the groups to worker processes over the network.
+
+use vela_nn::param::{Module, Param};
+use vela_nn::swiglu::SwiGlu;
+use vela_tensor::rng::DetRng;
+use vela_tensor::Tensor;
+
+use crate::ModelConfig;
+
+/// A group of token activations bound for one expert.
+#[derive(Debug, Clone)]
+pub struct ExpertBatch {
+    /// Expert index within the block.
+    pub expert: usize,
+    /// Token features, `[tokens_for_this_expert, dim]`.
+    pub xs: Tensor,
+}
+
+/// Evaluates expert FFNs for the backbone.
+///
+/// For every block, a training step calls [`forward_block`] exactly once and
+/// then [`backward_block`] exactly once with gradients in the *same order*
+/// as the forward batches. Providers may rely on that protocol (the
+/// distributed broker does, to match gradient messages to cached
+/// activations).
+///
+/// [`forward_block`]: ExpertProvider::forward_block
+/// [`backward_block`]: ExpertProvider::backward_block
+pub trait ExpertProvider {
+    /// Runs each batch through its expert; returns outputs in input order.
+    fn forward_block(&mut self, block: usize, batches: &[ExpertBatch]) -> Vec<Tensor>;
+
+    /// Backward pass for the batches of the last `forward_block(block, ..)`
+    /// call; `grads[i]` corresponds to that call's `batches[i]`. Returns the
+    /// gradients with respect to each batch's input.
+    fn backward_block(&mut self, block: usize, grads: &[ExpertBatch]) -> Vec<Tensor>;
+}
+
+/// All experts of a model, held in-process.
+///
+/// Slots are optional so experts can be *taken out* and shipped to worker
+/// processes — after distribution, the master-side store is empty and the
+/// worker-side stores hold disjoint shards.
+#[derive(Debug, Default)]
+pub struct LocalExpertStore {
+    slots: Vec<Vec<Option<SwiGlu>>>,
+}
+
+impl LocalExpertStore {
+    /// Creates the full expert population for a model configuration.
+    pub fn new(cfg: &ModelConfig, rng: &mut DetRng) -> Self {
+        let mut slots = Vec::with_capacity(cfg.blocks);
+        for l in 0..cfg.blocks {
+            let mut row = Vec::with_capacity(cfg.experts);
+            for e in 0..cfg.experts {
+                row.push(Some(SwiGlu::new(
+                    format!("block{l}.expert{e}"),
+                    cfg.dim,
+                    cfg.ffn_hidden,
+                    rng,
+                )));
+            }
+            slots.push(row);
+        }
+        LocalExpertStore { slots }
+    }
+
+    /// An empty store with slots for `blocks × experts` experts (a worker
+    /// shard before experts arrive).
+    pub fn empty(blocks: usize, experts: usize) -> Self {
+        LocalExpertStore {
+            slots: vec![std::iter::repeat_with(|| None).take(experts).collect(); blocks],
+        }
+    }
+
+    /// Number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of expert slots per block.
+    pub fn experts_per_block(&self) -> usize {
+        self.slots.first().map_or(0, Vec::len)
+    }
+
+    /// Number of experts currently present.
+    pub fn present_count(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|s| s.is_some())
+            .count()
+    }
+
+    /// Whether expert `(block, expert)` is present.
+    pub fn contains(&self, block: usize, expert: usize) -> bool {
+        self.slots
+            .get(block)
+            .and_then(|r| r.get(expert))
+            .is_some_and(Option::is_some)
+    }
+
+    /// Removes and returns an expert (to ship it elsewhere).
+    ///
+    /// # Panics
+    /// Panics if the slot is out of range or empty.
+    pub fn take(&mut self, block: usize, expert: usize) -> SwiGlu {
+        self.slots[block][expert]
+            .take()
+            .unwrap_or_else(|| panic!("expert ({block},{expert}) not present"))
+    }
+
+    /// Installs an expert into an empty slot.
+    ///
+    /// # Panics
+    /// Panics if the slot is out of range or already occupied.
+    pub fn insert(&mut self, block: usize, expert: usize, ffn: SwiGlu) {
+        let slot = &mut self.slots[block][expert];
+        assert!(slot.is_none(), "slot ({block},{expert}) already occupied");
+        *slot = Some(ffn);
+    }
+
+    /// Mutable access to one expert.
+    ///
+    /// # Panics
+    /// Panics if the slot is out of range or empty.
+    pub fn expert_mut(&mut self, block: usize, expert: usize) -> &mut SwiGlu {
+        self.slots[block][expert]
+            .as_mut()
+            .unwrap_or_else(|| panic!("expert ({block},{expert}) not present"))
+    }
+
+    /// Freezes all base projections of all present experts.
+    pub fn freeze_base(&mut self) {
+        for row in &mut self.slots {
+            for ffn in row.iter_mut().flatten() {
+                ffn.freeze_base();
+            }
+        }
+    }
+
+    /// Attaches LoRA adapters to all present experts.
+    pub fn attach_lora(&mut self, rank: usize, alpha: f32, rng: &mut DetRng) {
+        for row in &mut self.slots {
+            for ffn in row.iter_mut().flatten() {
+                ffn.attach_lora(rank, alpha, rng);
+            }
+        }
+    }
+}
+
+impl ExpertProvider for LocalExpertStore {
+    fn forward_block(&mut self, block: usize, batches: &[ExpertBatch]) -> Vec<Tensor> {
+        batches
+            .iter()
+            .map(|b| self.expert_mut(block, b.expert).forward(&b.xs))
+            .collect()
+    }
+
+    fn backward_block(&mut self, block: usize, grads: &[ExpertBatch]) -> Vec<Tensor> {
+        grads
+            .iter()
+            .map(|g| self.expert_mut(block, g.expert).backward(&g.xs))
+            .collect()
+    }
+}
+
+impl Module for LocalExpertStore {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for row in &mut self.slots {
+            for ffn in row.iter_mut().flatten() {
+                ffn.visit_params(f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> LocalExpertStore {
+        LocalExpertStore::new(&ModelConfig::test_small(), &mut DetRng::new(1))
+    }
+
+    #[test]
+    fn new_store_is_fully_populated() {
+        let cfg = ModelConfig::test_small();
+        let s = store();
+        assert_eq!(s.blocks(), cfg.blocks);
+        assert_eq!(s.experts_per_block(), cfg.experts);
+        assert_eq!(s.present_count(), cfg.blocks * cfg.experts);
+        assert!(s.contains(0, 0));
+    }
+
+    #[test]
+    fn take_and_insert_move_experts() {
+        let mut s = store();
+        let ffn = s.take(1, 2);
+        assert!(!s.contains(1, 2));
+        let mut other = LocalExpertStore::empty(s.blocks(), s.experts_per_block());
+        other.insert(1, 2, ffn);
+        assert!(other.contains(1, 2));
+        assert_eq!(other.present_count(), 1);
+    }
+
+    #[test]
+    fn forward_block_routes_to_right_expert() {
+        let mut s = store();
+        let cfg = ModelConfig::test_small();
+        let mut rng = DetRng::new(2);
+        let xs = Tensor::uniform((3, cfg.dim), -1.0, 1.0, &mut rng);
+        let via_provider = s.forward_block(
+            0,
+            &[ExpertBatch {
+                expert: 1,
+                xs: xs.clone(),
+            }],
+        );
+        let direct = s.expert_mut(0, 1).forward(&xs);
+        assert_eq!(via_provider[0], direct);
+    }
+
+    #[test]
+    fn backward_block_returns_input_grads() {
+        let mut s = store();
+        let cfg = ModelConfig::test_small();
+        let mut rng = DetRng::new(3);
+        let xs = Tensor::uniform((2, cfg.dim), -1.0, 1.0, &mut rng);
+        s.forward_block(
+            0,
+            &[ExpertBatch {
+                expert: 0,
+                xs: xs.clone(),
+            }],
+        );
+        let gin = s.backward_block(
+            0,
+            &[ExpertBatch {
+                expert: 0,
+                xs: Tensor::ones((2, cfg.dim)),
+            }],
+        );
+        assert_eq!(gin[0].shape().as_2d(), (2, cfg.dim));
+    }
+
+    #[test]
+    fn module_visits_all_expert_params() {
+        let mut s = store();
+        let cfg = ModelConfig::test_small();
+        let mut names = std::collections::HashSet::new();
+        s.visit_params(&mut |p| {
+            assert!(names.insert(p.name().to_string()), "duplicate {}", p.name());
+        });
+        // 3 projections × 1 weight each per expert.
+        assert_eq!(names.len(), cfg.blocks * cfg.experts * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn taking_twice_panics() {
+        let mut s = store();
+        s.take(0, 0);
+        s.take(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_insert_panics() {
+        let mut s = store();
+        let ffn = s.take(0, 1);
+        s.insert(0, 0, ffn);
+    }
+}

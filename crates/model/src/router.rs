@@ -1,0 +1,360 @@
+//! The gating mechanism: a softmax classifier with top-k expert selection.
+//!
+//! Following the paper (and Shen et al.), the gate's parameters are **frozen
+//! during fine-tuning** — fine-tuning the gate degrades the pre-trained
+//! routing — but gradients still flow *through* the gate to earlier layers,
+//! and the expert-mixture weights still shape expert gradients. The backward
+//! pass here implements that faithfully.
+
+use vela_nn::linear::Linear;
+use vela_nn::param::{Module, Param};
+use vela_tensor::rng::DetRng;
+use vela_tensor::{ops, Tensor};
+
+/// The routing decision for one batch of tokens.
+#[derive(Debug, Clone)]
+pub struct RouterOutput {
+    /// Full softmax over experts, `[tokens, experts]`.
+    pub probs: Tensor,
+    /// Selected expert ids, row-major `[tokens · k]`.
+    pub selected: Vec<usize>,
+    /// Raw softmax scores of the selected experts, `[tokens · k]`.
+    pub selected_probs: Vec<f32>,
+    /// Mixture weights (selected scores renormalized per token per Eq. (1)),
+    /// `[tokens · k]`.
+    pub weights: Vec<f32>,
+    /// Experts selected per token.
+    pub k: usize,
+}
+
+impl RouterOutput {
+    /// Number of tokens routed.
+    pub fn token_count(&self) -> usize {
+        self.selected.len() / self.k
+    }
+
+    /// How many tokens selected each expert.
+    pub fn counts(&self, experts: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; experts];
+        for &e in &self.selected {
+            counts[e] += 1;
+        }
+        counts
+    }
+}
+
+/// Top-k softmax gate over `experts` experts.
+#[derive(Debug, Clone)]
+pub struct Router {
+    gate: Linear,
+    experts: usize,
+    k: usize,
+    /// Auxiliary load-balancing loss weight (zero during fine-tuning).
+    aux_weight: f32,
+    cache: Option<RouterCache>,
+}
+
+#[derive(Debug, Clone)]
+struct RouterCache {
+    probs: Tensor,
+    selected: Vec<usize>,
+    selected_probs: Vec<f32>,
+    weights: Vec<f32>,
+    /// Dispatch fractions per expert (for the aux-loss gradient).
+    fractions: Vec<f32>,
+    /// Value of the auxiliary loss at the last forward.
+    aux_loss: f32,
+}
+
+impl Router {
+    /// Creates a router for `experts` experts, selecting `k` per token.
+    ///
+    /// # Panics
+    /// Panics if `k` is not in `1..=experts`.
+    pub fn new(
+        name: impl Into<String>,
+        dim: usize,
+        experts: usize,
+        k: usize,
+        aux_weight: f32,
+        rng: &mut DetRng,
+    ) -> Self {
+        assert!(k >= 1 && k <= experts, "k {k} out of 1..={experts}");
+        Router {
+            gate: Linear::new(format!("{}.gate", name.into()), dim, experts, rng),
+            experts,
+            k,
+            aux_weight,
+            cache: None,
+        }
+    }
+
+    /// Number of experts.
+    pub fn experts(&self) -> usize {
+        self.experts
+    }
+
+    /// Experts selected per token.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Freezes the gate parameters (the fine-tuning regime).
+    pub fn freeze(&mut self) {
+        self.gate.freeze_base();
+    }
+
+    /// Disables the auxiliary loss (fine-tuning does not rebalance experts).
+    pub fn set_aux_weight(&mut self, w: f32) {
+        self.aux_weight = w;
+    }
+
+    /// Value of the auxiliary load-balancing loss at the last forward pass.
+    pub fn last_aux_loss(&self) -> f32 {
+        self.cache.as_ref().map_or(0.0, |c| c.aux_loss)
+    }
+
+    /// Routes a `[tokens, dim]` batch, producing per-token expert choices
+    /// and mixture weights.
+    pub fn forward(&mut self, x: &Tensor) -> RouterOutput {
+        let logits = self.gate.forward(x);
+        let probs = ops::softmax_rows(&logits);
+        let (selected, selected_probs) = ops::topk_rows(&probs, self.k);
+        let tokens = x.rows();
+
+        let mut weights = Vec::with_capacity(selected.len());
+        for t in 0..tokens {
+            let slice = &selected_probs[t * self.k..(t + 1) * self.k];
+            let sum: f32 = slice.iter().sum();
+            for &p in slice {
+                weights.push(p / sum);
+            }
+        }
+
+        // Switch-transformer auxiliary loss: E · Σ_e f_e · P̄_e, where f_e is
+        // the fraction of (token, slot) assignments routed to e and P̄_e the
+        // mean gate probability of e.
+        let mut counts = vec![0usize; self.experts];
+        for &e in &selected {
+            counts[e] += 1;
+        }
+        let total = selected.len().max(1);
+        let fractions: Vec<f32> = counts.iter().map(|&c| c as f32 / total as f32).collect();
+        let mean_probs = ops::sum_rows(&probs)
+            .into_iter()
+            .map(|s| s / tokens as f32)
+            .collect::<Vec<_>>();
+        let aux_loss = self.aux_weight
+            * self.experts as f32
+            * fractions
+                .iter()
+                .zip(&mean_probs)
+                .map(|(&f, &p)| f * p)
+                .sum::<f32>();
+
+        let out = RouterOutput {
+            probs: probs.clone(),
+            selected: selected.clone(),
+            selected_probs: selected_probs.clone(),
+            weights: weights.clone(),
+            k: self.k,
+        };
+        self.cache = Some(RouterCache {
+            probs,
+            selected,
+            selected_probs,
+            weights,
+            fractions,
+            aux_loss,
+        });
+        out
+    }
+
+    /// Backward pass.
+    ///
+    /// `grad_weights[t·k + j]` is `∂L/∂w` for the `j`-th mixture weight of
+    /// token `t` (computed by the MoE block as `⟨grad_out_t, y_expert_t⟩`).
+    /// Returns the gradient with respect to the router input.
+    ///
+    /// # Panics
+    /// Panics if called before [`forward`](Self::forward) or with the wrong
+    /// number of weight gradients.
+    pub fn backward(&mut self, grad_weights: &[f32]) -> Tensor {
+        let cache = self.cache.take().expect("Router::backward before forward");
+        let tokens = cache.probs.rows();
+        assert_eq!(
+            grad_weights.len(),
+            tokens * self.k,
+            "need one weight-gradient per (token, slot)"
+        );
+
+        // d L / d p (full expert axis), via the renormalized mixture.
+        let mut grad_probs = Tensor::zeros((tokens, self.experts));
+        for t in 0..tokens {
+            let sel = &cache.selected[t * self.k..(t + 1) * self.k];
+            let sp = &cache.selected_probs[t * self.k..(t + 1) * self.k];
+            let w = &cache.weights[t * self.k..(t + 1) * self.k];
+            let g = &grad_weights[t * self.k..(t + 1) * self.k];
+            let s: f32 = sp.iter().sum();
+            let gw_dot: f32 = g.iter().zip(w).map(|(&gi, &wi)| gi * wi).sum();
+            let row = grad_probs.row_mut(t);
+            for j in 0..self.k {
+                row[sel[j]] += g[j] / s - gw_dot / s;
+            }
+        }
+
+        // Auxiliary-loss gradient: ∂L_aux/∂p_{t,e} = aux·E·f_e / tokens
+        // (dispatch fractions are treated as constants, as in Switch).
+        if self.aux_weight != 0.0 {
+            let scale = self.aux_weight * self.experts as f32 / tokens as f32;
+            for t in 0..tokens {
+                let row = grad_probs.row_mut(t);
+                for (e, v) in row.iter_mut().enumerate() {
+                    *v += scale * cache.fractions[e];
+                }
+            }
+        }
+
+        let grad_logits = ops::softmax_rows_backward(&cache.probs, &grad_probs);
+        self.gate.backward(&grad_logits)
+    }
+}
+
+impl Module for Router {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.gate.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router(aux: f32) -> Router {
+        Router::new("r", 8, 4, 2, aux, &mut DetRng::new(3))
+    }
+
+    #[test]
+    fn selects_k_distinct_experts_per_token() {
+        let mut r = router(0.0);
+        let mut rng = DetRng::new(1);
+        let x = Tensor::uniform((10, 8), -1.0, 1.0, &mut rng);
+        let out = r.forward(&x);
+        assert_eq!(out.token_count(), 10);
+        for t in 0..10 {
+            let pair = &out.selected[t * 2..t * 2 + 2];
+            assert_ne!(pair[0], pair[1], "top-2 must be distinct");
+        }
+    }
+
+    #[test]
+    fn weights_renormalize_selected_probs() {
+        let mut r = router(0.0);
+        let mut rng = DetRng::new(2);
+        let x = Tensor::uniform((5, 8), -1.0, 1.0, &mut rng);
+        let out = r.forward(&x);
+        for t in 0..5 {
+            let w = &out.weights[t * 2..t * 2 + 2];
+            assert!((w[0] + w[1] - 1.0).abs() < 1e-5);
+            let p = &out.selected_probs[t * 2..t * 2 + 2];
+            assert!((w[0] / w[1] - p[0] / p[1]).abs() < 1e-4);
+            assert!(w[0] >= w[1], "weights sorted like probs");
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_token_slots() {
+        let mut r = router(0.0);
+        let mut rng = DetRng::new(3);
+        let x = Tensor::uniform((20, 8), -1.0, 1.0, &mut rng);
+        let out = r.forward(&x);
+        let counts = out.counts(4);
+        assert_eq!(counts.iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut r = router(0.0);
+        let mut rng = DetRng::new(4);
+        let x = Tensor::uniform((4, 8), -0.5, 0.5, &mut rng);
+        let gw: Vec<f32> = (0..8).map(|i| 0.1 * (i as f32 + 1.0)).collect();
+
+        let out = r.forward(&x);
+        let gin = r.backward(&gw);
+
+        // Probe loss = Σ gw_i · w_i, with the selection pattern held fixed
+        // (valid because selection is locally constant almost everywhere).
+        let probe = |r: &mut Router, x: &Tensor, sel: &[usize]| -> f32 {
+            let o = r.forward(x);
+            // Recompute weights for the *original* selected experts.
+            let mut loss = 0.0;
+            for t in 0..4 {
+                let pair = &sel[t * 2..t * 2 + 2];
+                let p0 = o.probs.at2(t, pair[0]);
+                let p1 = o.probs.at2(t, pair[1]);
+                let s = p0 + p1;
+                loss += gw[t * 2] * p0 / s + gw[t * 2 + 1] * p1 / s;
+            }
+            loss
+        };
+        let sel = out.selected.clone();
+        let eps = 1e-2f32;
+        for idx in (0..x.len()).step_by(3) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let fp = probe(&mut r, &xp, &sel);
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fm = probe(&mut r, &xm, &sel);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - gin.at(idx)).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                gin.at(idx)
+            );
+        }
+    }
+
+    #[test]
+    fn aux_loss_positive_when_enabled() {
+        let mut r = router(0.01);
+        let mut rng = DetRng::new(5);
+        let x = Tensor::uniform((16, 8), -1.0, 1.0, &mut rng);
+        r.forward(&x);
+        assert!(r.last_aux_loss() > 0.0);
+        let mut r0 = router(0.0);
+        r0.forward(&x);
+        assert_eq!(r0.last_aux_loss(), 0.0);
+    }
+
+    #[test]
+    fn aux_loss_is_minimal_for_balanced_routing() {
+        // For fixed total mass, Σ f_e·P̄_e is minimized when both are uniform
+        // (value 1/E each, product sum = E · (1/E)·(1/E) · E = 1 with the E
+        // prefactor). Perfectly balanced → aux = weight · 1.
+        let mut r = router(1.0);
+        // Force near-uniform logits with tiny noise.
+        let mut rng = DetRng::new(6);
+        let x = Tensor::uniform((64, 8), -1e-3, 1e-3, &mut rng);
+        r.forward(&x);
+        let aux = r.last_aux_loss();
+        assert!((aux - 1.0).abs() < 0.2, "balanced aux ≈ 1, got {aux}");
+    }
+
+    #[test]
+    fn frozen_gate_gets_no_param_gradient() {
+        let mut r = router(0.0);
+        r.freeze();
+        let mut rng = DetRng::new(7);
+        let x = Tensor::uniform((3, 8), -1.0, 1.0, &mut rng);
+        r.forward(&x);
+        r.backward(&[0.5; 6]);
+        r.visit_params(&mut |p| assert_eq!(p.grad.sum(), 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "k 5 out of")]
+    fn oversized_k_panics() {
+        Router::new("r", 4, 4, 5, 0.0, &mut DetRng::new(0));
+    }
+}

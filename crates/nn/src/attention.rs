@@ -1,0 +1,442 @@
+//! Causal multi-head self-attention.
+//!
+//! Implements the attention sub-layer of a Mistral-style transformer block,
+//! with hand-derived backward passes through the score softmax and all four
+//! projections. The projections are [`Linear`] layers, so they accept LoRA
+//! adapters during fine-tuning exactly like the expert FFNs.
+
+use vela_tensor::rng::DetRng;
+use vela_tensor::{ops, Tensor};
+
+use crate::linear::Linear;
+use crate::param::{Module, Param};
+
+/// Causal multi-head self-attention over `[batch · seq, dim]` activations.
+///
+/// Supports grouped-query attention (GQA, as in Mistral/Mixtral): `kv_heads`
+/// key/value heads shared by `heads` query heads. The default constructor
+/// uses classic multi-head attention (`kv_heads == heads`).
+#[derive(Debug, Clone)]
+pub struct Attention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    dim: usize,
+    heads: usize,
+    kv_heads: usize,
+    head_dim: usize,
+    cache: Option<AttnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct AttnCache {
+    batch: usize,
+    seq: usize,
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    /// Softmaxed attention weights, one `(seq, seq)` matrix per `(batch, head)`.
+    probs: Vec<Tensor>,
+}
+
+impl Attention {
+    /// Creates an attention layer with `heads` heads over width `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new(name: impl Into<String>, dim: usize, heads: usize, rng: &mut DetRng) -> Self {
+        Attention::with_kv_heads(name, dim, heads, heads, rng)
+    }
+
+    /// Creates a grouped-query attention layer: `kv_heads` key/value heads
+    /// shared by `heads` query heads (Mistral uses a 4:1 ratio).
+    ///
+    /// # Panics
+    /// Panics if `dim % heads != 0` or `heads % kv_heads != 0`.
+    pub fn with_kv_heads(
+        name: impl Into<String>,
+        dim: usize,
+        heads: usize,
+        kv_heads: usize,
+        rng: &mut DetRng,
+    ) -> Self {
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "dim {dim} must be divisible by heads {heads}"
+        );
+        assert!(
+            kv_heads > 0 && heads.is_multiple_of(kv_heads),
+            "heads {heads} must be divisible by kv_heads {kv_heads}"
+        );
+        let name = name.into();
+        let head_dim = dim / heads;
+        let kv_dim = kv_heads * head_dim;
+        Attention {
+            wq: Linear::new(format!("{name}.wq"), dim, dim, rng),
+            wk: Linear::new(format!("{name}.wk"), dim, kv_dim, rng),
+            wv: Linear::new(format!("{name}.wv"), dim, kv_dim, rng),
+            wo: Linear::new(format!("{name}.wo"), dim, dim, rng),
+            dim,
+            heads,
+            kv_heads,
+            head_dim,
+            cache: None,
+        }
+    }
+
+    /// Model width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of query heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Number of key/value heads (equals [`heads`](Self::heads) for plain
+    /// multi-head attention).
+    pub fn kv_heads(&self) -> usize {
+        self.kv_heads
+    }
+
+    /// Freezes all four projections.
+    pub fn freeze_base(&mut self) {
+        self.wq.freeze_base();
+        self.wk.freeze_base();
+        self.wv.freeze_base();
+        self.wo.freeze_base();
+    }
+
+    /// Attaches LoRA adapters to all four projections.
+    pub fn attach_lora(&mut self, rank: usize, alpha: f32, rng: &mut DetRng) {
+        self.wq.attach_lora(rank, alpha, rng);
+        self.wk.attach_lora(rank, alpha, rng);
+        self.wv.attach_lora(rank, alpha, rng);
+        self.wo.attach_lora(rank, alpha, rng);
+    }
+
+    /// Forward pass. `x` is `[batch · seq, dim]` with rows grouped by batch
+    /// element; a causal mask is applied within each sequence.
+    ///
+    /// # Panics
+    /// Panics if `x.rows() != batch * seq` or the width differs from `dim`.
+    pub fn forward(&mut self, x: &Tensor, batch: usize, seq: usize) -> Tensor {
+        assert_eq!(x.rows(), batch * seq, "rows != batch*seq");
+        assert_eq!(x.cols(), self.dim, "attention width mismatch");
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+
+        let group = self.heads / self.kv_heads;
+        let mut context = Tensor::zeros((batch * seq, self.dim));
+        let mut probs = Vec::with_capacity(batch * self.heads);
+        for b in 0..batch {
+            for h in 0..self.heads {
+                let kv = h / group;
+                let qb = block(&q, b * seq, seq, h * self.head_dim, self.head_dim);
+                let kb = block(&k, b * seq, seq, kv * self.head_dim, self.head_dim);
+                let vb = block(&v, b * seq, seq, kv * self.head_dim, self.head_dim);
+                let mut scores = qb.matmul_nt(&kb);
+                scores.scale_inplace(scale);
+                apply_causal_mask(&mut scores);
+                let a = ops::softmax_rows(&scores);
+                let out = a.matmul(&vb);
+                add_block(&mut context, b * seq, h * self.head_dim, &out);
+                probs.push(a);
+            }
+        }
+        let y = self.wo.forward(&context);
+        self.cache = Some(AttnCache {
+            batch,
+            seq,
+            q,
+            k,
+            v,
+            probs,
+        });
+        y
+    }
+
+    /// Backward pass: accumulates projection gradients and returns the input
+    /// gradient.
+    ///
+    /// # Panics
+    /// Panics if called before [`forward`](Self::forward).
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("Attention::backward called before forward");
+        let AttnCache {
+            batch,
+            seq,
+            q,
+            k,
+            v,
+            probs,
+        } = cache;
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+
+        let group = self.heads / self.kv_heads;
+        let kv_dim = self.kv_heads * self.head_dim;
+        let g_ctx = self.wo.backward(grad_out);
+        let mut gq = Tensor::zeros((batch * seq, self.dim));
+        let mut gk = Tensor::zeros((batch * seq, kv_dim));
+        let mut gv = Tensor::zeros((batch * seq, kv_dim));
+
+        for b in 0..batch {
+            for h in 0..self.heads {
+                let kv = h / group;
+                let a = &probs[b * self.heads + h];
+                let qb = block(&q, b * seq, seq, h * self.head_dim, self.head_dim);
+                let kb = block(&k, b * seq, seq, kv * self.head_dim, self.head_dim);
+                let vb = block(&v, b * seq, seq, kv * self.head_dim, self.head_dim);
+                let g_out = block(&g_ctx, b * seq, seq, h * self.head_dim, self.head_dim);
+
+                // out = A · V
+                let g_a = g_out.matmul_nt(&vb);
+                let g_v = a.matmul_tn(&g_out);
+                // A = softmax(S); masked entries have A = 0 so receive 0.
+                let mut g_s = ops::softmax_rows_backward(a, &g_a);
+                g_s.scale_inplace(scale);
+                // S' = Q · K^T  =>  dQ = S'_grad · K, dK = S'_grad^T · Q.
+                let g_q = g_s.matmul(&kb);
+                let g_k = g_s.matmul_tn(&qb);
+
+                add_block(&mut gq, b * seq, h * self.head_dim, &g_q);
+                // Shared KV heads accumulate gradients from every query
+                // head in their group.
+                add_block(&mut gk, b * seq, kv * self.head_dim, &g_k);
+                add_block(&mut gv, b * seq, kv * self.head_dim, &g_v);
+            }
+        }
+
+        let gin_q = self.wq.backward(&gq);
+        let gin_k = self.wk.backward(&gk);
+        let gin_v = self.wv.backward(&gv);
+        gin_q.add(&gin_k).add(&gin_v)
+    }
+}
+
+impl Module for Attention {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.wq.visit_params(f);
+        self.wk.visit_params(f);
+        self.wv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+}
+
+/// Copies a `(rows, cols)` sub-matrix out of `t` starting at
+/// `(row0, col0)`.
+fn block(t: &Tensor, row0: usize, rows: usize, col0: usize, cols: usize) -> Tensor {
+    let mut out = Tensor::zeros((rows, cols));
+    for i in 0..rows {
+        out.row_mut(i)
+            .copy_from_slice(&t.row(row0 + i)[col0..col0 + cols]);
+    }
+    out
+}
+
+/// Adds `src` into `dst` at offset `(row0, col0)`.
+fn add_block(dst: &mut Tensor, row0: usize, col0: usize, src: &Tensor) {
+    let (rows, cols) = src.shape().as_2d();
+    for i in 0..rows {
+        let d = &mut dst.row_mut(row0 + i)[col0..col0 + cols];
+        for (dv, &sv) in d.iter_mut().zip(src.row(i)) {
+            *dv += sv;
+        }
+    }
+}
+
+/// Sets the strictly upper-triangular part of a square score matrix to
+/// `-inf`, enforcing causality.
+fn apply_causal_mask(scores: &mut Tensor) {
+    let (s, s2) = scores.shape().as_2d();
+    debug_assert_eq!(s, s2, "causal mask expects square scores");
+    for i in 0..s {
+        let row = scores.row_mut(i);
+        for item in row.iter_mut().skip(i + 1) {
+            *item = f32::NEG_INFINITY;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{check_input_grad, check_param_grads};
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = DetRng::new(1);
+        let mut attn = Attention::new("a", 8, 2, &mut rng);
+        let x = Tensor::uniform((2 * 3, 8), -1.0, 1.0, &mut rng);
+        let y = attn.forward(&x, 2, 3);
+        assert_eq!(y.shape().as_2d(), (6, 8));
+    }
+
+    #[test]
+    fn causality_first_token_ignores_future() {
+        let mut rng = DetRng::new(2);
+        let mut attn = Attention::new("a", 4, 1, &mut rng);
+        let x1 = Tensor::uniform((3, 4), -1.0, 1.0, &mut rng);
+        let y1 = attn.forward(&x1, 1, 3);
+        // Perturb only the last token; earlier outputs must not change.
+        let mut x2 = x1.clone();
+        for v in x2.row_mut(2) {
+            *v += 1.0;
+        }
+        let y2 = attn.forward(&x2, 1, 3);
+        assert_eq!(y1.row(0), y2.row(0));
+        assert_eq!(y1.row(1), y2.row(1));
+        assert_ne!(y1.row(2), y2.row(2));
+    }
+
+    #[test]
+    fn batches_are_independent() {
+        let mut rng = DetRng::new(3);
+        let mut attn = Attention::new("a", 4, 2, &mut rng);
+        let xa = Tensor::uniform((2, 4), -1.0, 1.0, &mut rng);
+        let xb = Tensor::uniform((2, 4), -1.0, 1.0, &mut rng);
+        let joint = Tensor::concat_rows(&[&xa, &xb]);
+        let y_joint = attn.forward(&joint, 2, 2);
+        let ya = attn.forward(&xa, 1, 2);
+        let yb = attn.forward(&xb, 1, 2);
+        assert!(vela_tensor::approx_eq(
+            y_joint.as_slice(),
+            &[ya.as_slice(), yb.as_slice()].concat(),
+            1e-5
+        ));
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = DetRng::new(4);
+        let mut attn = Attention::new("a", 6, 2, &mut rng);
+        let x = Tensor::uniform((2 * 3, 6), -1.0, 1.0, &mut rng);
+        let gout = Tensor::uniform((6, 6), -1.0, 1.0, &mut rng);
+        check_param_grads(
+            &mut attn,
+            |m, x| m.forward(x, 2, 3),
+            |m, g| m.backward(g),
+            &x,
+            &gout,
+            1e-2,
+            5e-2,
+        );
+        check_input_grad(
+            &mut attn,
+            |m, x| m.forward(x, 2, 3),
+            |m, g| m.backward(g),
+            &x,
+            &gout,
+            1e-2,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn lora_attention_trains_only_adapters() {
+        let mut rng = DetRng::new(5);
+        let mut attn = Attention::new("a", 4, 2, &mut rng);
+        attn.freeze_base();
+        attn.attach_lora(2, 4.0, &mut rng);
+        let x = Tensor::uniform((2, 4), -1.0, 1.0, &mut rng);
+        attn.forward(&x, 1, 2);
+        attn.backward(&Tensor::ones((2, 4)));
+        attn.visit_params(&mut |p| {
+            if !p.is_trainable() {
+                assert_eq!(p.grad.sum(), 0.0, "frozen {} has grad", p.name());
+            }
+        });
+    }
+
+    #[test]
+    fn gqa_output_shape_and_param_savings() {
+        let mut rng = DetRng::new(7);
+        let mut gqa = Attention::with_kv_heads("a", 8, 4, 2, &mut rng);
+        assert_eq!(gqa.heads(), 4);
+        assert_eq!(gqa.kv_heads(), 2);
+        let x = Tensor::uniform((6, 8), -1.0, 1.0, &mut rng);
+        let y = gqa.forward(&x, 2, 3);
+        assert_eq!(y.shape().as_2d(), (6, 8));
+        // K/V projections are half the size of the MHA ones.
+        let mut mha = Attention::new("b", 8, 4, &mut DetRng::new(7));
+        assert!(gqa.param_count() < mha.param_count());
+    }
+
+    #[test]
+    fn gqa_with_full_kv_heads_equals_mha() {
+        let mut r1 = DetRng::new(9);
+        let mut r2 = DetRng::new(9);
+        let mut mha = Attention::new("a", 8, 4, &mut r1);
+        let mut gqa = Attention::with_kv_heads("a", 8, 4, 4, &mut r2);
+        let x = Tensor::uniform((4, 8), -1.0, 1.0, &mut DetRng::new(1));
+        assert_eq!(mha.forward(&x, 1, 4), gqa.forward(&x, 1, 4));
+    }
+
+    #[test]
+    fn gqa_gradients_match_finite_difference() {
+        let mut rng = DetRng::new(10);
+        let mut attn = Attention::with_kv_heads("a", 8, 4, 2, &mut rng);
+        let x = Tensor::uniform((2 * 3, 8), -1.0, 1.0, &mut rng);
+        let gout = Tensor::uniform((6, 8), -1.0, 1.0, &mut rng);
+        check_param_grads(
+            &mut attn,
+            |m, x| m.forward(x, 2, 3),
+            |m, g| m.backward(g),
+            &x,
+            &gout,
+            1e-2,
+            5e-2,
+        );
+        check_input_grad(
+            &mut attn,
+            |m, x| m.forward(x, 2, 3),
+            |m, g| m.backward(g),
+            &x,
+            &gout,
+            1e-2,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn gqa_is_causal_too() {
+        let mut rng = DetRng::new(11);
+        let mut attn = Attention::with_kv_heads("a", 8, 4, 1, &mut rng);
+        let x1 = Tensor::uniform((3, 8), -1.0, 1.0, &mut rng);
+        let mut x2 = x1.clone();
+        for v in x2.row_mut(2) {
+            *v += 1.0;
+        }
+        let y1 = attn.forward(&x1, 1, 3);
+        let y2 = attn.forward(&x2, 1, 3);
+        assert_eq!(y1.row(0), y2.row(0));
+        assert_eq!(y1.row(1), y2.row(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by kv_heads")]
+    fn indivisible_kv_heads_panic() {
+        Attention::with_kv_heads("a", 12, 4, 3, &mut DetRng::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by heads")]
+    fn indivisible_heads_panic() {
+        Attention::new("a", 6, 4, &mut DetRng::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows != batch*seq")]
+    fn wrong_token_count_panics() {
+        let mut rng = DetRng::new(6);
+        let mut attn = Attention::new("a", 4, 1, &mut rng);
+        attn.forward(&Tensor::zeros((5, 4)), 2, 3);
+    }
+}

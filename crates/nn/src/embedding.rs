@@ -1,0 +1,135 @@
+//! Token embedding table.
+
+use vela_tensor::rng::DetRng;
+use vela_tensor::Tensor;
+
+use crate::param::{Module, Param};
+
+/// A learned token-embedding table of shape `(vocab, dim)`.
+///
+/// The forward pass gathers one row per token id; the backward pass
+/// scatter-adds the output gradient back into the table (only when the table
+/// is trainable — it is frozen during LoRA fine-tuning).
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: Param,
+    vocab: usize,
+    dim: usize,
+    cached_tokens: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Creates a trainable embedding table with `N(0, 0.02)` initialization.
+    pub fn new(name: impl Into<String>, vocab: usize, dim: usize, rng: &mut DetRng) -> Self {
+        let name = name.into();
+        Embedding {
+            table: Param::new(
+                format!("{name}.table"),
+                Tensor::normal((vocab, dim), 0.0, 0.02, rng),
+            ),
+            vocab,
+            dim,
+            cached_tokens: None,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Freezes the table (used in fine-tuning).
+    pub fn freeze(&mut self) {
+        self.table.set_trainable(false);
+    }
+
+    /// Looks up embeddings for a token-id sequence, producing
+    /// `[tokens.len(), dim]`.
+    ///
+    /// # Panics
+    /// Panics if any id is out of the vocabulary.
+    pub fn forward(&mut self, tokens: &[usize]) -> Tensor {
+        for &t in tokens {
+            assert!(t < self.vocab, "token id {t} out of vocab {}", self.vocab);
+        }
+        self.cached_tokens = Some(tokens.to_vec());
+        self.table.value.gather_rows(tokens)
+    }
+
+    /// Accumulates the table gradient from the output gradient.
+    ///
+    /// # Panics
+    /// Panics if called before [`forward`](Self::forward).
+    pub fn backward(&mut self, grad_out: &Tensor) {
+        let tokens = self
+            .cached_tokens
+            .as_ref()
+            .expect("Embedding::backward called before forward");
+        if self.table.is_trainable() {
+            let mut dtable = Tensor::zeros((self.vocab, self.dim));
+            dtable.scatter_add_rows(tokens, grad_out);
+            self.table.accumulate(&dtable);
+        }
+    }
+}
+
+impl Module for Embedding {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.table);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_gathers_rows() {
+        let mut rng = DetRng::new(1);
+        let mut emb = Embedding::new("e", 5, 3, &mut rng);
+        let out = emb.forward(&[2, 2, 0]);
+        assert_eq!(out.rows(), 3);
+        assert_eq!(out.row(0), out.row(1));
+        let mut table_row0 = [0.0; 3];
+        emb.visit_params(&mut |p| table_row0.copy_from_slice(p.value.row(0)));
+        assert_eq!(out.row(2), &table_row0[..]);
+    }
+
+    #[test]
+    fn backward_accumulates_per_token() {
+        let mut rng = DetRng::new(2);
+        let mut emb = Embedding::new("e", 4, 2, &mut rng);
+        emb.forward(&[1, 1, 3]);
+        let g = Tensor::from_rows(&[&[1.0, 0.0], &[2.0, 0.0], &[0.0, 5.0]]);
+        emb.backward(&g);
+        let mut grad = Tensor::default();
+        emb.visit_params(&mut |p| grad = p.grad.clone());
+        assert_eq!(grad.row(1), &[3.0, 0.0]);
+        assert_eq!(grad.row(3), &[0.0, 5.0]);
+        assert_eq!(grad.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn frozen_table_gets_no_gradient() {
+        let mut rng = DetRng::new(3);
+        let mut emb = Embedding::new("e", 4, 2, &mut rng);
+        emb.freeze();
+        emb.forward(&[0]);
+        emb.backward(&Tensor::ones((1, 2)));
+        let mut grad_sum = 1.0;
+        emb.visit_params(&mut |p| grad_sum = p.grad.sum());
+        assert_eq!(grad_sum, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn out_of_vocab_panics() {
+        let mut rng = DetRng::new(4);
+        Embedding::new("e", 4, 2, &mut rng).forward(&[4]);
+    }
+}

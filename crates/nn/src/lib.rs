@@ -1,0 +1,40 @@
+//! Neural-network layers with explicit forward/backward passes.
+//!
+//! This crate implements every layer a Mixture-of-Experts transformer needs —
+//! linear projections with optional [LoRA](lora) adapters, token
+//! [embedding], [RMS normalization](rmsnorm), causal multi-head
+//! [attention], the SwiGLU [expert FFN](swiglu) — together with the
+//! [cross-entropy loss](loss) and the [optimizers](optim) (SGD and AdamW) used
+//! by the VELA evaluation.
+//!
+//! Instead of a general autograd engine, each layer hand-implements its
+//! backward pass and caches whatever activations it needs. Every backward
+//! pass in the crate is validated against finite differences in its unit
+//! tests (see [`gradcheck`]).
+//!
+//! # Example
+//!
+//! ```
+//! use vela_nn::linear::Linear;
+//! use vela_tensor::rng::DetRng;
+//! use vela_tensor::Tensor;
+//!
+//! let mut rng = DetRng::new(0);
+//! let mut layer = Linear::new("proj", 4, 2, &mut rng);
+//! let x = Tensor::ones((3, 4));
+//! let y = layer.forward(&x);
+//! assert_eq!(y.shape().as_2d(), (3, 2));
+//! ```
+
+pub mod attention;
+pub mod embedding;
+pub mod gradcheck;
+pub mod linear;
+pub mod lora;
+pub mod loss;
+pub mod optim;
+pub mod param;
+pub mod rmsnorm;
+pub mod swiglu;
+
+pub use param::{Module, Param};

@@ -1,0 +1,170 @@
+//! Trainable parameters and the module-visitor abstraction.
+
+use vela_tensor::Tensor;
+
+/// A named parameter: a value tensor, its accumulated gradient, and a
+/// trainable flag.
+///
+/// During pre-training all parameters are trainable; during LoRA fine-tuning
+/// only the adapter matrices are, and the optimizer skips frozen parameters.
+/// Names are hierarchical (e.g. `"block3.expert2.gate.lora_a"`) and must be
+/// unique within a model, because optimizers key their per-parameter state by
+/// name.
+#[derive(Debug, Clone)]
+pub struct Param {
+    name: String,
+    /// The parameter tensor.
+    pub value: Tensor,
+    /// Accumulated gradient, same shape as `value`.
+    pub grad: Tensor,
+    trainable: bool,
+}
+
+impl Param {
+    /// Creates a trainable parameter initialized to `value`.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param {
+            name: name.into(),
+            value,
+            grad,
+            trainable: true,
+        }
+    }
+
+    /// Creates a frozen (non-trainable) parameter.
+    pub fn frozen(name: impl Into<String>, value: Tensor) -> Self {
+        let mut p = Param::new(name, value);
+        p.trainable = false;
+        p
+    }
+
+    /// The parameter's unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the optimizer should update this parameter.
+    pub fn is_trainable(&self) -> bool {
+        self.trainable
+    }
+
+    /// Freezes or unfreezes the parameter.
+    pub fn set_trainable(&mut self, trainable: bool) {
+        self.trainable = trainable;
+    }
+
+    /// Number of elements in the parameter tensor.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Returns `true` if the parameter tensor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Accumulates `g` into the gradient.
+    ///
+    /// # Panics
+    /// Panics if `g`'s shape differs from the parameter's.
+    pub fn accumulate(&mut self, g: &Tensor) {
+        self.grad.add_assign(g);
+    }
+}
+
+/// Anything that owns parameters and can expose them to a visitor.
+///
+/// Models, layers and expert shards implement this; optimizers and
+/// serialization walk parameters exclusively through it, so ownership stays
+/// with the layers.
+pub trait Module {
+    /// Calls `f` once for every parameter, in a deterministic order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Zeroes every parameter gradient.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of parameters (trainable and frozen).
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Number of trainable parameters.
+    fn trainable_param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| {
+            if p.is_trainable() {
+                n += p.len();
+            }
+        });
+        n
+    }
+}
+
+impl Module for Vec<Param> {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self {
+            f(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new("w", Tensor::ones((2, 2)));
+        assert_eq!(p.grad.sum(), 0.0);
+        assert!(p.is_trainable());
+        assert_eq!(p.name(), "w");
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn frozen_param_is_not_trainable() {
+        let mut p = Param::frozen("w", Tensor::ones(3usize));
+        assert!(!p.is_trainable());
+        p.set_trainable(true);
+        assert!(p.is_trainable());
+    }
+
+    #[test]
+    fn accumulate_and_zero() {
+        let mut p = Param::new("w", Tensor::zeros(2usize));
+        p.accumulate(&Tensor::from_vec(2usize, vec![1.0, 2.0]));
+        p.accumulate(&Tensor::from_vec(2usize, vec![1.0, 2.0]));
+        assert_eq!(p.grad.as_slice(), &[2.0, 4.0]);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn module_counts_params() {
+        let mut m = vec![
+            Param::new("a", Tensor::zeros((2, 3))),
+            Param::frozen("b", Tensor::zeros(4usize)),
+        ];
+        assert_eq!(m.param_count(), 10);
+        assert_eq!(m.trainable_param_count(), 6);
+    }
+
+    #[test]
+    fn module_zero_grad_clears_all() {
+        let mut m = vec![Param::new("a", Tensor::zeros(2usize))];
+        m[0].accumulate(&Tensor::ones(2usize));
+        m.zero_grad();
+        assert_eq!(m[0].grad.sum(), 0.0);
+    }
+}

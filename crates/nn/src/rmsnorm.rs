@@ -1,0 +1,165 @@
+//! Root-mean-square layer normalization (as used by Mistral/Mixtral).
+
+use vela_tensor::rng::DetRng;
+use vela_tensor::Tensor;
+
+use crate::param::{Module, Param};
+
+/// RMSNorm: `y = x / rms(x) ⊙ g`, where `rms(x) = sqrt(mean(x²) + ε)` per
+/// row and `g` is a learned gain vector.
+#[derive(Debug, Clone)]
+pub struct RmsNorm {
+    gain: Param,
+    dim: usize,
+    eps: f32,
+    cached_x: Option<Tensor>,
+    cached_inv_rms: Vec<f32>,
+}
+
+impl RmsNorm {
+    /// Creates an RMSNorm over feature dimension `dim` with gain 1.
+    ///
+    /// The `_rng` parameter keeps the layer-constructor signature uniform
+    /// across the crate; the gain is deterministically initialized to ones.
+    pub fn new(name: impl Into<String>, dim: usize, _rng: &mut DetRng) -> Self {
+        let name = name.into();
+        RmsNorm {
+            gain: Param::new(format!("{name}.gain"), Tensor::ones(dim)),
+            dim,
+            eps: 1e-6,
+            cached_x: None,
+            cached_inv_rms: Vec::new(),
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Freezes the gain (used in fine-tuning when norms stay fixed).
+    pub fn freeze(&mut self) {
+        self.gain.set_trainable(false);
+    }
+
+    /// Normalizes each row of a `[tokens, dim]` batch.
+    ///
+    /// # Panics
+    /// Panics if the input width differs from `dim`.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.cols(), self.dim, "RmsNorm width mismatch");
+        let rows = x.rows();
+        let mut out = x.clone();
+        self.cached_inv_rms.clear();
+        for i in 0..rows {
+            let row = out.row_mut(i);
+            let ms = row.iter().map(|v| v * v).sum::<f32>() / self.dim as f32;
+            let inv = 1.0 / (ms + self.eps).sqrt();
+            self.cached_inv_rms.push(inv);
+            for (v, &g) in row.iter_mut().zip(self.gain.value.as_slice()) {
+                *v = *v * inv * g;
+            }
+        }
+        self.cached_x = Some(x.clone());
+        out
+    }
+
+    /// Backward pass: accumulates the gain gradient and returns the input
+    /// gradient.
+    ///
+    /// # Panics
+    /// Panics if called before [`forward`](Self::forward).
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_x
+            .as_ref()
+            .expect("RmsNorm::backward called before forward");
+        let n = self.dim as f32;
+        let rows = x.rows();
+        let mut grad_in = Tensor::zeros((rows, self.dim));
+        let mut dgain = vec![0.0f32; self.dim];
+        let g = self.gain.value.as_slice();
+        for i in 0..rows {
+            let inv = self.cached_inv_rms[i];
+            let xr = x.row(i);
+            let gy = grad_out.row(i);
+            // dL/dgain_j += gy_j * x_j * inv
+            for j in 0..self.dim {
+                dgain[j] += gy[j] * xr[j] * inv;
+            }
+            // dot = Σ_k gy_k g_k x_k
+            let dot: f32 = (0..self.dim).map(|k| gy[k] * g[k] * xr[k]).sum();
+            let gi = grad_in.row_mut(i);
+            for j in 0..self.dim {
+                gi[j] = inv * gy[j] * g[j] - xr[j] * dot * inv.powi(3) / n;
+            }
+        }
+        if self.gain.is_trainable() {
+            self.gain
+                .accumulate(&Tensor::from_vec(self.dim, dgain));
+        }
+        grad_in
+    }
+}
+
+impl Module for RmsNorm {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gain);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{check_input_grad, check_param_grads};
+
+    #[test]
+    fn output_rows_have_unit_rms_with_unit_gain() {
+        let mut rng = DetRng::new(1);
+        let mut norm = RmsNorm::new("n", 8, &mut rng);
+        let x = Tensor::uniform((4, 8), -3.0, 3.0, &mut rng);
+        let y = norm.forward(&x);
+        for i in 0..4 {
+            let ms = y.row(i).iter().map(|v| v * v).sum::<f32>() / 8.0;
+            assert!((ms - 1.0).abs() < 1e-3, "row {i} rms² = {ms}");
+        }
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let mut rng = DetRng::new(2);
+        let mut norm = RmsNorm::new("n", 6, &mut rng);
+        let x = Tensor::uniform((2, 6), 0.5, 2.0, &mut rng);
+        let y1 = norm.forward(&x);
+        let y2 = norm.forward(&x.scale(10.0));
+        assert!(vela_tensor::approx_eq(y1.as_slice(), y2.as_slice(), 1e-3));
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = DetRng::new(3);
+        let mut norm = RmsNorm::new("n", 5, &mut rng);
+        // Non-unit gain so the gain path is exercised.
+        norm.visit_params(&mut |p| {
+            let mut r = DetRng::new(9);
+            p.value = Tensor::uniform(5usize, 0.5, 1.5, &mut r);
+        });
+        let x = Tensor::uniform((3, 5), -1.0, 1.0, &mut rng);
+        let gout = Tensor::uniform((3, 5), -1.0, 1.0, &mut rng);
+        check_param_grads(&mut norm, |m, x| m.forward(x), |m, g| m.backward(g), &x, &gout, 1e-2, 2e-2);
+        check_input_grad(&mut norm, |m, x| m.forward(x), |m, g| m.backward(g), &x, &gout, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn frozen_gain_receives_no_gradient() {
+        let mut rng = DetRng::new(4);
+        let mut norm = RmsNorm::new("n", 4, &mut rng);
+        norm.freeze();
+        let x = Tensor::uniform((2, 4), -1.0, 1.0, &mut rng);
+        norm.forward(&x);
+        norm.backward(&Tensor::ones((2, 4)));
+        let mut gsum = 1.0;
+        norm.visit_params(&mut |p| gsum = p.grad.sum());
+        assert_eq!(gsum, 0.0);
+    }
+}

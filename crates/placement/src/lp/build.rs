@@ -1,0 +1,194 @@
+//! Translation of a [`PlacementProblem`] into the paper's LP relaxation.
+//!
+//! Variable layout: `X_{n,l,e}` at index `((n·L) + l)·E + e`, followed by
+//! one auxiliary `λ_l` per block. Constraints mirror the paper exactly:
+//!
+//! * `0 ≤ X ≤ 1` (relaxed binaries, via box bounds);
+//! * `Σ_n X_{n,l,e} = 1` (each expert placed once);
+//! * `Σ_{l,e} X_{n,l,e} ≤ C_n` (worker capacity);
+//! * `Σ_e coeff(n,l,e)·X_{n,l,e} ≤ λ_l` (max linearization);
+//! * objective `min Σ_l λ_l`.
+
+use crate::lp::simplex::{Cmp, LpBuilder, LpSolution};
+use crate::problem::PlacementProblem;
+
+/// Index of variable `X_{n,l,e}` in the LP.
+pub fn x_index(problem: &PlacementProblem, worker: usize, block: usize, expert: usize) -> usize {
+    (worker * problem.blocks() + block) * problem.experts() + expert
+}
+
+/// Index of auxiliary `λ_l` in the LP.
+pub fn lambda_index(problem: &PlacementProblem, block: usize) -> usize {
+    problem.workers() * problem.blocks() * problem.experts() + block
+}
+
+/// The cost scale applied by [`build_lp`]: LP objective values multiply by
+/// this to recover seconds (the largest Eq. (6) coefficient).
+pub fn cost_scale(problem: &PlacementProblem) -> f64 {
+    let (n, l, e) = (problem.workers(), problem.blocks(), problem.experts());
+    let mut max_coeff = 0.0f64;
+    for worker in 0..n {
+        for block in 0..l {
+            for expert in 0..e {
+                max_coeff = max_coeff.max(problem.coeff(worker, block, expert));
+            }
+        }
+    }
+    if max_coeff > 0.0 {
+        max_coeff
+    } else {
+        1.0
+    }
+}
+
+/// Builds the LP relaxation of `problem`.
+pub fn build_lp(problem: &PlacementProblem) -> LpBuilder {
+    let (n, l, e) = (problem.workers(), problem.blocks(), problem.experts());
+    let num_vars = n * l * e + l;
+    let mut lp = LpBuilder::new(num_vars);
+
+    // Scale the cost coefficients so the largest is 1: the optimal
+    // *placement* is scale-invariant, and a well-conditioned tableau keeps
+    // the simplex numerically stable across bandwidth regimes.
+    let scale = 1.0 / cost_scale(problem);
+
+    // Objective: Σ_l λ_l.
+    for block in 0..l {
+        lp.set_objective(lambda_index(problem, block), 1.0);
+    }
+    // Box bounds on X.
+    for worker in 0..n {
+        for block in 0..l {
+            for expert in 0..e {
+                lp.set_upper_bound(x_index(problem, worker, block, expert), 1.0);
+            }
+        }
+    }
+    // Each expert assigned exactly once.
+    for block in 0..l {
+        for expert in 0..e {
+            let terms: Vec<(usize, f64)> = (0..n)
+                .map(|w| (x_index(problem, w, block, expert), 1.0))
+                .collect();
+            lp.add_constraint(&terms, Cmp::Eq, 1.0);
+        }
+    }
+    // Capacity per worker.
+    for worker in 0..n {
+        let mut terms = Vec::with_capacity(l * e);
+        for block in 0..l {
+            for expert in 0..e {
+                terms.push((x_index(problem, worker, block, expert), 1.0));
+            }
+        }
+        lp.add_constraint(&terms, Cmp::Le, problem.capacities()[worker] as f64);
+    }
+    // Max linearization: Σ_e coeff·X − λ_l ≤ 0 for every (worker, block).
+    for worker in 0..n {
+        for block in 0..l {
+            let mut terms: Vec<(usize, f64)> = (0..e)
+                .map(|expert| {
+                    (
+                        x_index(problem, worker, block, expert),
+                        problem.coeff(worker, block, expert) * scale,
+                    )
+                })
+                .collect();
+            terms.push((lambda_index(problem, block), -1.0));
+            lp.add_constraint(&terms, Cmp::Le, 0.0);
+        }
+    }
+    lp
+}
+
+/// Extracts the relaxed assignment tensor `X[w][l][e]` from an LP solution.
+pub fn extract_relaxed(problem: &PlacementProblem, sol: &LpSolution) -> Vec<Vec<Vec<f64>>> {
+    let (n, l, e) = (problem.workers(), problem.blocks(), problem.experts());
+    let mut x = vec![vec![vec![0.0; e]; l]; n];
+    for (w, per_worker) in x.iter_mut().enumerate() {
+        for (block, per_block) in per_worker.iter_mut().enumerate() {
+            for (expert, v) in per_block.iter_mut().enumerate() {
+                *v = sol.x[x_index(problem, w, block, expert)];
+            }
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::simplex::LpStatus;
+    use vela_cluster::{DeviceId, Topology};
+
+    fn toy_problem() -> PlacementProblem {
+        PlacementProblem::new(
+            Topology::paper_testbed(),
+            DeviceId(0),
+            (0..6).map(DeviceId).collect(),
+            vec![vec![0.7, 0.2, 0.1], vec![0.1, 0.1, 0.8]],
+            1000.0,
+            8192,
+            vec![1; 6],
+        )
+    }
+
+    #[test]
+    fn lp_shape_matches_formulation() {
+        let p = toy_problem();
+        let lp = build_lp(&p);
+        // 6 workers × 2 blocks × 3 experts + 2 lambdas.
+        assert_eq!(lp.num_vars(), 38);
+        // 6 equality + 6 capacity + 12 lambda rows.
+        assert_eq!(lp.num_constraints(), 24);
+    }
+
+    #[test]
+    fn relaxation_is_feasible_and_bounded() {
+        let p = toy_problem();
+        let sol = build_lp(&p).solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(sol.objective >= 0.0);
+        let x = extract_relaxed(&p, &sol);
+        // Every expert's mass sums to 1 across workers.
+        #[allow(clippy::needless_range_loop)]
+        for l in 0..2 {
+            for e in 0..3 {
+                let mass: f64 = (0..6).map(|w| x[w][l][e]).sum();
+                assert!((mass - 1.0).abs() < 1e-6, "mass {mass}");
+            }
+        }
+        // Capacities respected in the relaxation.
+        for (w, item) in x.iter().enumerate() {
+            let used: f64 = item.iter().flatten().sum();
+            assert!(used <= 1.0 + 1e-6, "worker {w} used {used}");
+        }
+    }
+
+    #[test]
+    fn relaxed_objective_lower_bounds_any_binary_placement() {
+        let p = toy_problem();
+        let sol = build_lp(&p).solve();
+        // The LP objective is cost-scaled; compare in seconds.
+        let binary = crate::problem::Placement::new(vec![vec![0, 1, 2], vec![3, 4, 5]], 6);
+        assert!(
+            sol.objective * cost_scale(&p) <= p.expected_comm_time(&binary) + 1e-9
+        );
+    }
+
+    #[test]
+    fn indices_are_bijective() {
+        let p = toy_problem();
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..6 {
+            for l in 0..2 {
+                for e in 0..3 {
+                    assert!(seen.insert(x_index(&p, w, l, e)));
+                }
+            }
+        }
+        assert!(seen.insert(lambda_index(&p, 0)));
+        assert!(seen.insert(lambda_index(&p, 1)));
+        assert_eq!(*seen.iter().max().unwrap(), 37);
+    }
+}

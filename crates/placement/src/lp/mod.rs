@@ -1,0 +1,7 @@
+//! The linear-programming machinery behind locality-aware placement:
+//! a general bounded-variable [simplex] solver, the [problem → LP
+//! translation](build) and the [fractional → binary rounding](rounding).
+
+pub mod build;
+pub mod rounding;
+pub mod simplex;

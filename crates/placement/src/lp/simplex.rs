@@ -1,0 +1,716 @@
+//! A from-scratch two-phase simplex solver with bounded variables.
+//!
+//! Solves `min cᵀx` subject to sparse linear constraints and box bounds
+//! `0 ≤ x_j ≤ u_j` (with `u_j = ∞` allowed). Implemented as a dense-tableau
+//! bounded-variable simplex:
+//!
+//! * every constraint is converted to an equality with a slack variable;
+//! * rows without a natural slack basis receive an artificial variable and
+//!   Phase 1 minimizes the artificial sum;
+//! * nonbasic variables rest at either bound, so the `0 ≤ X ≤ 1` box of the
+//!   placement relaxation is handled implicitly instead of through
+//!   thousands of explicit constraint rows;
+//! * Dantzig pricing with a fallback to Bland's rule guards against
+//!   cycling.
+//!
+//! The placement LP for the paper's testbed (6 workers × 32 blocks ×
+//! 8 experts → 1 568 structural variables, 454 rows) solves in well under a
+//! second in release builds.
+
+use std::fmt;
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `≤ rhs`
+    Le,
+    /// `= rhs`
+    Eq,
+    /// `≥ rhs`
+    Ge,
+}
+
+/// Outcome category of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// The iteration limit was reached (should not happen in practice).
+    IterationLimit,
+}
+
+impl fmt::Display for LpStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LpStatus::Optimal => "optimal",
+            LpStatus::Infeasible => "infeasible",
+            LpStatus::Unbounded => "unbounded",
+            LpStatus::IterationLimit => "iteration limit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of solving an LP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Outcome category.
+    pub status: LpStatus,
+    /// Variable values (meaningful when `status == Optimal`).
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub objective: f64,
+    /// Simplex pivots performed (both phases).
+    pub iterations: usize,
+}
+
+/// A sparse constraint row: terms, comparison, right-hand side.
+type ConstraintRow = (Vec<(usize, f64)>, Cmp, f64);
+
+/// Incrementally builds a bounded LP: `min cᵀx` s.t. constraints,
+/// `0 ≤ x ≤ u`.
+///
+/// # Example
+/// ```
+/// use vela_placement::{LpBuilder, LpStatus};
+///
+/// // min -x - y  s.t.  x + y <= 1.5, x,y in [0,1]
+/// let mut lp = LpBuilder::new(2);
+/// lp.set_objective(0, -1.0);
+/// lp.set_objective(1, -1.0);
+/// lp.add_constraint(&[(0, 1.0), (1, 1.0)], vela_placement::lp::simplex::Cmp::Le, 1.5);
+/// lp.set_upper_bound(0, 1.0);
+/// lp.set_upper_bound(1, 1.0);
+/// let sol = lp.solve();
+/// assert_eq!(sol.status, LpStatus::Optimal);
+/// assert!((sol.objective + 1.5).abs() < 1e-7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LpBuilder {
+    n: usize,
+    objective: Vec<f64>,
+    upper: Vec<f64>,
+    rows: Vec<ConstraintRow>,
+}
+
+impl LpBuilder {
+    /// An LP over `n` variables, all with objective 0 and bounds `[0, ∞)`.
+    pub fn new(n: usize) -> Self {
+        LpBuilder {
+            n,
+            objective: vec![0.0; n],
+            upper: vec![f64::INFINITY; n],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    ///
+    /// # Panics
+    /// Panics if `var` is out of range.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) -> &mut Self {
+        self.objective[var] = coeff;
+        self
+    }
+
+    /// Sets the upper bound of variable `var` (lower bound is always 0).
+    ///
+    /// # Panics
+    /// Panics if `var` is out of range or `ub` is negative/NaN.
+    pub fn set_upper_bound(&mut self, var: usize, ub: f64) -> &mut Self {
+        assert!(ub >= 0.0, "upper bound must be nonnegative, got {ub}");
+        self.upper[var] = ub;
+        self
+    }
+
+    /// Adds a sparse constraint `Σ coeff·x_var  cmp  rhs`.
+    ///
+    /// # Panics
+    /// Panics if any referenced variable is out of range.
+    pub fn add_constraint(&mut self, terms: &[(usize, f64)], cmp: Cmp, rhs: f64) -> &mut Self {
+        for &(v, _) in terms {
+            assert!(v < self.n, "constraint references unknown variable {v}");
+        }
+        self.rows.push((terms.to_vec(), cmp, rhs));
+        self
+    }
+
+    /// Solves the LP.
+    pub fn solve(&self) -> LpSolution {
+        Tableau::from_builder(self).solve()
+    }
+}
+
+const EPS: f64 = 1e-9;
+/// Minimum reduced-cost improvement to keep pivoting (coarser than `EPS`
+/// so accumulated tableau round-off cannot sustain endless tiny pivots).
+const PRICE_EPS: f64 = 1e-7;
+
+/// Where a nonbasic variable currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rest {
+    Lower,
+    Upper,
+    Basic,
+}
+
+struct Tableau {
+    /// Dense rows, m × total columns.
+    a: Vec<Vec<f64>>,
+    /// Basic-variable values per row.
+    beta: Vec<f64>,
+    /// Basis column per row.
+    basis: Vec<usize>,
+    /// Rest state per column.
+    rest: Vec<Rest>,
+    /// Upper bound per column.
+    upper: Vec<f64>,
+    /// Phase-2 objective per column.
+    cost: Vec<f64>,
+    /// Index of the first artificial column.
+    art_start: usize,
+    n_structural: usize,
+    iterations: usize,
+}
+
+impl Tableau {
+    fn from_builder(lp: &LpBuilder) -> Self {
+        let m = lp.rows.len();
+        // Column layout: [structural | slacks | artificials].
+        let n_slack = lp
+            .rows
+            .iter()
+            .filter(|(_, cmp, _)| *cmp != Cmp::Eq)
+            .count();
+        let total_guess = lp.n + n_slack + m;
+        let mut a = vec![vec![0.0; total_guess]; m];
+        let mut upper = lp.upper.clone();
+        upper.resize(total_guess, f64::INFINITY);
+        let mut cost = lp.objective.clone();
+        cost.resize(total_guess, 0.0);
+
+        let mut next_col = lp.n;
+        let mut basis = vec![usize::MAX; m];
+        let mut needs_artificial = Vec::new();
+
+        for (r, (terms, cmp, rhs)) in lp.rows.iter().enumerate() {
+            let mut rhs = *rhs;
+            let mut sign = 1.0;
+            if rhs < 0.0 {
+                // Normalize to rhs >= 0 so slack/artificial bases are valid.
+                rhs = -rhs;
+                sign = -1.0;
+            }
+            for &(v, c) in terms {
+                a[r][v] += sign * c;
+            }
+            a[r][total_guess - 1] = 0.0; // keep row length consistent
+            let eff_cmp = match (cmp, sign < 0.0) {
+                (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
+                (Cmp::Ge, false) | (Cmp::Le, true) => Cmp::Ge,
+                (Cmp::Eq, _) => Cmp::Eq,
+            };
+            // Write rhs into beta later; store for now in a temp via basis
+            // construction below.
+            match eff_cmp {
+                Cmp::Le => {
+                    a[r][next_col] = 1.0;
+                    basis[r] = next_col; // slack is a valid basic var
+                    next_col += 1;
+                }
+                Cmp::Ge => {
+                    a[r][next_col] = -1.0; // surplus
+                    next_col += 1;
+                    needs_artificial.push(r);
+                }
+                Cmp::Eq => needs_artificial.push(r),
+            }
+            a[r].push(rhs); // stash rhs at the very end temporarily
+        }
+
+        let art_start = next_col;
+        for &r in &needs_artificial {
+            a[r][next_col] = 1.0;
+            basis[r] = next_col;
+            next_col += 1;
+        }
+        let total = next_col;
+
+        // Extract rhs and trim columns.
+        let mut beta = Vec::with_capacity(m);
+        for row in &mut a {
+            let rhs = row.pop().expect("stashed rhs");
+            beta.push(rhs);
+            row.truncate(total);
+        }
+        upper.truncate(total.max(upper.len()));
+        upper.resize(total, f64::INFINITY);
+        cost.truncate(total.max(cost.len()));
+        cost.resize(total, 0.0);
+
+        let mut rest = vec![Rest::Lower; total];
+        for &b in &basis {
+            rest[b] = Rest::Basic;
+        }
+
+        Tableau {
+            a,
+            beta,
+            basis,
+            rest,
+            upper,
+            cost,
+            art_start,
+            n_structural: lp.n,
+            iterations: 0,
+        }
+    }
+
+    fn solve(mut self) -> LpSolution {
+        let m = self.a.len();
+        let total = self.rest.len();
+
+        // Phase 1: minimize the sum of artificials.
+        if self.art_start < total {
+            let phase1_cost: Vec<f64> = (0..total)
+                .map(|j| if j >= self.art_start { 1.0 } else { 0.0 })
+                .collect();
+            match self.optimize(&phase1_cost, usize::MAX) {
+                Ok(()) => {}
+                Err(status) => return self.finish(status),
+            }
+            let art_sum: f64 = (0..m)
+                .filter(|&r| self.basis[r] >= self.art_start)
+                .map(|r| self.beta[r])
+                .sum();
+            if art_sum > 1e-6 {
+                return self.finish(LpStatus::Infeasible);
+            }
+            // Pin artificials at zero so Phase 2 cannot revive them.
+            for j in self.art_start..total {
+                self.upper[j] = 0.0;
+            }
+        }
+
+        // Phase 2: the real objective.
+        let cost = self.cost.clone();
+        match self.optimize(&cost, self.art_start) {
+            Ok(()) => self.finish(LpStatus::Optimal),
+            Err(status) => self.finish(status),
+        }
+    }
+
+    /// Runs simplex iterations for the given cost vector. Columns at or
+    /// beyond `enter_limit` may not enter the basis.
+    fn optimize(&mut self, cost: &[f64], enter_limit: usize) -> Result<(), LpStatus> {
+        let m = self.a.len();
+        let max_iters = 500_000;
+        let bland_after = 2_000;
+        let mut local_iters = 0usize;
+
+        loop {
+            self.iterations += 1;
+            local_iters += 1;
+            if local_iters > max_iters {
+                return Err(LpStatus::IterationLimit);
+            }
+            let use_bland = local_iters > bland_after;
+
+            // Reduced costs: z_j = c_j − c_B · col_j.
+            let mut cb = vec![0.0; m];
+            for r in 0..m {
+                cb[r] = cost[self.basis[r]];
+            }
+
+            let limit = enter_limit.min(self.rest.len());
+            let mut entering: Option<(usize, bool)> = None; // (col, from_lower)
+            let mut best_score = PRICE_EPS;
+            #[allow(clippy::needless_range_loop)] // j indexes 4 parallel arrays
+            for j in 0..limit {
+                match self.rest[j] {
+                    Rest::Basic => continue,
+                    Rest::Lower | Rest::Upper => {}
+                }
+                if self.upper[j] <= 0.0 && self.rest[j] == Rest::Lower {
+                    continue; // fixed at zero
+                }
+                let mut z = cost[j];
+                for (r, &c) in cb.iter().enumerate() {
+                    if c != 0.0 {
+                        z -= c * self.a[r][j];
+                    }
+                }
+                let improving = match self.rest[j] {
+                    Rest::Lower => -z, // want z < 0
+                    Rest::Upper => z,  // want z > 0
+                    Rest::Basic => unreachable!(),
+                };
+                if improving > best_score {
+                    if use_bland {
+                        entering = Some((j, self.rest[j] == Rest::Lower));
+                        break;
+                    }
+                    best_score = improving;
+                    entering = Some((j, self.rest[j] == Rest::Lower));
+                }
+            }
+            let Some((j, from_lower)) = entering else {
+                return Ok(()); // optimal for this phase
+            };
+
+            // Direction of basic-variable change per unit step t:
+            // from_lower: x_B -= d t; from_upper: x_B += d t, d = col_j.
+            let mut t_max = self.upper[j]; // bound flip distance
+            let mut leave: Option<(usize, bool)> = None; // (row, leaves_at_upper)
+            for r in 0..m {
+                let d = self.a[r][j];
+                if d.abs() <= EPS {
+                    continue;
+                }
+                let bi = self.basis[r];
+                let (down_room, up_room) = (self.beta[r], self.upper[bi] - self.beta[r]);
+                // Effective coefficient: from_lower → x_B moves by −d·t;
+                // from_upper → +d·t.
+                let delta = if from_lower { -d } else { d };
+                let (room, at_upper) = if delta < 0.0 {
+                    (down_room.max(0.0) / (-delta), false)
+                } else {
+                    (up_room.max(0.0) / delta, true)
+                };
+                if room < t_max - EPS {
+                    t_max = room;
+                    leave = Some((r, at_upper));
+                } else if (room - t_max).abs() <= EPS && room.is_finite() {
+                    // Tie: under Bland's rule pick the smallest basis index
+                    // (required for termination on degenerate problems);
+                    // otherwise keep the first row found.
+                    match leave {
+                        None => leave = Some((r, at_upper)),
+                        Some((prev, _)) if use_bland && self.basis[r] < self.basis[prev] => {
+                            leave = Some((r, at_upper));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+
+            if !t_max.is_finite() {
+                return Err(LpStatus::Unbounded);
+            }
+            let t = t_max.max(0.0);
+
+            match leave {
+                None => {
+                    // Bound flip: j jumps to its other bound.
+                    for r in 0..m {
+                        let d = self.a[r][j];
+                        if d != 0.0 {
+                            self.beta[r] += if from_lower { -d * t } else { d * t };
+                        }
+                    }
+                    self.rest[j] = if from_lower { Rest::Upper } else { Rest::Lower };
+                }
+                Some((r, leaves_at_upper)) => {
+                    // Update basic values.
+                    for i in 0..m {
+                        let d = self.a[i][j];
+                        if d != 0.0 {
+                            self.beta[i] += if from_lower { -d * t } else { d * t };
+                        }
+                    }
+                    // Entering variable's new value.
+                    let x_j = if from_lower { t } else { self.upper[j] - t };
+                    let old_basic = self.basis[r];
+                    self.rest[old_basic] = if leaves_at_upper {
+                        Rest::Upper
+                    } else {
+                        Rest::Lower
+                    };
+                    self.rest[j] = Rest::Basic;
+                    self.basis[r] = j;
+                    self.beta[r] = x_j;
+
+                    // Pivot: normalize row r on column j, eliminate others.
+                    let pivot = self.a[r][j];
+                    debug_assert!(pivot.abs() > EPS, "zero pivot");
+                    let inv = 1.0 / pivot;
+                    for v in &mut self.a[r] {
+                        *v *= inv;
+                    }
+                    let pivot_row = self.a[r].clone();
+                    for (i, row) in self.a.iter_mut().enumerate() {
+                        if i == r {
+                            continue;
+                        }
+                        let factor = row[j];
+                        if factor.abs() <= EPS {
+                            row[j] = 0.0;
+                            continue;
+                        }
+                        for (v, &p) in row.iter_mut().zip(&pivot_row) {
+                            *v -= factor * p;
+                        }
+                        row[j] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self, status: LpStatus) -> LpSolution {
+        let mut x = vec![0.0; self.n_structural];
+        for (j, item) in x.iter_mut().enumerate() {
+            *item = match self.rest[j] {
+                Rest::Lower => 0.0,
+                Rest::Upper => self.upper[j],
+                Rest::Basic => {
+                    let r = self.basis.iter().position(|&b| b == j).expect("basic");
+                    self.beta[r]
+                }
+            };
+        }
+        let objective = x
+            .iter()
+            .zip(&self.cost)
+            .map(|(&v, &c)| v * c)
+            .sum::<f64>();
+        LpSolution {
+            status,
+            x,
+            objective,
+            iterations: self.iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn trivial_bounded_maximization() {
+        // min -x st x <= 10, x unbounded above by box.
+        let mut lp = LpBuilder::new(1);
+        lp.set_objective(0, -1.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, 10.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.x[0], 10.0);
+        assert_close(sol.objective, -10.0);
+    }
+
+    #[test]
+    fn box_bound_without_constraints() {
+        // min -x with x ∈ [0, 3]: pure bound flip, no pivots needed.
+        let mut lp = LpBuilder::new(1);
+        lp.set_objective(0, -1.0);
+        lp.set_upper_bound(0, 3.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, 100.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.x[0], 3.0);
+    }
+
+    #[test]
+    fn classic_two_variable_lp() {
+        // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18  (Dantzig's example)
+        // optimum (2, 6), value 36.
+        let mut lp = LpBuilder::new(2);
+        lp.set_objective(0, -3.0);
+        lp.set_objective(1, -5.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, 4.0);
+        lp.add_constraint(&[(1, 2.0)], Cmp::Le, 12.0);
+        lp.add_constraint(&[(0, 3.0), (1, 2.0)], Cmp::Le, 18.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, -36.0);
+        assert_close(sol.x[0], 2.0);
+        assert_close(sol.x[1], 6.0);
+    }
+
+    #[test]
+    fn equality_constraints_need_phase_one() {
+        // min x + y st x + y = 5, x - y = 1 → x=3, y=2.
+        let mut lp = LpBuilder::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Eq, 5.0);
+        lp.add_constraint(&[(0, 1.0), (1, -1.0)], Cmp::Eq, 1.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.x[0], 3.0);
+        assert_close(sol.x[1], 2.0);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // min 2x + 3y st x + y >= 4, x >= 1 → (4, 0)? y can be 0: x>=4 via
+        // first constraint → x=4,y=0 cost 8.
+        let mut lp = LpBuilder::new(2);
+        lp.set_objective(0, 2.0);
+        lp.set_objective(1, 3.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Ge, 4.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Ge, 1.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 8.0);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // x - y <= -2  ⇔  y - x >= 2; min y → y=2 at x=0.
+        let mut lp = LpBuilder::new(2);
+        lp.set_objective(1, 1.0);
+        lp.add_constraint(&[(0, 1.0), (1, -1.0)], Cmp::Le, -2.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2.
+        let mut lp = LpBuilder::new(1);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, 1.0);
+        lp.add_constraint(&[(0, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(lp.solve().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpBuilder::new(1);
+        lp.set_objective(0, -1.0);
+        lp.add_constraint(&[(0, -1.0)], Cmp::Le, 0.0); // x >= 0, no cap
+        assert_eq!(lp.solve().status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_make_it_bounded() {
+        let mut lp = LpBuilder::new(3);
+        for j in 0..3 {
+            lp.set_objective(j, -(j as f64 + 1.0));
+            lp.set_upper_bound(j, 1.0);
+        }
+        lp.add_constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], Cmp::Le, 2.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        // Take the two most valuable: x2 = x1 = 1.
+        assert_close(sol.objective, -5.0);
+        assert_close(sol.x[2], 1.0);
+        assert_close(sol.x[1], 1.0);
+        assert_close(sol.x[0], 0.0);
+    }
+
+    #[test]
+    fn min_max_linearization_pattern() {
+        // The placement pattern: min λ st a_n·x ≤ λ, Σ x = 1, x ∈ [0,1].
+        // Two "workers" with costs 1 and 3: optimum splits x = (0.75, 0.25),
+        // λ = 0.75.
+        let mut lp = LpBuilder::new(3); // x0, x1, λ
+        lp.set_objective(2, 1.0);
+        lp.set_upper_bound(0, 1.0);
+        lp.set_upper_bound(1, 1.0);
+        lp.add_constraint(&[(0, 1.0), (2, -1.0)], Cmp::Le, 0.0);
+        lp.add_constraint(&[(1, 3.0), (2, -1.0)], Cmp::Le, 0.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Eq, 1.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 0.75);
+        assert_close(sol.x[0], 0.75);
+        assert_close(sol.x[1], 0.25);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple redundant constraints at the same vertex.
+        let mut lp = LpBuilder::new(2);
+        lp.set_objective(0, -1.0);
+        lp.set_objective(1, -1.0);
+        for _ in 0..5 {
+            lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Le, 1.0);
+        }
+        lp.add_constraint(&[(0, 1.0)], Cmp::Le, 1.0);
+        lp.add_constraint(&[(1, 1.0)], Cmp::Le, 1.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, -1.0);
+    }
+
+    #[test]
+    fn medium_random_lp_agrees_with_greedy_knapsack_relaxation() {
+        // min -Σ v_j x_j st Σ w_j x_j <= W, 0 <= x <= 1: fractional knapsack,
+        // solvable greedily by value density.
+        let n = 40;
+        let mut state = 99u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+            ((state >> 33) as f64 / u32::MAX as f64) + 0.1
+        };
+        let values: Vec<f64> = (0..n).map(|_| next()).collect();
+        let weights: Vec<f64> = (0..n).map(|_| next()).collect();
+        let cap: f64 = weights.iter().sum::<f64>() * 0.4;
+
+        let mut lp = LpBuilder::new(n);
+        let mut terms = Vec::new();
+        for j in 0..n {
+            lp.set_objective(j, -values[j]);
+            lp.set_upper_bound(j, 1.0);
+            terms.push((j, weights[j]));
+        }
+        lp.add_constraint(&terms, Cmp::Le, cap);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+
+        // Greedy fractional knapsack.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            (values[b] / weights[b])
+                .partial_cmp(&(values[a] / weights[a]))
+                .unwrap()
+        });
+        let mut room = cap;
+        let mut best = 0.0;
+        for &j in &order {
+            let take = (room / weights[j]).min(1.0);
+            best += take * values[j];
+            room -= take * weights[j];
+            if room <= 0.0 {
+                break;
+            }
+        }
+        assert!((sol.objective + best).abs() < 1e-5, "{} vs {}", sol.objective, -best);
+    }
+
+    #[test]
+    fn solution_reports_iterations() {
+        let mut lp = LpBuilder::new(2);
+        lp.set_objective(0, -1.0);
+        lp.add_constraint(&[(0, 1.0), (1, 1.0)], Cmp::Le, 1.0);
+        let sol = lp.solve();
+        assert!(sol.iterations >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn bad_variable_index_panics() {
+        LpBuilder::new(1).add_constraint(&[(3, 1.0)], Cmp::Le, 1.0);
+    }
+}

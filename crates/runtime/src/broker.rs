@@ -1,0 +1,388 @@
+//! The master-side Expert Broker (§IV-A, Fig. 4).
+//!
+//! `BrokerClient` implements the backbone's
+//! [`ExpertProvider`] seam over the star
+//! transport: the token dispatcher ships per-expert token groups to
+//! whichever worker the placement assigns, the token receiver collects the
+//! results, and the conjugated gradient dispatcher/receiver handle the
+//! backward pass. It also logs, per MoE block and pass, the bytes and rows
+//! exchanged with each worker — the inputs to the Eq. (7) time model.
+
+use std::collections::HashMap;
+
+use vela_model::provider::{ExpertBatch, ExpertProvider};
+use vela_placement::Placement;
+use vela_tensor::Tensor;
+
+use crate::message::{Message, Payload};
+use crate::transport::MasterHub;
+
+/// Which half of the step a phase belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Token dispatch + result gather.
+    Forward,
+    /// Gradient dispatch + gradient gather.
+    Backward,
+}
+
+/// Communication log of one MoE block's dispatch/gather for one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseLog {
+    /// The MoE block.
+    pub block: usize,
+    /// Forward or backward.
+    pub pass: Pass,
+    /// Bytes sent master → worker, per worker index.
+    pub bytes_out: Vec<u64>,
+    /// Bytes received worker → master, per worker index.
+    pub bytes_back: Vec<u64>,
+    /// Token rows processed per worker (drives expert compute time).
+    pub rows: Vec<u64>,
+}
+
+/// The master-side broker: routes expert work to workers per the placement.
+#[derive(Debug)]
+pub struct BrokerClient {
+    hub: MasterHub,
+    placement: Placement,
+    phase_logs: Vec<PhaseLog>,
+    step: u64,
+}
+
+impl BrokerClient {
+    /// Creates a broker over `hub` using `placement`.
+    ///
+    /// # Panics
+    /// Panics if the placement's worker count differs from the hub's.
+    pub fn new(hub: MasterHub, placement: Placement) -> Self {
+        assert_eq!(
+            placement.workers(),
+            hub.worker_count(),
+            "placement targets {} workers but hub has {}",
+            placement.workers(),
+            hub.worker_count()
+        );
+        BrokerClient {
+            hub,
+            placement,
+            phase_logs: Vec::new(),
+            step: 0,
+        }
+    }
+
+    /// The placement in force.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Broadcasts `StepBegin`, starting a new step on every worker.
+    pub fn step_begin(&mut self) {
+        self.step += 1;
+        self.hub.broadcast(&Message::StepBegin { step: self.step });
+    }
+
+    /// Broadcasts `StepEnd` and waits for every worker's `StepDone`.
+    pub fn step_end_and_wait(&mut self) {
+        self.hub.broadcast(&Message::StepEnd);
+        let mut pending = self.hub.worker_count();
+        while pending > 0 {
+            let (_, msg) = self.hub.recv();
+            assert_eq!(msg, Message::StepDone, "expected StepDone");
+            pending -= 1;
+        }
+    }
+
+    /// Shuts down all workers; the caller joins their threads to collect
+    /// shards.
+    pub fn shutdown(&self) {
+        self.hub.broadcast(&Message::Shutdown);
+    }
+
+    /// Migrates one expert to worker `to` (no-op if already there),
+    /// routing its serialized parameters through the master exactly like
+    /// the framework's other flows. Must be called *between* steps.
+    ///
+    /// Returns the parameter bytes moved (0 for a no-op).
+    ///
+    /// # Panics
+    /// Panics if indices are out of range or a worker misbehaves.
+    pub fn migrate_expert(&mut self, block: usize, expert: usize, to: usize) -> u64 {
+        let from = self.placement.worker_of(block, expert);
+        if from == to {
+            return 0;
+        }
+        self.hub.send(
+            from,
+            &Message::FetchExpert {
+                block: block as u32,
+                expert: expert as u32,
+            },
+        );
+        let (src, msg) = self.hub.recv();
+        assert_eq!(src, from, "expert state from wrong worker");
+        let Message::ExpertState {
+            block: rb,
+            expert: re,
+            data,
+        } = msg
+        else {
+            panic!("expected ExpertState");
+        };
+        assert_eq!((rb as usize, re as usize), (block, expert));
+        let bytes = data.len() as u64;
+        self.hub.send(
+            to,
+            &Message::ExpertState {
+                block: rb,
+                expert: re,
+                data,
+            },
+        );
+        let (dst, ack) = self.hub.recv();
+        assert_eq!(dst, to, "install ack from wrong worker");
+        assert!(
+            matches!(ack, Message::InstallDone { .. }),
+            "expected InstallDone, got {ack:?}"
+        );
+        self.placement.set_worker(block, expert, to);
+        bytes
+    }
+
+    /// Drains the per-block communication logs accumulated since the last
+    /// call (two entries per block per step: forward and backward).
+    pub fn take_phase_logs(&mut self) -> Vec<PhaseLog> {
+        std::mem::take(&mut self.phase_logs)
+    }
+
+    /// Dispatch + gather for one block and pass. `make_msg` builds the
+    /// outbound message; `extract` pulls the payload out of the matching
+    /// reply kind.
+    fn exchange(
+        &mut self,
+        block: usize,
+        pass: Pass,
+        batches: &[ExpertBatch],
+        outbound: impl Fn(u32, u32, Payload) -> Message,
+        extract: impl Fn(Message) -> (u32, u32, Payload),
+    ) -> Vec<Tensor> {
+        let workers = self.hub.worker_count();
+        let mut log = PhaseLog {
+            block,
+            pass,
+            bytes_out: vec![0; workers],
+            bytes_back: vec![0; workers],
+            rows: vec![0; workers],
+        };
+
+        // Token/gradient dispatcher.
+        for batch in batches {
+            let w = self.placement.worker_of(block, batch.expert);
+            let msg = outbound(
+                block as u32,
+                batch.expert as u32,
+                Payload::from_tensor(&batch.xs),
+            );
+            log.bytes_out[w] += msg.accounted_bytes();
+            log.rows[w] += batch.xs.rows() as u64;
+            self.hub.send(w, &msg);
+        }
+
+        // Receiver: collect one reply per batch, match by (block, expert).
+        let mut by_expert: HashMap<usize, Tensor> = HashMap::with_capacity(batches.len());
+        for _ in 0..batches.len() {
+            let (w, msg) = self.hub.recv();
+            log.bytes_back[w] += msg.accounted_bytes();
+            let (rblock, rexpert, payload) = extract(msg);
+            assert_eq!(rblock as usize, block, "reply for wrong block");
+            by_expert.insert(rexpert as usize, payload.to_tensor());
+        }
+        self.phase_logs.push(log);
+
+        batches
+            .iter()
+            .map(|b| {
+                by_expert
+                    .remove(&b.expert)
+                    .expect("missing reply for expert")
+            })
+            .collect()
+    }
+}
+
+impl ExpertProvider for BrokerClient {
+    fn forward_block(&mut self, block: usize, batches: &[ExpertBatch]) -> Vec<Tensor> {
+        self.exchange(
+            block,
+            Pass::Forward,
+            batches,
+            |block, expert, payload| Message::TokenBatch {
+                block,
+                expert,
+                payload,
+            },
+            |msg| match msg {
+                Message::ExpertResult {
+                    block,
+                    expert,
+                    payload,
+                } => (block, expert, payload),
+                other => panic!("expected ExpertResult, got {other:?}"),
+            },
+        )
+    }
+
+    fn backward_block(&mut self, block: usize, grads: &[ExpertBatch]) -> Vec<Tensor> {
+        self.exchange(
+            block,
+            Pass::Backward,
+            grads,
+            |block, expert, payload| Message::GradBatch {
+                block,
+                expert,
+                payload,
+            },
+            |msg| match msg {
+                Message::GradResult {
+                    block,
+                    expert,
+                    payload,
+                } => (block, expert, payload),
+                other => panic!("expected GradResult, got {other:?}"),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::star;
+    use crate::worker::ExpertManager;
+    use std::sync::Arc;
+    use vela_cluster::{DeviceId, Topology, TrafficLedger};
+    use vela_model::{LocalExpertStore, ModelConfig};
+    use vela_nn::optim::AdamWConfig;
+    use vela_tensor::rng::DetRng;
+
+    /// A full micro setup: 2 workers, experts split by expert parity.
+    fn setup() -> (BrokerClient, Vec<ExpertManager>, LocalExpertStore, ModelConfig) {
+        let cfg = ModelConfig::test_small();
+        let ledger = Arc::new(TrafficLedger::new(Topology::paper_testbed()));
+        let (hub, ports) = star(ledger, DeviceId(0), &[DeviceId(1), DeviceId(2)]);
+
+        let reference = LocalExpertStore::new(&cfg, &mut DetRng::new(7));
+        let mut source = LocalExpertStore::new(&cfg, &mut DetRng::new(7));
+        let mut shard0 = LocalExpertStore::empty(cfg.blocks, cfg.experts);
+        let mut shard1 = LocalExpertStore::empty(cfg.blocks, cfg.experts);
+        let mut assign = Vec::new();
+        for l in 0..cfg.blocks {
+            let mut row = Vec::new();
+            for e in 0..cfg.experts {
+                let ffn = source.take(l, e);
+                if e % 2 == 0 {
+                    shard0.insert(l, e, ffn);
+                    row.push(0);
+                } else {
+                    shard1.insert(l, e, ffn);
+                    row.push(1);
+                }
+            }
+            assign.push(row);
+        }
+        let placement = Placement::new(assign, 2);
+
+        let mut ports = ports.into_iter();
+        let managers = vec![
+            ExpertManager::spawn(ports.next().unwrap(), shard0, AdamWConfig::default()),
+            ExpertManager::spawn(ports.next().unwrap(), shard1, AdamWConfig::default()),
+        ];
+        (BrokerClient::new(hub, placement), managers, reference, cfg)
+    }
+
+    fn teardown(broker: &BrokerClient, managers: Vec<ExpertManager>) {
+        broker.shutdown();
+        for m in managers {
+            m.join();
+        }
+    }
+
+    #[test]
+    fn forward_matches_local_store() {
+        let (mut broker, managers, mut reference, cfg) = setup();
+        let mut rng = DetRng::new(3);
+        let batches = vec![
+            ExpertBatch {
+                expert: 0,
+                xs: vela_tensor::Tensor::uniform((3, cfg.dim), -1.0, 1.0, &mut rng),
+            },
+            ExpertBatch {
+                expert: 1,
+                xs: vela_tensor::Tensor::uniform((2, cfg.dim), -1.0, 1.0, &mut rng),
+            },
+            ExpertBatch {
+                expert: 3,
+                xs: vela_tensor::Tensor::uniform((4, cfg.dim), -1.0, 1.0, &mut rng),
+            },
+        ];
+        let remote = broker.forward_block(0, &batches);
+        let local = reference.forward_block(0, &batches);
+        assert_eq!(remote, local, "broker must be computation-transparent");
+        teardown(&broker, managers);
+    }
+
+    #[test]
+    fn backward_matches_local_store() {
+        let (mut broker, managers, mut reference, cfg) = setup();
+        let mut rng = DetRng::new(4);
+        let xs = vela_tensor::Tensor::uniform((3, cfg.dim), -1.0, 1.0, &mut rng);
+        let batches = vec![ExpertBatch {
+            expert: 2,
+            xs: xs.clone(),
+        }];
+        broker.forward_block(1, &batches);
+        reference.forward_block(1, &batches);
+        let g = vec![ExpertBatch {
+            expert: 2,
+            xs: vela_tensor::Tensor::ones((3, cfg.dim)),
+        }];
+        let remote = broker.backward_block(1, &g);
+        let local = reference.backward_block(1, &g);
+        assert_eq!(remote, local);
+        teardown(&broker, managers);
+    }
+
+    #[test]
+    fn phase_logs_track_bytes_and_rows() {
+        let (mut broker, managers, _, cfg) = setup();
+        let mut rng = DetRng::new(5);
+        let batches = vec![
+            ExpertBatch {
+                expert: 0, // worker 0
+                xs: vela_tensor::Tensor::uniform((3, cfg.dim), -1.0, 1.0, &mut rng),
+            },
+            ExpertBatch {
+                expert: 1, // worker 1
+                xs: vela_tensor::Tensor::uniform((5, cfg.dim), -1.0, 1.0, &mut rng),
+            },
+        ];
+        broker.forward_block(0, &batches);
+        let logs = broker.take_phase_logs();
+        assert_eq!(logs.len(), 1);
+        let log = &logs[0];
+        assert_eq!(log.pass, Pass::Forward);
+        assert_eq!(log.rows, vec![3, 5]);
+        assert!(log.bytes_out[1] > log.bytes_out[0], "5 rows > 3 rows");
+        assert_eq!(log.bytes_out, log.bytes_back, "results mirror inputs");
+        assert!(broker.take_phase_logs().is_empty(), "logs drained");
+        teardown(&broker, managers);
+    }
+
+    #[test]
+    fn step_control_round_trips() {
+        let (mut broker, managers, _, _) = setup();
+        broker.step_begin();
+        broker.step_end_and_wait(); // must not deadlock
+        teardown(&broker, managers);
+    }
+}

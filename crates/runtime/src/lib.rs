@@ -1,0 +1,41 @@
+//! The VELA distributed fine-tuning runtime (§IV-A of the paper).
+//!
+//! Implements the master–worker architecture with Expert Brokers:
+//!
+//! * the **master** process owns the model backbone and drives training;
+//! * **Expert Manager workers** own disjoint expert shards, run expert
+//!   forward/backward passes on request, and step their own optimizers;
+//! * the **[`BrokerClient`]** implements the backbone's
+//!   [`ExpertProvider`](vela_model::ExpertProvider) seam by shipping token
+//!   groups to workers as serialized [`Message`]s over
+//!   [`transport`] links that record every byte in a
+//!   [`TrafficLedger`](vela_cluster::TrafficLedger).
+//!
+//! Three engines share this machinery:
+//!
+//! * [`RealRuntime`] — real tensors at micro scale; bit-identical to
+//!   single-process fine-tuning (the paper's §V-A parity claim, verified in
+//!   `tests/parity.rs`);
+//! * [`VirtualEngine`] — the same master–worker message flow carrying
+//!   *virtual* payloads at Mixtral-8x7B scale, driven by measured locality
+//!   profiles (generates Figs. 5–6's VELA/Sequential/Random series);
+//! * [`EpEngine`] — conventional expert parallelism: sharded inputs,
+//!   all-to-all exchange with its status-synchronization round, and
+//!   gradient all-reduce (the EP baseline series).
+
+pub mod broker;
+pub mod ep_engine;
+pub mod message;
+pub mod metrics;
+pub mod routing;
+pub mod runtime;
+pub mod transport;
+pub mod virtual_engine;
+pub mod worker;
+
+pub use broker::BrokerClient;
+pub use ep_engine::EpEngine;
+pub use message::{Message, Payload};
+pub use metrics::{RunSummary, StepMetrics};
+pub use runtime::RealRuntime;
+pub use virtual_engine::{ScaleConfig, VirtualEngine};

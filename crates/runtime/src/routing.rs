@@ -1,0 +1,107 @@
+//! Routing-trace sampling for the scale-virtual engines.
+//!
+//! The evaluation replays *measured* locality profiles at Mixtral scale:
+//! for each step and block, every token draws `k` distinct experts from the
+//! profile's distribution (exactly how the gate behaves in expectation).
+
+use vela_locality::LocalityProfile;
+use vela_tensor::rng::DetRng;
+
+/// Samples per-expert assignment counts for `tokens` tokens of one block.
+///
+/// Each token picks `k` distinct experts weighted by the profile, so the
+/// returned counts sum to `tokens · k`.
+pub fn sample_expert_counts(
+    profile: &LocalityProfile,
+    block: usize,
+    tokens: usize,
+    k: usize,
+    rng: &mut DetRng,
+) -> Vec<usize> {
+    let mut counts = vec![0usize; profile.experts()];
+    for _ in 0..tokens {
+        for e in profile.sample_topk(block, k, rng) {
+            counts[e] += 1;
+        }
+    }
+    counts
+}
+
+/// Samples per-device, per-expert counts for expert parallelism's sharded
+/// inputs: `tokens_per_device[d]` tokens originate on device `d`.
+pub fn sample_sharded_counts(
+    profile: &LocalityProfile,
+    block: usize,
+    tokens_per_device: &[usize],
+    k: usize,
+    rng: &mut DetRng,
+) -> Vec<Vec<usize>> {
+    tokens_per_device
+        .iter()
+        .map(|&t| sample_expert_counts(profile, block, t, k, rng))
+        .collect()
+}
+
+/// Splits `tokens` as evenly as possible across `devices` (data-parallel
+/// input sharding).
+pub fn shard_tokens(tokens: usize, devices: usize) -> Vec<usize> {
+    let base = tokens / devices;
+    let extra = tokens % devices;
+    (0..devices)
+        .map(|d| base + usize::from(d < extra))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sum_to_token_slots() {
+        let profile = LocalityProfile::synthetic("p", 2, 8, 1.2, 3);
+        let mut rng = DetRng::new(1);
+        let counts = sample_expert_counts(&profile, 0, 500, 2, &mut rng);
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
+        assert_eq!(counts.len(), 8);
+    }
+
+    #[test]
+    fn sampling_tracks_the_profile() {
+        let profile = LocalityProfile::synthetic("p", 1, 6, 2.0, 7);
+        let mut rng = DetRng::new(2);
+        let counts = sample_expert_counts(&profile, 0, 20_000, 1, &mut rng);
+        let hottest_by_profile = (0..6)
+            .max_by(|&a, &b| profile.prob(0, a).partial_cmp(&profile.prob(0, b)).unwrap())
+            .unwrap();
+        let hottest_by_sample = (0..6).max_by_key(|&e| counts[e]).unwrap();
+        assert_eq!(hottest_by_profile, hottest_by_sample);
+    }
+
+    #[test]
+    fn sharded_counts_shape() {
+        let profile = LocalityProfile::synthetic("p", 1, 4, 1.0, 5);
+        let mut rng = DetRng::new(3);
+        let shards = shard_tokens(100, 6);
+        let counts = sample_sharded_counts(&profile, 0, &shards, 2, &mut rng);
+        assert_eq!(counts.len(), 6);
+        let total: usize = counts.iter().flatten().sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn shard_tokens_is_balanced_and_complete() {
+        assert_eq!(shard_tokens(10, 3), vec![4, 3, 3]);
+        assert_eq!(shard_tokens(6, 6), vec![1; 6]);
+        assert_eq!(shard_tokens(4096, 6).iter().sum::<usize>(), 4096);
+        let shards = shard_tokens(4096, 6);
+        assert!(shards.iter().max().unwrap() - shards.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let profile = LocalityProfile::synthetic("p", 1, 5, 1.5, 9);
+        let a = sample_expert_counts(&profile, 0, 100, 2, &mut DetRng::new(4));
+        let b = sample_expert_counts(&profile, 0, 100, 2, &mut DetRng::new(4));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,430 @@
+//! The master–worker engine at evaluation scale with virtual payloads.
+//!
+//! Runs the *same* transport, message protocol and Expert Manager loop as
+//! the real runtime, but the payloads are size descriptors at the
+//! evaluation model's true dimensions (Mixtral-8x7B: `H = 4096`, 16-bit
+//! features, 32 blocks × 8 experts). Routing is sampled from a measured
+//! [`LocalityProfile`], which [sharpens](LocalityProfile::sharpen) slightly
+//! every step — the drift the paper observes in Fig. 3(c)/Fig. 5(a).
+//!
+//! This engine produces the VELA / Sequential / Random series of
+//! Figs. 5–6; pick the series by the [`Placement`] you launch it with.
+
+use std::sync::Arc;
+
+use vela_cluster::{CostModel, DeviceId, Topology, TrafficLedger};
+use vela_locality::LocalityProfile;
+use vela_model::MoeSpec;
+use vela_placement::Placement;
+use vela_tensor::rng::DetRng;
+
+use crate::broker::{Pass, PhaseLog};
+use crate::message::{Message, Payload};
+use crate::metrics::{backbone_flops_per_token, master_worker_time, StepMetrics};
+use crate::routing::sample_expert_counts;
+use crate::transport::{star, MasterHub};
+use crate::worker::ExpertManager;
+
+/// Scale parameters of a virtual evaluation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleConfig {
+    /// The simulated model's shape.
+    pub spec: MoeSpec,
+    /// Sequences per batch (the paper uses 8).
+    pub batch: usize,
+    /// Tokens per sequence.
+    pub seq: usize,
+    /// LoRA rank (sizes EP's gradient all-reduce).
+    pub lora_rank: usize,
+    /// Per-step profile sharpening rate (routing drift).
+    pub drift: f64,
+    /// Routing-sampling seed.
+    pub seed: u64,
+}
+
+impl ScaleConfig {
+    /// The paper's fine-tuning workload on the given model shape:
+    /// batch 8 sequences of 256 tokens (which reproduces the paper's
+    /// ">2600 tokens sent externally per block" and ~866 MB/node/step
+    /// derivation), LoRA r = 8, gentle routing drift.
+    pub fn paper_default(spec: MoeSpec) -> Self {
+        ScaleConfig {
+            spec,
+            batch: 8,
+            seq: 256,
+            lora_rank: 8,
+            drift: 2e-4,
+            seed: 7,
+        }
+    }
+
+    /// Tokens entering each MoE block per step.
+    pub fn tokens(&self) -> usize {
+        self.batch * self.seq
+    }
+}
+
+/// Bytes of parameters of a single expert at the spec's precision (three
+/// `H × ffn` projection matrices).
+pub fn expert_param_bytes(spec: &MoeSpec) -> u64 {
+    3 * spec.hidden as u64 * spec.ffn as u64 * (spec.bits as u64 / 8)
+}
+
+/// Per-worker expert capacities derived from device memory (constraint
+/// (11)): `C_n = reserve_frac · mem / expert_bytes`.
+///
+/// # Panics
+/// Panics if any device is too small to host a single expert.
+pub fn capacity_from_memory(
+    topology: &Topology,
+    workers: &[DeviceId],
+    spec: &MoeSpec,
+    reserve_frac: f64,
+) -> Vec<usize> {
+    workers
+        .iter()
+        .map(|&w| {
+            let mem = topology.device(w).mem_bytes as f64 * reserve_frac;
+            let cap = (mem / expert_param_bytes(spec) as f64) as usize;
+            assert!(cap >= 1, "device {w} cannot host any expert");
+            cap
+        })
+        .collect()
+}
+
+/// A live scale-virtual master–worker session.
+#[derive(Debug)]
+pub struct VirtualEngine {
+    hub: MasterHub,
+    managers: Vec<ExpertManager>,
+    placement: Placement,
+    profile: LocalityProfile,
+    scale: ScaleConfig,
+    ledger: Arc<TrafficLedger>,
+    cost: CostModel,
+    master: DeviceId,
+    worker_devices: Vec<DeviceId>,
+    rng: DetRng,
+    step: usize,
+}
+
+impl VirtualEngine {
+    /// Launches echo workers and prepares a session.
+    ///
+    /// # Panics
+    /// Panics if the profile or placement shapes disagree with the spec.
+    pub fn launch(
+        topology: Topology,
+        master: DeviceId,
+        worker_devices: Vec<DeviceId>,
+        placement: Placement,
+        profile: LocalityProfile,
+        scale: ScaleConfig,
+    ) -> Self {
+        assert_eq!(profile.blocks(), scale.spec.blocks, "profile block mismatch");
+        assert_eq!(profile.experts(), scale.spec.experts, "profile expert mismatch");
+        assert_eq!(placement.blocks(), scale.spec.blocks, "placement block mismatch");
+        assert_eq!(placement.experts(), scale.spec.experts, "placement expert mismatch");
+        assert_eq!(
+            placement.workers(),
+            worker_devices.len(),
+            "placement worker mismatch"
+        );
+        let ledger = Arc::new(TrafficLedger::new(topology.clone()));
+        let cost = CostModel::new(topology);
+        let (hub, ports) = star(ledger.clone(), master, &worker_devices);
+        let managers: Vec<ExpertManager> = ports
+            .into_iter()
+            .map(|port| {
+                ExpertManager::spawn(
+                    port,
+                    vela_model::LocalExpertStore::empty(scale.spec.blocks, scale.spec.experts),
+                    vela_nn::optim::AdamWConfig::default(),
+                )
+            })
+            .collect();
+        let rng = DetRng::new(scale.seed);
+        VirtualEngine {
+            hub,
+            managers,
+            placement,
+            profile,
+            scale,
+            ledger,
+            cost,
+            master,
+            worker_devices,
+            rng,
+            step: 0,
+        }
+    }
+
+    /// The placement driving this session.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The (drifting) locality profile.
+    pub fn profile(&self) -> &LocalityProfile {
+        &self.profile
+    }
+
+    /// Runs one virtual fine-tuning step: for every block, forward token
+    /// dispatch + gather and backward gradient dispatch + gather through
+    /// the real message path, with routing sampled from the profile.
+    pub fn step(&mut self) -> StepMetrics {
+        self.step += 1;
+        self.ledger.take_step();
+        self.hub.broadcast(&Message::StepBegin {
+            step: self.step as u64,
+        });
+
+        let spec = self.scale.spec;
+        let tokens = self.scale.tokens();
+        let bytes_per_token = spec.token_bytes() as u32;
+        let mut logs = Vec::with_capacity(spec.blocks * 2);
+        for block in 0..spec.blocks {
+            let counts =
+                sample_expert_counts(&self.profile, block, tokens, spec.top_k, &mut self.rng);
+            logs.push(self.exchange(block, Pass::Forward, &counts, bytes_per_token));
+            logs.push(self.exchange(block, Pass::Backward, &counts, bytes_per_token));
+        }
+
+        // Step end: workers ack their (empty) optimizer step.
+        self.hub.broadcast(&Message::StepEnd);
+        let mut pending = self.hub.worker_count();
+        while pending > 0 {
+            let (_, msg) = self.hub.recv();
+            assert_eq!(msg, Message::StepDone);
+            pending -= 1;
+        }
+
+        let traffic = self.ledger.take_step();
+        let master_flops =
+            tokens as f64 * backbone_flops_per_token(&spec, self.scale.seq) * 3.0;
+        let time = master_worker_time(
+            &self.cost,
+            self.master,
+            &self.worker_devices,
+            &logs,
+            &spec,
+            master_flops,
+        );
+        self.profile.sharpen(self.scale.drift);
+        StepMetrics {
+            step: self.step,
+            loss: None,
+            traffic,
+            time,
+        }
+    }
+
+    /// Runs `steps` steps.
+    pub fn run(&mut self, steps: usize) -> Vec<StepMetrics> {
+        (0..steps).map(|_| self.step()).collect()
+    }
+
+    /// Shuts the workers down.
+    pub fn shutdown(self) {
+        self.hub.broadcast(&Message::Shutdown);
+        for m in self.managers {
+            m.join();
+        }
+    }
+
+    /// One dispatch + gather round for a block: virtual token (or
+    /// gradient) groups to each expert's worker, echoes back.
+    fn exchange(
+        &mut self,
+        block: usize,
+        pass: Pass,
+        counts: &[usize],
+        bytes_per_token: u32,
+    ) -> PhaseLog {
+        let workers = self.hub.worker_count();
+        let mut log = PhaseLog {
+            block,
+            pass,
+            bytes_out: vec![0; workers],
+            bytes_back: vec![0; workers],
+            rows: vec![0; workers],
+        };
+        let mut outstanding = 0usize;
+        for (expert, &rows) in counts.iter().enumerate() {
+            if rows == 0 {
+                continue;
+            }
+            let w = self.placement.worker_of(block, expert);
+            let payload = Payload::Virtual {
+                rows: rows as u32,
+                bytes_per_token,
+            };
+            let msg = match pass {
+                Pass::Forward => Message::TokenBatch {
+                    block: block as u32,
+                    expert: expert as u32,
+                    payload,
+                },
+                Pass::Backward => Message::GradBatch {
+                    block: block as u32,
+                    expert: expert as u32,
+                    payload,
+                },
+            };
+            log.bytes_out[w] += msg.accounted_bytes();
+            log.rows[w] += rows as u64;
+            self.hub.send(w, &msg);
+            outstanding += 1;
+        }
+        while outstanding > 0 {
+            let (w, msg) = self.hub.recv();
+            log.bytes_back[w] += msg.accounted_bytes();
+            match (pass, msg) {
+                (Pass::Forward, Message::ExpertResult { .. })
+                | (Pass::Backward, Message::GradResult { .. }) => {}
+                (_, other) => panic!("unexpected reply {other:?}"),
+            }
+            outstanding -= 1;
+        }
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vela_placement::PlacementProblem;
+    use vela_placement::Strategy;
+
+    fn small_spec() -> MoeSpec {
+        MoeSpec {
+            blocks: 4,
+            experts: 8,
+            top_k: 2,
+            hidden: 4096,
+            ffn: 14336,
+            bits: 16,
+        }
+    }
+
+    fn launch(placement: Placement, profile: LocalityProfile, scale: ScaleConfig) -> VirtualEngine {
+        VirtualEngine::launch(
+            Topology::paper_testbed(),
+            DeviceId(0),
+            (0..6).map(DeviceId).collect(),
+            placement,
+            profile,
+            scale,
+        )
+    }
+
+    fn seq_placement(spec: &MoeSpec, workers: usize) -> Placement {
+        Placement::new(
+            (0..spec.blocks)
+                .map(|_| (0..spec.experts).map(|e| e % workers).collect())
+                .collect(),
+            workers,
+        )
+    }
+
+    #[test]
+    fn virtual_step_accounts_mixtral_scale_traffic() {
+        let spec = small_spec();
+        let scale = ScaleConfig {
+            batch: 8,
+            seq: 128,
+            ..ScaleConfig::paper_default(spec)
+        };
+        let profile = LocalityProfile::synthetic("p", spec.blocks, spec.experts, 1.0, 1);
+        let mut engine = launch(seq_placement(&spec, 6), profile, scale.clone());
+        let m = engine.step();
+        // 1024 tokens × 2 experts × 8 KiB × 2 directions × 2 passes × 4 blocks.
+        let expected_total = (scale.tokens() * spec.top_k) as u64 * spec.token_bytes() * 4 * 4;
+        // Worker 0 shares the master device, so its share is unaccounted;
+        // headers add a little. Total must be in the right ballpark.
+        assert!(
+            m.traffic.total_bytes > expected_total / 2
+                && m.traffic.total_bytes < expected_total + (1 << 20),
+            "total {} vs expected ≈ {}",
+            m.traffic.total_bytes,
+            expected_total
+        );
+        assert!(m.traffic.external_total() > 0);
+        assert!(m.time.comm_s > 0.0 && m.time.compute_s > 0.0);
+        assert!(m.loss.is_none());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn vela_placement_beats_sequential_on_skewed_profile() {
+        let spec = small_spec();
+        let scale = ScaleConfig {
+            batch: 4,
+            seq: 64,
+            ..ScaleConfig::paper_default(spec)
+        };
+        let profile = LocalityProfile::synthetic("skew", spec.blocks, spec.experts, 1.5, 3);
+
+        let problem = PlacementProblem::new(
+            Topology::paper_testbed(),
+            DeviceId(0),
+            (0..6).map(DeviceId).collect(),
+            profile.to_matrix(),
+            (scale.tokens() * spec.top_k) as f64,
+            spec.token_bytes(),
+            vec![8; 6],
+        );
+        let run = |placement: Placement| {
+            let mut engine = launch(placement, profile.clone(), scale.clone());
+            let steps = engine.run(5);
+            engine.shutdown();
+            crate::metrics::RunSummary::from_steps(&steps).avg_external_per_node
+        };
+        let vela = run(Strategy::Vela.place(&problem));
+        let seq = run(Strategy::Sequential.place(&problem));
+        assert!(vela < seq, "vela {vela} vs sequential {seq}");
+    }
+
+    #[test]
+    fn drift_sharpens_profile_over_steps() {
+        let spec = small_spec();
+        let scale = ScaleConfig {
+            batch: 1,
+            seq: 16,
+            drift: 0.01,
+            ..ScaleConfig::paper_default(spec)
+        };
+        let profile = LocalityProfile::synthetic("p", spec.blocks, spec.experts, 1.0, 4);
+        let before = profile.mean_concentration();
+        let mut engine = launch(seq_placement(&spec, 6), profile, scale);
+        engine.run(10);
+        let after = engine.profile().mean_concentration();
+        assert!(after > before, "{before} -> {after}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn capacity_helpers() {
+        let spec = MoeSpec::mixtral_8x7b();
+        // 3 × 4096 × 14336 × 2 bytes ≈ 352 MB per expert.
+        let b = expert_param_bytes(&spec);
+        assert!(b > 330 << 20 && b < 360 << 20, "{b}");
+        let topology = Topology::paper_testbed();
+        let workers: Vec<DeviceId> = (0..6).map(DeviceId).collect();
+        let caps = capacity_from_memory(&topology, &workers, &spec, 0.5);
+        // 16 GB usable / 352 MB ≈ 46 experts.
+        assert!(caps.iter().all(|&c| c > 40 && c < 50), "{caps:?}");
+        assert!(caps.iter().sum::<usize>() >= spec.total_experts());
+    }
+
+    #[test]
+    fn paper_default_matches_evaluation_setup() {
+        let scale = ScaleConfig::paper_default(MoeSpec::mixtral_8x7b());
+        assert_eq!(scale.batch, 8);
+        assert_eq!(scale.lora_rank, 8);
+        assert_eq!(scale.tokens(), 2048);
+        // Paper §V-B: ~2/3 of the 4096 top-2 assignments leave the node in
+        // a balanced placement — "more than 2600 tokens" sent externally.
+        assert!((scale.tokens() * scale.spec.top_k) as f64 * 2.0 / 3.0 > 2600.0);
+    }
+}

@@ -1,0 +1,359 @@
+//! The Expert Manager worker process (§IV-A, Fig. 4).
+//!
+//! Each worker owns a disjoint shard of experts, executes forward/backward
+//! requests from the master's broker, and runs its own optimizer at step
+//! end — exactly the worker role in the paper's framework, where expert
+//! optimization never leaves the hosting device.
+
+use std::thread::JoinHandle;
+
+use vela_model::checkpoint;
+use vela_model::provider::ExpertBatch;
+use vela_model::{ExpertProvider, LocalExpertStore};
+use vela_nn::optim::{AdamW, AdamWConfig};
+use vela_nn::param::Module;
+use vela_nn::swiglu::SwiGlu;
+use vela_tensor::rng::DetRng;
+
+use crate::message::{Message, Payload};
+use crate::transport::WorkerPort;
+
+/// Architectural description of an expert, enough for a worker to rebuild
+/// one that migrates in (the weights arrive as checkpoint bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpertTemplate {
+    /// Model width.
+    pub dim: usize,
+    /// Expert FFN inner width.
+    pub ffn_hidden: usize,
+    /// `(rank, α)` when experts carry LoRA adapters.
+    pub lora: Option<(usize, f32)>,
+    /// Whether base projections are frozen.
+    pub base_frozen: bool,
+}
+
+impl ExpertTemplate {
+    /// Builds an architecturally matching blank expert for `(block,
+    /// expert)`; migration then overwrites its weights.
+    pub fn instantiate(&self, block: usize, expert: usize) -> SwiGlu {
+        let mut rng = DetRng::new(0); // weights are overwritten by the load
+        let mut ffn = SwiGlu::new(
+            format!("block{block}.expert{expert}"),
+            self.dim,
+            self.ffn_hidden,
+            &mut rng,
+        );
+        if self.base_frozen {
+            ffn.freeze_base();
+        }
+        if let Some((rank, alpha)) = self.lora {
+            ffn.attach_lora(rank, alpha, &mut rng);
+        }
+        ffn
+    }
+
+    /// Derives the template from an existing expert.
+    pub fn from_expert(ffn: &SwiGlu) -> Self {
+        ExpertTemplate {
+            dim: ffn.dim(),
+            ffn_hidden: ffn.hidden(),
+            lora: ffn.lora_spec(),
+            base_frozen: ffn.base_frozen(),
+        }
+    }
+}
+
+/// Handle to a spawned Expert Manager thread.
+#[derive(Debug)]
+pub struct ExpertManager {
+    handle: JoinHandle<LocalExpertStore>,
+    index: usize,
+}
+
+impl ExpertManager {
+    /// Spawns a worker thread serving `shard` over `port`.
+    ///
+    /// The worker answers [`Message::TokenBatch`]/[`Message::GradBatch`]
+    /// requests (virtual payloads are echoed with matching sizes), zeroes
+    /// gradients on [`Message::StepBegin`], steps its optimizer on
+    /// [`Message::StepEnd`] (acknowledged with [`Message::StepDone`]),
+    /// serves expert migration ([`Message::FetchExpert`] /
+    /// [`Message::ExpertState`]) and returns its shard on
+    /// [`Message::Shutdown`].
+    pub fn spawn(port: WorkerPort, shard: LocalExpertStore, optim: AdamWConfig) -> Self {
+        Self::spawn_with_template(port, shard, optim, None)
+    }
+
+    /// Like [`spawn`](Self::spawn), with an [`ExpertTemplate`] enabling the
+    /// worker to *receive* migrating experts.
+    pub fn spawn_with_template(
+        port: WorkerPort,
+        shard: LocalExpertStore,
+        optim: AdamWConfig,
+        template: Option<ExpertTemplate>,
+    ) -> Self {
+        let index = port.index;
+        let handle = std::thread::Builder::new()
+            .name(format!("expert-manager-{index}"))
+            .spawn(move || worker_loop(port, shard, optim, template))
+            .expect("failed to spawn expert manager");
+        ExpertManager { handle, index }
+    }
+
+    /// This worker's index in the master's worker list.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Waits for the worker to exit (after `Shutdown`) and returns its
+    /// shard.
+    ///
+    /// # Panics
+    /// Panics if the worker thread panicked.
+    pub fn join(self) -> LocalExpertStore {
+        self.handle.join().expect("expert manager panicked")
+    }
+}
+
+fn worker_loop(
+    port: WorkerPort,
+    mut shard: LocalExpertStore,
+    optim: AdamWConfig,
+    template: Option<ExpertTemplate>,
+) -> LocalExpertStore {
+    let mut opt = AdamW::new(optim);
+    loop {
+        match port.recv() {
+            Message::StepBegin { .. } => shard.zero_grad(),
+            Message::TokenBatch {
+                block,
+                expert,
+                payload,
+            } => {
+                let reply = match payload {
+                    Payload::Real { .. } => {
+                        let xs = payload.to_tensor();
+                        let out = shard
+                            .forward_block(
+                                block as usize,
+                                &[ExpertBatch {
+                                    expert: expert as usize,
+                                    xs,
+                                }],
+                            )
+                            .pop()
+                            .expect("one output per batch");
+                        Payload::from_tensor(&out)
+                    }
+                    Payload::Virtual {
+                        rows,
+                        bytes_per_token,
+                    } => Payload::Virtual {
+                        rows,
+                        bytes_per_token,
+                    },
+                };
+                port.send(&Message::ExpertResult {
+                    block,
+                    expert,
+                    payload: reply,
+                });
+            }
+            Message::GradBatch {
+                block,
+                expert,
+                payload,
+            } => {
+                let reply = match payload {
+                    Payload::Real { .. } => {
+                        let g = payload.to_tensor();
+                        let gin = shard
+                            .backward_block(
+                                block as usize,
+                                &[ExpertBatch {
+                                    expert: expert as usize,
+                                    xs: g,
+                                }],
+                            )
+                            .pop()
+                            .expect("one gradient per batch");
+                        Payload::from_tensor(&gin)
+                    }
+                    Payload::Virtual {
+                        rows,
+                        bytes_per_token,
+                    } => Payload::Virtual {
+                        rows,
+                        bytes_per_token,
+                    },
+                };
+                port.send(&Message::GradResult {
+                    block,
+                    expert,
+                    payload: reply,
+                });
+            }
+            Message::StepEnd => {
+                opt.step(&mut shard);
+                port.send(&Message::StepDone);
+            }
+            Message::FetchExpert { block, expert } => {
+                // Evict the expert and ship its parameters to the master.
+                let mut ffn = shard.take(block as usize, expert as usize);
+                let mut data = Vec::new();
+                checkpoint::save(&mut ffn, &mut data).expect("in-memory save");
+                port.send(&Message::ExpertState {
+                    block,
+                    expert,
+                    data,
+                });
+            }
+            Message::ExpertState {
+                block,
+                expert,
+                data,
+            } => {
+                let template = template
+                    .as_ref()
+                    .expect("worker without template cannot receive experts");
+                let mut ffn = template.instantiate(block as usize, expert as usize);
+                checkpoint::load(&mut ffn, &mut data.as_slice())
+                    .expect("valid expert checkpoint");
+                shard.insert(block as usize, expert as usize, ffn);
+                port.send(&Message::InstallDone { block, expert });
+            }
+            Message::Shutdown => return shard,
+            other => panic!("worker received unexpected message {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::star;
+    use std::sync::Arc;
+    use vela_cluster::{DeviceId, Topology, TrafficLedger};
+    use vela_model::ModelConfig;
+    use vela_tensor::rng::DetRng;
+    use vela_tensor::Tensor;
+
+    fn spawn_one() -> (crate::transport::MasterHub, ExpertManager, ModelConfig) {
+        let cfg = ModelConfig::test_small();
+        let ledger = Arc::new(TrafficLedger::new(Topology::paper_testbed()));
+        let (hub, mut ports) = star(ledger, DeviceId(0), &[DeviceId(2)]);
+        let shard = LocalExpertStore::new(&cfg, &mut DetRng::new(5));
+        let manager = ExpertManager::spawn(ports.remove(0), shard, AdamWConfig::default());
+        (hub, manager, cfg)
+    }
+
+    #[test]
+    fn serves_forward_and_backward() {
+        let (hub, manager, cfg) = spawn_one();
+        let mut rng = DetRng::new(1);
+        let xs = Tensor::uniform((3, cfg.dim), -1.0, 1.0, &mut rng);
+
+        hub.send(0, &Message::StepBegin { step: 0 });
+        hub.send(
+            0,
+            &Message::TokenBatch {
+                block: 0,
+                expert: 1,
+                payload: Payload::from_tensor(&xs),
+            },
+        );
+        let (_, reply) = hub.recv();
+        let Message::ExpertResult { block, expert, payload } = reply else {
+            panic!("expected ExpertResult");
+        };
+        assert_eq!((block, expert), (0, 1));
+        let out = payload.to_tensor();
+        assert_eq!(out.shape().as_2d(), (3, cfg.dim));
+
+        hub.send(
+            0,
+            &Message::GradBatch {
+                block: 0,
+                expert: 1,
+                payload: Payload::from_tensor(&Tensor::ones((3, cfg.dim))),
+            },
+        );
+        let (_, reply) = hub.recv();
+        assert!(matches!(reply, Message::GradResult { .. }));
+
+        hub.send(0, &Message::StepEnd);
+        let (_, done) = hub.recv();
+        assert_eq!(done, Message::StepDone);
+
+        hub.send(0, &Message::Shutdown);
+        let shard = manager.join();
+        assert_eq!(shard.present_count(), cfg.blocks * cfg.experts);
+    }
+
+    #[test]
+    fn virtual_payloads_are_echoed() {
+        let (hub, manager, _) = spawn_one();
+        hub.send(
+            0,
+            &Message::TokenBatch {
+                block: 3,
+                expert: 2,
+                payload: Payload::Virtual {
+                    rows: 77,
+                    bytes_per_token: 8192,
+                },
+            },
+        );
+        let (_, reply) = hub.recv();
+        assert_eq!(
+            reply,
+            Message::ExpertResult {
+                block: 3,
+                expert: 2,
+                payload: Payload::Virtual {
+                    rows: 77,
+                    bytes_per_token: 8192,
+                },
+            }
+        );
+        hub.send(0, &Message::Shutdown);
+        manager.join();
+    }
+
+    #[test]
+    fn matches_local_computation_exactly() {
+        // The worker must compute exactly what a local store computes.
+        let cfg = ModelConfig::test_small();
+        let mut local = LocalExpertStore::new(&cfg, &mut DetRng::new(5));
+        let (hub, manager, _) = spawn_one(); // same seed inside
+        let mut rng = DetRng::new(2);
+        let xs = Tensor::uniform((4, cfg.dim), -1.0, 1.0, &mut rng);
+
+        let local_out = local
+            .forward_block(
+                1,
+                &[ExpertBatch {
+                    expert: 0,
+                    xs: xs.clone(),
+                }],
+            )
+            .pop()
+            .unwrap();
+
+        hub.send(
+            0,
+            &Message::TokenBatch {
+                block: 1,
+                expert: 0,
+                payload: Payload::from_tensor(&xs),
+            },
+        );
+        let (_, reply) = hub.recv();
+        let Message::ExpertResult { payload, .. } = reply else {
+            panic!()
+        };
+        assert_eq!(payload.to_tensor(), local_out, "bit-exact parity");
+        hub.send(0, &Message::Shutdown);
+        manager.join();
+    }
+}

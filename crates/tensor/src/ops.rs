@@ -1,0 +1,293 @@
+//! Row-wise kernels shared across the workspace.
+//!
+//! These free functions operate on the 2-D view of a [`Tensor`]
+//! (`[tokens, features]`) and implement the numerically careful pieces —
+//! softmax, log-softmax, top-k selection — together with small reduction
+//! helpers used by layers and the locality toolkit.
+
+use crate::Tensor;
+
+/// Numerically stable row-wise softmax.
+///
+/// Each row of the 2-D view is shifted by its maximum before
+/// exponentiation, so arbitrarily large logits do not overflow.
+///
+/// # Example
+/// ```
+/// use vela_tensor::{ops, Tensor};
+/// let t = Tensor::from_rows(&[&[0.0, 0.0]]);
+/// let s = ops::softmax_rows(&t);
+/// assert!((s.at2(0, 0) - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    let (r, c) = logits.shape().as_2d();
+    let mut out = logits.clone();
+    for i in 0..r {
+        let row = out.row_mut(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+    debug_assert_eq!(out.shape().as_2d(), (r, c));
+    out
+}
+
+/// Numerically stable row-wise log-softmax.
+pub fn log_softmax_rows(logits: &Tensor) -> Tensor {
+    let (r, _) = logits.shape().as_2d();
+    let mut out = logits.clone();
+    for i in 0..r {
+        let row = out.row_mut(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum = row.iter().map(|x| (x - max).exp()).sum::<f32>().ln() + max;
+        for x in row.iter_mut() {
+            *x -= log_sum;
+        }
+    }
+    out
+}
+
+/// Backward pass of row-wise softmax: given the softmax output `probs` and
+/// the upstream gradient `grad_out`, returns the gradient with respect to
+/// the logits: `p ⊙ (g − (g·p) 1)` per row.
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn softmax_rows_backward(probs: &Tensor, grad_out: &Tensor) -> Tensor {
+    assert_eq!(
+        probs.shape(),
+        grad_out.shape(),
+        "softmax backward shape mismatch"
+    );
+    let (r, c) = probs.shape().as_2d();
+    let mut out = Tensor::zeros((r, c));
+    for i in 0..r {
+        let p = probs.row(i);
+        let g = grad_out.row(i);
+        let dot: f32 = p.iter().zip(g).map(|(&pi, &gi)| pi * gi).sum();
+        let o = out.row_mut(i);
+        for j in 0..c {
+            o[j] = p[j] * (g[j] - dot);
+        }
+    }
+    out
+}
+
+/// Indices and values of the `k` largest entries of each row, sorted by
+/// descending value (ties broken by lower index, matching deterministic
+/// top-k routing).
+///
+/// Returns `(indices, values)`, each of length `rows * k` in row-major order.
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds the number of columns.
+pub fn topk_rows(t: &Tensor, k: usize) -> (Vec<usize>, Vec<f32>) {
+    let (r, c) = t.shape().as_2d();
+    assert!(k >= 1 && k <= c, "topk k={k} out of 1..={c}");
+    let mut indices = Vec::with_capacity(r * k);
+    let mut values = Vec::with_capacity(r * k);
+    for i in 0..r {
+        let row = t.row(i);
+        let mut order: Vec<usize> = (0..c).collect();
+        order.sort_by(|&a, &b| {
+            row[b]
+                .partial_cmp(&row[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for &j in order.iter().take(k) {
+            indices.push(j);
+            values.push(row[j]);
+        }
+    }
+    (indices, values)
+}
+
+/// Index of the maximum entry in each row (ties broken by lower index).
+pub fn argmax_rows(t: &Tensor) -> Vec<usize> {
+    let (indices, _) = topk_rows(t, 1);
+    indices
+}
+
+/// Sum over rows: returns a vector of length `cols` where entry `j` is the
+/// sum of column `j`.
+pub fn sum_rows(t: &Tensor) -> Vec<f32> {
+    let (r, c) = t.shape().as_2d();
+    let mut out = vec![0.0f32; c];
+    for i in 0..r {
+        for (o, &v) in out.iter_mut().zip(t.row(i)) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Sum over columns: returns a vector of length `rows` where entry `i` is
+/// the sum of row `i`.
+pub fn sum_cols(t: &Tensor) -> Vec<f32> {
+    (0..t.rows()).map(|i| t.row(i).iter().sum()).collect()
+}
+
+/// SiLU (a.k.a. swish) activation `x * sigmoid(x)`, element-wise.
+pub fn silu(t: &Tensor) -> Tensor {
+    t.map(|x| x * sigmoid(x))
+}
+
+/// Derivative of SiLU with respect to its input, element-wise, evaluated at
+/// the pre-activation `x`.
+pub fn silu_grad(t: &Tensor) -> Tensor {
+    t.map(|x| {
+        let s = sigmoid(x);
+        s * (1.0 + x * (1.0 - s))
+    })
+}
+
+/// The logistic function `1 / (1 + e^{-x})`.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::rng::DetRng;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = DetRng::new(11);
+        let t = Tensor::uniform((7, 5), -4.0, 4.0, &mut rng);
+        let s = softmax_rows(&t);
+        for i in 0..7 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(s.row(i).iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let t = Tensor::from_rows(&[&[1000.0, 1000.0, 999.0]]);
+        let s = softmax_rows(&t);
+        assert!(s.as_slice().iter().all(|p| p.is_finite()));
+        assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        assert!(s.at2(0, 0) > s.at2(0, 2));
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let mut rng = DetRng::new(12);
+        let t = Tensor::uniform((4, 6), -3.0, 3.0, &mut rng);
+        let ls = log_softmax_rows(&t);
+        let s = softmax_rows(&t);
+        let exp_ls = ls.map(f32::exp);
+        assert!(approx_eq(exp_ls.as_slice(), s.as_slice(), 1e-5));
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let mut rng = DetRng::new(13);
+        let logits = Tensor::uniform((2, 4), -1.0, 1.0, &mut rng);
+        let grad_out = Tensor::uniform((2, 4), -1.0, 1.0, &mut rng);
+        let probs = softmax_rows(&logits);
+        let analytic = softmax_rows_backward(&probs, &grad_out);
+        let eps = 1e-3f32;
+        for idx in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let fp: f32 = softmax_rows(&plus)
+                .as_slice()
+                .iter()
+                .zip(grad_out.as_slice())
+                .map(|(&p, &g)| p * g)
+                .sum();
+            let fm: f32 = softmax_rows(&minus)
+                .as_slice()
+                .iter()
+                .zip(grad_out.as_slice())
+                .map(|(&p, &g)| p * g)
+                .sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.at(idx)).abs() < 2e-2,
+                "idx {idx}: numeric {numeric} vs analytic {}",
+                analytic.at(idx)
+            );
+        }
+    }
+
+    #[test]
+    fn topk_orders_by_value() {
+        let t = Tensor::from_rows(&[&[0.1, 0.9, 0.5], &[3.0, 1.0, 2.0]]);
+        let (idx, val) = topk_rows(&t, 2);
+        assert_eq!(idx, vec![1, 2, 0, 2]);
+        assert_eq!(val, vec![0.9, 0.5, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn topk_ties_prefer_lower_index() {
+        let t = Tensor::from_rows(&[&[0.5, 0.5, 0.5]]);
+        let (idx, _) = topk_rows(&t, 2);
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn argmax_rows_picks_max() {
+        let t = Tensor::from_rows(&[&[0.0, 2.0, 1.0], &[9.0, 3.0, 4.0]]);
+        assert_eq!(argmax_rows(&t), vec![1, 0]);
+    }
+
+    #[test]
+    fn row_and_col_sums() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(sum_rows(&t), vec![4.0, 6.0]);
+        assert_eq!(sum_cols(&t), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn silu_matches_definition() {
+        let t = Tensor::from_vec(3usize, vec![-2.0, 0.0, 2.0]);
+        let s = silu(&t);
+        assert!((s.at(1)).abs() < 1e-7);
+        assert!((s.at(2) - 2.0 * sigmoid(2.0)).abs() < 1e-6);
+        assert!(s.at(0) < 0.0);
+    }
+
+    #[test]
+    fn silu_grad_matches_finite_difference() {
+        let t = Tensor::from_vec(5usize, vec![-3.0, -1.0, 0.0, 1.0, 3.0]);
+        let g = silu_grad(&t);
+        let eps = 1e-3f32;
+        for i in 0..t.len() {
+            let x = t.at(i);
+            let numeric = ((x + eps) * sigmoid(x + eps) - (x - eps) * sigmoid(x - eps)) / (2.0 * eps);
+            assert!((numeric - g.at(i)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        for &x in &[-5.0f32, -1.0, 0.0, 1.0, 5.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "topk k=")]
+    fn topk_rejects_oversized_k() {
+        topk_rows(&Tensor::zeros((1, 2)), 3);
+    }
+}

@@ -1,0 +1,231 @@
+//! Deterministic random-number generation.
+//!
+//! Every stochastic component in the workspace — weight initialization,
+//! synthetic corpora, routing traces, placement baselines — draws from a
+//! [`DetRng`] seeded with an explicit `u64`, making all experiments
+//! reproducible bit-for-bit across runs and machines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic, seedable random-number generator.
+///
+/// Wraps [`rand::rngs::StdRng`] and adds the distributions this workspace
+/// needs (uniform, normal via Box–Muller, categorical, permutation) behind a
+/// small stable API.
+///
+/// # Example
+/// ```
+/// use vela_tensor::rng::DetRng;
+///
+/// let mut a = DetRng::new(42);
+/// let mut b = DetRng::new(42);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    inner: StdRng,
+    /// Cached second sample from the Box–Muller transform.
+    spare_normal: Option<f32>,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator. Used to hand each worker or
+    /// data stream its own reproducible stream.
+    pub fn fork(&mut self, tag: u64) -> DetRng {
+        let seed = self.inner.gen::<u64>() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        DetRng::new(seed)
+    }
+
+    /// A uniform sample from `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "uniform requires lo < hi, got [{lo}, {hi})");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A standard-uniform sample from `[0, 1)`.
+    pub fn unit(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// A normal sample with the given mean and standard deviation
+    /// (Box–Muller transform).
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        let z = match self.spare_normal.take() {
+            Some(z) => z,
+            None => {
+                // Box–Muller: two uniforms -> two independent normals.
+                let u1 = loop {
+                    let u = self.inner.gen::<f32>();
+                    if u > f32::MIN_POSITIVE {
+                        break u;
+                    }
+                };
+                let u2 = self.inner.gen::<f32>();
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f32::consts::PI * u2;
+                self.spare_normal = Some(r * theta.sin());
+                r * theta.cos()
+            }
+        };
+        mean + std * z
+    }
+
+    /// A uniform integer from `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below requires n > 0");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Samples an index from an unnormalized weight vector.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to a non-positive value.
+    pub fn categorical(&mut self, weights: &[f32]) -> usize {
+        assert!(!weights.is_empty(), "categorical requires weights");
+        let total: f32 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "categorical requires positive finite total weight, got {total}"
+        );
+        let mut target = self.uniform(0.0, total);
+        for (i, &w) in weights.iter().enumerate() {
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut p);
+        p
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f32) -> bool {
+        self.unit() < p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed() {
+        let mut a = DetRng::new(123);
+        let mut b = DetRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_and_deterministic() {
+        let mut root1 = DetRng::new(9);
+        let mut root2 = DetRng::new(9);
+        let mut c1 = root1.fork(5);
+        let mut c2 = root2.fork(5);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut other = root1.fork(6);
+        assert_ne!(c1.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = DetRng::new(4);
+        for _ in 0..1000 {
+            let x = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = DetRng::new(5);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal(1.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = DetRng::new(6);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[rng.categorical(&[1.0, 2.0, 7.0])] += 1;
+        }
+        let f2 = counts[2] as f32 / 30_000.0;
+        assert!((f2 - 0.7).abs() < 0.02, "freq {f2}");
+        assert!(counts[0] < counts[1] && counts[1] < counts[2]);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = DetRng::new(7);
+        let mut p = rng.permutation(50);
+        p.sort_unstable();
+        assert_eq!(p, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::new(8);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_bad_range_panics() {
+        DetRng::new(0).uniform(1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn categorical_zero_total_panics() {
+        DetRng::new(0).categorical(&[0.0, 0.0]);
+    }
+}

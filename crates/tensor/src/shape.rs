@@ -1,0 +1,182 @@
+use std::fmt;
+
+/// The dimensions of a [`Tensor`](crate::Tensor), stored outermost-first.
+///
+/// A `Shape` is a thin wrapper around a dimension list that provides the
+/// row-major stride arithmetic used by every kernel in this crate. Tensors in
+/// this workspace are at most three-dimensional
+/// (`[batch, sequence, feature]`); most kernels operate on the
+/// two-dimensional `[tokens, feature]` view.
+///
+/// # Example
+/// ```
+/// use vela_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from an explicit dimension list.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty or has more than three dimensions.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(
+            !dims.is_empty() && dims.len() <= 3,
+            "shape must have 1..=3 dimensions, got {dims:?}"
+        );
+        Shape { dims }
+    }
+
+    /// Convenience constructor for a one-dimensional shape.
+    pub fn d1(n: usize) -> Self {
+        Shape::new(vec![n])
+    }
+
+    /// Convenience constructor for a two-dimensional shape.
+    pub fn d2(rows: usize, cols: usize) -> Self {
+        Shape::new(vec![rows, cols])
+    }
+
+    /// Convenience constructor for a three-dimensional shape.
+    pub fn d3(a: usize, b: usize, c: usize) -> Self {
+        Shape::new(vec![a, b, c])
+    }
+
+    /// The dimension list, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Returns `true` if the shape contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides (in elements) for each dimension.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    /// Panics if `axis >= self.ndim()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Interprets the shape as two-dimensional `(rows, cols)`, flattening all
+    /// outer dimensions into `rows`. A 1-D shape is viewed as a single row.
+    pub fn as_2d(&self) -> (usize, usize) {
+        match self.dims.len() {
+            1 => (1, self.dims[0]),
+            2 => (self.dims[0], self.dims[1]),
+            3 => (self.dims[0] * self.dims[1], self.dims[2]),
+            _ => unreachable!("shapes are at most 3-d"),
+        }
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let strs: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        write!(f, "[{}]", strs.join("x"))
+    }
+}
+
+impl From<(usize, usize)> for Shape {
+    fn from((r, c): (usize, usize)) -> Self {
+        Shape::d2(r, c)
+    }
+}
+
+impl From<usize> for Shape {
+    fn from(n: usize) -> Self {
+        Shape::d1(n)
+    }
+}
+
+impl From<(usize, usize, usize)> for Shape {
+    fn from((a, b, c): (usize, usize, usize)) -> Self {
+        Shape::d3(a, b, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::d3(2, 3, 4).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::d2(5, 7).strides(), vec![7, 1]);
+        assert_eq!(Shape::d1(9).strides(), vec![1]);
+    }
+
+    #[test]
+    fn len_and_dims() {
+        let s = Shape::d3(2, 3, 4);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.ndim(), 3);
+        assert_eq!(s.dim(1), 3);
+        assert!(!s.is_empty());
+        assert!(Shape::d2(0, 5).is_empty());
+    }
+
+    #[test]
+    fn as_2d_flattens_outer() {
+        assert_eq!(Shape::d3(2, 3, 4).as_2d(), (6, 4));
+        assert_eq!(Shape::d2(5, 7).as_2d(), (5, 7));
+        assert_eq!(Shape::d1(9).as_2d(), (1, 9));
+    }
+
+    #[test]
+    fn display_and_from() {
+        let s: Shape = (2usize, 3usize).into();
+        assert_eq!(format!("{s}"), "[2x3]");
+        assert_eq!(format!("{s:?}"), "Shape[2, 3]");
+        let s1: Shape = 4usize.into();
+        assert_eq!(s1.dims(), &[4]);
+        let s3: Shape = (1usize, 2usize, 3usize).into();
+        assert_eq!(s3.dims(), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=3 dimensions")]
+    fn rejects_empty() {
+        Shape::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=3 dimensions")]
+    fn rejects_4d() {
+        Shape::new(vec![1, 2, 3, 4]);
+    }
+}

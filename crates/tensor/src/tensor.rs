@@ -1,0 +1,715 @@
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::rng::DetRng;
+use crate::Shape;
+
+/// A dense, row-major, owned `f32` tensor of at most three dimensions.
+///
+/// `Tensor` is the single numerical currency of the workspace: activations,
+/// weights, gradients and optimizer state are all `Tensor`s. The type keeps
+/// its buffer contiguous and owned, which keeps every kernel a simple loop
+/// and makes serialization for the distributed runtime trivial.
+///
+/// Most kernels live as inherent methods here or in [`crate::ops`]; binary
+/// operators (`+`, `-`, `*`) are provided for same-shape element-wise use.
+///
+/// # Example
+/// ```
+/// use vela_tensor::Tensor;
+///
+/// let x = Tensor::full((2, 2), 3.0);
+/// let y = &x + &Tensor::eye(2);
+/// assert_eq!(y.at2(0, 0), 4.0);
+/// assert_eq!(y.at2(0, 1), 3.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and backing data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.len(),
+            data.len(),
+            "shape {shape} expects {} elements, got {}",
+            shape.len(),
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Creates a 2-D tensor from row slices.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Tensor::from_vec((rows.len(), cols), data)
+    }
+
+    /// A tensor filled with zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.len();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// A tensor filled with ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.len();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// The `n`-by-`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros((n, n));
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// A tensor with elements drawn uniformly from `[lo, hi)`.
+    pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut DetRng) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.len()).map(|_| rng.uniform(lo, hi)).collect();
+        Tensor { shape, data }
+    }
+
+    /// A tensor with elements drawn from a normal distribution.
+    pub fn normal(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut DetRng) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.len()).map(|_| rng.normal(mean, std)).collect();
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of rows in the 2-D view (outer dims flattened).
+    pub fn rows(&self) -> usize {
+        self.shape.as_2d().0
+    }
+
+    /// Number of columns in the 2-D view (innermost dim).
+    pub fn cols(&self) -> usize {
+        self.shape.as_2d().1
+    }
+
+    /// Immutable access to the backing buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at flat index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn at(&self, i: usize) -> f32 {
+        self.data[i]
+    }
+
+    /// Element at 2-D position `(row, col)` of the flattened 2-D view.
+    ///
+    /// # Panics
+    /// Panics if the position is out of bounds.
+    pub fn at2(&self, row: usize, col: usize) -> f32 {
+        let (r, c) = self.shape.as_2d();
+        assert!(row < r && col < c, "index ({row},{col}) out of {r}x{c}");
+        self.data[row * c + col]
+    }
+
+    /// Sets the element at 2-D position `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if the position is out of bounds.
+    pub fn set2(&mut self, row: usize, col: usize, value: f32) {
+        let (r, c) = self.shape.as_2d();
+        assert!(row < r && col < c, "index ({row},{col}) out of {r}x{c}");
+        self.data[row * c + col] = value;
+    }
+
+    /// Borrows row `row` of the 2-D view.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> &[f32] {
+        let (r, c) = self.shape.as_2d();
+        assert!(row < r, "row {row} out of {r}");
+        &self.data[row * c..(row + 1) * c]
+    }
+
+    /// Mutably borrows row `row` of the 2-D view.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        let (r, c) = self.shape.as_2d();
+        assert!(row < r, "row {row} out of {r}");
+        &mut self.data[row * c..(row + 1) * c]
+    }
+
+    /// Returns a copy reshaped to `shape` (same element count).
+    ///
+    /// # Panics
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            shape.len(),
+            self.data.len(),
+            "cannot reshape {} elements into {shape}",
+            self.data.len()
+        );
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise `self + other` (same shape).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Element-wise `self - other` (same shape).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Element-wise `self * other` (Hadamard product, same shape).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Element-wise combination of two same-shape tensors.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place `self += other` (same shape).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += scale * other` (same shape). The fused AXPY used by
+    /// gradient accumulation and optimizers.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, scale: f32, other: &Tensor) {
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// `self * s` for a scalar `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// In-place scalar multiply.
+    pub fn scale_inplace(&mut self, s: f32) {
+        self.map_inplace(|x| x * s);
+    }
+
+    /// Fills the tensor with zeros, keeping its shape.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    ///
+    /// # Panics
+    /// Panics if the tensor is empty.
+    pub fn mean(&self) -> f32 {
+        assert!(!self.is_empty(), "mean of empty tensor");
+        self.sum() / self.data.len() as f32
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    /// Panics if the tensor is empty.
+    pub fn max(&self) -> f32 {
+        assert!(!self.is_empty(), "max of empty tensor");
+        self.data.iter().cloned().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// L2 norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// 2-D transpose of the flattened 2-D view.
+    pub fn transpose(&self) -> Tensor {
+        let (r, c) = self.shape.as_2d();
+        let mut out = Tensor::zeros((c, r));
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        out
+    }
+
+    /// Matrix product of the 2-D views: `(r x k) @ (k x c) -> (r x c)`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (r, k) = self.shape.as_2d();
+        let (k2, c) = other.shape.as_2d();
+        assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            let arow = &self.data[i * k..(i + 1) * k];
+            let orow = &mut out[i * c..(i + 1) * c];
+            for (p, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[p * c..(p + 1) * c];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec((r, c), out)
+    }
+
+    /// `self^T @ other`: `(k x r)^T`-free product computing `(r x c)` from
+    /// `self: (k x r)` and `other: (k x c)` without materializing the
+    /// transpose. Used by backward passes for weight gradients.
+    ///
+    /// # Panics
+    /// Panics if the outer (row) dimensions disagree.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let (k, r) = self.shape.as_2d();
+        let (k2, c) = other.shape.as_2d();
+        assert_eq!(k, k2, "matmul_tn row dims: {k} vs {k2}");
+        let mut out = vec![0.0f32; r * c];
+        for p in 0..k {
+            let arow = &self.data[p * r..(p + 1) * r];
+            let brow = &other.data[p * c..(p + 1) * c];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * c..(i + 1) * c];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec((r, c), out)
+    }
+
+    /// `self @ other^T`: computes `(r x c)` from `self: (r x k)` and
+    /// `other: (c x k)` without materializing the transpose. Used by backward
+    /// passes for input gradients.
+    ///
+    /// # Panics
+    /// Panics if the inner (column) dimensions disagree.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let (r, k) = self.shape.as_2d();
+        let (c, k2) = other.shape.as_2d();
+        assert_eq!(k, k2, "matmul_nt col dims: {k} vs {k2}");
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            let arow = &self.data[i * k..(i + 1) * k];
+            for j in 0..c {
+                let brow = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                out[i * c + j] = acc;
+            }
+        }
+        Tensor::from_vec((r, c), out)
+    }
+
+    /// Gathers rows of the 2-D view by index, producing
+    /// `(indices.len() x cols)`.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        let (r, c) = self.shape.as_2d();
+        let mut data = Vec::with_capacity(indices.len() * c);
+        for &idx in indices {
+            assert!(idx < r, "gather index {idx} out of {r} rows");
+            data.extend_from_slice(&self.data[idx * c..(idx + 1) * c]);
+        }
+        Tensor::from_vec((indices.len(), c), data)
+    }
+
+    /// Scatter-add of `src` rows into `self` rows of the 2-D view:
+    /// `self[indices[i]] += src[i]`.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ, the index count does not match
+    /// `src`'s row count, or any index is out of bounds.
+    pub fn scatter_add_rows(&mut self, indices: &[usize], src: &Tensor) {
+        let (r, c) = self.shape.as_2d();
+        let (sr, sc) = src.shape.as_2d();
+        assert_eq!(c, sc, "scatter column mismatch: {c} vs {sc}");
+        assert_eq!(indices.len(), sr, "scatter index count mismatch");
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < r, "scatter index {idx} out of {r} rows");
+            let dst = &mut self.data[idx * c..(idx + 1) * c];
+            let s = &src.data[i * c..(i + 1) * c];
+            for (d, &v) in dst.iter_mut().zip(s) {
+                *d += v;
+            }
+        }
+    }
+
+    /// Concatenates 2-D tensors along rows.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or the column counts differ.
+    pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_rows requires at least one part");
+        let c = parts[0].cols();
+        let total: usize = parts.iter().map(|p| p.rows()).sum();
+        let mut data = Vec::with_capacity(total * c);
+        for p in parts {
+            assert_eq!(p.cols(), c, "concat column mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Tensor::from_vec((total, c), data)
+    }
+
+    /// Adds `bias` (length = cols) to every row of the 2-D view.
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != self.cols()`.
+    pub fn add_row_broadcast(&self, bias: &[f32]) -> Tensor {
+        let (r, c) = self.shape.as_2d();
+        assert_eq!(bias.len(), c, "bias length {} vs cols {c}", bias.len());
+        let mut out = self.clone();
+        for i in 0..r {
+            for (j, &b) in bias.iter().enumerate() {
+                out.data[i * c + j] += b;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({}", self.shape)?;
+        if self.len() <= 8 {
+            write!(f, ", {:?})", self.data)
+        } else {
+            write!(
+                f,
+                ", [{:.4}, {:.4}, .., {:.4}])",
+                self.data[0],
+                self.data[1],
+                self.data[self.len() - 1]
+            )
+        }
+    }
+}
+
+impl Default for Tensor {
+    /// A 1-element zero tensor.
+    fn default() -> Self {
+        Tensor::zeros(1usize)
+    }
+}
+
+impl Add for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: &Tensor) -> Tensor {
+        Tensor::add(self, rhs)
+    }
+}
+
+impl Sub for &Tensor {
+    type Output = Tensor;
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        Tensor::sub(self, rhs)
+    }
+}
+
+impl Mul for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        Tensor::mul(self, rhs)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.scale(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.at2(1, 2), 6.0);
+        assert_eq!(t.row(0), &[1.0, 2.0, 3.0]);
+        let mut t = t;
+        t.set2(0, 0, -1.0);
+        assert_eq!(t.at(0), -1.0);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Tensor::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = DetRng::new(7);
+        let a = Tensor::uniform((4, 4), -1.0, 1.0, &mut rng);
+        let i = Tensor::eye(4);
+        assert!(approx_eq(a.matmul(&i).as_slice(), a.as_slice(), 1e-6));
+        assert!(approx_eq(i.matmul(&a).as_slice(), a.as_slice(), 1e-6));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = DetRng::new(1);
+        let a = Tensor::uniform((5, 3), -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform((5, 4), -1.0, 1.0, &mut rng);
+        let fast = a.matmul_tn(&b);
+        let slow = a.transpose().matmul(&b);
+        assert!(approx_eq(fast.as_slice(), slow.as_slice(), 1e-5));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = DetRng::new(2);
+        let a = Tensor::uniform((5, 3), -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform((4, 3), -1.0, 1.0, &mut rng);
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transpose());
+        assert!(approx_eq(fast.as_slice(), slow.as_slice(), 1e-5));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(3usize, vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(3usize, vec![4.0, 5.0, 6.0]);
+        assert_eq!((&a + &b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!((&b - &a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!((&a * &b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0, -3.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_vec(2usize, vec![1.0, 1.0]);
+        let g = Tensor::from_vec(2usize, vec![2.0, 4.0]);
+        a.axpy(0.5, &g);
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        assert_eq!(t.sum(), 6.0);
+        assert_eq!(t.mean(), 1.5);
+        assert_eq!(t.max(), 4.0);
+        assert!((t.norm() - (1.0f32 + 4.0 + 9.0 + 16.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let g = t.gather_rows(&[2, 0]);
+        assert_eq!(g.as_slice(), &[5.0, 6.0, 1.0, 2.0]);
+        let mut out = Tensor::zeros((3, 2));
+        out.scatter_add_rows(&[2, 0], &g);
+        assert_eq!(out.as_slice(), &[1.0, 2.0, 0.0, 0.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn scatter_add_accumulates_duplicates() {
+        let src = Tensor::from_rows(&[&[1.0], &[2.0]]);
+        let mut out = Tensor::zeros((2, 1));
+        out.scatter_add_rows(&[0, 0], &src);
+        assert_eq!(out.as_slice(), &[3.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_rows_stacks() {
+        let a = Tensor::from_rows(&[&[1.0, 2.0]]);
+        let b = Tensor::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let c = Tensor::concat_rows(&[&a, &b]);
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = DetRng::new(3);
+        let a = Tensor::uniform((3, 5), -1.0, 1.0, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(6usize, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let r = t.reshape((2, 3));
+        assert_eq!(r.at2(1, 0), 3.0);
+        let r3 = t.reshape((1, 2, 3));
+        assert_eq!(r3.shape().dims(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let out = t.add_row_broadcast(&[10.0, 20.0]);
+        assert_eq!(out.as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Tensor::zeros((2, 3));
+        let b = Tensor::zeros((2, 3));
+        a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let a = Tensor::zeros((2, 3));
+        let b = Tensor::zeros((3, 2));
+        let _ = &a + &b;
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(!format!("{:?}", Tensor::zeros(1usize)).is_empty());
+        assert!(!format!("{:?}", Tensor::zeros((4, 4))).is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use vela_tensor::ops;
+use vela_tensor::rng::DetRng;
+use vela_tensor::Tensor;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec((rows, cols), data))
+}
+
+proptest! {
+    #[test]
+    fn softmax_rows_is_a_distribution(t in tensor_strategy(4, 6)) {
+        let s = ops::softmax_rows(&t);
+        for i in 0..4 {
+            let sum: f32 = s.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_order(t in tensor_strategy(1, 5)) {
+        let s = ops::softmax_rows(&t);
+        for a in 0..5 {
+            for b in 0..5 {
+                if t.at(a) > t.at(b) {
+                    prop_assert!(s.at(a) >= s.at(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+        c in tensor_strategy(4, 2),
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for i in 0..lhs.len() {
+            prop_assert!((lhs.at(i) - rhs.at(i)).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_nt_agree_with_transpose(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(3, 5),
+    ) {
+        let tn = a.matmul_tn(&b);
+        let explicit = a.transpose().matmul(&b);
+        prop_assert!(vela_tensor::approx_eq(tn.as_slice(), explicit.as_slice(), 1e-3));
+
+        let c = Tensor::from_vec((5, 4), vec![0.5; 20]);
+        let nt = a.matmul_nt(&c);
+        let explicit2 = a.matmul(&c.transpose());
+        prop_assert!(vela_tensor::approx_eq(nt.as_slice(), explicit2.as_slice(), 1e-3));
+    }
+
+    #[test]
+    fn gather_then_scatter_restores_selected_rows(
+        t in tensor_strategy(6, 3),
+        idx in prop::collection::vec(0usize..6, 1..6),
+    ) {
+        // Deduplicate so scatter-add writes each destination once.
+        let mut idx = idx;
+        idx.sort_unstable();
+        idx.dedup();
+        let gathered = t.gather_rows(&idx);
+        let mut out = Tensor::zeros((6, 3));
+        out.scatter_add_rows(&idx, &gathered);
+        for (pos, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(out.row(i), gathered.row(pos));
+            prop_assert_eq!(out.row(i), t.row(i));
+        }
+    }
+
+    #[test]
+    fn topk_values_dominate_rest(t in tensor_strategy(2, 6), k in 1usize..=6) {
+        let (idx, vals) = ops::topk_rows(&t, k);
+        for r in 0..2 {
+            let chosen: Vec<usize> = idx[r * k..(r + 1) * k].to_vec();
+            let min_chosen = vals[r * k..(r + 1) * k]
+                .iter()
+                .cloned()
+                .fold(f32::INFINITY, f32::min);
+            for j in 0..6 {
+                if !chosen.contains(&j) {
+                    prop_assert!(t.at2(r, j) <= min_chosen + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(t in tensor_strategy(4, 7)) {
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn norm_scales_linearly(t in tensor_strategy(3, 3), s in 0.0f32..5.0) {
+        let scaled = t.scale(s);
+        prop_assert!((scaled.norm() - s * t.norm()).abs() < 1e-2 * (1.0 + t.norm()));
+    }
+}
+
+#[test]
+fn uniform_tensor_reproducible() {
+    let mut a = DetRng::new(77);
+    let mut b = DetRng::new(77);
+    let ta = Tensor::uniform((8, 8), -1.0, 1.0, &mut a);
+    let tb = Tensor::uniform((8, 8), -1.0, 1.0, &mut b);
+    assert_eq!(ta, tb);
+}

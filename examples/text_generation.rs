@@ -1,0 +1,67 @@
+//! Qualitative check: pre-train a small MoE model, fine-tune it on the
+//! drama corpus through the distributed runtime, then sample text from the
+//! merged result — watching the style shift toward the fine-tuning domain.
+//!
+//! Run: `cargo run --release -p vela --example text_generation`
+
+use vela::model::finetune::{finetune, prepare_for_finetune, FinetuneConfig};
+use vela::prelude::*;
+
+fn sample(model: &mut MoeModel, experts: &mut LocalExpertStore, tok: &CharTokenizer, prompt: &str) -> String {
+    let ids = tok.encode(prompt);
+    let out = model.generate(&ids, 120, 0.7, &mut DetRng::new(7), experts);
+    tok.decode(&out)
+}
+
+fn main() {
+    let tok = CharTokenizer::new();
+    let mut cfg = ModelConfig::tiny_mistral(tok.vocab_size());
+    cfg.seq_len = 64;
+
+    println!("pre-training on the mixed corpus (this is the slow part)...");
+    let pre = pretrain(
+        &cfg,
+        &PretrainConfig {
+            steps: 400,
+            batch_size: 8,
+            corpus_chars: 200_000,
+            seed: 17,
+            ..PretrainConfig::default()
+        },
+    );
+    let (mut model, mut experts) = (pre.model, pre.experts);
+    println!(
+        "pre-train loss {:.3} -> {:.3}",
+        pre.losses[0],
+        pre.losses.last().unwrap()
+    );
+
+    let prompt = "ROMEO:\n";
+    println!("\n--- before fine-tuning ---\n{}", sample(&mut model, &mut experts, &tok, prompt));
+
+    println!("\nfine-tuning on the drama corpus (LoRA r=8)...");
+    prepare_for_finetune(&mut model, &mut experts, LoraConfig::default(), &mut DetRng::new(3));
+    let stats = finetune(
+        &mut model,
+        &mut experts,
+        &FinetuneConfig {
+            steps: 200,
+            batch_size: 8,
+            corpus: Corpus::TinyShakespeare,
+            corpus_chars: 120_000,
+            optim: AdamWConfig {
+                lr: 1e-3, // scaled up for the micro model
+                ..AdamWConfig::default()
+            },
+            ..FinetuneConfig::default()
+        },
+    );
+    println!(
+        "fine-tune loss {:.3} -> {:.3}",
+        stats[0].loss,
+        stats.last().unwrap().loss
+    );
+
+    println!("\n--- after fine-tuning ---\n{}", sample(&mut model, &mut experts, &tok, prompt));
+    println!("\n(the fine-tuned model should produce more drama-shaped text: speaker tags, archaic words)");
+}

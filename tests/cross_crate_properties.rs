@@ -1,0 +1,136 @@
+//! Property-based tests spanning crates: the LP + rounding pipeline, the
+//! wire format, the traffic ledger, and the Theorem 1 bound.
+
+use proptest::prelude::*;
+use vela::locality::theorem::drift_bound_from_logits;
+use vela::placement::Strategy as Plan;
+use vela::prelude::{DeviceId, DetRng, LocalityProfile, PlacementProblem, Tensor, Topology};
+use vela::runtime::message::{Message, Payload};
+
+fn profile_strategy(blocks: usize, experts: usize) -> impl proptest::strategy::Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(0.01f64..1.0, experts),
+        blocks,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|row| {
+                let sum: f64 = row.iter().sum();
+                row.into_iter().map(|p| p / sum).collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Rounding any LP relaxation yields a feasible placement, and no
+    /// heuristic ever beats the LP lower bound.
+    #[test]
+    fn lp_rounding_always_feasible(probs in profile_strategy(3, 4), cap_slack in 0usize..3) {
+        let topology = Topology::paper_testbed();
+        let workers: Vec<DeviceId> = (0..6).map(DeviceId).collect();
+        let problem = PlacementProblem::new(
+            topology,
+            DeviceId(0),
+            workers,
+            probs,
+            512.0,
+            8192,
+            PlacementProblem::even_capacities(3, 4, 6, cap_slack),
+        );
+        for strategy in [
+            Plan::Vela,
+            Plan::Sequential,
+            Plan::Random { seed: 1 },
+            Plan::Greedy,
+        ] {
+            let placement = strategy.place(&problem);
+            prop_assert!(placement.respects_capacities(problem.capacities()));
+            prop_assert_eq!(placement.load().iter().sum::<usize>(), 12);
+            prop_assert!(problem.expected_comm_time(&placement).is_finite());
+        }
+        // LP relaxation lower-bounds every binary placement (the LP works
+        // in cost-scaled units; convert back to seconds).
+        let lp = vela::placement::lp::build::build_lp(&problem).solve();
+        let scale = vela::placement::lp::build::cost_scale(&problem);
+        let vela_cost = problem.expected_comm_time(&Plan::Vela.place(&problem));
+        prop_assert!(lp.objective * scale <= vela_cost + 1e-9);
+    }
+
+    /// Messages survive encode/decode for arbitrary real payload shapes.
+    #[test]
+    fn message_roundtrip(rows in 1usize..20, cols in 1usize..20, block in 0u32..64, expert in 0u32..8) {
+        let mut rng = DetRng::new(u64::from(block) * 8 + u64::from(expert));
+        let t = Tensor::uniform((rows, cols), -10.0, 10.0, &mut rng);
+        let msg = Message::TokenBatch { block, expert, payload: Payload::from_tensor(&t) };
+        prop_assert_eq!(Message::decode(msg.encode()), msg);
+    }
+
+    /// Virtual payloads account exactly rows × bytes_per_token.
+    #[test]
+    fn virtual_accounting(rows in 1u32..100_000, bpt in 1u32..16_384) {
+        let p = Payload::Virtual { rows, bytes_per_token: bpt };
+        prop_assert_eq!(p.accounted_bytes(), u64::from(rows) * u64::from(bpt));
+    }
+
+    /// The ledger conserves bytes: sum of sent externals equals sum of
+    /// received externals, and internal + external equals total.
+    #[test]
+    fn ledger_conservation(transfers in prop::collection::vec((0usize..6, 0usize..6, 1u64..10_000), 1..50)) {
+        let ledger = vela::cluster::TrafficLedger::new(Topology::paper_testbed());
+        let mut expected_total = 0u64;
+        for &(s, d, b) in &transfers {
+            ledger.record(DeviceId(s), DeviceId(d), b);
+            if s != d {
+                expected_total += b;
+            }
+        }
+        let t = ledger.peek();
+        prop_assert_eq!(t.total_bytes, expected_total);
+        prop_assert_eq!(
+            t.external_sent_per_node.iter().sum::<u64>(),
+            t.external_recv_per_node.iter().sum::<u64>()
+        );
+        prop_assert_eq!(t.internal_bytes + t.external_total(), t.total_bytes);
+    }
+
+    /// Theorem 1's first-order bound holds for exact softmax pairs under
+    /// small logit perturbations.
+    #[test]
+    fn softmax_drift_bound_holds(
+        logits in prop::collection::vec(-4.0f64..4.0, 6),
+        delta in prop::collection::vec(-1e-3f64..1e-3, 6),
+    ) {
+        let softmax = |v: &[f64]| {
+            let m = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let e: Vec<f64> = v.iter().map(|x| (x - m).exp()).collect();
+            let s: f64 = e.iter().sum();
+            e.into_iter().map(|x| x / s).collect::<Vec<f64>>()
+        };
+        let p0 = softmax(&logits);
+        let shifted: Vec<f64> = logits.iter().zip(&delta).map(|(&l, &d)| l + d).collect();
+        let p1 = softmax(&shifted);
+        let max_drift = delta.iter().cloned().fold(0.0f64, |a, b| a.max(b.abs()));
+        for e in 0..6 {
+            let observed = (p0[e] - p1[e]).abs();
+            let bound = drift_bound_from_logits(p0[e], 6, max_drift);
+            prop_assert!(
+                observed <= bound * 1.05 + 1e-12,
+                "expert {}: observed {} bound {}", e, observed, bound
+            );
+        }
+    }
+
+    /// Locality profiles sample valid distinct top-k sets.
+    #[test]
+    fn profile_sampling_valid(zipf in 0.0f64..2.5, seed in 0u64..100) {
+        let profile = LocalityProfile::synthetic("p", 2, 8, zipf, seed);
+        let mut rng = DetRng::new(seed);
+        let picks = profile.sample_topk(0, 2, &mut rng);
+        prop_assert_eq!(picks.len(), 2);
+        prop_assert_ne!(picks[0], picks[1]);
+        prop_assert!(picks.iter().all(|&e| e < 8));
+    }
+}

@@ -1,0 +1,195 @@
+//! Live expert migration: the runtime-flexibility feature VELA's framework
+//! design enables (§IV-A: users can "manipulate expert distribution at
+//! runtime").
+//!
+//! These tests verify migration is *semantically invisible* — the model
+//! computes identical results before and after experts move — and that
+//! moved parameter bytes are accounted as real traffic.
+
+use vela::model::finetune::prepare_for_finetune;
+use vela::prelude::*;
+
+fn launch(placement: Placement) -> (RealRuntime, ModelConfig, TokenDataset) {
+    let mut cfg = ModelConfig::test_small();
+    cfg.vocab = CharTokenizer::new().vocab_size();
+    let pre = pretrain(
+        &cfg,
+        &PretrainConfig {
+            steps: 20,
+            batch_size: 4,
+            corpus_chars: 20_000,
+            seed: 91,
+            ..PretrainConfig::default()
+        },
+    );
+    let (mut model, mut experts) = (pre.model, pre.experts);
+    prepare_for_finetune(&mut model, &mut experts, LoraConfig::default(), &mut DetRng::new(2));
+    let topology = Topology::paper_testbed();
+    let workers: Vec<DeviceId> = topology.devices().iter().map(|d| d.id).collect();
+    let runtime = RealRuntime::launch(
+        model,
+        experts,
+        placement,
+        topology,
+        DeviceId(0),
+        workers,
+        AdamWConfig::default(),
+    );
+    let tok = CharTokenizer::new();
+    let data = TokenDataset::from_text(&tok, &Corpus::TinyShakespeare.generate(20_000, 5));
+    (runtime, cfg, data)
+}
+
+fn seq_placement(cfg: &ModelConfig) -> Placement {
+    Placement::new(
+        (0..cfg.blocks)
+            .map(|_| (0..cfg.experts).map(|e| e % 6).collect())
+            .collect(),
+        6,
+    )
+}
+
+#[test]
+fn migration_preserves_computation_exactly() {
+    let (mut rt, cfg, data) = launch(seq_placement(&ModelConfig::test_small()));
+    let batch = data.sample_batch(2, cfg.seq_len, &mut DetRng::new(1));
+
+    let loss_before = rt.evaluate(&batch.inputs, &batch.targets, batch.batch_size, batch.seq_len);
+
+    // Scatter every expert somewhere else.
+    let mut rng = DetRng::new(3);
+    let mut target = rt.placement().clone();
+    for l in 0..cfg.blocks {
+        for e in 0..cfg.experts {
+            target.set_worker(l, e, rng.below(6));
+        }
+    }
+    let (moved, bytes, _) = rt.apply_placement(&target);
+    assert!(moved > 0, "the shuffle should move something");
+    assert!(bytes > 0, "moved experts carry parameter bytes");
+    assert_eq!(rt.placement(), &target);
+
+    let loss_after = rt.evaluate(&batch.inputs, &batch.targets, batch.batch_size, batch.seq_len);
+    assert_eq!(
+        loss_before, loss_after,
+        "migration must be computation-invisible"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn training_continues_after_migration() {
+    let (mut rt, cfg, data) = launch(seq_placement(&ModelConfig::test_small()));
+    let mut rng = DetRng::new(4);
+    let batch = data.sample_batch(2, cfg.seq_len, &mut rng);
+    let first = rt
+        .train_step(&batch.inputs, &batch.targets, batch.batch_size, batch.seq_len)
+        .loss
+        .unwrap();
+
+    // Consolidate everything onto worker 3 mid-run.
+    let target = Placement::new(vec![vec![3; cfg.experts]; cfg.blocks], 6);
+    rt.apply_placement(&target);
+
+    let mut last = first;
+    for _ in 0..5 {
+        let b = data.sample_batch(2, cfg.seq_len, &mut rng);
+        last = rt
+            .train_step(&b.inputs, &b.targets, b.batch_size, b.seq_len)
+            .loss
+            .unwrap();
+        assert!(last.is_finite());
+    }
+    // All experts now on one worker: dispatch traffic goes to device 3.
+    let b = data.sample_batch(2, cfg.seq_len, &mut rng);
+    let m = rt.train_step(&b.inputs, &b.targets, b.batch_size, b.seq_len);
+    assert!(m.traffic.external_total() > 0, "device 3 is off the master node");
+    let _ = last;
+    let (_, merged) = rt.shutdown();
+    assert_eq!(merged.present_count(), cfg.blocks * cfg.experts);
+}
+
+#[test]
+fn apply_placement_is_idempotent() {
+    let (mut rt, _, _) = launch(seq_placement(&ModelConfig::test_small()));
+    let same = rt.placement().clone();
+    let (moved, bytes, traffic) = rt.apply_placement(&same);
+    assert_eq!((moved, bytes), (0, 0));
+    assert_eq!(traffic.total_bytes, 0);
+    rt.shutdown();
+}
+
+#[test]
+fn migration_bytes_are_accounted_as_traffic() {
+    let (mut rt, _cfg, _data) = launch(seq_placement(&ModelConfig::test_small()));
+    // Move one expert from worker 1 (node 0) to worker 2 (node 1): the
+    // serialized parameters cross a node boundary (master -> worker 2),
+    // while the fetch leg (worker 1 -> master) stays on-node.
+    let mut target = rt.placement().clone();
+    target.set_worker(0, 1, 2);
+    let (moved, bytes, traffic) = rt.apply_placement(&target);
+    assert_eq!(moved, 1);
+    assert!(
+        traffic.total_bytes >= 2 * bytes,
+        "parameters move twice (via the master): {} vs {bytes}",
+        traffic.total_bytes
+    );
+    assert!(traffic.external_total() >= bytes, "the install leg is cross-node");
+    assert!(traffic.internal_bytes >= bytes, "the fetch leg is intra-node");
+    rt.shutdown();
+}
+
+#[test]
+fn dynamic_replanning_improves_traffic_mid_run() {
+    // Start with a deliberately bad placement, measure routing, re-plan
+    // with the LP, and verify per-step external traffic drops.
+    let cfg = ModelConfig::test_small();
+    // Everything on remote node 2 (workers 4,5): worst case.
+    let bad = Placement::new(
+        (0..cfg.blocks)
+            .map(|_| (0..cfg.experts).map(|e| 4 + (e % 2)).collect())
+            .collect(),
+        6,
+    );
+    let (mut rt, cfg, data) = launch(bad);
+    let mut rng = DetRng::new(7);
+    let batch = data.sample_batch(4, cfg.seq_len, &mut rng);
+    let before = rt
+        .train_step(&batch.inputs, &batch.targets, batch.batch_size, batch.seq_len)
+        .traffic
+        .external_total();
+
+    // Measure the live routing and re-plan.
+    let freqs: Vec<Vec<f64>> = rt
+        .model()
+        .routing_snapshot()
+        .iter()
+        .map(|i| i.frequencies().iter().map(|&f| f as f64).collect())
+        .collect();
+    let profile = LocalityProfile::from_frequencies("live", freqs);
+    let problem = PlacementProblem::new(
+        Topology::paper_testbed(),
+        DeviceId(0),
+        (0..6).map(DeviceId).collect(),
+        profile.to_matrix(),
+        (4 * cfg.seq_len * cfg.top_k) as f64,
+        (cfg.dim * 4) as u64,
+        PlacementProblem::even_capacities(cfg.blocks, cfg.experts, 6, 2),
+    );
+    let better = Strategy::Vela.place(&problem);
+    let (_, _, migration_traffic) = rt.apply_placement(&better);
+    assert!(migration_traffic.total_bytes > 0);
+    let b2 = data.sample_batch(4, cfg.seq_len, &mut rng);
+    rt.train_step(&b2.inputs, &b2.targets, b2.batch_size, b2.seq_len);
+
+    let b3 = data.sample_batch(4, cfg.seq_len, &mut rng);
+    let after = rt
+        .train_step(&b3.inputs, &b3.targets, b3.batch_size, b3.seq_len)
+        .traffic
+        .external_total();
+    assert!(
+        after < before / 2,
+        "re-planning should slash external traffic: {before} -> {after}"
+    );
+    rt.shutdown();
+}
