@@ -1,54 +1,44 @@
-//! Criterion bench: tensor kernels on the hot path of the micro models.
+//! Micro-bench: tensor kernels on the hot path of the micro models.
+//!
+//! Run with `cargo bench -p vela-bench --bench kernels`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use vela::prelude::*;
 use vela::tensor::ops;
+use vela_bench::microbench::bench;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn bench_matmul() {
     for n in [32usize, 64, 128] {
         let mut rng = DetRng::new(1);
         let a = Tensor::uniform((n, n), -1.0, 1.0, &mut rng);
         let b = Tensor::uniform((n, n), -1.0, 1.0, &mut rng);
-        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
-            bench.iter(|| black_box(black_box(&a).matmul(black_box(&b))));
-        });
-        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
-            bench.iter(|| black_box(black_box(&a).matmul_tn(black_box(&b))));
-        });
+        bench(&format!("matmul/nn/{n}"), || a.matmul(&b));
+        bench(&format!("matmul/tn/{n}"), || a.matmul_tn(&b));
     }
-    group.finish();
 }
 
-fn bench_softmax_topk(c: &mut Criterion) {
+fn bench_softmax_topk() {
     let mut rng = DetRng::new(2);
     let logits = Tensor::uniform((4096, 8), -3.0, 3.0, &mut rng);
-    c.bench_function("softmax_rows_4096x8", |b| {
-        b.iter(|| black_box(ops::softmax_rows(black_box(&logits))));
-    });
+    bench("softmax_rows_4096x8", || ops::softmax_rows(&logits));
     let probs = ops::softmax_rows(&logits);
-    c.bench_function("topk2_rows_4096x8", |b| {
-        b.iter(|| black_box(ops::topk_rows(black_box(&probs), 2)));
-    });
+    bench("topk2_rows_4096x8", || ops::topk_rows(&probs, 2));
 }
 
-fn bench_expert_forward(c: &mut Criterion) {
+fn bench_expert_forward() {
     use vela::nn::swiglu::SwiGlu;
     let mut rng = DetRng::new(3);
     let mut ffn = SwiGlu::new("e", 32, 64, &mut rng);
     let x = Tensor::uniform((96, 32), -1.0, 1.0, &mut rng);
-    c.bench_function("expert_forward_96tok", |b| {
-        b.iter(|| black_box(ffn.forward(black_box(&x))));
-    });
-    c.bench_function("expert_fwd_bwd_96tok", |b| {
-        let g = Tensor::ones((96, 32));
-        b.iter(|| {
-            ffn.forward(black_box(&x));
-            black_box(ffn.backward(black_box(&g)))
-        });
+    bench("expert_forward_96tok", || ffn.forward(&x));
+    let g = Tensor::ones((96, 32));
+    bench("expert_fwd_bwd_96tok", || {
+        ffn.forward(&x);
+        ffn.backward(&g)
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_softmax_topk, bench_expert_forward);
-criterion_main!(benches);
+fn main() {
+    bench_matmul();
+    bench_softmax_topk();
+    bench_expert_forward();
+}

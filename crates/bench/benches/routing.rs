@@ -1,28 +1,21 @@
-//! Criterion bench: routing-trace sampling and one virtual evaluation step.
+//! Micro-bench: routing-trace sampling and one virtual evaluation step.
+//!
+//! Run with `cargo bench -p vela-bench --bench routing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use vela::prelude::*;
 use vela::runtime::routing::sample_expert_counts;
+use vela_bench::microbench::bench;
 
-fn bench_sampling(c: &mut Criterion) {
+fn bench_sampling() {
     let spec = MoeSpec::mixtral_8x7b();
     let profile = LocalityProfile::synthetic("r", spec.blocks, spec.experts, 1.2, 4);
-    c.bench_function("sample_block_4096tok_top2", |b| {
-        let mut rng = DetRng::new(1);
-        b.iter(|| {
-            black_box(sample_expert_counts(
-                black_box(&profile),
-                0,
-                4096,
-                2,
-                &mut rng,
-            ))
-        });
+    let mut rng = DetRng::new(1);
+    bench("sample_block_4096tok_top2", || {
+        sample_expert_counts(&profile, 0, 4096, 2, &mut rng)
     });
 }
 
-fn bench_virtual_step(c: &mut Criterion) {
+fn bench_virtual_step() {
     let spec = MoeSpec::mixtral_8x7b();
     let scale = ScaleConfig {
         batch: 8,
@@ -46,18 +39,13 @@ fn bench_virtual_step(c: &mut Criterion) {
         profile.clone(),
         scale.clone(),
     );
-    let mut group = c.benchmark_group("engines");
-    group.sample_size(10);
-    group.bench_function("virtual_engine_step_32blocks", |b| {
-        b.iter(|| black_box(engine.step()));
-    });
+    bench("virtual_engine_step_32blocks", || engine.step());
     let mut ep = EpEngine::new(topology, workers, profile, scale);
-    group.bench_function("ep_engine_step_32blocks", |b| {
-        b.iter(|| black_box(ep.step()));
-    });
-    group.finish();
+    bench("ep_engine_step_32blocks", || ep.step());
     engine.shutdown();
 }
 
-criterion_group!(benches, bench_sampling, bench_virtual_step);
-criterion_main!(benches);
+fn main() {
+    bench_sampling();
+    bench_virtual_step();
+}

@@ -1,12 +1,13 @@
-//! Criterion bench: the placement LP at paper scale.
+//! Micro-bench: the placement LP at paper scale.
 //!
 //! The paper claims the LP "can be efficiently solved by off-the-shelf
 //! solvers"; this bench demonstrates the from-scratch bounded simplex
 //! handles the 6-worker × 32-block × 8-expert instance comfortably.
+//!
+//! Run with `cargo bench -p vela-bench --bench simplex`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use vela::prelude::*;
+use vela_bench::microbench::bench;
 
 fn problem(blocks: usize) -> PlacementProblem {
     let spec = MoeSpec::mixtral_8x7b();
@@ -24,20 +25,14 @@ fn problem(blocks: usize) -> PlacementProblem {
     )
 }
 
-fn bench_lp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("placement_lp");
-    group.sample_size(10);
+fn main() {
     for blocks in [8usize, 16, 32] {
         let p = problem(blocks);
-        group.bench_with_input(BenchmarkId::new("vela_solve", blocks), &p, |b, p| {
-            b.iter(|| black_box(Strategy::Vela.place(black_box(p))));
+        bench(&format!("placement_lp/vela_solve/{blocks}"), || {
+            Strategy::Vela.place(&p)
         });
-        group.bench_with_input(BenchmarkId::new("greedy_solve", blocks), &p, |b, p| {
-            b.iter(|| black_box(Strategy::Greedy.place(black_box(p))));
+        bench(&format!("placement_lp/greedy_solve/{blocks}"), || {
+            Strategy::Greedy.place(&p)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_lp);
-criterion_main!(benches);

@@ -1,14 +1,15 @@
-//! Criterion bench: message serialization and the master↔worker transport.
+//! Micro-bench: message serialization and the master↔worker transport.
+//!
+//! Run with `cargo bench -p vela-bench --bench transport`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
 use std::sync::Arc;
 use vela::cluster::TrafficLedger;
 use vela::prelude::*;
 use vela::runtime::message::{Message, Payload};
 use vela::runtime::transport::star;
+use vela_bench::microbench::bench;
 
-fn bench_encode_decode(c: &mut Criterion) {
+fn bench_encode_decode() {
     let mut rng = DetRng::new(1);
     let t = Tensor::uniform((96, 32), -1.0, 1.0, &mut rng);
     let msg = Message::TokenBatch {
@@ -17,14 +18,9 @@ fn bench_encode_decode(c: &mut Criterion) {
         payload: Payload::from_tensor(&t),
     };
     let bytes = msg.encode();
-    let mut group = c.benchmark_group("wire");
-    group.throughput(Throughput::Bytes(bytes.len() as u64));
-    group.bench_function("encode_real_96x32", |b| {
-        b.iter(|| black_box(black_box(&msg).encode()));
-    });
-    group.bench_function("decode_real_96x32", |b| {
-        b.iter(|| black_box(Message::decode(black_box(bytes.clone()))));
-    });
+    println!("wire frame: {} bytes", bytes.len());
+    bench("wire/encode_real_96x32", || msg.encode());
+    bench("wire/decode_real_96x32", || Message::decode(&bytes));
     let virt = Message::TokenBatch {
         block: 5,
         expert: 3,
@@ -33,13 +29,10 @@ fn bench_encode_decode(c: &mut Criterion) {
             bytes_per_token: 8192,
         },
     };
-    group.bench_function("encode_virtual", |b| {
-        b.iter(|| black_box(black_box(&virt).encode()));
-    });
-    group.finish();
+    bench("wire/encode_virtual", || virt.encode());
 }
 
-fn bench_star_roundtrip(c: &mut Criterion) {
+fn bench_star_roundtrip() {
     let ledger = Arc::new(TrafficLedger::new(Topology::paper_testbed()));
     let (hub, mut ports) = star(ledger, DeviceId(0), &[DeviceId(2)]);
     let port = ports.remove(0);
@@ -57,15 +50,15 @@ fn bench_star_roundtrip(c: &mut Criterion) {
         expert: 0,
         payload: Payload::from_tensor(&t),
     };
-    c.bench_function("star_roundtrip_96x32", |b| {
-        b.iter(|| {
-            hub.send(0, black_box(&msg));
-            black_box(hub.recv())
-        });
+    bench("star_roundtrip_96x32", || {
+        hub.send(0, &msg);
+        hub.recv()
     });
     hub.send(0, &Message::Shutdown);
     echo.join().unwrap();
 }
 
-criterion_group!(benches, bench_encode_decode, bench_star_roundtrip);
-criterion_main!(benches);
+fn main() {
+    bench_encode_decode();
+    bench_star_roundtrip();
+}

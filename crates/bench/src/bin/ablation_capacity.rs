@@ -42,7 +42,5 @@ fn main() {
             spec.total_experts()
         );
     }
-    println!(
-        "\n(tighter capacity -> fewer hot experts fit near the master -> smaller advantage)"
-    );
+    println!("\n(tighter capacity -> fewer hot experts fit near the master -> smaller advantage)");
 }

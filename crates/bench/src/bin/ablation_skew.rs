@@ -33,8 +33,13 @@ fn main() {
             &scale,
             steps,
         ));
-        let vela =
-            RunSummary::from_steps(&run_strategy(Strategy::Vela, &profile, &spec, &scale, steps));
+        let vela = RunSummary::from_steps(&run_strategy(
+            Strategy::Vela,
+            &profile,
+            &spec,
+            &scale,
+            steps,
+        ));
         println!(
             "{zipf:>6.1} | {:>13.3} | {:>12} | {:>12} | {:>8.1}%",
             profile.mean_concentration(),

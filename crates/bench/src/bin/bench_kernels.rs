@@ -1,0 +1,119 @@
+//! Serial-vs-parallel kernel benchmark, emitted as `BENCH_kernels.json`.
+//!
+//! Times the three matmul variants at 256×256×256 and a MoeBlock
+//! forward/backward pass under a 1-thread pool and under the default
+//! pool (`VELA_THREADS` / host parallelism), then writes the timings
+//! and speedups as a small hand-rolled JSON file in the current
+//! directory. Run with `cargo run --release -p vela-bench --bin
+//! bench_kernels`.
+
+use std::fmt::Write as _;
+use vela::model::{LocalExpertStore, ModelConfig, MoeBlock};
+use vela::prelude::*;
+use vela::tensor::parallel::{self, ThreadPool};
+use vela_bench::microbench::secs_per_iter;
+
+struct Row {
+    name: &'static str,
+    serial_secs: f64,
+    parallel_secs: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.serial_secs / self.parallel_secs
+    }
+}
+
+/// Time `f` once under the 1-thread pool and once under the default
+/// pool. The serial pass runs first so cache warm-up penalises the
+/// serial number, not the parallel one (conservative for speedups).
+fn row<R>(
+    name: &'static str,
+    serial: &ThreadPool,
+    pool: &ThreadPool,
+    mut f: impl FnMut() -> R,
+) -> Row {
+    let serial_secs = parallel::with_pool(serial, || secs_per_iter(5, 0.05, &mut f));
+    let parallel_secs = parallel::with_pool(pool, || secs_per_iter(5, 0.05, &mut f));
+    Row {
+        name,
+        serial_secs,
+        parallel_secs,
+    }
+}
+
+fn main() {
+    let serial = ThreadPool::new(1);
+    let pool = ThreadPool::new(parallel::default_threads());
+    let threads = pool.threads();
+    let mut rows = Vec::new();
+
+    let n = 256;
+    let mut rng = DetRng::new(1);
+    let a = Tensor::uniform((n, n), -1.0, 1.0, &mut rng);
+    let b = Tensor::uniform((n, n), -1.0, 1.0, &mut rng);
+    rows.push(row("matmul_nn_256", &serial, &pool, || a.matmul(&b)));
+    rows.push(row("matmul_tn_256", &serial, &pool, || a.matmul_tn(&b)));
+    rows.push(row("matmul_nt_256", &serial, &pool, || a.matmul_nt(&b)));
+
+    let cfg = ModelConfig {
+        vocab: 64,
+        dim: 64,
+        heads: 4,
+        kv_heads: 4,
+        ffn_hidden: 128,
+        blocks: 1,
+        experts: 8,
+        top_k: 2,
+        seq_len: 512,
+        aux_loss_weight: 0.0,
+    };
+    let mut rng = DetRng::new(2);
+    let mut store = LocalExpertStore::new(&cfg, &mut rng);
+    let mut block = MoeBlock::new(0, cfg.dim, cfg.experts, cfg.top_k, 0.0, &mut rng);
+    let x = Tensor::uniform((512, cfg.dim), -1.0, 1.0, &mut rng);
+    rows.push(row("moe_forward_512tok", &serial, &pool, || {
+        block.forward(&x, &mut store)
+    }));
+    let g = Tensor::ones((512, cfg.dim));
+    rows.push(row("moe_fwd_bwd_512tok", &serial, &pool, || {
+        block.forward(&x, &mut store);
+        block.backward(&g, &mut store)
+    }));
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(
+        json,
+        "  \"host_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"serial_secs\": {:.9}, \"parallel_secs\": {:.9}, \"speedup\": {:.3}}}",
+            r.name,
+            r.serial_secs,
+            r.parallel_secs,
+            r.speedup()
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    println!("threads: {threads}");
+    for r in &rows {
+        println!(
+            "{:<24} serial {:>12.3e}s  parallel {:>12.3e}s  speedup {:>6.2}x",
+            r.name,
+            r.serial_secs,
+            r.parallel_secs,
+            r.speedup()
+        );
+    }
+    std::fs::write("BENCH_kernels.json", json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}

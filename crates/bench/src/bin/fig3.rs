@@ -75,7 +75,11 @@ fn main() {
         "mean peak expert share: {:.3} (uniform would be {:.3}) -> locality {}",
         peak,
         1.0 / cfg.experts as f64,
-        if peak > 1.3 / cfg.experts as f64 { "PRESENT" } else { "weak" }
+        if peak > 1.3 / cfg.experts as f64 {
+            "PRESENT"
+        } else {
+            "weak"
+        }
     );
 
     // ---- (b) CDF of selected softmax score sums (block 1) ----------------

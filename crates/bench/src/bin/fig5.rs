@@ -8,9 +8,7 @@
 //! Run: `cargo run --release -p vela-bench --bin fig5 [-- --steps N]`
 
 use vela::prelude::*;
-use vela_bench::{
-    eval_strategies, mb, measured_profile, pretrain_micro, EvalDataset, EvalModel,
-};
+use vela_bench::{eval_strategies, mb, measured_profile, pretrain_micro, EvalDataset, EvalModel};
 
 fn main() {
     let steps: usize = std::env::args()
@@ -55,7 +53,10 @@ fn main() {
                 ));
             }
 
-            println!("{:>10} | traffic per node (MB) at steps 1,100,...,{steps} | avg | vs EP", "strategy");
+            println!(
+                "{:>10} | traffic per node (MB) at steps 1,100,...,{steps} | avg | vs EP",
+                "strategy"
+            );
             let ep = ep_avg.expect("EP runs first");
             for (label, series, avg) in &rows {
                 let samples: Vec<String> = series

@@ -8,9 +8,7 @@
 //! Run: `cargo run --release -p vela-bench --bin fig6 [-- --steps N]`
 
 use vela::prelude::*;
-use vela_bench::{
-    eval_strategies, measured_profile, pretrain_micro, EvalDataset, EvalModel,
-};
+use vela_bench::{eval_strategies, measured_profile, pretrain_micro, EvalDataset, EvalModel};
 
 fn main() {
     let steps: usize = std::env::args()

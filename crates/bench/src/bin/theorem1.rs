@@ -137,7 +137,10 @@ fn main() {
 
     // The analytic form: for a confidently-routed token (P ≈ 0.9) the bound
     // is tiny compared to an uncertain one (P = 0.5).
-    println!("\nanalytic bound μEL²·P(1−P) at μ={lr}, E={}, L=1:", cfg.experts);
+    println!(
+        "\nanalytic bound μEL²·P(1−P) at μ={lr}, E={}, L=1:",
+        cfg.experts
+    );
     for p in [0.05, 0.25, 0.5, 0.75, 0.95] {
         println!(
             "  P = {p:.2}: bound = {:.6}",

@@ -230,6 +230,86 @@ pub fn mb(bytes: f64) -> String {
     format!("{:.1}", bytes / (1024.0 * 1024.0))
 }
 
+/// Dependency-free micro-benchmark timing: warmup, auto-calibrated batch
+/// sizes, median-of-samples reporting. Replaces the former Criterion
+/// harness (the build environment has no crates.io access).
+pub mod microbench {
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    /// Median seconds per iteration of `f`, measured over `samples`
+    /// batches after one warmup batch. The batch size is calibrated so one
+    /// batch takes roughly `target_batch_secs`.
+    pub fn secs_per_iter<R>(
+        samples: usize,
+        target_batch_secs: f64,
+        mut f: impl FnMut() -> R,
+    ) -> f64 {
+        // Calibrate: grow the batch until it is long enough to time.
+        let mut batch = 1usize;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= target_batch_secs || batch >= 1 << 20 {
+                break;
+            }
+            let growth = if elapsed > 1e-6 {
+                ((target_batch_secs / elapsed) * 1.2).ceil() as usize
+            } else {
+                16
+            };
+            batch = (batch * growth.max(2)).min(1 << 20);
+        }
+        let mut times: Vec<f64> = (0..samples.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                start.elapsed().as_secs_f64() / batch as f64
+            })
+            .collect();
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    }
+
+    /// One named measurement, for the report/JSON emitters.
+    #[derive(Debug, Clone)]
+    pub struct Measurement {
+        /// Benchmark id, e.g. `matmul_256`.
+        pub name: String,
+        /// Median seconds per iteration.
+        pub secs: f64,
+    }
+
+    /// Measures `f` and prints a one-line report.
+    pub fn bench<R>(name: &str, f: impl FnMut() -> R) -> Measurement {
+        let secs = secs_per_iter(5, 0.05, f);
+        let m = Measurement {
+            name: name.to_string(),
+            secs,
+        };
+        println!("{:<36} {}", m.name, format_secs(m.secs));
+        m
+    }
+
+    /// Human-friendly duration formatting.
+    pub fn format_secs(secs: f64) -> String {
+        if secs >= 1.0 {
+            format!("{secs:.3} s")
+        } else if secs >= 1e-3 {
+            format!("{:.3} ms", secs * 1e3)
+        } else if secs >= 1e-6 {
+            format!("{:.3} µs", secs * 1e6)
+        } else {
+            format!("{:.1} ns", secs * 1e9)
+        }
+    }
+}
+
 /// Renders a probability as a heatmap cell (darker = hotter), used by the
 /// fig7 ASCII heatmaps.
 pub fn heat_cell(p: f64) -> char {

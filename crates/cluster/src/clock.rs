@@ -1,8 +1,7 @@
 //! Virtual time accounting.
 
 use std::fmt;
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Simulated seconds spent per activity category within a window (usually
 /// one fine-tuning step).
@@ -64,27 +63,27 @@ impl VirtualClock {
 
     /// Adds communication time.
     pub fn add_comm(&self, secs: f64) {
-        self.inner.lock().comm_s += secs;
+        self.inner.lock().unwrap().comm_s += secs;
     }
 
     /// Adds compute time.
     pub fn add_compute(&self, secs: f64) {
-        self.inner.lock().compute_s += secs;
+        self.inner.lock().unwrap().compute_s += secs;
     }
 
     /// Adds synchronization time.
     pub fn add_sync(&self, secs: f64) {
-        self.inner.lock().sync_s += secs;
+        self.inner.lock().unwrap().sync_s += secs;
     }
 
     /// Current accumulated window.
     pub fn peek(&self) -> TimeBreakdown {
-        *self.inner.lock()
+        *self.inner.lock().unwrap()
     }
 
     /// Drains and returns the accumulated window, resetting to zero.
     pub fn take(&self) -> TimeBreakdown {
-        std::mem::take(&mut *self.inner.lock())
+        std::mem::take(&mut *self.inner.lock().unwrap())
     }
 }
 

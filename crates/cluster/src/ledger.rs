@@ -1,6 +1,6 @@
 //! Byte-accurate traffic accounting.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::topology::{DeviceId, Topology};
 
@@ -71,7 +71,7 @@ impl TrafficLedger {
         if src == dst || bytes == 0 {
             return;
         }
-        let mut w = self.window.lock();
+        let mut w = self.window.lock().unwrap();
         w.total_bytes += bytes;
         let (sn, dn) = (self.topology.node_of(src), self.topology.node_of(dst));
         if sn == dn {
@@ -84,14 +84,14 @@ impl TrafficLedger {
 
     /// Current window without resetting.
     pub fn peek(&self) -> StepTraffic {
-        self.window.lock().clone()
+        self.window.lock().unwrap().clone()
     }
 
     /// Drains the window, returning its totals and resetting counters.
     pub fn take_step(&self) -> StepTraffic {
         let nodes = self.topology.node_count();
         std::mem::replace(
-            &mut *self.window.lock(),
+            &mut *self.window.lock().unwrap(),
             StepTraffic {
                 external_sent_per_node: vec![0; nodes],
                 external_recv_per_node: vec![0; nodes],

@@ -141,12 +141,7 @@ impl VelaSessionBuilder {
         let profile = measure_locality(&mut model, &mut experts, &dataset, self.finetune_batch, 16);
 
         let master = DeviceId(0);
-        let workers: Vec<DeviceId> = self
-            .topology
-            .devices()
-            .iter()
-            .map(|d| d.id)
-            .collect();
+        let workers: Vec<DeviceId> = self.topology.devices().iter().map(|d| d.id).collect();
         let cfg = model.config().clone();
         let problem = PlacementProblem::new(
             self.topology.clone(),
@@ -238,9 +233,7 @@ mod tests {
 
     fn quick_builder() -> VelaSessionBuilder {
         let mut b = VelaSessionBuilder::new();
-        b.pretrain_steps(10)
-            .finetune_batch(2)
-            .corpus_chars(20_000);
+        b.pretrain_steps(10).finetune_batch(2).corpus_chars(20_000);
         b
     }
 

@@ -56,8 +56,8 @@ pub mod measure;
 /// The most common imports, for examples and quick experiments.
 pub mod prelude {
     pub use crate::api::{VelaSession, VelaSessionBuilder};
-    pub use crate::ModelConfigExt;
     pub use crate::measure::measure_locality;
+    pub use crate::ModelConfigExt;
     pub use vela_cluster::{Bandwidth, CostModel, DeviceId, NodeId, Topology};
     pub use vela_data::{Batch, CharTokenizer, Corpus, TokenDataset};
     pub use vela_locality::{AccessTracker, Cdf, DriftDetector, LocalityProfile, StabilityReport};
@@ -66,7 +66,9 @@ pub mod prelude {
     pub use vela_model::{ExpertProvider, LocalExpertStore, ModelConfig, MoeModel, MoeSpec};
     pub use vela_nn::optim::{AdamW, AdamWConfig, Sgd};
     pub use vela_placement::{Placement, PlacementProblem, Strategy};
-    pub use vela_runtime::{EpEngine, RealRuntime, RunSummary, ScaleConfig, StepMetrics, VirtualEngine};
+    pub use vela_runtime::{
+        EpEngine, RealRuntime, RunSummary, ScaleConfig, StepMetrics, VirtualEngine,
+    };
     pub use vela_tensor::rng::DetRng;
     pub use vela_tensor::Tensor;
 }

@@ -92,7 +92,16 @@ const SPEAKERS: &[&str] = &[
     "ROMEO", "JULIET", "MACBETH", "HAMLET", "OPHELIA", "PORTIA", "BRUTUS", "VIOLA",
 ];
 const ARCHAIC: &[&str] = &[
-    "thou", "thee", "thy", "hath", "doth", "wherefore", "anon", "prithee", "forsooth", "alas",
+    "thou",
+    "thee",
+    "thy",
+    "hath",
+    "doth",
+    "wherefore",
+    "anon",
+    "prithee",
+    "forsooth",
+    "alas",
 ];
 const DRAMA_NOUNS: &[&str] = &[
     "dagger", "crown", "moon", "heart", "ghost", "garden", "sword", "love", "night", "throne",
@@ -125,14 +134,24 @@ fn drama_scene(out: &mut String, rng: &mut DetRng) {
 // ---------------------------------------------------------------------------
 
 const WIKI_SUBJECTS: &[&str] = &[
-    "The ancient fortress", "The river delta", "The railway line", "The cathedral",
-    "The observatory", "The canal system",
+    "The ancient fortress",
+    "The river delta",
+    "The railway line",
+    "The cathedral",
+    "The observatory",
+    "The canal system",
 ];
 const WIKI_FACTS: &[&str] = &[
-    "was constructed", "was restored", "was surveyed", "was expanded", "was documented",
+    "was constructed",
+    "was restored",
+    "was surveyed",
+    "was expanded",
+    "was documented",
 ];
 const WIKI_PLACES: &[&str] = &[
-    "in the northern province", "near the coastal plain", "along the trade route",
+    "in the northern province",
+    "near the coastal plain",
+    "along the trade route",
     "within the old district",
 ];
 
@@ -275,9 +294,8 @@ mod tests {
     fn corpora_have_distinct_character_statistics() {
         let drama = Corpus::TinyShakespeare.generate(20_000, 3);
         let wiki = Corpus::WikiText.generate(20_000, 3);
-        let digit_frac = |s: &str| {
-            s.chars().filter(|c| c.is_ascii_digit()).count() as f64 / s.len() as f64
-        };
+        let digit_frac =
+            |s: &str| s.chars().filter(|c| c.is_ascii_digit()).count() as f64 / s.len() as f64;
         // Encyclopedic text is digit-heavy (years, citations); drama is not.
         assert!(digit_frac(&wiki) > 4.0 * digit_frac(&drama).max(1e-9));
         // Drama is colon/name heavy.

@@ -1,17 +1,20 @@
-//! Property-based tests for corpora, tokenizer and batching.
+//! Randomized property tests for corpora, tokenizer and batching.
+//!
+//! Each property is checked over many [`DetRng`]-seeded random cases, so
+//! the suite is fully deterministic and needs no external test framework.
 
-use proptest::prelude::*;
 use vela_data::{CharTokenizer, Corpus, TokenDataset};
 use vela_tensor::rng::DetRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    /// Every corpus hits its target length exactly and stays inside the
-    /// tokenizer charset, for any seed.
-    #[test]
-    fn corpora_are_well_formed(seed in 0u64..1_000, len in 500usize..5_000) {
-        let tok = CharTokenizer::new();
+/// Every corpus hits its target length exactly and stays inside the
+/// tokenizer charset, for any seed.
+#[test]
+fn corpora_are_well_formed() {
+    let tok = CharTokenizer::new();
+    for seed in 0..CASES {
+        let len = 500 + DetRng::new(seed).below(4_500);
         for corpus in [
             Corpus::TinyShakespeare,
             Corpus::WikiText,
@@ -19,70 +22,85 @@ proptest! {
             Corpus::Mixed,
         ] {
             let text = corpus.generate(len, seed);
-            prop_assert_eq!(text.len(), len, "{} wrong length", corpus);
+            assert_eq!(text.len(), len, "{corpus} wrong length for seed {seed}");
             let unk = tok
                 .encode(&text)
                 .into_iter()
                 .filter(|&id| id == tok.unk_id())
                 .count();
-            prop_assert_eq!(unk, 0, "{} leaked unknown chars", corpus);
+            assert_eq!(unk, 0, "{corpus} leaked unknown chars for seed {seed}");
         }
     }
+}
 
-    /// Encoding then decoding any generated text is the identity.
-    #[test]
-    fn tokenizer_roundtrip_on_corpora(seed in 0u64..1_000) {
-        let tok = CharTokenizer::new();
+/// Encoding then decoding any generated text is the identity.
+#[test]
+fn tokenizer_roundtrip_on_corpora() {
+    let tok = CharTokenizer::new();
+    for seed in 0..CASES {
         let text = Corpus::Mixed.generate(2_000, seed);
-        prop_assert_eq!(tok.decode(&tok.encode(&text)), text);
+        assert_eq!(tok.decode(&tok.encode(&text)), text, "seed {seed}");
     }
+}
 
-    /// Sampled batches always have aligned shifted targets and in-range ids.
-    #[test]
-    fn batches_are_well_formed(
-        seed in 0u64..1_000,
-        batch in 1usize..6,
-        seq in 4usize..32,
-    ) {
-        let tok = CharTokenizer::new();
+/// Sampled batches always have aligned shifted targets and in-range ids.
+#[test]
+fn batches_are_well_formed() {
+    let tok = CharTokenizer::new();
+    for seed in 0..CASES {
+        let mut dims = DetRng::new(seed ^ 0x5EED);
+        let batch = 1 + dims.below(5);
+        let seq = 4 + dims.below(28);
         let data = TokenDataset::from_text(&tok, &Corpus::Alpaca.generate(4_000, seed));
         let b = data.sample_batch(batch, seq, &mut DetRng::new(seed));
-        prop_assert_eq!(b.inputs.len(), batch * seq);
-        prop_assert_eq!(b.targets.len(), batch * seq);
+        assert_eq!(b.inputs.len(), batch * seq);
+        assert_eq!(b.targets.len(), batch * seq);
         for row in 0..batch {
             for i in 0..seq - 1 {
-                prop_assert_eq!(b.inputs[row * seq + i + 1], b.targets[row * seq + i]);
+                assert_eq!(
+                    b.inputs[row * seq + i + 1],
+                    b.targets[row * seq + i],
+                    "seed {seed}: row {row} not shifted"
+                );
             }
         }
-        prop_assert!(b.inputs.iter().all(|&t| t < tok.vocab_size()));
+        assert!(b.inputs.iter().all(|&t| t < tok.vocab_size()));
     }
+}
 
-    /// Sequential batches tile the dataset without overlap for any shape.
-    #[test]
-    fn sequential_batches_tile(tokens in 30usize..300, batch in 1usize..5, seq in 2usize..12) {
+/// Sequential batches tile the dataset without overlap for any shape.
+#[test]
+fn sequential_batches_tile() {
+    for seed in 0..CASES {
+        let mut dims = DetRng::new(seed ^ 0x711E);
+        let tokens = 30 + dims.below(270);
+        let batch = 1 + dims.below(4);
+        let seq = 2 + dims.below(10);
         let data = TokenDataset::from_tokens((0..tokens).collect());
         let batches = data.sequential_batches(batch, seq);
         let mut seen = Vec::new();
         for b in &batches {
-            prop_assert!(b.batch_size <= batch);
-            prop_assert_eq!(b.seq_len, seq);
+            assert!(b.batch_size <= batch, "seed {seed}");
+            assert_eq!(b.seq_len, seq, "seed {seed}");
             seen.extend_from_slice(&b.inputs);
         }
         // Consecutive windows advance by seq: inputs form a strictly
         // increasing run of consecutive ids.
         for w in seen.windows(2) {
-            prop_assert_eq!(w[1], w[0] + 1);
+            assert_eq!(w[1], w[0] + 1, "seed {seed}");
         }
     }
+}
 
-    /// Different corpora never generate identical text under one seed.
-    #[test]
-    fn corpora_are_distinct(seed in 0u64..500) {
+/// Different corpora never generate identical text under one seed.
+#[test]
+fn corpora_are_distinct() {
+    for seed in 0..CASES {
         let a = Corpus::TinyShakespeare.generate(1_000, seed);
         let b = Corpus::WikiText.generate(1_000, seed);
         let c = Corpus::Alpaca.generate(1_000, seed);
-        prop_assert_ne!(&a, &b);
-        prop_assert_ne!(&b, &c);
-        prop_assert_ne!(&a, &c);
+        assert_ne!(a, b, "seed {seed}");
+        assert_ne!(b, c, "seed {seed}");
+        assert_ne!(a, c, "seed {seed}");
     }
 }

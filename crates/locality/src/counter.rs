@@ -61,7 +61,10 @@ impl AccessTracker {
     /// recorded).
     pub fn frequencies(&self, block: usize) -> Vec<f64> {
         let total = self.assignments[block].max(1) as f64;
-        self.counts[block].iter().map(|&c| c as f64 / total).collect()
+        self.counts[block]
+            .iter()
+            .map(|&c| c as f64 / total)
+            .collect()
     }
 
     /// The full `blocks × experts` frequency matrix.
@@ -87,9 +90,7 @@ impl AccessTracker {
     /// Largest single-expert share in a block — a quick concentration
     /// indicator.
     pub fn peak_share(&self, block: usize) -> f64 {
-        self.frequencies(block)
-            .into_iter()
-            .fold(0.0f64, f64::max)
+        self.frequencies(block).into_iter().fold(0.0f64, f64::max)
     }
 }
 

@@ -138,10 +138,7 @@ mod tests {
     }
 
     fn reference() -> LocalityProfile {
-        LocalityProfile::from_frequencies(
-            "ref",
-            vec![vec![0.5, 0.3, 0.2], vec![0.4, 0.4, 0.2]],
-        )
+        LocalityProfile::from_frequencies("ref", vec![vec![0.5, 0.3, 0.2], vec![0.4, 0.4, 0.2]])
     }
 
     #[test]
@@ -172,7 +169,11 @@ mod tests {
         }
         let wild = snapshot(vec![vec![0.0, 0.0, 1.0], vec![0.0, 0.0, 1.0]], 100);
         d.observe(&wild);
-        assert!(!d.should_replan(), "one outlier must not trip: {}", d.drift());
+        assert!(
+            !d.should_replan(),
+            "one outlier must not trip: {}",
+            d.drift()
+        );
         // Sustained drift eventually does.
         for _ in 0..30 {
             d.observe(&wild);

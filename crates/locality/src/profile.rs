@@ -172,17 +172,16 @@ impl LocalityProfile {
         if row.len() < 2 {
             return 1.0;
         }
-        let h: f64 = row
-            .iter()
-            .filter(|&&p| p > 0.0)
-            .map(|&p| -p * p.ln())
-            .sum();
+        let h: f64 = row.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum();
         1.0 - h / e.ln()
     }
 
     /// Mean concentration across blocks.
     pub fn mean_concentration(&self) -> f64 {
-        (0..self.blocks()).map(|l| self.concentration(l)).sum::<f64>() / self.blocks() as f64
+        (0..self.blocks())
+            .map(|l| self.concentration(l))
+            .sum::<f64>()
+            / self.blocks() as f64
     }
 
     /// Sharpens the profile in place: popular experts become slightly more
@@ -259,7 +258,10 @@ mod tests {
             sorted_up.sort_by(|a, b| a.partial_cmp(b).unwrap());
             sorted_src.sort_by(|a, b| a.partial_cmp(b).unwrap());
             for (a, b) in sorted_up.iter().zip(&sorted_src) {
-                assert!((a - b).abs() < 1e-12, "upscale preserves each row's multiset");
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "upscale preserves each row's multiset"
+                );
             }
         }
     }

@@ -121,10 +121,7 @@ mod tests {
     fn gentle_concentration_preserves_rank() {
         // Popular experts become slightly MORE popular — the paper's
         // empirical observation — rank must be preserved.
-        let r = StabilityReport::new(vec![
-            vec![0.4, 0.3, 0.2, 0.1],
-            vec![0.45, 0.32, 0.15, 0.08],
-        ]);
+        let r = StabilityReport::new(vec![vec![0.4, 0.3, 0.2, 0.1], vec![0.45, 0.32, 0.15, 0.08]]);
         assert!(r.popularity_rank_preserved());
         assert!(r.end_to_end_tv() < 0.1);
     }

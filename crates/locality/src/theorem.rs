@@ -18,7 +18,10 @@
 /// Panics if `p` is outside `[0, 1]` or the constants are negative.
 pub fn drift_bound(p: f64, experts: usize, mu: f64, lipschitz: f64) -> f64 {
     assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
-    assert!(mu >= 0.0 && lipschitz >= 0.0, "constants must be nonnegative");
+    assert!(
+        mu >= 0.0 && lipschitz >= 0.0,
+        "constants must be nonnegative"
+    );
     mu * experts as f64 * lipschitz * lipschitz * p * (1.0 - p)
 }
 

@@ -90,7 +90,10 @@ impl ModelConfig {
     /// or `dim` not divisible by `heads`).
     pub fn validate(&self) {
         assert!(self.vocab > 1, "vocab must exceed 1");
-        assert!(self.dim > 0 && self.dim.is_multiple_of(self.heads), "dim % heads != 0");
+        assert!(
+            self.dim > 0 && self.dim.is_multiple_of(self.heads),
+            "dim % heads != 0"
+        );
         assert!(
             self.kv_heads > 0 && self.heads.is_multiple_of(self.kv_heads),
             "heads % kv_heads != 0"

@@ -166,7 +166,10 @@ mod tests {
         prepare_for_finetune(
             &mut model,
             &mut experts,
-            LoraConfig { rank: 2, alpha: 4.0 },
+            LoraConfig {
+                rank: 2,
+                alpha: 4.0,
+            },
             &mut DetRng::new(1),
         );
         let total = model.param_count() + experts.param_count();
@@ -183,7 +186,10 @@ mod tests {
         prepare_for_finetune(
             &mut model,
             &mut experts,
-            LoraConfig { rank: 4, alpha: 8.0 },
+            LoraConfig {
+                rank: 4,
+                alpha: 8.0,
+            },
             &mut DetRng::new(2),
         );
         let cfg = FinetuneConfig {
@@ -213,7 +219,10 @@ mod tests {
             prepare_for_finetune(
                 &mut model,
                 &mut experts,
-                LoraConfig { rank: 2, alpha: 4.0 },
+                LoraConfig {
+                    rank: 2,
+                    alpha: 4.0,
+                },
                 &mut DetRng::new(3),
             );
             let cfg = FinetuneConfig {

@@ -32,13 +32,13 @@
 pub mod checkpoint;
 pub mod config;
 pub mod finetune;
-pub mod moe_block;
 pub mod model;
+pub mod moe_block;
 pub mod pretrain;
 pub mod provider;
 pub mod router;
 
-pub use config::{MoeSpec, ModelConfig};
+pub use config::{ModelConfig, MoeSpec};
 pub use model::{MoeModel, StepStats};
 pub use moe_block::{MoeBlock, RoutingInfo};
 pub use provider::{ExpertProvider, LocalExpertStore};

@@ -225,7 +225,9 @@ impl MoeModel {
             } else {
                 let weights: Vec<f32> = {
                     let max = last.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                    last.iter().map(|&l| ((l - max) / temperature).exp()).collect()
+                    last.iter()
+                        .map(|&l| ((l - max) / temperature).exp())
+                        .collect()
                 };
                 rng.categorical(&weights)
             };

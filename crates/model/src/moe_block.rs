@@ -6,6 +6,7 @@
 //! backbone run single-process or distributed.
 
 use vela_nn::param::{Module, Param};
+use vela_tensor::parallel;
 use vela_tensor::rng::DetRng;
 use vela_tensor::Tensor;
 
@@ -42,7 +43,11 @@ impl RoutingInfo {
     /// Sum of the selected softmax scores per token (the Fig. 3(b) metric).
     pub fn selected_score_sums(&self) -> Vec<f32> {
         (0..self.tokens)
-            .map(|t| self.selected_probs[t * self.k..(t + 1) * self.k].iter().sum())
+            .map(|t| {
+                self.selected_probs[t * self.k..(t + 1) * self.k]
+                    .iter()
+                    .sum()
+            })
             .collect()
     }
 }
@@ -169,18 +174,18 @@ impl MoeBlock {
 
         let mut groups = Vec::new();
         let mut slots = Vec::new();
-        let mut batches = Vec::new();
         for e in 0..self.experts {
             if token_groups[e].is_empty() {
                 continue;
             }
-            batches.push(ExpertBatch {
-                expert: e,
-                xs: x.gather_rows(&token_groups[e]),
-            });
             groups.push((e, std::mem::take(&mut token_groups[e])));
             slots.push(std::mem::take(&mut slot_groups[e]));
         }
+        // Groups are disjoint, so their input gathers run concurrently.
+        let batches = parallel::par_map(groups.len(), |gi| ExpertBatch {
+            expert: groups[gi].0,
+            xs: x.gather_rows(&groups[gi].1),
+        });
 
         let outputs = provider.forward_block(self.block, &batches);
         assert_eq!(outputs.len(), groups.len(), "provider returned wrong count");
@@ -226,31 +231,49 @@ impl MoeBlock {
     /// # Panics
     /// Panics if called before [`forward`](Self::forward).
     pub fn backward(&mut self, grad_out: &Tensor, provider: &mut dyn ExpertProvider) -> Tensor {
-        let cache = self.cache.take().expect("MoeBlock::backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("MoeBlock::backward before forward");
         let k = self.router.k();
 
-        // Gradient w.r.t. each mixture weight: ⟨grad_out_t, y_expert_t⟩.
-        let mut grad_weights = vec![0.0f32; cache.tokens * k];
-        // Gradient batches for the experts: w · grad_out_t per grouped token.
-        let mut grad_batches = Vec::with_capacity(cache.groups.len());
-        for (gi, (e, toks)) in cache.groups.iter().enumerate() {
+        // Per-group gradients are independent (each (token, slot)
+        // assignment lives in exactly one group), so the groups are
+        // prepared concurrently; the mixture-weight pieces are merged
+        // serially below into slot-disjoint positions.
+        let dim = self.dim;
+        let per_group = parallel::par_map(cache.groups.len(), |gi| {
+            let (e, toks) = &cache.groups[gi];
             let out = &cache.outputs[gi];
-            let mut g = Tensor::zeros((toks.len(), self.dim));
+            // Gradient w.r.t. each mixture weight: ⟨grad_out_t, y_expert_t⟩.
+            let mut weight_grads = Vec::with_capacity(toks.len());
+            // Gradient batch for the expert: w · grad_out_t per token.
+            let mut g = Tensor::zeros((toks.len(), dim));
             for (pos, &t) in toks.iter().enumerate() {
                 let slot = cache.slots[gi][pos];
                 let w = cache.weights[slot];
                 let go = grad_out.row(t);
-                grad_weights[slot] = go
+                let gw = go
                     .iter()
                     .zip(out.row(pos))
                     .map(|(&a, &b)| a * b)
                     .sum::<f32>();
+                weight_grads.push((slot, gw));
                 let dst = g.row_mut(pos);
                 for (d, &s) in dst.iter_mut().zip(go) {
                     *d = w * s;
                 }
             }
-            grad_batches.push(ExpertBatch { expert: *e, xs: g });
+            (ExpertBatch { expert: *e, xs: g }, weight_grads)
+        });
+
+        let mut grad_weights = vec![0.0f32; cache.tokens * k];
+        let mut grad_batches = Vec::with_capacity(per_group.len());
+        for (batch, weight_grads) in per_group {
+            for (slot, gw) in weight_grads {
+                grad_weights[slot] = gw;
+            }
+            grad_batches.push(batch);
         }
 
         let input_grads = provider.backward_block(self.block, &grad_batches);
@@ -423,7 +446,11 @@ mod tests {
         let y = block.forward(&x, &mut store);
         assert_eq!(y.shape().as_2d(), (16, cfg.dim));
         let info = block.last_routing().unwrap();
-        assert!(info.counts.iter().all(|&c| c <= cap), "{:?} > {cap}", info.counts);
+        assert!(
+            info.counts.iter().all(|&c| c <= cap),
+            "{:?} > {cap}",
+            info.counts
+        );
         assert!(info.dropped > 0, "0.5x capacity must drop something");
         assert_eq!(
             info.counts.iter().sum::<usize>() + info.dropped,

@@ -8,7 +8,7 @@
 //! evaluation works with genuinely pre-trained models instead of hard-coded
 //! routing tables.
 
-use vela_data::{Corpus, CharTokenizer, TokenDataset};
+use vela_data::{CharTokenizer, Corpus, TokenDataset};
 use vela_nn::optim::{AdamW, AdamWConfig};
 use vela_nn::param::Module;
 use vela_tensor::rng::DetRng;
@@ -146,7 +146,10 @@ mod tests {
         let result = pretrain(&cfg, &pcfg);
         let head: f32 = result.losses[..5].iter().sum::<f32>() / 5.0;
         let tail: f32 = result.losses[result.losses.len() - 5..].iter().sum::<f32>() / 5.0;
-        assert!(tail < head, "capacity-limited pre-training should learn: {head} -> {tail}");
+        assert!(
+            tail < head,
+            "capacity-limited pre-training should learn: {head} -> {tail}"
+        );
     }
 
     #[test]

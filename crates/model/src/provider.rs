@@ -11,6 +11,7 @@
 
 use vela_nn::param::{Module, Param};
 use vela_nn::swiglu::SwiGlu;
+use vela_tensor::parallel;
 use vela_tensor::rng::DetRng;
 use vela_tensor::Tensor;
 
@@ -94,11 +95,7 @@ impl LocalExpertStore {
 
     /// Number of experts currently present.
     pub fn present_count(&self) -> usize {
-        self.slots
-            .iter()
-            .flatten()
-            .filter(|s| s.is_some())
-            .count()
+        self.slots.iter().flatten().filter(|s| s.is_some()).count()
     }
 
     /// Whether expert `(block, expert)` is present.
@@ -158,19 +155,35 @@ impl LocalExpertStore {
     }
 }
 
-impl ExpertProvider for LocalExpertStore {
-    fn forward_block(&mut self, block: usize, batches: &[ExpertBatch]) -> Vec<Tensor> {
+impl LocalExpertStore {
+    /// Collects one disjoint `&mut` per batch's expert so the batches can
+    /// be evaluated concurrently. Token groups are formed per expert, so a
+    /// well-formed call never names the same expert twice.
+    fn batch_experts(&mut self, block: usize, batches: &[ExpertBatch]) -> Vec<&mut SwiGlu> {
+        let mut row: Vec<Option<&mut SwiGlu>> =
+            self.slots[block].iter_mut().map(Option::as_mut).collect();
         batches
             .iter()
-            .map(|b| self.expert_mut(block, b.expert).forward(&b.xs))
+            .map(|b| {
+                row.get_mut(b.expert)
+                    .and_then(Option::take)
+                    .unwrap_or_else(|| {
+                        panic!("expert ({block},{}) not present or batched twice", b.expert)
+                    })
+            })
             .collect()
+    }
+}
+
+impl ExpertProvider for LocalExpertStore {
+    fn forward_block(&mut self, block: usize, batches: &[ExpertBatch]) -> Vec<Tensor> {
+        let mut experts = self.batch_experts(block, batches);
+        parallel::par_map_mut(&mut experts, |i, ffn| ffn.forward(&batches[i].xs))
     }
 
     fn backward_block(&mut self, block: usize, grads: &[ExpertBatch]) -> Vec<Tensor> {
-        grads
-            .iter()
-            .map(|g| self.expert_mut(block, g.expert).backward(&g.xs))
-            .collect()
+        let mut experts = self.batch_experts(block, grads);
+        parallel::par_map_mut(&mut experts, |i, ffn| ffn.backward(&grads[i].xs))
     }
 }
 

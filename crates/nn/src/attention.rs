@@ -6,7 +6,7 @@
 //! adapters during fine-tuning exactly like the expert FFNs.
 
 use vela_tensor::rng::DetRng;
-use vela_tensor::{ops, Tensor};
+use vela_tensor::{ops, parallel, Tensor};
 
 use crate::linear::Linear;
 use crate::param::{Module, Param};
@@ -131,22 +131,28 @@ impl Attention {
         let scale = 1.0 / (self.head_dim as f32).sqrt();
 
         let group = self.heads / self.kv_heads;
+        let (heads, head_dim) = (self.heads, self.head_dim);
+        // Each (batch, head) pair is independent; only the final combine
+        // writes shared rows, so it stays serial (and deterministic).
+        let per_head = parallel::par_map(batch * heads, |i| {
+            let (b, h) = (i / heads, i % heads);
+            let kv = h / group;
+            let qb = block(&q, b * seq, seq, h * head_dim, head_dim);
+            let kb = block(&k, b * seq, seq, kv * head_dim, head_dim);
+            let vb = block(&v, b * seq, seq, kv * head_dim, head_dim);
+            let mut scores = qb.matmul_nt(&kb);
+            scores.scale_inplace(scale);
+            apply_causal_mask(&mut scores);
+            let a = ops::softmax_rows(&scores);
+            let out = a.matmul(&vb);
+            (a, out)
+        });
         let mut context = Tensor::zeros((batch * seq, self.dim));
-        let mut probs = Vec::with_capacity(batch * self.heads);
-        for b in 0..batch {
-            for h in 0..self.heads {
-                let kv = h / group;
-                let qb = block(&q, b * seq, seq, h * self.head_dim, self.head_dim);
-                let kb = block(&k, b * seq, seq, kv * self.head_dim, self.head_dim);
-                let vb = block(&v, b * seq, seq, kv * self.head_dim, self.head_dim);
-                let mut scores = qb.matmul_nt(&kb);
-                scores.scale_inplace(scale);
-                apply_causal_mask(&mut scores);
-                let a = ops::softmax_rows(&scores);
-                let out = a.matmul(&vb);
-                add_block(&mut context, b * seq, h * self.head_dim, &out);
-                probs.push(a);
-            }
+        let mut probs = Vec::with_capacity(batch * heads);
+        for (i, (a, out)) in per_head.into_iter().enumerate() {
+            let (b, h) = (i / heads, i % heads);
+            add_block(&mut context, b * seq, h * head_dim, &out);
+            probs.push(a);
         }
         let y = self.wo.forward(&context);
         self.cache = Some(AttnCache {
@@ -187,31 +193,37 @@ impl Attention {
         let mut gk = Tensor::zeros((batch * seq, kv_dim));
         let mut gv = Tensor::zeros((batch * seq, kv_dim));
 
-        for b in 0..batch {
-            for h in 0..self.heads {
-                let kv = h / group;
-                let a = &probs[b * self.heads + h];
-                let qb = block(&q, b * seq, seq, h * self.head_dim, self.head_dim);
-                let kb = block(&k, b * seq, seq, kv * self.head_dim, self.head_dim);
-                let vb = block(&v, b * seq, seq, kv * self.head_dim, self.head_dim);
-                let g_out = block(&g_ctx, b * seq, seq, h * self.head_dim, self.head_dim);
+        // Per-(batch, head) gradients are independent; GQA-shared KV heads
+        // receive contributions from several query heads, so the
+        // accumulation into gq/gk/gv happens serially afterwards in the
+        // same order as the old nested loop.
+        let (heads, head_dim) = (self.heads, self.head_dim);
+        let per_head = parallel::par_map(batch * heads, |i| {
+            let (b, h) = (i / heads, i % heads);
+            let kv = h / group;
+            let a = &probs[b * heads + h];
+            let qb = block(&q, b * seq, seq, h * head_dim, head_dim);
+            let kb = block(&k, b * seq, seq, kv * head_dim, head_dim);
+            let vb = block(&v, b * seq, seq, kv * head_dim, head_dim);
+            let g_out = block(&g_ctx, b * seq, seq, h * head_dim, head_dim);
 
-                // out = A · V
-                let g_a = g_out.matmul_nt(&vb);
-                let g_v = a.matmul_tn(&g_out);
-                // A = softmax(S); masked entries have A = 0 so receive 0.
-                let mut g_s = ops::softmax_rows_backward(a, &g_a);
-                g_s.scale_inplace(scale);
-                // S' = Q · K^T  =>  dQ = S'_grad · K, dK = S'_grad^T · Q.
-                let g_q = g_s.matmul(&kb);
-                let g_k = g_s.matmul_tn(&qb);
-
-                add_block(&mut gq, b * seq, h * self.head_dim, &g_q);
-                // Shared KV heads accumulate gradients from every query
-                // head in their group.
-                add_block(&mut gk, b * seq, kv * self.head_dim, &g_k);
-                add_block(&mut gv, b * seq, kv * self.head_dim, &g_v);
-            }
+            // out = A · V
+            let g_a = g_out.matmul_nt(&vb);
+            let g_v = a.matmul_tn(&g_out);
+            // A = softmax(S); masked entries have A = 0 so receive 0.
+            let mut g_s = ops::softmax_rows_backward(a, &g_a);
+            g_s.scale_inplace(scale);
+            // S' = Q · K^T  =>  dQ = S'_grad · K, dK = S'_grad^T · Q.
+            let g_q = g_s.matmul(&kb);
+            let g_k = g_s.matmul_tn(&qb);
+            (g_q, g_k, g_v)
+        });
+        for (i, (g_q, g_k, g_v)) in per_head.into_iter().enumerate() {
+            let (b, h) = (i / heads, i % heads);
+            let kv = h / group;
+            add_block(&mut gq, b * seq, h * head_dim, &g_q);
+            add_block(&mut gk, b * seq, kv * head_dim, &g_k);
+            add_block(&mut gv, b * seq, kv * head_dim, &g_v);
         }
 
         let gin_q = self.wq.backward(&gq);

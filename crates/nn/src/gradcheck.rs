@@ -173,8 +173,24 @@ mod tests {
         };
         let x = Tensor::uniform(4usize, -1.0, 1.0, &mut rng);
         let g = Tensor::uniform(4usize, -1.0, 1.0, &mut rng);
-        check_param_grads(&mut m, |m, x| m.forward(x), |m, g| m.backward(g), &x, &g, 1e-3, 1e-2);
-        check_input_grad(&mut m, |m, x| m.forward(x), |m, g| m.backward(g), &x, &g, 1e-3, 1e-2);
+        check_param_grads(
+            &mut m,
+            |m, x| m.forward(x),
+            |m, g| m.backward(g),
+            &x,
+            &g,
+            1e-3,
+            1e-2,
+        );
+        check_input_grad(
+            &mut m,
+            |m, x| m.forward(x),
+            |m, g| m.backward(g),
+            &x,
+            &g,
+            1e-3,
+            1e-2,
+        );
     }
 
     #[test]

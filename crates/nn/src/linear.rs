@@ -215,19 +215,22 @@ mod tests {
         let x = Tensor::uniform((4, 3), -1.0, 1.0, &mut rng);
         let y = layer.forward(&x);
         let manual = x.matmul(&layer.weight().value);
-        assert!(vela_tensor::approx_eq(y.as_slice(), manual.as_slice(), 1e-6));
+        assert!(vela_tensor::approx_eq(
+            y.as_slice(),
+            manual.as_slice(),
+            1e-6
+        ));
     }
 
     #[test]
     fn bias_broadcasts_to_every_row() {
         let mut rng = DetRng::new(2);
         let mut layer = Linear::with_bias("l", 2, 2, &mut rng);
-        layer
-            .visit_params(&mut |p| {
-                if p.name().ends_with("bias") {
-                    p.value = Tensor::from_vec(2usize, vec![1.0, -1.0]);
-                }
-            });
+        layer.visit_params(&mut |p| {
+            if p.name().ends_with("bias") {
+                p.value = Tensor::from_vec(2usize, vec![1.0, -1.0]);
+            }
+        });
         let x = Tensor::zeros((3, 2));
         let y = layer.forward(&x);
         for i in 0..3 {
@@ -306,7 +309,11 @@ mod tests {
         layer.merge_lora();
         assert!(layer.lora().is_none());
         let after = layer.forward(&x);
-        assert!(vela_tensor::approx_eq(before.as_slice(), after.as_slice(), 1e-4));
+        assert!(vela_tensor::approx_eq(
+            before.as_slice(),
+            after.as_slice(),
+            1e-4
+        ));
     }
 
     #[test]
@@ -317,7 +324,11 @@ mod tests {
         let x = Tensor::uniform((3, 4), -1.0, 1.0, &mut rng);
         let inf = layer.forward_inference(&x);
         let train = layer.forward(&x);
-        assert!(vela_tensor::approx_eq(inf.as_slice(), train.as_slice(), 1e-6));
+        assert!(vela_tensor::approx_eq(
+            inf.as_slice(),
+            train.as_slice(),
+            1e-6
+        ));
     }
 
     #[test]

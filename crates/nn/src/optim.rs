@@ -95,8 +95,16 @@ impl AdamW {
     /// outside `[0, 1)`).
     pub fn new(cfg: AdamWConfig) -> Self {
         assert!(cfg.lr > 0.0 && cfg.lr.is_finite(), "invalid lr {}", cfg.lr);
-        assert!((0.0..1.0).contains(&cfg.beta1), "invalid beta1 {}", cfg.beta1);
-        assert!((0.0..1.0).contains(&cfg.beta2), "invalid beta2 {}", cfg.beta2);
+        assert!(
+            (0.0..1.0).contains(&cfg.beta1),
+            "invalid beta1 {}",
+            cfg.beta1
+        );
+        assert!(
+            (0.0..1.0).contains(&cfg.beta2),
+            "invalid beta2 {}",
+            cfg.beta2
+        );
         AdamW {
             cfg,
             state: HashMap::new(),
@@ -126,14 +134,12 @@ impl AdamW {
             if !p.is_trainable() {
                 return;
             }
-            let (m, v) = state
-                .entry(p.name().to_string())
-                .or_insert_with(|| {
-                    (
-                        Tensor::zeros(p.value.shape().clone()),
-                        Tensor::zeros(p.value.shape().clone()),
-                    )
-                });
+            let (m, v) = state.entry(p.name().to_string()).or_insert_with(|| {
+                (
+                    Tensor::zeros(p.value.shape().clone()),
+                    Tensor::zeros(p.value.shape().clone()),
+                )
+            });
             let g = p.grad.as_slice();
             let w = p.value.as_mut_slice();
             for i in 0..g.len() {
@@ -205,7 +211,11 @@ mod tests {
             quadratic_grad(&mut params[0]);
             opt.step(&mut params);
         }
-        assert!(params[0].value.norm() < 0.05, "norm {}", params[0].value.norm());
+        assert!(
+            params[0].value.norm() < 0.05,
+            "norm {}",
+            params[0].value.norm()
+        );
         assert_eq!(opt.steps(), 500);
     }
 

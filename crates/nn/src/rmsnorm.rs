@@ -95,8 +95,7 @@ impl RmsNorm {
             }
         }
         if self.gain.is_trainable() {
-            self.gain
-                .accumulate(&Tensor::from_vec(self.dim, dgain));
+            self.gain.accumulate(&Tensor::from_vec(self.dim, dgain));
         }
         grad_in
     }
@@ -146,8 +145,24 @@ mod tests {
         });
         let x = Tensor::uniform((3, 5), -1.0, 1.0, &mut rng);
         let gout = Tensor::uniform((3, 5), -1.0, 1.0, &mut rng);
-        check_param_grads(&mut norm, |m, x| m.forward(x), |m, g| m.backward(g), &x, &gout, 1e-2, 2e-2);
-        check_input_grad(&mut norm, |m, x| m.forward(x), |m, g| m.backward(g), &x, &gout, 1e-2, 2e-2);
+        check_param_grads(
+            &mut norm,
+            |m, x| m.forward(x),
+            |m, g| m.backward(g),
+            &x,
+            &gout,
+            1e-2,
+            2e-2,
+        );
+        check_input_grad(
+            &mut norm,
+            |m, x| m.forward(x),
+            |m, g| m.backward(g),
+            &x,
+            &gout,
+            1e-2,
+            2e-2,
+        );
     }
 
     #[test]

@@ -146,8 +146,24 @@ mod tests {
         let mut ffn = SwiGlu::new("e", 4, 6, &mut rng);
         let x = Tensor::uniform((3, 4), -1.0, 1.0, &mut rng);
         let gout = Tensor::uniform((3, 4), -1.0, 1.0, &mut rng);
-        check_param_grads(&mut ffn, |m, x| m.forward(x), |m, g| m.backward(g), &x, &gout, 1e-2, 3e-2);
-        check_input_grad(&mut ffn, |m, x| m.forward(x), |m, g| m.backward(g), &x, &gout, 1e-2, 3e-2);
+        check_param_grads(
+            &mut ffn,
+            |m, x| m.forward(x),
+            |m, g| m.backward(g),
+            &x,
+            &gout,
+            1e-2,
+            3e-2,
+        );
+        check_input_grad(
+            &mut ffn,
+            |m, x| m.forward(x),
+            |m, g| m.backward(g),
+            &x,
+            &gout,
+            1e-2,
+            3e-2,
+        );
     }
 
     #[test]
@@ -193,6 +209,14 @@ mod tests {
         });
         let x = Tensor::uniform((2, 4), -1.0, 1.0, &mut rng);
         let gout = Tensor::uniform((2, 4), -1.0, 1.0, &mut rng);
-        check_param_grads(&mut ffn, |m, x| m.forward(x), |m, g| m.backward(g), &x, &gout, 1e-2, 3e-2);
+        check_param_grads(
+            &mut ffn,
+            |m, x| m.forward(x),
+            |m, g| m.backward(g),
+            &x,
+            &gout,
+            1e-2,
+            3e-2,
+        );
     }
 }

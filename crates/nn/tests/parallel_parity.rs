@@ -1,0 +1,51 @@
+//! Bitwise parity for the per-head parallel attention loops.
+//!
+//! Attention forward/backward fan out over `(batch, head)` pairs; the
+//! merge back into shared buffers stays serial and in head order, so the
+//! whole layer must be bitwise-identical at any thread count — including
+//! under grouped-query attention, where several query heads accumulate
+//! gradients into one shared KV head.
+
+use vela_nn::attention::Attention;
+use vela_tensor::parallel::{with_pool, ThreadPool};
+use vela_tensor::rng::DetRng;
+use vela_tensor::Tensor;
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Forward + backward under a fresh identically-seeded layer, returning
+/// (output bits, input-gradient bits).
+fn run(threads: usize, heads: usize, kv_heads: usize, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let (batch, seq, dim) = (3, 7, 24);
+    let mut rng = DetRng::new(seed);
+    let mut attn = Attention::with_kv_heads("attn", dim, heads, kv_heads, &mut rng);
+    let x = Tensor::uniform((batch * seq, dim), -1.0, 1.0, &mut rng);
+    let g = Tensor::uniform((batch * seq, dim), -1.0, 1.0, &mut rng);
+    let pool = ThreadPool::new(threads);
+    with_pool(&pool, || {
+        let y = attn.forward(&x, batch, seq);
+        let gx = attn.backward(&g);
+        (bits(&y), bits(&gx))
+    })
+}
+
+#[test]
+fn attention_is_bitwise_identical_at_any_thread_count() {
+    let reference = run(1, 4, 4, 11);
+    for threads in [2, 3, 5, 8] {
+        assert_eq!(run(threads, 4, 4, 11), reference, "{threads} threads");
+    }
+}
+
+#[test]
+fn grouped_query_attention_parity_with_shared_kv_heads() {
+    // 6 query heads over 2 KV heads: three query heads per KV head all
+    // add gradients into the same buffer — the serial merge must keep
+    // that accumulation order fixed.
+    let reference = run(1, 6, 2, 23);
+    for threads in [2, 4, 7] {
+        assert_eq!(run(threads, 6, 2, 23), reference, "{threads} threads");
+    }
+}

@@ -1,6 +1,8 @@
-//! Property-based tests for the layer zoo.
+//! Randomized property tests for the layer zoo.
+//!
+//! Each property is checked over many [`DetRng`]-seeded random cases, so
+//! the suite is fully deterministic and needs no external test framework.
 
-use proptest::prelude::*;
 use vela_nn::attention::Attention;
 use vela_nn::linear::Linear;
 use vela_nn::loss::cross_entropy;
@@ -11,39 +13,53 @@ use vela_nn::swiglu::SwiGlu;
 use vela_tensor::rng::DetRng;
 use vela_tensor::Tensor;
 
+const CASES: u64 = 24;
+
 fn tensor(rows: usize, cols: usize, seed: u64, scale: f32) -> Tensor {
     let mut rng = DetRng::new(seed);
     Tensor::uniform((rows, cols), -scale, scale, &mut rng)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// A linear layer without bias is, well, linear.
-    #[test]
-    fn linear_is_linear(seed in 0u64..500, a in -2.0f32..2.0, b in -2.0f32..2.0) {
+/// A linear layer without bias is, well, linear.
+#[test]
+fn linear_is_linear() {
+    for seed in 0..CASES {
+        let mut case = DetRng::new(seed ^ 0xA11CE);
+        let (a, b) = (case.uniform(-2.0, 2.0), case.uniform(-2.0, 2.0));
         let mut layer = Linear::new("l", 5, 3, &mut DetRng::new(seed));
         let x = tensor(4, 5, seed ^ 1, 1.0);
         let y = tensor(4, 5, seed ^ 2, 1.0);
         let lhs = layer.forward(&x.scale(a).add(&y.scale(b)));
         let rhs = layer.forward(&x).scale(a).add(&layer.forward(&y).scale(b));
-        prop_assert!(vela_tensor::approx_eq(lhs.as_slice(), rhs.as_slice(), 1e-3));
+        assert!(
+            vela_tensor::approx_eq(lhs.as_slice(), rhs.as_slice(), 1e-3),
+            "seed {seed}"
+        );
     }
+}
 
-    /// RMSNorm output never depends on the input's overall scale.
-    #[test]
-    fn rmsnorm_scale_invariant(seed in 0u64..500, scale in 0.1f32..50.0) {
+/// RMSNorm output never depends on the input's overall scale.
+#[test]
+fn rmsnorm_scale_invariant() {
+    for seed in 0..CASES {
+        let scale = DetRng::new(seed ^ 0xBEEF).uniform(0.1, 50.0);
         let mut norm = RmsNorm::new("n", 6, &mut DetRng::new(seed));
         let x = tensor(3, 6, seed, 2.0);
         let y1 = norm.forward(&x);
         let y2 = norm.forward(&x.scale(scale));
-        prop_assert!(vela_tensor::approx_eq(y1.as_slice(), y2.as_slice(), 1e-2));
+        assert!(
+            vela_tensor::approx_eq(y1.as_slice(), y2.as_slice(), 1e-2),
+            "seed {seed} scale {scale}"
+        );
     }
+}
 
-    /// Attention is causal for arbitrary inputs: earlier outputs ignore
-    /// later-token perturbations.
-    #[test]
-    fn attention_is_causal(seed in 0u64..200, bump in 0.5f32..3.0) {
+/// Attention is causal for arbitrary inputs: earlier outputs ignore
+/// later-token perturbations.
+#[test]
+fn attention_is_causal() {
+    for seed in 0..CASES {
+        let bump = DetRng::new(seed ^ 0xCAFE).uniform(0.5, 3.0);
         let mut attn = Attention::new("a", 8, 2, &mut DetRng::new(seed));
         let x1 = tensor(4, 8, seed ^ 9, 1.0);
         let mut x2 = x1.clone();
@@ -53,13 +69,19 @@ proptest! {
         let y1 = attn.forward(&x1, 1, 4);
         let y2 = attn.forward(&x2, 1, 4);
         for t in 0..3 {
-            prop_assert_eq!(y1.row(t), y2.row(t), "token {} leaked the future", t);
+            assert_eq!(
+                y1.row(t),
+                y2.row(t),
+                "seed {seed}: token {t} leaked the future"
+            );
         }
     }
+}
 
-    /// Expert FFN gradients accumulate additively across backward calls.
-    #[test]
-    fn swiglu_grads_accumulate(seed in 0u64..200) {
+/// Expert FFN gradients accumulate additively across backward calls.
+#[test]
+fn swiglu_grads_accumulate() {
+    for seed in 0..CASES {
         let mut ffn = SwiGlu::new("e", 4, 6, &mut DetRng::new(seed));
         let x = tensor(3, 4, seed ^ 5, 1.0);
         let g = tensor(3, 4, seed ^ 6, 1.0);
@@ -70,40 +92,45 @@ proptest! {
         ffn.forward(&x);
         ffn.backward(&g);
         let mut idx = 0;
-        let mut ok = true;
         ffn.visit_params(&mut |p| {
-            ok &= vela_tensor::approx_eq(
-                p.grad.as_slice(),
-                once[idx].scale(2.0).as_slice(),
-                1e-3,
+            assert!(
+                vela_tensor::approx_eq(p.grad.as_slice(), once[idx].scale(2.0).as_slice(), 1e-3),
+                "seed {seed}: second backward must double the gradient of {}",
+                p.name()
             );
             idx += 1;
         });
-        prop_assert!(ok, "second backward must double the gradient");
     }
+}
 
-    /// Cross-entropy is non-negative and its gradient rows sum to zero.
-    #[test]
-    fn cross_entropy_invariants(seed in 0u64..500) {
+/// Cross-entropy is non-negative and its gradient rows sum to zero.
+#[test]
+fn cross_entropy_invariants() {
+    for seed in 0..CASES {
         let logits = tensor(5, 7, seed, 4.0);
         let mut rng = DetRng::new(seed ^ 77);
         let targets: Vec<usize> = (0..5).map(|_| rng.below(7)).collect();
         let (loss, grad) = cross_entropy(&logits, &targets);
-        prop_assert!(loss >= 0.0);
+        assert!(loss >= 0.0, "seed {seed}");
         for i in 0..5 {
             let s: f32 = grad.row(i).iter().sum();
-            prop_assert!(s.abs() < 1e-5);
+            assert!(s.abs() < 1e-5, "seed {seed} row {i}: grad sum {s}");
         }
     }
+}
 
-    /// Both optimizers shrink a random convex quadratic.
-    #[test]
-    fn optimizers_descend(seed in 0u64..200) {
+/// Both optimizers shrink a random convex quadratic.
+#[test]
+fn optimizers_descend() {
+    for seed in 0..CASES {
         let init = tensor(1, 6, seed, 3.0).into_vec();
         for sgd in [true, false] {
             let mut params = vec![Param::new("w", Tensor::from_vec(6usize, init.clone()))];
             let mut sgd_opt = Sgd::new(0.1);
-            let mut adam_opt = AdamW::new(AdamWConfig { lr: 0.1, ..AdamWConfig::default() });
+            let mut adam_opt = AdamW::new(AdamWConfig {
+                lr: 0.1,
+                ..AdamWConfig::default()
+            });
             let start = params[0].value.norm();
             for _ in 0..60 {
                 let g = params[0].value.clone();
@@ -115,16 +142,19 @@ proptest! {
                     adam_opt.step(&mut params);
                 }
             }
-            prop_assert!(
+            assert!(
                 params[0].value.norm() < start * 0.5 + 1e-3,
-                "{} failed to descend", if sgd { "sgd" } else { "adamw" }
+                "seed {seed}: {} failed to descend",
+                if sgd { "sgd" } else { "adamw" }
             );
         }
     }
+}
 
-    /// LoRA merging is exact for any adapter contents.
-    #[test]
-    fn lora_merge_exact(seed in 0u64..300) {
+/// LoRA merging is exact for any adapter contents.
+#[test]
+fn lora_merge_exact() {
+    for seed in 0..CASES {
         let mut rng = DetRng::new(seed);
         let mut layer = Linear::new("l", 5, 4, &mut rng);
         layer.attach_lora(2, 6.0, &mut rng);
@@ -138,6 +168,9 @@ proptest! {
         let before = layer.forward(&x);
         layer.merge_lora();
         let after = layer.forward(&x);
-        prop_assert!(vela_tensor::approx_eq(before.as_slice(), after.as_slice(), 1e-3));
+        assert!(
+            vela_tensor::approx_eq(before.as_slice(), after.as_slice(), 1e-3),
+            "seed {seed}"
+        );
     }
 }

@@ -219,7 +219,11 @@ pub fn branch_and_bound(problem: &PlacementProblem, node_limit: usize) -> Branch
         // LP with the fixed assignments pinned.
         let mut lp = build_lp(problem);
         for &((block, expert), worker) in &fixed {
-            lp.add_constraint(&[(x_index(problem, worker, block, expert), 1.0)], Cmp::Eq, 1.0);
+            lp.add_constraint(
+                &[(x_index(problem, worker, block, expert), 1.0)],
+                Cmp::Eq,
+                1.0,
+            );
         }
         let sol = lp.solve();
         if sol.status != LpStatus::Optimal
@@ -306,8 +310,7 @@ mod bb_tests {
     #[test]
     fn matches_exhaustive_on_tiny_instances() {
         for seed in 0..4u64 {
-            let profile =
-                vela_tensor::rng::DetRng::new(seed); // just vary the seed source
+            let profile = vela_tensor::rng::DetRng::new(seed); // just vary the seed source
             let _ = profile;
             let probs = crate::exact::test_profile(seed, 2, 4);
             let p = mk_problem(probs, 2, 1);
@@ -360,7 +363,9 @@ pub(crate) fn test_profile(seed: u64, blocks: usize, experts: usize) -> Vec<Vec<
     let mut rng = vela_tensor::rng::DetRng::new(seed);
     (0..blocks)
         .map(|_| {
-            let mut row: Vec<f64> = (0..experts).map(|_| rng.uniform(0.05, 1.0) as f64).collect();
+            let mut row: Vec<f64> = (0..experts)
+                .map(|_| rng.uniform(0.05, 1.0) as f64)
+                .collect();
             let total: f64 = row.iter().sum();
             for v in &mut row {
                 *v /= total;

@@ -171,9 +171,7 @@ mod tests {
         let sol = build_lp(&p).solve();
         // The LP objective is cost-scaled; compare in seconds.
         let binary = crate::problem::Placement::new(vec![vec![0, 1, 2], vec![3, 4, 5]], 6);
-        assert!(
-            sol.objective * cost_scale(&p) <= p.expected_comm_time(&binary) + 1e-9
-        );
+        assert!(sol.objective * cost_scale(&p) <= p.expected_comm_time(&binary) + 1e-9);
     }
 
     #[test]

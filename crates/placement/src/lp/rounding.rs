@@ -155,9 +155,7 @@ pub fn polish_placement(
                     t[from] -= problem.coeff(from, block, expert);
                     t[to] += problem.coeff(to, block, expert);
                     let cand = block_max(&t);
-                    if cand < current - 1e-15
-                        && best.as_ref().is_none_or(|&(_, b)| cand < b)
-                    {
+                    if cand < current - 1e-15 && best.as_ref().is_none_or(|&(_, b)| cand < b) {
                         best = Some((to, cand));
                     }
                 }

@@ -191,11 +191,7 @@ impl Tableau {
     fn from_builder(lp: &LpBuilder) -> Self {
         let m = lp.rows.len();
         // Column layout: [structural | slacks | artificials].
-        let n_slack = lp
-            .rows
-            .iter()
-            .filter(|(_, cmp, _)| *cmp != Cmp::Eq)
-            .count();
+        let n_slack = lp.rows.iter().filter(|(_, cmp, _)| *cmp != Cmp::Eq).count();
         let total_guess = lp.n + n_slack + m;
         let mut a = vec![vec![0.0; total_guess]; m];
         let mut upper = lp.upper.clone();
@@ -483,11 +479,7 @@ impl Tableau {
                 }
             };
         }
-        let objective = x
-            .iter()
-            .zip(&self.cost)
-            .map(|(&v, &c)| v * c)
-            .sum::<f64>();
+        let objective = x.iter().zip(&self.cost).map(|(&v, &c)| v * c).sum::<f64>();
         LpSolution {
             status,
             x,
@@ -696,7 +688,12 @@ mod tests {
                 break;
             }
         }
-        assert!((sol.objective + best).abs() < 1e-5, "{} vs {}", sol.objective, -best);
+        assert!(
+            (sol.objective + best).abs() < 1e-5,
+            "{} vs {}",
+            sol.objective,
+            -best
+        );
     }
 
     #[test]

@@ -308,7 +308,12 @@ impl PlacementProblem {
 
     /// Uniform capacities that fit all experts with `slack` spare slots per
     /// worker.
-    pub fn even_capacities(blocks: usize, experts: usize, workers: usize, slack: usize) -> Vec<usize> {
+    pub fn even_capacities(
+        blocks: usize,
+        experts: usize,
+        workers: usize,
+        slack: usize,
+    ) -> Vec<usize> {
         let per = (blocks * experts).div_ceil(workers) + slack;
         vec![per; workers]
     }

@@ -232,7 +232,10 @@ mod tests {
             vela_time < seq_time,
             "vela {vela_time} vs sequential {seq_time}"
         );
-        assert!(vela_time < rand_time, "vela {vela_time} vs random {rand_time}");
+        assert!(
+            vela_time < rand_time,
+            "vela {vela_time} vs random {rand_time}"
+        );
     }
 
     #[test]
@@ -286,7 +289,10 @@ mod tests {
         );
         let greedy_time = p.expected_comm_time(&Strategy::Greedy.place(&p));
         let seq_time = p.expected_comm_time(&Strategy::Sequential.place(&p));
-        assert!(greedy_time <= seq_time, "greedy {greedy_time} vs seq {seq_time}");
+        assert!(
+            greedy_time <= seq_time,
+            "greedy {greedy_time} vs seq {seq_time}"
+        );
     }
 
     #[test]
@@ -294,7 +300,10 @@ mod tests {
         let p = skewed_problem();
         let greedy_time = p.expected_comm_time(&Strategy::Greedy.place(&p));
         let vela_time = p.expected_comm_time(&Strategy::Vela.place(&p));
-        assert!(vela_time <= greedy_time + 1e-9, "vela {vela_time} vs greedy {greedy_time}");
+        assert!(
+            vela_time <= greedy_time + 1e-9,
+            "vela {vela_time} vs greedy {greedy_time}"
+        );
     }
 
     #[test]
@@ -323,6 +332,9 @@ mod tests {
         // off-node than the baseline (it packs the master node first).
         let vela_bytes = p.expected_external_bytes(&Strategy::Vela.place(&p));
         let seq_bytes = p.expected_external_bytes(&Strategy::Sequential.place(&p));
-        assert!(vela_bytes <= seq_bytes + 1e-9, "vela {vela_bytes} vs seq {seq_bytes}");
+        assert!(
+            vela_bytes <= seq_bytes + 1e-9,
+            "vela {vela_bytes} vs seq {seq_bytes}"
+        );
     }
 }

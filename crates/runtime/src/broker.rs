@@ -266,7 +266,12 @@ mod tests {
     use vela_tensor::rng::DetRng;
 
     /// A full micro setup: 2 workers, experts split by expert parity.
-    fn setup() -> (BrokerClient, Vec<ExpertManager>, LocalExpertStore, ModelConfig) {
+    fn setup() -> (
+        BrokerClient,
+        Vec<ExpertManager>,
+        LocalExpertStore,
+        ModelConfig,
+    ) {
         let cfg = ModelConfig::test_small();
         let ledger = Arc::new(TrafficLedger::new(Topology::paper_testbed()));
         let (hub, ports) = star(ledger, DeviceId(0), &[DeviceId(1), DeviceId(2)]);

@@ -45,8 +45,16 @@ impl EpEngine {
         scale: ScaleConfig,
     ) -> Self {
         assert!(devices.len() >= 2, "EP needs at least two devices");
-        assert_eq!(profile.blocks(), scale.spec.blocks, "profile block mismatch");
-        assert_eq!(profile.experts(), scale.spec.experts, "profile expert mismatch");
+        assert_eq!(
+            profile.blocks(),
+            scale.spec.blocks,
+            "profile block mismatch"
+        );
+        assert_eq!(
+            profile.experts(),
+            scale.spec.experts,
+            "profile expert mismatch"
+        );
         let rng = DetRng::new(scale.seed);
         EpEngine {
             cost: CostModel::new(topology.clone()),

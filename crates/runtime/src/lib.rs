@@ -31,6 +31,7 @@ pub mod routing;
 pub mod runtime;
 pub mod transport;
 pub mod virtual_engine;
+pub mod wire;
 pub mod worker;
 
 pub use broker::BrokerClient;

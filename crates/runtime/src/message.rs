@@ -1,7 +1,8 @@
 //! The binary wire format exchanged between the master and the Expert
 //! Manager workers.
 //!
-//! Messages are hand-serialized into [`bytes::Bytes`] so the traffic ledger
+//! Messages are hand-serialized into plain byte vectors (via the in-tree
+//! [`crate::wire`] primitives) so the traffic ledger
 //! can account the exact on-wire size. Activation payloads come in two
 //! flavours:
 //!
@@ -12,7 +13,7 @@
 //!   computed at genuine Mixtral proportions without materializing 8 KiB
 //!   per token.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::wire::{ByteReader, ByteWriter};
 use vela_tensor::Tensor;
 
 /// An activation/gradient payload.
@@ -175,8 +176,8 @@ const PAYLOAD_VIRTUAL: u8 = 1;
 
 impl Message {
     /// Serializes the message.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(16);
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = ByteWriter::with_capacity(16);
         match self {
             Message::StepBegin { step } => {
                 buf.put_u8(TAG_STEP_BEGIN);
@@ -218,7 +219,7 @@ impl Message {
                 buf.put_u32(*block);
                 buf.put_u32(*expert);
                 buf.put_u64(data.len() as u64);
-                buf.extend_from_slice(data);
+                buf.put_slice(data);
             }
             Message::InstallDone { block, expert } => {
                 buf.put_u8(TAG_INSTALL_DONE);
@@ -227,7 +228,7 @@ impl Message {
             }
             Message::Shutdown => buf.put_u8(TAG_SHUTDOWN),
         }
-        buf.freeze()
+        buf.into_vec()
     }
 
     /// Deserializes a message produced by [`encode`](Self::encode).
@@ -235,7 +236,8 @@ impl Message {
     /// # Panics
     /// Panics on malformed input (the transport is in-process and
     /// trusted; corruption indicates a bug, not an I/O condition).
-    pub fn decode(mut bytes: Bytes) -> Message {
+    pub fn decode(frame: &[u8]) -> Message {
+        let mut bytes = ByteReader::new(frame);
         let tag = bytes.get_u8();
         match tag {
             TAG_STEP_BEGIN => Message::StepBegin {
@@ -311,7 +313,7 @@ impl Message {
     }
 }
 
-fn encode_payload_msg(buf: &mut BytesMut, tag: u8, block: u32, expert: u32, payload: &Payload) {
+fn encode_payload_msg(buf: &mut ByteWriter, tag: u8, block: u32, expert: u32, payload: &Payload) {
     buf.put_u8(tag);
     buf.put_u32(block);
     buf.put_u32(expert);
@@ -336,7 +338,7 @@ fn encode_payload_msg(buf: &mut BytesMut, tag: u8, block: u32, expert: u32, payl
     }
 }
 
-fn decode_payload(bytes: &mut Bytes) -> Payload {
+fn decode_payload(bytes: &mut ByteReader<'_>) -> Payload {
     match bytes.get_u8() {
         PAYLOAD_REAL => {
             let rows = bytes.get_u32();
@@ -398,7 +400,7 @@ mod tests {
             Message::Shutdown,
         ];
         for msg in msgs {
-            assert_eq!(Message::decode(msg.encode()), msg);
+            assert_eq!(Message::decode(&msg.encode()), msg);
         }
     }
 
@@ -441,16 +443,22 @@ mod tests {
     #[test]
     fn migration_messages_roundtrip() {
         let msgs = vec![
-            Message::FetchExpert { block: 3, expert: 5 },
+            Message::FetchExpert {
+                block: 3,
+                expert: 5,
+            },
             Message::ExpertState {
                 block: 3,
                 expert: 5,
                 data: vec![1, 2, 3, 255, 0, 42],
             },
-            Message::InstallDone { block: 3, expert: 5 },
+            Message::InstallDone {
+                block: 3,
+                expert: 5,
+            },
         ];
         for msg in msgs {
-            assert_eq!(Message::decode(msg.encode()), msg);
+            assert_eq!(Message::decode(&msg.encode()), msg);
         }
     }
 
@@ -484,6 +492,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown message tag")]
     fn garbage_decode_panics() {
-        Message::decode(Bytes::from_static(&[99]));
+        Message::decode(&[99]);
     }
 }

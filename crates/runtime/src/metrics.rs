@@ -215,8 +215,7 @@ mod tests {
             rows: vec![100, 0, 0, 0, 0, 0],
             ..remote_log.clone()
         };
-        let t_remote =
-            master_worker_time(&cost, DeviceId(0), &workers, &[remote_log], &spec, 0.0);
+        let t_remote = master_worker_time(&cost, DeviceId(0), &workers, &[remote_log], &spec, 0.0);
         let t_local = master_worker_time(&cost, DeviceId(0), &workers, &[local_log], &spec, 0.0);
         // Remote placement: the slow Ethernet leg binds. Local placement:
         // the free link means compute binds instead — and the total drops.

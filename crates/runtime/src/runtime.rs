@@ -58,7 +58,11 @@ impl RealRuntime {
     ) -> Self {
         let cfg = model.config().clone();
         assert_eq!(placement.blocks(), cfg.blocks, "placement block mismatch");
-        assert_eq!(placement.experts(), cfg.experts, "placement expert mismatch");
+        assert_eq!(
+            placement.experts(),
+            cfg.experts,
+            "placement expert mismatch"
+        );
         assert_eq!(
             placement.workers(),
             worker_devices.len(),
@@ -155,8 +159,7 @@ impl RealRuntime {
 
         let traffic = self.ledger.take_step();
         let logs = self.broker.take_phase_logs();
-        let master_flops =
-            inputs.len() as f64 * backbone_flops_per_token(&self.spec, seq) * 3.0;
+        let master_flops = inputs.len() as f64 * backbone_flops_per_token(&self.spec, seq) * 3.0;
         let time = master_worker_time(
             &self.cost,
             self.master,
@@ -175,7 +178,13 @@ impl RealRuntime {
 
     /// Evaluates the loss on a batch without updating anything (used by
     /// parity checks).
-    pub fn evaluate(&mut self, inputs: &[usize], targets: &[usize], batch: usize, seq: usize) -> f32 {
+    pub fn evaluate(
+        &mut self,
+        inputs: &[usize],
+        targets: &[usize],
+        batch: usize,
+        seq: usize,
+    ) -> f32 {
         let logits = self.model.forward(inputs, batch, seq, &mut self.broker);
         self.broker.take_phase_logs();
         cross_entropy(&logits, targets).0
@@ -283,7 +292,10 @@ mod tests {
                 .loss
                 .unwrap();
         }
-        assert!(last < first, "distributed training must learn: {first} -> {last}");
+        assert!(
+            last < first,
+            "distributed training must learn: {first} -> {last}"
+        );
         rt.shutdown();
     }
 
@@ -292,10 +304,7 @@ mod tests {
         // All experts on the master-colocated worker: zero accounted bytes.
         let (model, experts, cfg) = build();
         let topology = Topology::paper_testbed();
-        let all_on_zero = Placement::new(
-            vec![vec![0; cfg.experts]; cfg.blocks],
-            6,
-        );
+        let all_on_zero = Placement::new(vec![vec![0; cfg.experts]; cfg.blocks], 6);
         let mut rt = RealRuntime::launch(
             model,
             experts,

@@ -1,7 +1,7 @@
 //! In-process transport with byte-accurate traffic accounting.
 //!
-//! The master and its Expert Manager workers communicate over crossbeam
-//! channels arranged in a star (the paper's one-to-all pattern). Every send
+//! The master and its Expert Manager workers communicate over
+//! `std::sync::mpsc` channels arranged in a star (the paper's one-to-all pattern). Every send
 //! serializes the [`Message`] and records its accounted byte count against
 //! the (source, destination) device pair in the shared
 //! [`TrafficLedger`], so Fig. 5's cross-node traffic numbers come from the
@@ -9,8 +9,7 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use vela_cluster::{DeviceId, TrafficLedger};
 
 use crate::message::Message;
@@ -19,7 +18,7 @@ use crate::message::Message;
 #[derive(Debug)]
 pub struct MasterHub {
     to_workers: Vec<DownLink>,
-    from_workers: Receiver<(usize, Bytes)>,
+    from_workers: Receiver<(usize, Vec<u8>)>,
     device: DeviceId,
 }
 
@@ -30,13 +29,13 @@ pub struct WorkerPort {
     pub index: usize,
     /// The device this worker runs on.
     pub device: DeviceId,
-    rx: Receiver<Bytes>,
+    rx: Receiver<Vec<u8>>,
     up: UpLink,
 }
 
 #[derive(Debug)]
 struct DownLink {
-    tx: Sender<Bytes>,
+    tx: Sender<Vec<u8>>,
     src: DeviceId,
     dst: DeviceId,
     ledger: Arc<TrafficLedger>,
@@ -44,7 +43,7 @@ struct DownLink {
 
 #[derive(Debug)]
 struct UpLink {
-    tx: Sender<(usize, Bytes)>,
+    tx: Sender<(usize, Vec<u8>)>,
     index: usize,
     src: DeviceId,
     dst: DeviceId,
@@ -62,11 +61,11 @@ pub fn star(
     workers: &[DeviceId],
 ) -> (MasterHub, Vec<WorkerPort>) {
     assert!(!workers.is_empty(), "star needs at least one worker");
-    let (up_tx, up_rx) = unbounded();
+    let (up_tx, up_rx) = channel();
     let mut to_workers = Vec::with_capacity(workers.len());
     let mut ports = Vec::with_capacity(workers.len());
     for (index, &dev) in workers.iter().enumerate() {
-        let (down_tx, down_rx) = unbounded();
+        let (down_tx, down_rx) = channel();
         to_workers.push(DownLink {
             tx: down_tx,
             src: master,
@@ -121,7 +120,8 @@ impl MasterHub {
     /// Panics if the worker has hung up (a worker thread died).
     pub fn send(&self, index: usize, msg: &Message) {
         let link = &self.to_workers[index];
-        link.ledger.record(link.src, link.dst, msg.accounted_bytes());
+        link.ledger
+            .record(link.src, link.dst, msg.accounted_bytes());
         link.tx
             .send(msg.encode())
             .expect("worker channel closed unexpectedly");
@@ -144,7 +144,7 @@ impl MasterHub {
             .from_workers
             .recv()
             .expect("all worker channels closed");
-        (index, Message::decode(bytes))
+        (index, Message::decode(&bytes))
     }
 }
 
@@ -154,7 +154,7 @@ impl WorkerPort {
     /// # Panics
     /// Panics if the master hung up.
     pub fn recv(&self) -> Message {
-        Message::decode(self.rx.recv().expect("master channel closed"))
+        Message::decode(&self.rx.recv().expect("master channel closed"))
     }
 
     /// Sends a message to the master, recording its bytes.

@@ -121,10 +121,26 @@ impl VirtualEngine {
         profile: LocalityProfile,
         scale: ScaleConfig,
     ) -> Self {
-        assert_eq!(profile.blocks(), scale.spec.blocks, "profile block mismatch");
-        assert_eq!(profile.experts(), scale.spec.experts, "profile expert mismatch");
-        assert_eq!(placement.blocks(), scale.spec.blocks, "placement block mismatch");
-        assert_eq!(placement.experts(), scale.spec.experts, "placement expert mismatch");
+        assert_eq!(
+            profile.blocks(),
+            scale.spec.blocks,
+            "profile block mismatch"
+        );
+        assert_eq!(
+            profile.experts(),
+            scale.spec.experts,
+            "profile expert mismatch"
+        );
+        assert_eq!(
+            placement.blocks(),
+            scale.spec.blocks,
+            "placement block mismatch"
+        );
+        assert_eq!(
+            placement.experts(),
+            scale.spec.experts,
+            "placement expert mismatch"
+        );
         assert_eq!(
             placement.workers(),
             worker_devices.len(),
@@ -200,8 +216,7 @@ impl VirtualEngine {
         }
 
         let traffic = self.ledger.take_step();
-        let master_flops =
-            tokens as f64 * backbone_flops_per_token(&spec, self.scale.seq) * 3.0;
+        let master_flops = tokens as f64 * backbone_flops_per_token(&spec, self.scale.seq) * 3.0;
         let time = master_worker_time(
             &self.cost,
             self.master,

@@ -1,0 +1,166 @@
+//! Minimal big-endian byte buffer primitives for the wire format.
+//!
+//! [`ByteWriter`] appends fixed-width integers/floats to a growable
+//! `Vec<u8>`; [`ByteReader`] walks a received frame back. Both are in-tree
+//! (no external `bytes` dependency) so the workspace builds with zero
+//! network access, and both use network byte order so encoded frames are
+//! stable across hosts.
+
+/// Append-only big-endian encoder over a `Vec<u8>`.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32` in big-endian order.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a `u64` in big-endian order.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends an `f32` in big-endian IEEE-754 order.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_slice(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Reserves room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Finishes encoding, yielding the frame.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-based big-endian decoder over a byte slice.
+///
+/// All getters panic on underflow: the transport is in-process and
+/// trusted, so a short frame indicates a bug rather than an I/O condition.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        assert!(
+            self.remaining() >= n,
+            "wire frame underflow: wanted {n} bytes, {} left",
+            self.remaining()
+        );
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Reads a big-endian IEEE-754 `f32`.
+    pub fn get_f32(&mut self) -> f32 {
+        f32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Reads exactly `out.len()` raw bytes into `out`.
+    pub fn copy_to_slice(&mut self, out: &mut [u8]) {
+        out.copy_from_slice(self.take(out.len()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = ByteWriter::with_capacity(32);
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f32(-1.5);
+        w.put_slice(&[1, 2, 3]);
+        let frame = w.into_vec();
+        assert_eq!(frame.len(), 1 + 4 + 8 + 4 + 3);
+
+        let mut r = ByteReader::new(&frame);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), u64::MAX - 1);
+        assert_eq!(r.get_f32(), -1.5);
+        let mut tail = [0u8; 3];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(tail, [1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn encoding_is_big_endian() {
+        let mut w = ByteWriter::default();
+        w.put_u32(0x0102_0304);
+        assert_eq!(w.into_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn f32_bits_survive_roundtrip() {
+        for v in [0.0f32, -0.0, f32::MIN_POSITIVE, f32::INFINITY, 1e-30] {
+            let mut w = ByteWriter::default();
+            w.put_f32(v);
+            let frame = w.into_vec();
+            let got = ByteReader::new(&frame).get_f32();
+            assert_eq!(got.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wire frame underflow")]
+    fn underflow_panics() {
+        ByteReader::new(&[1, 2]).get_u32();
+    }
+}

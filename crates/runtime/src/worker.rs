@@ -217,8 +217,7 @@ fn worker_loop(
                     .as_ref()
                     .expect("worker without template cannot receive experts");
                 let mut ffn = template.instantiate(block as usize, expert as usize);
-                checkpoint::load(&mut ffn, &mut data.as_slice())
-                    .expect("valid expert checkpoint");
+                checkpoint::load(&mut ffn, &mut data.as_slice()).expect("valid expert checkpoint");
                 shard.insert(block as usize, expert as usize, ffn);
                 port.send(&Message::InstallDone { block, expert });
             }
@@ -263,7 +262,12 @@ mod tests {
             },
         );
         let (_, reply) = hub.recv();
-        let Message::ExpertResult { block, expert, payload } = reply else {
+        let Message::ExpertResult {
+            block,
+            expert,
+            payload,
+        } = reply
+        else {
             panic!("expected ExpertResult");
         };
         assert_eq!((block, expert), (0, 1));

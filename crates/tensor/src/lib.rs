@@ -7,9 +7,11 @@
 //! random-number facility ([`rng::DetRng`]) so every experiment in the
 //! repository is reproducible bit-for-bit.
 //!
-//! The design intentionally favours clarity and testability over raw speed:
-//! all kernels are straightforward loops over contiguous `f32` buffers, which
-//! is plenty for the scaled-down models used throughout the evaluation.
+//! The design favours clarity and testability first: kernels are cache-tiled
+//! loops over contiguous `f32` buffers, threaded across a deterministic pool
+//! ([`parallel`]) that partitions work over output rows — so results stay
+//! bitwise-identical at any thread count (`VELA_THREADS` selects the pool
+//! size; `1` reproduces the serial kernels exactly).
 //!
 //! # Example
 //!
@@ -23,6 +25,7 @@
 //! ```
 
 pub mod ops;
+pub mod parallel;
 pub mod rng;
 mod shape;
 mod tensor;

@@ -273,7 +273,8 @@ mod tests {
         let eps = 1e-3f32;
         for i in 0..t.len() {
             let x = t.at(i);
-            let numeric = ((x + eps) * sigmoid(x + eps) - (x - eps) * sigmoid(x - eps)) / (2.0 * eps);
+            let numeric =
+                ((x + eps) * sigmoid(x + eps) - (x - eps) * sigmoid(x - eps)) / (2.0 * eps);
             assert!((numeric - g.at(i)).abs() < 1e-3);
         }
     }

@@ -4,15 +4,16 @@
 //! synthetic corpora, routing traces, placement baselines — draws from a
 //! [`DetRng`] seeded with an explicit `u64`, making all experiments
 //! reproducible bit-for-bit across runs and machines.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is an in-tree xoshiro256++ seeded through SplitMix64
+//! (the reference seeding procedure), so the crate builds with zero
+//! external dependencies — the build environment has no crates.io access.
 
 /// A deterministic, seedable random-number generator.
 ///
-/// Wraps [`rand::rngs::StdRng`] and adds the distributions this workspace
-/// needs (uniform, normal via Box–Muller, categorical, permutation) behind a
-/// small stable API.
+/// Implements xoshiro256++ with SplitMix64 seed expansion and adds the
+/// distributions this workspace needs (uniform, normal via Box–Muller,
+/// categorical, permutation) behind a small stable API.
 ///
 /// # Example
 /// ```
@@ -24,16 +25,33 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DetRng {
-    inner: StdRng,
+    state: [u64; 4],
     /// Cached second sample from the Box–Muller transform.
     spare_normal: Option<f32>,
+}
+
+/// One step of SplitMix64: the recommended way to expand a single `u64`
+/// seed into the 256-bit xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates a generator from a seed. Equal seeds yield equal streams.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
         DetRng {
-            inner: StdRng::seed_from_u64(seed),
+            state,
             spare_normal: None,
         }
     }
@@ -41,8 +59,27 @@ impl DetRng {
     /// Derives an independent child generator. Used to hand each worker or
     /// data stream its own reproducible stream.
     pub fn fork(&mut self, tag: u64) -> DetRng {
-        let seed = self.inner.gen::<u64>() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = self.next_u64() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         DetRng::new(seed)
+    }
+
+    /// A uniform `u64` (one xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A standard-uniform sample from `[0, 1)` with 24 bits of mantissa.
+    pub fn unit(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
     }
 
     /// A uniform sample from `[lo, hi)`.
@@ -51,12 +88,15 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
         assert!(lo < hi, "uniform requires lo < hi, got [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
-    }
-
-    /// A standard-uniform sample from `[0, 1)`.
-    pub fn unit(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        loop {
+            let x = lo + (hi - lo) * self.unit();
+            // Rounding at the top of a wide range can land exactly on
+            // `hi`; redraw (probability ~2^-24) to keep the half-open
+            // contract.
+            if x < hi {
+                return x;
+            }
+        }
     }
 
     /// A normal sample with the given mean and standard deviation
@@ -67,12 +107,12 @@ impl DetRng {
             None => {
                 // Box–Muller: two uniforms -> two independent normals.
                 let u1 = loop {
-                    let u = self.inner.gen::<f32>();
+                    let u = self.unit();
                     if u > f32::MIN_POSITIVE {
                         break u;
                     }
                 };
-                let u2 = self.inner.gen::<f32>();
+                let u2 = self.unit();
                 let r = (-2.0 * u1.ln()).sqrt();
                 let theta = 2.0 * std::f32::consts::PI * u2;
                 self.spare_normal = Some(r * theta.sin());
@@ -88,12 +128,16 @@ impl DetRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below requires n > 0");
-        self.inner.gen_range(0..n)
-    }
-
-    /// A uniform `u64`.
-    pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        // Rejection sampling over the largest multiple of `n` keeps the
+        // distribution exactly uniform.
+        let n = n as u64;
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return (v % n) as usize;
+            }
+        }
     }
 
     /// Samples an index from an unnormalized weight vector.
@@ -160,6 +204,15 @@ mod tests {
     }
 
     #[test]
+    fn matches_xoshiro256pp_reference_vector() {
+        // First outputs of xoshiro256++ with state seeded by SplitMix64(0):
+        // state = [e220a8397b1dcdaf, 6e789e6aa1b965f4,
+        //          06c45d188009454f, f88bb8a8724c81ec].
+        let mut rng = DetRng::new(0);
+        assert_eq!(rng.next_u64(), 0x53175d61490b23df);
+    }
+
+    #[test]
     fn fork_streams_are_independent_and_deterministic() {
         let mut root1 = DetRng::new(9);
         let mut root2 = DetRng::new(9);
@@ -180,6 +233,15 @@ mod tests {
     }
 
     #[test]
+    fn unit_in_half_open_interval() {
+        let mut rng = DetRng::new(11);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
     fn normal_moments() {
         let mut rng = DetRng::new(5);
         let n = 20_000;
@@ -188,6 +250,18 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut rng = DetRng::new(12);
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[rng.below(5)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f32 / 50_000.0 - 0.2).abs() < 0.01, "{counts:?}");
+        }
     }
 
     #[test]

@@ -1,8 +1,120 @@
 use std::fmt;
-use std::ops::{Add, Mul, Neg, Sub};
+use std::ops::{Add, Mul, Neg, Range, Sub};
 
+use crate::parallel;
 use crate::rng::DetRng;
 use crate::Shape;
+
+/// Rows are processed in tiles of this many rows so that a `B` row loaded
+/// into cache is reused across the whole tile.
+const ROW_TILE: usize = 8;
+
+/// Minimum number of multiply-adds a parallel chunk should own; matmuls
+/// below roughly this size run serially, and larger ones are split into
+/// row ranges of at least this much work each.
+const PAR_MIN_WORK: usize = 16 * 1024;
+
+/// Runs `kernel` over row ranges of `0..rows`, handing each invocation the
+/// disjoint `[range.len() * cols]` sub-slice of `out` it owns.
+///
+/// Work is partitioned over whole output rows and every row is written by
+/// exactly one chunk, so results are bitwise-identical at any thread
+/// count.
+fn par_rows_into(
+    rows: usize,
+    cols: usize,
+    work_per_row: usize,
+    out: &mut [f32],
+    kernel: impl Fn(Range<usize>, &mut [f32]) + Sync,
+) {
+    debug_assert_eq!(out.len(), rows * cols);
+    let min_rows = (PAR_MIN_WORK / work_per_row.max(1)).max(1);
+    let slots = parallel::DisjointSlots::new(out);
+    parallel::par_ranges(rows, min_rows, |range| {
+        // SAFETY: ranges from `par_ranges` are disjoint, so each chunk is
+        // the sole accessor of its row slice.
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(slots.get(range.start * cols), range.len() * cols)
+        };
+        kernel(range, chunk);
+    });
+}
+
+/// `C[rows] = A[rows, :] @ B` for a row range, writing into `out` (the
+/// sub-slice owned by this range). Every output element accumulates its
+/// `k` terms in ascending-`p` order starting from `0.0` — the contract the
+/// parity suite pins down.
+fn matmul_rows(a: &[f32], b: &[f32], k: usize, c: usize, rows: Range<usize>, out: &mut [f32]) {
+    let base = rows.start;
+    let mut i0 = rows.start;
+    while i0 < rows.end {
+        let ilim = (i0 + ROW_TILE).min(rows.end);
+        for p in 0..k {
+            let brow = &b[p * c..(p + 1) * c];
+            for i in i0..ilim {
+                let av = a[i * k + p];
+                let orow = &mut out[(i - base) * c..(i - base + 1) * c];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        i0 = ilim;
+    }
+}
+
+/// `C[rows] = A^T[rows, :] @ B` for a row range over `A: (k, r)`,
+/// `B: (k, c)`. Same ascending-`p` accumulation order as [`matmul_rows`].
+fn matmul_tn_rows(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    r: usize,
+    c: usize,
+    rows: Range<usize>,
+    out: &mut [f32],
+) {
+    let base = rows.start;
+    let mut i0 = rows.start;
+    while i0 < rows.end {
+        let ilim = (i0 + ROW_TILE).min(rows.end);
+        for p in 0..k {
+            let aseg = &a[p * r + i0..p * r + ilim];
+            let brow = &b[p * c..(p + 1) * c];
+            for (off, &av) in aseg.iter().enumerate() {
+                let i = i0 + off;
+                let orow = &mut out[(i - base) * c..(i - base + 1) * c];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        i0 = ilim;
+    }
+}
+
+/// `C[rows] = A[rows, :] @ B^T` for a row range over `A: (r, k)`,
+/// `B: (c, k)`. Each element is one dot product accumulated in ascending
+/// inner-index order.
+fn matmul_nt_rows(a: &[f32], b: &[f32], k: usize, c: usize, rows: Range<usize>, out: &mut [f32]) {
+    let base = rows.start;
+    let mut i0 = rows.start;
+    while i0 < rows.end {
+        let ilim = (i0 + ROW_TILE).min(rows.end);
+        for j in 0..c {
+            let brow = &b[j * k..(j + 1) * k];
+            for i in i0..ilim {
+                let arow = &a[i * k..(i + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                out[(i - base) * c + j] = acc;
+            }
+        }
+        i0 = ilim;
+    }
+}
 
 /// A dense, row-major, owned `f32` tensor of at most three dimensions.
 ///
@@ -363,6 +475,11 @@ impl Tensor {
 
     /// Matrix product of the 2-D views: `(r x k) @ (k x c) -> (r x c)`.
     ///
+    /// Large products are split over output rows across the current
+    /// [`parallel`] pool; every element is accumulated in ascending
+    /// inner-index order regardless of thread count, so results are
+    /// bitwise-deterministic.
+    ///
     /// # Panics
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
@@ -370,19 +487,10 @@ impl Tensor {
         let (k2, c) = other.shape.as_2d();
         assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
         let mut out = vec![0.0f32; r * c];
-        for i in 0..r {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * c..(i + 1) * c];
-            for (p, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[p * c..(p + 1) * c];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        let (a, b) = (&self.data, &other.data);
+        par_rows_into(r, c, k * c, &mut out, |rows, chunk| {
+            matmul_rows(a, b, k, c, rows, chunk);
+        });
         Tensor::from_vec((r, c), out)
     }
 
@@ -397,19 +505,10 @@ impl Tensor {
         let (k2, c) = other.shape.as_2d();
         assert_eq!(k, k2, "matmul_tn row dims: {k} vs {k2}");
         let mut out = vec![0.0f32; r * c];
-        for p in 0..k {
-            let arow = &self.data[p * r..(p + 1) * r];
-            let brow = &other.data[p * c..(p + 1) * c];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out[i * c..(i + 1) * c];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        let (a, b) = (&self.data, &other.data);
+        par_rows_into(r, c, k * c, &mut out, |rows, chunk| {
+            matmul_tn_rows(a, b, k, r, c, rows, chunk);
+        });
         Tensor::from_vec((r, c), out)
     }
 
@@ -424,17 +523,10 @@ impl Tensor {
         let (c, k2) = other.shape.as_2d();
         assert_eq!(k, k2, "matmul_nt col dims: {k} vs {k2}");
         let mut out = vec![0.0f32; r * c];
-        for i in 0..r {
-            let arow = &self.data[i * k..(i + 1) * k];
-            for j in 0..c {
-                let brow = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                out[i * c + j] = acc;
-            }
-        }
+        let (a, b) = (&self.data, &other.data);
+        par_rows_into(r, c, k * c, &mut out, |rows, chunk| {
+            matmul_nt_rows(a, b, k, c, rows, chunk);
+        });
         Tensor::from_vec((r, c), out)
     }
 

@@ -1,86 +1,116 @@
-//! Property-based tests for the tensor substrate.
+//! Randomized property tests for the tensor substrate.
+//!
+//! Each property is checked over many [`DetRng`]-seeded random cases, so
+//! the suite is fully deterministic and needs no external test framework.
 
-use proptest::prelude::*;
 use vela_tensor::ops;
 use vela_tensor::rng::DetRng;
 use vela_tensor::Tensor;
 
-fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
-    prop::collection::vec(-10.0f32..10.0, rows * cols)
-        .prop_map(move |data| Tensor::from_vec((rows, cols), data))
+const CASES: u64 = 32;
+
+fn random_tensor(rows: usize, cols: usize, rng: &mut DetRng) -> Tensor {
+    Tensor::uniform((rows, cols), -10.0, 10.0, rng)
 }
 
-proptest! {
-    #[test]
-    fn softmax_rows_is_a_distribution(t in tensor_strategy(4, 6)) {
+#[test]
+fn softmax_rows_is_a_distribution() {
+    for seed in 0..CASES {
+        let t = random_tensor(4, 6, &mut DetRng::new(seed));
         let s = ops::softmax_rows(&t);
         for i in 0..4 {
             let sum: f32 = s.row(i).iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
-            prop_assert!(s.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+            assert!((sum - 1.0).abs() < 1e-4, "seed {seed} row {i}: sum {sum}");
+            assert!(s.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
         }
     }
+}
 
-    #[test]
-    fn softmax_preserves_order(t in tensor_strategy(1, 5)) {
+#[test]
+fn softmax_preserves_order() {
+    for seed in 0..CASES {
+        let t = random_tensor(1, 5, &mut DetRng::new(seed));
         let s = ops::softmax_rows(&t);
         for a in 0..5 {
             for b in 0..5 {
                 if t.at(a) > t.at(b) {
-                    prop_assert!(s.at(a) >= s.at(b));
+                    assert!(s.at(a) >= s.at(b), "seed {seed}: order broken at ({a},{b})");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(
-        a in tensor_strategy(3, 4),
-        b in tensor_strategy(4, 2),
-        c in tensor_strategy(4, 2),
-    ) {
+#[test]
+fn matmul_distributes_over_addition() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let a = random_tensor(3, 4, &mut rng);
+        let b = random_tensor(4, 2, &mut rng);
+        let c = random_tensor(4, 2, &mut rng);
         let lhs = a.matmul(&b.add(&c));
         let rhs = a.matmul(&b).add(&a.matmul(&c));
         for i in 0..lhs.len() {
-            prop_assert!((lhs.at(i) - rhs.at(i)).abs() < 1e-2);
+            assert!(
+                (lhs.at(i) - rhs.at(i)).abs() < 1e-2,
+                "seed {seed} idx {i}: {} vs {}",
+                lhs.at(i),
+                rhs.at(i)
+            );
         }
     }
+}
 
-    #[test]
-    fn matmul_tn_nt_agree_with_transpose(
-        a in tensor_strategy(3, 4),
-        b in tensor_strategy(3, 5),
-    ) {
+#[test]
+fn matmul_tn_nt_agree_with_transpose() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let a = random_tensor(3, 4, &mut rng);
+        let b = random_tensor(3, 5, &mut rng);
         let tn = a.matmul_tn(&b);
         let explicit = a.transpose().matmul(&b);
-        prop_assert!(vela_tensor::approx_eq(tn.as_slice(), explicit.as_slice(), 1e-3));
+        assert!(vela_tensor::approx_eq(
+            tn.as_slice(),
+            explicit.as_slice(),
+            1e-3
+        ));
 
         let c = Tensor::from_vec((5, 4), vec![0.5; 20]);
         let nt = a.matmul_nt(&c);
         let explicit2 = a.matmul(&c.transpose());
-        prop_assert!(vela_tensor::approx_eq(nt.as_slice(), explicit2.as_slice(), 1e-3));
+        assert!(vela_tensor::approx_eq(
+            nt.as_slice(),
+            explicit2.as_slice(),
+            1e-3
+        ));
     }
+}
 
-    #[test]
-    fn gather_then_scatter_restores_selected_rows(
-        t in tensor_strategy(6, 3),
-        idx in prop::collection::vec(0usize..6, 1..6),
-    ) {
+#[test]
+fn gather_then_scatter_restores_selected_rows() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let t = random_tensor(6, 3, &mut rng);
+        let mut idx: Vec<usize> = (0..(1 + rng.below(5))).map(|_| rng.below(6)).collect();
         // Deduplicate so scatter-add writes each destination once.
-        let mut idx = idx;
         idx.sort_unstable();
         idx.dedup();
         let gathered = t.gather_rows(&idx);
         let mut out = Tensor::zeros((6, 3));
         out.scatter_add_rows(&idx, &gathered);
         for (pos, &i) in idx.iter().enumerate() {
-            prop_assert_eq!(out.row(i), gathered.row(pos));
-            prop_assert_eq!(out.row(i), t.row(i));
+            assert_eq!(out.row(i), gathered.row(pos), "seed {seed}");
+            assert_eq!(out.row(i), t.row(i), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn topk_values_dominate_rest(t in tensor_strategy(2, 6), k in 1usize..=6) {
+#[test]
+fn topk_values_dominate_rest() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let t = random_tensor(2, 6, &mut rng);
+        let k = 1 + rng.below(6);
         let (idx, vals) = ops::topk_rows(&t, k);
         for r in 0..2 {
             let chosen: Vec<usize> = idx[r * k..(r + 1) * k].to_vec();
@@ -90,21 +120,36 @@ proptest! {
                 .fold(f32::INFINITY, f32::min);
             for j in 0..6 {
                 if !chosen.contains(&j) {
-                    prop_assert!(t.at2(r, j) <= min_chosen + 1e-6);
+                    assert!(
+                        t.at2(r, j) <= min_chosen + 1e-6,
+                        "seed {seed} k {k}: unchosen {} beats chosen min {min_chosen}",
+                        t.at2(r, j)
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn transpose_is_involution(t in tensor_strategy(4, 7)) {
-        prop_assert_eq!(t.transpose().transpose(), t);
+#[test]
+fn transpose_is_involution() {
+    for seed in 0..CASES {
+        let t = random_tensor(4, 7, &mut DetRng::new(seed));
+        assert_eq!(t.transpose().transpose(), t);
     }
+}
 
-    #[test]
-    fn norm_scales_linearly(t in tensor_strategy(3, 3), s in 0.0f32..5.0) {
+#[test]
+fn norm_scales_linearly() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let t = random_tensor(3, 3, &mut rng);
+        let s = rng.uniform(0.0, 5.0);
         let scaled = t.scale(s);
-        prop_assert!((scaled.norm() - s * t.norm()).abs() < 1e-2 * (1.0 + t.norm()));
+        assert!(
+            (scaled.norm() - s * t.norm()).abs() < 1e-2 * (1.0 + t.norm()),
+            "seed {seed} scale {s}"
+        );
     }
 }
 

@@ -27,8 +27,18 @@ fn main() {
     let b = pretrain(&cfg, &pcfg);
     let (mut local_model, mut local_experts) = (a.model, a.experts);
     let (mut dist_model, mut dist_experts) = (b.model, b.experts);
-    prepare_for_finetune(&mut local_model, &mut local_experts, LoraConfig::default(), &mut DetRng::new(5));
-    prepare_for_finetune(&mut dist_model, &mut dist_experts, LoraConfig::default(), &mut DetRng::new(5));
+    prepare_for_finetune(
+        &mut local_model,
+        &mut local_experts,
+        LoraConfig::default(),
+        &mut DetRng::new(5),
+    );
+    prepare_for_finetune(
+        &mut dist_model,
+        &mut dist_experts,
+        LoraConfig::default(),
+        &mut DetRng::new(5),
+    );
 
     // 2. Measure locality and solve the placement.
     let dataset = TokenDataset::from_text(&tok, &Corpus::WikiText.generate(30_000, 8));
@@ -60,13 +70,21 @@ fn main() {
     let mut opt_m = AdamW::new(AdamWConfig::default());
     let mut opt_e = AdamW::new(AdamWConfig::default());
 
-    println!("\n{:>4} | {:>10} | {:>10} | {:>12}", "step", "dist loss", "local loss", "ext MB/node");
+    println!(
+        "\n{:>4} | {:>10} | {:>10} | {:>12}",
+        "step", "dist loss", "local loss", "ext MB/node"
+    );
     let mut rng = DetRng::new(77);
     use vela::nn::param::Module;
     for step in 1..=8 {
         let batch = dataset.sample_batch(4, cfg.seq_len, &mut rng);
         // Distributed step.
-        let m = runtime.train_step(&batch.inputs, &batch.targets, batch.batch_size, batch.seq_len);
+        let m = runtime.train_step(
+            &batch.inputs,
+            &batch.targets,
+            batch.batch_size,
+            batch.seq_len,
+        );
         // Identical local step.
         local_experts.zero_grad();
         let stats = local_model.train_step(
@@ -84,7 +102,11 @@ fn main() {
             stats.loss,
             m.traffic.external_avg_per_node() / (1024.0 * 1024.0)
         );
-        assert_eq!(m.loss.unwrap(), stats.loss, "distributed must equal local bit-for-bit");
+        assert_eq!(
+            m.loss.unwrap(),
+            stats.loss,
+            "distributed must equal local bit-for-bit"
+        );
     }
     runtime.shutdown();
     println!("\nparity verified: distributed fine-tuning is computation-identical to local");

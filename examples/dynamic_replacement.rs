@@ -25,7 +25,12 @@ fn main() {
         },
     );
     let (mut model, mut experts) = (pre.model, pre.experts);
-    prepare_for_finetune(&mut model, &mut experts, LoraConfig::default(), &mut DetRng::new(1));
+    prepare_for_finetune(
+        &mut model,
+        &mut experts,
+        LoraConfig::default(),
+        &mut DetRng::new(1),
+    );
 
     // Start with sequential placement — no locality awareness.
     let topology = Topology::paper_testbed();

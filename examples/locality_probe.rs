@@ -27,7 +27,12 @@ fn main() {
         },
     );
     let (mut model, mut experts) = (pre.model, pre.experts);
-    prepare_for_finetune(&mut model, &mut experts, LoraConfig::default(), &mut DetRng::new(1));
+    prepare_for_finetune(
+        &mut model,
+        &mut experts,
+        LoraConfig::default(),
+        &mut DetRng::new(1),
+    );
 
     for corpus in Corpus::FINE_TUNE {
         let dataset = TokenDataset::from_text(&tok, &corpus.generate(40_000, 9));
@@ -39,11 +44,7 @@ fn main() {
         println!("  block | expert access heat (1..{})", cfg.experts);
         for l in 0..cfg.blocks {
             let row: String = profile.row(l).iter().map(|&p| heat(p)).collect();
-            let hottest = profile
-                .row(l)
-                .iter()
-                .cloned()
-                .fold(0.0f64, f64::max);
+            let hottest = profile.row(l).iter().cloned().fold(0.0f64, f64::max);
             println!("  {:>5} | [{}]  peak {:.2}", l + 1, row, hottest);
         }
     }

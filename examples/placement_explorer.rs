@@ -12,8 +12,10 @@ use vela::runtime::virtual_engine::capacity_from_memory;
 
 fn main() {
     let spec = MoeSpec::mixtral_8x7b();
-    println!("Mixtral-8x7B shape: {} blocks x {} experts, top-{}, H={}",
-        spec.blocks, spec.experts, spec.top_k, spec.hidden);
+    println!(
+        "Mixtral-8x7B shape: {} blocks x {} experts, top-{}, H={}",
+        spec.blocks, spec.experts, spec.top_k, spec.hidden
+    );
 
     // A custom cluster: 2 nodes x 4 GPUs, faster interconnect than the
     // paper's testbed.

@@ -26,10 +26,16 @@ fn main() {
         .seed(7)
         .build();
 
-    println!("\nplacement (experts per worker): {:?}", session.placement().load());
+    println!(
+        "\nplacement (experts per worker): {:?}",
+        session.placement().load()
+    );
 
     let metrics = session.finetune(10);
-    println!("\n{:>5} | {:>8} | {:>14} | {:>12}", "step", "loss", "ext MB/node", "sim step (s)");
+    println!(
+        "\n{:>5} | {:>8} | {:>14} | {:>12}",
+        "step", "loss", "ext MB/node", "sim step (s)"
+    );
     for m in &metrics {
         println!(
             "{:>5} | {:>8.4} | {:>14.3} | {:>12.6}",

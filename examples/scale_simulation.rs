@@ -22,7 +22,10 @@ fn main() {
     );
 
     let profile = LocalityProfile::synthetic("whatif", spec.blocks, spec.experts, 1.1, 42);
-    println!("routing concentration: {:.3}\n", profile.mean_concentration());
+    println!(
+        "routing concentration: {:.3}\n",
+        profile.mean_concentration()
+    );
 
     // Expert parallelism.
     let mut ep = EpEngine::new(
@@ -50,18 +53,15 @@ fn main() {
     );
     let placement = Strategy::Vela.place(&problem);
     println!("experts per worker: {:?}", placement.load());
-    let mut engine = VirtualEngine::launch(
-        topology,
-        DeviceId(0),
-        workers,
-        placement,
-        profile,
-        scale,
-    );
+    let mut engine =
+        VirtualEngine::launch(topology, DeviceId(0), workers, placement, profile, scale);
     let vela_summary = RunSummary::from_steps(&engine.run(25));
     engine.shutdown();
 
-    println!("\n{:>8} | {:>14} | {:>12} | {:>10}", "engine", "ext MB/node", "step (s)", "sync (s)");
+    println!(
+        "\n{:>8} | {:>14} | {:>12} | {:>10}",
+        "engine", "ext MB/node", "step (s)", "sync (s)"
+    );
     for (name, s) in [("EP", &ep_summary), ("Vela", &vela_summary)] {
         println!(
             "{name:>8} | {:>14.1} | {:>12.4} | {:>10.4}",

@@ -7,7 +7,12 @@
 use vela::model::finetune::{finetune, prepare_for_finetune, FinetuneConfig};
 use vela::prelude::*;
 
-fn sample(model: &mut MoeModel, experts: &mut LocalExpertStore, tok: &CharTokenizer, prompt: &str) -> String {
+fn sample(
+    model: &mut MoeModel,
+    experts: &mut LocalExpertStore,
+    tok: &CharTokenizer,
+    prompt: &str,
+) -> String {
     let ids = tok.encode(prompt);
     let out = model.generate(&ids, 120, 0.7, &mut DetRng::new(7), experts);
     tok.decode(&out)
@@ -37,10 +42,18 @@ fn main() {
     );
 
     let prompt = "ROMEO:\n";
-    println!("\n--- before fine-tuning ---\n{}", sample(&mut model, &mut experts, &tok, prompt));
+    println!(
+        "\n--- before fine-tuning ---\n{}",
+        sample(&mut model, &mut experts, &tok, prompt)
+    );
 
     println!("\nfine-tuning on the drama corpus (LoRA r=8)...");
-    prepare_for_finetune(&mut model, &mut experts, LoraConfig::default(), &mut DetRng::new(3));
+    prepare_for_finetune(
+        &mut model,
+        &mut experts,
+        LoraConfig::default(),
+        &mut DetRng::new(3),
+    );
     let stats = finetune(
         &mut model,
         &mut experts,
@@ -62,6 +75,9 @@ fn main() {
         stats.last().unwrap().loss
     );
 
-    println!("\n--- after fine-tuning ---\n{}", sample(&mut model, &mut experts, &tok, prompt));
+    println!(
+        "\n--- after fine-tuning ---\n{}",
+        sample(&mut model, &mut experts, &tok, prompt)
+    );
     println!("\n(the fine-tuned model should produce more drama-shaped text: speaker tags, archaic words)");
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Repository verification: tier-1 build+test, formatting, and the kernel
+# micro-bench (emits BENCH_kernels.json in the repo root).
+#
+# Usage: scripts/verify.sh [--no-bench]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_bench=1
+for arg in "$@"; do
+    case "$arg" in
+    --no-bench) run_bench=0 ;;
+    *)
+        echo "unknown argument: $arg" >&2
+        echo "usage: scripts/verify.sh [--no-bench]" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+if [ "$run_bench" = 1 ]; then
+    echo "==> kernel micro-bench (BENCH_kernels.json)"
+    cargo run --release -p vela-bench --bin bench_kernels
+fi
+
+echo "==> verify OK"

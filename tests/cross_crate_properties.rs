@@ -1,34 +1,36 @@
-//! Property-based tests spanning crates: the LP + rounding pipeline, the
-//! wire format, the traffic ledger, and the Theorem 1 bound.
+//! Randomized property tests spanning crates: the LP + rounding pipeline,
+//! the wire format, the traffic ledger, and the Theorem 1 bound.
+//!
+//! Each property is checked over many [`DetRng`]-seeded random cases, so
+//! the suite is fully deterministic and needs no external test framework.
 
-use proptest::prelude::*;
 use vela::locality::theorem::drift_bound_from_logits;
 use vela::placement::Strategy as Plan;
-use vela::prelude::{DeviceId, DetRng, LocalityProfile, PlacementProblem, Tensor, Topology};
+use vela::prelude::{DetRng, DeviceId, LocalityProfile, PlacementProblem, Tensor, Topology};
 use vela::runtime::message::{Message, Payload};
 
-fn profile_strategy(blocks: usize, experts: usize) -> impl proptest::strategy::Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(0.01f64..1.0, experts),
-        blocks,
-    )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .map(|row| {
-                let sum: f64 = row.iter().sum();
-                row.into_iter().map(|p| p / sum).collect()
-            })
-            .collect()
-    })
+const CASES: u64 = 32;
+
+fn random_profile(blocks: usize, experts: usize, rng: &mut DetRng) -> Vec<Vec<f64>> {
+    (0..blocks)
+        .map(|_| {
+            let row: Vec<f64> = (0..experts)
+                .map(|_| 0.01 + 0.99 * f64::from(rng.unit()))
+                .collect();
+            let sum: f64 = row.iter().sum();
+            row.into_iter().map(|p| p / sum).collect()
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Rounding any LP relaxation yields a feasible placement, and no
-    /// heuristic ever beats the LP lower bound.
-    #[test]
-    fn lp_rounding_always_feasible(probs in profile_strategy(3, 4), cap_slack in 0usize..3) {
+/// Rounding any LP relaxation yields a feasible placement, and no
+/// heuristic ever beats the LP lower bound.
+#[test]
+fn lp_rounding_always_feasible() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let probs = random_profile(3, 4, &mut rng);
+        let cap_slack = rng.below(3);
         let topology = Topology::paper_testbed();
         let workers: Vec<DeviceId> = (0..6).map(DeviceId).collect();
         let problem = PlacementProblem::new(
@@ -47,38 +49,65 @@ proptest! {
             Plan::Greedy,
         ] {
             let placement = strategy.place(&problem);
-            prop_assert!(placement.respects_capacities(problem.capacities()));
-            prop_assert_eq!(placement.load().iter().sum::<usize>(), 12);
-            prop_assert!(problem.expected_comm_time(&placement).is_finite());
+            assert!(
+                placement.respects_capacities(problem.capacities()),
+                "seed {seed}: {strategy:?} violates capacities"
+            );
+            assert_eq!(placement.load().iter().sum::<usize>(), 12, "seed {seed}");
+            assert!(problem.expected_comm_time(&placement).is_finite());
         }
         // LP relaxation lower-bounds every binary placement (the LP works
         // in cost-scaled units; convert back to seconds).
         let lp = vela::placement::lp::build::build_lp(&problem).solve();
         let scale = vela::placement::lp::build::cost_scale(&problem);
         let vela_cost = problem.expected_comm_time(&Plan::Vela.place(&problem));
-        prop_assert!(lp.objective * scale <= vela_cost + 1e-9);
+        assert!(lp.objective * scale <= vela_cost + 1e-9, "seed {seed}");
     }
+}
 
-    /// Messages survive encode/decode for arbitrary real payload shapes.
-    #[test]
-    fn message_roundtrip(rows in 1usize..20, cols in 1usize..20, block in 0u32..64, expert in 0u32..8) {
-        let mut rng = DetRng::new(u64::from(block) * 8 + u64::from(expert));
+/// Messages survive encode/decode for arbitrary real payload shapes.
+#[test]
+fn message_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let rows = 1 + rng.below(19);
+        let cols = 1 + rng.below(19);
+        let block = rng.below(64) as u32;
+        let expert = rng.below(8) as u32;
         let t = Tensor::uniform((rows, cols), -10.0, 10.0, &mut rng);
-        let msg = Message::TokenBatch { block, expert, payload: Payload::from_tensor(&t) };
-        prop_assert_eq!(Message::decode(msg.encode()), msg);
+        let msg = Message::TokenBatch {
+            block,
+            expert,
+            payload: Payload::from_tensor(&t),
+        };
+        assert_eq!(Message::decode(&msg.encode()), msg, "seed {seed}");
     }
+}
 
-    /// Virtual payloads account exactly rows × bytes_per_token.
-    #[test]
-    fn virtual_accounting(rows in 1u32..100_000, bpt in 1u32..16_384) {
-        let p = Payload::Virtual { rows, bytes_per_token: bpt };
-        prop_assert_eq!(p.accounted_bytes(), u64::from(rows) * u64::from(bpt));
+/// Virtual payloads account exactly rows × bytes_per_token.
+#[test]
+fn virtual_accounting() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let rows = 1 + rng.below(100_000) as u32;
+        let bpt = 1 + rng.below(16_384) as u32;
+        let p = Payload::Virtual {
+            rows,
+            bytes_per_token: bpt,
+        };
+        assert_eq!(p.accounted_bytes(), u64::from(rows) * u64::from(bpt));
     }
+}
 
-    /// The ledger conserves bytes: sum of sent externals equals sum of
-    /// received externals, and internal + external equals total.
-    #[test]
-    fn ledger_conservation(transfers in prop::collection::vec((0usize..6, 0usize..6, 1u64..10_000), 1..50)) {
+/// The ledger conserves bytes: sum of sent externals equals sum of
+/// received externals, and internal + external equals total.
+#[test]
+fn ledger_conservation() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let transfers: Vec<(usize, usize, u64)> = (0..(1 + rng.below(49)))
+            .map(|_| (rng.below(6), rng.below(6), 1 + rng.below(9_999) as u64))
+            .collect();
         let ledger = vela::cluster::TrafficLedger::new(Topology::paper_testbed());
         let mut expected_total = 0u64;
         for &(s, d, b) in &transfers {
@@ -88,21 +117,25 @@ proptest! {
             }
         }
         let t = ledger.peek();
-        prop_assert_eq!(t.total_bytes, expected_total);
-        prop_assert_eq!(
+        assert_eq!(t.total_bytes, expected_total, "seed {seed}");
+        assert_eq!(
             t.external_sent_per_node.iter().sum::<u64>(),
             t.external_recv_per_node.iter().sum::<u64>()
         );
-        prop_assert_eq!(t.internal_bytes + t.external_total(), t.total_bytes);
+        assert_eq!(t.internal_bytes + t.external_total(), t.total_bytes);
     }
+}
 
-    /// Theorem 1's first-order bound holds for exact softmax pairs under
-    /// small logit perturbations.
-    #[test]
-    fn softmax_drift_bound_holds(
-        logits in prop::collection::vec(-4.0f64..4.0, 6),
-        delta in prop::collection::vec(-1e-3f64..1e-3, 6),
-    ) {
+/// Theorem 1's first-order bound holds for exact softmax pairs under
+/// small logit perturbations.
+#[test]
+fn softmax_drift_bound_holds() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let logits: Vec<f64> = (0..6).map(|_| f64::from(rng.uniform(-4.0, 4.0))).collect();
+        let delta: Vec<f64> = (0..6)
+            .map(|_| f64::from(rng.uniform(-1e-3, 1e-3)))
+            .collect();
         let softmax = |v: &[f64]| {
             let m = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let e: Vec<f64> = v.iter().map(|x| (x - m).exp()).collect();
@@ -116,21 +149,24 @@ proptest! {
         for e in 0..6 {
             let observed = (p0[e] - p1[e]).abs();
             let bound = drift_bound_from_logits(p0[e], 6, max_drift);
-            prop_assert!(
+            assert!(
                 observed <= bound * 1.05 + 1e-12,
-                "expert {}: observed {} bound {}", e, observed, bound
+                "seed {seed} expert {e}: observed {observed} bound {bound}"
             );
         }
     }
+}
 
-    /// Locality profiles sample valid distinct top-k sets.
-    #[test]
-    fn profile_sampling_valid(zipf in 0.0f64..2.5, seed in 0u64..100) {
+/// Locality profiles sample valid distinct top-k sets.
+#[test]
+fn profile_sampling_valid() {
+    for seed in 0..CASES {
+        let zipf = f64::from(DetRng::new(seed ^ 0x21F).uniform(0.0, 2.5));
         let profile = LocalityProfile::synthetic("p", 2, 8, zipf, seed);
         let mut rng = DetRng::new(seed);
         let picks = profile.sample_topk(0, 2, &mut rng);
-        prop_assert_eq!(picks.len(), 2);
-        prop_assert_ne!(picks[0], picks[1]);
-        prop_assert!(picks.iter().all(|&e| e < 8));
+        assert_eq!(picks.len(), 2, "seed {seed}");
+        assert_ne!(picks[0], picks[1], "seed {seed}");
+        assert!(picks.iter().all(|&e| e < 8));
     }
 }

@@ -64,7 +64,12 @@ fn different_corpora_induce_different_profiles() {
 #[test]
 fn locality_stays_stable_during_finetuning() {
     let (mut model, mut experts, cfg) = pretrained(120, 6);
-    prepare_for_finetune(&mut model, &mut experts, LoraConfig::default(), &mut DetRng::new(2));
+    prepare_for_finetune(
+        &mut model,
+        &mut experts,
+        LoraConfig::default(),
+        &mut DetRng::new(2),
+    );
 
     // Fine-tune while recording block-0 frequencies (Fig. 3(c)).
     let stats = finetune(
@@ -124,5 +129,8 @@ fn selected_scores_are_confident() {
         "selected scores should beat chance: mean {:.3}",
         cdf.mean()
     );
-    assert!(cdf.fraction_above(1.0) == 0.0, "score sums are probabilities");
+    assert!(
+        cdf.fraction_above(1.0) == 0.0,
+        "score sums are probabilities"
+    );
 }

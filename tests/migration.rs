@@ -23,7 +23,12 @@ fn launch(placement: Placement) -> (RealRuntime, ModelConfig, TokenDataset) {
         },
     );
     let (mut model, mut experts) = (pre.model, pre.experts);
-    prepare_for_finetune(&mut model, &mut experts, LoraConfig::default(), &mut DetRng::new(2));
+    prepare_for_finetune(
+        &mut model,
+        &mut experts,
+        LoraConfig::default(),
+        &mut DetRng::new(2),
+    );
     let topology = Topology::paper_testbed();
     let workers: Vec<DeviceId> = topology.devices().iter().map(|d| d.id).collect();
     let runtime = RealRuntime::launch(
@@ -54,7 +59,12 @@ fn migration_preserves_computation_exactly() {
     let (mut rt, cfg, data) = launch(seq_placement(&ModelConfig::test_small()));
     let batch = data.sample_batch(2, cfg.seq_len, &mut DetRng::new(1));
 
-    let loss_before = rt.evaluate(&batch.inputs, &batch.targets, batch.batch_size, batch.seq_len);
+    let loss_before = rt.evaluate(
+        &batch.inputs,
+        &batch.targets,
+        batch.batch_size,
+        batch.seq_len,
+    );
 
     // Scatter every expert somewhere else.
     let mut rng = DetRng::new(3);
@@ -69,7 +79,12 @@ fn migration_preserves_computation_exactly() {
     assert!(bytes > 0, "moved experts carry parameter bytes");
     assert_eq!(rt.placement(), &target);
 
-    let loss_after = rt.evaluate(&batch.inputs, &batch.targets, batch.batch_size, batch.seq_len);
+    let loss_after = rt.evaluate(
+        &batch.inputs,
+        &batch.targets,
+        batch.batch_size,
+        batch.seq_len,
+    );
     assert_eq!(
         loss_before, loss_after,
         "migration must be computation-invisible"
@@ -83,7 +98,12 @@ fn training_continues_after_migration() {
     let mut rng = DetRng::new(4);
     let batch = data.sample_batch(2, cfg.seq_len, &mut rng);
     let first = rt
-        .train_step(&batch.inputs, &batch.targets, batch.batch_size, batch.seq_len)
+        .train_step(
+            &batch.inputs,
+            &batch.targets,
+            batch.batch_size,
+            batch.seq_len,
+        )
         .loss
         .unwrap();
 
@@ -103,7 +123,10 @@ fn training_continues_after_migration() {
     // All experts now on one worker: dispatch traffic goes to device 3.
     let b = data.sample_batch(2, cfg.seq_len, &mut rng);
     let m = rt.train_step(&b.inputs, &b.targets, b.batch_size, b.seq_len);
-    assert!(m.traffic.external_total() > 0, "device 3 is off the master node");
+    assert!(
+        m.traffic.external_total() > 0,
+        "device 3 is off the master node"
+    );
     let _ = last;
     let (_, merged) = rt.shutdown();
     assert_eq!(merged.present_count(), cfg.blocks * cfg.experts);
@@ -134,8 +157,14 @@ fn migration_bytes_are_accounted_as_traffic() {
         "parameters move twice (via the master): {} vs {bytes}",
         traffic.total_bytes
     );
-    assert!(traffic.external_total() >= bytes, "the install leg is cross-node");
-    assert!(traffic.internal_bytes >= bytes, "the fetch leg is intra-node");
+    assert!(
+        traffic.external_total() >= bytes,
+        "the install leg is cross-node"
+    );
+    assert!(
+        traffic.internal_bytes >= bytes,
+        "the fetch leg is intra-node"
+    );
     rt.shutdown();
 }
 
@@ -155,7 +184,12 @@ fn dynamic_replanning_improves_traffic_mid_run() {
     let mut rng = DetRng::new(7);
     let batch = data.sample_batch(4, cfg.seq_len, &mut rng);
     let before = rt
-        .train_step(&batch.inputs, &batch.targets, batch.batch_size, batch.seq_len)
+        .train_step(
+            &batch.inputs,
+            &batch.targets,
+            batch.batch_size,
+            batch.seq_len,
+        )
         .traffic
         .external_total();
 

@@ -10,7 +10,11 @@ use vela::model::finetune::prepare_for_finetune;
 use vela::nn::param::Module;
 use vela::prelude::*;
 
-fn pretrained_pair() -> ((MoeModel, LocalExpertStore), (MoeModel, LocalExpertStore), ModelConfig) {
+fn pretrained_pair() -> (
+    (MoeModel, LocalExpertStore),
+    (MoeModel, LocalExpertStore),
+    ModelConfig,
+) {
     let mut cfg = ModelConfig::test_small();
     cfg.vocab = CharTokenizer::new().vocab_size();
     let pcfg = PretrainConfig {
@@ -24,8 +28,18 @@ fn pretrained_pair() -> ((MoeModel, LocalExpertStore), (MoeModel, LocalExpertSto
     let b = pretrain(&cfg, &pcfg);
     let mut pair_a = (a.model, a.experts);
     let mut pair_b = (b.model, b.experts);
-    prepare_for_finetune(&mut pair_a.0, &mut pair_a.1, LoraConfig::default(), &mut DetRng::new(9));
-    prepare_for_finetune(&mut pair_b.0, &mut pair_b.1, LoraConfig::default(), &mut DetRng::new(9));
+    prepare_for_finetune(
+        &mut pair_a.0,
+        &mut pair_a.1,
+        LoraConfig::default(),
+        &mut DetRng::new(9),
+    );
+    prepare_for_finetune(
+        &mut pair_b.0,
+        &mut pair_b.1,
+        LoraConfig::default(),
+        &mut DetRng::new(9),
+    );
     (pair_a, pair_b, cfg)
 }
 
@@ -38,8 +52,7 @@ fn param_fingerprint(module: &mut dyn Module) -> Vec<(String, f32, f32)> {
 }
 
 fn run_parity(placement_fn: impl Fn(&ModelConfig) -> Placement, steps: usize) {
-    let ((mut local_model, mut local_experts), (dist_model, dist_experts), cfg) =
-        pretrained_pair();
+    let ((mut local_model, mut local_experts), (dist_model, dist_experts), cfg) = pretrained_pair();
     let placement = placement_fn(&cfg);
     let topology = Topology::paper_testbed();
     let workers: Vec<DeviceId> = topology.devices().iter().map(|d| d.id).collect();
@@ -60,7 +73,12 @@ fn run_parity(placement_fn: impl Fn(&ModelConfig) -> Placement, steps: usize) {
     let mut rng = DetRng::new(55);
     for step in 0..steps {
         let batch = dataset.sample_batch(4, cfg.seq_len, &mut rng);
-        let dist = runtime.train_step(&batch.inputs, &batch.targets, batch.batch_size, batch.seq_len);
+        let dist = runtime.train_step(
+            &batch.inputs,
+            &batch.targets,
+            batch.batch_size,
+            batch.seq_len,
+        );
         local_experts.zero_grad();
         let local = local_model.train_step(
             &batch.inputs,
@@ -135,8 +153,7 @@ fn parity_with_all_experts_on_one_worker() {
 fn routing_decisions_are_identical_too() {
     // Beyond losses: the actual expert selections of the distributed and
     // local runs must coincide (same gate, same inputs).
-    let ((mut local_model, mut local_experts), (dist_model, dist_experts), cfg) =
-        pretrained_pair();
+    let ((mut local_model, mut local_experts), (dist_model, dist_experts), cfg) = pretrained_pair();
     let topology = Topology::paper_testbed();
     let workers: Vec<DeviceId> = topology.devices().iter().map(|d| d.id).collect();
     let placement = Placement::new(
@@ -158,7 +175,12 @@ fn routing_decisions_are_identical_too() {
     let dataset = TokenDataset::from_text(&tok, &Corpus::Alpaca.generate(15_000, 2));
     let batch = dataset.sample_batch(2, cfg.seq_len, &mut DetRng::new(8));
 
-    runtime.train_step(&batch.inputs, &batch.targets, batch.batch_size, batch.seq_len);
+    runtime.train_step(
+        &batch.inputs,
+        &batch.targets,
+        batch.batch_size,
+        batch.seq_len,
+    );
     let dist_routing = runtime.model().routing_snapshot();
 
     local_experts.zero_grad();
