@@ -1,0 +1,55 @@
+//! Heap-allocation counting for the benchmark binaries.
+//!
+//! [`CountingAllocator`] wraps the system allocator and counts every
+//! `alloc`/`realloc` call process-wide. A benchmark binary registers it
+//! with `#[global_allocator]` and samples [`allocations`] around a
+//! measured iteration to report *allocations per step* — the metric the
+//! zero-allocation hot-path work is held to (see `BENCH_kernels.json`).
+//!
+//! Counting is a single relaxed atomic increment per allocation, cheap
+//! enough to leave enabled while timing.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts allocation calls.
+pub struct CountingAllocator;
+
+// SAFETY: defers entirely to `System`; the counters are side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total allocation calls (`alloc` + `realloc`) since process start.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested since process start.
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED_BYTES.load(Ordering::Relaxed)
+}
+
+/// Allocation calls made while running `f` once.
+pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = allocations();
+    let result = f();
+    (allocations() - before, result)
+}

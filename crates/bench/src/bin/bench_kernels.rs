@@ -1,22 +1,39 @@
 //! Serial-vs-parallel kernel benchmark, emitted as `BENCH_kernels.json`.
 //!
-//! Times the three matmul variants at 256×256×256 and a MoeBlock
-//! forward/backward pass under a 1-thread pool and under the default
-//! pool (`VELA_THREADS` / host parallelism), then writes the timings
-//! and speedups as a small hand-rolled JSON file in the current
-//! directory. Run with `cargo run --release -p vela-bench --bin
-//! bench_kernels`.
+//! Times the three matmul variants at 256×256×256 and on the rectangular
+//! training-step shapes (LoRA `r×dim` projections, expert-FFN
+//! `dim×hidden` projections and their backward transposes), plus a
+//! MoeBlock forward/backward pass, under a 1-thread pool and under the
+//! default pool (`VELA_THREADS` / host parallelism). Each kernel also
+//! reports *heap allocations per iteration*, counted by the
+//! [`vela_bench::alloc::CountingAllocator`] registered as the global
+//! allocator — the zero-allocation hot-path metric.
+//!
+//! Usage:
+//!   bench_kernels                 full run, writes BENCH_kernels.json
+//!   bench_kernels --quick         faster sampling, does not write JSON
+//!   bench_kernels --check FILE    compare serial times against a committed
+//!                                 JSON; exits non-zero if any kernel
+//!                                 regressed by more than 2x
+//!
+//! Run with `cargo run --release -p vela-bench --bin bench_kernels`.
 
 use std::fmt::Write as _;
 use vela::model::{LocalExpertStore, ModelConfig, MoeBlock};
 use vela::prelude::*;
 use vela::tensor::parallel::{self, ThreadPool};
+use vela_bench::alloc::{count_allocations, CountingAllocator};
 use vela_bench::microbench::secs_per_iter;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 struct Row {
     name: &'static str,
     serial_secs: f64,
     parallel_secs: f64,
+    /// Heap allocations in one steady-state iteration (serial pool).
+    allocs_per_iter: u64,
 }
 
 impl Row {
@@ -25,37 +42,98 @@ impl Row {
     }
 }
 
+/// Sampling parameters: (samples, target batch seconds).
+#[derive(Clone, Copy)]
+struct Sampling {
+    samples: usize,
+    target_batch_secs: f64,
+}
+
 /// Time `f` once under the 1-thread pool and once under the default
-/// pool. The serial pass runs first so cache warm-up penalises the
-/// serial number, not the parallel one (conservative for speedups).
+/// pool, and count one iteration's heap allocations after warm-up. The
+/// serial pass runs first so cache warm-up penalises the serial number,
+/// not the parallel one (conservative for speedups).
 fn row<R>(
     name: &'static str,
     serial: &ThreadPool,
     pool: &ThreadPool,
+    sampling: Sampling,
     mut f: impl FnMut() -> R,
 ) -> Row {
-    let serial_secs = parallel::with_pool(serial, || secs_per_iter(5, 0.05, &mut f));
-    let parallel_secs = parallel::with_pool(pool, || secs_per_iter(5, 0.05, &mut f));
+    let allocs_per_iter = parallel::with_pool(serial, || {
+        // Warm up buffers/caches so the count reflects the steady state.
+        for _ in 0..3 {
+            f();
+        }
+        count_allocations(&mut f).0
+    });
+    let serial_secs = parallel::with_pool(serial, || {
+        secs_per_iter(sampling.samples, sampling.target_batch_secs, &mut f)
+    });
+    let parallel_secs = parallel::with_pool(pool, || {
+        secs_per_iter(sampling.samples, sampling.target_batch_secs, &mut f)
+    });
     Row {
         name,
         serial_secs,
         parallel_secs,
+        allocs_per_iter,
     }
 }
 
-fn main() {
+fn run_all(sampling: Sampling) -> (usize, Vec<Row>) {
     let serial = ThreadPool::new(1);
     let pool = ThreadPool::new(parallel::default_threads());
     let threads = pool.threads();
     let mut rows = Vec::new();
 
+    // Square kernels: the historical reference points.
     let n = 256;
     let mut rng = DetRng::new(1);
     let a = Tensor::uniform((n, n), -1.0, 1.0, &mut rng);
     let b = Tensor::uniform((n, n), -1.0, 1.0, &mut rng);
-    rows.push(row("matmul_nn_256", &serial, &pool, || a.matmul(&b)));
-    rows.push(row("matmul_tn_256", &serial, &pool, || a.matmul_tn(&b)));
-    rows.push(row("matmul_nt_256", &serial, &pool, || a.matmul_nt(&b)));
+    rows.push(row("matmul_nn_256", &serial, &pool, sampling, || {
+        a.matmul(&b)
+    }));
+    rows.push(row("matmul_tn_256", &serial, &pool, sampling, || {
+        a.matmul_tn(&b)
+    }));
+    rows.push(row("matmul_nt_256", &serial, &pool, sampling, || {
+        a.matmul_nt(&b)
+    }));
+
+    // Rectangular training-step shapes: LoRA adapters (r=8, dim=64) and
+    // the expert FFN projections (dim=64, hidden=128) over 512 tokens.
+    let mut rng = DetRng::new(7);
+    let x = Tensor::uniform((512, 64), -1.0, 1.0, &mut rng); // [tokens, dim]
+    let wa = Tensor::uniform((64, 8), -1.0, 1.0, &mut rng); // LoRA A
+    let xa = Tensor::uniform((512, 8), -1.0, 1.0, &mut rng); // x·A
+    let wb = Tensor::uniform((8, 64), -1.0, 1.0, &mut rng); // LoRA B
+    let wg = Tensor::uniform((64, 128), -1.0, 1.0, &mut rng); // gate/up weight
+    let h = Tensor::uniform((512, 128), -1.0, 1.0, &mut rng); // hidden grad
+    rows.push(row("lora_down_512x64x8", &serial, &pool, sampling, || {
+        x.matmul(&wa)
+    }));
+    rows.push(row("lora_up_512x8x64", &serial, &pool, sampling, || {
+        xa.matmul(&wb)
+    }));
+    rows.push(row("ffn_fwd_512x64x128", &serial, &pool, sampling, || {
+        x.matmul(&wg)
+    }));
+    rows.push(row(
+        "ffn_bwd_dw_512x64x128",
+        &serial,
+        &pool,
+        sampling,
+        || x.matmul_tn(&h),
+    ));
+    rows.push(row(
+        "ffn_bwd_dx_512x128x64",
+        &serial,
+        &pool,
+        sampling,
+        || h.matmul_nt(&wg),
+    ));
 
     let cfg = ModelConfig {
         vocab: 64,
@@ -73,15 +151,19 @@ fn main() {
     let mut store = LocalExpertStore::new(&cfg, &mut rng);
     let mut block = MoeBlock::new(0, cfg.dim, cfg.experts, cfg.top_k, 0.0, &mut rng);
     let x = Tensor::uniform((512, cfg.dim), -1.0, 1.0, &mut rng);
-    rows.push(row("moe_forward_512tok", &serial, &pool, || {
+    rows.push(row("moe_forward_512tok", &serial, &pool, sampling, || {
         block.forward(&x, &mut store)
     }));
     let g = Tensor::ones((512, cfg.dim));
-    rows.push(row("moe_fwd_bwd_512tok", &serial, &pool, || {
+    rows.push(row("moe_fwd_bwd_512tok", &serial, &pool, sampling, || {
         block.forward(&x, &mut store);
         block.backward(&g, &mut store)
     }));
 
+    (threads, rows)
+}
+
+fn emit_json(threads: usize, rows: &[Row]) -> String {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"threads\": {threads},");
@@ -94,26 +176,133 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"name\": \"{}\", \"serial_secs\": {:.9}, \"parallel_secs\": {:.9}, \"speedup\": {:.3}}}",
+            "    {{\"name\": \"{}\", \"serial_secs\": {:.9}, \"parallel_secs\": {:.9}, \"speedup\": {:.3}, \"allocs_per_iter\": {}}}",
             r.name,
             r.serial_secs,
             r.parallel_secs,
-            r.speedup()
+            r.speedup(),
+            r.allocs_per_iter
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
+    json
+}
+
+/// Extracts `(name, serial_secs)` pairs from a `BENCH_kernels.json` file
+/// (the exact format this binary emits; no general JSON parser needed).
+fn parse_reference(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(npos) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[npos + 9..];
+        let Some(nend) = rest.find('"') else { continue };
+        let name = rest[..nend].to_string();
+        let Some(spos) = line.find("\"serial_secs\": ") else {
+            continue;
+        };
+        let num = line[spos + 15..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+            .collect::<String>();
+        if let Ok(secs) = num.parse::<f64>() {
+            out.push((name, secs));
+        }
+    }
+    out
+}
+
+/// Compares measured serial times against a reference JSON; returns the
+/// kernels that regressed by more than `factor`.
+fn regressions(rows: &[Row], reference: &[(String, f64)], factor: f64) -> Vec<String> {
+    let mut bad = Vec::new();
+    for (name, ref_secs) in reference {
+        if let Some(r) = rows.iter().find(|r| r.name == name) {
+            if r.serial_secs > ref_secs * factor {
+                bad.push(format!(
+                    "{name}: serial {:.3e}s vs reference {:.3e}s (> {factor}x)",
+                    r.serial_secs, ref_secs
+                ));
+            }
+        }
+    }
+    bad
+}
+
+fn main() {
+    let mut quick = false;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => {
+                check = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--check requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_kernels [--quick] [--check FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sampling = if quick {
+        Sampling {
+            samples: 3,
+            target_batch_secs: 0.01,
+        }
+    } else {
+        Sampling {
+            samples: 5,
+            target_batch_secs: 0.05,
+        }
+    };
+
+    let (threads, rows) = run_all(sampling);
 
     println!("threads: {threads}");
     for r in &rows {
         println!(
-            "{:<24} serial {:>12.3e}s  parallel {:>12.3e}s  speedup {:>6.2}x",
+            "{:<24} serial {:>12.3e}s  parallel {:>12.3e}s  speedup {:>6.2}x  allocs/iter {:>6}",
             r.name,
             r.serial_secs,
             r.parallel_secs,
-            r.speedup()
+            r.speedup(),
+            r.allocs_per_iter
         );
     }
-    std::fs::write("BENCH_kernels.json", json).expect("write BENCH_kernels.json");
-    println!("wrote BENCH_kernels.json");
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read reference {path}: {e}");
+            std::process::exit(2);
+        });
+        let reference = parse_reference(&text);
+        if reference.is_empty() {
+            eprintln!("reference {path} contains no kernel entries");
+            std::process::exit(2);
+        }
+        let bad = regressions(&rows, &reference, 2.0);
+        if bad.is_empty() {
+            println!("bench check OK: no kernel regressed >2x vs {path}");
+        } else {
+            eprintln!("bench check FAILED vs {path}:");
+            for b in &bad {
+                eprintln!("  {b}");
+            }
+            std::process::exit(1);
+        }
+    }
+
+    if !quick {
+        std::fs::write("BENCH_kernels.json", emit_json(threads, &rows))
+            .expect("write BENCH_kernels.json");
+        println!("wrote BENCH_kernels.json");
+    }
 }

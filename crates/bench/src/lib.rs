@@ -18,6 +18,8 @@
 //!
 //! Run with e.g. `cargo run --release -p vela-bench --bin fig5`.
 
+pub mod alloc;
+
 use vela::prelude::*;
 
 /// The two evaluation models (§V-A). Both share the Mixtral-8x7B shape;
@@ -231,15 +233,19 @@ pub fn mb(bytes: f64) -> String {
 }
 
 /// Dependency-free micro-benchmark timing: warmup, auto-calibrated batch
-/// sizes, median-of-samples reporting. Replaces the former Criterion
+/// sizes, best-of-samples reporting. Replaces the former Criterion
 /// harness (the build environment has no crates.io access).
 pub mod microbench {
     use std::hint::black_box;
     use std::time::Instant;
 
-    /// Median seconds per iteration of `f`, measured over `samples`
-    /// batches after one warmup batch. The batch size is calibrated so one
-    /// batch takes roughly `target_batch_secs`.
+    /// Best (minimum) seconds per iteration of `f`, measured over
+    /// `samples` batches after one warmup batch. The minimum estimates the
+    /// noise floor — scheduler preemption and allocator hiccups only ever
+    /// inflate a sample, so the smallest one is the most repeatable,
+    /// which keeps ratios between measurements stable on busy hosts. The
+    /// batch size is calibrated so one batch takes roughly
+    /// `target_batch_secs`.
     pub fn secs_per_iter<R>(
         samples: usize,
         target_batch_secs: f64,
@@ -263,7 +269,7 @@ pub mod microbench {
             };
             batch = (batch * growth.max(2)).min(1 << 20);
         }
-        let mut times: Vec<f64> = (0..samples.max(1))
+        (0..samples.max(1))
             .map(|_| {
                 let start = Instant::now();
                 for _ in 0..batch {
@@ -271,9 +277,7 @@ pub mod microbench {
                 }
                 start.elapsed().as_secs_f64() / batch as f64
             })
-            .collect();
-        times.sort_by(f64::total_cmp);
-        times[times.len() / 2]
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// One named measurement, for the report/JSON emitters.
@@ -281,7 +285,7 @@ pub mod microbench {
     pub struct Measurement {
         /// Benchmark id, e.g. `matmul_256`.
         pub name: String,
-        /// Median seconds per iteration.
+        /// Best seconds per iteration.
         pub secs: f64,
     }
 

@@ -6,9 +6,8 @@
 //! backbone run single-process or distributed.
 
 use vela_nn::param::{Module, Param};
-use vela_tensor::parallel;
 use vela_tensor::rng::DetRng;
-use vela_tensor::Tensor;
+use vela_tensor::{workspace, Tensor};
 
 use crate::provider::{ExpertBatch, ExpertProvider};
 use crate::router::Router;
@@ -64,20 +63,43 @@ pub struct MoeBlock {
     /// are dropped (their tokens ride the residual connection).
     capacity_factor: Option<f32>,
     last_routing: Option<RoutingInfo>,
-    cache: Option<BlockCache>,
+    state: DispatchState,
 }
 
-#[derive(Debug)]
-struct BlockCache {
-    /// Token row indices grouped per dispatched expert, forward order.
-    groups: Vec<(usize, Vec<usize>)>,
-    /// Slot index (`t·k + j`) for each grouped token, aligned with `groups`.
-    slots: Vec<Vec<usize>>,
-    /// Expert outputs, aligned with `groups`.
+/// Persistent dispatch scratch, reused across training steps so the
+/// gather → compute → scatter hot path stays allocation-free.
+///
+/// Token groups are stored CSR-style: group `gi` serves expert
+/// `experts[gi]` and owns `toks[offsets[gi]..offsets[gi + 1]]` (token row
+/// indices, batch order) with the matching `(t·k + j)` slot indices in
+/// `slots`.
+#[derive(Debug, Default)]
+struct DispatchState {
+    /// Dispatched (non-empty) expert ids, ascending.
+    experts: Vec<usize>,
+    /// CSR group boundaries into `toks` / `slots`, length `experts.len()+1`.
+    offsets: Vec<usize>,
+    /// Token row indices grouped by expert, batch order within each group.
+    toks: Vec<usize>,
+    /// Slot index (`t·k + j`) for each grouped token, aligned with `toks`.
+    slots: Vec<usize>,
+    /// Expert input batches; tensor buffers are reused across steps.
+    batches: Vec<ExpertBatch>,
+    /// Gradient batches for the backward dispatch, likewise reused.
+    grad_batches: Vec<ExpertBatch>,
+    /// Expert outputs from the last forward, aligned with `experts`.
     outputs: Vec<Tensor>,
-    /// Mixture weights `[tokens · k]`.
+    /// Mixture weights `[tokens · k]` from the last forward.
     weights: Vec<f32>,
+    /// Per-(token, slot) weight gradients, reused by backward.
+    grad_weights: Vec<f32>,
+    /// Per-expert scratch for the grouping pass (counts, then group ids).
+    counts: Vec<usize>,
+    /// Per-group fill cursors for the grouping pass.
+    cursor: Vec<usize>,
     tokens: usize,
+    /// Set by `forward`, consumed by `backward`.
+    ready: bool,
 }
 
 impl MoeBlock {
@@ -97,7 +119,7 @@ impl MoeBlock {
             dim,
             capacity_factor: None,
             last_routing: None,
-            cache: None,
+            state: DispatchState::default(),
         }
     }
 
@@ -152,76 +174,129 @@ impl MoeBlock {
         let tokens = x.rows();
         let rout = self.router.forward(x);
         let capacity = self.expert_capacity(tokens);
+        let state = &mut self.state;
 
-        // Group (token, slot) pairs by expert, ascending expert id; slots
-        // beyond an expert's capacity are dropped (tokens arrive in batch
-        // order, matching Switch's first-come policy).
-        let mut token_groups: Vec<Vec<usize>> = vec![Vec::new(); self.experts];
-        let mut slot_groups: Vec<Vec<usize>> = vec![Vec::new(); self.experts];
+        // Pass 1: per-expert assignment counts, ascending expert id within
+        // each token's slots; assignments beyond an expert's capacity are
+        // dropped (tokens arrive in batch order, matching Switch's
+        // first-come policy).
+        state.counts.clear();
+        state.counts.resize(self.experts, 0);
         let mut dropped = 0usize;
+        for &e in &rout.selected {
+            if state.counts[e] >= capacity {
+                dropped += 1;
+            } else {
+                state.counts[e] += 1;
+            }
+        }
+
+        // Pass 2: CSR offsets over the non-empty experts, then a stable
+        // fill of the grouped token / slot index arrays.
+        state.experts.clear();
+        state.offsets.clear();
+        state.offsets.push(0);
+        for e in 0..self.experts {
+            if state.counts[e] > 0 {
+                state.experts.push(e);
+                state
+                    .offsets
+                    .push(state.offsets.last().unwrap() + state.counts[e]);
+            }
+        }
+        let ngroups = state.experts.len();
+        let assigned = *state.offsets.last().unwrap();
+        state.toks.clear();
+        state.toks.resize(assigned, 0);
+        state.slots.clear();
+        state.slots.resize(assigned, 0);
+        // Reuse `counts` as per-group fill cursors (group-indexed now).
+        state.counts.clear();
+        state.counts.resize(self.experts, usize::MAX);
+        for (gi, &e) in state.experts.iter().enumerate() {
+            state.counts[e] = gi;
+        }
+        state.cursor.clear();
+        state
+            .cursor
+            .extend(state.offsets[..ngroups].iter().copied());
         for t in 0..tokens {
             for j in 0..rout.k {
                 let slot = t * rout.k + j;
-                let e = rout.selected[slot];
-                if token_groups[e].len() >= capacity {
-                    dropped += 1;
-                    continue;
+                let gi = state.counts[rout.selected[slot]];
+                if gi == usize::MAX {
+                    continue; // expert saturated before any assignment
                 }
-                token_groups[e].push(t);
-                slot_groups[e].push(slot);
+                let pos = state.cursor[gi];
+                if pos >= state.offsets[gi + 1] {
+                    continue; // over capacity: dropped (counted above)
+                }
+                state.toks[pos] = t;
+                state.slots[pos] = slot;
+                state.cursor[gi] += 1;
             }
         }
 
-        let mut groups = Vec::new();
-        let mut slots = Vec::new();
-        for e in 0..self.experts {
-            if token_groups[e].is_empty() {
-                continue;
-            }
-            groups.push((e, std::mem::take(&mut token_groups[e])));
-            slots.push(std::mem::take(&mut slot_groups[e]));
+        // Gather each group's rows into reused batch tensors.
+        while state.batches.len() < ngroups {
+            state.batches.push(ExpertBatch {
+                expert: 0,
+                xs: Tensor::zeros(1usize),
+            });
         }
-        // Groups are disjoint, so their input gathers run concurrently.
-        let batches = parallel::par_map(groups.len(), |gi| ExpertBatch {
-            expert: groups[gi].0,
-            xs: x.gather_rows(&groups[gi].1),
-        });
+        state.batches.truncate(ngroups);
+        for gi in 0..ngroups {
+            let range = state.offsets[gi]..state.offsets[gi + 1];
+            state.batches[gi].expert = state.experts[gi];
+            x.gather_rows_into(&state.toks[range], &mut state.batches[gi].xs);
+        }
 
-        let outputs = provider.forward_block(self.block, &batches);
-        assert_eq!(outputs.len(), groups.len(), "provider returned wrong count");
+        let outputs = provider.forward_block(self.block, &state.batches);
+        assert_eq!(outputs.len(), ngroups, "provider returned wrong count");
 
-        // Weighted combine (Eq. (1)).
-        let mut y = Tensor::zeros((tokens, self.dim));
-        for (gi, (_, toks)) in groups.iter().enumerate() {
-            let out = &outputs[gi];
-            for (pos, &t) in toks.iter().enumerate() {
-                let w = rout.weights[slots[gi][pos]];
-                let dst = y.row_mut(t);
+        // Weighted combine (Eq. (1)): scatter each expert output row back to
+        // its token, scaled by the mixture weight. Groups are visited in
+        // ascending expert order, reproducing the pre-CSR accumulation
+        // order bit for bit.
+        let mut y = workspace::take((tokens, self.dim));
+        for (gi, out) in outputs.iter().enumerate() {
+            for (pos, p) in (state.offsets[gi]..state.offsets[gi + 1]).enumerate() {
+                let w = rout.weights[state.slots[p]];
+                let dst = y.row_mut(state.toks[p]);
                 for (d, &s) in dst.iter_mut().zip(out.row(pos)) {
                     *d += w * s;
                 }
             }
         }
 
-        let mut counts = vec![0usize; self.experts];
-        for (e, toks) in &groups {
-            counts[*e] = toks.len();
-        }
-        self.last_routing = Some(RoutingInfo {
-            selected: rout.selected.clone(),
-            selected_probs: rout.selected_probs.clone(),
-            counts,
-            tokens,
+        // Rebuild per-expert counts for the routing info (cursor pass
+        // overwrote them with group indices).
+        let info = self.last_routing.get_or_insert_with(|| RoutingInfo {
+            selected: Vec::new(),
+            selected_probs: Vec::new(),
+            counts: Vec::new(),
+            tokens: 0,
             k: rout.k,
-            dropped,
+            dropped: 0,
         });
-        self.cache = Some(BlockCache {
-            groups,
-            slots,
-            outputs,
-            weights: rout.weights,
-            tokens,
-        });
+        info.selected.clear();
+        info.selected.extend_from_slice(&rout.selected);
+        info.selected_probs.clear();
+        info.selected_probs.extend_from_slice(&rout.selected_probs);
+        info.counts.clear();
+        info.counts.resize(self.experts, 0);
+        for (gi, &e) in state.experts.iter().enumerate() {
+            info.counts[e] = state.offsets[gi + 1] - state.offsets[gi];
+        }
+        info.tokens = tokens;
+        info.k = rout.k;
+        info.dropped = dropped;
+
+        state.outputs = outputs;
+        state.weights.clear();
+        state.weights.extend_from_slice(&rout.weights);
+        state.tokens = tokens;
+        state.ready = true;
         y
     }
 
@@ -231,63 +306,56 @@ impl MoeBlock {
     /// # Panics
     /// Panics if called before [`forward`](Self::forward).
     pub fn backward(&mut self, grad_out: &Tensor, provider: &mut dyn ExpertProvider) -> Tensor {
-        let cache = self
-            .cache
-            .take()
-            .expect("MoeBlock::backward before forward");
+        assert!(self.state.ready, "MoeBlock::backward before forward");
+        let state = &mut self.state;
+        state.ready = false;
         let k = self.router.k();
+        let ngroups = state.experts.len();
 
-        // Per-group gradients are independent (each (token, slot)
-        // assignment lives in exactly one group), so the groups are
-        // prepared concurrently; the mixture-weight pieces are merged
-        // serially below into slot-disjoint positions.
-        let dim = self.dim;
-        let per_group = parallel::par_map(cache.groups.len(), |gi| {
-            let (e, toks) = &cache.groups[gi];
-            let out = &cache.outputs[gi];
-            // Gradient w.r.t. each mixture weight: ⟨grad_out_t, y_expert_t⟩.
-            let mut weight_grads = Vec::with_capacity(toks.len());
-            // Gradient batch for the expert: w · grad_out_t per token.
-            let mut g = Tensor::zeros((toks.len(), dim));
-            for (pos, &t) in toks.iter().enumerate() {
-                let slot = cache.slots[gi][pos];
-                let w = cache.weights[slot];
-                let go = grad_out.row(t);
-                let gw = go
-                    .iter()
-                    .zip(out.row(pos))
-                    .map(|(&a, &b)| a * b)
-                    .sum::<f32>();
-                weight_grads.push((slot, gw));
-                let dst = g.row_mut(pos);
-                for (d, &s) in dst.iter_mut().zip(go) {
-                    *d = w * s;
+        // Per-group gradient batches (w · grad_out_t per token) and
+        // mixture-weight gradients ⟨grad_out_t, y_expert_t⟩, built into
+        // reused buffers: gather the grad rows, then scale each by its
+        // mixture weight.
+        state.grad_weights.clear();
+        state.grad_weights.resize(state.tokens * k, 0.0);
+        while state.grad_batches.len() < ngroups {
+            state.grad_batches.push(ExpertBatch {
+                expert: 0,
+                xs: Tensor::zeros(1usize),
+            });
+        }
+        state.grad_batches.truncate(ngroups);
+        for gi in 0..ngroups {
+            let range = state.offsets[gi]..state.offsets[gi + 1];
+            let gb = &mut state.grad_batches[gi];
+            gb.expert = state.experts[gi];
+            grad_out.gather_rows_into(&state.toks[range.clone()], &mut gb.xs);
+            let out = &state.outputs[gi];
+            for (pos, p) in range.enumerate() {
+                let slot = state.slots[p];
+                let w = state.weights[slot];
+                let row = gb.xs.row_mut(pos);
+                let gw = row.iter().zip(out.row(pos)).map(|(&a, &b)| a * b).sum();
+                state.grad_weights[slot] = gw;
+                for d in row.iter_mut() {
+                    *d *= w;
                 }
             }
-            (ExpertBatch { expert: *e, xs: g }, weight_grads)
-        });
-
-        let mut grad_weights = vec![0.0f32; cache.tokens * k];
-        let mut grad_batches = Vec::with_capacity(per_group.len());
-        for (batch, weight_grads) in per_group {
-            for (slot, gw) in weight_grads {
-                grad_weights[slot] = gw;
-            }
-            grad_batches.push(batch);
         }
 
-        let input_grads = provider.backward_block(self.block, &grad_batches);
+        let input_grads = provider.backward_block(self.block, &state.grad_batches);
         assert_eq!(
             input_grads.len(),
-            cache.groups.len(),
+            ngroups,
             "provider returned wrong gradient count"
         );
 
-        let mut gx = Tensor::zeros((cache.tokens, self.dim));
-        for (gi, (_, toks)) in cache.groups.iter().enumerate() {
-            gx.scatter_add_rows(toks, &input_grads[gi]);
+        let mut gx = workspace::take((state.tokens, self.dim));
+        for (gi, grads) in input_grads.iter().enumerate() {
+            let range = state.offsets[gi]..state.offsets[gi + 1];
+            gx.scatter_add_rows(&state.toks[range], grads);
         }
-        gx.add_assign(&self.router.backward(&grad_weights));
+        gx.add_assign(&self.router.backward(&state.grad_weights));
         gx
     }
 }

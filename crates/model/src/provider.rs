@@ -175,15 +175,26 @@ impl LocalExpertStore {
     }
 }
 
+/// Estimated flop-ish work for dispatching `batches` across experts: each
+/// token row drives six `dim × hidden` mat-vec products (three projections,
+/// forward and backward are comparable).
+fn dispatch_work(batches: &[ExpertBatch], hidden: usize) -> usize {
+    let rows: usize = batches.iter().map(|b| b.xs.rows()).sum();
+    let dim = batches.first().map_or(0, |b| b.xs.cols());
+    rows * dim * hidden * 6
+}
+
 impl ExpertProvider for LocalExpertStore {
     fn forward_block(&mut self, block: usize, batches: &[ExpertBatch]) -> Vec<Tensor> {
         let mut experts = self.batch_experts(block, batches);
-        parallel::par_map_mut(&mut experts, |i, ffn| ffn.forward(&batches[i].xs))
+        let work = dispatch_work(batches, experts.first().map_or(0, |f| f.hidden()));
+        parallel::par_map_mut_hinted(&mut experts, work, |i, ffn| ffn.forward(&batches[i].xs))
     }
 
     fn backward_block(&mut self, block: usize, grads: &[ExpertBatch]) -> Vec<Tensor> {
         let mut experts = self.batch_experts(block, grads);
-        parallel::par_map_mut(&mut experts, |i, ffn| ffn.backward(&grads[i].xs))
+        let work = dispatch_work(grads, experts.first().map_or(0, |f| f.hidden()));
+        parallel::par_map_mut_hinted(&mut experts, work, |i, ffn| ffn.backward(&grads[i].xs))
     }
 }
 

@@ -1,0 +1,155 @@
+//! Properties of the CSR-style gather → compute → scatter dispatch in
+//! `MoeBlock`.
+//!
+//! The grouped dispatch must be a pure reordering: running each token
+//! through its selected experts one at a time (no grouping at all) must
+//! give bitwise-identical outputs, and permuting the token batch must
+//! permute the outputs and nothing else. Both hold because every kernel on
+//! the path accumulates per output row in a fixed order — grouping only
+//! changes *which rows sit next to each other*, never the arithmetic
+//! inside a row.
+
+use vela_model::{LocalExpertStore, ModelConfig, MoeBlock};
+use vela_tensor::rng::DetRng;
+use vela_tensor::Tensor;
+
+fn cfg() -> ModelConfig {
+    ModelConfig {
+        vocab: 64,
+        dim: 24,
+        heads: 4,
+        kv_heads: 4,
+        ffn_hidden: 40,
+        blocks: 1,
+        experts: 8,
+        top_k: 2,
+        seq_len: 64,
+        aux_loss_weight: 0.0,
+    }
+}
+
+/// Fresh, identically seeded block + store (expert weights and gate are
+/// bit-identical across calls).
+fn fresh(cfg: &ModelConfig) -> (MoeBlock, LocalExpertStore) {
+    let mut rng = DetRng::new(40);
+    let store = LocalExpertStore::new(cfg, &mut rng);
+    let block = MoeBlock::new(0, cfg.dim, cfg.experts, cfg.top_k, 0.0, &mut rng);
+    (block, store)
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn grouped_dispatch_matches_ungrouped_per_token_path_bitwise() {
+    let cfg = cfg();
+    let tokens = 19;
+    let x = Tensor::uniform((tokens, cfg.dim), -1.0, 1.0, &mut DetRng::new(41));
+
+    let (mut block, mut store) = fresh(&cfg);
+    let y = block.forward(&x, &mut store);
+    let info = block.last_routing().unwrap().clone();
+
+    // Ungrouped reference: one expert call per single-token row, on a
+    // fresh same-seed store, combined in ascending expert order exactly
+    // as the block's scatter does.
+    let (_, mut ref_store) = fresh(&cfg);
+    for t in 0..tokens {
+        let sel = &info.selected[t * cfg.top_k..(t + 1) * cfg.top_k];
+        let probs = &info.selected_probs[t * cfg.top_k..(t + 1) * cfg.top_k];
+        let sum: f32 = probs.iter().sum();
+        let xt = x.gather_rows(&[t]);
+        let mut row = vec![0.0f32; cfg.dim];
+        let mut order: Vec<usize> = (0..cfg.top_k).collect();
+        order.sort_by_key(|&j| sel[j]);
+        for &j in &order {
+            let w = probs[j] / sum;
+            let out = ref_store.expert_mut(0, sel[j]).forward(&xt);
+            for (d, &s) in row.iter_mut().zip(out.row(0)) {
+                *d += w * s;
+            }
+        }
+        assert_eq!(
+            y.row(t).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            row.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "token {t}: grouped dispatch deviates from per-token reference"
+        );
+    }
+}
+
+#[test]
+fn dispatch_is_permutation_equivariant_bitwise() {
+    let cfg = cfg();
+    let tokens = 23;
+    let x = Tensor::uniform((tokens, cfg.dim), -1.0, 1.0, &mut DetRng::new(42));
+
+    // A fixed non-trivial permutation (deterministic Fisher–Yates).
+    let mut perm: Vec<usize> = (0..tokens).collect();
+    let mut rng = DetRng::new(43);
+    for i in (1..tokens).rev() {
+        let j = (rng.next_u64() as usize) % (i + 1);
+        perm.swap(i, j);
+    }
+
+    let (mut block_a, mut store_a) = fresh(&cfg);
+    let y = block_a.forward(&x, &mut store_a);
+    let g = Tensor::uniform((tokens, cfg.dim), -1.0, 1.0, &mut DetRng::new(44));
+    let gx = block_a.backward(&g, &mut store_a);
+
+    let (mut block_b, mut store_b) = fresh(&cfg);
+    let xp = x.gather_rows(&perm);
+    let yp = block_b.forward(&xp, &mut store_b);
+    let gp = g.gather_rows(&perm);
+    let gxp = block_b.backward(&gp, &mut store_b);
+
+    // yp must be exactly y with permuted rows, and likewise for the
+    // input gradients (expert grads differ only in accumulation *order*
+    // per parameter — not asserted here; the outputs pin the dispatch).
+    assert_eq!(bits(&yp), bits(&y.gather_rows(&perm)), "forward rows");
+    assert_eq!(bits(&gxp), bits(&gx.gather_rows(&perm)), "gradient rows");
+
+    // Routing metadata permutes consistently: same multiset of selected
+    // experts per token.
+    let ia = block_a.last_routing().unwrap();
+    let ib = block_b.last_routing().unwrap();
+    assert_eq!(ia.counts, ib.counts, "per-expert counts are order-free");
+    for (pt, &t) in perm.iter().enumerate() {
+        assert_eq!(
+            ia.selected[t * cfg.top_k..(t + 1) * cfg.top_k],
+            ib.selected[pt * cfg.top_k..(pt + 1) * cfg.top_k],
+            "token {t} selection moved with the permutation"
+        );
+    }
+}
+
+#[test]
+fn repeated_steps_reuse_dispatch_buffers() {
+    // Steady-state training steps must not grow the dispatch scratch:
+    // after a warm-up step, forward+backward run allocation-free in the
+    // block itself (pool hits only). Pinned indirectly: repeated passes
+    // stay bitwise self-consistent while buffers are being reused.
+    let cfg = cfg();
+    let x = Tensor::uniform((17, cfg.dim), -1.0, 1.0, &mut DetRng::new(45));
+    let g = Tensor::uniform((17, cfg.dim), -1.0, 1.0, &mut DetRng::new(46));
+
+    let (mut block, mut store) = fresh(&cfg);
+    let (mut block_ref, mut store_ref) = fresh(&cfg);
+
+    // Reference: a single fresh pass.
+    let y_ref = block_ref.forward(&x, &mut store_ref);
+
+    // Same pass repeated through reused scratch; forward must not drift.
+    // (Only forward is compared: backward mutates expert params.)
+    for step in 0..3 {
+        let y = block.forward(&x, &mut store);
+        assert_eq!(bits(&y), bits(&y_ref), "step {step} drifted");
+        let gx = block.backward(&g, &mut store);
+        assert_eq!(gx.shape().as_2d(), (17, cfg.dim));
+        // Roll the param updates back so every step sees identical
+        // weights.
+        use vela_nn::param::Module;
+        store.visit_params(&mut |p| p.grad.fill_zero());
+        block.visit_params(&mut |p| p.grad.fill_zero());
+    }
+}

@@ -133,8 +133,10 @@ impl Attention {
         let group = self.heads / self.kv_heads;
         let (heads, head_dim) = (self.heads, self.head_dim);
         // Each (batch, head) pair is independent; only the final combine
-        // writes shared rows, so it stays serial (and deterministic).
-        let per_head = parallel::par_map(batch * heads, |i| {
+        // writes shared rows, so it stays serial (and deterministic). The
+        // work hint keeps tiny attention maps off the thread pool.
+        let work = batch * heads * seq * seq * head_dim;
+        let per_head = parallel::par_map_hinted(batch * heads, work, |i| {
             let (b, h) = (i / heads, i % heads);
             let kv = h / group;
             let qb = block(&q, b * seq, seq, h * head_dim, head_dim);
@@ -198,7 +200,8 @@ impl Attention {
         // accumulation into gq/gk/gv happens serially afterwards in the
         // same order as the old nested loop.
         let (heads, head_dim) = (self.heads, self.head_dim);
-        let per_head = parallel::par_map(batch * heads, |i| {
+        let work = batch * heads * seq * seq * head_dim;
+        let per_head = parallel::par_map_hinted(batch * heads, work, |i| {
             let (b, h) = (i / heads, i % heads);
             let kv = h / group;
             let a = &probs[b * heads + h];
@@ -245,7 +248,7 @@ impl Module for Attention {
 /// Copies a `(rows, cols)` sub-matrix out of `t` starting at
 /// `(row0, col0)`.
 fn block(t: &Tensor, row0: usize, rows: usize, col0: usize, cols: usize) -> Tensor {
-    let mut out = Tensor::zeros((rows, cols));
+    let mut out = vela_tensor::workspace::take_uninit((rows, cols));
     for i in 0..rows {
         out.row_mut(i)
             .copy_from_slice(&t.row(row0 + i)[col0..col0 + cols]);

@@ -141,12 +141,16 @@ impl Linear {
         );
         let mut y = x.matmul(&self.weight.value);
         if let Some(b) = &self.bias {
-            y = y.add_row_broadcast(b.value.as_slice());
+            y.add_row_broadcast_inplace(b.value.as_slice());
         }
         if let Some(lora) = &mut self.lora {
             y.add_assign(&lora.forward(x));
         }
-        self.cached_x = Some(x.clone());
+        // Reuse the cache buffer across steps instead of reallocating.
+        match &mut self.cached_x {
+            Some(t) => t.copy_from(x),
+            None => self.cached_x = Some(x.clone()),
+        }
         y
     }
 
@@ -252,6 +256,25 @@ mod tests {
             &gout,
             1e-2,
             1e-2,
+        );
+    }
+
+    #[test]
+    fn gradients_match_at_non_tile_multiple_dims() {
+        // 13×17 → 9 straddles the 8×8 microkernel tiles on every axis, so
+        // this exercises the zero-padded remainder lanes end to end.
+        let mut rng = DetRng::new(31);
+        let mut layer = Linear::with_bias("l", 17, 9, &mut rng);
+        let x = Tensor::uniform((13, 17), -1.0, 1.0, &mut rng);
+        let gout = Tensor::uniform((13, 9), -1.0, 1.0, &mut rng);
+        check_param_grads(
+            &mut layer,
+            |l, x| l.forward(x),
+            |l, g| l.backward(g),
+            &x,
+            &gout,
+            1e-2,
+            2e-2,
         );
     }
 

@@ -71,9 +71,13 @@ impl LoraAdapter {
     /// backward.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
         let xa = x.matmul(&self.a.value);
-        let out = xa.matmul(&self.b.value).scale(self.scale);
+        let mut out = xa.matmul(&self.b.value);
+        out.scale_inplace(self.scale);
         self.cached_xa = Some(xa);
-        self.cached_x = Some(x.clone());
+        match &mut self.cached_x {
+            Some(t) => t.copy_from(x),
+            None => self.cached_x = Some(x.clone()),
+        }
         out
     }
 
@@ -89,10 +93,12 @@ impl LoraAdapter {
             .expect("LoraAdapter::backward called before forward");
         let x = self.cached_x.as_ref().expect("input cache missing");
         // dB = s * (xA)^T g
-        let db = xa.matmul_tn(grad_out).scale(self.scale);
+        let mut db = xa.matmul_tn(grad_out);
+        db.scale_inplace(self.scale);
         self.b.accumulate(&db);
         // g_xa = s * g B^T
-        let g_xa = grad_out.matmul_nt(&self.b.value).scale(self.scale);
+        let mut g_xa = grad_out.matmul_nt(&self.b.value);
+        g_xa.scale_inplace(self.scale);
         // dA = x^T g_xa
         let da = x.matmul_tn(&g_xa);
         self.a.accumulate(&da);

@@ -82,7 +82,12 @@ impl SwiGlu {
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
         let gate_pre = self.gate.forward(x);
         let up_out = self.up.forward(x);
-        let gate_act = ops::silu(&gate_pre);
+        // Reuse last step's activation buffer instead of allocating.
+        let mut gate_act = match self.cached_gate_act.take() {
+            Some(t) => t,
+            None => Tensor::zeros(1usize),
+        };
+        ops::silu_into(&gate_pre, &mut gate_act);
         let inner = gate_act.mul(&up_out);
         let out = self.down.forward(&inner);
         self.cached_gate_pre = Some(gate_pre);
@@ -108,7 +113,13 @@ impl SwiGlu {
         // inner = silu(gate_pre) ⊙ up_out
         let g_up = g_inner.mul(gate_act);
         let g_gate_act = g_inner.mul(up_out);
-        let g_gate_pre = g_gate_act.mul(&ops::silu_grad(gate_pre));
+        // Fused g ⊙ silu'(gate_pre): same per-element order of operations as
+        // mul(silu_grad(..)), without materializing the derivative tensor.
+        let g_gate_pre = g_gate_act.zip(gate_pre, |g, x| {
+            let s = ops::sigmoid(x);
+            let d = s * (1.0 + x * (1.0 - s));
+            g * d
+        });
 
         let gin_up = self.up.backward(&g_up);
         let gin_gate = self.gate.backward(&g_gate_pre);
@@ -155,6 +166,24 @@ mod tests {
             1e-2,
             3e-2,
         );
+        check_input_grad(
+            &mut ffn,
+            |m, x| m.forward(x),
+            |m, g| m.backward(g),
+            &x,
+            &gout,
+            1e-2,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn gradients_match_at_non_tile_multiple_dims() {
+        // dim 9, hidden 17: remainder tiles in all three projections.
+        let mut rng = DetRng::new(23);
+        let mut ffn = SwiGlu::new("e", 9, 17, &mut rng);
+        let x = Tensor::uniform((11, 9), -1.0, 1.0, &mut rng);
+        let gout = Tensor::uniform((11, 9), -1.0, 1.0, &mut rng);
         check_input_grad(
             &mut ffn,
             |m, x| m.forward(x),

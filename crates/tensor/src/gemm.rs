@@ -1,0 +1,221 @@
+//! Packed, register-blocked GEMM: the single microkernel behind
+//! [`Tensor::matmul`](crate::Tensor::matmul), `matmul_tn` and `matmul_nt`.
+//!
+//! # Tile layout
+//!
+//! The driver packs `B` once per call into column panels of [`NR`] columns,
+//! stored K-major (`bpack[p * NR + jj]`), so the microkernel reads `B`
+//! contiguously no matter which variant produced it — `matmul_nt`'s
+//! transposed access pattern is absorbed entirely by the pack step. `A` is
+//! packed per row tile into K-major [`MR`]-row strips (`apack[p * MR + ii]`).
+//! Remainder tiles are zero-padded: padded lanes compute garbage that is
+//! never written back, and real lanes only ever multiply real values, so
+//! padding cannot perturb any output bit.
+//!
+//! # Accumulation-order contract
+//!
+//! Every output element is accumulated in ascending inner-index (`p`) order
+//! starting from `0.0`, in a dedicated accumulator slot that spans the full
+//! `k` extent — there is no cache blocking over `k`, because splitting the
+//! reduction would change rounding and break the bitwise parity contract
+//! (serial and threaded runs, any `VELA_THREADS`, any variant: identical
+//! bits). Threading only partitions output rows; tile boundaries inside a
+//! row chunk don't affect per-element order, so any partition yields the
+//! same bits. The multiply-adds are written as separate `*` and `+` (Rust
+//! does not contract to FMA), matching the naive reference loops in the
+//! parity suites.
+
+use std::ops::Range;
+
+use crate::{parallel, workspace};
+
+/// Rows per microkernel tile (register-blocked output rows).
+pub const MR: usize = 8;
+
+/// Columns per packed `B` panel (register-blocked output columns).
+pub const NR: usize = 8;
+
+/// How the logical operands map onto the caller's row-major buffers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Layout {
+    /// `a: (r, k)`, `b: (k, c)` — plain `A @ B`.
+    Nn,
+    /// `a: (k, r)`, `b: (k, c)` — `A^T @ B` without materializing `A^T`.
+    Tn,
+    /// `a: (r, k)`, `b: (c, k)` — `A @ B^T` without materializing `B^T`.
+    Nt,
+}
+
+/// `out = A @ B` (per `layout`), `out: (r, c)`, inner dimension `k`.
+///
+/// `out` is fully overwritten; it does not need to be zeroed.
+pub fn gemm(layout: Layout, a: &[f32], b: &[f32], r: usize, k: usize, c: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), r * c);
+    if r == 0 || c == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+
+    // Pack B once; the packed panels are shared read-only across threads.
+    let panels = c.div_ceil(NR);
+    let mut bpack_buf = workspace::take_vec_uninit(panels * k * NR);
+    pack_b(layout, b, k, c, &mut bpack_buf);
+    let bpack = &bpack_buf[..];
+
+    par_rows(r, k * c, out, c, |rows, chunk| {
+        gemm_rows(layout, a, bpack, r, k, c, rows, chunk);
+    });
+
+    workspace::recycle_vec(bpack_buf);
+}
+
+/// Packs `B` into K-major column panels: panel `jp` covers columns
+/// `jp*NR .. jp*NR+NR` and stores `bpack[jp*k*NR + p*NR + jj] = B[p, j0+jj]`.
+/// Short final panels are zero-padded.
+fn pack_b(layout: Layout, b: &[f32], k: usize, c: usize, bpack: &mut [f32]) {
+    let panels = c.div_ceil(NR);
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let jw = NR.min(c - j0);
+        let panel = &mut bpack[jp * k * NR..(jp + 1) * k * NR];
+        match layout {
+            // B is (k, c) row-major: copy row segments.
+            Layout::Nn | Layout::Tn => {
+                for p in 0..k {
+                    let src = &b[p * c + j0..p * c + j0 + jw];
+                    let dst = &mut panel[p * NR..p * NR + NR];
+                    dst[..jw].copy_from_slice(src);
+                    dst[jw..].fill(0.0);
+                }
+            }
+            // B is (c, k) row-major: transpose-gather a column strip. Reads
+            // are sequential per source row; this is the one-time cost that
+            // turns matmul_nt into a contiguous panel-dot.
+            Layout::Nt => {
+                if jw < NR {
+                    panel.fill(0.0);
+                }
+                for jj in 0..jw {
+                    let src = &b[(j0 + jj) * k..(j0 + jj + 1) * k];
+                    for (p, &v) in src.iter().enumerate() {
+                        panel[p * NR + jj] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs an `A` row tile (`rows i0..i0+iw` of the logical `(r, k)` operand)
+/// into K-major order: `apack[p*MR + ii] = A[i0+ii, p]`, zero-padding short
+/// tiles.
+fn pack_a(layout: Layout, a: &[f32], r: usize, k: usize, i0: usize, iw: usize, apack: &mut [f32]) {
+    match layout {
+        // A is (r, k) row-major: gather MR rows into K-major strips.
+        Layout::Nn | Layout::Nt => {
+            if iw < MR {
+                apack.fill(0.0);
+            }
+            for ii in 0..iw {
+                let src = &a[(i0 + ii) * k..(i0 + ii + 1) * k];
+                for (p, &v) in src.iter().enumerate() {
+                    apack[p * MR + ii] = v;
+                }
+            }
+        }
+        // A is (k, r) row-major: the logical A^T rows are already K-major
+        // columns, so each p contributes a contiguous segment.
+        Layout::Tn => {
+            for p in 0..k {
+                let src = &a[p * r + i0..p * r + i0 + iw];
+                let dst = &mut apack[p * MR..p * MR + MR];
+                dst[..iw].copy_from_slice(src);
+                dst[iw..].fill(0.0);
+            }
+        }
+    }
+}
+
+/// Computes one `MR x NR` output tile into `acc`, accumulating the full `k`
+/// extent in ascending-`p` order. Both operands are packed K-major, so the
+/// inner loops read contiguously and vectorize cleanly.
+#[inline]
+fn microkernel(apack: &[f32], bpanel: &[f32], k: usize, acc: &mut [f32; MR * NR]) {
+    acc.fill(0.0);
+    for p in 0..k {
+        let arow = &apack[p * MR..p * MR + MR];
+        let brow = &bpanel[p * NR..p * NR + NR];
+        for ii in 0..MR {
+            let av = arow[ii];
+            let dst = &mut acc[ii * NR..ii * NR + NR];
+            for (d, &bv) in dst.iter_mut().zip(brow) {
+                *d += av * bv;
+            }
+        }
+    }
+}
+
+/// Computes output rows `rows` into `chunk` (the disjoint sub-slice owned by
+/// this range): packs each `A` tile, then sweeps all `B` panels through the
+/// microkernel.
+fn gemm_rows(
+    layout: Layout,
+    a: &[f32],
+    bpack: &[f32],
+    r: usize,
+    k: usize,
+    c: usize,
+    rows: Range<usize>,
+    chunk: &mut [f32],
+) {
+    let base = rows.start;
+    let panels = c.div_ceil(NR);
+    let mut apack = workspace::take_vec_uninit(k * MR);
+    let mut acc = [0.0f32; MR * NR];
+
+    let mut i0 = rows.start;
+    while i0 < rows.end {
+        let iw = MR.min(rows.end - i0);
+        pack_a(layout, a, r, k, i0, iw, &mut apack);
+        for jp in 0..panels {
+            let j0 = jp * NR;
+            let jw = NR.min(c - j0);
+            microkernel(&apack, &bpack[jp * k * NR..(jp + 1) * k * NR], k, &mut acc);
+            for ii in 0..iw {
+                let dst = &mut chunk[(i0 - base + ii) * c + j0..(i0 - base + ii) * c + j0 + jw];
+                dst.copy_from_slice(&acc[ii * NR..ii * NR + jw]);
+            }
+        }
+        i0 += iw;
+    }
+
+    workspace::recycle_vec(apack);
+}
+
+/// Runs `kernel` over disjoint row ranges of the output, splitting across
+/// the current pool only when the total work clears the parallel cutoff.
+fn par_rows(
+    rows: usize,
+    work_per_row: usize,
+    out: &mut [f32],
+    cols: usize,
+    kernel: impl Fn(Range<usize>, &mut [f32]) + Sync,
+) {
+    if rows * work_per_row.max(1) < parallel::par_cutoff() || parallel::current_threads() <= 1 {
+        kernel(0..rows, out);
+        return;
+    }
+    let min_rows = (parallel::PAR_MIN_WORK / work_per_row.max(1)).max(1);
+    let slots = parallel::DisjointSlots::new(out);
+    parallel::par_ranges(rows, min_rows, |range| {
+        // SAFETY: ranges from `par_ranges` are disjoint, so each chunk is
+        // the sole accessor of its row slice.
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(slots.get(range.start * cols), range.len() * cols)
+        };
+        kernel(range, chunk);
+    });
+}

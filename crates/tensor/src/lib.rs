@@ -7,11 +7,14 @@
 //! random-number facility ([`rng::DetRng`]) so every experiment in the
 //! repository is reproducible bit-for-bit.
 //!
-//! The design favours clarity and testability first: kernels are cache-tiled
-//! loops over contiguous `f32` buffers, threaded across a deterministic pool
-//! ([`parallel`]) that partitions work over output rows — so results stay
-//! bitwise-identical at any thread count (`VELA_THREADS` selects the pool
-//! size; `1` reproduces the serial kernels exactly).
+//! The design favours clarity and testability first: the mat-mul variants
+//! lower onto one packed, register-blocked microkernel ([`gemm`]), threaded
+//! across a deterministic pool ([`parallel`]) that partitions work over
+//! output rows — so results stay bitwise-identical at any thread count
+//! (`VELA_THREADS` selects the pool size; `1` reproduces the serial kernels
+//! exactly; `VELA_PAR_CUTOFF` tunes the serial-fallback threshold). Tensor
+//! buffers recycle through a thread-local pool ([`workspace`]), keeping
+//! steady-state training steps allocation-free.
 //!
 //! # Example
 //!
@@ -24,11 +27,13 @@
 //! assert_eq!(c.as_slice(), a.as_slice());
 //! ```
 
+pub mod gemm;
 pub mod ops;
 pub mod parallel;
 pub mod rng;
 mod shape;
 mod tensor;
+pub mod workspace;
 
 pub use shape::Shape;
 pub use tensor::Tensor;

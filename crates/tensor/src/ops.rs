@@ -92,9 +92,11 @@ pub fn topk_rows(t: &Tensor, k: usize) -> (Vec<usize>, Vec<f32>) {
     assert!(k >= 1 && k <= c, "topk k={k} out of 1..={c}");
     let mut indices = Vec::with_capacity(r * k);
     let mut values = Vec::with_capacity(r * k);
+    let mut order: Vec<usize> = Vec::with_capacity(c);
     for i in 0..r {
         let row = t.row(i);
-        let mut order: Vec<usize> = (0..c).collect();
+        order.clear();
+        order.extend(0..c);
         order.sort_by(|&a, &b| {
             row[b]
                 .partial_cmp(&row[a])
@@ -139,6 +141,12 @@ pub fn silu(t: &Tensor) -> Tensor {
     t.map(|x| x * sigmoid(x))
 }
 
+/// SiLU into a caller-owned tensor, reusing its buffer (see
+/// [`Tensor::map_into`]).
+pub fn silu_into(t: &Tensor, out: &mut Tensor) {
+    t.map_into(out, |x| x * sigmoid(x));
+}
+
 /// Derivative of SiLU with respect to its input, element-wise, evaluated at
 /// the pre-activation `x`.
 pub fn silu_grad(t: &Tensor) -> Tensor {
@@ -146,6 +154,14 @@ pub fn silu_grad(t: &Tensor) -> Tensor {
         let s = sigmoid(x);
         s * (1.0 + x * (1.0 - s))
     })
+}
+
+/// SiLU derivative into a caller-owned tensor, reusing its buffer.
+pub fn silu_grad_into(t: &Tensor, out: &mut Tensor) {
+    t.map_into(out, |x| {
+        let s = sigmoid(x);
+        s * (1.0 + x * (1.0 - s))
+    });
 }
 
 /// The logistic function `1 / (1 + e^{-x})`.
@@ -277,6 +293,17 @@ mod tests {
                 ((x + eps) * sigmoid(x + eps) - (x - eps) * sigmoid(x - eps)) / (2.0 * eps);
             assert!((numeric - g.at(i)).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn silu_into_matches_silu_bitwise() {
+        let mut rng = DetRng::new(14);
+        let t = Tensor::uniform((3, 5), -4.0, 4.0, &mut rng);
+        let mut out = Tensor::zeros((1, 1));
+        silu_into(&t, &mut out);
+        assert_eq!(out, silu(&t));
+        silu_grad_into(&t, &mut out);
+        assert_eq!(out, silu_grad(&t));
     }
 
     #[test]

@@ -272,6 +272,62 @@ impl Drop for ThreadPool {
     }
 }
 
+/// Minimum number of inner-loop operations a parallel chunk should own;
+/// kernels split work into chunks of at least this much each.
+pub const PAR_MIN_WORK: usize = 16 * 1024;
+
+/// Default serial-fallback cutoff (in inner-loop operations, e.g.
+/// `rows * k * cols` for a matmul): dispatches smaller than this skip the
+/// pool entirely. On small or oversubscribed hosts the pool's wake/sync
+/// overhead exceeds the kernel time well past this point, which is what
+/// made PR 1's "parallel" MoE dispatch slower than serial.
+pub const DEFAULT_PAR_CUTOFF: usize = 1 << 18;
+
+/// The serial-fallback cutoff, read once from `VELA_PAR_CUTOFF`.
+///
+/// Work totals **below** the cutoff run inline on the calling thread.
+/// `VELA_PAR_CUTOFF=0` disables the fallback (everything goes to the
+/// pool); an unset or unparsable value means [`DEFAULT_PAR_CUTOFF`].
+pub fn par_cutoff() -> usize {
+    static CUTOFF: OnceLock<usize> = OnceLock::new();
+    *CUTOFF.get_or_init(|| parse_cutoff(std::env::var("VELA_PAR_CUTOFF").ok().as_deref()))
+}
+
+fn parse_cutoff(raw: Option<&str>) -> usize {
+    match raw {
+        Some(v) => v.trim().parse::<usize>().unwrap_or(DEFAULT_PAR_CUTOFF),
+        None => DEFAULT_PAR_CUTOFF,
+    }
+}
+
+/// [`par_map`] with a total-work hint: runs inline (no pool, no per-slot
+/// bookkeeping) when `total_work` is below [`par_cutoff`] or there is only
+/// one item.
+pub fn par_map_hinted<R: Send, F: Fn(usize) -> R + Sync>(
+    n: usize,
+    total_work: usize,
+    f: F,
+) -> Vec<R> {
+    if n <= 1 || total_work < par_cutoff() || current_threads() <= 1 {
+        return (0..n).map(f).collect();
+    }
+    par_map(n, f)
+}
+
+/// [`par_map_mut`] with a total-work hint: runs inline when `total_work` is
+/// below [`par_cutoff`] or there is only one item.
+pub fn par_map_mut_hinted<T, R, F>(items: &mut [T], total_work: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    if items.len() <= 1 || total_work < par_cutoff() || current_threads() <= 1 {
+        return items.iter_mut().enumerate().map(|(i, v)| f(i, v)).collect();
+    }
+    par_map_mut(items, f)
+}
+
 /// Thread count requested via `VELA_THREADS`, falling back to the host's
 /// available parallelism. Invalid or zero values fall back too.
 pub fn default_threads() -> usize {
@@ -562,5 +618,39 @@ mod tests {
     #[test]
     fn env_default_is_at_least_one() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn cutoff_parsing() {
+        assert_eq!(parse_cutoff(None), DEFAULT_PAR_CUTOFF);
+        assert_eq!(parse_cutoff(Some("4096")), 4096);
+        assert_eq!(parse_cutoff(Some(" 0 ")), 0);
+        assert_eq!(parse_cutoff(Some("banana")), DEFAULT_PAR_CUTOFF);
+        assert_eq!(parse_cutoff(Some("")), DEFAULT_PAR_CUTOFF);
+    }
+
+    #[test]
+    fn hinted_maps_match_plain_maps() {
+        let pool = ThreadPool::new(3);
+        with_pool(&pool, || {
+            // Below any sensible cutoff: serial path.
+            let small = par_map_hinted(8, 10, |i| i * 2);
+            assert_eq!(small, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+            // Above the cutoff: pool path, same results.
+            let big = par_map_hinted(8, usize::MAX, |i| i * 2);
+            assert_eq!(big, small);
+            let mut items = vec![0usize; 8];
+            let r1 = par_map_mut_hinted(&mut items, 10, |i, v| {
+                *v = i;
+                i
+            });
+            let mut items2 = vec![0usize; 8];
+            let r2 = par_map_mut_hinted(&mut items2, usize::MAX, |i, v| {
+                *v = i;
+                i
+            });
+            assert_eq!(items, items2);
+            assert_eq!(r1, r2);
+        });
     }
 }

@@ -1,4 +1,5 @@
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// The dimensions of a [`Tensor`](crate::Tensor), stored outermost-first.
 ///
@@ -8,6 +9,11 @@ use std::fmt;
 /// (`[batch, sequence, feature]`); most kernels operate on the
 /// two-dimensional `[tokens, feature]` view.
 ///
+/// Dimensions are stored inline (`[usize; 3]` plus a length), so cloning a
+/// shape — which happens on every tensor-producing op — never touches the
+/// heap. This is part of the zero-allocation hot-path contract described in
+/// DESIGN.md.
+///
 /// # Example
 /// ```
 /// use vela_tensor::Shape;
@@ -16,9 +22,10 @@ use std::fmt;
 /// assert_eq!(s.len(), 24);
 /// assert_eq!(s.strides(), vec![12, 4, 1]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy)]
 pub struct Shape {
-    dims: Vec<usize>,
+    dims: [usize; 3],
+    ndim: u8,
 }
 
 impl Shape {
@@ -26,42 +33,57 @@ impl Shape {
     ///
     /// # Panics
     /// Panics if `dims` is empty or has more than three dimensions.
-    pub fn new(dims: Vec<usize>) -> Self {
+    pub fn new(dims: impl AsRef<[usize]>) -> Self {
+        let dims = dims.as_ref();
         assert!(
             !dims.is_empty() && dims.len() <= 3,
             "shape must have 1..=3 dimensions, got {dims:?}"
         );
-        Shape { dims }
+        let mut inline = [0usize; 3];
+        inline[..dims.len()].copy_from_slice(dims);
+        Shape {
+            dims: inline,
+            ndim: dims.len() as u8,
+        }
     }
 
     /// Convenience constructor for a one-dimensional shape.
     pub fn d1(n: usize) -> Self {
-        Shape::new(vec![n])
+        Shape {
+            dims: [n, 0, 0],
+            ndim: 1,
+        }
     }
 
     /// Convenience constructor for a two-dimensional shape.
     pub fn d2(rows: usize, cols: usize) -> Self {
-        Shape::new(vec![rows, cols])
+        Shape {
+            dims: [rows, cols, 0],
+            ndim: 2,
+        }
     }
 
     /// Convenience constructor for a three-dimensional shape.
     pub fn d3(a: usize, b: usize, c: usize) -> Self {
-        Shape::new(vec![a, b, c])
+        Shape {
+            dims: [a, b, c],
+            ndim: 3,
+        }
     }
 
     /// The dimension list, outermost first.
     pub fn dims(&self) -> &[usize] {
-        &self.dims
+        &self.dims[..self.ndim as usize]
     }
 
     /// The number of dimensions.
     pub fn ndim(&self) -> usize {
-        self.dims.len()
+        self.ndim as usize
     }
 
     /// Total number of elements.
     pub fn len(&self) -> usize {
-        self.dims.iter().product()
+        self.dims().iter().product()
     }
 
     /// Returns `true` if the shape contains no elements.
@@ -71,8 +93,9 @@ impl Shape {
 
     /// Row-major strides (in elements) for each dimension.
     pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![1usize; self.dims.len()];
-        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+        let n = self.ndim();
+        let mut strides = vec![1usize; n];
+        for i in (0..n.saturating_sub(1)).rev() {
             strides[i] = strides[i + 1] * self.dims[i + 1];
         }
         strides
@@ -83,13 +106,13 @@ impl Shape {
     /// # Panics
     /// Panics if `axis >= self.ndim()`.
     pub fn dim(&self, axis: usize) -> usize {
-        self.dims[axis]
+        self.dims()[axis]
     }
 
     /// Interprets the shape as two-dimensional `(rows, cols)`, flattening all
     /// outer dimensions into `rows`. A 1-D shape is viewed as a single row.
     pub fn as_2d(&self) -> (usize, usize) {
-        match self.dims.len() {
+        match self.ndim {
             1 => (1, self.dims[0]),
             2 => (self.dims[0], self.dims[1]),
             3 => (self.dims[0] * self.dims[1], self.dims[2]),
@@ -98,15 +121,29 @@ impl Shape {
     }
 }
 
+impl PartialEq for Shape {
+    fn eq(&self, other: &Self) -> bool {
+        self.dims() == other.dims()
+    }
+}
+
+impl Eq for Shape {}
+
+impl Hash for Shape {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.dims().hash(state);
+    }
+}
+
 impl fmt::Debug for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Shape{:?}", self.dims)
+        write!(f, "Shape{:?}", self.dims())
     }
 }
 
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let strs: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        let strs: Vec<String> = self.dims().iter().map(|d| d.to_string()).collect();
         write!(f, "[{}]", strs.join("x"))
     }
 }
@@ -169,9 +206,17 @@ mod tests {
     }
 
     #[test]
+    fn eq_ignores_unused_inline_slots() {
+        // d2(2, 3) and new(&[2, 3]) must agree regardless of construction.
+        assert_eq!(Shape::d2(2, 3), Shape::new([2, 3]));
+        assert_ne!(Shape::d2(2, 3), Shape::d3(2, 3, 1));
+        assert_ne!(Shape::d1(6), Shape::d2(2, 3));
+    }
+
+    #[test]
     #[should_panic(expected = "1..=3 dimensions")]
     fn rejects_empty() {
-        Shape::new(vec![]);
+        Shape::new(Vec::<usize>::new());
     }
 
     #[test]

@@ -1,118 +1,18 @@
 use std::fmt;
-use std::ops::{Add, Mul, Neg, Range, Sub};
+use std::ops::{Add, Mul, Neg, Sub};
 
-use crate::parallel;
+use crate::gemm::{self, Layout};
 use crate::rng::DetRng;
+use crate::workspace;
 use crate::Shape;
 
-/// Rows are processed in tiles of this many rows so that a `B` row loaded
-/// into cache is reused across the whole tile.
-const ROW_TILE: usize = 8;
-
-/// Minimum number of multiply-adds a parallel chunk should own; matmuls
-/// below roughly this size run serially, and larger ones are split into
-/// row ranges of at least this much work each.
-const PAR_MIN_WORK: usize = 16 * 1024;
-
-/// Runs `kernel` over row ranges of `0..rows`, handing each invocation the
-/// disjoint `[range.len() * cols]` sub-slice of `out` it owns.
-///
-/// Work is partitioned over whole output rows and every row is written by
-/// exactly one chunk, so results are bitwise-identical at any thread
-/// count.
-fn par_rows_into(
-    rows: usize,
-    cols: usize,
-    work_per_row: usize,
-    out: &mut [f32],
-    kernel: impl Fn(Range<usize>, &mut [f32]) + Sync,
-) {
-    debug_assert_eq!(out.len(), rows * cols);
-    let min_rows = (PAR_MIN_WORK / work_per_row.max(1)).max(1);
-    let slots = parallel::DisjointSlots::new(out);
-    parallel::par_ranges(rows, min_rows, |range| {
-        // SAFETY: ranges from `par_ranges` are disjoint, so each chunk is
-        // the sole accessor of its row slice.
-        let chunk = unsafe {
-            std::slice::from_raw_parts_mut(slots.get(range.start * cols), range.len() * cols)
-        };
-        kernel(range, chunk);
-    });
-}
-
-/// `C[rows] = A[rows, :] @ B` for a row range, writing into `out` (the
-/// sub-slice owned by this range). Every output element accumulates its
-/// `k` terms in ascending-`p` order starting from `0.0` — the contract the
-/// parity suite pins down.
-fn matmul_rows(a: &[f32], b: &[f32], k: usize, c: usize, rows: Range<usize>, out: &mut [f32]) {
-    let base = rows.start;
-    let mut i0 = rows.start;
-    while i0 < rows.end {
-        let ilim = (i0 + ROW_TILE).min(rows.end);
-        for p in 0..k {
-            let brow = &b[p * c..(p + 1) * c];
-            for i in i0..ilim {
-                let av = a[i * k + p];
-                let orow = &mut out[(i - base) * c..(i - base + 1) * c];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
-        i0 = ilim;
-    }
-}
-
-/// `C[rows] = A^T[rows, :] @ B` for a row range over `A: (k, r)`,
-/// `B: (k, c)`. Same ascending-`p` accumulation order as [`matmul_rows`].
-fn matmul_tn_rows(
-    a: &[f32],
-    b: &[f32],
-    k: usize,
-    r: usize,
-    c: usize,
-    rows: Range<usize>,
-    out: &mut [f32],
-) {
-    let base = rows.start;
-    let mut i0 = rows.start;
-    while i0 < rows.end {
-        let ilim = (i0 + ROW_TILE).min(rows.end);
-        for p in 0..k {
-            let aseg = &a[p * r + i0..p * r + ilim];
-            let brow = &b[p * c..(p + 1) * c];
-            for (off, &av) in aseg.iter().enumerate() {
-                let i = i0 + off;
-                let orow = &mut out[(i - base) * c..(i - base + 1) * c];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
-        i0 = ilim;
-    }
-}
-
-/// `C[rows] = A[rows, :] @ B^T` for a row range over `A: (r, k)`,
-/// `B: (c, k)`. Each element is one dot product accumulated in ascending
-/// inner-index order.
-fn matmul_nt_rows(a: &[f32], b: &[f32], k: usize, c: usize, rows: Range<usize>, out: &mut [f32]) {
-    let base = rows.start;
-    let mut i0 = rows.start;
-    while i0 < rows.end {
-        let ilim = (i0 + ROW_TILE).min(rows.end);
-        for j in 0..c {
-            let brow = &b[j * k..(j + 1) * k];
-            for i in i0..ilim {
-                let arow = &a[i * k..(i + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                out[(i - base) * c + j] = acc;
-            }
-        }
-        i0 = ilim;
+/// Resizes a pooled buffer to `n` elements without preserving contents
+/// (beyond the zero-fill of any newly grown tail).
+fn resize_for(data: &mut Vec<f32>, n: usize) {
+    if data.len() >= n {
+        data.truncate(n);
+    } else {
+        data.resize(n, 0.0);
     }
 }
 
@@ -122,6 +22,11 @@ fn matmul_nt_rows(a: &[f32], b: &[f32], k: usize, c: usize, rows: Range<usize>, 
 /// weights, gradients and optimizer state are all `Tensor`s. The type keeps
 /// its buffer contiguous and owned, which keeps every kernel a simple loop
 /// and makes serialization for the distributed runtime trivial.
+///
+/// Buffers are drawn from and returned to the thread-local
+/// [`workspace`] pool: dropping a tensor recycles its allocation, and every
+/// constructor reuses a pooled buffer when one fits, so steady-state
+/// training steps stay off the system allocator.
 ///
 /// Most kernels live as inherent methods here or in [`crate::ops`]; binary
 /// operators (`+`, `-`, `*`) are provided for same-shape element-wise use.
@@ -135,10 +40,33 @@ fn matmul_nt_rows(a: &[f32], b: &[f32], k: usize, c: usize, rows: Range<usize>, 
 /// assert_eq!(y.at2(0, 0), 4.0);
 /// assert_eq!(y.at2(0, 1), 3.0);
 /// ```
-#[derive(Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = workspace::take_vec_uninit(self.data.len());
+        data.copy_from_slice(&self.data);
+        Tensor {
+            shape: self.shape,
+            data,
+        }
+    }
+}
+
+impl Drop for Tensor {
+    /// Returns the backing buffer to the thread-local [`workspace`] pool.
+    fn drop(&mut self) {
+        workspace::recycle_vec(std::mem::take(&mut self.data));
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
 }
 
 impl Tensor {
@@ -165,10 +93,10 @@ impl Tensor {
     pub fn from_rows(rows: &[&[f32]]) -> Self {
         assert!(!rows.is_empty(), "from_rows requires at least one row");
         let cols = rows[0].len();
-        let mut data = Vec::with_capacity(rows.len() * cols);
-        for row in rows {
+        let mut data = workspace::take_vec_uninit(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
             assert_eq!(row.len(), cols, "all rows must have equal length");
-            data.extend_from_slice(row);
+            data[i * cols..(i + 1) * cols].copy_from_slice(row);
         }
         Tensor::from_vec((rows.len(), cols), data)
     }
@@ -176,11 +104,8 @@ impl Tensor {
     /// A tensor filled with zeros.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        let n = shape.len();
-        Tensor {
-            shape,
-            data: vec![0.0; n],
-        }
+        let data = workspace::take_vec_zeroed(shape.len());
+        Tensor { shape, data }
     }
 
     /// A tensor filled with ones.
@@ -191,11 +116,9 @@ impl Tensor {
     /// A tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
-        let n = shape.len();
-        Tensor {
-            shape,
-            data: vec![value; n],
-        }
+        let mut data = workspace::take_vec_uninit(shape.len());
+        data.fill(value);
+        Tensor { shape, data }
     }
 
     /// The `n`-by-`n` identity matrix.
@@ -210,14 +133,20 @@ impl Tensor {
     /// A tensor with elements drawn uniformly from `[lo, hi)`.
     pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut DetRng) -> Self {
         let shape = shape.into();
-        let data = (0..shape.len()).map(|_| rng.uniform(lo, hi)).collect();
+        let mut data = workspace::take_vec_uninit(shape.len());
+        for x in &mut data {
+            *x = rng.uniform(lo, hi);
+        }
         Tensor { shape, data }
     }
 
     /// A tensor with elements drawn from a normal distribution.
     pub fn normal(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut DetRng) -> Self {
         let shape = shape.into();
-        let data = (0..shape.len()).map(|_| rng.normal(mean, std)).collect();
+        let mut data = workspace::take_vec_uninit(shape.len());
+        for x in &mut data {
+            *x = rng.normal(mean, std);
+        }
         Tensor { shape, data }
     }
 
@@ -256,9 +185,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor and returns its backing buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor and returns its backing buffer (which is then
+    /// owned by the caller instead of returning to the pool).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Element at flat index `i`.
@@ -321,17 +251,40 @@ impl Tensor {
             "cannot reshape {} elements into {shape}",
             self.data.len()
         );
-        Tensor {
-            shape,
-            data: self.data.clone(),
-        }
+        let mut out = self.clone();
+        out.shape = shape;
+        out
+    }
+
+    /// Becomes a buffer-reusing copy of `src`: shape and contents are
+    /// overwritten, the existing allocation is kept when it fits. The
+    /// zero-allocation replacement for `*slot = src.clone()` in layer
+    /// caches.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.shape = src.shape;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
     }
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut out = workspace::take_vec_uninit(self.data.len());
+        for (o, &x) in out.iter_mut().zip(&self.data) {
+            *o = f(x);
+        }
         Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape,
+            data: out,
+        }
+    }
+
+    /// Applies `f` to every element, writing into `out` (reshaped to match;
+    /// its buffer is reused).
+    pub fn map_into(&self, out: &mut Tensor, f: impl Fn(f32) -> f32) {
+        out.shape = self.shape;
+        resize_for(&mut out.data, self.data.len());
+        for (o, &x) in out.data.iter_mut().zip(&self.data) {
+            *o = f(x);
         }
     }
 
@@ -376,14 +329,31 @@ impl Tensor {
             "shape mismatch: {} vs {}",
             self.shape, other.shape
         );
+        let mut out = workspace::take_vec_uninit(self.data.len());
+        for ((o, &a), &b) in out.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = f(a, b);
+        }
         Tensor {
-            shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            shape: self.shape,
+            data: out,
+        }
+    }
+
+    /// Element-wise combination written into `out` (reshaped to match; its
+    /// buffer is reused).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn zip_into(&self, other: &Tensor, out: &mut Tensor, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
+        out.shape = self.shape;
+        resize_for(&mut out.data, self.data.len());
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = f(a, b);
         }
     }
 
@@ -430,7 +400,7 @@ impl Tensor {
 
     /// Fills the tensor with zeros, keeping its shape.
     pub fn fill_zero(&mut self) {
-        self.data.iter_mut().for_each(|x| *x = 0.0);
+        self.data.fill(0.0);
     }
 
     /// Sum of all elements.
@@ -464,21 +434,22 @@ impl Tensor {
     /// 2-D transpose of the flattened 2-D view.
     pub fn transpose(&self) -> Tensor {
         let (r, c) = self.shape.as_2d();
-        let mut out = Tensor::zeros((c, r));
+        let mut out = workspace::take_vec_uninit(self.data.len());
         for i in 0..r {
             for j in 0..c {
-                out.data[j * r + i] = self.data[i * c + j];
+                out[j * r + i] = self.data[i * c + j];
             }
         }
-        out
+        Tensor::from_vec((c, r), out)
     }
 
     /// Matrix product of the 2-D views: `(r x k) @ (k x c) -> (r x c)`.
     ///
-    /// Large products are split over output rows across the current
-    /// [`parallel`] pool; every element is accumulated in ascending
-    /// inner-index order regardless of thread count, so results are
-    /// bitwise-deterministic.
+    /// All three variants lower onto the packed microkernel in
+    /// [`crate::gemm`]. Large products are split over output rows across
+    /// the current [`crate::parallel`] pool; every element is accumulated
+    /// in ascending inner-index order regardless of thread count, so
+    /// results are bitwise-deterministic.
     ///
     /// # Panics
     /// Panics if the inner dimensions disagree.
@@ -486,11 +457,8 @@ impl Tensor {
         let (r, k) = self.shape.as_2d();
         let (k2, c) = other.shape.as_2d();
         assert_eq!(k, k2, "matmul inner dims: {k} vs {k2}");
-        let mut out = vec![0.0f32; r * c];
-        let (a, b) = (&self.data, &other.data);
-        par_rows_into(r, c, k * c, &mut out, |rows, chunk| {
-            matmul_rows(a, b, k, c, rows, chunk);
-        });
+        let mut out = workspace::take_vec_uninit(r * c);
+        gemm::gemm(Layout::Nn, &self.data, &other.data, r, k, c, &mut out);
         Tensor::from_vec((r, c), out)
     }
 
@@ -504,11 +472,8 @@ impl Tensor {
         let (k, r) = self.shape.as_2d();
         let (k2, c) = other.shape.as_2d();
         assert_eq!(k, k2, "matmul_tn row dims: {k} vs {k2}");
-        let mut out = vec![0.0f32; r * c];
-        let (a, b) = (&self.data, &other.data);
-        par_rows_into(r, c, k * c, &mut out, |rows, chunk| {
-            matmul_tn_rows(a, b, k, r, c, rows, chunk);
-        });
+        let mut out = workspace::take_vec_uninit(r * c);
+        gemm::gemm(Layout::Tn, &self.data, &other.data, r, k, c, &mut out);
         Tensor::from_vec((r, c), out)
     }
 
@@ -522,11 +487,8 @@ impl Tensor {
         let (r, k) = self.shape.as_2d();
         let (c, k2) = other.shape.as_2d();
         assert_eq!(k, k2, "matmul_nt col dims: {k} vs {k2}");
-        let mut out = vec![0.0f32; r * c];
-        let (a, b) = (&self.data, &other.data);
-        par_rows_into(r, c, k * c, &mut out, |rows, chunk| {
-            matmul_nt_rows(a, b, k, c, rows, chunk);
-        });
+        let mut out = workspace::take_vec_uninit(r * c);
+        gemm::gemm(Layout::Nt, &self.data, &other.data, r, k, c, &mut out);
         Tensor::from_vec((r, c), out)
     }
 
@@ -536,13 +498,28 @@ impl Tensor {
     /// # Panics
     /// Panics if any index is out of bounds.
     pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        let c = self.shape.as_2d().1;
+        let mut out = Tensor::from_vec(
+            (indices.len(), c),
+            workspace::take_vec_uninit(indices.len() * c),
+        );
+        self.gather_rows_into(indices, &mut out);
+        out
+    }
+
+    /// Gathers rows by index into `out` (reshaped to
+    /// `(indices.len(), cols)`; its buffer is reused).
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Tensor) {
         let (r, c) = self.shape.as_2d();
-        let mut data = Vec::with_capacity(indices.len() * c);
-        for &idx in indices {
+        out.shape = Shape::d2(indices.len(), c);
+        resize_for(&mut out.data, indices.len() * c);
+        for (i, &idx) in indices.iter().enumerate() {
             assert!(idx < r, "gather index {idx} out of {r} rows");
-            data.extend_from_slice(&self.data[idx * c..(idx + 1) * c]);
+            out.data[i * c..(i + 1) * c].copy_from_slice(&self.data[idx * c..(idx + 1) * c]);
         }
-        Tensor::from_vec((indices.len(), c), data)
     }
 
     /// Scatter-add of `src` rows into `self` rows of the 2-D view:
@@ -574,10 +551,12 @@ impl Tensor {
         assert!(!parts.is_empty(), "concat_rows requires at least one part");
         let c = parts[0].cols();
         let total: usize = parts.iter().map(|p| p.rows()).sum();
-        let mut data = Vec::with_capacity(total * c);
+        let mut data = workspace::take_vec_uninit(total * c);
+        let mut off = 0;
         for p in parts {
             assert_eq!(p.cols(), c, "concat column mismatch");
-            data.extend_from_slice(&p.data);
+            data[off..off + p.data.len()].copy_from_slice(&p.data);
+            off += p.data.len();
         }
         Tensor::from_vec((total, c), data)
     }
@@ -587,15 +566,23 @@ impl Tensor {
     /// # Panics
     /// Panics if `bias.len() != self.cols()`.
     pub fn add_row_broadcast(&self, bias: &[f32]) -> Tensor {
+        let mut out = self.clone();
+        out.add_row_broadcast_inplace(bias);
+        out
+    }
+
+    /// In-place variant of [`add_row_broadcast`](Self::add_row_broadcast).
+    ///
+    /// # Panics
+    /// Panics if `bias.len()` differs from the column count.
+    pub fn add_row_broadcast_inplace(&mut self, bias: &[f32]) {
         let (r, c) = self.shape.as_2d();
         assert_eq!(bias.len(), c, "bias length {} vs cols {c}", bias.len());
-        let mut out = self.clone();
         for i in 0..r {
             for (j, &b) in bias.iter().enumerate() {
-                out.data[i * c + j] += b;
+                self.data[i * c + j] += b;
             }
         }
-        out
     }
 }
 
@@ -744,6 +731,18 @@ mod tests {
     }
 
     #[test]
+    fn gather_rows_into_reuses_buffer() {
+        let t = Tensor::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut out = Tensor::zeros((1, 1));
+        t.gather_rows_into(&[1, 1, 0], &mut out);
+        assert_eq!(out.shape().dims(), &[3, 2]);
+        assert_eq!(out.as_slice(), &[3.0, 4.0, 3.0, 4.0, 1.0, 2.0]);
+        // Shrinking works too.
+        t.gather_rows_into(&[2], &mut out);
+        assert_eq!(out.as_slice(), &[5.0, 6.0]);
+    }
+
+    #[test]
     fn scatter_add_accumulates_duplicates() {
         let src = Tensor::from_rows(&[&[1.0], &[2.0]]);
         let mut out = Tensor::zeros((2, 1));
@@ -774,6 +773,36 @@ mod tests {
         assert_eq!(r.at2(1, 0), 3.0);
         let r3 = t.reshape((1, 2, 3));
         assert_eq!(r3.shape().dims(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn copy_from_tracks_shape_and_contents() {
+        let src = Tensor::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let mut dst = Tensor::zeros((7, 7));
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        let smaller = Tensor::from_vec(2usize, vec![9.0, 8.0]);
+        dst.copy_from(&smaller);
+        assert_eq!(dst, smaller);
+    }
+
+    #[test]
+    fn map_and_zip_into_reuse_buffers() {
+        let a = Tensor::from_vec(3usize, vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(3usize, vec![4.0, 5.0, 6.0]);
+        let mut out = Tensor::zeros((9, 9));
+        a.map_into(&mut out, |x| x * 10.0);
+        assert_eq!(out.as_slice(), &[10.0, 20.0, 30.0]);
+        a.zip_into(&b, &mut out, |x, y| x + y);
+        assert_eq!(out.as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(out.shape().dims(), &[3]);
+    }
+
+    #[test]
+    fn into_vec_detaches_buffer() {
+        let t = Tensor::from_vec(3usize, vec![1.0, 2.0, 3.0]);
+        let v = t.into_vec();
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -12,15 +12,21 @@ use vela_tensor::rng::DetRng;
 use vela_tensor::Tensor;
 
 /// Shapes `(r, k, c)` mixing tiny, ragged, and pool-engaging sizes
-/// (the larger ones exceed the per-chunk work floor, so a multi-lane
-/// pool genuinely splits them).
-const SHAPES: [(usize, usize, usize); 6] = [
+/// (the larger ones exceed the parallel cutoff, so a multi-lane pool
+/// genuinely splits them). Several sit exactly on or one past the
+/// 8×8 microkernel tile boundaries to exercise the zero-padded
+/// remainder lanes.
+const SHAPES: [(usize, usize, usize); 10] = [
     (1, 1, 1),
     (1, 5, 3),
+    (8, 8, 8),    // exactly one full MR×NR tile
+    (9, 4, 9),    // one past the tile edge on both axes
+    (16, 16, 16), // whole tiles only
+    (15, 16, 17), // remainder rows and columns
     (17, 9, 33),
     (33, 64, 7),
     (96, 64, 80),
-    (130, 70, 50),
+    (65, 33, 131), // ragged everywhere, large enough to split across lanes
 ];
 
 const THREADS: [usize; 4] = [2, 3, 5, 8];

@@ -28,6 +28,9 @@ echo "==> tier-1: cargo test -q"
 cargo test -q
 
 if [ "$run_bench" = 1 ]; then
+    echo "==> bench smoke: serial regression gate vs committed BENCH_kernels.json"
+    cargo run --release -p vela-bench --bin bench_kernels -- --quick --check BENCH_kernels.json
+
     echo "==> kernel micro-bench (BENCH_kernels.json)"
     cargo run --release -p vela-bench --bin bench_kernels
 fi
