@@ -12,8 +12,17 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use vela_obs::LazyCounter;
+
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Allocation calls observed by [`count_allocations`] windows, mirrored
+/// into the vela-obs counter registry (the allocator itself cannot call
+/// into the registry — registration allocates).
+static OBS_ALLOC_CALLS: LazyCounter = LazyCounter::new("bench.alloc.calls");
+/// Bytes requested inside [`count_allocations`] windows.
+static OBS_ALLOC_BYTES: LazyCounter = LazyCounter::new("bench.alloc.bytes");
 
 /// A [`System`]-backed allocator that counts allocation calls.
 pub struct CountingAllocator;
@@ -48,8 +57,17 @@ pub fn allocated_bytes() -> u64 {
 }
 
 /// Allocation calls made while running `f` once.
+///
+/// The per-window deltas (calls and bytes) are also routed into the
+/// vela-obs counters `bench.alloc.calls` / `bench.alloc.bytes` when
+/// tracing is enabled, so allocation behaviour shows up in trace
+/// summaries next to the span data.
 pub fn count_allocations<R>(f: impl FnOnce() -> R) -> (u64, R) {
     let before = allocations();
+    let bytes_before = allocated_bytes();
     let result = f();
-    (allocations() - before, result)
+    let delta = allocations() - before;
+    OBS_ALLOC_CALLS.add(delta);
+    OBS_ALLOC_BYTES.add(allocated_bytes() - bytes_before);
+    (delta, result)
 }

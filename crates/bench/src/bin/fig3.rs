@@ -25,7 +25,7 @@ fn main() {
     );
 
     // Pre-train on the mixed corpus with the balancing aux loss.
-    println!("\npre-training micro model ({} steps)...", 300);
+    vela_obs::info!("pre-training micro model (300 steps)");
     let pre = pretrain(
         &cfg,
         &PretrainConfig {

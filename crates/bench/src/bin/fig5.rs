@@ -21,8 +21,8 @@ fn main() {
     for model in EvalModel::ALL {
         let spec = model.spec();
         let scale = ScaleConfig::paper_default(spec);
-        println!(
-            "\npre-training {} micro proxy and measuring locality...",
+        vela_obs::info!(
+            "pre-training {} micro proxy and measuring locality",
             model.name()
         );
         let (mut m, mut e) = pretrain_micro(model);

@@ -21,8 +21,8 @@ fn main() {
     for model in EvalModel::ALL {
         let spec = model.spec();
         let scale = ScaleConfig::paper_default(spec);
-        println!(
-            "\npre-training {} micro proxy and measuring locality...",
+        vela_obs::info!(
+            "pre-training {} micro proxy and measuring locality",
             model.name()
         );
         let (mut m, mut e) = pretrain_micro(model);
@@ -30,8 +30,16 @@ fn main() {
             let profile = measured_profile(&mut m, &mut e, dataset, &spec, model.seed());
             println!("\n-- {} with {} --", model.name(), dataset.name());
             println!(
-                "{:>10} | {:>9} | {:>8} | {:>9} | {:>9} | {:>8}",
-                "strategy", "step (s)", "± std", "comm (s)", "sync (s)", "vs EP"
+                "{:>10} | {:>9} | {:>8} | {:>8} | {:>8} | {:>8} | {:>9} | {:>9} | {:>8}",
+                "strategy",
+                "step (s)",
+                "± std",
+                "p50",
+                "p95",
+                "p99",
+                "comm (s)",
+                "sync (s)",
+                "vs EP"
             );
             let mut ep_time = None;
             for strategy in eval_strategies() {
@@ -43,11 +51,15 @@ fn main() {
                 let speedup =
                     RunSummary::reduction_vs(summary.avg_step_time, ep_time.expect("EP first"))
                         * 100.0;
+                let (p50, p95, p99) = summary.step_time_percentiles();
                 println!(
-                    "{:>10} | {:>9.4} | {:>8.4} | {:>9.4} | {:>9.4} | {speedup:+7.1}%",
+                    "{:>10} | {:>9.4} | {:>8.4} | {:>8.4} | {:>8.4} | {:>8.4} | {:>9.4} | {:>9.4} | {speedup:+7.1}%",
                     strategy.label(),
                     summary.avg_step_time,
                     summary.std_step_time,
+                    p50,
+                    p95,
+                    p99,
                     summary.avg_comm_time,
                     summary.avg_sync_time,
                 );

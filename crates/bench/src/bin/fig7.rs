@@ -14,7 +14,7 @@ fn main() {
     let model = EvalModel::Mixtral;
     let spec = model.spec();
     println!("== Fig. 7: expert access frequency of Mixtral on different datasets ==");
-    println!("pre-training {} micro proxy...", model.name());
+    vela_obs::info!("pre-training {} micro proxy", model.name());
     let (mut m, mut e) = pretrain_micro(model);
 
     for dataset in EvalDataset::ALL {

@@ -1,0 +1,233 @@
+//! Summarises a vela JSONL trace (`VELA_TRACE=jsonl`).
+//!
+//! Reads the trace written by `VELA_TRACE_OUT` and prints:
+//!
+//! * per-span totals (count, total time, mean) and a top-N *self-time*
+//!   table (time in a span minus time in its children) — the per-step
+//!   attribution the paper's breakdowns are built from;
+//! * per-expert token counts per MoE block, re-deriving the Fig. 3
+//!   locality heat rows from the `"x"` (expert-rows) events;
+//! * final counter values and histogram snapshots.
+//!
+//! With `--check` it instead validates the trace — schema-valid lines,
+//! per-thread monotone timestamps, balanced enter/exit — and exits
+//! non-zero on any violation (used by `scripts/verify.sh`).
+//!
+//! Usage: `trace_summary [--check] [--top N] FILE`
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::process::ExitCode;
+
+use vela_obs::reader::{parse_line, validate, RawEvent};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace_summary [--check] [--top N] FILE");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut top = 10usize;
+    let mut file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--top" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => top = n,
+                None => return usage(),
+            },
+            other if file.is_none() && !other.starts_with('-') => file = Some(arg),
+            _ => return usage(),
+        }
+    }
+    let Some(path) = file else { return usage() };
+    let f = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("trace_summary: cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut events: Vec<RawEvent> = Vec::new();
+    for (lineno, line) in BufReader::new(f).lines().enumerate() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("trace_summary: read error at line {}: {e}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(&line) {
+            Ok(ev) => events.push(ev),
+            Err(e) => {
+                eprintln!("trace_summary: {path}:{}: {e}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if check {
+        match validate(&events) {
+            Ok(stats) => {
+                println!(
+                    "trace OK: {} events, {} spans, {} threads, {:.3} ms span of wall time",
+                    stats.events,
+                    stats.spans,
+                    stats.threads,
+                    stats.max_t as f64 / 1e3
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("trace INVALID: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        summarize(&events, top);
+        ExitCode::SUCCESS
+    }
+}
+
+/// Accumulated statistics for one span name.
+#[derive(Default)]
+struct SpanStat {
+    count: u64,
+    total_us: u64,
+    self_us: u64,
+}
+
+fn summarize(events: &[RawEvent], top: usize) {
+    // ---- span walk: per-tid stacks give total and self time --------------
+    let mut stats: BTreeMap<&str, SpanStat> = BTreeMap::new();
+    // Per tid: stack of (name, enter t, accumulated child time).
+    let mut stacks: BTreeMap<u64, Vec<(&str, u64, u64)>> = BTreeMap::new();
+    // Last value per counter name; last bucket set per histogram name.
+    let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut histograms: BTreeMap<&str, &[(u64, u64)]> = BTreeMap::new();
+    // (block -> expert -> rows), per source, forward pass only.
+    let mut rows_runtime: BTreeMap<u64, BTreeMap<u64, u64>> = BTreeMap::new();
+    let mut rows_model: BTreeMap<u64, BTreeMap<u64, u64>> = BTreeMap::new();
+    let mut max_step = 0u64;
+
+    for ev in events {
+        max_step = max_step.max(ev.step.unwrap_or(0));
+        match ev.ev.as_str() {
+            "b" => stacks.entry(ev.tid).or_default().push((&ev.name, ev.t, 0)),
+            "e" => {
+                let stack = stacks.entry(ev.tid).or_default();
+                // Tolerate truncated traces: skip exits with no open span.
+                if let Some((name, start, child)) = stack.pop() {
+                    let dur = ev.t.saturating_sub(start);
+                    let s = stats.entry(name).or_default();
+                    s.count += 1;
+                    s.total_us += dur;
+                    s.self_us += dur.saturating_sub(child);
+                    if let Some(parent) = stack.last_mut() {
+                        parent.2 += dur;
+                    }
+                }
+            }
+            "c" => {
+                counters.insert(&ev.name, ev.value.unwrap_or(0));
+            }
+            "h" => {
+                histograms.insert(&ev.name, &ev.buckets);
+            }
+            "x" => {
+                if ev.name != "fwd" {
+                    continue;
+                }
+                let by_block = match ev.src.as_deref() {
+                    Some("model") => &mut rows_model,
+                    _ => &mut rows_runtime,
+                };
+                let per_expert = by_block.entry(ev.block.unwrap_or(0)).or_default();
+                for &(expert, rows) in &ev.rows {
+                    *per_expert.entry(expert).or_insert(0) += rows;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    println!(
+        "== trace summary: {} events, {max_step} steps ==",
+        events.len()
+    );
+
+    if !stats.is_empty() {
+        println!("\n-- span totals --");
+        println!(
+            "{:<32} {:>8} {:>12} {:>10}",
+            "span", "count", "total (ms)", "mean (µs)"
+        );
+        for (name, s) in &stats {
+            println!(
+                "{:<32} {:>8} {:>12.3} {:>10.1}",
+                name,
+                s.count,
+                s.total_us as f64 / 1e3,
+                s.total_us as f64 / s.count as f64
+            );
+        }
+
+        println!("\n-- top {top} self-time --");
+        println!("{:<32} {:>12} {:>7}", "span", "self (ms)", "share");
+        let total_self: u64 = stats.values().map(|s| s.self_us).sum();
+        let mut by_self: Vec<(&str, &SpanStat)> = stats.iter().map(|(n, s)| (*n, s)).collect();
+        by_self.sort_by(|a, b| b.1.self_us.cmp(&a.1.self_us));
+        for (name, s) in by_self.iter().take(top) {
+            println!(
+                "{:<32} {:>12.3} {:>6.1}%",
+                name,
+                s.self_us as f64 / 1e3,
+                100.0 * s.self_us as f64 / total_self.max(1) as f64
+            );
+        }
+    }
+
+    // Prefer the runtime's view of expert traffic (it is what the broker
+    // actually moved); fall back to the model-side dispatch counts.
+    let (rows, src) = if !rows_runtime.is_empty() {
+        (&rows_runtime, "runtime")
+    } else {
+        (&rows_model, "model")
+    };
+    if !rows.is_empty() {
+        println!("\n-- per-expert tokens per block (src: {src}, forward) --");
+        for (block, per_expert) in rows {
+            let total: u64 = per_expert.values().sum();
+            let parts: Vec<String> = per_expert
+                .iter()
+                .map(|(e, r)| format!("e{e}:{r} ({:.1}%)", 100.0 * *r as f64 / total.max(1) as f64))
+                .collect();
+            println!("  block {block:>2} | {}", parts.join("  "));
+        }
+    }
+
+    if !counters.is_empty() {
+        println!("\n-- counters (final) --");
+        for (name, value) in &counters {
+            println!("{name:<40} {value:>14}");
+        }
+    }
+
+    if !histograms.is_empty() {
+        println!("\n-- histograms (power-of-two buckets) --");
+        for (name, buckets) in &histograms {
+            let parts: Vec<String> = buckets
+                .iter()
+                .map(|(lo, count)| format!("≥{lo}:{count}"))
+                .collect();
+            println!("{name:<40} {}", parts.join(" "));
+        }
+    }
+}

@@ -122,10 +122,10 @@ pub fn pretrain_micro(model: EvalModel) -> (MoeModel, LocalExpertStore) {
         let ok = checkpoint::load_from_path(&mut m, &model_path).is_ok()
             && checkpoint::load_from_path(&mut e, &experts_path).is_ok();
         if ok {
-            eprintln!("(using cached pre-trained micro model {tag})");
+            vela_obs::info!("using cached pre-trained micro model {tag}");
             return (m, e);
         }
-        eprintln!("(cache for {tag} unreadable; re-training)");
+        vela_obs::warn!("cache for {tag} unreadable; re-training");
     }
     let pre = pretrain(&cfg, &pcfg);
     let (mut m, mut e) = (pre.model, pre.experts);

@@ -2,7 +2,18 @@
 
 use std::sync::Mutex;
 
+use vela_obs::LazyCounter;
+
 use crate::topology::{DeviceId, Topology};
+
+/// Cumulative byte totals mirrored into `vela-obs` alongside the
+/// windowed [`StepTraffic`] accounting, plus one dynamic
+/// `cluster.link.{src}->{dst}` counter per observed device pair. The
+/// obs counters see exactly the transfers [`TrafficLedger::record`]
+/// accepts (same self-transfer/zero-byte filtering), so trace totals
+/// and engine-reported traffic agree by construction.
+static LINK_INTERNAL: LazyCounter = LazyCounter::new("cluster.bytes.internal");
+static LINK_EXTERNAL: LazyCounter = LazyCounter::new("cluster.bytes.external");
 
 /// Traffic accumulated within one window (one fine-tuning step in the
 /// evaluation).
@@ -79,6 +90,15 @@ impl TrafficLedger {
         } else {
             w.external_sent_per_node[sn.0] += bytes;
             w.external_recv_per_node[dn.0] += bytes;
+        }
+        drop(w);
+        if vela_obs::enabled() {
+            if sn == dn {
+                LINK_INTERNAL.add(bytes);
+            } else {
+                LINK_EXTERNAL.add(bytes);
+            }
+            vela_obs::counter(&format!("cluster.link.{}->{}", src.0, dst.0)).add(bytes);
         }
     }
 

@@ -46,6 +46,7 @@ pub use vela_data as data;
 pub use vela_locality as locality;
 pub use vela_model as model;
 pub use vela_nn as nn;
+pub use vela_obs as obs;
 pub use vela_placement as placement;
 pub use vela_runtime as runtime;
 pub use vela_tensor as tensor;

@@ -103,20 +103,29 @@ pub fn finetune(
     let mut batch_rng = DetRng::new(cfg.seed ^ 0xF1E7);
 
     let mut stats = Vec::with_capacity(cfg.steps);
-    for _ in 0..cfg.steps {
+    for i in 0..cfg.steps {
+        vela_obs::step_begin(i as u64 + 1);
+        let _span = vela_obs::span("model.finetune.step");
         let batch = dataset.sample_batch(cfg.batch_size, seq_len, &mut batch_rng);
         experts.zero_grad();
-        let step = model.train_step(
-            &batch.inputs,
-            &batch.targets,
-            batch.batch_size,
-            batch.seq_len,
-            experts,
-        );
-        opt_model.step(model);
-        opt_experts.step(experts);
+        let step = {
+            let _fb = vela_obs::span("model.finetune.fwd_bwd");
+            model.train_step(
+                &batch.inputs,
+                &batch.targets,
+                batch.batch_size,
+                batch.seq_len,
+                experts,
+            )
+        };
+        {
+            let _opt = vela_obs::span("model.finetune.optimizer");
+            opt_model.step(model);
+            opt_experts.step(experts);
+        }
         stats.push(step);
     }
+    vela_obs::flush();
     stats
 }
 

@@ -6,8 +6,18 @@
 //! backbone run single-process or distributed.
 
 use vela_nn::param::{Module, Param};
+use vela_obs::{LazyCounter, LazyHistogram};
 use vela_tensor::rng::DetRng;
 use vela_tensor::{workspace, Tensor};
+
+/// Token-slot assignments that survived the capacity limit.
+static MOE_TOKENS: LazyCounter = LazyCounter::new("model.moe.assigned");
+/// Assignments dropped by the expert-capacity limit.
+static MOE_DROPPED: LazyCounter = LazyCounter::new("model.moe.dropped");
+/// Experts that received at least one token (dispatch occupancy).
+static MOE_ACTIVE: LazyCounter = LazyCounter::new("model.moe.active_experts");
+/// Distribution of per-expert group sizes (rows per dispatch group).
+static MOE_GROUP_ROWS: LazyHistogram = LazyHistogram::new("model.moe.group_rows");
 
 use crate::provider::{ExpertBatch, ExpertProvider};
 use crate::router::Router;
@@ -171,6 +181,7 @@ impl MoeBlock {
     /// Forward pass over `[tokens, dim]`, evaluating experts through
     /// `provider`.
     pub fn forward(&mut self, x: &Tensor, provider: &mut dyn ExpertProvider) -> Tensor {
+        let _span = vela_obs::span("model.moe.fwd");
         let tokens = x.rows();
         let rout = self.router.forward(x);
         let capacity = self.expert_capacity(tokens);
@@ -206,6 +217,23 @@ impl MoeBlock {
         }
         let ngroups = state.experts.len();
         let assigned = *state.offsets.last().unwrap();
+        if vela_obs::enabled() {
+            MOE_TOKENS.add(assigned as u64);
+            MOE_DROPPED.add(dropped as u64);
+            MOE_ACTIVE.add(ngroups as u64);
+            for gi in 0..ngroups {
+                MOE_GROUP_ROWS.record((state.offsets[gi + 1] - state.offsets[gi]) as u64);
+            }
+            if vela_obs::tracing() {
+                let rows: Vec<(usize, usize)> = state
+                    .experts
+                    .iter()
+                    .enumerate()
+                    .map(|(gi, &e)| (e, state.offsets[gi + 1] - state.offsets[gi]))
+                    .collect();
+                vela_obs::expert_rows("model", "fwd", self.block, &rows);
+            }
+        }
         state.toks.clear();
         state.toks.resize(assigned, 0);
         state.slots.clear();
@@ -306,6 +334,7 @@ impl MoeBlock {
     /// # Panics
     /// Panics if called before [`forward`](Self::forward).
     pub fn backward(&mut self, grad_out: &Tensor, provider: &mut dyn ExpertProvider) -> Tensor {
+        let _span = vela_obs::span("model.moe.bwd");
         assert!(self.state.ready, "MoeBlock::backward before forward");
         let state = &mut self.state;
         state.ready = false;

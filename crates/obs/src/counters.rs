@@ -1,0 +1,183 @@
+//! Named process-global counters and fixed-bucket histograms.
+//!
+//! Registration goes through a mutex-protected map, but the returned
+//! handles point at leaked atomics, so the hot path — [`Counter::add`]
+//! / [`Histogram::record`] — is a relaxed `fetch_add` with no lock.
+//! Hot call sites cache the handle in a [`LazyCounter`] /
+//! [`LazyHistogram`] static so the map is consulted once per site.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+fn counter_registry() -> &'static Mutex<BTreeMap<String, &'static AtomicU64>> {
+    static R: OnceLock<Mutex<BTreeMap<String, &'static AtomicU64>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Handle to a named monotonic counter.
+#[derive(Clone, Copy)]
+pub struct Counter(&'static AtomicU64);
+
+impl Counter {
+    #[inline]
+    pub fn add(self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Look up (or create) the counter with the given name. Callers on hot
+/// paths should hold the handle in a [`LazyCounter`] instead of calling
+/// this per event.
+pub fn counter(name: &str) -> Counter {
+    let mut reg = counter_registry().lock().unwrap();
+    if let Some(c) = reg.get(name) {
+        return Counter(c);
+    }
+    let cell: &'static AtomicU64 = Box::leak(Box::new(AtomicU64::new(0)));
+    reg.insert(name.to_string(), cell);
+    Counter(cell)
+}
+
+/// All counters with a non-zero value, sorted by name.
+pub fn counter_snapshot() -> Vec<(String, u64)> {
+    counter_registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+        .filter(|&(_, v)| v != 0)
+        .collect()
+}
+
+/// Zero every registered counter and histogram (tests/harnesses only;
+/// handles stay valid).
+pub fn reset_counters() {
+    for c in counter_registry().lock().unwrap().values() {
+        c.store(0, Ordering::Relaxed);
+    }
+    for h in histogram_registry().lock().unwrap().values() {
+        for b in h.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A counter handle resolved on first use and gated on
+/// [`crate::enabled`], for `static` placement at hot call sites.
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<Counter>,
+}
+
+impl LazyCounter {
+    pub const fn new(name: &'static str) -> Self {
+        LazyCounter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// One relaxed load + branch when observability is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.cell.get_or_init(|| counter(self.name)).add(n);
+        }
+    }
+}
+
+/// Power-of-two bucket histogram: bucket `i` counts values whose bit
+/// length is `i` (bucket 0 holds zeros), i.e. value `v` lands in the
+/// bucket whose lower bound is the largest power of two `<= v`.
+struct HistSlot {
+    buckets: [AtomicU64; 65],
+}
+
+fn histogram_registry() -> &'static Mutex<BTreeMap<String, &'static HistSlot>> {
+    static R: OnceLock<Mutex<BTreeMap<String, &'static HistSlot>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Handle to a named fixed-bucket histogram.
+#[derive(Clone, Copy)]
+pub struct Histogram(&'static HistSlot);
+
+impl Histogram {
+    #[inline]
+    pub fn record(self, v: u64) {
+        let idx = (64 - v.leading_zeros()) as usize;
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Look up (or create) the histogram with the given name.
+pub fn histogram(name: &str) -> Histogram {
+    let mut reg = histogram_registry().lock().unwrap();
+    if let Some(h) = reg.get(name) {
+        return Histogram(h);
+    }
+    let slot: &'static HistSlot = Box::leak(Box::new(HistSlot {
+        buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+    }));
+    reg.insert(name.to_string(), slot);
+    Histogram(slot)
+}
+
+/// Non-empty buckets of every histogram, as `(name, [(bucket lower
+/// bound, count)])`, sorted by name.
+pub fn histogram_snapshot() -> Vec<(String, Vec<(u64, u64)>)> {
+    histogram_registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .filter_map(|(n, h)| {
+            let buckets: Vec<(u64, u64)> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let count = b.load(Ordering::Relaxed);
+                    if count == 0 {
+                        return None;
+                    }
+                    let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                    Some((lo, count))
+                })
+                .collect();
+            if buckets.is_empty() {
+                None
+            } else {
+                Some((n.clone(), buckets))
+            }
+        })
+        .collect()
+}
+
+/// A histogram handle resolved on first use and gated on
+/// [`crate::enabled`], for `static` placement at hot call sites.
+pub struct LazyHistogram {
+    name: &'static str,
+    cell: OnceLock<Histogram>,
+}
+
+impl LazyHistogram {
+    pub const fn new(name: &'static str) -> Self {
+        LazyHistogram {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if crate::enabled() {
+            self.cell.get_or_init(|| histogram(self.name)).record(v);
+        }
+    }
+}

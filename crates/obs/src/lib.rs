@@ -1,0 +1,177 @@
+//! Std-only structured tracing, counters and per-step attribution.
+//!
+//! The crate is the workspace's observability substrate: every other
+//! crate may depend on it (it depends on nothing), and every recording
+//! call collapses to a single relaxed atomic load + branch when tracing
+//! is disabled, so instrumented hot paths stay benchmark-neutral.
+//!
+//! ## Model
+//!
+//! * **Spans** ([`span`]) record wall-clock enter/exit pairs tagged with
+//!   the current *logical step* (a process-global counter advanced by
+//!   [`step_begin`]). Events land in thread-local buffers that are
+//!   drained to the process-global sink either when a buffer fills or
+//!   when [`flush`] is called.
+//! * **Counters / histograms** ([`counter`], [`histogram`]) are named
+//!   process-global atomics; recording is a relaxed `fetch_add`.
+//!   Snapshots are emitted into the trace at every [`flush`] as
+//!   cumulative values (readers keep the last value per name).
+//! * **Expert-row events** ([`expert_rows`]) attribute per-expert token
+//!   counts to a (step, block, pass) triple — the raw material for
+//!   re-deriving the paper's Fig. 3 locality profile from a trace.
+//!
+//! ## Knobs
+//!
+//! * `VELA_TRACE` — `0`/unset: off; `counters`: counters only, no file;
+//!   `jsonl`/`1`: JSONL event stream; `chrome`: Chrome `trace_event`
+//!   JSON (load in `chrome://tracing` / Perfetto).
+//! * `VELA_TRACE_OUT` — output path (default `vela-trace.jsonl` or
+//!   `vela-trace.json` for chrome mode).
+//! * `VELA_LOG` — stderr logger level: `error`, `warn` (default),
+//!   `info`, `debug`.
+//!
+//! ## Trace schema (JSONL)
+//!
+//! One JSON object per line; `t` is integer microseconds since process
+//! start, `tid` a small per-thread integer (0 = snapshot pseudo-thread):
+//!
+//! ```text
+//! {"ev":"b","t":12,"tid":1,"step":3,"name":"runtime.step"}      span enter
+//! {"ev":"e","t":90,"tid":1,"name":"runtime.step"}               span exit
+//! {"ev":"c","t":99,"tid":0,"name":"tensor.workspace.hit","value":42}
+//! {"ev":"h","t":99,"tid":0,"name":"model.moe.group_rows","buckets":[[16,7],[32,3]]}
+//! {"ev":"x","t":50,"tid":1,"step":3,"name":"fwd","src":"runtime","block":0,"rows":[[0,128],[3,64]]}
+//! ```
+//!
+//! Chrome mode maps `b`/`e` to `ph:"B"/"E"`, counters to `ph:"C"` and
+//! expert rows to instant events. The chrome file is a JSON array that
+//! is intentionally left unterminated (the format tolerates it, and it
+//! lets us stream without an exit hook).
+
+pub mod counters;
+pub mod logger;
+pub mod reader;
+pub mod sink;
+pub mod span;
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+pub use counters::{
+    counter, counter_snapshot, histogram, histogram_snapshot, reset_counters, Counter, Histogram,
+    LazyCounter, LazyHistogram,
+};
+pub use logger::Level;
+pub use span::{expert_rows, span, SpanGuard};
+
+/// What the process records, ordered by increasing capability.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(u8)]
+pub enum TraceMode {
+    /// Nothing is recorded; every probe is a relaxed load + branch.
+    Off = 1,
+    /// Counters/histograms accumulate but no event file is written.
+    Counters = 2,
+    /// Counters plus span/row events streamed as JSONL.
+    Jsonl = 3,
+    /// Counters plus span/row events in Chrome `trace_event` JSON.
+    Chrome = 4,
+}
+
+/// 0 = not yet initialised from the environment.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+fn init_mode_from_env() -> TraceMode {
+    match std::env::var("VELA_TRACE").ok().as_deref() {
+        None | Some("") | Some("0") | Some("off") => TraceMode::Off,
+        Some("counters") => TraceMode::Counters,
+        Some("jsonl") | Some("1") => TraceMode::Jsonl,
+        Some("chrome") => TraceMode::Chrome,
+        Some(other) => {
+            logger::log(
+                Level::Warn,
+                format_args!("unknown VELA_TRACE value {other:?}; tracing disabled"),
+            );
+            TraceMode::Off
+        }
+    }
+}
+
+#[inline]
+fn mode_raw() -> u8 {
+    let m = MODE.load(Ordering::Relaxed);
+    if m != 0 {
+        return m;
+    }
+    // Racing initialisers compute the same value from the same env.
+    let m = init_mode_from_env() as u8;
+    MODE.store(m, Ordering::Relaxed);
+    m
+}
+
+/// Current mode (initialising from `VELA_TRACE` on first call).
+pub fn mode() -> TraceMode {
+    match mode_raw() {
+        2 => TraceMode::Counters,
+        3 => TraceMode::Jsonl,
+        4 => TraceMode::Chrome,
+        _ => TraceMode::Off,
+    }
+}
+
+/// Programmatic override of the env-selected mode (used by tests and
+/// embedding harnesses). Takes effect for all subsequent probes.
+pub fn set_mode(m: TraceMode) {
+    MODE.store(m as u8, Ordering::Relaxed);
+}
+
+/// Are counters (and anything stronger) being recorded? This is the
+/// disabled-fast-path gate: a relaxed load plus one compare.
+#[inline]
+pub fn enabled() -> bool {
+    mode_raw() >= TraceMode::Counters as u8
+}
+
+/// Are span/row *events* being recorded (Jsonl or Chrome mode)?
+#[inline]
+pub fn tracing() -> bool {
+    mode_raw() >= TraceMode::Jsonl as u8
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the process trace epoch (first call wins).
+#[inline]
+pub fn now_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+static STEP: AtomicU64 = AtomicU64::new(0);
+
+/// Advance the process-global logical step clock. Training loops call
+/// this once per optimisation step; spans opened afterwards are tagged
+/// with the new step.
+#[inline]
+pub fn step_begin(step: u64) {
+    STEP.store(step, Ordering::Relaxed);
+}
+
+/// The logical step spans opened now will be attributed to.
+#[inline]
+pub fn current_step() -> u64 {
+    STEP.load(Ordering::Relaxed)
+}
+
+/// Drain every thread's event buffer to the sink, append a cumulative
+/// counter/histogram snapshot, and flush the underlying writer. Cheap
+/// no-op when tracing is disabled. Engines call this at shutdown; call
+/// it at the end of any program that traces.
+pub fn flush() {
+    if !tracing() {
+        return;
+    }
+    span::drain_all();
+    sink::write_snapshots();
+    sink::flush_writer();
+}

@@ -1,0 +1,93 @@
+//! Leveled stderr logger honoring the `VELA_LOG` knob.
+//!
+//! The figure/ablation binaries route their progress prints through
+//! [`crate::info!`]; the default level is `warn` so CI runs stay
+//! quiet. Formatting cost is only paid when the level is active.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity; lower is more severe.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(u8)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// `u8::MAX` = not yet initialised from the environment.
+static MAX: AtomicU8 = AtomicU8::new(u8::MAX);
+
+fn max_raw() -> u8 {
+    let m = MAX.load(Ordering::Relaxed);
+    if m != u8::MAX {
+        return m;
+    }
+    let m = match std::env::var("VELA_LOG").ok().as_deref() {
+        Some("error") | Some("0") => 0,
+        None | Some("") | Some("warn") | Some("1") => 1,
+        Some("info") | Some("2") => 2,
+        Some("debug") | Some("3") => 3,
+        Some(_) => 1,
+    };
+    MAX.store(m, Ordering::Relaxed);
+    m
+}
+
+/// Would a message at `level` be printed?
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    level as u8 <= max_raw()
+}
+
+/// Programmatic override of the env-selected level.
+pub fn set_log_level(level: Level) {
+    MAX.store(level as u8, Ordering::Relaxed);
+}
+
+/// Print `args` to stderr if `level` is active. Prefer the macros.
+pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    if log_enabled(level) {
+        eprintln!("[vela {}] {}", level.tag(), args);
+    }
+}
+
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::Level::Error, format_args!($($arg)*))
+    };
+}
+
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::Level::Warn, format_args!($($arg)*))
+    };
+}
+
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::Level::Info, format_args!($($arg)*))
+    };
+}
+
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::logger::log($crate::logger::Level::Debug, format_args!($($arg)*))
+    };
+}

@@ -1,0 +1,423 @@
+//! Reading side of the JSONL trace schema: a minimal JSON parser (the
+//! workspace is hermetic — no serde), typed [`RawEvent`] decoding, and
+//! the structural validator behind `trace_summary --check`.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Numbers are kept as `f64`; every integer the
+/// trace schema emits (µs timestamps, row counts, byte totals) is well
+/// below 2^53 so the round-trip is exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8")?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+/// Parse one complete JSON value (trailing whitespace allowed).
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// One decoded JSONL trace event.
+#[derive(Debug, Clone)]
+pub struct RawEvent {
+    /// `"b"`, `"e"`, `"c"`, `"h"` or `"x"`.
+    pub ev: String,
+    pub name: String,
+    pub t: u64,
+    pub tid: u64,
+    pub step: Option<u64>,
+    /// Counter value (`"c"` events).
+    pub value: Option<u64>,
+    /// Observing layer for `"x"` events (`"runtime"` / `"model"`).
+    pub src: Option<String>,
+    /// MoE block index for `"x"` events.
+    pub block: Option<u64>,
+    /// `(expert, rows)` pairs for `"x"` events.
+    pub rows: Vec<(u64, u64)>,
+    /// `(bucket lower bound, count)` pairs for `"h"` events.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+fn pairs(v: &Json, what: &str) -> Result<Vec<(u64, u64)>, String> {
+    let Json::Arr(items) = v else {
+        return Err(format!("{what} must be an array"));
+    };
+    items
+        .iter()
+        .map(|item| {
+            let Json::Arr(pair) = item else {
+                return Err(format!("{what} entries must be [a,b] pairs"));
+            };
+            match (
+                pair.first().and_then(Json::as_u64),
+                pair.get(1).and_then(Json::as_u64),
+            ) {
+                (Some(a), Some(b)) if pair.len() == 2 => Ok((a, b)),
+                _ => Err(format!("{what} entries must be [u64,u64] pairs")),
+            }
+        })
+        .collect()
+}
+
+/// Decode one JSONL line into a [`RawEvent`], checking every field the
+/// schema requires for that event kind.
+pub fn parse_line(line: &str) -> Result<RawEvent, String> {
+    let v = parse_json(line)?;
+    let ev = v
+        .get("ev")
+        .and_then(Json::as_str)
+        .ok_or("missing \"ev\"")?
+        .to_string();
+    let t = v
+        .get("t")
+        .and_then(Json::as_u64)
+        .ok_or("missing integer \"t\"")?;
+    let tid = v
+        .get("tid")
+        .and_then(Json::as_u64)
+        .ok_or("missing integer \"tid\"")?;
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing \"name\"")?
+        .to_string();
+    let step = v.get("step").and_then(Json::as_u64);
+    let value = v.get("value").and_then(Json::as_u64);
+    let src = v.get("src").and_then(Json::as_str).map(str::to_string);
+    let block = v.get("block").and_then(Json::as_u64);
+    let rows = match v.get("rows") {
+        Some(r) => pairs(r, "rows")?,
+        None => Vec::new(),
+    };
+    let buckets = match v.get("buckets") {
+        Some(b) => pairs(b, "buckets")?,
+        None => Vec::new(),
+    };
+    match ev.as_str() {
+        "b" => {
+            step.ok_or("span enter missing \"step\"")?;
+        }
+        "e" => {}
+        "c" => {
+            value.ok_or("counter event missing \"value\"")?;
+        }
+        "h" => {
+            if buckets.is_empty() {
+                return Err("histogram event missing \"buckets\"".to_string());
+            }
+        }
+        "x" => {
+            step.ok_or("expert-rows event missing \"step\"")?;
+            block.ok_or("expert-rows event missing \"block\"")?;
+            src.as_deref().ok_or("expert-rows event missing \"src\"")?;
+            if rows.is_empty() {
+                return Err("expert-rows event missing \"rows\"".to_string());
+            }
+        }
+        other => return Err(format!("unknown event kind {other:?}")),
+    }
+    Ok(RawEvent {
+        ev,
+        name,
+        t,
+        tid,
+        step,
+        value,
+        src,
+        block,
+        rows,
+        buckets,
+    })
+}
+
+/// Aggregate structural facts reported by [`validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    pub events: usize,
+    /// Completed enter/exit span pairs.
+    pub spans: usize,
+    pub threads: usize,
+    pub max_t: u64,
+}
+
+/// Structural validation of a decoded trace: per-thread timestamps
+/// must be monotone non-decreasing and span enter/exit events must be
+/// balanced with stack discipline (an exit always closes the most
+/// recent open span of its thread; nothing stays open at end of
+/// stream).
+pub fn validate(events: &[RawEvent]) -> Result<TraceStats, String> {
+    let mut last_t: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut spans = 0usize;
+    let mut max_t = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        let prev = last_t.entry(ev.tid).or_insert(0);
+        if ev.t < *prev {
+            return Err(format!(
+                "event {i} (tid {}): timestamp {} goes backwards (previous {})",
+                ev.tid, ev.t, prev
+            ));
+        }
+        *prev = ev.t;
+        max_t = max_t.max(ev.t);
+        match ev.ev.as_str() {
+            "b" => stacks.entry(ev.tid).or_default().push(ev.name.clone()),
+            "e" => {
+                let stack = stacks.entry(ev.tid).or_default();
+                match stack.pop() {
+                    Some(top) if top == ev.name => spans += 1,
+                    Some(top) => {
+                        return Err(format!(
+                            "event {i} (tid {}): exit {:?} does not match open span {:?}",
+                            ev.tid, ev.name, top
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "event {i} (tid {}): exit {:?} with no open span",
+                            ev.tid, ev.name
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!(
+                "tid {tid}: span {open:?} still open at end of trace"
+            ));
+        }
+    }
+    Ok(TraceStats {
+        events: events.len(),
+        spans,
+        threads: last_t.len(),
+        max_t,
+    })
+}

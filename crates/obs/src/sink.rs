@@ -1,0 +1,294 @@
+//! The process-global trace sink: serialises drained events as JSONL
+//! or Chrome `trace_event` JSON into a file (or an in-memory buffer
+//! for tests). Write errors are swallowed after downgrading the sink
+//! to discard — observability must never take the workload down.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::Mutex;
+
+use crate::span::Event;
+use crate::TraceMode;
+
+enum Target {
+    File(std::io::BufWriter<std::fs::File>),
+    Memory(Vec<u8>),
+    Discard,
+}
+
+struct Sink {
+    target: Target,
+    chrome: bool,
+    /// Chrome mode: has the opening `[` been written yet?
+    wrote_any: bool,
+}
+
+impl Sink {
+    fn write(&mut self, bytes: &[u8]) {
+        let failed = match &mut self.target {
+            Target::File(w) => w.write_all(bytes).is_err(),
+            Target::Memory(buf) => {
+                buf.extend_from_slice(bytes);
+                false
+            }
+            Target::Discard => false,
+        };
+        if failed {
+            self.target = Target::Discard;
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Target::File(w) = &mut self.target {
+            if w.flush().is_err() {
+                self.target = Target::Discard;
+            }
+        }
+    }
+}
+
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+fn open_default() -> Sink {
+    let chrome = crate::mode() == TraceMode::Chrome;
+    let path = std::env::var("VELA_TRACE_OUT").unwrap_or_else(|_| {
+        if chrome {
+            "vela-trace.json".to_string()
+        } else {
+            "vela-trace.jsonl".to_string()
+        }
+    });
+    let target = match std::fs::File::create(&path) {
+        Ok(f) => Target::File(std::io::BufWriter::new(f)),
+        Err(e) => {
+            crate::warn!("cannot open trace output {path}: {e}; trace events discarded");
+            Target::Discard
+        }
+    };
+    Sink {
+        target,
+        chrome,
+        wrote_any: false,
+    }
+}
+
+fn with_sink<R>(f: impl FnOnce(&mut Sink) -> R) -> R {
+    let mut guard = SINK.lock().unwrap();
+    let sink = guard.get_or_insert_with(open_default);
+    f(sink)
+}
+
+/// Redirect the sink to an in-memory buffer (tests). Replaces any
+/// already-open sink.
+pub fn set_memory_sink() {
+    *SINK.lock().unwrap() = Some(Sink {
+        target: Target::Memory(Vec::new()),
+        chrome: crate::mode() == TraceMode::Chrome,
+        wrote_any: false,
+    });
+}
+
+/// Take everything the in-memory sink captured so far. Empty when the
+/// sink is not a memory sink.
+pub fn take_memory() -> String {
+    let mut guard = SINK.lock().unwrap();
+    match guard.as_mut() {
+        Some(Sink {
+            target: Target::Memory(buf),
+            ..
+        }) => String::from_utf8(std::mem::take(buf)).unwrap_or_default(),
+        _ => String::new(),
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn fmt_rows(out: &mut String, rows: &[(u32, u64)]) {
+    out.push('[');
+    for (i, (e, r)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{e},{r}]");
+    }
+    out.push(']');
+}
+
+fn fmt_jsonl(out: &mut String, tid: u64, ev: &Event) {
+    match ev {
+        Event::Enter { name, t, step } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"b\",\"t\":{t},\"tid\":{tid},\"step\":{step},\"name\":\"{name}\"}}"
+            );
+        }
+        Event::Exit { name, t } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"e\",\"t\":{t},\"tid\":{tid},\"name\":\"{name}\"}}"
+            );
+        }
+        Event::ExpertRows {
+            pass,
+            src,
+            block,
+            t,
+            step,
+            rows,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"x\",\"t\":{t},\"tid\":{tid},\"step\":{step},\"name\":\"{pass}\",\"src\":\"{src}\",\"block\":{block},\"rows\":"
+            );
+            fmt_rows(out, rows);
+            out.push('}');
+        }
+    }
+    out.push('\n');
+}
+
+fn chrome_sep(out: &mut String, wrote_any: &mut bool) {
+    if *wrote_any {
+        out.push_str(",\n");
+    } else {
+        out.push_str("[\n");
+        *wrote_any = true;
+    }
+}
+
+fn fmt_chrome(out: &mut String, tid: u64, ev: &Event, wrote_any: &mut bool) {
+    chrome_sep(out, wrote_any);
+    match ev {
+        Event::Enter { name, t, step } => {
+            let _ = write!(
+                out,
+                "{{\"ph\":\"B\",\"ts\":{t},\"pid\":1,\"tid\":{tid},\"name\":\"{name}\",\"args\":{{\"step\":{step}}}}}"
+            );
+        }
+        Event::Exit { name, t } => {
+            let _ = write!(
+                out,
+                "{{\"ph\":\"E\",\"ts\":{t},\"pid\":1,\"tid\":{tid},\"name\":\"{name}\"}}"
+            );
+        }
+        Event::ExpertRows {
+            pass,
+            src,
+            block,
+            t,
+            step,
+            rows,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"ph\":\"i\",\"ts\":{t},\"pid\":1,\"tid\":{tid},\"name\":\"rows.{src}.{pass}.b{block}\",\"s\":\"t\",\"args\":{{\"step\":{step},\"rows\":\""
+            );
+            for (i, (e, r)) in rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{e}:{r}");
+            }
+            out.push_str("\"}}");
+        }
+    }
+}
+
+pub(crate) fn write_events(tid: u64, events: &[Event]) {
+    if events.is_empty() {
+        return;
+    }
+    with_sink(|s| {
+        let mut out = String::with_capacity(events.len() * 64);
+        for ev in events {
+            if s.chrome {
+                let mut wrote_any = s.wrote_any;
+                fmt_chrome(&mut out, tid, ev, &mut wrote_any);
+                s.wrote_any = wrote_any;
+            } else {
+                fmt_jsonl(&mut out, tid, ev);
+            }
+        }
+        s.write(out.as_bytes());
+    });
+}
+
+/// Append a cumulative counter + histogram snapshot (pseudo-thread 0).
+pub(crate) fn write_snapshots() {
+    let counters = crate::counters::counter_snapshot();
+    let hists = crate::counters::histogram_snapshot();
+    if counters.is_empty() && hists.is_empty() {
+        return;
+    }
+    let t = crate::now_us();
+    with_sink(|s| {
+        let mut out = String::new();
+        for (name, value) in &counters {
+            if s.chrome {
+                let mut wrote_any = s.wrote_any;
+                chrome_sep(&mut out, &mut wrote_any);
+                s.wrote_any = wrote_any;
+                out.push_str("{\"ph\":\"C\",\"ts\":");
+                let _ = write!(out, "{t},\"pid\":1,\"tid\":0,\"name\":\"");
+                escape_into(&mut out, name);
+                let _ = write!(out, "\",\"args\":{{\"value\":{value}}}}}");
+            } else {
+                out.push_str("{\"ev\":\"c\",\"t\":");
+                let _ = write!(out, "{t},\"tid\":0,\"name\":\"");
+                escape_into(&mut out, name);
+                let _ = write!(out, "\",\"value\":{value}}}");
+                out.push('\n');
+            }
+        }
+        for (name, buckets) in &hists {
+            if s.chrome {
+                let mut wrote_any = s.wrote_any;
+                chrome_sep(&mut out, &mut wrote_any);
+                s.wrote_any = wrote_any;
+                out.push_str("{\"ph\":\"i\",\"ts\":");
+                let _ = write!(out, "{t},\"pid\":1,\"tid\":0,\"name\":\"");
+                escape_into(&mut out, name);
+                out.push_str("\",\"s\":\"g\",\"args\":{\"buckets\":\"");
+                for (i, (lo, count)) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    let _ = write!(out, "{lo}:{count}");
+                }
+                out.push_str("\"}}");
+            } else {
+                out.push_str("{\"ev\":\"h\",\"t\":");
+                let _ = write!(out, "{t},\"tid\":0,\"name\":\"");
+                escape_into(&mut out, name);
+                out.push_str("\",\"buckets\":[");
+                for (i, (lo, count)) in buckets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "[{lo},{count}]");
+                }
+                out.push_str("]}");
+                out.push('\n');
+            }
+        }
+        s.write(out.as_bytes());
+    });
+}
+
+pub(crate) fn flush_writer() {
+    with_sink(|s| s.flush());
+}

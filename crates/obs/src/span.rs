@@ -1,0 +1,138 @@
+//! Span events, thread-local buffers and the cross-thread drain
+//! registry.
+//!
+//! Every recording thread owns an `Arc<Mutex<Vec<Event>>>` buffer that
+//! is also registered in a process-global list, so [`crate::flush`]
+//! can drain threads that never exit (the `vela-tensor` pool workers
+//! park forever — a TLS-destructor-only design would strand their
+//! events). The buffer mutex is uncontended in steady state: only the
+//! owning thread pushes, and drains swap the whole vector out.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// An in-memory trace event; serialisation happens at drain time.
+pub(crate) enum Event {
+    Enter {
+        name: &'static str,
+        t: u64,
+        step: u64,
+    },
+    Exit {
+        name: &'static str,
+        t: u64,
+    },
+    ExpertRows {
+        /// `"fwd"` or `"bwd"`.
+        pass: &'static str,
+        /// Which layer observed the rows: `"runtime"` or `"model"`.
+        src: &'static str,
+        block: u32,
+        t: u64,
+        step: u64,
+        /// `(expert id, rows routed to it)` pairs.
+        rows: Vec<(u32, u64)>,
+    },
+}
+
+/// Buffered events per thread before an automatic drain.
+const FLUSH_THRESHOLD: usize = 8192;
+
+type SharedBuf = Arc<Mutex<Vec<Event>>>;
+
+fn registry() -> &'static Mutex<Vec<(u64, SharedBuf)>> {
+    static R: OnceLock<Mutex<Vec<(u64, SharedBuf)>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+struct Local {
+    tid: u64,
+    buf: SharedBuf,
+}
+
+thread_local! {
+    static LOCAL: Local = {
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let buf: SharedBuf = Arc::new(Mutex::new(Vec::new()));
+        registry().lock().unwrap().push((tid, buf.clone()));
+        Local { tid, buf }
+    };
+}
+
+pub(crate) fn record(ev: Event) {
+    LOCAL.with(|l| {
+        let mut buf = l.buf.lock().unwrap();
+        buf.push(ev);
+        if buf.len() >= FLUSH_THRESHOLD {
+            let events = std::mem::take(&mut *buf);
+            drop(buf);
+            crate::sink::write_events(l.tid, &events);
+        }
+    });
+}
+
+/// Drain every registered thread buffer into the sink.
+pub(crate) fn drain_all() {
+    let bufs: Vec<(u64, SharedBuf)> = registry().lock().unwrap().clone();
+    for (tid, buf) in bufs {
+        let events = std::mem::take(&mut *buf.lock().unwrap());
+        if !events.is_empty() {
+            crate::sink::write_events(tid, &events);
+        }
+    }
+}
+
+/// RAII guard closing the span on drop. Inert (zero events) when the
+/// span was opened while tracing was disabled.
+pub struct SpanGuard {
+    name: &'static str,
+    active: bool,
+}
+
+/// Open a named span attributed to the current logical step. When
+/// tracing is off this is one relaxed load and returns an inert guard.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::tracing() {
+        return SpanGuard {
+            name,
+            active: false,
+        };
+    }
+    record(Event::Enter {
+        name,
+        t: crate::now_us(),
+        step: crate::current_step(),
+    });
+    SpanGuard { name, active: true }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            record(Event::Exit {
+                name: self.name,
+                t: crate::now_us(),
+            });
+        }
+    }
+}
+
+/// Record per-expert routed-row counts for one (step, block, pass)
+/// observation. `src` distinguishes the runtime's dispatch view from
+/// the model's routing view so readers never double-count.
+pub fn expert_rows(src: &'static str, pass: &'static str, block: usize, rows: &[(usize, usize)]) {
+    if !crate::tracing() || rows.is_empty() {
+        return;
+    }
+    record(Event::ExpertRows {
+        pass,
+        src,
+        block: block as u32,
+        t: crate::now_us(),
+        step: crate::current_step(),
+        rows: rows.iter().map(|&(e, r)| (e as u32, r as u64)).collect(),
+    });
+}

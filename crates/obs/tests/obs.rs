@@ -1,0 +1,224 @@
+//! End-to-end tests for vela-obs: mode gating, counters, histograms,
+//! span recording through the memory sink, the JSONL reader and the
+//! structural validator.
+//!
+//! The trace mode and sink are process-global, so every test that
+//! touches them serialises on one mutex and restores `Off` before
+//! releasing it.
+
+use std::sync::Mutex;
+
+use vela_obs::reader::{parse_json, parse_line, validate, Json};
+use vela_obs::{sink, TraceMode};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn disabled_mode_records_nothing() {
+    let _g = lock();
+    vela_obs::set_mode(TraceMode::Off);
+    assert!(!vela_obs::enabled());
+    assert!(!vela_obs::tracing());
+    let before = vela_obs::counter("test.disabled").get();
+    static C: vela_obs::LazyCounter = vela_obs::LazyCounter::new("test.disabled");
+    C.add(5);
+    {
+        let _s = vela_obs::span("test.disabled.span");
+    }
+    assert_eq!(vela_obs::counter("test.disabled").get(), before);
+}
+
+#[test]
+fn counters_and_histograms_accumulate() {
+    let _g = lock();
+    vela_obs::set_mode(TraceMode::Counters);
+    assert!(vela_obs::enabled());
+    assert!(!vela_obs::tracing());
+
+    let c = vela_obs::counter("test.counter");
+    let start = c.get();
+    static LC: vela_obs::LazyCounter = vela_obs::LazyCounter::new("test.counter");
+    LC.add(3);
+    LC.add(4);
+    assert_eq!(c.get(), start + 7);
+    let snap = vela_obs::counter_snapshot();
+    assert_eq!(
+        snap.iter().find(|(n, _)| n == "test.counter").map(|p| p.1),
+        Some(start + 7)
+    );
+
+    let h = vela_obs::histogram("test.hist");
+    h.record(0); // bucket lo 0
+    h.record(1); // bucket lo 1
+    h.record(5); // bucket lo 4
+    h.record(5);
+    let hsnap = vela_obs::histogram_snapshot();
+    let buckets = &hsnap.iter().find(|(n, _)| n == "test.hist").unwrap().1;
+    assert!(buckets.contains(&(0, 1)));
+    assert!(buckets.contains(&(1, 1)));
+    assert!(buckets.contains(&(4, 2)));
+
+    vela_obs::set_mode(TraceMode::Off);
+}
+
+#[test]
+fn spans_roundtrip_through_jsonl_and_validate() {
+    let _g = lock();
+    vela_obs::set_mode(TraceMode::Jsonl);
+    sink::set_memory_sink();
+
+    vela_obs::step_begin(7);
+    {
+        let _outer = vela_obs::span("test.outer");
+        {
+            let _inner = vela_obs::span("test.inner");
+        }
+        vela_obs::expert_rows("runtime", "fwd", 2, &[(0, 128), (3, 64)]);
+    }
+    static C: vela_obs::LazyCounter = vela_obs::LazyCounter::new("test.roundtrip");
+    C.add(11);
+    vela_obs::flush();
+    let text = sink::take_memory();
+    vela_obs::set_mode(TraceMode::Off);
+
+    let events: Vec<_> = text
+        .lines()
+        .map(|l| parse_line(l).expect("schema-valid line"))
+        .collect();
+    let stats = validate(&events).expect("structurally valid trace");
+    assert!(stats.spans >= 2);
+
+    let enter = events
+        .iter()
+        .find(|e| e.ev == "b" && e.name == "test.inner")
+        .expect("inner span enter");
+    assert_eq!(enter.step, Some(7));
+
+    let x = events.iter().find(|e| e.ev == "x").expect("expert rows");
+    assert_eq!(x.src.as_deref(), Some("runtime"));
+    assert_eq!(x.block, Some(2));
+    assert_eq!(x.rows, vec![(0, 128), (3, 64)]);
+
+    let c = events
+        .iter()
+        .find(|e| e.ev == "c" && e.name == "test.roundtrip")
+        .expect("counter snapshot event");
+    assert!(c.value.unwrap() >= 11);
+}
+
+#[test]
+fn spans_survive_worker_threads() {
+    let _g = lock();
+    vela_obs::set_mode(TraceMode::Jsonl);
+    sink::set_memory_sink();
+
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let _s = vela_obs::span("test.worker");
+                std::hint::black_box(i)
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    vela_obs::flush();
+    let text = sink::take_memory();
+    vela_obs::set_mode(TraceMode::Off);
+
+    let events: Vec<_> = text
+        .lines()
+        .map(|l| parse_line(l).expect("schema-valid line"))
+        .collect();
+    let stats = validate(&events).expect("valid trace");
+    let worker_spans = events
+        .iter()
+        .filter(|e| e.ev == "e" && e.name == "test.worker")
+        .count();
+    assert_eq!(worker_spans, 3);
+    assert!(stats.threads >= 3);
+}
+
+#[test]
+fn validator_rejects_malformed_traces() {
+    // Pure reader tests: no global state touched.
+    let ok = |l: &str| parse_line(l).unwrap();
+
+    // Backwards timestamp on one thread.
+    let events = vec![
+        ok(r#"{"ev":"b","t":10,"tid":1,"step":0,"name":"a"}"#),
+        ok(r#"{"ev":"e","t":5,"tid":1,"name":"a"}"#),
+    ];
+    assert!(validate(&events).unwrap_err().contains("backwards"));
+
+    // Exit without matching enter.
+    let events = vec![ok(r#"{"ev":"e","t":5,"tid":1,"name":"a"}"#)];
+    assert!(validate(&events).unwrap_err().contains("no open span"));
+
+    // Mismatched nesting.
+    let events = vec![
+        ok(r#"{"ev":"b","t":1,"tid":1,"step":0,"name":"a"}"#),
+        ok(r#"{"ev":"b","t":2,"tid":1,"step":0,"name":"b"}"#),
+        ok(r#"{"ev":"e","t":3,"tid":1,"name":"a"}"#),
+    ];
+    assert!(validate(&events).unwrap_err().contains("does not match"));
+
+    // Unclosed span at end of stream.
+    let events = vec![ok(r#"{"ev":"b","t":1,"tid":1,"step":0,"name":"a"}"#)];
+    assert!(validate(&events).unwrap_err().contains("still open"));
+
+    // Per-thread monotonicity: interleaved threads may disagree globally.
+    let events = vec![
+        ok(r#"{"ev":"b","t":100,"tid":1,"step":0,"name":"a"}"#),
+        ok(r#"{"ev":"b","t":1,"tid":2,"step":0,"name":"b"}"#),
+        ok(r#"{"ev":"e","t":2,"tid":2,"name":"b"}"#),
+        ok(r#"{"ev":"e","t":101,"tid":1,"name":"a"}"#),
+    ];
+    let stats = validate(&events).unwrap();
+    assert_eq!(stats.spans, 2);
+    assert_eq!(stats.threads, 2);
+
+    // Schema errors surface at parse time.
+    assert!(parse_line(r#"{"ev":"b","t":1,"tid":1,"name":"a"}"#).is_err()); // b without step
+    assert!(parse_line(r#"{"ev":"c","t":1,"tid":0,"name":"a"}"#).is_err()); // c without value
+    assert!(parse_line(r#"{"ev":"q","t":1,"tid":0,"name":"a"}"#).is_err()); // unknown kind
+    assert!(parse_line("not json").is_err());
+}
+
+#[test]
+fn json_parser_handles_nesting_and_escapes() {
+    let v = parse_json(r#"{"a":[1,2,{"b":"x\ny"}],"c":true,"d":null,"e":-1.5e2}"#).unwrap();
+    assert_eq!(
+        v.get("a").unwrap(),
+        &Json::Arr(vec![
+            Json::Num(1.0),
+            Json::Num(2.0),
+            Json::Obj(vec![("b".to_string(), Json::Str("x\ny".to_string()))]),
+        ])
+    );
+    assert_eq!(v.get("c"), Some(&Json::Bool(true)));
+    assert_eq!(v.get("d"), Some(&Json::Null));
+    assert_eq!(v.get("e"), Some(&Json::Num(-150.0)));
+    assert!(parse_json(r#"{"a":}"#).is_err());
+    assert!(parse_json(r#"[1,2"#).is_err());
+    assert!(parse_json(r#"{} extra"#).is_err());
+}
+
+#[test]
+fn logger_levels_gate_output() {
+    use vela_obs::logger::{log_enabled, set_log_level};
+    use vela_obs::Level;
+    let _g = lock();
+    set_log_level(Level::Warn);
+    assert!(log_enabled(Level::Error));
+    assert!(log_enabled(Level::Warn));
+    assert!(!log_enabled(Level::Info));
+    set_log_level(Level::Debug);
+    assert!(log_enabled(Level::Debug));
+    set_log_level(Level::Warn);
+}

@@ -11,11 +11,54 @@
 use std::collections::HashMap;
 
 use vela_model::provider::{ExpertBatch, ExpertProvider};
+use vela_obs::LazyCounter;
 use vela_placement::Placement;
 use vela_tensor::Tensor;
 
 use crate::message::{Message, Payload};
 use crate::transport::MasterHub;
+
+/// Aggregate dispatch/gather telemetry across all phases and engines.
+static PHASE_BYTES_OUT: LazyCounter = LazyCounter::new("runtime.phase.bytes_out");
+static PHASE_BYTES_BACK: LazyCounter = LazyCounter::new("runtime.phase.bytes_back");
+static PHASE_ROWS: LazyCounter = LazyCounter::new("runtime.phase.rows");
+
+/// Short span/event tag for a pass.
+pub(crate) fn pass_name(pass: Pass) -> &'static str {
+    match pass {
+        Pass::Forward => "fwd",
+        Pass::Backward => "bwd",
+    }
+}
+
+/// Mirrors one completed [`PhaseLog`] into `vela-obs`: aggregate and
+/// per-worker byte/row counters plus a per-expert rows event
+/// (`src: "runtime"` — the dispatch-level view of routing, which the
+/// trace summarizer prefers over the model-level view to avoid double
+/// counting).
+pub(crate) fn observe_phase(log: &PhaseLog, expert_rows: &[(usize, usize)]) {
+    if !vela_obs::enabled() {
+        return;
+    }
+    PHASE_BYTES_OUT.add(log.bytes_out.iter().sum());
+    PHASE_BYTES_BACK.add(log.bytes_back.iter().sum());
+    PHASE_ROWS.add(log.rows.iter().sum());
+    for (w, ((&out, &back), &rows)) in log
+        .bytes_out
+        .iter()
+        .zip(&log.bytes_back)
+        .zip(&log.rows)
+        .enumerate()
+    {
+        if out == 0 && back == 0 && rows == 0 {
+            continue;
+        }
+        vela_obs::counter(&format!("runtime.worker.{w}.bytes_out")).add(out);
+        vela_obs::counter(&format!("runtime.worker.{w}.bytes_back")).add(back);
+        vela_obs::counter(&format!("runtime.worker.{w}.rows")).add(rows);
+    }
+    vela_obs::expert_rows("runtime", pass_name(log.pass), log.block, expert_rows);
+}
 
 /// Which half of the step a phase belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +209,10 @@ impl BrokerClient {
         outbound: impl Fn(u32, u32, Payload) -> Message,
         extract: impl Fn(Message) -> (u32, u32, Payload),
     ) -> Vec<Tensor> {
+        let _span = vela_obs::span(match pass {
+            Pass::Forward => "runtime.broker.fwd",
+            Pass::Backward => "runtime.broker.bwd",
+        });
         let workers = self.hub.worker_count();
         let mut log = PhaseLog {
             block,
@@ -196,6 +243,11 @@ impl BrokerClient {
             let (rblock, rexpert, payload) = extract(msg);
             assert_eq!(rblock as usize, block, "reply for wrong block");
             by_expert.insert(rexpert as usize, payload.to_tensor());
+        }
+        if vela_obs::enabled() {
+            let rows: Vec<(usize, usize)> =
+                batches.iter().map(|b| (b.expert, b.xs.rows())).collect();
+            observe_phase(&log, &rows);
         }
         self.phase_logs.push(log);
 

@@ -13,7 +13,12 @@
 
 use vela_cluster::{CostModel, DeviceId, StepTraffic, TimeBreakdown, Topology, TrafficLedger};
 use vela_locality::LocalityProfile;
+use vela_obs::LazyCounter;
 use vela_tensor::rng::DetRng;
+
+/// Status-synchronization rounds paid by the EP baseline (two per block
+/// per step: one before each all-to-all pair).
+static EP_SYNC_ROUNDS: LazyCounter = LazyCounter::new("runtime.ep.sync_rounds");
 
 use crate::metrics::{backbone_flops_per_token, backbone_lora_grad_bytes, StepMetrics};
 use crate::routing::{sample_sharded_counts, shard_tokens};
@@ -80,6 +85,8 @@ impl EpEngine {
     /// Runs one EP fine-tuning step.
     pub fn step(&mut self) -> StepMetrics {
         self.step += 1;
+        vela_obs::step_begin(self.step as u64);
+        let _span = vela_obs::span("runtime.ep.step");
         self.ledger.take_step();
         let spec = self.scale.spec;
         let n = self.devices.len();
@@ -121,6 +128,22 @@ impl EpEngine {
             }
             // One status-sync round per all-to-all pair (forward, backward).
             time.sync_s += 2.0 * self.cost.all_to_all_sync_time(&self.devices);
+            EP_SYNC_ROUNDS.add(2);
+            if vela_obs::tracing() {
+                let mut per_expert = vec![0usize; spec.experts];
+                for per_shard in &counts {
+                    for (expert, &c) in per_shard.iter().enumerate() {
+                        per_expert[expert] += c;
+                    }
+                }
+                let rows: Vec<(usize, usize)> = per_expert
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(e, &c)| (e, c))
+                    .collect();
+                vela_obs::expert_rows("runtime", "fwd", block, &rows);
+            }
 
             // Expert compute: hosts process their tokens in parallel
             // (forward + double-cost backward).

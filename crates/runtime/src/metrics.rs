@@ -27,6 +27,12 @@ pub struct RunSummary {
     pub avg_step_time: f64,
     /// Standard deviation of the step time.
     pub std_step_time: f64,
+    /// Median step time, seconds (nearest-rank percentile).
+    pub p50_step_time: f64,
+    /// 95th-percentile step time, seconds (nearest-rank).
+    pub p95_step_time: f64,
+    /// 99th-percentile step time, seconds (nearest-rank).
+    pub p99_step_time: f64,
     /// Mean communication seconds per step.
     pub avg_comm_time: f64,
     /// Mean synchronization seconds per step.
@@ -57,15 +63,26 @@ impl RunSummary {
             .map(|t| (t - avg_step_time).powi(2))
             .sum::<f64>()
             / n;
+        let mut sorted = times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("step times are finite"));
         RunSummary {
             avg_external_per_node,
             avg_step_time,
             std_step_time: var.sqrt(),
+            p50_step_time: percentile(&sorted, 0.50),
+            p95_step_time: percentile(&sorted, 0.95),
+            p99_step_time: percentile(&sorted, 0.99),
             avg_comm_time: steps.iter().map(|s| s.time.comm_s).sum::<f64>() / n,
             avg_sync_time: steps.iter().map(|s| s.time.sync_s).sum::<f64>() / n,
             total_bytes: steps.iter().map(|s| s.traffic.total_bytes).sum(),
             steps: steps.len(),
         }
+    }
+
+    /// The step-time spread the percentiles describe, as a compact
+    /// `(p50, p95, p99)` tuple for table printing.
+    pub fn step_time_percentiles(&self) -> (f64, f64, f64) {
+        (self.p50_step_time, self.p95_step_time, self.p99_step_time)
     }
 
     /// Relative reduction of this run's metric vs a baseline value
@@ -77,6 +94,15 @@ impl RunSummary {
             (base - ours) / base
         }
     }
+}
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty sample:
+/// the smallest value such that at least `q·n` samples are `<=` it.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let n = sorted.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 /// Evaluates the master–worker time model over one step's phase logs.
@@ -185,6 +211,26 @@ mod tests {
         assert!((s.std_step_time - 1.0).abs() < 1e-9);
         assert_eq!(s.total_bytes, 900);
         assert_eq!(s.steps, 2);
+    }
+
+    #[test]
+    fn summary_percentiles_are_nearest_rank() {
+        // 1..=100 seconds: p50 = 50, p95 = 95, p99 = 99 by nearest rank.
+        let steps: Vec<StepMetrics> = (1..=100).map(|t| dummy_step(0, t as f64)).collect();
+        let s = RunSummary::from_steps(&steps);
+        assert_eq!(s.p50_step_time, 50.0);
+        assert_eq!(s.p95_step_time, 95.0);
+        assert_eq!(s.p99_step_time, 99.0);
+        assert_eq!(s.step_time_percentiles(), (50.0, 95.0, 99.0));
+        // A single step: every percentile is that step's time.
+        let one = RunSummary::from_steps(&[dummy_step(0, 2.5)]);
+        assert_eq!(one.p50_step_time, 2.5);
+        assert_eq!(one.p99_step_time, 2.5);
+        // Order independence: percentiles come from the sorted times.
+        let shuffled = vec![dummy_step(0, 3.0), dummy_step(0, 1.0), dummy_step(0, 2.0)];
+        let s = RunSummary::from_steps(&shuffled);
+        assert_eq!(s.p50_step_time, 2.0);
+        assert_eq!(s.p99_step_time, 3.0);
     }
 
     #[test]

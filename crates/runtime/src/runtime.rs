@@ -149,12 +149,17 @@ impl RealRuntime {
         seq: usize,
     ) -> StepMetrics {
         self.step += 1;
+        vela_obs::step_begin(self.step as u64);
+        let _span = vela_obs::span("runtime.step");
         self.ledger.take_step();
         self.broker.step_begin();
         let stats = self
             .model
             .train_step(inputs, targets, batch, seq, &mut self.broker);
-        self.opt_model.step(&mut self.model);
+        {
+            let _opt = vela_obs::span("runtime.optimizer");
+            self.opt_model.step(&mut self.model);
+        }
         self.broker.step_end_and_wait();
 
         let traffic = self.ledger.take_step();
@@ -205,6 +210,7 @@ impl RealRuntime {
                 }
             }
         }
+        vela_obs::flush();
         (self.model, merged)
     }
 }

@@ -190,6 +190,8 @@ impl VirtualEngine {
     /// the real message path, with routing sampled from the profile.
     pub fn step(&mut self) -> StepMetrics {
         self.step += 1;
+        vela_obs::step_begin(self.step as u64);
+        let _span = vela_obs::span("runtime.virtual.step");
         self.ledger.take_step();
         self.hub.broadcast(&Message::StepBegin {
             step: self.step as u64,
@@ -245,6 +247,7 @@ impl VirtualEngine {
         for m in self.managers {
             m.join();
         }
+        vela_obs::flush();
     }
 
     /// One dispatch + gather round for a block: virtual token (or
@@ -256,6 +259,10 @@ impl VirtualEngine {
         counts: &[usize],
         bytes_per_token: u32,
     ) -> PhaseLog {
+        let _span = vela_obs::span(match pass {
+            Pass::Forward => "runtime.virtual.fwd",
+            Pass::Backward => "runtime.virtual.bwd",
+        });
         let workers = self.hub.worker_count();
         let mut log = PhaseLog {
             block,
@@ -300,6 +307,15 @@ impl VirtualEngine {
                 (_, other) => panic!("unexpected reply {other:?}"),
             }
             outstanding -= 1;
+        }
+        if vela_obs::enabled() {
+            let rows: Vec<(usize, usize)> = counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(e, &c)| (e, c))
+                .collect();
+            crate::broker::observe_phase(&log, &rows);
         }
         log
     }

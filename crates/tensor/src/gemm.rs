@@ -27,7 +27,14 @@
 
 use std::ops::Range;
 
+use vela_obs::LazyCounter;
+
 use crate::{parallel, workspace};
+
+/// GEMM dispatches that stayed on the calling thread (below the
+/// parallel cutoff or single-lane pool) vs. went to the pool.
+static GEMM_SERIAL: LazyCounter = LazyCounter::new("tensor.gemm.serial");
+static GEMM_PARALLEL: LazyCounter = LazyCounter::new("tensor.gemm.parallel");
 
 /// Rows per microkernel tile (register-blocked output rows).
 pub const MR: usize = 8;
@@ -59,15 +66,23 @@ pub fn gemm(layout: Layout, a: &[f32], b: &[f32], r: usize, k: usize, c: usize, 
         return;
     }
 
+    let _g = vela_obs::span("tensor.gemm");
+
     // Pack B once; the packed panels are shared read-only across threads.
     let panels = c.div_ceil(NR);
     let mut bpack_buf = workspace::take_vec_uninit(panels * k * NR);
-    pack_b(layout, b, k, c, &mut bpack_buf);
+    {
+        let _p = vela_obs::span("tensor.gemm.pack");
+        pack_b(layout, b, k, c, &mut bpack_buf);
+    }
     let bpack = &bpack_buf[..];
 
-    par_rows(r, k * c, out, c, |rows, chunk| {
-        gemm_rows(layout, a, bpack, r, k, c, rows, chunk);
-    });
+    {
+        let _c = vela_obs::span("tensor.gemm.compute");
+        par_rows(r, k * c, out, c, |rows, chunk| {
+            gemm_rows(layout, a, bpack, r, k, c, rows, chunk);
+        });
+    }
 
     workspace::recycle_vec(bpack_buf);
 }
@@ -205,9 +220,11 @@ fn par_rows(
     kernel: impl Fn(Range<usize>, &mut [f32]) + Sync,
 ) {
     if rows * work_per_row.max(1) < parallel::par_cutoff() || parallel::current_threads() <= 1 {
+        GEMM_SERIAL.add(1);
         kernel(0..rows, out);
         return;
     }
+    GEMM_PARALLEL.add(1);
     let min_rows = (parallel::PAR_MIN_WORK / work_per_row.max(1)).max(1);
     let slots = parallel::DisjointSlots::new(out);
     parallel::par_ranges(rows, min_rows, |range| {

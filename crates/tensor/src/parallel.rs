@@ -39,6 +39,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
+use vela_obs::LazyCounter;
+
+/// Cutoff decisions taken by the hinted map helpers: sections that ran
+/// inline on the calling thread vs. sections handed to the pool.
+static PAR_INLINE: LazyCounter = LazyCounter::new("tensor.par.inline");
+static PAR_POOL: LazyCounter = LazyCounter::new("tensor.par.pool");
+
 thread_local! {
     /// True on pool workers and on any thread currently inside
     /// [`ThreadPool::run`]; nested sections run inline.
@@ -309,8 +316,10 @@ pub fn par_map_hinted<R: Send, F: Fn(usize) -> R + Sync>(
     f: F,
 ) -> Vec<R> {
     if n <= 1 || total_work < par_cutoff() || current_threads() <= 1 {
+        PAR_INLINE.add(1);
         return (0..n).map(f).collect();
     }
+    PAR_POOL.add(1);
     par_map(n, f)
 }
 
@@ -323,8 +332,10 @@ where
     F: Fn(usize, &mut T) -> R + Sync,
 {
     if items.len() <= 1 || total_work < par_cutoff() || current_threads() <= 1 {
+        PAR_INLINE.add(1);
         return items.iter_mut().enumerate().map(|(i, v)| f(i, v)).collect();
     }
+    PAR_POOL.add(1);
     par_map_mut(items, f)
 }
 

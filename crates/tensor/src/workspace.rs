@@ -24,7 +24,15 @@
 
 use std::cell::RefCell;
 
+use vela_obs::LazyCounter;
+
 use crate::{Shape, Tensor};
+
+/// Process-wide pool telemetry (sums over all thread-local pools; the
+/// per-thread split stays available via [`stats`]).
+static WS_HIT: LazyCounter = LazyCounter::new("tensor.workspace.hit");
+static WS_MISS: LazyCounter = LazyCounter::new("tensor.workspace.miss");
+static WS_RECYCLED: LazyCounter = LazyCounter::new("tensor.workspace.recycled");
 
 /// Maximum buffers held per thread-local pool.
 pub const MAX_POOLED_BUFFERS: usize = 64;
@@ -67,14 +75,17 @@ impl Pool {
             Some((i, cap)) => {
                 if cap >= n {
                     self.hits += 1;
+                    WS_HIT.add(1);
                 } else {
                     // The buffer is reused but must grow: counts as a miss.
                     self.misses += 1;
+                    WS_MISS.add(1);
                 }
                 self.bufs.swap_remove(i)
             }
             None => {
                 self.misses += 1;
+                WS_MISS.add(1);
                 Vec::with_capacity(n)
             }
         }
@@ -86,6 +97,7 @@ impl Pool {
         }
         if self.bufs.len() < MAX_POOLED_BUFFERS {
             self.recycled += 1;
+            WS_RECYCLED.add(1);
             self.bufs.push(buf);
         }
     }

@@ -53,5 +53,8 @@ fn main() {
     );
 
     session.shutdown();
+    // With VELA_TRACE set, make sure every buffered trace event reaches
+    // the sink before the process exits (idempotent when disabled).
+    vela::obs::flush();
     println!("\ndone — see the fig3/fig5/fig6/fig7 binaries in vela-bench for the full evaluation");
 }

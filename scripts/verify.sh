@@ -27,6 +27,13 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> trace smoke: quickstart under VELA_TRACE=jsonl + trace_summary --check"
+trace_out=target/quickstart-trace.jsonl
+rm -f "$trace_out"
+VELA_TRACE=jsonl VELA_TRACE_OUT="$trace_out" \
+    cargo run --release -p vela --example quickstart >/dev/null
+cargo run --release -p vela-bench --bin trace_summary -- --check "$trace_out"
+
 if [ "$run_bench" = 1 ]; then
     echo "==> bench smoke: serial regression gate vs committed BENCH_kernels.json"
     cargo run --release -p vela-bench --bin bench_kernels -- --quick --check BENCH_kernels.json
