@@ -6,7 +6,7 @@ use std::sync::Arc;
 use vela::cluster::TrafficLedger;
 use vela::prelude::*;
 use vela::runtime::message::{Message, Payload};
-use vela::runtime::transport::star;
+use vela::runtime::transport::{star, tcp_star, MasterHub, WorkerPort};
 use vela_bench::microbench::bench;
 
 fn bench_encode_decode() {
@@ -20,7 +20,9 @@ fn bench_encode_decode() {
     let bytes = msg.encode();
     println!("wire frame: {} bytes", bytes.len());
     bench("wire/encode_real_96x32", || msg.encode());
-    bench("wire/decode_real_96x32", || Message::decode(&bytes));
+    bench("wire/decode_real_96x32", || {
+        Message::decode(&bytes).unwrap()
+    });
     let virt = Message::TokenBatch {
         block: 5,
         expert: 3,
@@ -32,15 +34,13 @@ fn bench_encode_decode() {
     bench("wire/encode_virtual", || virt.encode());
 }
 
-fn bench_star_roundtrip() {
-    let ledger = Arc::new(TrafficLedger::new(Topology::paper_testbed()));
-    let (hub, mut ports) = star(ledger, DeviceId(0), &[DeviceId(2)]);
-    let port = ports.remove(0);
+fn bench_star_roundtrip(name: &str, mut hub: MasterHub, mut ports: Vec<WorkerPort>) {
+    let mut port = ports.remove(0);
     // Echo thread.
     let echo = std::thread::spawn(move || loop {
         match port.recv() {
-            Message::Shutdown => break,
-            msg => port.send(&msg),
+            Ok(Message::Shutdown) | Err(_) => break,
+            Ok(msg) => port.send(&msg).unwrap(),
         }
     });
     let mut rng = DetRng::new(2);
@@ -50,15 +50,20 @@ fn bench_star_roundtrip() {
         expert: 0,
         payload: Payload::from_tensor(&t),
     };
-    bench("star_roundtrip_96x32", || {
-        hub.send(0, &msg);
-        hub.recv()
+    bench(name, || {
+        hub.send(0, &msg).unwrap();
+        hub.recv().unwrap()
     });
-    hub.send(0, &Message::Shutdown);
+    hub.send(0, &Message::Shutdown).unwrap();
     echo.join().unwrap();
 }
 
 fn main() {
     bench_encode_decode();
-    bench_star_roundtrip();
+    let ledger = Arc::new(TrafficLedger::new(Topology::paper_testbed()));
+    let (hub, ports) = star(ledger, DeviceId(0), &[DeviceId(2)]);
+    bench_star_roundtrip("star_roundtrip_96x32/channel", hub, ports);
+    let ledger = Arc::new(TrafficLedger::new(Topology::paper_testbed()));
+    let (hub, ports) = tcp_star(ledger, DeviceId(0), &[DeviceId(2)]).unwrap();
+    bench_star_roundtrip("star_roundtrip_96x32/tcp", hub, ports);
 }

@@ -30,8 +30,9 @@ fn main() {
             let profile = measured_profile(&mut m, &mut e, dataset, &spec, model.seed());
             println!("\n-- {} with {} --", model.name(), dataset.name());
             println!(
-                "{:>10} | {:>9} | {:>8} | {:>8} | {:>8} | {:>8} | {:>9} | {:>9} | {:>8}",
+                "{:>10} | {:>11} | {:>9} | {:>8} | {:>8} | {:>8} | {:>8} | {:>9} | {:>9} | {:>8}",
                 "strategy",
+                "transport",
                 "step (s)",
                 "± std",
                 "p50",
@@ -44,7 +45,7 @@ fn main() {
             let mut ep_time = None;
             for strategy in eval_strategies() {
                 let metrics = vela_bench::run_strategy(strategy, &profile, &spec, &scale, steps);
-                let summary = RunSummary::from_steps(&metrics);
+                let summary = vela_bench::summarize_strategy(strategy, &metrics);
                 if strategy.label() == "EP" {
                     ep_time = Some(summary.avg_step_time);
                 }
@@ -53,8 +54,9 @@ fn main() {
                         * 100.0;
                 let (p50, p95, p99) = summary.step_time_percentiles();
                 println!(
-                    "{:>10} | {:>9.4} | {:>8.4} | {:>8.4} | {:>8.4} | {:>8.4} | {:>9.4} | {:>9.4} | {speedup:+7.1}%",
+                    "{:>10} | {:>11} | {:>9.4} | {:>8.4} | {:>8.4} | {:>8.4} | {:>8.4} | {:>9.4} | {:>9.4} | {speedup:+7.1}%",
                     strategy.label(),
+                    summary.transport,
                     summary.avg_step_time,
                     summary.std_step_time,
                     p50,

@@ -227,6 +227,17 @@ pub fn run_strategy(
     }
 }
 
+/// Summarizes a strategy's run with the transport label it actually used:
+/// EP simulates its all-to-all locally (no pluggable backend), everything
+/// else rode whatever `VELA_TRANSPORT` selected.
+pub fn summarize_strategy(strategy: Strategy, metrics: &[StepMetrics]) -> RunSummary {
+    let summary = RunSummary::from_steps(metrics);
+    match strategy {
+        Strategy::ExpertParallel => summary.with_transport("local"),
+        _ => summary,
+    }
+}
+
 /// Formats bytes as mebibytes with one decimal.
 pub fn mb(bytes: f64) -> String {
     format!("{:.1}", bytes / (1024.0 * 1024.0))

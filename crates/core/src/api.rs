@@ -8,7 +8,7 @@ use vela_model::pretrain::{pretrain, PretrainConfig};
 use vela_model::ModelConfig;
 use vela_nn::optim::AdamWConfig;
 use vela_placement::{Placement, PlacementProblem, Strategy};
-use vela_runtime::{RealRuntime, StepMetrics};
+use vela_runtime::{RealRuntime, StepMetrics, TransportConfig};
 use vela_tensor::rng::DetRng;
 
 use crate::measure::measure_locality;
@@ -25,6 +25,7 @@ pub struct VelaSessionBuilder {
     strategy: Strategy,
     lora: LoraConfig,
     optim: AdamWConfig,
+    transport: TransportConfig,
     seed: u64,
 }
 
@@ -42,6 +43,7 @@ impl VelaSessionBuilder {
             strategy: Strategy::Vela,
             lora: LoraConfig::default(),
             optim: AdamWConfig::default(),
+            transport: TransportConfig::from_env(),
             seed: 2025,
         }
     }
@@ -101,6 +103,14 @@ impl VelaSessionBuilder {
         self
     }
 
+    /// The transport carrying master↔worker traffic (defaults to the
+    /// `VELA_TRANSPORT` environment knob: in-process channels unless the
+    /// user asks for TCP loopback or real worker processes).
+    pub fn transport(&mut self, transport: TransportConfig) -> &mut Self {
+        self.transport = transport;
+        self
+    }
+
     /// Master seed.
     pub fn seed(&mut self, seed: u64) -> &mut Self {
         self.seed = seed;
@@ -154,7 +164,8 @@ impl VelaSessionBuilder {
         );
         let placement = self.strategy.place(&problem);
 
-        let runtime = RealRuntime::launch(
+        let runtime = RealRuntime::launch_with(
+            self.transport,
             model,
             experts,
             placement.clone(),
@@ -194,6 +205,11 @@ impl VelaSession {
     /// The placement the session runs with.
     pub fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    /// Label of the transport backend carrying the session's traffic.
+    pub fn transport(&self) -> &'static str {
+        self.runtime.transport_label()
     }
 
     /// Runs `steps` distributed fine-tuning steps.
@@ -240,6 +256,7 @@ mod tests {
     #[test]
     fn end_to_end_session_runs() {
         let mut session = quick_builder().build();
+        assert!(!session.transport().is_empty());
         let metrics = session.finetune(2);
         assert_eq!(metrics.len(), 2);
         assert!(metrics[0].loss.unwrap().is_finite());

@@ -1,0 +1,61 @@
+//! Standalone Expert Manager worker process.
+//!
+//! Spawned by the process-mode launcher (`VELA_TRANSPORT=tcp`): connects
+//! to the master's loopback listener, receives its
+//! [`WorkerBootstrap`](vela_runtime::worker::WorkerBootstrap) control
+//! frame, then serves the standard Expert Manager loop until `Shutdown`
+//! or master disconnect — either way exiting cleanly with flushed
+//! observability buffers.
+//!
+//! Reads `VELA_WORKER_CONNECT` (`host:port`), `VELA_WORKER_INDEX` and
+//! `VELA_WORKER_DEVICE` from the environment; the launcher sets all
+//! three.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use vela_cluster::DeviceId;
+use vela_runtime::launch::env_keys;
+use vela_runtime::transport::connect_worker;
+use vela_runtime::worker::{run_worker, WorkerBootstrap};
+
+fn required(key: &str) -> Result<String, String> {
+    std::env::var(key).map_err(|_| format!("{key} must be set (the launcher sets it)"))
+}
+
+fn run() -> Result<(), String> {
+    let addr: SocketAddr = required(env_keys::CONNECT)?
+        .parse()
+        .map_err(|e| format!("bad {}: {e}", env_keys::CONNECT))?;
+    let index: usize = required(env_keys::INDEX)?
+        .parse()
+        .map_err(|e| format!("bad {}: {e}", env_keys::INDEX))?;
+    let device: usize = required(env_keys::DEVICE)?
+        .parse()
+        .map_err(|e| format!("bad {}: {e}", env_keys::DEVICE))?;
+
+    let mut port = connect_worker(addr, index, DeviceId(device))
+        .map_err(|e| format!("connect to master at {addr} failed: {e}"))?;
+    let frame = port
+        .recv_control()
+        .map_err(|e| format!("waiting for bootstrap failed: {e}"))?;
+    let bootstrap =
+        WorkerBootstrap::decode(&frame).map_err(|e| format!("bad bootstrap frame: {e}"))?;
+    vela_obs::info!(
+        "vela_worker {index} (device {device}) serving {}x{} shard",
+        bootstrap.blocks,
+        bootstrap.experts
+    );
+    run_worker(port, &bootstrap);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("vela_worker: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

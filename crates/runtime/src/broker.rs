@@ -16,7 +16,7 @@ use vela_placement::Placement;
 use vela_tensor::Tensor;
 
 use crate::message::{Message, Payload};
-use crate::transport::MasterHub;
+use crate::transport::{MasterHub, TransportError};
 
 /// Aggregate dispatch/gather telemetry across all phases and engines.
 static PHASE_BYTES_OUT: LazyCounter = LazyCounter::new("runtime.phase.bytes_out");
@@ -119,27 +119,62 @@ impl BrokerClient {
         &self.placement
     }
 
+    /// Label of the transport backend in use.
+    pub fn transport(&self) -> &'static str {
+        self.hub.transport()
+    }
+
     /// Broadcasts `StepBegin`, starting a new step on every worker.
-    pub fn step_begin(&mut self) {
+    pub fn step_begin(&mut self) -> Result<(), TransportError> {
         self.step += 1;
-        self.hub.broadcast(&Message::StepBegin { step: self.step });
+        self.hub.broadcast(&Message::StepBegin { step: self.step })
     }
 
     /// Broadcasts `StepEnd` and waits for every worker's `StepDone`.
-    pub fn step_end_and_wait(&mut self) {
-        self.hub.broadcast(&Message::StepEnd);
+    pub fn step_end_and_wait(&mut self) -> Result<(), TransportError> {
+        self.hub.broadcast(&Message::StepEnd)?;
         let mut pending = self.hub.worker_count();
         while pending > 0 {
-            let (_, msg) = self.hub.recv();
+            let (_, msg) = self.hub.recv()?;
             assert_eq!(msg, Message::StepDone, "expected StepDone");
             pending -= 1;
         }
+        Ok(())
     }
 
-    /// Shuts down all workers; the caller joins their threads to collect
-    /// shards.
-    pub fn shutdown(&self) {
-        self.hub.broadcast(&Message::Shutdown);
+    /// Shuts down all workers and closes the links; the caller joins
+    /// their threads (or reaps their processes) to finish teardown.
+    pub fn shutdown(&mut self) -> Result<(), TransportError> {
+        let sent = self.hub.broadcast(&Message::Shutdown);
+        self.hub.shutdown();
+        sent
+    }
+
+    /// Fetches (and evicts) one expert's serialized parameters from the
+    /// worker currently hosting it, without reinstalling them anywhere.
+    /// Used by process-mode teardown to reassemble the expert population
+    /// on the master.
+    pub fn fetch_expert(&mut self, block: usize, expert: usize) -> Result<Vec<u8>, TransportError> {
+        let from = self.placement.worker_of(block, expert);
+        self.hub.send(
+            from,
+            &Message::FetchExpert {
+                block: block as u32,
+                expert: expert as u32,
+            },
+        )?;
+        let (src, msg) = self.hub.recv()?;
+        assert_eq!(src, from, "expert state from wrong worker");
+        let Message::ExpertState {
+            block: rb,
+            expert: re,
+            data,
+        } = msg
+        else {
+            panic!("expected ExpertState, got {msg:?}");
+        };
+        assert_eq!((rb as usize, re as usize), (block, expert));
+        Ok(data)
     }
 
     /// Migrates one expert to worker `to` (no-op if already there),
@@ -150,46 +185,34 @@ impl BrokerClient {
     ///
     /// # Panics
     /// Panics if indices are out of range or a worker misbehaves.
-    pub fn migrate_expert(&mut self, block: usize, expert: usize, to: usize) -> u64 {
+    pub fn migrate_expert(
+        &mut self,
+        block: usize,
+        expert: usize,
+        to: usize,
+    ) -> Result<u64, TransportError> {
         let from = self.placement.worker_of(block, expert);
         if from == to {
-            return 0;
+            return Ok(0);
         }
-        self.hub.send(
-            from,
-            &Message::FetchExpert {
-                block: block as u32,
-                expert: expert as u32,
-            },
-        );
-        let (src, msg) = self.hub.recv();
-        assert_eq!(src, from, "expert state from wrong worker");
-        let Message::ExpertState {
-            block: rb,
-            expert: re,
-            data,
-        } = msg
-        else {
-            panic!("expected ExpertState");
-        };
-        assert_eq!((rb as usize, re as usize), (block, expert));
+        let data = self.fetch_expert(block, expert)?;
         let bytes = data.len() as u64;
         self.hub.send(
             to,
             &Message::ExpertState {
-                block: rb,
-                expert: re,
+                block: block as u32,
+                expert: expert as u32,
                 data,
             },
-        );
-        let (dst, ack) = self.hub.recv();
+        )?;
+        let (dst, ack) = self.hub.recv()?;
         assert_eq!(dst, to, "install ack from wrong worker");
         assert!(
             matches!(ack, Message::InstallDone { .. }),
             "expected InstallDone, got {ack:?}"
         );
         self.placement.set_worker(block, expert, to);
-        bytes
+        Ok(bytes)
     }
 
     /// Drains the per-block communication logs accumulated since the last
@@ -208,7 +231,7 @@ impl BrokerClient {
         batches: &[ExpertBatch],
         outbound: impl Fn(u32, u32, Payload) -> Message,
         extract: impl Fn(Message) -> (u32, u32, Payload),
-    ) -> Vec<Tensor> {
+    ) -> Result<Vec<Tensor>, TransportError> {
         let _span = vela_obs::span(match pass {
             Pass::Forward => "runtime.broker.fwd",
             Pass::Backward => "runtime.broker.bwd",
@@ -232,13 +255,13 @@ impl BrokerClient {
             );
             log.bytes_out[w] += msg.accounted_bytes();
             log.rows[w] += batch.xs.rows() as u64;
-            self.hub.send(w, &msg);
+            self.hub.send(w, &msg)?;
         }
 
         // Receiver: collect one reply per batch, match by (block, expert).
         let mut by_expert: HashMap<usize, Tensor> = HashMap::with_capacity(batches.len());
         for _ in 0..batches.len() {
-            let (w, msg) = self.hub.recv();
+            let (w, msg) = self.hub.recv()?;
             log.bytes_back[w] += msg.accounted_bytes();
             let (rblock, rexpert, payload) = extract(msg);
             assert_eq!(rblock as usize, block, "reply for wrong block");
@@ -251,17 +274,23 @@ impl BrokerClient {
         }
         self.phase_logs.push(log);
 
-        batches
+        Ok(batches
             .iter()
             .map(|b| {
                 by_expert
                     .remove(&b.expert)
                     .expect("missing reply for expert")
             })
-            .collect()
+            .collect())
     }
 }
 
+// [`ExpertProvider`] is an infallible seam (the model crate knows nothing
+// about transports), so a transport failure mid-exchange surfaces as a
+// panic with the underlying error. Control-plane methods
+// (`step_begin`/`step_end_and_wait`/`shutdown`/`migrate_expert`) propagate
+// `TransportError` instead, which is where disconnects actually occur in
+// practice (between steps, or while waiting on acks).
 impl ExpertProvider for BrokerClient {
     fn forward_block(&mut self, block: usize, batches: &[ExpertBatch]) -> Vec<Tensor> {
         self.exchange(
@@ -282,6 +311,7 @@ impl ExpertProvider for BrokerClient {
                 other => panic!("expected ExpertResult, got {other:?}"),
             },
         )
+        .unwrap_or_else(|e| panic!("transport failed during forward exchange: {e}"))
     }
 
     fn backward_block(&mut self, block: usize, grads: &[ExpertBatch]) -> Vec<Tensor> {
@@ -303,6 +333,7 @@ impl ExpertProvider for BrokerClient {
                 other => panic!("expected GradResult, got {other:?}"),
             },
         )
+        .unwrap_or_else(|e| panic!("transport failed during backward exchange: {e}"))
     }
 }
 
@@ -357,8 +388,8 @@ mod tests {
         (BrokerClient::new(hub, placement), managers, reference, cfg)
     }
 
-    fn teardown(broker: &BrokerClient, managers: Vec<ExpertManager>) {
-        broker.shutdown();
+    fn teardown(broker: &mut BrokerClient, managers: Vec<ExpertManager>) {
+        broker.shutdown().unwrap();
         for m in managers {
             m.join();
         }
@@ -385,7 +416,7 @@ mod tests {
         let remote = broker.forward_block(0, &batches);
         let local = reference.forward_block(0, &batches);
         assert_eq!(remote, local, "broker must be computation-transparent");
-        teardown(&broker, managers);
+        teardown(&mut broker, managers);
     }
 
     #[test]
@@ -406,7 +437,7 @@ mod tests {
         let remote = broker.backward_block(1, &g);
         let local = reference.backward_block(1, &g);
         assert_eq!(remote, local);
-        teardown(&broker, managers);
+        teardown(&mut broker, managers);
     }
 
     #[test]
@@ -432,14 +463,26 @@ mod tests {
         assert!(log.bytes_out[1] > log.bytes_out[0], "5 rows > 3 rows");
         assert_eq!(log.bytes_out, log.bytes_back, "results mirror inputs");
         assert!(broker.take_phase_logs().is_empty(), "logs drained");
-        teardown(&broker, managers);
+        teardown(&mut broker, managers);
     }
 
     #[test]
     fn step_control_round_trips() {
         let (mut broker, managers, _, _) = setup();
-        broker.step_begin();
-        broker.step_end_and_wait(); // must not deadlock
-        teardown(&broker, managers);
+        broker.step_begin().unwrap();
+        broker.step_end_and_wait().unwrap(); // must not deadlock
+        teardown(&mut broker, managers);
+    }
+
+    #[test]
+    fn dead_workers_surface_as_errors_not_panics() {
+        let (mut broker, managers, _, _) = setup();
+        broker.shutdown().unwrap();
+        for m in managers {
+            m.join();
+        }
+        // Workers are gone and links closed: control-plane calls must
+        // report the disconnect instead of aborting.
+        assert!(broker.step_begin().is_err());
     }
 }

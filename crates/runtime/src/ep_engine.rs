@@ -82,6 +82,13 @@ impl EpEngine {
         &self.profile
     }
 
+    /// Label for the EP baseline's "transport": the engine simulates
+    /// all-to-all exchanges arithmetically, so no pluggable backend ever
+    /// carries its bytes.
+    pub fn transport_label(&self) -> &'static str {
+        "local"
+    }
+
     /// Runs one EP fine-tuning step.
     pub fn step(&mut self) -> StepMetrics {
         self.step += 1;

@@ -25,6 +25,7 @@
 
 pub mod broker;
 pub mod ep_engine;
+pub mod launch;
 pub mod message;
 pub mod metrics;
 pub mod routing;
@@ -39,4 +40,6 @@ pub use ep_engine::EpEngine;
 pub use message::{Message, Payload};
 pub use metrics::{RunSummary, StepMetrics};
 pub use runtime::RealRuntime;
+pub use transport::{TransportConfig, TransportError, TransportMode};
 pub use virtual_engine::{ScaleConfig, VirtualEngine};
+pub use wire::WireError;

@@ -13,7 +13,7 @@
 //!   computed at genuine Mixtral proportions without materializing 8 KiB
 //!   per token.
 
-use crate::wire::{ByteReader, ByteWriter};
+use crate::wire::{ByteReader, ByteWriter, WireError};
 use vela_tensor::Tensor;
 
 /// An activation/gradient payload.
@@ -233,20 +233,22 @@ impl Message {
 
     /// Deserializes a message produced by [`encode`](Self::encode).
     ///
-    /// # Panics
-    /// Panics on malformed input (the transport is in-process and
-    /// trusted; corruption indicates a bug, not an I/O condition).
-    pub fn decode(frame: &[u8]) -> Message {
+    /// Frames may arrive over a real socket, so truncated or corrupted
+    /// input returns a [`WireError`] rather than panicking. Declared
+    /// lengths are validated against the bytes actually present before any
+    /// allocation, so an adversarial header cannot trigger a huge
+    /// `Vec::with_capacity`.
+    pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
         let mut bytes = ByteReader::new(frame);
-        let tag = bytes.get_u8();
-        match tag {
+        let tag = bytes.get_u8()?;
+        let msg = match tag {
             TAG_STEP_BEGIN => Message::StepBegin {
-                step: bytes.get_u64(),
+                step: bytes.get_u64()?,
             },
             TAG_TOKEN_BATCH | TAG_EXPERT_RESULT | TAG_GRAD_BATCH | TAG_GRAD_RESULT => {
-                let block = bytes.get_u32();
-                let expert = bytes.get_u32();
-                let payload = decode_payload(&mut bytes);
+                let block = bytes.get_u32()?;
+                let expert = bytes.get_u32()?;
+                let payload = decode_payload(&mut bytes)?;
                 match tag {
                     TAG_TOKEN_BATCH => Message::TokenBatch {
                         block,
@@ -273,15 +275,22 @@ impl Message {
             TAG_STEP_END => Message::StepEnd,
             TAG_STEP_DONE => Message::StepDone,
             TAG_FETCH_EXPERT => Message::FetchExpert {
-                block: bytes.get_u32(),
-                expert: bytes.get_u32(),
+                block: bytes.get_u32()?,
+                expert: bytes.get_u32()?,
             },
             TAG_EXPERT_STATE => {
-                let block = bytes.get_u32();
-                let expert = bytes.get_u32();
-                let len = bytes.get_u64() as usize;
-                let mut data = vec![0u8; len];
-                bytes.copy_to_slice(&mut data);
+                let block = bytes.get_u32()?;
+                let expert = bytes.get_u32()?;
+                let len = bytes.get_u64()?;
+                if len > bytes.remaining() as u64 {
+                    return Err(WireError::BadLength {
+                        what: "expert state",
+                        declared: len,
+                        available: bytes.remaining(),
+                    });
+                }
+                let mut data = vec![0u8; len as usize];
+                bytes.copy_to_slice(&mut data)?;
                 Message::ExpertState {
                     block,
                     expert,
@@ -289,12 +298,19 @@ impl Message {
                 }
             }
             TAG_INSTALL_DONE => Message::InstallDone {
-                block: bytes.get_u32(),
-                expert: bytes.get_u32(),
+                block: bytes.get_u32()?,
+                expert: bytes.get_u32()?,
             },
             TAG_SHUTDOWN => Message::Shutdown,
-            other => panic!("unknown message tag {other}"),
-        }
+            other => {
+                return Err(WireError::BadTag {
+                    what: "message",
+                    tag: other,
+                })
+            }
+        };
+        bytes.finish()?;
+        Ok(msg)
     }
 
     /// The byte count the ledger should record for this message: payload
@@ -338,23 +354,35 @@ fn encode_payload_msg(buf: &mut ByteWriter, tag: u8, block: u32, expert: u32, pa
     }
 }
 
-fn decode_payload(bytes: &mut ByteReader<'_>) -> Payload {
-    match bytes.get_u8() {
+fn decode_payload(bytes: &mut ByteReader<'_>) -> Result<Payload, WireError> {
+    match bytes.get_u8()? {
         PAYLOAD_REAL => {
-            let rows = bytes.get_u32();
-            let cols = bytes.get_u32();
-            let n = (rows as usize) * (cols as usize);
-            let mut data = Vec::with_capacity(n);
-            for _ in 0..n {
-                data.push(bytes.get_f32());
+            let rows = bytes.get_u32()?;
+            let cols = bytes.get_u32()?;
+            let n = u64::from(rows) * u64::from(cols);
+            // checked: rows and cols near u32::MAX would overflow n * 4.
+            let declared = n.checked_mul(4).unwrap_or(u64::MAX);
+            if declared > bytes.remaining() as u64 {
+                return Err(WireError::BadLength {
+                    what: "real payload",
+                    declared,
+                    available: bytes.remaining(),
+                });
             }
-            Payload::Real { rows, cols, data }
+            let mut data = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                data.push(bytes.get_f32()?);
+            }
+            Ok(Payload::Real { rows, cols, data })
         }
-        PAYLOAD_VIRTUAL => Payload::Virtual {
-            rows: bytes.get_u32(),
-            bytes_per_token: bytes.get_u32(),
-        },
-        other => panic!("unknown payload kind {other}"),
+        PAYLOAD_VIRTUAL => Ok(Payload::Virtual {
+            rows: bytes.get_u32()?,
+            bytes_per_token: bytes.get_u32()?,
+        }),
+        other => Err(WireError::BadTag {
+            what: "payload",
+            tag: other,
+        }),
     }
 }
 
@@ -400,7 +428,7 @@ mod tests {
             Message::Shutdown,
         ];
         for msg in msgs {
-            assert_eq!(Message::decode(&msg.encode()), msg);
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
         }
     }
 
@@ -458,7 +486,7 @@ mod tests {
             },
         ];
         for msg in msgs {
-            assert_eq!(Message::decode(&msg.encode()), msg);
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
         }
     }
 
@@ -490,8 +518,67 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown message tag")]
-    fn garbage_decode_panics() {
-        Message::decode(&[99]);
+    fn garbage_decode_is_an_error() {
+        assert_eq!(
+            Message::decode(&[99]),
+            Err(WireError::BadTag {
+                what: "message",
+                tag: 99
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let frame = Message::StepBegin { step: 7 }.encode();
+        assert!(matches!(
+            Message::decode(&frame[..frame.len() - 1]),
+            Err(WireError::Underflow { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut frame = Message::StepDone.encode();
+        frame.push(0);
+        assert_eq!(
+            Message::decode(&frame),
+            Err(WireError::TrailingBytes { left: 1 })
+        );
+    }
+
+    #[test]
+    fn implausible_lengths_never_allocate() {
+        // Claims u32::MAX × u32::MAX f32 rows but carries no data: the
+        // decoder must reject the header instead of attempting a huge
+        // allocation.
+        let mut w = crate::wire::ByteWriter::with_capacity(16);
+        w.put_u8(2); // TokenBatch
+        w.put_u32(0);
+        w.put_u32(0);
+        w.put_u8(0); // Payload::Real
+        w.put_u32(u32::MAX);
+        w.put_u32(u32::MAX);
+        assert!(matches!(
+            Message::decode(&w.into_vec()),
+            Err(WireError::BadLength {
+                what: "real payload",
+                ..
+            })
+        ));
+
+        // Same for an expert-state blob claiming more bytes than present.
+        let mut w = crate::wire::ByteWriter::with_capacity(32);
+        w.put_u8(10); // ExpertState
+        w.put_u32(0);
+        w.put_u32(0);
+        w.put_u64(u64::MAX);
+        assert!(matches!(
+            Message::decode(&w.into_vec()),
+            Err(WireError::BadLength {
+                what: "expert state",
+                ..
+            })
+        ));
     }
 }

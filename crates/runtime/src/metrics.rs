@@ -41,6 +41,11 @@ pub struct RunSummary {
     pub total_bytes: u64,
     /// Number of steps.
     pub steps: usize,
+    /// Label of the transport that carried the run's traffic (`channel`,
+    /// `tcp-threads`, `tcp`, or `local` for the transport-free EP
+    /// baseline). Purely descriptive — the byte and time columns are
+    /// transport-independent.
+    pub transport: &'static str,
 }
 
 impl RunSummary {
@@ -76,7 +81,16 @@ impl RunSummary {
             avg_sync_time: steps.iter().map(|s| s.time.sync_s).sum::<f64>() / n,
             total_bytes: steps.iter().map(|s| s.traffic.total_bytes).sum(),
             steps: steps.len(),
+            transport: crate::transport::TransportConfig::from_env().label(),
         }
+    }
+
+    /// Replaces the transport label — for engines that know their backend
+    /// better than the `VELA_TRANSPORT` default (e.g. the EP baseline,
+    /// which moves no bytes through a transport at all).
+    pub fn with_transport(mut self, label: &'static str) -> Self {
+        self.transport = label;
+        self
     }
 
     /// The step-time spread the percentiles describe, as a compact

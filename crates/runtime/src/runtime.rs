@@ -2,52 +2,98 @@
 //! workers at micro scale.
 //!
 //! This is the paper's full system running end-to-end: the backbone trains
-//! on the master thread, experts live in worker threads per the placement,
-//! and every activation/gradient crosses the transport as serialized
-//! bytes. Because the broker is computation-transparent, a distributed run
-//! is bit-identical to a single-process run — the §V-A claim, verified in
-//! the `parity` integration test.
+//! on the master thread, experts live in workers per the placement, and
+//! every activation/gradient crosses the transport as serialized bytes.
+//! Because the broker is computation-transparent, a distributed run is
+//! bit-identical to a single-process run — the §V-A claim, verified in the
+//! `parity` integration test.
+//!
+//! The transport behind the broker is pluggable
+//! ([`TransportConfig`]): in-process channels (default), TCP loopback with
+//! worker threads, or TCP loopback with real `vela_worker` OS processes
+//! (`VELA_TRANSPORT=tcp`). In process mode the workers start empty;
+//! [`RealRuntime::launch_with`] seeds their shards over the wire via
+//! `ExpertState` frames and teardown fetches every expert back before
+//! `Shutdown`, so [`RealRuntime::shutdown`] reassembles the identical
+//! population regardless of backend.
 
 use std::sync::Arc;
 
 use vela_cluster::{CostModel, DeviceId, Topology, TrafficLedger};
-use vela_model::{LocalExpertStore, MoeModel, MoeSpec};
+use vela_model::{checkpoint, LocalExpertStore, MoeModel, MoeSpec};
 use vela_nn::loss::cross_entropy;
 use vela_nn::optim::{AdamW, AdamWConfig};
 
 use vela_placement::Placement;
 
 use crate::broker::BrokerClient;
+use crate::launch::{launch_process_star, WorkerHandle};
+use crate::message::Message;
 use crate::metrics::{backbone_flops_per_token, master_worker_time, StepMetrics};
-use crate::transport::star;
-use crate::worker::{ExpertManager, ExpertTemplate};
+use crate::transport::{build_star, MasterHub, TransportConfig};
+use crate::worker::{ExpertManager, ExpertTemplate, WorkerBootstrap};
 
 /// A live distributed fine-tuning session with real tensors.
 #[derive(Debug)]
 pub struct RealRuntime {
     model: MoeModel,
     broker: BrokerClient,
-    managers: Vec<ExpertManager>,
+    workers: Vec<WorkerHandle>,
+    template: ExpertTemplate,
     opt_model: AdamW,
     ledger: Arc<TrafficLedger>,
     cost: CostModel,
     master: DeviceId,
     worker_devices: Vec<DeviceId>,
     spec: MoeSpec,
+    process_mode: bool,
     step: usize,
 }
 
 impl RealRuntime {
     /// Distributes `experts` across workers per `placement` and launches
-    /// the worker threads.
+    /// them over the transport selected by `VELA_TRANSPORT` (in-process
+    /// channels by default). See [`launch_with`](Self::launch_with).
+    pub fn launch(
+        model: MoeModel,
+        experts: LocalExpertStore,
+        placement: Placement,
+        topology: Topology,
+        master: DeviceId,
+        worker_devices: Vec<DeviceId>,
+        optim: AdamWConfig,
+    ) -> Self {
+        Self::launch_with(
+            TransportConfig::from_env(),
+            model,
+            experts,
+            placement,
+            topology,
+            master,
+            worker_devices,
+            optim,
+        )
+    }
+
+    /// Distributes `experts` across workers per `placement` and launches
+    /// the workers over `transport`.
     ///
     /// `optim` is used by the master for the backbone *and* by each worker
     /// for its shard, matching the paper's per-device optimization.
     ///
+    /// Thread-backed transports hand each worker its shard by value;
+    /// process mode spawns `vela_worker` children and seeds each shard over
+    /// the wire (the seeding window is discarded from the ledger so
+    /// per-step traffic stays transport-independent).
+    ///
     /// # Panics
     /// Panics if the placement shape disagrees with the model or the
-    /// worker list, or if any expert is missing from `experts`.
-    pub fn launch(
+    /// worker list, if any expert is missing from `experts`, or if the
+    /// transport cannot be brought up (e.g. the `vela_worker` binary is
+    /// missing in process mode).
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_with(
+        transport: TransportConfig,
         model: MoeModel,
         mut experts: LocalExpertStore,
         placement: Placement,
@@ -70,38 +116,69 @@ impl RealRuntime {
         );
 
         let template = ExpertTemplate::from_expert(experts.expert_mut(0, 0));
-        // Shard the expert population.
-        let mut shards: Vec<LocalExpertStore> = (0..worker_devices.len())
-            .map(|_| LocalExpertStore::empty(cfg.blocks, cfg.experts))
-            .collect();
-        for l in 0..cfg.blocks {
-            for e in 0..cfg.experts {
-                let w = placement.worker_of(l, e);
-                shards[w].insert(l, e, experts.take(l, e));
-            }
-        }
-
         let ledger = Arc::new(TrafficLedger::new(topology.clone()));
         let cost = CostModel::new(topology);
-        let (hub, ports) = star(ledger.clone(), master, &worker_devices);
-        let managers: Vec<ExpertManager> = ports
-            .into_iter()
-            .zip(shards)
-            .map(|(port, shard)| {
-                ExpertManager::spawn_with_template(port, shard, optim, Some(template))
-            })
-            .collect();
+
+        let (hub, workers) = if transport.is_process_mode() {
+            let bootstrap = WorkerBootstrap {
+                blocks: cfg.blocks,
+                experts: cfg.experts,
+                optim,
+                template: Some(template),
+            };
+            let (mut hub, children) =
+                launch_process_star(ledger.clone(), master, &worker_devices, &bootstrap)
+                    .unwrap_or_else(|e| panic!("launching worker processes failed: {e}"));
+            seed_processes(&mut hub, &mut experts, &placement, &cfg);
+            // Seeding crossed real sockets; drop its ledger window so step
+            // traffic starts clean and matches the thread-backed transports.
+            ledger.take_step();
+            (
+                hub,
+                children.into_iter().map(WorkerHandle::Process).collect(),
+            )
+        } else {
+            // Shard the expert population and hand each worker its shard.
+            let mut shards: Vec<LocalExpertStore> = (0..worker_devices.len())
+                .map(|_| LocalExpertStore::empty(cfg.blocks, cfg.experts))
+                .collect();
+            for l in 0..cfg.blocks {
+                for e in 0..cfg.experts {
+                    let w = placement.worker_of(l, e);
+                    shards[w].insert(l, e, experts.take(l, e));
+                }
+            }
+            let (hub, ports) = build_star(transport, ledger.clone(), master, &worker_devices)
+                .unwrap_or_else(|e| {
+                    panic!("bringing up {} transport failed: {e}", transport.label())
+                });
+            let workers = ports
+                .into_iter()
+                .zip(shards)
+                .map(|(port, shard)| {
+                    WorkerHandle::Thread(ExpertManager::spawn_with_template(
+                        port,
+                        shard,
+                        optim,
+                        Some(template),
+                    ))
+                })
+                .collect();
+            (hub, workers)
+        };
 
         RealRuntime {
             spec: cfg.spec(),
             model,
             broker: BrokerClient::new(hub, placement),
-            managers,
+            workers,
+            template,
             opt_model: AdamW::new(optim),
             ledger,
             cost,
             master,
             worker_devices,
+            process_mode: transport.is_process_mode(),
             step: 0,
         }
     }
@@ -116,13 +193,19 @@ impl RealRuntime {
         self.broker.placement()
     }
 
+    /// Label of the transport backend carrying this session's traffic.
+    pub fn transport_label(&self) -> &'static str {
+        self.broker.transport()
+    }
+
     /// Live-migrates experts so the session matches `target`, between
     /// steps. Returns `(experts_moved, parameter_bytes_moved, traffic)`,
     /// where `traffic` is the byte-accurate ledger window of the migration
     /// itself (fetch requests, parameter transfers, install acks).
     ///
     /// # Panics
-    /// Panics if `target`'s shape disagrees with the session.
+    /// Panics if `target`'s shape disagrees with the session or the
+    /// transport fails mid-migration.
     pub fn apply_placement(
         &mut self,
         target: &Placement,
@@ -132,7 +215,10 @@ impl RealRuntime {
         let mut bytes = 0;
         let moved = plan.len();
         for (block, expert, _, to) in plan {
-            bytes += self.broker.migrate_expert(block, expert, to);
+            bytes += self
+                .broker
+                .migrate_expert(block, expert, to)
+                .unwrap_or_else(|e| panic!("transport failed migrating expert: {e}"));
         }
         (moved, bytes, self.ledger.take_step())
     }
@@ -140,7 +226,8 @@ impl RealRuntime {
     /// Runs one full distributed fine-tuning step and returns its metrics.
     ///
     /// # Panics
-    /// Panics if `inputs.len() != batch * seq` (propagated from the model).
+    /// Panics if `inputs.len() != batch * seq` (propagated from the model)
+    /// or the transport fails mid-step.
     pub fn train_step(
         &mut self,
         inputs: &[usize],
@@ -152,7 +239,9 @@ impl RealRuntime {
         vela_obs::step_begin(self.step as u64);
         let _span = vela_obs::span("runtime.step");
         self.ledger.take_step();
-        self.broker.step_begin();
+        self.broker
+            .step_begin()
+            .unwrap_or_else(|e| panic!("transport failed at step begin: {e}"));
         let stats = self
             .model
             .train_step(inputs, targets, batch, seq, &mut self.broker);
@@ -160,7 +249,9 @@ impl RealRuntime {
             let _opt = vela_obs::span("runtime.optimizer");
             self.opt_model.step(&mut self.model);
         }
-        self.broker.step_end_and_wait();
+        self.broker
+            .step_end_and_wait()
+            .unwrap_or_else(|e| panic!("transport failed at step end: {e}"));
 
         let traffic = self.ledger.take_step();
         let logs = self.broker.take_phase_logs();
@@ -196,22 +287,90 @@ impl RealRuntime {
     }
 
     /// Shuts the workers down and reassembles the expert population.
+    ///
+    /// Thread-backed workers hand their shards back on join; process-mode
+    /// workers have theirs fetched over the wire (`FetchExpert` /
+    /// `ExpertState`) before `Shutdown`, then the children are reaped.
+    /// Either way the returned store holds every expert.
     pub fn shutdown(self) -> (MoeModel, LocalExpertStore) {
-        self.broker.shutdown();
-        let cfg = self.model.config().clone();
+        let RealRuntime {
+            model,
+            mut broker,
+            workers,
+            template,
+            process_mode,
+            ..
+        } = self;
+        let cfg = model.config().clone();
         let mut merged = LocalExpertStore::empty(cfg.blocks, cfg.experts);
-        for manager in self.managers {
-            let mut shard = manager.join();
+        if process_mode {
             for l in 0..cfg.blocks {
                 for e in 0..cfg.experts {
-                    if shard.contains(l, e) {
-                        merged.insert(l, e, shard.take(l, e));
+                    let data = broker
+                        .fetch_expert(l, e)
+                        .unwrap_or_else(|err| panic!("fetching expert back failed: {err}"));
+                    let mut ffn = template.instantiate(l, e);
+                    checkpoint::load(&mut ffn, &mut data.as_slice())
+                        .expect("valid expert checkpoint");
+                    merged.insert(l, e, ffn);
+                }
+            }
+        }
+        if let Err(e) = broker.shutdown() {
+            vela_obs::warn!("shutdown broadcast failed (workers already gone?): {e}");
+        }
+        for worker in workers {
+            if let Some(mut shard) = worker.finish() {
+                for l in 0..cfg.blocks {
+                    for e in 0..cfg.experts {
+                        if shard.contains(l, e) {
+                            merged.insert(l, e, shard.take(l, e));
+                        }
                     }
                 }
             }
         }
         vela_obs::flush();
-        (self.model, merged)
+        (model, merged)
+    }
+}
+
+/// Ships every expert to its placed worker process as an accounted
+/// `ExpertState` frame and waits for all install acks.
+fn seed_processes(
+    hub: &mut MasterHub,
+    experts: &mut LocalExpertStore,
+    placement: &Placement,
+    cfg: &vela_model::ModelConfig,
+) {
+    let mut outstanding = 0usize;
+    for l in 0..cfg.blocks {
+        for e in 0..cfg.experts {
+            let mut ffn = experts.take(l, e);
+            let mut data = Vec::new();
+            checkpoint::save(&mut ffn, &mut data).expect("in-memory save");
+            let w = placement.worker_of(l, e);
+            hub.send(
+                w,
+                &Message::ExpertState {
+                    block: l as u32,
+                    expert: e as u32,
+                    data,
+                },
+            )
+            .unwrap_or_else(|err| panic!("seeding expert ({l},{e}) failed: {err}"));
+            outstanding += 1;
+        }
+    }
+    while outstanding > 0 {
+        let (_, ack) = hub
+            .recv()
+            .unwrap_or_else(|err| panic!("waiting for install acks failed: {err}"));
+        assert!(
+            matches!(ack, Message::InstallDone { .. }),
+            "expected InstallDone, got {ack:?}"
+        );
+        outstanding -= 1;
     }
 }
 
@@ -250,7 +409,8 @@ mod tests {
         let (model, experts, cfg) = build();
         let topology = Topology::paper_testbed();
         let workers: Vec<DeviceId> = (0..6).map(DeviceId).collect();
-        let mut rt = RealRuntime::launch(
+        let mut rt = RealRuntime::launch_with(
+            TransportConfig::channel(),
             model,
             experts,
             sequential_placement(&cfg, 6),
@@ -259,6 +419,7 @@ mod tests {
             workers,
             AdamWConfig::default(),
         );
+        assert_eq!(rt.transport_label(), "channel");
         let (inputs, targets) = toy_batch(&cfg, 2, 1);
         let m = rt.train_step(&inputs, &targets, 2, cfg.seq_len);
         assert_eq!(m.step, 1);
@@ -329,6 +490,44 @@ mod tests {
             m.traffic.total_bytes
         );
         rt.shutdown();
+    }
+
+    #[test]
+    fn tcp_threads_transport_is_a_drop_in_replacement() {
+        // Same model, same batch, same steps — once over channels, once
+        // over real loopback sockets. Losses must agree bit-for-bit and
+        // the reassembled population must be complete.
+        let run = |transport: TransportConfig| {
+            let (model, experts, cfg) = build();
+            let mut rt = RealRuntime::launch_with(
+                transport,
+                model,
+                experts,
+                sequential_placement(&cfg, 6),
+                Topology::paper_testbed(),
+                DeviceId(0),
+                (0..6).map(DeviceId).collect(),
+                AdamWConfig::default(),
+            );
+            let (inputs, targets) = toy_batch(&cfg, 2, 9);
+            let losses: Vec<f32> = (0..2)
+                .map(|_| {
+                    rt.train_step(&inputs, &targets, 2, cfg.seq_len)
+                        .loss
+                        .unwrap()
+                })
+                .collect();
+            let (_, merged) = rt.shutdown();
+            assert_eq!(merged.present_count(), cfg.blocks * cfg.experts);
+            losses
+        };
+        let over_channel = run(TransportConfig::channel());
+        let over_tcp = run(TransportConfig::tcp_threads());
+        assert_eq!(
+            over_channel.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            over_tcp.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            "transport must not change a single bit of the computation"
+        );
     }
 
     #[test]

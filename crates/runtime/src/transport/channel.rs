@@ -1,0 +1,123 @@
+//! The in-process `std::sync::mpsc` star — the original transport,
+//! re-expressed as a [`HubBackend`]/[`PortBackend`] pair.
+//!
+//! Frames never leave the process: the "wire" is a cloned `Vec<u8>` moved
+//! through a channel. Disconnection maps onto channel hang-up, so a dead
+//! worker thread surfaces as [`TransportError::Disconnected`] rather than
+//! a panic.
+
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use vela_cluster::{DeviceId, TrafficLedger};
+
+use super::{HubBackend, MasterHub, PortBackend, TransportError, WorkerPort};
+
+/// Master side: one sender per worker, one shared inbox.
+#[derive(Debug)]
+struct ChannelHub {
+    to_workers: Vec<Sender<Vec<u8>>>,
+    inbox: Receiver<(usize, Vec<u8>)>,
+}
+
+/// Worker side: a receiver for the downlink, the shared inbox sender for
+/// the uplink (tagged with this worker's index).
+#[derive(Debug)]
+struct ChannelPort {
+    rx: Receiver<Vec<u8>>,
+    up: Sender<(usize, Vec<u8>)>,
+    index: usize,
+}
+
+impl HubBackend for ChannelHub {
+    fn send(&mut self, index: usize, frame: &[u8]) -> Result<(), TransportError> {
+        self.to_workers[index]
+            .send(frame.to_vec())
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv(&mut self) -> Result<(usize, Vec<u8>), TransportError> {
+        self.inbox.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<(usize, Vec<u8>), TransportError> {
+        self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout,
+            RecvTimeoutError::Disconnected => TransportError::Disconnected,
+        })
+    }
+
+    fn shutdown(&mut self) {
+        // Channels close when their endpoints drop; nothing to do eagerly.
+    }
+}
+
+impl PortBackend for ChannelPort {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        self.up
+            .send((self.index, frame.to_vec()))
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        match self.rx.try_recv() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout,
+            RecvTimeoutError::Disconnected => TransportError::Disconnected,
+        })
+    }
+
+    fn shutdown(&mut self) {}
+}
+
+/// Builds the mpsc star between `master` and `workers`, accounting all
+/// traffic in `ledger`.
+///
+/// # Panics
+/// Panics if `workers` is empty.
+pub fn channel_star(
+    ledger: Arc<TrafficLedger>,
+    master: DeviceId,
+    workers: &[DeviceId],
+) -> (MasterHub, Vec<WorkerPort>) {
+    assert!(!workers.is_empty(), "star needs at least one worker");
+    let (up_tx, up_rx) = channel();
+    let mut to_workers = Vec::with_capacity(workers.len());
+    let mut ports = Vec::with_capacity(workers.len());
+    for (index, &dev) in workers.iter().enumerate() {
+        let (down_tx, down_rx) = channel();
+        to_workers.push(down_tx);
+        ports.push(WorkerPort::new(
+            Box::new(ChannelPort {
+                rx: down_rx,
+                up: up_tx.clone(),
+                index,
+            }),
+            index,
+            dev,
+        ));
+    }
+    let hub = MasterHub::new(
+        Box::new(ChannelHub {
+            to_workers,
+            inbox: up_rx,
+        }),
+        ledger,
+        master,
+        workers.to_vec(),
+        "channel",
+    );
+    (hub, ports)
+}

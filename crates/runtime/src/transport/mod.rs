@@ -1,0 +1,541 @@
+//! The pluggable transport seam between the master and its Expert Manager
+//! workers.
+//!
+//! The paper's master–worker star (§IV-A) is a *topology*, not an
+//! implementation: the broker only needs hub/port endpoints with send,
+//! recv, try-recv/timeout-recv and shutdown semantics. This module defines
+//! that seam ([`HubBackend`] / [`PortBackend`]) and two std-only
+//! implementations:
+//!
+//! * [`channel`] — the original in-process `std::sync::mpsc` star;
+//! * [`tcp`] — loopback `std::net` sockets with length-prefixed framing,
+//!   a connect handshake with bounded-backoff retry, read timeouts, and a
+//!   clean shutdown handshake. The same code path serves both the
+//!   hermetic "tcp-threads" mode (workers as threads, sockets in between)
+//!   and true multi-process runs via the `vela_worker` binary.
+//!
+//! **Traffic accounting is transport-independent by construction**: every
+//! accounted byte is recorded by the *master-side* [`MasterHub`] wrapper —
+//! downlink bytes when it sends, uplink bytes when it receives — so the
+//! [`TrafficLedger`] sees the identical byte stream whether the peer is a
+//! thread an mpsc hop away or a separate OS process across a socket.
+//! (Workers cannot share the master's ledger once they live in another
+//! process, which is why the accounting lives here and not in the ports.)
+//! Fig. 5/6 traffic numbers are therefore byte-exact across transports —
+//! pinned by `tests/transport_parity.rs`.
+
+pub mod channel;
+pub mod tcp;
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use vela_cluster::{DeviceId, TrafficLedger};
+
+use crate::message::Message;
+use crate::wire::WireError;
+
+pub use tcp::{connect_worker, tcp_star, TcpStarBuilder};
+
+/// A transport-layer failure. Unlike the original mpsc star, which
+/// panicked on any hiccup, every condition a real link can produce is an
+/// error value the broker and worker loops handle explicitly.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The peer hung up: channel closed, socket EOF, or connection reset.
+    Disconnected,
+    /// No frame arrived within the requested timeout.
+    Timeout,
+    /// A socket-level failure other than a clean close.
+    Io(std::io::Error),
+    /// A frame arrived but could not be decoded.
+    Wire(WireError),
+    /// The connect handshake failed (bad magic, duplicate worker index,
+    /// device mismatch, or the retry budget ran out).
+    Handshake(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "peer disconnected"),
+            TransportError::Timeout => write!(f, "timed out waiting for a frame"),
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+            TransportError::Wire(e) => write!(f, "malformed frame: {e}"),
+            TransportError::Handshake(why) => write!(f, "transport handshake failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io(e) => Some(e),
+            TransportError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::BrokenPipe
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::UnexpectedEof => TransportError::Disconnected,
+            _ => TransportError::Io(e),
+        }
+    }
+}
+
+/// How the star network is realized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// In-process `std::sync::mpsc` channels, workers as threads (the
+    /// default; fastest, and what every engine used before the seam).
+    Channel,
+    /// Loopback TCP sockets, workers still as threads in this process.
+    /// Exercises the full wire path hermetically — used by the parity
+    /// tests and available as `VELA_TRANSPORT=tcp-threads`.
+    TcpThreads,
+    /// Loopback TCP sockets, workers as separate OS processes running the
+    /// `vela_worker` binary (`VELA_TRANSPORT=tcp`).
+    TcpProcesses,
+}
+
+/// Chooses and labels a transport; read from `VELA_TRANSPORT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// The selected realization of the star.
+    pub mode: TransportMode,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            mode: TransportMode::Channel,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// The in-process mpsc star.
+    pub fn channel() -> Self {
+        TransportConfig {
+            mode: TransportMode::Channel,
+        }
+    }
+
+    /// TCP loopback with in-process worker threads.
+    pub fn tcp_threads() -> Self {
+        TransportConfig {
+            mode: TransportMode::TcpThreads,
+        }
+    }
+
+    /// TCP loopback with worker OS processes.
+    pub fn tcp_processes() -> Self {
+        TransportConfig {
+            mode: TransportMode::TcpProcesses,
+        }
+    }
+
+    /// Reads `VELA_TRANSPORT` (`channel` | `tcp` | `tcp-threads`,
+    /// default `channel`). Unknown values fall back to the default with a
+    /// warning rather than aborting a long run.
+    pub fn from_env() -> Self {
+        match std::env::var("VELA_TRANSPORT").as_deref() {
+            Ok("tcp") => Self::tcp_processes(),
+            Ok("tcp-threads") => Self::tcp_threads(),
+            Ok("channel") | Err(_) => Self::channel(),
+            Ok(other) => {
+                vela_obs::warn!("unknown VELA_TRANSPORT={other:?}, using channel");
+                Self::channel()
+            }
+        }
+    }
+
+    /// Stable label recorded in [`RunSummary`](crate::RunSummary) and the
+    /// fig6 output columns.
+    pub fn label(&self) -> &'static str {
+        match self.mode {
+            TransportMode::Channel => "channel",
+            TransportMode::TcpThreads => "tcp-threads",
+            TransportMode::TcpProcesses => "tcp",
+        }
+    }
+
+    /// Whether workers run as separate OS processes.
+    pub fn is_process_mode(&self) -> bool {
+        self.mode == TransportMode::TcpProcesses
+    }
+}
+
+/// Master-side raw frame mover. Implementations ship opaque frames; all
+/// message encoding and traffic accounting happens in [`MasterHub`].
+pub trait HubBackend: Send + fmt::Debug {
+    /// Ships a frame to worker `index`.
+    fn send(&mut self, index: usize, frame: &[u8]) -> Result<(), TransportError>;
+    /// Blocks for the next `(worker_index, frame)` pair.
+    fn recv(&mut self) -> Result<(usize, Vec<u8>), TransportError>;
+    /// Like [`recv`](Self::recv) with a deadline.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<(usize, Vec<u8>), TransportError>;
+    /// Closes all links (best effort; repeated calls are harmless).
+    fn shutdown(&mut self);
+}
+
+/// Worker-side raw frame mover.
+pub trait PortBackend: Send + fmt::Debug {
+    /// Ships a frame to the master.
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError>;
+    /// Blocks for the next frame from the master.
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError>;
+    /// Returns a frame if one is ready, `None` otherwise.
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError>;
+    /// Like [`recv`](Self::recv) with a deadline.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError>;
+    /// Closes the link to the master (best effort).
+    fn shutdown(&mut self);
+}
+
+/// Master-side endpoint of the star network.
+///
+/// Wraps any [`HubBackend`] and performs the *only* traffic accounting in
+/// the system: downlink bytes are recorded at send, uplink bytes at
+/// receive, always against the (source, destination) device pair, so
+/// ledger totals are identical across transports.
+#[derive(Debug)]
+pub struct MasterHub {
+    backend: Box<dyn HubBackend>,
+    ledger: Arc<TrafficLedger>,
+    device: DeviceId,
+    workers: Vec<DeviceId>,
+    transport: &'static str,
+}
+
+impl MasterHub {
+    /// Wraps `backend` as the hub of a star between `master` and
+    /// `workers`, accounting all traffic in `ledger`.
+    pub fn new(
+        backend: Box<dyn HubBackend>,
+        ledger: Arc<TrafficLedger>,
+        master: DeviceId,
+        workers: Vec<DeviceId>,
+        transport: &'static str,
+    ) -> Self {
+        MasterHub {
+            backend,
+            ledger,
+            device: master,
+            workers,
+            transport,
+        }
+    }
+
+    /// The master's device.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// Number of workers attached.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The device of worker `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn worker_device(&self, index: usize) -> DeviceId {
+        self.workers[index]
+    }
+
+    /// Label of the backend in use (`channel`, `tcp-threads`, `tcp`).
+    pub fn transport(&self) -> &'static str {
+        self.transport
+    }
+
+    /// Sends a message to worker `index`, recording its bytes.
+    pub fn send(&mut self, index: usize, msg: &Message) -> Result<(), TransportError> {
+        self.ledger
+            .record(self.device, self.workers[index], msg.accounted_bytes());
+        self.backend.send(index, &msg.encode())
+    }
+
+    /// Broadcasts a message to every worker.
+    pub fn broadcast(&mut self, msg: &Message) -> Result<(), TransportError> {
+        for index in 0..self.workers.len() {
+            self.send(index, msg)?;
+        }
+        Ok(())
+    }
+
+    /// Blocks for the next worker message, recording its bytes; returns
+    /// `(worker_index, message)`.
+    pub fn recv(&mut self) -> Result<(usize, Message), TransportError> {
+        let (index, frame) = self.backend.recv()?;
+        self.account_up(index, &frame)
+    }
+
+    /// Like [`recv`](Self::recv) with a deadline.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<(usize, Message), TransportError> {
+        let (index, frame) = self.backend.recv_timeout(timeout)?;
+        self.account_up(index, &frame)
+    }
+
+    /// Ships a raw control frame (e.g. the process-mode
+    /// [`WorkerBootstrap`](crate::worker::WorkerBootstrap)) outside the
+    /// [`Message`] protocol. Control frames are setup plumbing that does
+    /// not exist in thread mode, so they carry **no accounted bytes** —
+    /// accounting them would make ledger totals transport-dependent.
+    pub fn send_control(&mut self, index: usize, frame: &[u8]) -> Result<(), TransportError> {
+        self.backend.send(index, frame)
+    }
+
+    fn account_up(&self, index: usize, frame: &[u8]) -> Result<(usize, Message), TransportError> {
+        let msg = Message::decode(frame)?;
+        self.ledger
+            .record(self.workers[index], self.device, msg.accounted_bytes());
+        Ok((index, msg))
+    }
+
+    /// Closes all links (best effort).
+    pub fn shutdown(&mut self) {
+        self.backend.shutdown();
+    }
+}
+
+/// Worker-side endpoint.
+///
+/// Carries no ledger: traffic accounting is the master's job (see the
+/// module docs), which is what lets a port live in a different process.
+#[derive(Debug)]
+pub struct WorkerPort {
+    /// This worker's index in the master's worker list.
+    pub index: usize,
+    /// The device this worker runs on.
+    pub device: DeviceId,
+    backend: Box<dyn PortBackend>,
+}
+
+impl WorkerPort {
+    /// Wraps `backend` as the endpoint of worker `index` on `device`.
+    pub fn new(backend: Box<dyn PortBackend>, index: usize, device: DeviceId) -> Self {
+        WorkerPort {
+            index,
+            device,
+            backend,
+        }
+    }
+
+    /// Blocks for the next raw control frame (see
+    /// [`MasterHub::send_control`]).
+    pub fn recv_control(&mut self) -> Result<Vec<u8>, TransportError> {
+        self.backend.recv()
+    }
+
+    /// Blocks for the next message from the master.
+    pub fn recv(&mut self) -> Result<Message, TransportError> {
+        Ok(Message::decode(&self.backend.recv()?)?)
+    }
+
+    /// Returns a message if one is ready, `None` otherwise.
+    pub fn try_recv(&mut self) -> Result<Option<Message>, TransportError> {
+        match self.backend.try_recv()? {
+            Some(frame) => Ok(Some(Message::decode(&frame)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Like [`recv`](Self::recv) with a deadline.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Message, TransportError> {
+        Ok(Message::decode(&self.backend.recv_timeout(timeout)?)?)
+    }
+
+    /// Sends a message to the master.
+    pub fn send(&mut self, msg: &Message) -> Result<(), TransportError> {
+        self.backend.send(&msg.encode())
+    }
+
+    /// Closes the link to the master (best effort).
+    pub fn shutdown(&mut self) {
+        self.backend.shutdown();
+    }
+}
+
+/// Builds the in-process mpsc star between `master` and `workers`,
+/// accounting all traffic in `ledger` — the original transport, now one
+/// backend among several.
+///
+/// # Panics
+/// Panics if `workers` is empty.
+pub fn star(
+    ledger: Arc<TrafficLedger>,
+    master: DeviceId,
+    workers: &[DeviceId],
+) -> (MasterHub, Vec<WorkerPort>) {
+    channel::channel_star(ledger, master, workers)
+}
+
+/// Builds the star for an in-process `config` (`Channel` or
+/// `TcpThreads`). Process mode has an asymmetric construction (the hub
+/// accepts, each worker process connects) and goes through
+/// [`TcpStarBuilder`] / [`connect_worker`] instead.
+///
+/// # Panics
+/// Panics if `workers` is empty or `config` is process mode.
+pub fn build_star(
+    config: TransportConfig,
+    ledger: Arc<TrafficLedger>,
+    master: DeviceId,
+    workers: &[DeviceId],
+) -> Result<(MasterHub, Vec<WorkerPort>), TransportError> {
+    match config.mode {
+        TransportMode::Channel => Ok(star(ledger, master, workers)),
+        TransportMode::TcpThreads => tcp_star(ledger, master, workers),
+        TransportMode::TcpProcesses => {
+            panic!("process mode builds its star via TcpStarBuilder, not build_star")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Payload;
+    use vela_cluster::Topology;
+
+    fn setup() -> (Arc<TrafficLedger>, MasterHub, Vec<WorkerPort>) {
+        let ledger = Arc::new(TrafficLedger::new(Topology::paper_testbed()));
+        let workers: Vec<DeviceId> = (0..6).map(DeviceId).collect();
+        let (hub, ports) = star(ledger.clone(), DeviceId(0), &workers);
+        (ledger, hub, ports)
+    }
+
+    #[test]
+    fn messages_flow_both_ways() {
+        let (_, mut hub, mut ports) = setup();
+        hub.send(2, &Message::StepBegin { step: 1 }).unwrap();
+        assert_eq!(ports[2].recv().unwrap(), Message::StepBegin { step: 1 });
+        ports[4].send(&Message::StepDone).unwrap();
+        let (idx, msg) = hub.recv().unwrap();
+        assert_eq!(idx, 4);
+        assert_eq!(msg, Message::StepDone);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let (_, mut hub, mut ports) = setup();
+        hub.broadcast(&Message::StepEnd).unwrap();
+        for port in &mut ports {
+            assert_eq!(port.recv().unwrap(), Message::StepEnd);
+        }
+    }
+
+    #[test]
+    fn traffic_is_recorded_per_link() {
+        let (ledger, mut hub, mut ports) = setup();
+        let msg = Message::TokenBatch {
+            block: 0,
+            expert: 0,
+            payload: Payload::Virtual {
+                rows: 10,
+                bytes_per_token: 100,
+            },
+        };
+        hub.send(0, &msg).unwrap(); // master → worker on the same device: free
+        hub.send(1, &msg).unwrap(); // same node: internal
+        hub.send(2, &msg).unwrap(); // cross-node: external
+        ports[2].send(&msg).unwrap(); // reply crosses back...
+        hub.recv().unwrap(); // ...accounted when the master receives it
+        let t = ledger.peek();
+        assert_eq!(t.internal_bytes, msg.accounted_bytes());
+        assert_eq!(t.external_total(), 2 * msg.accounted_bytes());
+    }
+
+    #[test]
+    fn uplink_bytes_are_accounted_at_master_recv() {
+        // The worker side carries no ledger (it may live in another
+        // process); nothing is recorded until the master drains the
+        // message.
+        let (ledger, mut hub, mut ports) = setup();
+        ports[2].send(&Message::StepDone).unwrap();
+        assert_eq!(ledger.peek().external_total(), 0);
+        hub.recv().unwrap();
+        assert_eq!(
+            ledger.peek().external_total(),
+            Message::StepDone.accounted_bytes()
+        );
+    }
+
+    #[test]
+    fn worker_metadata() {
+        let (_, hub, ports) = setup();
+        assert_eq!(hub.worker_count(), 6);
+        assert_eq!(hub.device(), DeviceId(0));
+        assert_eq!(hub.worker_device(3), DeviceId(3));
+        assert_eq!(hub.transport(), "channel");
+        assert_eq!(ports[5].index, 5);
+        assert_eq!(ports[5].device, DeviceId(5));
+    }
+
+    #[test]
+    fn cross_thread_usage() {
+        let (_, mut hub, mut ports) = setup();
+        let mut port = ports.remove(0);
+        let handle = std::thread::spawn(move || {
+            let msg = port.recv().unwrap();
+            port.send(&Message::StepDone).unwrap();
+            msg
+        });
+        hub.send(0, &Message::StepBegin { step: 9 }).unwrap();
+        let (idx, reply) = hub.recv().unwrap();
+        assert_eq!((idx, reply), (0, Message::StepDone));
+        assert_eq!(handle.join().unwrap(), Message::StepBegin { step: 9 });
+    }
+
+    #[test]
+    fn disconnect_is_an_error_not_a_panic() {
+        let (_, mut hub, ports) = setup();
+        drop(ports);
+        assert!(matches!(hub.recv(), Err(TransportError::Disconnected)));
+        assert!(matches!(
+            hub.send(0, &Message::StepEnd),
+            Err(TransportError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn recv_timeout_expires_cleanly() {
+        let (_, mut hub, mut ports) = setup();
+        assert!(matches!(
+            hub.recv_timeout(Duration::from_millis(10)),
+            Err(TransportError::Timeout)
+        ));
+        assert!(matches!(
+            ports[0].recv_timeout(Duration::from_millis(10)),
+            Err(TransportError::Timeout)
+        ));
+        assert!(ports[0].try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn env_knob_selects_transport() {
+        // Pure constructors only — env vars are process-global, so the
+        // parse itself is tested through explicit configs.
+        assert_eq!(TransportConfig::default().label(), "channel");
+        assert_eq!(TransportConfig::tcp_threads().label(), "tcp-threads");
+        assert_eq!(TransportConfig::tcp_processes().label(), "tcp");
+        assert!(TransportConfig::tcp_processes().is_process_mode());
+        assert!(!TransportConfig::channel().is_process_mode());
+    }
+}

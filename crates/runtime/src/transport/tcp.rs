@@ -1,0 +1,694 @@
+//! Loopback TCP transport over `std::net`.
+//!
+//! ## Frame format
+//!
+//! Every [`Message`](crate::Message) frame is shipped as
+//!
+//! ```text
+//! +----------------+----------------------+
+//! | u32 BE length  |  length bytes        |
+//! +----------------+----------------------+
+//! ```
+//!
+//! i.e. the encoded message preceded by its byte count in network order.
+//! Lengths above [`MAX_FRAME`] are rejected before any allocation.
+//!
+//! ## Connect handshake
+//!
+//! The master binds first ([`TcpStarBuilder::bind`]) and accepts; each
+//! worker dials in ([`connect_worker`]) with bounded-backoff retry and
+//! introduces itself with a 16-byte hello (`"VELW"` + `u32` worker index +
+//! `u64` device id). The master validates index and device against its
+//! expected roster and acknowledges with `"VELM"`; anything else (bad
+//! magic, duplicate index, a stray or self-connected socket) is dropped
+//! and the worker retries. Only an acknowledged connection becomes a link.
+//!
+//! ## Shutdown
+//!
+//! Closing is a socket-level FIN in both directions
+//! (`TcpStream::shutdown(Both)`): the peer's next read observes EOF and
+//! surfaces [`TransportError::Disconnected`]. The hub joins its reader
+//! threads so no thread outlives an explicit shutdown.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use vela_cluster::{DeviceId, TrafficLedger};
+
+use super::{HubBackend, MasterHub, PortBackend, TransportError, WorkerPort};
+use crate::wire::{ByteReader, ByteWriter, WireError};
+
+/// Upper bound on a single frame; a length above this is treated as
+/// corruption, not an allocation request.
+pub const MAX_FRAME: usize = 1 << 30;
+
+const HELLO_MAGIC: &[u8; 4] = b"VELW";
+const ACK_MAGIC: &[u8; 4] = b"VELM";
+const HELLO_LEN: usize = 16;
+
+/// Default budget for a worker to reach the master.
+pub const CONNECT_DEADLINE: Duration = Duration::from_secs(10);
+/// Default budget for the master to collect all workers.
+pub const ACCEPT_DEADLINE: Duration = Duration::from_secs(10);
+
+fn frame_too_big(len: u64) -> TransportError {
+    TransportError::Wire(WireError::BadLength {
+        what: "tcp frame",
+        declared: len,
+        available: MAX_FRAME,
+    })
+}
+
+fn write_frame(sock: &mut TcpStream, frame: &[u8]) -> Result<(), TransportError> {
+    sock.write_all(&(frame.len() as u32).to_be_bytes())?;
+    sock.write_all(frame)?;
+    Ok(())
+}
+
+/// Accumulates raw socket bytes and extracts complete frames. Keeping the
+/// partial bytes here (not in the socket) is what makes timeouts safe: a
+/// read that deadlines mid-frame leaves the prefix buffered, and the next
+/// call resumes exactly where the stream stopped.
+#[derive(Debug, Default)]
+struct FrameBuf {
+    pending: Vec<u8>,
+}
+
+impl FrameBuf {
+    /// Pops one complete frame if the buffer holds one.
+    fn extract(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        if self.pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(self.pending[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(frame_too_big(len as u64));
+        }
+        if self.pending.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.pending[4..4 + len].to_vec();
+        self.pending.drain(..4 + len);
+        Ok(Some(frame))
+    }
+}
+
+fn is_wait(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Worker-side endpoint: one socket plus a reassembly buffer.
+#[derive(Debug)]
+struct TcpPort {
+    sock: TcpStream,
+    buf: FrameBuf,
+}
+
+impl TcpPort {
+    /// Reads some bytes into the buffer; `Ok(())` means progress was made.
+    fn fill(&mut self) -> Result<(), std::io::Error> {
+        let mut tmp = [0u8; 64 * 1024];
+        let n = self.sock.read(&mut tmp)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        self.buf.pending.extend_from_slice(&tmp[..n]);
+        Ok(())
+    }
+}
+
+impl PortBackend for TcpPort {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        write_frame(&mut self.sock, frame)
+    }
+
+    fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
+        self.sock.set_read_timeout(None)?;
+        loop {
+            if let Some(frame) = self.buf.extract()? {
+                return Ok(frame);
+            }
+            self.fill()?;
+        }
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        if let Some(frame) = self.buf.extract()? {
+            return Ok(Some(frame));
+        }
+        self.sock.set_nonblocking(true)?;
+        let outcome = loop {
+            match self.fill() {
+                Ok(()) => match self.buf.extract() {
+                    Ok(Some(frame)) => break Ok(Some(frame)),
+                    Ok(None) => continue,
+                    Err(e) => break Err(e),
+                },
+                Err(e) if is_wait(&e) => break Ok(None),
+                Err(e) => break Err(e.into()),
+            }
+        };
+        self.sock.set_nonblocking(false)?;
+        outcome
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(frame) = self.buf.extract()? {
+                self.sock.set_read_timeout(None)?;
+                return Ok(frame);
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                self.sock.set_read_timeout(None)?;
+                return Err(TransportError::Timeout);
+            }
+            self.sock.set_read_timeout(Some(left))?;
+            match self.fill() {
+                Ok(()) => {}
+                Err(e) if is_wait(&e) => {
+                    self.sock.set_read_timeout(None)?;
+                    return Err(TransportError::Timeout);
+                }
+                Err(e) => {
+                    let _ = self.sock.set_read_timeout(None);
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+
+    fn shutdown(&mut self) {
+        let _ = self.sock.shutdown(Shutdown::Both);
+    }
+}
+
+/// Master-side endpoint: a writer socket per worker plus one inbox fed by
+/// per-socket reader threads, mirroring the mpsc hub's shared-receiver
+/// shape so `recv` stays a single blocking pop regardless of fan-in.
+#[derive(Debug)]
+struct TcpHub {
+    writers: Vec<TcpStream>,
+    inbox: Receiver<(usize, Result<Vec<u8>, TransportError>)>,
+    readers: Vec<JoinHandle<()>>,
+}
+
+fn reader_loop(
+    index: usize,
+    mut sock: TcpStream,
+    tx: Sender<(usize, Result<Vec<u8>, TransportError>)>,
+) {
+    loop {
+        let mut len_buf = [0u8; 4];
+        if let Err(e) = sock.read_exact(&mut len_buf) {
+            let _ = tx.send((index, Err(e.into())));
+            return;
+        }
+        let len = u32::from_be_bytes(len_buf) as usize;
+        if len > MAX_FRAME {
+            let _ = tx.send((index, Err(frame_too_big(len as u64))));
+            return;
+        }
+        let mut frame = vec![0u8; len];
+        if let Err(e) = sock.read_exact(&mut frame) {
+            let _ = tx.send((index, Err(e.into())));
+            return;
+        }
+        if tx.send((index, Ok(frame))).is_err() {
+            return; // hub dropped
+        }
+    }
+}
+
+impl TcpHub {
+    fn close_sockets(&mut self) {
+        for sock in &self.writers {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl HubBackend for TcpHub {
+    fn send(&mut self, index: usize, frame: &[u8]) -> Result<(), TransportError> {
+        write_frame(&mut self.writers[index], frame)
+    }
+
+    fn recv(&mut self) -> Result<(usize, Vec<u8>), TransportError> {
+        let (index, frame) = self
+            .inbox
+            .recv()
+            .map_err(|_| TransportError::Disconnected)?;
+        Ok((index, frame?))
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<(usize, Vec<u8>), TransportError> {
+        let (index, frame) = self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout,
+            RecvTimeoutError::Disconnected => TransportError::Disconnected,
+        })?;
+        Ok((index, frame?))
+    }
+
+    fn shutdown(&mut self) {
+        self.close_sockets();
+        for handle in self.readers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpHub {
+    fn drop(&mut self) {
+        // Unblock any reader still parked in read(); they exit on EOF.
+        self.close_sockets();
+    }
+}
+
+/// Bound-but-not-yet-connected master side of a TCP star. Binding before
+/// any worker is spawned guarantees the advertised address is listening,
+/// so worker connect retries are a resilience measure, not a required
+/// startup dance.
+#[derive(Debug)]
+pub struct TcpStarBuilder {
+    listener: TcpListener,
+    addr: SocketAddr,
+    ledger: Arc<TrafficLedger>,
+    master: DeviceId,
+    workers: Vec<DeviceId>,
+}
+
+impl TcpStarBuilder {
+    /// Binds a loopback listener for a star between `master` and
+    /// `workers`.
+    ///
+    /// # Panics
+    /// Panics if `workers` is empty.
+    pub fn bind(
+        ledger: Arc<TrafficLedger>,
+        master: DeviceId,
+        workers: &[DeviceId],
+    ) -> Result<Self, TransportError> {
+        assert!(!workers.is_empty(), "star needs at least one worker");
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        Ok(TcpStarBuilder {
+            listener,
+            addr,
+            ledger,
+            master,
+            workers: workers.to_vec(),
+        })
+    }
+
+    /// The address workers must dial (pass to [`connect_worker`] or the
+    /// `vela_worker` binary via `VELA_WORKER_CONNECT`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accepts and validates one connection per worker (in any order),
+    /// then assembles the hub. Sockets that fail the hello handshake are
+    /// dropped and accepting continues until `deadline` elapses.
+    pub fn accept_workers(self, deadline: Duration) -> Result<MasterHub, TransportError> {
+        let until = Instant::now() + deadline;
+        let n = self.workers.len();
+        let mut slots: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+        let mut connected = 0usize;
+        self.listener.set_nonblocking(true)?;
+        while connected < n {
+            match self.listener.accept() {
+                Ok((sock, _)) => match self.admit(sock) {
+                    Ok((index, sock)) => {
+                        if slots[index].is_some() {
+                            vela_obs::warn!("duplicate connection for worker {index}, dropping");
+                            continue;
+                        }
+                        slots[index] = Some(sock);
+                        connected += 1;
+                    }
+                    Err(why) => {
+                        vela_obs::warn!("rejected connection: {why}");
+                    }
+                },
+                Err(e) if is_wait(&e) => {
+                    if Instant::now() >= until {
+                        return Err(TransportError::Handshake(format!(
+                            "only {connected}/{n} workers connected within {deadline:?}"
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        let (tx, inbox) = channel();
+        let mut writers = Vec::with_capacity(n);
+        let mut readers = Vec::with_capacity(n);
+        for (index, slot) in slots.into_iter().enumerate() {
+            let sock = slot.expect("all slots filled");
+            let reader = sock.try_clone().map_err(TransportError::Io)?;
+            let tx = tx.clone();
+            readers.push(
+                std::thread::Builder::new()
+                    .name(format!("tcp-hub-reader-{index}"))
+                    .spawn(move || reader_loop(index, reader, tx))
+                    .expect("failed to spawn hub reader"),
+            );
+            writers.push(sock);
+        }
+        Ok(MasterHub::new(
+            Box::new(TcpHub {
+                writers,
+                inbox,
+                readers,
+            }),
+            self.ledger,
+            self.master,
+            self.workers,
+            "tcp",
+        ))
+    }
+
+    /// Validates one incoming socket's hello; returns its worker index.
+    fn admit(&self, sock: TcpStream) -> Result<(usize, TcpStream), String> {
+        let mut sock = sock;
+        sock.set_nonblocking(false).map_err(|e| e.to_string())?;
+        sock.set_read_timeout(Some(Duration::from_secs(2)))
+            .map_err(|e| e.to_string())?;
+        let mut hello = [0u8; HELLO_LEN];
+        sock.read_exact(&mut hello).map_err(|e| e.to_string())?;
+        if &hello[..4] != HELLO_MAGIC {
+            return Err(format!("bad hello magic {:?}", &hello[..4]));
+        }
+        let mut r = ByteReader::new(&hello[4..]);
+        let index = r.get_u32().expect("fixed-size hello") as usize;
+        let device = r.get_u64().expect("fixed-size hello") as usize;
+        if index >= self.workers.len() {
+            return Err(format!(
+                "worker index {index} out of range (expected < {})",
+                self.workers.len()
+            ));
+        }
+        if self.workers[index] != DeviceId(device) {
+            return Err(format!(
+                "worker {index} reported device {device} but roster says {:?}",
+                self.workers[index]
+            ));
+        }
+        sock.write_all(ACK_MAGIC).map_err(|e| e.to_string())?;
+        sock.set_read_timeout(None).map_err(|e| e.to_string())?;
+        sock.set_nodelay(true).map_err(|e| e.to_string())?;
+        Ok((index, sock))
+    }
+}
+
+/// Dials the master at `addr` as worker `index` on `device`, retrying
+/// with bounded backoff (10 ms doubling to 400 ms) until `deadline`
+/// elapses. A connection that closes before the master's ack — a refused
+/// dial, a stray peer, or the loopback self-connect artifact — counts as
+/// one failed attempt and is retried.
+pub fn connect_worker_with_deadline(
+    addr: SocketAddr,
+    index: usize,
+    device: DeviceId,
+    deadline: Duration,
+) -> Result<WorkerPort, TransportError> {
+    let until = Instant::now() + deadline;
+    let mut backoff = Duration::from_millis(10);
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let last_err = match try_connect(addr, index, device) {
+            Ok(sock) => {
+                if attempts > 1 {
+                    vela_obs::info!("worker {index} connected after {attempts} attempts");
+                }
+                return Ok(WorkerPort::new(
+                    Box::new(TcpPort {
+                        sock,
+                        buf: FrameBuf::default(),
+                    }),
+                    index,
+                    device,
+                ));
+            }
+            Err(e) => e,
+        };
+        if Instant::now() + backoff >= until {
+            return Err(TransportError::Handshake(format!(
+                "worker {index} could not reach {addr} after {attempts} attempts: {last_err}"
+            )));
+        }
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(Duration::from_millis(400));
+    }
+}
+
+/// [`connect_worker_with_deadline`] with the default
+/// [`CONNECT_DEADLINE`].
+pub fn connect_worker(
+    addr: SocketAddr,
+    index: usize,
+    device: DeviceId,
+) -> Result<WorkerPort, TransportError> {
+    connect_worker_with_deadline(addr, index, device, CONNECT_DEADLINE)
+}
+
+fn try_connect(addr: SocketAddr, index: usize, device: DeviceId) -> Result<TcpStream, String> {
+    let mut sock =
+        TcpStream::connect_timeout(&addr, Duration::from_secs(2)).map_err(|e| e.to_string())?;
+    let mut hello = ByteWriter::with_capacity(HELLO_LEN);
+    hello.put_slice(HELLO_MAGIC);
+    hello.put_u32(index as u32);
+    hello.put_u64(device.0 as u64);
+    sock.write_all(&hello.into_vec())
+        .map_err(|e| e.to_string())?;
+    sock.set_read_timeout(Some(Duration::from_secs(2)))
+        .map_err(|e| e.to_string())?;
+    let mut ack = [0u8; 4];
+    sock.read_exact(&mut ack).map_err(|e| e.to_string())?;
+    if &ack != ACK_MAGIC {
+        return Err(format!("bad ack magic {ack:?}"));
+    }
+    sock.set_read_timeout(None).map_err(|e| e.to_string())?;
+    sock.set_nodelay(true).map_err(|e| e.to_string())?;
+    Ok(sock)
+}
+
+/// Builds a complete TCP star *within this process*: the hub accepts on a
+/// background thread while each worker port dials in. This is the
+/// hermetic `tcp-threads` mode — every byte crosses a real loopback
+/// socket, but workers stay threads, so tests need no child binaries.
+///
+/// # Panics
+/// Panics if `workers` is empty.
+pub fn tcp_star(
+    ledger: Arc<TrafficLedger>,
+    master: DeviceId,
+    workers: &[DeviceId],
+) -> Result<(MasterHub, Vec<WorkerPort>), TransportError> {
+    let builder = TcpStarBuilder::bind(ledger, master, workers)?;
+    let addr = builder.addr();
+    let accept = std::thread::Builder::new()
+        .name("tcp-star-accept".into())
+        .spawn(move || builder.accept_workers(ACCEPT_DEADLINE))
+        .expect("failed to spawn accept thread");
+    let mut ports = Vec::with_capacity(workers.len());
+    for (index, &device) in workers.iter().enumerate() {
+        ports.push(connect_worker(addr, index, device)?);
+    }
+    let hub = accept.join().expect("accept thread panicked")?;
+    Ok((hub, ports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Message, Payload};
+    use vela_cluster::Topology;
+
+    fn setup() -> (Arc<TrafficLedger>, MasterHub, Vec<WorkerPort>) {
+        let ledger = Arc::new(TrafficLedger::new(Topology::paper_testbed()));
+        let workers: Vec<DeviceId> = (1..4).map(DeviceId).collect();
+        let (hub, ports) = tcp_star(ledger.clone(), DeviceId(0), &workers).unwrap();
+        (ledger, hub, ports)
+    }
+
+    #[test]
+    fn frames_flow_both_ways_over_loopback() {
+        let (_, mut hub, mut ports) = setup();
+        hub.send(1, &Message::StepBegin { step: 3 }).unwrap();
+        assert_eq!(ports[1].recv().unwrap(), Message::StepBegin { step: 3 });
+        ports[2].send(&Message::StepDone).unwrap();
+        let (idx, msg) = hub.recv().unwrap();
+        assert_eq!((idx, msg), (2, Message::StepDone));
+        hub.shutdown();
+    }
+
+    #[test]
+    fn large_real_payload_roundtrips() {
+        let (_, mut hub, mut ports) = setup();
+        let data: Vec<f32> = (0..40_000).map(|i| i as f32 * 0.5 - 7.0).collect();
+        let msg = Message::TokenBatch {
+            block: 1,
+            expert: 2,
+            payload: Payload::Real {
+                rows: 200,
+                cols: 200,
+                data,
+            },
+        };
+        hub.send(0, &msg).unwrap();
+        assert_eq!(ports[0].recv().unwrap(), msg);
+        hub.shutdown();
+    }
+
+    #[test]
+    fn ledger_accounts_identically_to_channel() {
+        let workers: Vec<DeviceId> = (0..6).map(DeviceId).collect();
+        let msg = Message::TokenBatch {
+            block: 0,
+            expert: 0,
+            payload: Payload::Virtual {
+                rows: 10,
+                bytes_per_token: 100,
+            },
+        };
+        let drive = |mut hub: MasterHub, mut ports: Vec<WorkerPort>| {
+            hub.send(0, &msg).unwrap();
+            hub.send(1, &msg).unwrap();
+            hub.send(2, &msg).unwrap();
+            ports[2].send(&msg).unwrap();
+            hub.recv().unwrap();
+            hub.shutdown();
+        };
+        let chan_ledger = Arc::new(TrafficLedger::new(Topology::paper_testbed()));
+        let (hub, ports) = super::super::star(chan_ledger.clone(), DeviceId(0), &workers);
+        drive(hub, ports);
+        let tcp_ledger = Arc::new(TrafficLedger::new(Topology::paper_testbed()));
+        let (hub, ports) = tcp_star(tcp_ledger.clone(), DeviceId(0), &workers).unwrap();
+        drive(hub, ports);
+        let (c, t) = (chan_ledger.peek(), tcp_ledger.peek());
+        assert_eq!(c.internal_bytes, t.internal_bytes);
+        assert_eq!(c.external_total(), t.external_total());
+    }
+
+    #[test]
+    fn timeout_mid_frame_does_not_corrupt_the_stream() {
+        let (_, mut hub, mut ports) = setup();
+        // Nothing sent yet: the port times out...
+        assert!(matches!(
+            ports[0].recv_timeout(Duration::from_millis(20)),
+            Err(TransportError::Timeout)
+        ));
+        assert!(ports[0].try_recv().unwrap().is_none());
+        // ...and the next full frame still parses cleanly.
+        hub.send(0, &Message::StepBegin { step: 11 }).unwrap();
+        assert_eq!(
+            ports[0].recv_timeout(Duration::from_secs(5)).unwrap(),
+            Message::StepBegin { step: 11 }
+        );
+        hub.shutdown();
+    }
+
+    #[test]
+    fn master_disconnect_surfaces_as_error() {
+        let (_, mut hub, mut ports) = setup();
+        hub.shutdown();
+        assert!(matches!(ports[0].recv(), Err(TransportError::Disconnected)));
+    }
+
+    #[test]
+    fn worker_disconnect_surfaces_as_error() {
+        let (_, mut hub, mut ports) = setup();
+        ports.remove(0).shutdown();
+        // The hub eventually observes worker 0's EOF.
+        loop {
+            match hub.recv_timeout(Duration::from_secs(5)) {
+                Err(TransportError::Disconnected) => break,
+                Ok(_) => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        hub.shutdown();
+    }
+
+    #[test]
+    fn connect_retries_until_master_binds() {
+        // Reserve a port, release it, dial it while nothing listens, and
+        // only then bind the real listener: the worker's bounded backoff
+        // must carry it through the listener-less window.
+        let probe = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let dialer = std::thread::spawn(move || {
+            connect_worker_with_deadline(addr, 0, DeviceId(1), Duration::from_secs(10))
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        let ledger = Arc::new(TrafficLedger::new(Topology::paper_testbed()));
+        let builder = TcpStarBuilder {
+            listener: TcpListener::bind(addr).expect("rebind reserved port"),
+            addr,
+            ledger,
+            master: DeviceId(0),
+            workers: vec![DeviceId(1)],
+        };
+        let mut hub = builder.accept_workers(Duration::from_secs(10)).unwrap();
+        let mut port = dialer.join().unwrap().expect("retry should succeed");
+        port.send(&Message::StepDone).unwrap();
+        assert_eq!(hub.recv().unwrap(), (0, Message::StepDone));
+        hub.shutdown();
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let probe = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let started = Instant::now();
+        let err = connect_worker_with_deadline(addr, 0, DeviceId(1), Duration::from_millis(200))
+            .unwrap_err();
+        assert!(matches!(err, TransportError::Handshake(_)));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "retry must respect its deadline"
+        );
+    }
+
+    #[test]
+    fn stray_connections_are_rejected_without_poisoning_the_star() {
+        let ledger = Arc::new(TrafficLedger::new(Topology::paper_testbed()));
+        let builder = TcpStarBuilder::bind(ledger, DeviceId(0), &[DeviceId(1)]).unwrap();
+        let addr = builder.addr();
+        let accept = std::thread::spawn(move || builder.accept_workers(Duration::from_secs(10)));
+        // A stray peer with the wrong magic is dropped...
+        let mut stray = TcpStream::connect(addr).unwrap();
+        stray.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        drop(stray);
+        // ...while the legitimate worker still gets through.
+        let mut port = connect_worker(addr, 0, DeviceId(1)).unwrap();
+        let mut hub = accept.join().unwrap().unwrap();
+        port.send(&Message::StepDone).unwrap();
+        assert_eq!(hub.recv().unwrap(), (0, Message::StepDone));
+        hub.shutdown();
+    }
+
+    #[test]
+    fn oversized_frame_header_is_rejected() {
+        let mut buf = FrameBuf::default();
+        buf.pending.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            buf.extract(),
+            Err(TransportError::Wire(WireError::BadLength { .. }))
+        ));
+    }
+}

@@ -9,6 +9,10 @@
 //!
 //! This engine produces the VELA / Sequential / Random series of
 //! Figs. 5–6; pick the series by the [`Placement`] you launch it with.
+//! Like [`RealRuntime`](crate::RealRuntime), the transport behind it is
+//! pluggable ([`TransportConfig`]) — the ledger windows it reports are
+//! byte-identical across channel, TCP-thread and TCP-process backends
+//! (pinned by the `transport_parity` integration test).
 
 use std::sync::Arc;
 
@@ -19,11 +23,12 @@ use vela_placement::Placement;
 use vela_tensor::rng::DetRng;
 
 use crate::broker::{Pass, PhaseLog};
+use crate::launch::{launch_process_star, WorkerHandle};
 use crate::message::{Message, Payload};
 use crate::metrics::{backbone_flops_per_token, master_worker_time, StepMetrics};
 use crate::routing::sample_expert_counts;
-use crate::transport::{star, MasterHub};
-use crate::worker::ExpertManager;
+use crate::transport::{build_star, MasterHub, TransportConfig};
+use crate::worker::{ExpertManager, WorkerBootstrap};
 
 /// Scale parameters of a virtual evaluation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,7 +101,7 @@ pub fn capacity_from_memory(
 #[derive(Debug)]
 pub struct VirtualEngine {
     hub: MasterHub,
-    managers: Vec<ExpertManager>,
+    workers: Vec<WorkerHandle>,
     placement: Placement,
     profile: LocalityProfile,
     scale: ScaleConfig,
@@ -109,11 +114,37 @@ pub struct VirtualEngine {
 }
 
 impl VirtualEngine {
-    /// Launches echo workers and prepares a session.
+    /// Launches echo workers over the transport selected by
+    /// `VELA_TRANSPORT` and prepares a session. See
+    /// [`launch_with`](Self::launch_with).
+    pub fn launch(
+        topology: Topology,
+        master: DeviceId,
+        worker_devices: Vec<DeviceId>,
+        placement: Placement,
+        profile: LocalityProfile,
+        scale: ScaleConfig,
+    ) -> Self {
+        Self::launch_with(
+            TransportConfig::from_env(),
+            topology,
+            master,
+            worker_devices,
+            placement,
+            profile,
+            scale,
+        )
+    }
+
+    /// Launches echo workers over `transport` and prepares a session.
+    /// Virtual workers carry no expert state, so process mode ships a
+    /// template-free bootstrap and there is nothing to seed or fetch back.
     ///
     /// # Panics
-    /// Panics if the profile or placement shapes disagree with the spec.
-    pub fn launch(
+    /// Panics if the profile or placement shapes disagree with the spec,
+    /// or if the transport cannot be brought up.
+    pub fn launch_with(
+        transport: TransportConfig,
         topology: Topology,
         master: DeviceId,
         worker_devices: Vec<DeviceId>,
@@ -148,21 +179,41 @@ impl VirtualEngine {
         );
         let ledger = Arc::new(TrafficLedger::new(topology.clone()));
         let cost = CostModel::new(topology);
-        let (hub, ports) = star(ledger.clone(), master, &worker_devices);
-        let managers: Vec<ExpertManager> = ports
-            .into_iter()
-            .map(|port| {
-                ExpertManager::spawn(
-                    port,
-                    vela_model::LocalExpertStore::empty(scale.spec.blocks, scale.spec.experts),
-                    vela_nn::optim::AdamWConfig::default(),
-                )
-            })
-            .collect();
+        let (hub, workers) = if transport.is_process_mode() {
+            let bootstrap = WorkerBootstrap {
+                blocks: scale.spec.blocks,
+                experts: scale.spec.experts,
+                optim: vela_nn::optim::AdamWConfig::default(),
+                template: None,
+            };
+            let (hub, children) =
+                launch_process_star(ledger.clone(), master, &worker_devices, &bootstrap)
+                    .unwrap_or_else(|e| panic!("launching worker processes failed: {e}"));
+            (
+                hub,
+                children.into_iter().map(WorkerHandle::Process).collect(),
+            )
+        } else {
+            let (hub, ports) = build_star(transport, ledger.clone(), master, &worker_devices)
+                .unwrap_or_else(|e| {
+                    panic!("bringing up {} transport failed: {e}", transport.label())
+                });
+            let workers = ports
+                .into_iter()
+                .map(|port| {
+                    WorkerHandle::Thread(ExpertManager::spawn(
+                        port,
+                        vela_model::LocalExpertStore::empty(scale.spec.blocks, scale.spec.experts),
+                        vela_nn::optim::AdamWConfig::default(),
+                    ))
+                })
+                .collect();
+            (hub, workers)
+        };
         let rng = DetRng::new(scale.seed);
         VirtualEngine {
             hub,
-            managers,
+            workers,
             placement,
             profile,
             scale,
@@ -185,17 +236,27 @@ impl VirtualEngine {
         &self.profile
     }
 
+    /// Label of the transport backend carrying this session's traffic.
+    pub fn transport_label(&self) -> &'static str {
+        self.hub.transport()
+    }
+
     /// Runs one virtual fine-tuning step: for every block, forward token
     /// dispatch + gather and backward gradient dispatch + gather through
     /// the real message path, with routing sampled from the profile.
+    ///
+    /// # Panics
+    /// Panics if the transport fails mid-step.
     pub fn step(&mut self) -> StepMetrics {
         self.step += 1;
         vela_obs::step_begin(self.step as u64);
         let _span = vela_obs::span("runtime.virtual.step");
         self.ledger.take_step();
-        self.hub.broadcast(&Message::StepBegin {
-            step: self.step as u64,
-        });
+        self.hub
+            .broadcast(&Message::StepBegin {
+                step: self.step as u64,
+            })
+            .unwrap_or_else(|e| panic!("transport failed at step begin: {e}"));
 
         let spec = self.scale.spec;
         let tokens = self.scale.tokens();
@@ -209,10 +270,15 @@ impl VirtualEngine {
         }
 
         // Step end: workers ack their (empty) optimizer step.
-        self.hub.broadcast(&Message::StepEnd);
+        self.hub
+            .broadcast(&Message::StepEnd)
+            .unwrap_or_else(|e| panic!("transport failed at step end: {e}"));
         let mut pending = self.hub.worker_count();
         while pending > 0 {
-            let (_, msg) = self.hub.recv();
+            let (_, msg) = self
+                .hub
+                .recv()
+                .unwrap_or_else(|e| panic!("transport failed awaiting StepDone: {e}"));
             assert_eq!(msg, Message::StepDone);
             pending -= 1;
         }
@@ -241,11 +307,14 @@ impl VirtualEngine {
         (0..steps).map(|_| self.step()).collect()
     }
 
-    /// Shuts the workers down.
-    pub fn shutdown(self) {
-        self.hub.broadcast(&Message::Shutdown);
-        for m in self.managers {
-            m.join();
+    /// Shuts the workers down (threads joined, processes reaped).
+    pub fn shutdown(mut self) {
+        if let Err(e) = self.hub.broadcast(&Message::Shutdown) {
+            vela_obs::warn!("shutdown broadcast failed (workers already gone?): {e}");
+        }
+        self.hub.shutdown();
+        for w in self.workers {
+            w.finish();
         }
         vela_obs::flush();
     }
@@ -295,11 +364,16 @@ impl VirtualEngine {
             };
             log.bytes_out[w] += msg.accounted_bytes();
             log.rows[w] += rows as u64;
-            self.hub.send(w, &msg);
+            self.hub
+                .send(w, &msg)
+                .unwrap_or_else(|e| panic!("transport failed during dispatch: {e}"));
             outstanding += 1;
         }
         while outstanding > 0 {
-            let (w, msg) = self.hub.recv();
+            let (w, msg) = self
+                .hub
+                .recv()
+                .unwrap_or_else(|e| panic!("transport failed during gather: {e}"));
             log.bytes_back[w] += msg.accounted_bytes();
             match (pass, msg) {
                 (Pass::Forward, Message::ExpertResult { .. })

@@ -5,6 +5,71 @@
 //! (no external `bytes` dependency) so the workspace builds with zero
 //! network access, and both use network byte order so encoded frames are
 //! stable across hosts.
+//!
+//! Decoding is fallible: frames may arrive over a real socket, so a short
+//! or corrupted frame is an I/O condition ([`WireError`]), never a panic.
+
+use std::fmt;
+
+/// A malformed frame observed while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame ended before the requested field.
+    Underflow {
+        /// Bytes the decoder asked for.
+        wanted: usize,
+        /// Bytes that were left.
+        left: usize,
+    },
+    /// A tag/discriminant byte had no defined meaning.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A declared length is impossible (e.g. larger than the frame).
+    BadLength {
+        /// What was being decoded.
+        what: &'static str,
+        /// The declared element/byte count.
+        declared: u64,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// Decoding finished but bytes were left over.
+    TrailingBytes {
+        /// How many bytes were not consumed.
+        left: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Underflow { wanted, left } => {
+                write!(
+                    f,
+                    "wire frame underflow: wanted {wanted} bytes, {left} left"
+                )
+            }
+            WireError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            WireError::BadLength {
+                what,
+                declared,
+                available,
+            } => write!(
+                f,
+                "implausible {what} length {declared} (frame has {available} bytes left)"
+            ),
+            WireError::TrailingBytes { left } => {
+                write!(f, "frame has {left} trailing bytes after decoding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
 
 /// Append-only big-endian encoder over a `Vec<u8>`.
 #[derive(Debug, Default)]
@@ -58,8 +123,9 @@ impl ByteWriter {
 
 /// Cursor-based big-endian decoder over a byte slice.
 ///
-/// All getters panic on underflow: the transport is in-process and
-/// trusted, so a short frame indicates a bug rather than an I/O condition.
+/// All getters return [`WireError::Underflow`] when the frame is short —
+/// frames may come off a socket, so truncation is a runtime condition,
+/// not a bug.
 #[derive(Debug)]
 pub struct ByteReader<'a> {
     buf: &'a [u8],
@@ -77,40 +143,50 @@ impl<'a> ByteReader<'a> {
         self.buf.len() - self.pos
     }
 
-    fn take(&mut self, n: usize) -> &'a [u8] {
-        assert!(
-            self.remaining() >= n,
-            "wire frame underflow: wanted {n} bytes, {} left",
-            self.remaining()
-        );
+    /// Succeeds iff the frame was consumed exactly.
+    pub fn finish(&self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            left => Err(WireError::TrailingBytes { left }),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Underflow {
+                wanted: n,
+                left: self.remaining(),
+            });
+        }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
-        s
+        Ok(s)
     }
 
     /// Reads one byte.
-    pub fn get_u8(&mut self) -> u8 {
-        self.take(1)[0]
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
     }
 
     /// Reads a big-endian `u32`.
-    pub fn get_u32(&mut self) -> u32 {
-        u32::from_be_bytes(self.take(4).try_into().unwrap())
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     /// Reads a big-endian `u64`.
-    pub fn get_u64(&mut self) -> u64 {
-        u64::from_be_bytes(self.take(8).try_into().unwrap())
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     /// Reads a big-endian IEEE-754 `f32`.
-    pub fn get_f32(&mut self) -> f32 {
-        f32::from_be_bytes(self.take(4).try_into().unwrap())
+    pub fn get_f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_be_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     /// Reads exactly `out.len()` raw bytes into `out`.
-    pub fn copy_to_slice(&mut self, out: &mut [u8]) {
-        out.copy_from_slice(self.take(out.len()));
+    pub fn copy_to_slice(&mut self, out: &mut [u8]) -> Result<(), WireError> {
+        out.copy_from_slice(self.take(out.len())?);
+        Ok(())
     }
 }
 
@@ -130,14 +206,15 @@ mod tests {
         assert_eq!(frame.len(), 1 + 4 + 8 + 4 + 3);
 
         let mut r = ByteReader::new(&frame);
-        assert_eq!(r.get_u8(), 7);
-        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
-        assert_eq!(r.get_u64(), u64::MAX - 1);
-        assert_eq!(r.get_f32(), -1.5);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f32().unwrap(), -1.5);
         let mut tail = [0u8; 3];
-        r.copy_to_slice(&mut tail);
+        r.copy_to_slice(&mut tail).unwrap();
         assert_eq!(tail, [1, 2, 3]);
         assert_eq!(r.remaining(), 0);
+        assert_eq!(r.finish(), Ok(()));
     }
 
     #[test]
@@ -153,14 +230,22 @@ mod tests {
             let mut w = ByteWriter::default();
             w.put_f32(v);
             let frame = w.into_vec();
-            let got = ByteReader::new(&frame).get_f32();
+            let got = ByteReader::new(&frame).get_f32().unwrap();
             assert_eq!(got.to_bits(), v.to_bits());
         }
     }
 
     #[test]
-    #[should_panic(expected = "wire frame underflow")]
-    fn underflow_panics() {
-        ByteReader::new(&[1, 2]).get_u32();
+    fn underflow_is_an_error_not_a_panic() {
+        let err = ByteReader::new(&[1, 2]).get_u32().unwrap_err();
+        assert_eq!(err, WireError::Underflow { wanted: 4, left: 2 });
+        assert!(err.to_string().contains("underflow"));
+    }
+
+    #[test]
+    fn finish_reports_trailing_bytes() {
+        let mut r = ByteReader::new(&[9, 1, 2]);
+        r.get_u8().unwrap();
+        assert_eq!(r.finish(), Err(WireError::TrailingBytes { left: 2 }));
     }
 }

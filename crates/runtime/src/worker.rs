@@ -4,6 +4,13 @@
 //! requests from the master's broker, and runs its own optimizer at step
 //! end — exactly the worker role in the paper's framework, where expert
 //! optimization never leaves the hosting device.
+//!
+//! The same loop serves every transport: [`ExpertManager::spawn`] runs it
+//! on a thread over any [`WorkerPort`], and the `vela_worker` binary runs
+//! it in a separate OS process after receiving a [`WorkerBootstrap`] over
+//! the control channel. A master disconnect is a *clean* exit — the loop
+//! flushes its observability buffers and returns its shard instead of
+//! aborting the process.
 
 use std::thread::JoinHandle;
 
@@ -16,7 +23,8 @@ use vela_nn::swiglu::SwiGlu;
 use vela_tensor::rng::DetRng;
 
 use crate::message::{Message, Payload};
-use crate::transport::WorkerPort;
+use crate::transport::{TransportError, WorkerPort};
+use crate::wire::{ByteReader, ByteWriter, WireError};
 
 /// Architectural description of an expert, enough for a worker to rebuild
 /// one that migrates in (the weights arrive as checkpoint bytes).
@@ -63,6 +71,117 @@ impl ExpertTemplate {
     }
 }
 
+/// Everything a freshly spawned worker *process* needs before it can join
+/// the protocol: shard shape, optimizer hyper-parameters, and (when the
+/// run migrates real experts in) the expert architecture. Shipped as the
+/// first control frame after the transport handshake; in thread mode the
+/// same information is passed by value to [`ExpertManager::spawn`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerBootstrap {
+    /// MoE block count of the shard grid.
+    pub blocks: usize,
+    /// Experts per block of the shard grid.
+    pub experts: usize,
+    /// Optimizer configuration for the worker's local AdamW.
+    pub optim: AdamWConfig,
+    /// Expert architecture, when the worker must be able to *receive*
+    /// experts (`None` for echo-only virtual workers).
+    pub template: Option<ExpertTemplate>,
+}
+
+const BOOTSTRAP_VERSION: u8 = 1;
+
+impl WorkerBootstrap {
+    /// Serializes the bootstrap frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(64);
+        w.put_u8(BOOTSTRAP_VERSION);
+        w.put_u32(self.blocks as u32);
+        w.put_u32(self.experts as u32);
+        w.put_f32(self.optim.lr);
+        w.put_f32(self.optim.beta1);
+        w.put_f32(self.optim.beta2);
+        w.put_f32(self.optim.eps);
+        w.put_f32(self.optim.weight_decay);
+        match &self.template {
+            None => w.put_u8(0),
+            Some(t) => {
+                w.put_u8(1);
+                w.put_u32(t.dim as u32);
+                w.put_u32(t.ffn_hidden as u32);
+                match t.lora {
+                    None => w.put_u8(0),
+                    Some((rank, alpha)) => {
+                        w.put_u8(1);
+                        w.put_u32(rank as u32);
+                        w.put_f32(alpha);
+                    }
+                }
+                w.put_u8(u8::from(t.base_frozen));
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Deserializes a bootstrap frame.
+    pub fn decode(frame: &[u8]) -> Result<Self, WireError> {
+        let mut r = ByteReader::new(frame);
+        let version = r.get_u8()?;
+        if version != BOOTSTRAP_VERSION {
+            return Err(WireError::BadTag {
+                what: "bootstrap version",
+                tag: version,
+            });
+        }
+        let blocks = r.get_u32()? as usize;
+        let experts = r.get_u32()? as usize;
+        let optim = AdamWConfig {
+            lr: r.get_f32()?,
+            beta1: r.get_f32()?,
+            beta2: r.get_f32()?,
+            eps: r.get_f32()?,
+            weight_decay: r.get_f32()?,
+        };
+        let template = match r.get_u8()? {
+            0 => None,
+            1 => {
+                let dim = r.get_u32()? as usize;
+                let ffn_hidden = r.get_u32()? as usize;
+                let lora = match r.get_u8()? {
+                    0 => None,
+                    1 => Some((r.get_u32()? as usize, r.get_f32()?)),
+                    tag => {
+                        return Err(WireError::BadTag {
+                            what: "bootstrap lora flag",
+                            tag,
+                        })
+                    }
+                };
+                let base_frozen = r.get_u8()? != 0;
+                Some(ExpertTemplate {
+                    dim,
+                    ffn_hidden,
+                    lora,
+                    base_frozen,
+                })
+            }
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "bootstrap template flag",
+                    tag,
+                })
+            }
+        };
+        r.finish()?;
+        Ok(WorkerBootstrap {
+            blocks,
+            experts,
+            optim,
+            template,
+        })
+    }
+}
+
 /// Handle to a spawned Expert Manager thread.
 #[derive(Debug)]
 pub struct ExpertManager {
@@ -79,7 +198,7 @@ impl ExpertManager {
     /// [`Message::StepEnd`] (acknowledged with [`Message::StepDone`]),
     /// serves expert migration ([`Message::FetchExpert`] /
     /// [`Message::ExpertState`]) and returns its shard on
-    /// [`Message::Shutdown`].
+    /// [`Message::Shutdown`] or master disconnect.
     pub fn spawn(port: WorkerPort, shard: LocalExpertStore, optim: AdamWConfig) -> Self {
         Self::spawn_with_template(port, shard, optim, None)
     }
@@ -115,8 +234,24 @@ impl ExpertManager {
     }
 }
 
-fn worker_loop(
-    port: WorkerPort,
+/// Runs the Expert Manager loop for a worker *process*: an empty shard of
+/// the bootstrap's shape (experts are seeded over the wire via
+/// [`Message::ExpertState`]), served until `Shutdown` or master
+/// disconnect. Returns the final shard (the master normally fetches all
+/// experts back before `Shutdown`, so it is usually empty again).
+pub fn run_worker(port: WorkerPort, bootstrap: &WorkerBootstrap) -> LocalExpertStore {
+    let shard = LocalExpertStore::empty(bootstrap.blocks, bootstrap.experts);
+    worker_loop(port, shard, bootstrap.optim, bootstrap.template)
+}
+
+/// Whether the loop keeps serving after a message.
+enum Flow {
+    Continue,
+    Stop,
+}
+
+pub(crate) fn worker_loop(
+    mut port: WorkerPort,
     mut shard: LocalExpertStore,
     optim: AdamWConfig,
     template: Option<ExpertTemplate>,
@@ -124,107 +259,145 @@ fn worker_loop(
     let mut opt = AdamW::new(optim);
     loop {
         match port.recv() {
-            Message::StepBegin { .. } => shard.zero_grad(),
-            Message::TokenBatch {
+            Ok(msg) => match handle(&mut port, &mut shard, &mut opt, template.as_ref(), msg) {
+                Ok(Flow::Continue) => {}
+                Ok(Flow::Stop) => break,
+                Err(e) => {
+                    vela_obs::error!("worker {}: transport error, exiting: {e}", port.index);
+                    break;
+                }
+            },
+            Err(TransportError::Disconnected) => {
+                vela_obs::warn!(
+                    "worker {}: master disconnected, exiting cleanly",
+                    port.index
+                );
+                break;
+            }
+            Err(e) => {
+                vela_obs::error!("worker {}: receive failed, exiting: {e}", port.index);
+                break;
+            }
+        }
+    }
+    port.shutdown();
+    vela_obs::flush();
+    shard
+}
+
+fn handle(
+    port: &mut WorkerPort,
+    shard: &mut LocalExpertStore,
+    opt: &mut AdamW,
+    template: Option<&ExpertTemplate>,
+    msg: Message,
+) -> Result<Flow, TransportError> {
+    match msg {
+        Message::StepBegin { .. } => shard.zero_grad(),
+        Message::TokenBatch {
+            block,
+            expert,
+            payload,
+        } => {
+            let reply = match payload {
+                Payload::Real { .. } => {
+                    let xs = payload.to_tensor();
+                    let out = shard
+                        .forward_block(
+                            block as usize,
+                            &[ExpertBatch {
+                                expert: expert as usize,
+                                xs,
+                            }],
+                        )
+                        .pop()
+                        .expect("one output per batch");
+                    Payload::from_tensor(&out)
+                }
+                Payload::Virtual {
+                    rows,
+                    bytes_per_token,
+                } => Payload::Virtual {
+                    rows,
+                    bytes_per_token,
+                },
+            };
+            port.send(&Message::ExpertResult {
                 block,
                 expert,
-                payload,
-            } => {
-                let reply = match payload {
-                    Payload::Real { .. } => {
-                        let xs = payload.to_tensor();
-                        let out = shard
-                            .forward_block(
-                                block as usize,
-                                &[ExpertBatch {
-                                    expert: expert as usize,
-                                    xs,
-                                }],
-                            )
-                            .pop()
-                            .expect("one output per batch");
-                        Payload::from_tensor(&out)
-                    }
-                    Payload::Virtual {
-                        rows,
-                        bytes_per_token,
-                    } => Payload::Virtual {
-                        rows,
-                        bytes_per_token,
-                    },
-                };
-                port.send(&Message::ExpertResult {
-                    block,
-                    expert,
-                    payload: reply,
-                });
-            }
-            Message::GradBatch {
+                payload: reply,
+            })?;
+        }
+        Message::GradBatch {
+            block,
+            expert,
+            payload,
+        } => {
+            let reply = match payload {
+                Payload::Real { .. } => {
+                    let g = payload.to_tensor();
+                    let gin = shard
+                        .backward_block(
+                            block as usize,
+                            &[ExpertBatch {
+                                expert: expert as usize,
+                                xs: g,
+                            }],
+                        )
+                        .pop()
+                        .expect("one gradient per batch");
+                    Payload::from_tensor(&gin)
+                }
+                Payload::Virtual {
+                    rows,
+                    bytes_per_token,
+                } => Payload::Virtual {
+                    rows,
+                    bytes_per_token,
+                },
+            };
+            port.send(&Message::GradResult {
                 block,
                 expert,
-                payload,
-            } => {
-                let reply = match payload {
-                    Payload::Real { .. } => {
-                        let g = payload.to_tensor();
-                        let gin = shard
-                            .backward_block(
-                                block as usize,
-                                &[ExpertBatch {
-                                    expert: expert as usize,
-                                    xs: g,
-                                }],
-                            )
-                            .pop()
-                            .expect("one gradient per batch");
-                        Payload::from_tensor(&gin)
-                    }
-                    Payload::Virtual {
-                        rows,
-                        bytes_per_token,
-                    } => Payload::Virtual {
-                        rows,
-                        bytes_per_token,
-                    },
-                };
-                port.send(&Message::GradResult {
-                    block,
-                    expert,
-                    payload: reply,
-                });
-            }
-            Message::StepEnd => {
-                opt.step(&mut shard);
-                port.send(&Message::StepDone);
-            }
-            Message::FetchExpert { block, expert } => {
-                // Evict the expert and ship its parameters to the master.
-                let mut ffn = shard.take(block as usize, expert as usize);
-                let mut data = Vec::new();
-                checkpoint::save(&mut ffn, &mut data).expect("in-memory save");
-                port.send(&Message::ExpertState {
-                    block,
-                    expert,
-                    data,
-                });
-            }
-            Message::ExpertState {
+                payload: reply,
+            })?;
+        }
+        Message::StepEnd => {
+            opt.step(shard);
+            port.send(&Message::StepDone)?;
+        }
+        Message::FetchExpert { block, expert } => {
+            // Evict the expert and ship its parameters to the master.
+            let mut ffn = shard.take(block as usize, expert as usize);
+            let mut data = Vec::new();
+            checkpoint::save(&mut ffn, &mut data).expect("in-memory save");
+            port.send(&Message::ExpertState {
                 block,
                 expert,
                 data,
-            } => {
-                let template = template
-                    .as_ref()
-                    .expect("worker without template cannot receive experts");
-                let mut ffn = template.instantiate(block as usize, expert as usize);
-                checkpoint::load(&mut ffn, &mut data.as_slice()).expect("valid expert checkpoint");
-                shard.insert(block as usize, expert as usize, ffn);
-                port.send(&Message::InstallDone { block, expert });
-            }
-            Message::Shutdown => return shard,
-            other => panic!("worker received unexpected message {other:?}"),
+            })?;
+        }
+        Message::ExpertState {
+            block,
+            expert,
+            data,
+        } => {
+            let template = template.expect("worker without template cannot receive experts");
+            let mut ffn = template.instantiate(block as usize, expert as usize);
+            checkpoint::load(&mut ffn, &mut data.as_slice()).expect("valid expert checkpoint");
+            shard.insert(block as usize, expert as usize, ffn);
+            port.send(&Message::InstallDone { block, expert })?;
+        }
+        Message::Shutdown => return Ok(Flow::Stop),
+        other => {
+            vela_obs::error!(
+                "worker {}: unexpected message {other:?}, exiting",
+                port.index
+            );
+            return Ok(Flow::Stop);
         }
     }
+    Ok(Flow::Continue)
 }
 
 #[cfg(test)]
@@ -248,11 +421,11 @@ mod tests {
 
     #[test]
     fn serves_forward_and_backward() {
-        let (hub, manager, cfg) = spawn_one();
+        let (mut hub, manager, cfg) = spawn_one();
         let mut rng = DetRng::new(1);
         let xs = Tensor::uniform((3, cfg.dim), -1.0, 1.0, &mut rng);
 
-        hub.send(0, &Message::StepBegin { step: 0 });
+        hub.send(0, &Message::StepBegin { step: 0 }).unwrap();
         hub.send(
             0,
             &Message::TokenBatch {
@@ -260,8 +433,9 @@ mod tests {
                 expert: 1,
                 payload: Payload::from_tensor(&xs),
             },
-        );
-        let (_, reply) = hub.recv();
+        )
+        .unwrap();
+        let (_, reply) = hub.recv().unwrap();
         let Message::ExpertResult {
             block,
             expert,
@@ -281,22 +455,23 @@ mod tests {
                 expert: 1,
                 payload: Payload::from_tensor(&Tensor::ones((3, cfg.dim))),
             },
-        );
-        let (_, reply) = hub.recv();
+        )
+        .unwrap();
+        let (_, reply) = hub.recv().unwrap();
         assert!(matches!(reply, Message::GradResult { .. }));
 
-        hub.send(0, &Message::StepEnd);
-        let (_, done) = hub.recv();
+        hub.send(0, &Message::StepEnd).unwrap();
+        let (_, done) = hub.recv().unwrap();
         assert_eq!(done, Message::StepDone);
 
-        hub.send(0, &Message::Shutdown);
+        hub.send(0, &Message::Shutdown).unwrap();
         let shard = manager.join();
         assert_eq!(shard.present_count(), cfg.blocks * cfg.experts);
     }
 
     #[test]
     fn virtual_payloads_are_echoed() {
-        let (hub, manager, _) = spawn_one();
+        let (mut hub, manager, _) = spawn_one();
         hub.send(
             0,
             &Message::TokenBatch {
@@ -307,8 +482,9 @@ mod tests {
                     bytes_per_token: 8192,
                 },
             },
-        );
-        let (_, reply) = hub.recv();
+        )
+        .unwrap();
+        let (_, reply) = hub.recv().unwrap();
         assert_eq!(
             reply,
             Message::ExpertResult {
@@ -320,7 +496,7 @@ mod tests {
                 },
             }
         );
-        hub.send(0, &Message::Shutdown);
+        hub.send(0, &Message::Shutdown).unwrap();
         manager.join();
     }
 
@@ -329,7 +505,7 @@ mod tests {
         // The worker must compute exactly what a local store computes.
         let cfg = ModelConfig::test_small();
         let mut local = LocalExpertStore::new(&cfg, &mut DetRng::new(5));
-        let (hub, manager, _) = spawn_one(); // same seed inside
+        let (mut hub, manager, _) = spawn_one(); // same seed inside
         let mut rng = DetRng::new(2);
         let xs = Tensor::uniform((4, cfg.dim), -1.0, 1.0, &mut rng);
 
@@ -351,13 +527,82 @@ mod tests {
                 expert: 0,
                 payload: Payload::from_tensor(&xs),
             },
-        );
-        let (_, reply) = hub.recv();
+        )
+        .unwrap();
+        let (_, reply) = hub.recv().unwrap();
         let Message::ExpertResult { payload, .. } = reply else {
             panic!()
         };
         assert_eq!(payload.to_tensor(), local_out, "bit-exact parity");
-        hub.send(0, &Message::Shutdown);
+        hub.send(0, &Message::Shutdown).unwrap();
         manager.join();
+    }
+
+    #[test]
+    fn master_disconnect_exits_cleanly_with_shard_intact() {
+        let (hub, manager, cfg) = spawn_one();
+        // Drop the hub without sending Shutdown: the worker must observe
+        // the hang-up, exit its loop, and still hand back its shard.
+        drop(hub);
+        let shard = manager.join();
+        assert_eq!(shard.present_count(), cfg.blocks * cfg.experts);
+    }
+
+    #[test]
+    fn bootstrap_roundtrips() {
+        let cases = vec![
+            WorkerBootstrap {
+                blocks: 4,
+                experts: 8,
+                optim: AdamWConfig::default(),
+                template: None,
+            },
+            WorkerBootstrap {
+                blocks: 32,
+                experts: 8,
+                optim: AdamWConfig {
+                    lr: 3e-4,
+                    beta1: 0.95,
+                    beta2: 0.999,
+                    eps: 1e-9,
+                    weight_decay: 0.01,
+                },
+                template: Some(ExpertTemplate {
+                    dim: 64,
+                    ffn_hidden: 128,
+                    lora: Some((8, 16.0)),
+                    base_frozen: true,
+                }),
+            },
+            WorkerBootstrap {
+                blocks: 2,
+                experts: 4,
+                optim: AdamWConfig::default(),
+                template: Some(ExpertTemplate {
+                    dim: 16,
+                    ffn_hidden: 32,
+                    lora: None,
+                    base_frozen: false,
+                }),
+            },
+        ];
+        for b in cases {
+            assert_eq!(WorkerBootstrap::decode(&b.encode()).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn bootstrap_rejects_garbage() {
+        assert!(WorkerBootstrap::decode(&[]).is_err());
+        assert!(WorkerBootstrap::decode(&[9, 0, 0]).is_err());
+        let mut frame = WorkerBootstrap {
+            blocks: 1,
+            experts: 1,
+            optim: AdamWConfig::default(),
+            template: None,
+        }
+        .encode();
+        frame.push(7);
+        assert!(WorkerBootstrap::decode(&frame).is_err());
     }
 }

@@ -26,8 +26,9 @@ fn main() {
         .seed(7)
         .build();
 
+    println!("\ntransport: {}", session.transport());
     println!(
-        "\nplacement (experts per worker): {:?}",
+        "placement (experts per worker): {:?}",
         session.placement().load()
     );
 

@@ -34,6 +34,16 @@ VELA_TRACE=jsonl VELA_TRACE_OUT="$trace_out" \
     cargo run --release -p vela --example quickstart >/dev/null
 cargo run --release -p vela-bench --bin trace_summary -- --check "$trace_out"
 
+echo "==> multi-process smoke: master + worker processes over TCP loopback"
+tcp_trace=target/tcp-smoke-trace.jsonl
+rm -f "$tcp_trace" "$tcp_trace".worker*
+VELA_TRACE=jsonl VELA_TRACE_OUT="$tcp_trace" \
+    cargo run --release -p vela --example tcp_smoke
+cargo run --release -p vela-bench --bin trace_summary -- --check "$tcp_trace"
+for worker_trace in "$tcp_trace".worker*; do
+    cargo run --release -p vela-bench --bin trace_summary -- --check "$worker_trace"
+done
+
 if [ "$run_bench" = 1 ]; then
     echo "==> bench smoke: serial regression gate vs committed BENCH_kernels.json"
     cargo run --release -p vela-bench --bin bench_kernels -- --quick --check BENCH_kernels.json

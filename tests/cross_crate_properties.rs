@@ -80,7 +80,7 @@ fn message_roundtrip() {
             expert,
             payload: Payload::from_tensor(&t),
         };
-        assert_eq!(Message::decode(&msg.encode()), msg, "seed {seed}");
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg, "seed {seed}");
     }
 }
 

@@ -52,11 +52,20 @@ fn param_fingerprint(module: &mut dyn Module) -> Vec<(String, f32, f32)> {
 }
 
 fn run_parity(placement_fn: impl Fn(&ModelConfig) -> Placement, steps: usize) {
+    run_parity_over(TransportConfig::channel(), placement_fn, steps);
+}
+
+fn run_parity_over(
+    transport: TransportConfig,
+    placement_fn: impl Fn(&ModelConfig) -> Placement,
+    steps: usize,
+) {
     let ((mut local_model, mut local_experts), (dist_model, dist_experts), cfg) = pretrained_pair();
     let placement = placement_fn(&cfg);
     let topology = Topology::paper_testbed();
     let workers: Vec<DeviceId> = topology.devices().iter().map(|d| d.id).collect();
-    let mut runtime = RealRuntime::launch(
+    let mut runtime = RealRuntime::launch_with(
+        transport,
         dist_model,
         dist_experts,
         placement,
@@ -145,6 +154,24 @@ fn parity_with_random_placement() {
 fn parity_with_all_experts_on_one_worker() {
     run_parity(
         |cfg| Placement::new(vec![vec![3; cfg.experts]; cfg.blocks], 6),
+        3,
+    );
+}
+
+#[test]
+fn parity_holds_over_tcp_loopback_too() {
+    // The §V-A claim is transport-independent: the same bit-for-bit
+    // equality must hold when every activation crosses a real socket.
+    run_parity_over(
+        TransportConfig::tcp_threads(),
+        |cfg| {
+            Placement::new(
+                (0..cfg.blocks)
+                    .map(|_| (0..cfg.experts).map(|e| e % 6).collect())
+                    .collect(),
+                6,
+            )
+        },
         3,
     );
 }

@@ -1,0 +1,152 @@
+//! Property tests for the wire codec (seeded, dependency-free).
+//!
+//! The TCP transport feeds [`Message::decode`] whatever arrives on a
+//! socket, so the codec is a trust boundary: random messages must survive
+//! a round trip bit-for-bit, and truncated or corrupted frames must come
+//! back as [`WireError`]s — never a panic, never a bogus allocation.
+
+use vela::prelude::*;
+use vela::runtime::message::{Message, Payload};
+use vela::runtime::wire::WireError;
+
+const CASES: u64 = 200;
+
+fn random_payload(rng: &mut DetRng) -> Payload {
+    if rng.below(2) == 0 {
+        let rows = 1 + rng.below(12);
+        let cols = 1 + rng.below(12);
+        Payload::from_tensor(&Tensor::uniform((rows, cols), -100.0, 100.0, rng))
+    } else {
+        Payload::Virtual {
+            rows: 1 + rng.below(1 << 20) as u32,
+            bytes_per_token: 1 + rng.below(1 << 14) as u32,
+        }
+    }
+}
+
+fn random_message(rng: &mut DetRng) -> Message {
+    let block = rng.below(1 << 10) as u32;
+    let expert = rng.below(1 << 8) as u32;
+    match rng.below(11) {
+        0 => Message::StepBegin {
+            step: rng.below(usize::MAX / 2) as u64,
+        },
+        1 => Message::TokenBatch {
+            block,
+            expert,
+            payload: random_payload(rng),
+        },
+        2 => Message::ExpertResult {
+            block,
+            expert,
+            payload: random_payload(rng),
+        },
+        3 => Message::GradBatch {
+            block,
+            expert,
+            payload: random_payload(rng),
+        },
+        4 => Message::GradResult {
+            block,
+            expert,
+            payload: random_payload(rng),
+        },
+        5 => Message::StepEnd,
+        6 => Message::StepDone,
+        7 => Message::Shutdown,
+        8 => Message::FetchExpert { block, expert },
+        9 => Message::ExpertState {
+            block,
+            expert,
+            data: (0..rng.below(256)).map(|_| rng.below(256) as u8).collect(),
+        },
+        _ => Message::InstallDone { block, expert },
+    }
+}
+
+/// Every message kind round-trips bit-for-bit.
+#[test]
+fn random_messages_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(seed);
+        let msg = random_message(&mut rng);
+        let frame = msg.encode();
+        assert_eq!(Message::decode(&frame).unwrap(), msg, "seed {seed}");
+    }
+}
+
+/// Any strict prefix of a valid frame is an error — the codec's length
+/// and trailing-byte checks make partial reads impossible to mistake for
+/// complete messages.
+#[test]
+fn truncated_frames_are_errors_not_panics() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(0x7C0 + seed);
+        let frame = random_message(&mut rng).encode();
+        // The empty prefix plus a few random cuts.
+        let mut cuts = vec![0, frame.len() - 1];
+        for _ in 0..4 {
+            cuts.push(rng.below(frame.len()));
+        }
+        for cut in cuts {
+            assert!(
+                Message::decode(&frame[..cut]).is_err(),
+                "seed {seed}: {cut}-byte prefix of a {}-byte frame decoded",
+                frame.len()
+            );
+        }
+    }
+}
+
+/// Byte flips never panic: they decode to some message or a clean error.
+#[test]
+fn corrupted_frames_never_panic() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(0xBAD + seed);
+        let mut frame = random_message(&mut rng).encode();
+        for _ in 0..8 {
+            let at = rng.below(frame.len());
+            frame[at] ^= 1 << rng.below(8);
+            let _ = Message::decode(&frame);
+        }
+        // Appended garbage is caught by the trailing-bytes check.
+        let mut padded = random_message(&mut rng).encode();
+        padded.push(rng.below(256) as u8);
+        assert!(
+            matches!(
+                Message::decode(&padded),
+                Err(WireError::TrailingBytes { .. })
+            ),
+            "seed {seed}"
+        );
+    }
+}
+
+/// Length fields that promise more data than the frame holds must be
+/// rejected *before* any allocation sized by them.
+#[test]
+fn implausible_length_fields_do_not_allocate() {
+    use vela::runtime::wire::ByteWriter;
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(0x1E46 + seed);
+        // An ExpertState header declaring up to u64::MAX payload bytes.
+        let mut w = ByteWriter::with_capacity(32);
+        w.put_u8(10); // ExpertState tag
+        w.put_u32(rng.below(64) as u32);
+        w.put_u32(rng.below(8) as u32);
+        w.put_u64(u64::MAX - rng.below(1 << 30) as u64);
+        let frame = w.into_vec();
+        assert!(Message::decode(&frame).is_err(), "seed {seed}");
+
+        // A Real payload declaring a huge rows × cols grid.
+        let mut w = ByteWriter::with_capacity(32);
+        w.put_u8(2); // TokenBatch tag
+        w.put_u32(0);
+        w.put_u32(0);
+        w.put_u8(0); // Payload::Real tag
+        w.put_u32(u32::MAX - rng.below(1 << 16) as u32);
+        w.put_u32(u32::MAX - rng.below(1 << 16) as u32);
+        let frame = w.into_vec();
+        assert!(Message::decode(&frame).is_err(), "seed {seed}");
+    }
+}
