@@ -61,11 +61,14 @@ fn row<R>(
     mut f: impl FnMut() -> R,
 ) -> Row {
     let allocs_per_iter = parallel::with_pool(serial, || {
-        // Warm up buffers/caches so the count reflects the steady state.
-        for _ in 0..3 {
+        // Warm up buffers/caches so the count reflects the steady state,
+        // then take the minimum over several iterations: an occasional
+        // workspace-pool eviction re-allocates one buffer, which would
+        // otherwise make the zero-allocation metric flaky.
+        for _ in 0..6 {
             f();
         }
-        count_allocations(&mut f).0
+        (0..5).map(|_| count_allocations(&mut f).0).min().unwrap()
     });
     let serial_secs = parallel::with_pool(serial, || {
         secs_per_iter(sampling.samples, sampling.target_batch_secs, &mut f)
@@ -189,9 +192,10 @@ fn emit_json(threads: usize, rows: &[Row]) -> String {
     json
 }
 
-/// Extracts `(name, serial_secs)` pairs from a `BENCH_kernels.json` file
-/// (the exact format this binary emits; no general JSON parser needed).
-fn parse_reference(text: &str) -> Vec<(String, f64)> {
+/// Extracts `(name, serial_secs, allocs_per_iter)` triples from a
+/// `BENCH_kernels.json` file (the exact format this binary emits; no
+/// general JSON parser needed).
+fn parse_reference(text: &str) -> Vec<(String, f64, u64)> {
     let mut out = Vec::new();
     for line in text.lines() {
         let Some(npos) = line.find("\"name\": \"") else {
@@ -207,23 +211,42 @@ fn parse_reference(text: &str) -> Vec<(String, f64)> {
             .chars()
             .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
             .collect::<String>();
+        let allocs = line
+            .find("\"allocs_per_iter\": ")
+            .and_then(|apos| {
+                line[apos + 19..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_digit())
+                    .collect::<String>()
+                    .parse::<u64>()
+                    .ok()
+            })
+            .unwrap_or(u64::MAX);
         if let Ok(secs) = num.parse::<f64>() {
-            out.push((name, secs));
+            out.push((name, secs, allocs));
         }
     }
     out
 }
 
-/// Compares measured serial times against a reference JSON; returns the
-/// kernels that regressed by more than `factor`.
-fn regressions(rows: &[Row], reference: &[(String, f64)], factor: f64) -> Vec<String> {
+/// Compares measured serial times (within `factor`) and steady-state
+/// allocation counts (exact budget: any increase over the committed
+/// reference fails) against a reference JSON; returns the offending
+/// kernels.
+fn regressions(rows: &[Row], reference: &[(String, f64, u64)], factor: f64) -> Vec<String> {
     let mut bad = Vec::new();
-    for (name, ref_secs) in reference {
+    for (name, ref_secs, ref_allocs) in reference {
         if let Some(r) = rows.iter().find(|r| r.name == name) {
             if r.serial_secs > ref_secs * factor {
                 bad.push(format!(
                     "{name}: serial {:.3e}s vs reference {:.3e}s (> {factor}x)",
                     r.serial_secs, ref_secs
+                ));
+            }
+            if r.allocs_per_iter > *ref_allocs {
+                bad.push(format!(
+                    "{name}: {} allocs/iter vs reference {ref_allocs} (hot path regressed)",
+                    r.allocs_per_iter
                 ));
             }
         }

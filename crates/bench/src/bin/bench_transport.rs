@@ -1,0 +1,290 @@
+//! Exchange-pipeline benchmark, emitted as `BENCH_transport.json`.
+//!
+//! Runs the same VirtualEngine workload (2 workers × 8 experts, so every
+//! worker serves a multi-expert shard) across the full
+//! {transport × coalesce × microbatch} grid and reports, per row:
+//!
+//! - `secs_per_step` — wall time per training step (reported, not gated:
+//!   loopback timings are too noisy for a hard threshold),
+//! - `frames_per_step` — wire frames the master hub ships per step, the
+//!   number coalescing exists to shrink,
+//! - `bytes_per_step` — the traffic ledger's logical payload bytes,
+//!   which every row must agree on exactly (accounting is transport- and
+//!   coalescing-independent by construction).
+//!
+//! Usage:
+//!   bench_transport               full run, writes BENCH_transport.json
+//!   bench_transport --quick       fewer steps, does not write JSON
+//!   bench_transport --check FILE  verify invariants against a committed
+//!                                 JSON: the row grid matches, coalescing
+//!                                 cuts frames/step by ≥2x per transport,
+//!                                 and bytes/step is identical everywhere
+//!
+//! Run with `cargo run --release -p vela-bench --bin bench_transport`.
+//! The `tcp` rows spawn `vela_worker` processes, so build the whole
+//! workspace first (`cargo build --release`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use vela::prelude::*;
+use vela::runtime::ExchangeConfig;
+
+const WORKERS: usize = 2;
+
+struct Row {
+    transport: &'static str,
+    coalesce: bool,
+    microbatch: usize,
+    secs_per_step: f64,
+    frames_per_step: f64,
+    bytes_per_step: u64,
+}
+
+impl Row {
+    fn key(&self) -> (String, bool, usize) {
+        (self.transport.to_string(), self.coalesce, self.microbatch)
+    }
+}
+
+fn spec() -> MoeSpec {
+    MoeSpec {
+        blocks: 2,
+        experts: 8,
+        top_k: 2,
+        hidden: 1024,
+        ffn: 4096,
+        bits: 16,
+    }
+}
+
+fn run_row(
+    transport: TransportConfig,
+    label: &'static str,
+    exchange: ExchangeConfig,
+    steps: usize,
+) -> Row {
+    let spec = spec();
+    let scale = ScaleConfig {
+        batch: 4,
+        seq: 64,
+        drift: 1e-3,
+        ..ScaleConfig::paper_default(spec)
+    };
+    let profile = LocalityProfile::synthetic("bench", spec.blocks, spec.experts, 1.2, 17);
+    let placement = Placement::new(
+        (0..spec.blocks)
+            .map(|_| (0..spec.experts).map(|e| e % WORKERS).collect())
+            .collect(),
+        WORKERS,
+    );
+    let mut engine = VirtualEngine::launch_with(
+        transport,
+        Topology::paper_testbed(),
+        DeviceId(0),
+        (0..WORKERS).map(DeviceId).collect(),
+        placement,
+        profile,
+        scale,
+    );
+    engine.set_exchange(exchange);
+    let (frames_before, _) = engine.frame_counts();
+    let start = Instant::now();
+    let metrics = engine.run(steps);
+    let secs = start.elapsed().as_secs_f64();
+    let (frames_after, _) = engine.frame_counts();
+    engine.shutdown();
+
+    let bytes: u64 = metrics.iter().map(|m| m.traffic.total_bytes).sum();
+    Row {
+        transport: label,
+        coalesce: exchange.coalesce,
+        microbatch: exchange.microbatch,
+        secs_per_step: secs / steps as f64,
+        frames_per_step: (frames_after - frames_before) as f64 / steps as f64,
+        bytes_per_step: bytes / steps as u64,
+    }
+}
+
+fn run_all(steps: usize) -> Vec<Row> {
+    let transports: [(&'static str, fn() -> TransportConfig); 3] = [
+        ("channel", TransportConfig::channel),
+        ("tcp-threads", TransportConfig::tcp_threads),
+        ("tcp", TransportConfig::tcp_processes),
+    ];
+    let mut rows = Vec::new();
+    for (label, transport) in transports {
+        for coalesce in [false, true] {
+            for microbatch in [1usize, 4] {
+                let exchange = ExchangeConfig {
+                    coalesce,
+                    microbatch,
+                };
+                rows.push(run_row(transport(), label, exchange, steps));
+            }
+        }
+    }
+    rows
+}
+
+fn emit_json(steps: usize, rows: &[Row]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"steps\": {steps},");
+    let _ = writeln!(json, "  \"workers\": {WORKERS},");
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"transport\": \"{}\", \"coalesce\": {}, \"microbatch\": {}, \"secs_per_step\": {:.9}, \"frames_per_step\": {:.1}, \"bytes_per_step\": {}}}",
+            r.transport, r.coalesce, r.microbatch, r.secs_per_step, r.frames_per_step, r.bytes_per_step
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+/// Extracts `(transport, coalesce, microbatch)` row keys from a
+/// `BENCH_transport.json` file (the exact format this binary emits).
+fn parse_reference_keys(text: &str) -> Vec<(String, bool, usize)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(tpos) = line.find("\"transport\": \"") else {
+            continue;
+        };
+        let rest = &line[tpos + 14..];
+        let Some(tend) = rest.find('"') else { continue };
+        let transport = rest[..tend].to_string();
+        let Some(cpos) = line.find("\"coalesce\": ") else {
+            continue;
+        };
+        let coalesce = line[cpos + 12..].starts_with("true");
+        let Some(mpos) = line.find("\"microbatch\": ") else {
+            continue;
+        };
+        let micro = line[mpos + 14..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>();
+        let Ok(microbatch) = micro.parse::<usize>() else {
+            continue;
+        };
+        out.push((transport, coalesce, microbatch));
+    }
+    out
+}
+
+/// The invariants the exchange pipeline must uphold, checked on the
+/// *measured* rows (the reference file only pins the expected grid):
+///
+/// 1. coalescing reduces frames/step by at least 2x per transport
+///    (unpipelined rows compared, so the ratio is not diluted), and
+/// 2. every row accounts exactly the same bytes/step.
+fn violations(rows: &[Row]) -> Vec<String> {
+    let mut bad = Vec::new();
+    let find = |transport: &str, coalesce: bool| {
+        rows.iter()
+            .find(|r| r.transport == transport && r.coalesce == coalesce && r.microbatch == 1)
+    };
+    for transport in ["channel", "tcp-threads", "tcp"] {
+        let (Some(per_batch), Some(coalesced)) = (find(transport, false), find(transport, true))
+        else {
+            bad.push(format!("{transport}: missing microbatch=1 rows"));
+            continue;
+        };
+        if coalesced.frames_per_step * 2.0 > per_batch.frames_per_step {
+            bad.push(format!(
+                "{transport}: coalescing only shrinks frames/step {:.1} -> {:.1} (< 2x)",
+                per_batch.frames_per_step, coalesced.frames_per_step
+            ));
+        }
+    }
+    let reference_bytes = rows.first().map_or(0, |r| r.bytes_per_step);
+    for r in rows {
+        if r.bytes_per_step != reference_bytes {
+            bad.push(format!(
+                "({}, coalesce={}, microbatch={}): {} bytes/step != {} (ledger must be exchange-shape independent)",
+                r.transport, r.coalesce, r.microbatch, r.bytes_per_step, reference_bytes
+            ));
+        }
+    }
+    bad
+}
+
+fn main() {
+    let mut quick = false;
+    let mut check: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => {
+                check = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--check requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_transport [--quick] [--check FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let steps = if quick { 5 } else { 20 };
+    let rows = run_all(steps);
+
+    println!("steps: {steps}, workers: {WORKERS}");
+    for r in &rows {
+        println!(
+            "{:<12} coalesce {:<5} microbatch {}  {:>10.3e}s/step  {:>7.1} frames/step  {:>10} bytes/step",
+            r.transport, r.coalesce, r.microbatch, r.secs_per_step, r.frames_per_step, r.bytes_per_step
+        );
+    }
+
+    let mut bad = violations(&rows);
+    if let Some(path) = &check {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read reference {path}: {e}");
+            std::process::exit(2);
+        });
+        let mut want = parse_reference_keys(&text);
+        let mut have: Vec<_> = rows.iter().map(Row::key).collect();
+        want.sort();
+        have.sort();
+        if want.is_empty() {
+            bad.push(format!("reference {path} contains no rows"));
+        } else if want != have {
+            bad.push(format!(
+                "row grid differs from reference {path}: {want:?} vs {have:?}"
+            ));
+        }
+    }
+    if check.is_some() {
+        if bad.is_empty() {
+            println!("transport bench check OK: >=2x frame reduction, ledger bytes identical");
+        } else {
+            eprintln!("transport bench check FAILED:");
+            for b in &bad {
+                eprintln!("  {b}");
+            }
+            std::process::exit(1);
+        }
+    } else if !bad.is_empty() {
+        // Even without --check, never silently emit a JSON that violates
+        // the pipeline's invariants.
+        eprintln!("invariant violations:");
+        for b in &bad {
+            eprintln!("  {b}");
+        }
+        std::process::exit(1);
+    }
+
+    if !quick {
+        std::fs::write("BENCH_transport.json", emit_json(steps, &rows))
+            .expect("write BENCH_transport.json");
+        println!("wrote BENCH_transport.json");
+    }
+}

@@ -183,8 +183,10 @@ impl MoeBlock {
     pub fn forward(&mut self, x: &Tensor, provider: &mut dyn ExpertProvider) -> Tensor {
         let _span = vela_obs::span("model.moe.fwd");
         let tokens = x.rows();
-        let rout = self.router.forward(x);
+        // Hoisted above the router call: `rout` borrows the router's
+        // persistent output for the rest of the pass.
         let capacity = self.expert_capacity(tokens);
+        let rout = self.router.forward(x);
         let state = &mut self.state;
 
         // Pass 1: per-expert assignment counts, ascending expert id within

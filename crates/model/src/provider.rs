@@ -54,6 +54,9 @@ pub trait ExpertProvider {
 #[derive(Debug, Default)]
 pub struct LocalExpertStore {
     slots: Vec<Vec<Option<SwiGlu>>>,
+    /// Persistent dispatch buffer: experts move out of their slots for the
+    /// duration of one block call, keeping the hot path allocation-free.
+    scratch: Vec<SwiGlu>,
 }
 
 impl LocalExpertStore {
@@ -72,7 +75,10 @@ impl LocalExpertStore {
             }
             slots.push(row);
         }
-        LocalExpertStore { slots }
+        LocalExpertStore {
+            slots,
+            scratch: Vec::new(),
+        }
     }
 
     /// An empty store with slots for `blocks × experts` experts (a worker
@@ -80,6 +86,7 @@ impl LocalExpertStore {
     pub fn empty(blocks: usize, experts: usize) -> Self {
         LocalExpertStore {
             slots: vec![std::iter::repeat_with(|| None).take(experts).collect(); blocks],
+            scratch: Vec::new(),
         }
     }
 
@@ -156,22 +163,32 @@ impl LocalExpertStore {
 }
 
 impl LocalExpertStore {
-    /// Collects one disjoint `&mut` per batch's expert so the batches can
-    /// be evaluated concurrently. Token groups are formed per expert, so a
-    /// well-formed call never names the same expert twice.
-    fn batch_experts(&mut self, block: usize, batches: &[ExpertBatch]) -> Vec<&mut SwiGlu> {
-        let mut row: Vec<Option<&mut SwiGlu>> =
-            self.slots[block].iter_mut().map(Option::as_mut).collect();
-        batches
-            .iter()
-            .map(|b| {
-                row.get_mut(b.expert)
-                    .and_then(Option::take)
-                    .unwrap_or_else(|| {
-                        panic!("expert ({block},{}) not present or batched twice", b.expert)
-                    })
-            })
-            .collect()
+    /// Moves each batch's expert out of its slot into the persistent
+    /// `scratch` buffer (batch order) so the batches can be evaluated
+    /// concurrently without per-call allocation. Token groups are formed
+    /// per expert, so a well-formed call never names the same expert
+    /// twice. Paired with [`return_experts`](Self::return_experts).
+    fn take_experts(&mut self, block: usize, batches: &[ExpertBatch]) {
+        self.scratch.clear();
+        let row = &mut self.slots[block];
+        for b in batches {
+            let ffn = row
+                .get_mut(b.expert)
+                .and_then(Option::take)
+                .unwrap_or_else(|| {
+                    panic!("expert ({block},{}) not present or batched twice", b.expert)
+                });
+            self.scratch.push(ffn);
+        }
+    }
+
+    /// Puts the experts taken by [`take_experts`](Self::take_experts) back
+    /// into their slots.
+    fn return_experts(&mut self, block: usize, batches: &[ExpertBatch]) {
+        let row = &mut self.slots[block];
+        for (b, ffn) in batches.iter().zip(self.scratch.drain(..)) {
+            row[b.expert] = Some(ffn);
+        }
     }
 }
 
@@ -186,15 +203,23 @@ fn dispatch_work(batches: &[ExpertBatch], hidden: usize) -> usize {
 
 impl ExpertProvider for LocalExpertStore {
     fn forward_block(&mut self, block: usize, batches: &[ExpertBatch]) -> Vec<Tensor> {
-        let mut experts = self.batch_experts(block, batches);
-        let work = dispatch_work(batches, experts.first().map_or(0, |f| f.hidden()));
-        parallel::par_map_mut_hinted(&mut experts, work, |i, ffn| ffn.forward(&batches[i].xs))
+        self.take_experts(block, batches);
+        let work = dispatch_work(batches, self.scratch.first().map_or(0, |f| f.hidden()));
+        let out = parallel::par_map_mut_hinted(&mut self.scratch, work, |i, ffn| {
+            ffn.forward(&batches[i].xs)
+        });
+        self.return_experts(block, batches);
+        out
     }
 
     fn backward_block(&mut self, block: usize, grads: &[ExpertBatch]) -> Vec<Tensor> {
-        let mut experts = self.batch_experts(block, grads);
-        let work = dispatch_work(grads, experts.first().map_or(0, |f| f.hidden()));
-        parallel::par_map_mut_hinted(&mut experts, work, |i, ffn| ffn.backward(&grads[i].xs))
+        self.take_experts(block, grads);
+        let work = dispatch_work(grads, self.scratch.first().map_or(0, |f| f.hidden()));
+        let out = parallel::par_map_mut_hinted(&mut self.scratch, work, |i, ffn| {
+            ffn.backward(&grads[i].xs)
+        });
+        self.return_experts(block, grads);
+        out
     }
 }
 

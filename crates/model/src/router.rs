@@ -51,19 +51,18 @@ pub struct Router {
     k: usize,
     /// Auxiliary load-balancing loss weight (zero during fine-tuning).
     aux_weight: f32,
-    cache: Option<RouterCache>,
-}
-
-#[derive(Debug, Clone)]
-struct RouterCache {
-    probs: Tensor,
-    selected: Vec<usize>,
-    selected_probs: Vec<f32>,
-    weights: Vec<f32>,
-    /// Dispatch fractions per expert (for the aux-loss gradient).
+    /// Persistent routing decision, refilled in place each forward so the
+    /// hot path performs no heap allocation; doubles as the backward cache.
+    out: RouterOutput,
+    /// Dispatch fractions per expert (for the aux-loss gradient), reused.
     fractions: Vec<f32>,
+    /// Per-expert scratch (assignment counts, mean gate probs), reused.
+    counts: Vec<usize>,
+    mean_probs: Vec<f32>,
     /// Value of the auxiliary loss at the last forward.
     aux_loss: f32,
+    /// Set by `forward`, consumed by `backward`.
+    ready: bool,
 }
 
 impl Router {
@@ -85,7 +84,18 @@ impl Router {
             experts,
             k,
             aux_weight,
-            cache: None,
+            out: RouterOutput {
+                probs: Tensor::zeros(1usize),
+                selected: Vec::new(),
+                selected_probs: Vec::new(),
+                weights: Vec::new(),
+                k,
+            },
+            fractions: Vec::new(),
+            counts: Vec::new(),
+            mean_probs: Vec::new(),
+            aux_loss: 0.0,
+            ready: false,
         }
     }
 
@@ -111,63 +121,71 @@ impl Router {
 
     /// Value of the auxiliary load-balancing loss at the last forward pass.
     pub fn last_aux_loss(&self) -> f32 {
-        self.cache.as_ref().map_or(0.0, |c| c.aux_loss)
+        self.aux_loss
     }
 
     /// Routes a `[tokens, dim]` batch, producing per-token expert choices
     /// and mixture weights.
-    pub fn forward(&mut self, x: &Tensor) -> RouterOutput {
+    ///
+    /// Returns a borrow of the router's persistent [`RouterOutput`]; the
+    /// same storage is refilled by the next forward pass, so the hot path
+    /// does not allocate. Clone any fields needed across calls.
+    pub fn forward(&mut self, x: &Tensor) -> &RouterOutput {
         let logits = self.gate.forward(x);
-        let probs = ops::softmax_rows(&logits);
-        let (selected, selected_probs) = ops::topk_rows(&probs, self.k);
+        self.out.probs = ops::softmax_rows(&logits);
+        let probs = &self.out.probs;
+        ops::topk_rows_into(
+            probs,
+            self.k,
+            &mut self.out.selected,
+            &mut self.out.selected_probs,
+        );
         let tokens = x.rows();
 
-        let mut weights = Vec::with_capacity(selected.len());
+        self.out.weights.clear();
+        self.out.weights.reserve(self.out.selected.len());
         for t in 0..tokens {
-            let slice = &selected_probs[t * self.k..(t + 1) * self.k];
+            let slice = &self.out.selected_probs[t * self.k..(t + 1) * self.k];
             let sum: f32 = slice.iter().sum();
             for &p in slice {
-                weights.push(p / sum);
+                self.out.weights.push(p / sum);
             }
         }
 
         // Switch-transformer auxiliary loss: E · Σ_e f_e · P̄_e, where f_e is
         // the fraction of (token, slot) assignments routed to e and P̄_e the
         // mean gate probability of e.
-        let mut counts = vec![0usize; self.experts];
-        for &e in &selected {
-            counts[e] += 1;
+        self.counts.clear();
+        self.counts.resize(self.experts, 0);
+        for &e in &self.out.selected {
+            self.counts[e] += 1;
         }
-        let total = selected.len().max(1);
-        let fractions: Vec<f32> = counts.iter().map(|&c| c as f32 / total as f32).collect();
-        let mean_probs = ops::sum_rows(&probs)
-            .into_iter()
-            .map(|s| s / tokens as f32)
-            .collect::<Vec<_>>();
-        let aux_loss = self.aux_weight
+        let total = self.out.selected.len().max(1);
+        self.fractions.clear();
+        self.fractions
+            .extend(self.counts.iter().map(|&c| c as f32 / total as f32));
+        self.mean_probs.clear();
+        self.mean_probs.resize(self.experts, 0.0);
+        for i in 0..tokens {
+            for (m, &p) in self.mean_probs.iter_mut().zip(probs.row(i)) {
+                *m += p;
+            }
+        }
+        for m in self.mean_probs.iter_mut() {
+            *m /= tokens as f32;
+        }
+        self.aux_loss = self.aux_weight
             * self.experts as f32
-            * fractions
+            * self
+                .fractions
                 .iter()
-                .zip(&mean_probs)
+                .zip(&self.mean_probs)
                 .map(|(&f, &p)| f * p)
                 .sum::<f32>();
 
-        let out = RouterOutput {
-            probs: probs.clone(),
-            selected: selected.clone(),
-            selected_probs: selected_probs.clone(),
-            weights: weights.clone(),
-            k: self.k,
-        };
-        self.cache = Some(RouterCache {
-            probs,
-            selected,
-            selected_probs,
-            weights,
-            fractions,
-            aux_loss,
-        });
-        out
+        self.out.k = self.k;
+        self.ready = true;
+        &self.out
     }
 
     /// Backward pass.
@@ -180,7 +198,9 @@ impl Router {
     /// Panics if called before [`forward`](Self::forward) or with the wrong
     /// number of weight gradients.
     pub fn backward(&mut self, grad_weights: &[f32]) -> Tensor {
-        let cache = self.cache.take().expect("Router::backward before forward");
+        assert!(self.ready, "Router::backward before forward");
+        self.ready = false;
+        let cache = &self.out;
         let tokens = cache.probs.rows();
         assert_eq!(
             grad_weights.len(),
@@ -210,12 +230,12 @@ impl Router {
             for t in 0..tokens {
                 let row = grad_probs.row_mut(t);
                 for (e, v) in row.iter_mut().enumerate() {
-                    *v += scale * cache.fractions[e];
+                    *v += scale * self.fractions[e];
                 }
             }
         }
 
-        let grad_logits = ops::softmax_rows_backward(&cache.probs, &grad_probs);
+        let grad_logits = ops::softmax_rows_backward(&self.out.probs, &grad_probs);
         self.gate.backward(&grad_logits)
     }
 }
@@ -279,7 +299,7 @@ mod tests {
         let x = Tensor::uniform((4, 8), -0.5, 0.5, &mut rng);
         let gw: Vec<f32> = (0..8).map(|i| 0.1 * (i as f32 + 1.0)).collect();
 
-        let out = r.forward(&x);
+        let sel = r.forward(&x).selected.clone();
         let gin = r.backward(&gw);
 
         // Probe loss = Σ gw_i · w_i, with the selection pattern held fixed
@@ -297,7 +317,6 @@ mod tests {
             }
             loss
         };
-        let sel = out.selected.clone();
         let eps = 1e-2f32;
         for idx in (0..x.len()).step_by(3) {
             let mut xp = x.clone();

@@ -15,8 +15,8 @@ use vela_obs::LazyCounter;
 use vela_placement::Placement;
 use vela_tensor::Tensor;
 
-use crate::message::{Message, Payload};
-use crate::transport::{MasterHub, TransportError};
+use crate::message::{GroupItem, GroupPass, Message, Payload};
+use crate::transport::{ExchangeConfig, MasterHub, TransportError};
 
 /// Aggregate dispatch/gather telemetry across all phases and engines.
 static PHASE_BYTES_OUT: LazyCounter = LazyCounter::new("runtime.phase.bytes_out");
@@ -29,6 +29,34 @@ pub(crate) fn pass_name(pass: Pass) -> &'static str {
         Pass::Forward => "fwd",
         Pass::Backward => "bwd",
     }
+}
+
+/// The wire-level pass discriminant for a broker pass.
+pub(crate) fn group_pass(pass: Pass) -> GroupPass {
+    match pass {
+        Pass::Forward => GroupPass::Forward,
+        Pass::Backward => GroupPass::Backward,
+    }
+}
+
+/// Splits `len` items into up to `chunks` contiguous, order-preserving
+/// ranges of near-equal size (earlier ranges absorb the remainder). The
+/// microbatch pipeline iterates these; `chunks = 1` is the whole slice.
+pub(crate) fn chunk_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let m = chunks.clamp(1, len);
+    let base = len / m;
+    let extra = len % m;
+    let mut out = Vec::with_capacity(m);
+    let mut start = 0;
+    for i in 0..m {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
 }
 
 /// Mirrors one completed [`PhaseLog`] into `vela-obs`: aggregate and
@@ -91,6 +119,7 @@ pub struct BrokerClient {
     placement: Placement,
     phase_logs: Vec<PhaseLog>,
     step: u64,
+    exchange_cfg: ExchangeConfig,
 }
 
 impl BrokerClient {
@@ -111,12 +140,30 @@ impl BrokerClient {
             placement,
             phase_logs: Vec::new(),
             step: 0,
+            exchange_cfg: ExchangeConfig::from_env(),
         }
     }
 
     /// The placement in force.
     pub fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    /// Overrides the exchange shape (coalescing / microbatching) chosen
+    /// from the environment at construction. Any shape yields bitwise-
+    /// identical results; this knob trades frames for pipeline overlap.
+    pub fn set_exchange(&mut self, cfg: ExchangeConfig) {
+        self.exchange_cfg = cfg;
+    }
+
+    /// The exchange shape in force.
+    pub fn exchange_config(&self) -> ExchangeConfig {
+        self.exchange_cfg
+    }
+
+    /// Wire frames shipped/drained by the underlying hub so far.
+    pub fn frame_counts(&self) -> (u64, u64) {
+        self.hub.frame_counts()
     }
 
     /// Label of the transport backend in use.
@@ -135,8 +182,12 @@ impl BrokerClient {
         self.hub.broadcast(&Message::StepEnd)?;
         let mut pending = self.hub.worker_count();
         while pending > 0 {
-            let (_, msg) = self.hub.recv()?;
-            assert_eq!(msg, Message::StepDone, "expected StepDone");
+            let (w, msg) = self.hub.recv()?;
+            if msg != Message::StepDone {
+                return Err(TransportError::Protocol(format!(
+                    "worker {w}: expected StepDone, got {msg:?}"
+                )));
+            }
             pending -= 1;
         }
         Ok(())
@@ -164,16 +215,26 @@ impl BrokerClient {
             },
         )?;
         let (src, msg) = self.hub.recv()?;
-        assert_eq!(src, from, "expert state from wrong worker");
+        if src != from {
+            return Err(TransportError::Protocol(format!(
+                "expert state arrived from worker {src}, expected {from}"
+            )));
+        }
         let Message::ExpertState {
             block: rb,
             expert: re,
             data,
         } = msg
         else {
-            panic!("expected ExpertState, got {msg:?}");
+            return Err(TransportError::Protocol(format!(
+                "expected ExpertState, got {msg:?}"
+            )));
         };
-        assert_eq!((rb as usize, re as usize), (block, expert));
+        if (rb as usize, re as usize) != (block, expert) {
+            return Err(TransportError::Protocol(format!(
+                "fetched expert ({rb},{re}), asked for ({block},{expert})"
+            )));
+        }
         Ok(data)
     }
 
@@ -184,7 +245,8 @@ impl BrokerClient {
     /// Returns the parameter bytes moved (0 for a no-op).
     ///
     /// # Panics
-    /// Panics if indices are out of range or a worker misbehaves.
+    /// Panics if indices are out of range. A misbehaving worker surfaces
+    /// as [`TransportError::Protocol`], not a panic.
     pub fn migrate_expert(
         &mut self,
         block: usize,
@@ -206,11 +268,16 @@ impl BrokerClient {
             },
         )?;
         let (dst, ack) = self.hub.recv()?;
-        assert_eq!(dst, to, "install ack from wrong worker");
-        assert!(
-            matches!(ack, Message::InstallDone { .. }),
-            "expected InstallDone, got {ack:?}"
-        );
+        if dst != to {
+            return Err(TransportError::Protocol(format!(
+                "install ack arrived from worker {dst}, expected {to}"
+            )));
+        }
+        if !matches!(ack, Message::InstallDone { .. }) {
+            return Err(TransportError::Protocol(format!(
+                "expected InstallDone, got {ack:?}"
+            )));
+        }
         self.placement.set_worker(block, expert, to);
         Ok(bytes)
     }
@@ -221,16 +288,26 @@ impl BrokerClient {
         std::mem::take(&mut self.phase_logs)
     }
 
-    /// Dispatch + gather for one block and pass. `make_msg` builds the
-    /// outbound message; `extract` pulls the payload out of the matching
-    /// reply kind.
+    /// Dispatch + gather for one block and pass: the pipelined, coalescing
+    /// exchange.
+    ///
+    /// The batch list is split into [`ExchangeConfig::microbatch`]
+    /// contiguous chunks. Chunk *j*'s dispatch is written before chunk
+    /// *j−1*'s replies are drained, so the master's serialization/receive
+    /// work overlaps the workers' compute (the transports' writer seam
+    /// keeps sends from blocking on unread replies). With coalescing on,
+    /// each chunk ships at most one [`Message::DispatchGroup`] per worker
+    /// instead of one frame per batch.
+    ///
+    /// Replies may interleave arbitrarily across workers and chunks — they
+    /// are keyed by expert and reassembled into *input batch order* at the
+    /// end, so the result is deterministic regardless of arrival order,
+    /// and bitwise identical across every exchange shape and transport.
     fn exchange(
         &mut self,
         block: usize,
         pass: Pass,
         batches: &[ExpertBatch],
-        outbound: impl Fn(u32, u32, Payload) -> Message,
-        extract: impl Fn(Message) -> (u32, u32, Payload),
     ) -> Result<Vec<Tensor>, TransportError> {
         let _span = vela_obs::span(match pass {
             Pass::Forward => "runtime.broker.fwd",
@@ -245,28 +322,25 @@ impl BrokerClient {
             rows: vec![0; workers],
         };
 
-        // Token/gradient dispatcher.
-        for batch in batches {
-            let w = self.placement.worker_of(block, batch.expert);
-            let msg = outbound(
-                block as u32,
-                batch.expert as u32,
-                Payload::from_tensor(&batch.xs),
-            );
-            log.bytes_out[w] += msg.accounted_bytes();
-            log.rows[w] += batch.xs.rows() as u64;
-            self.hub.send(w, &msg)?;
+        let chunks = chunk_ranges(batches.len(), self.exchange_cfg.microbatch);
+        let mut by_expert: HashMap<usize, Tensor> = HashMap::with_capacity(batches.len());
+        let mut sent = 0usize; // wire frames dispatched so far
+        let mut received = 0usize; // reply frames drained so far
+        for range in chunks {
+            let owed = sent; // frames all *previous* chunks owe replies for
+            sent += self.send_chunk(block, pass, &batches[range], &mut log)?;
+            // One-deep pipeline: with this chunk on the wire (workers
+            // start computing it), drain the previous chunks' replies.
+            // Group replies cover several batches, so this counts frames,
+            // not batches.
+            while received < owed {
+                received += self.drain_reply(block, pass, &mut log, &mut by_expert)?;
+            }
+        }
+        while received < sent {
+            received += self.drain_reply(block, pass, &mut log, &mut by_expert)?;
         }
 
-        // Receiver: collect one reply per batch, match by (block, expert).
-        let mut by_expert: HashMap<usize, Tensor> = HashMap::with_capacity(batches.len());
-        for _ in 0..batches.len() {
-            let (w, msg) = self.hub.recv()?;
-            log.bytes_back[w] += msg.accounted_bytes();
-            let (rblock, rexpert, payload) = extract(msg);
-            assert_eq!(rblock as usize, block, "reply for wrong block");
-            by_expert.insert(rexpert as usize, payload.to_tensor());
-        }
         if vela_obs::enabled() {
             let rows: Vec<(usize, usize)> =
                 batches.iter().map(|b| (b.expert, b.xs.rows())).collect();
@@ -274,14 +348,159 @@ impl BrokerClient {
         }
         self.phase_logs.push(log);
 
-        Ok(batches
+        batches
             .iter()
             .map(|b| {
-                by_expert
-                    .remove(&b.expert)
-                    .expect("missing reply for expert")
+                by_expert.remove(&b.expert).ok_or_else(|| {
+                    TransportError::Protocol(format!(
+                        "missing {} reply for expert ({block},{})",
+                        pass_name(pass),
+                        b.expert
+                    ))
+                })
             })
-            .collect())
+            .collect()
+    }
+
+    /// Ships one microbatch chunk; returns the number of wire frames sent.
+    fn send_chunk(
+        &mut self,
+        block: usize,
+        pass: Pass,
+        batches: &[ExpertBatch],
+        log: &mut PhaseLog,
+    ) -> Result<usize, TransportError> {
+        if self.exchange_cfg.coalesce {
+            let mut groups: Vec<Vec<GroupItem>> = vec![Vec::new(); self.hub.worker_count()];
+            for batch in batches {
+                let w = self.placement.worker_of(block, batch.expert);
+                log.rows[w] += batch.xs.rows() as u64;
+                groups[w].push(GroupItem {
+                    expert: batch.expert as u32,
+                    payload: Payload::from_tensor(&batch.xs),
+                });
+            }
+            let mut frames = 0;
+            for (w, items) in groups.into_iter().enumerate() {
+                if items.is_empty() {
+                    continue;
+                }
+                let msg = Message::DispatchGroup {
+                    block: block as u32,
+                    pass: group_pass(pass),
+                    items,
+                };
+                log.bytes_out[w] += msg.accounted_bytes();
+                self.hub.send(w, &msg)?;
+                frames += 1;
+            }
+            Ok(frames)
+        } else {
+            for batch in batches {
+                let w = self.placement.worker_of(block, batch.expert);
+                let payload = Payload::from_tensor(&batch.xs);
+                let (b, e) = (block as u32, batch.expert as u32);
+                let msg = match pass {
+                    Pass::Forward => Message::TokenBatch {
+                        block: b,
+                        expert: e,
+                        payload,
+                    },
+                    Pass::Backward => Message::GradBatch {
+                        block: b,
+                        expert: e,
+                        payload,
+                    },
+                };
+                log.bytes_out[w] += msg.accounted_bytes();
+                log.rows[w] += batch.xs.rows() as u64;
+                self.hub.send(w, &msg)?;
+            }
+            Ok(batches.len())
+        }
+    }
+
+    /// Drains one reply frame into `by_expert`; returns 1 (frames drained)
+    /// on success. Wrong kinds, blocks or passes are protocol errors, not
+    /// panics.
+    fn drain_reply(
+        &mut self,
+        block: usize,
+        pass: Pass,
+        log: &mut PhaseLog,
+        by_expert: &mut HashMap<usize, Tensor>,
+    ) -> Result<usize, TransportError> {
+        let (w, msg) = self.hub.recv()?;
+        log.bytes_back[w] += msg.accounted_bytes();
+        match (pass, msg) {
+            (
+                Pass::Forward,
+                Message::ExpertResult {
+                    block: rb,
+                    expert,
+                    payload,
+                },
+            )
+            | (
+                Pass::Backward,
+                Message::GradResult {
+                    block: rb,
+                    expert,
+                    payload,
+                },
+            ) => {
+                check_reply_block(block, rb, pass)?;
+                by_expert.insert(expert as usize, real_tensor(payload, pass)?);
+            }
+            (
+                _,
+                Message::ResultGroup {
+                    block: rb,
+                    pass: rp,
+                    items,
+                },
+            ) => {
+                check_reply_block(block, rb, pass)?;
+                if rp != group_pass(pass) {
+                    return Err(TransportError::Protocol(format!(
+                        "{rp:?} result group during a {} exchange",
+                        pass_name(pass)
+                    )));
+                }
+                for item in items {
+                    by_expert.insert(item.expert as usize, real_tensor(item.payload, pass)?);
+                }
+            }
+            (_, other) => {
+                return Err(TransportError::Protocol(format!(
+                    "unexpected reply during {} exchange: {other:?}",
+                    pass_name(pass)
+                )))
+            }
+        }
+        Ok(1)
+    }
+}
+
+fn check_reply_block(block: usize, got: u32, pass: Pass) -> Result<(), TransportError> {
+    if got as usize != block {
+        return Err(TransportError::Protocol(format!(
+            "{} reply for block {got}, expected {block}",
+            pass_name(pass)
+        )));
+    }
+    Ok(())
+}
+
+/// A data-plane reply must carry real features; a virtual payload here
+/// means the peer is running a different engine.
+fn real_tensor(payload: Payload, pass: Pass) -> Result<Tensor, TransportError> {
+    match payload {
+        Payload::Real { .. } => Ok(payload.to_tensor()),
+        Payload::Virtual { .. } => Err(TransportError::Protocol(format!(
+            "virtual payload in a real {} exchange",
+            pass_name(pass)
+        ))),
     }
 }
 
@@ -293,47 +512,13 @@ impl BrokerClient {
 // practice (between steps, or while waiting on acks).
 impl ExpertProvider for BrokerClient {
     fn forward_block(&mut self, block: usize, batches: &[ExpertBatch]) -> Vec<Tensor> {
-        self.exchange(
-            block,
-            Pass::Forward,
-            batches,
-            |block, expert, payload| Message::TokenBatch {
-                block,
-                expert,
-                payload,
-            },
-            |msg| match msg {
-                Message::ExpertResult {
-                    block,
-                    expert,
-                    payload,
-                } => (block, expert, payload),
-                other => panic!("expected ExpertResult, got {other:?}"),
-            },
-        )
-        .unwrap_or_else(|e| panic!("transport failed during forward exchange: {e}"))
+        self.exchange(block, Pass::Forward, batches)
+            .unwrap_or_else(|e| panic!("transport failed during forward exchange: {e}"))
     }
 
     fn backward_block(&mut self, block: usize, grads: &[ExpertBatch]) -> Vec<Tensor> {
-        self.exchange(
-            block,
-            Pass::Backward,
-            grads,
-            |block, expert, payload| Message::GradBatch {
-                block,
-                expert,
-                payload,
-            },
-            |msg| match msg {
-                Message::GradResult {
-                    block,
-                    expert,
-                    payload,
-                } => (block, expert, payload),
-                other => panic!("expected GradResult, got {other:?}"),
-            },
-        )
-        .unwrap_or_else(|e| panic!("transport failed during backward exchange: {e}"))
+        self.exchange(block, Pass::Backward, grads)
+            .unwrap_or_else(|e| panic!("transport failed during backward exchange: {e}"))
     }
 }
 
@@ -472,6 +657,121 @@ mod tests {
         broker.step_begin().unwrap();
         broker.step_end_and_wait().unwrap(); // must not deadlock
         teardown(&mut broker, managers);
+    }
+
+    #[test]
+    fn chunk_ranges_partition_in_order() {
+        assert_eq!(chunk_ranges(0, 4), vec![]);
+        assert_eq!(chunk_ranges(5, 1), vec![0..5]);
+        assert_eq!(chunk_ranges(5, 2), vec![0..3, 3..5]);
+        assert_eq!(chunk_ranges(3, 8), vec![0..1, 1..2, 2..3]);
+        // Ranges always cover 0..len contiguously.
+        for len in 0..20 {
+            for m in 1..8 {
+                let ranges = chunk_ranges(len, m);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(r.end > r.start);
+                    next = r.end;
+                }
+                assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), len);
+            }
+        }
+    }
+
+    #[test]
+    fn every_exchange_shape_is_bitwise_identical() {
+        // The same forward+backward exchange under every {coalesce ×
+        // microbatch} shape must reproduce the per-batch baseline bit for
+        // bit — results, phase logs, everything the model sees.
+        let run = |cfg: ExchangeConfig| {
+            let (mut broker, managers, _, model_cfg) = setup();
+            broker.set_exchange(cfg);
+            let mut rng = DetRng::new(11);
+            let batches: Vec<ExpertBatch> = (0..model_cfg.experts)
+                .map(|e| ExpertBatch {
+                    expert: e,
+                    xs: vela_tensor::Tensor::uniform((2 + e, model_cfg.dim), -1.0, 1.0, &mut rng),
+                })
+                .collect();
+            let fwd = broker.forward_block(0, &batches);
+            let grads: Vec<ExpertBatch> = batches
+                .iter()
+                .map(|b| ExpertBatch {
+                    expert: b.expert,
+                    xs: vela_tensor::Tensor::ones(b.xs.shape().as_2d()),
+                })
+                .collect();
+            let bwd = broker.backward_block(0, &grads);
+            let logs = broker.take_phase_logs();
+            teardown(&mut broker, managers);
+            (fwd, bwd, logs)
+        };
+        let baseline = run(ExchangeConfig::per_batch());
+        for coalesce in [false, true] {
+            for microbatch in [1, 3] {
+                let shaped = run(ExchangeConfig {
+                    coalesce,
+                    microbatch,
+                });
+                assert_eq!(
+                    baseline, shaped,
+                    "coalesce={coalesce} microbatch={microbatch} must be invisible"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coalescing_shrinks_frames_not_bytes() {
+        let run = |cfg: ExchangeConfig| {
+            let (mut broker, managers, _, model_cfg) = setup();
+            broker.set_exchange(cfg);
+            let mut rng = DetRng::new(13);
+            let batches: Vec<ExpertBatch> = (0..model_cfg.experts)
+                .map(|e| ExpertBatch {
+                    expert: e,
+                    xs: vela_tensor::Tensor::uniform((3, model_cfg.dim), -1.0, 1.0, &mut rng),
+                })
+                .collect();
+            broker.forward_block(0, &batches);
+            let frames = broker.frame_counts();
+            let log = broker.take_phase_logs().pop().unwrap();
+            teardown(&mut broker, managers);
+            (frames, log.bytes_out, log.bytes_back)
+        };
+        let (per_frames, per_out, per_back) = run(ExchangeConfig::per_batch());
+        let (co_frames, co_out, co_back) = run(ExchangeConfig::default());
+        // 2 workers × 4 experts: 4 frames each way per-batch, 2 coalesced.
+        assert_eq!(per_frames, (4, 4));
+        assert_eq!(co_frames, (2, 2));
+        // ...while the accounted bytes are identical.
+        assert_eq!(per_out, co_out);
+        assert_eq!(per_back, co_back);
+    }
+
+    #[test]
+    fn wrong_reply_is_a_protocol_error_not_a_panic() {
+        // A worker that answers FetchExpert with StepDone must surface as
+        // TransportError::Protocol on the master.
+        let ledger = Arc::new(TrafficLedger::new(Topology::paper_testbed()));
+        let (hub, mut ports) = star(ledger, DeviceId(0), &[DeviceId(1)]);
+        let mut port = ports.remove(0);
+        let rogue = std::thread::spawn(move || {
+            while let Ok(msg) = port.recv() {
+                match msg {
+                    Message::Shutdown => break,
+                    _ => port.send(&Message::StepDone).unwrap(),
+                }
+            }
+        });
+        let placement = Placement::new(vec![vec![0]], 1);
+        let mut broker = BrokerClient::new(hub, placement);
+        let err = broker.fetch_expert(0, 0).unwrap_err();
+        assert!(matches!(err, TransportError::Protocol(_)), "got {err:?}");
+        broker.shutdown().unwrap();
+        rogue.join().unwrap();
     }
 
     #[test]

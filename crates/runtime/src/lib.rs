@@ -37,9 +37,9 @@ pub mod worker;
 
 pub use broker::BrokerClient;
 pub use ep_engine::EpEngine;
-pub use message::{Message, Payload};
+pub use message::{GroupItem, GroupPass, Message, Payload};
 pub use metrics::{RunSummary, StepMetrics};
 pub use runtime::RealRuntime;
-pub use transport::{TransportConfig, TransportError, TransportMode};
+pub use transport::{ExchangeConfig, TransportConfig, TransportError, TransportMode};
 pub use virtual_engine::{ScaleConfig, VirtualEngine};
 pub use wire::WireError;

@@ -82,6 +82,33 @@ impl Payload {
     }
 }
 
+/// Which half of a block-pass a group frame belongs to.
+///
+/// A [`Message::DispatchGroup`] carrying `Forward` items plays the role of
+/// many `TokenBatch` frames; `Backward` plays many `GradBatch` frames. The
+/// reply [`Message::ResultGroup`] mirrors the pass so the master can check
+/// it is draining the exchange it started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupPass {
+    /// Token activations out, expert outputs back.
+    Forward,
+    /// Output gradients out, input gradients back.
+    Backward,
+}
+
+/// One expert's payload inside a coalesced group frame.
+///
+/// Equivalent to the `(expert, payload)` pair of a per-batch frame; the
+/// block index is hoisted to the enclosing group since a block-pass never
+/// mixes blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupItem {
+    /// Expert index within the block.
+    pub expert: u32,
+    /// Activations or gradients for that expert.
+    pub payload: Payload,
+}
+
 /// A master↔worker protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -157,6 +184,27 @@ pub enum Message {
     },
     /// Terminates the worker loop.
     Shutdown,
+    /// All of one worker's expert batches for a block-pass in a single
+    /// frame (master → worker). Coalesces O(experts-per-worker) per-batch
+    /// frames into one round-trip.
+    DispatchGroup {
+        /// MoE block index.
+        block: u32,
+        /// Forward (token activations) or backward (gradients).
+        pass: GroupPass,
+        /// Per-expert payloads, in the master's dispatch order.
+        items: Vec<GroupItem>,
+    },
+    /// The worker's replies to a [`Message::DispatchGroup`], one item per
+    /// dispatched item in the same order (worker → master).
+    ResultGroup {
+        /// MoE block index.
+        block: u32,
+        /// Pass of the dispatch this answers.
+        pass: GroupPass,
+        /// Per-expert results, in dispatch order.
+        items: Vec<GroupItem>,
+    },
 }
 
 const TAG_STEP_BEGIN: u8 = 1;
@@ -170,9 +218,19 @@ const TAG_SHUTDOWN: u8 = 8;
 const TAG_FETCH_EXPERT: u8 = 9;
 const TAG_EXPERT_STATE: u8 = 10;
 const TAG_INSTALL_DONE: u8 = 11;
+const TAG_DISPATCH_GROUP: u8 = 12;
+const TAG_RESULT_GROUP: u8 = 13;
 
 const PAYLOAD_REAL: u8 = 0;
 const PAYLOAD_VIRTUAL: u8 = 1;
+
+const PASS_FORWARD: u8 = 0;
+const PASS_BACKWARD: u8 = 1;
+
+/// Smallest possible encoded group item: 4 expert bytes + a virtual
+/// payload (1 tag + 4 rows + 4 bytes-per-token). Used to reject frames
+/// whose declared item count could not possibly fit before allocating.
+const MIN_GROUP_ITEM_BYTES: u64 = 13;
 
 impl Message {
     /// Serializes the message.
@@ -227,6 +285,12 @@ impl Message {
                 buf.put_u32(*expert);
             }
             Message::Shutdown => buf.put_u8(TAG_SHUTDOWN),
+            Message::DispatchGroup { block, pass, items } => {
+                encode_group(&mut buf, TAG_DISPATCH_GROUP, *block, *pass, items)
+            }
+            Message::ResultGroup { block, pass, items } => {
+                encode_group(&mut buf, TAG_RESULT_GROUP, *block, *pass, items)
+            }
         }
         buf.into_vec()
     }
@@ -302,6 +366,40 @@ impl Message {
                 expert: bytes.get_u32()?,
             },
             TAG_SHUTDOWN => Message::Shutdown,
+            TAG_DISPATCH_GROUP | TAG_RESULT_GROUP => {
+                let block = bytes.get_u32()?;
+                let pass = match bytes.get_u8()? {
+                    PASS_FORWARD => GroupPass::Forward,
+                    PASS_BACKWARD => GroupPass::Backward,
+                    other => {
+                        return Err(WireError::BadTag {
+                            what: "group pass",
+                            tag: other,
+                        })
+                    }
+                };
+                let count = bytes.get_u32()?;
+                // Reject impossible counts before allocating: every item
+                // occupies at least MIN_GROUP_ITEM_BYTES on the wire.
+                if u64::from(count) * MIN_GROUP_ITEM_BYTES > bytes.remaining() as u64 {
+                    return Err(WireError::BadLength {
+                        what: "group item count",
+                        declared: u64::from(count),
+                        available: bytes.remaining(),
+                    });
+                }
+                let mut items = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let expert = bytes.get_u32()?;
+                    let payload = decode_payload(&mut bytes)?;
+                    items.push(GroupItem { expert, payload });
+                }
+                if tag == TAG_DISPATCH_GROUP {
+                    Message::DispatchGroup { block, pass, items }
+                } else {
+                    Message::ResultGroup { block, pass, items }
+                }
+            }
             other => {
                 return Err(WireError::BadTag {
                     what: "message",
@@ -325,7 +423,28 @@ impl Message {
             Message::ExpertState { data, .. } => 17 + data.len() as u64,
             Message::FetchExpert { .. } | Message::InstallDone { .. } => 9,
             Message::StepEnd | Message::StepDone | Message::Shutdown => 1,
+            // A group accounts exactly what its items would have cost as
+            // individual per-batch frames (9-byte routing header each), so
+            // ledgers are coalescing-independent by construction.
+            Message::DispatchGroup { items, .. } | Message::ResultGroup { items, .. } => items
+                .iter()
+                .map(|item| 9 + item.payload.accounted_bytes())
+                .sum(),
         }
+    }
+}
+
+fn encode_group(buf: &mut ByteWriter, tag: u8, block: u32, pass: GroupPass, items: &[GroupItem]) {
+    buf.put_u8(tag);
+    buf.put_u32(block);
+    buf.put_u8(match pass {
+        GroupPass::Forward => PASS_FORWARD,
+        GroupPass::Backward => PASS_BACKWARD,
+    });
+    buf.put_u32(items.len() as u32);
+    for item in items {
+        buf.put_u32(item.expert);
+        encode_payload(buf, &item.payload);
     }
 }
 
@@ -333,6 +452,10 @@ fn encode_payload_msg(buf: &mut ByteWriter, tag: u8, block: u32, expert: u32, pa
     buf.put_u8(tag);
     buf.put_u32(block);
     buf.put_u32(expert);
+    encode_payload(buf, payload);
+}
+
+fn encode_payload(buf: &mut ByteWriter, payload: &Payload) {
     match payload {
         Payload::Real { rows, cols, data } => {
             buf.put_u8(PAYLOAD_REAL);
@@ -545,6 +668,107 @@ mod tests {
             Message::decode(&frame),
             Err(WireError::TrailingBytes { left: 1 })
         );
+    }
+
+    #[test]
+    fn group_frames_roundtrip() {
+        let mut rng = DetRng::new(4);
+        let t = Tensor::uniform((2, 3), -1.0, 1.0, &mut rng);
+        let msgs = vec![
+            Message::DispatchGroup {
+                block: 2,
+                pass: GroupPass::Forward,
+                items: vec![
+                    GroupItem {
+                        expert: 1,
+                        payload: Payload::from_tensor(&t),
+                    },
+                    GroupItem {
+                        expert: 6,
+                        payload: Payload::Virtual {
+                            rows: 9,
+                            bytes_per_token: 128,
+                        },
+                    },
+                ],
+            },
+            Message::ResultGroup {
+                block: 0,
+                pass: GroupPass::Backward,
+                items: vec![],
+            },
+        ];
+        for msg in msgs {
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn group_accounting_equals_per_batch_sum() {
+        // The whole point of the accounting rule: a coalesced frame costs
+        // byte-for-byte what its items would as individual frames.
+        let mut rng = DetRng::new(5);
+        let items: Vec<GroupItem> = (0..4)
+            .map(|e| GroupItem {
+                expert: e,
+                payload: Payload::from_tensor(&Tensor::uniform(
+                    (e as usize + 1, 3),
+                    -1.0,
+                    1.0,
+                    &mut rng,
+                )),
+            })
+            .collect();
+        let per_batch: u64 = items
+            .iter()
+            .map(|i| {
+                Message::TokenBatch {
+                    block: 1,
+                    expert: i.expert,
+                    payload: i.payload.clone(),
+                }
+                .accounted_bytes()
+            })
+            .sum();
+        let group = Message::DispatchGroup {
+            block: 1,
+            pass: GroupPass::Forward,
+            items,
+        };
+        assert_eq!(group.accounted_bytes(), per_batch);
+    }
+
+    #[test]
+    fn group_bad_pass_is_an_error() {
+        let mut w = crate::wire::ByteWriter::with_capacity(16);
+        w.put_u8(12); // DispatchGroup
+        w.put_u32(0);
+        w.put_u8(7); // no such pass
+        w.put_u32(0);
+        assert_eq!(
+            Message::decode(&w.into_vec()),
+            Err(WireError::BadTag {
+                what: "group pass",
+                tag: 7
+            })
+        );
+    }
+
+    #[test]
+    fn implausible_group_count_never_allocates() {
+        // Claims u32::MAX items but carries none: reject before reserving.
+        let mut w = crate::wire::ByteWriter::with_capacity(16);
+        w.put_u8(13); // ResultGroup
+        w.put_u32(0);
+        w.put_u8(0); // Forward
+        w.put_u32(u32::MAX);
+        assert!(matches!(
+            Message::decode(&w.into_vec()),
+            Err(WireError::BadLength {
+                what: "group item count",
+                ..
+            })
+        ));
     }
 
     #[test]

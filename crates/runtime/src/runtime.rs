@@ -30,7 +30,7 @@ use crate::broker::BrokerClient;
 use crate::launch::{launch_process_star, WorkerHandle};
 use crate::message::Message;
 use crate::metrics::{backbone_flops_per_token, master_worker_time, StepMetrics};
-use crate::transport::{build_star, MasterHub, TransportConfig};
+use crate::transport::{build_star, ExchangeConfig, MasterHub, TransportConfig};
 use crate::worker::{ExpertManager, ExpertTemplate, WorkerBootstrap};
 
 /// A live distributed fine-tuning session with real tensors.
@@ -196,6 +196,18 @@ impl RealRuntime {
     /// Label of the transport backend carrying this session's traffic.
     pub fn transport_label(&self) -> &'static str {
         self.broker.transport()
+    }
+
+    /// Overrides the exchange shape (coalescing / microbatching) chosen
+    /// from the environment at launch. Metrics and ledger windows are
+    /// bitwise-identical for every shape; only wire frame counts change.
+    pub fn set_exchange(&mut self, cfg: ExchangeConfig) {
+        self.broker.set_exchange(cfg);
+    }
+
+    /// Wire frames shipped/drained by the master hub so far (out, in).
+    pub fn frame_counts(&self) -> (u64, u64) {
+        self.broker.frame_counts()
     }
 
     /// Live-migrates experts so the session matches `target`, between

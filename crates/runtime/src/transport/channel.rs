@@ -5,6 +5,11 @@
 //! through a channel. Disconnection maps onto channel hang-up, so a dead
 //! worker thread surfaces as [`TransportError::Disconnected`] rather than
 //! a panic.
+//!
+//! The full-duplex contract the TCP hub earns with per-link writer
+//! threads holds here for free: an mpsc `send` never blocks on the
+//! receiver, so the master can always keep dispatching while replies
+//! queue in its inbox. No extra threads are needed.
 
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;

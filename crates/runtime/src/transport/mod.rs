@@ -54,6 +54,10 @@ pub enum TransportError {
     /// The connect handshake failed (bad magic, duplicate worker index,
     /// device mismatch, or the retry budget ran out).
     Handshake(String),
+    /// The peer spoke the protocol wrong: an unexpected message kind, a
+    /// reply for the wrong block/pass/expert, or an ack from the wrong
+    /// worker. The link itself is healthy — the *conversation* is not.
+    Protocol(String),
 }
 
 impl fmt::Display for TransportError {
@@ -64,6 +68,7 @@ impl fmt::Display for TransportError {
             TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
             TransportError::Wire(e) => write!(f, "malformed frame: {e}"),
             TransportError::Handshake(why) => write!(f, "transport handshake failed: {why}"),
+            TransportError::Protocol(why) => write!(f, "protocol violation: {why}"),
         }
     }
 }
@@ -180,6 +185,67 @@ impl TransportConfig {
     }
 }
 
+/// How a block-pass exchange is framed and pipelined.
+///
+/// Orthogonal to [`TransportConfig`]: any exchange shape runs over any
+/// transport, and every combination produces bitwise-identical results and
+/// byte-identical ledgers (pinned by `tests/transport_parity.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeConfig {
+    /// Pack all of a worker's expert batches for a block-pass into one
+    /// `DispatchGroup` frame (default). Off = one frame per batch, the
+    /// pre-pipeline wire protocol.
+    pub coalesce: bool,
+    /// Number of chunks each block-pass is split into so the master can
+    /// drain microbatch *j* while workers compute *j+1*. `1` (the
+    /// default) is the degenerate single-chunk exchange.
+    pub microbatch: usize,
+}
+
+impl Default for ExchangeConfig {
+    fn default() -> Self {
+        ExchangeConfig {
+            coalesce: true,
+            microbatch: 1,
+        }
+    }
+}
+
+impl ExchangeConfig {
+    /// One frame per batch, single chunk — the exact wire protocol that
+    /// predates the pipeline. Parity tests use this as the baseline.
+    pub fn per_batch() -> Self {
+        ExchangeConfig {
+            coalesce: false,
+            microbatch: 1,
+        }
+    }
+
+    /// Reads `VELA_COALESCE` (`1`/`on`/`true` — default — or
+    /// `0`/`off`/`false`) and `VELA_MICROBATCH` (a chunk count ≥ 1,
+    /// default 1). Unknown values warn and fall back rather than aborting
+    /// a long run.
+    pub fn from_env() -> Self {
+        let mut cfg = ExchangeConfig::default();
+        match std::env::var("VELA_COALESCE").as_deref() {
+            Ok("0") | Ok("off") | Ok("false") => cfg.coalesce = false,
+            Ok("1") | Ok("on") | Ok("true") | Err(_) => {}
+            Ok(other) => {
+                vela_obs::warn!("unknown VELA_COALESCE={other:?}, coalescing stays on");
+            }
+        }
+        if let Ok(raw) = std::env::var("VELA_MICROBATCH") {
+            match raw.parse::<usize>() {
+                Ok(n) if n >= 1 => cfg.microbatch = n,
+                _ => {
+                    vela_obs::warn!("invalid VELA_MICROBATCH={raw:?}, using 1");
+                }
+            }
+        }
+        cfg
+    }
+}
+
 /// Master-side raw frame mover. Implementations ship opaque frames; all
 /// message encoding and traffic accounting happens in [`MasterHub`].
 pub trait HubBackend: Send + fmt::Debug {
@@ -220,6 +286,8 @@ pub struct MasterHub {
     device: DeviceId,
     workers: Vec<DeviceId>,
     transport: &'static str,
+    frames_out: u64,
+    frames_in: u64,
 }
 
 impl MasterHub {
@@ -238,7 +306,17 @@ impl MasterHub {
             device: master,
             workers,
             transport,
+            frames_out: 0,
+            frames_in: 0,
         }
+    }
+
+    /// Protocol frames shipped and drained since construction, counted at
+    /// the wire-frame granularity (one coalesced group = one frame). The
+    /// transport bench uses this to show coalescing shrinking frame
+    /// counts while [`TrafficLedger`] bytes stay identical.
+    pub fn frame_counts(&self) -> (u64, u64) {
+        (self.frames_out, self.frames_in)
     }
 
     /// The master's device.
@@ -268,6 +346,7 @@ impl MasterHub {
     pub fn send(&mut self, index: usize, msg: &Message) -> Result<(), TransportError> {
         self.ledger
             .record(self.device, self.workers[index], msg.accounted_bytes());
+        self.frames_out += 1;
         self.backend.send(index, &msg.encode())
     }
 
@@ -301,10 +380,15 @@ impl MasterHub {
         self.backend.send(index, frame)
     }
 
-    fn account_up(&self, index: usize, frame: &[u8]) -> Result<(usize, Message), TransportError> {
+    fn account_up(
+        &mut self,
+        index: usize,
+        frame: &[u8],
+    ) -> Result<(usize, Message), TransportError> {
         let msg = Message::decode(frame)?;
         self.ledger
             .record(self.workers[index], self.device, msg.accounted_bytes());
+        self.frames_in += 1;
         Ok((index, msg))
     }
 
@@ -526,6 +610,32 @@ mod tests {
             Err(TransportError::Timeout)
         ));
         assert!(ports[0].try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn frames_are_counted_per_wire_frame() {
+        let (_, mut hub, mut ports) = setup();
+        assert_eq!(hub.frame_counts(), (0, 0));
+        hub.broadcast(&Message::StepEnd).unwrap();
+        for port in &mut ports {
+            port.recv().unwrap();
+            port.send(&Message::StepDone).unwrap();
+        }
+        for _ in 0..ports.len() {
+            hub.recv().unwrap();
+        }
+        assert_eq!(hub.frame_counts(), (6, 6));
+    }
+
+    #[test]
+    fn exchange_config_constructors() {
+        // Pure constructors only — env vars are process-global.
+        let d = ExchangeConfig::default();
+        assert!(d.coalesce);
+        assert_eq!(d.microbatch, 1);
+        let p = ExchangeConfig::per_batch();
+        assert!(!p.coalesce);
+        assert_eq!(p.microbatch, 1);
     }
 
     #[test]

@@ -32,7 +32,7 @@
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -54,6 +54,12 @@ const HELLO_LEN: usize = 16;
 pub const CONNECT_DEADLINE: Duration = Duration::from_secs(10);
 /// Default budget for the master to collect all workers.
 pub const ACCEPT_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Depth of each per-link writer queue, in frames. Deep enough to absorb
+/// a full block-pass of dispatches (one coalesced group, or tens of
+/// per-batch frames) without blocking the broker; shallow enough that a
+/// stalled worker exerts backpressure instead of buffering a whole run.
+pub const WRITER_QUEUE_FRAMES: usize = 64;
 
 fn frame_too_big(len: u64) -> TransportError {
     TransportError::Wire(WireError::BadLength {
@@ -191,14 +197,69 @@ impl PortBackend for TcpPort {
     }
 }
 
-/// Master-side endpoint: a writer socket per worker plus one inbox fed by
-/// per-socket reader threads, mirroring the mpsc hub's shared-receiver
+/// Master-side endpoint: a writer *thread* per worker plus one inbox fed
+/// by per-socket reader threads, mirroring the mpsc hub's shared-receiver
 /// shape so `recv` stays a single blocking pop regardless of fan-in.
+///
+/// `send` only enqueues the frame on the link's bounded queue
+/// ([`WRITER_QUEUE_FRAMES`]); the writer thread does the actual socket
+/// write. That makes the hub full-duplex: the broker can start draining
+/// replies from early dispatches while later dispatches are still being
+/// written out. A write failure tears the writer down and surfaces as
+/// [`TransportError::Disconnected`] on the next `send` to that link.
 #[derive(Debug)]
 struct TcpHub {
-    writers: Vec<TcpStream>,
+    writers: Vec<LinkWriter>,
+    sockets: Vec<TcpStream>,
     inbox: Receiver<(usize, Result<Vec<u8>, TransportError>)>,
     readers: Vec<JoinHandle<()>>,
+}
+
+/// One link's outbound half: the bounded queue into its writer thread.
+#[derive(Debug)]
+struct LinkWriter {
+    queue: Option<SyncSender<Vec<u8>>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl LinkWriter {
+    fn spawn(index: usize, mut sock: TcpStream) -> LinkWriter {
+        let (tx, rx) = sync_channel::<Vec<u8>>(WRITER_QUEUE_FRAMES);
+        let thread = std::thread::Builder::new()
+            .name(format!("tcp-hub-writer-{index}"))
+            .spawn(move || {
+                // Exiting on error drops `rx`; the hub sees the closed
+                // queue on its next send to this link.
+                for frame in rx {
+                    if let Err(e) = write_frame(&mut sock, &frame) {
+                        vela_obs::warn!("writer for worker {index} failed: {e}");
+                        return;
+                    }
+                }
+            })
+            .expect("failed to spawn hub writer");
+        LinkWriter {
+            queue: Some(tx),
+            thread: Some(thread),
+        }
+    }
+
+    fn enqueue(&self, frame: Vec<u8>) -> Result<(), TransportError> {
+        match &self.queue {
+            // A full queue blocks here — bounded backpressure, not
+            // unbounded buffering.
+            Some(q) => q.send(frame).map_err(|_| TransportError::Disconnected),
+            None => Err(TransportError::Disconnected),
+        }
+    }
+
+    /// Drops the queue and joins the thread, flushing queued frames.
+    fn finish(&mut self) {
+        drop(self.queue.take());
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
 }
 
 fn reader_loop(
@@ -230,7 +291,7 @@ fn reader_loop(
 
 impl TcpHub {
     fn close_sockets(&mut self) {
-        for sock in &self.writers {
+        for sock in &self.sockets {
             let _ = sock.shutdown(Shutdown::Both);
         }
     }
@@ -238,7 +299,7 @@ impl TcpHub {
 
 impl HubBackend for TcpHub {
     fn send(&mut self, index: usize, frame: &[u8]) -> Result<(), TransportError> {
-        write_frame(&mut self.writers[index], frame)
+        self.writers[index].enqueue(frame.to_vec())
     }
 
     fn recv(&mut self) -> Result<(usize, Vec<u8>), TransportError> {
@@ -258,6 +319,11 @@ impl HubBackend for TcpHub {
     }
 
     fn shutdown(&mut self) {
+        // Flush and retire the writers first so queued frames (e.g. a
+        // Shutdown broadcast) reach the wire before the FIN.
+        for writer in &mut self.writers {
+            writer.finish();
+        }
         self.close_sockets();
         for handle in self.readers.drain(..) {
             let _ = handle.join();
@@ -267,7 +333,11 @@ impl HubBackend for TcpHub {
 
 impl Drop for TcpHub {
     fn drop(&mut self) {
-        // Unblock any reader still parked in read(); they exit on EOF.
+        // Closing the queues lets the writers drain and exit; closing the
+        // sockets unblocks any reader still parked in read() (EOF).
+        for writer in &mut self.writers {
+            writer.finish();
+        }
         self.close_sockets();
     }
 }
@@ -352,10 +422,12 @@ impl TcpStarBuilder {
 
         let (tx, inbox) = channel();
         let mut writers = Vec::with_capacity(n);
+        let mut sockets = Vec::with_capacity(n);
         let mut readers = Vec::with_capacity(n);
         for (index, slot) in slots.into_iter().enumerate() {
             let sock = slot.expect("all slots filled");
             let reader = sock.try_clone().map_err(TransportError::Io)?;
+            let writer = sock.try_clone().map_err(TransportError::Io)?;
             let tx = tx.clone();
             readers.push(
                 std::thread::Builder::new()
@@ -363,11 +435,13 @@ impl TcpStarBuilder {
                     .spawn(move || reader_loop(index, reader, tx))
                     .expect("failed to spawn hub reader"),
             );
-            writers.push(sock);
+            writers.push(LinkWriter::spawn(index, writer));
+            sockets.push(sock);
         }
         Ok(MasterHub::new(
             Box::new(TcpHub {
                 writers,
+                sockets,
                 inbox,
                 readers,
             }),
@@ -680,6 +754,35 @@ mod tests {
         port.send(&Message::StepDone).unwrap();
         assert_eq!(hub.recv().unwrap(), (0, Message::StepDone));
         hub.shutdown();
+    }
+
+    #[test]
+    fn writer_queue_decouples_send_from_drain() {
+        // The hub's send only enqueues; a port that reads nothing for a
+        // while must not stall the master (up to the queue bound).
+        let (_, mut hub, mut ports) = setup();
+        for step in 0..40 {
+            hub.send(0, &Message::StepBegin { step }).unwrap();
+        }
+        for step in 0..40 {
+            assert_eq!(ports[0].recv().unwrap(), Message::StepBegin { step });
+        }
+        hub.shutdown();
+    }
+
+    #[test]
+    fn queued_frames_are_flushed_on_shutdown() {
+        // Shutdown joins the writer threads before closing sockets, so
+        // frames accepted by send() always reach the wire.
+        let (_, mut hub, mut ports) = setup();
+        for step in 0..10 {
+            hub.send(1, &Message::StepBegin { step }).unwrap();
+        }
+        hub.shutdown();
+        for step in 0..10 {
+            assert_eq!(ports[1].recv().unwrap(), Message::StepBegin { step });
+        }
+        assert!(matches!(ports[1].recv(), Err(TransportError::Disconnected)));
     }
 
     #[test]

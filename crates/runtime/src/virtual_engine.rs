@@ -22,12 +22,12 @@ use vela_model::MoeSpec;
 use vela_placement::Placement;
 use vela_tensor::rng::DetRng;
 
-use crate::broker::{Pass, PhaseLog};
+use crate::broker::{chunk_ranges, group_pass, Pass, PhaseLog};
 use crate::launch::{launch_process_star, WorkerHandle};
-use crate::message::{Message, Payload};
+use crate::message::{GroupItem, Message, Payload};
 use crate::metrics::{backbone_flops_per_token, master_worker_time, StepMetrics};
 use crate::routing::sample_expert_counts;
-use crate::transport::{build_star, MasterHub, TransportConfig};
+use crate::transport::{build_star, ExchangeConfig, MasterHub, TransportConfig};
 use crate::worker::{ExpertManager, WorkerBootstrap};
 
 /// Scale parameters of a virtual evaluation run.
@@ -111,6 +111,7 @@ pub struct VirtualEngine {
     worker_devices: Vec<DeviceId>,
     rng: DetRng,
     step: usize,
+    exchange_cfg: ExchangeConfig,
 }
 
 impl VirtualEngine {
@@ -223,12 +224,25 @@ impl VirtualEngine {
             worker_devices,
             rng,
             step: 0,
+            exchange_cfg: ExchangeConfig::from_env(),
         }
     }
 
     /// The placement driving this session.
     pub fn placement(&self) -> &Placement {
         &self.placement
+    }
+
+    /// Overrides the exchange shape (coalescing / microbatching) chosen
+    /// from the environment at launch. Ledger windows are byte-identical
+    /// for every shape; only wire frame counts change.
+    pub fn set_exchange(&mut self, cfg: ExchangeConfig) {
+        self.exchange_cfg = cfg;
+    }
+
+    /// Wire frames shipped/drained by the hub so far (out, in).
+    pub fn frame_counts(&self) -> (u64, u64) {
+        self.hub.frame_counts()
     }
 
     /// The (drifting) locality profile.
@@ -340,47 +354,26 @@ impl VirtualEngine {
             bytes_back: vec![0; workers],
             rows: vec![0; workers],
         };
-        let mut outstanding = 0usize;
-        for (expert, &rows) in counts.iter().enumerate() {
-            if rows == 0 {
-                continue;
+        let sends: Vec<(usize, u32)> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &rows)| rows > 0)
+            .map(|(expert, &rows)| (expert, rows as u32))
+            .collect();
+        // One-deep pipeline, same shape as `BrokerClient::exchange`: before
+        // dispatching chunk j+1, drain every frame owed by chunks ..=j.
+        let chunks = chunk_ranges(sends.len(), self.exchange_cfg.microbatch);
+        let mut sent = 0usize;
+        let mut received = 0usize;
+        for range in chunks {
+            let owed = sent;
+            sent += self.send_virtual_chunk(block, pass, &sends[range], bytes_per_token, &mut log);
+            while received < owed {
+                received += self.drain_virtual(pass, &mut log);
             }
-            let w = self.placement.worker_of(block, expert);
-            let payload = Payload::Virtual {
-                rows: rows as u32,
-                bytes_per_token,
-            };
-            let msg = match pass {
-                Pass::Forward => Message::TokenBatch {
-                    block: block as u32,
-                    expert: expert as u32,
-                    payload,
-                },
-                Pass::Backward => Message::GradBatch {
-                    block: block as u32,
-                    expert: expert as u32,
-                    payload,
-                },
-            };
-            log.bytes_out[w] += msg.accounted_bytes();
-            log.rows[w] += rows as u64;
-            self.hub
-                .send(w, &msg)
-                .unwrap_or_else(|e| panic!("transport failed during dispatch: {e}"));
-            outstanding += 1;
         }
-        while outstanding > 0 {
-            let (w, msg) = self
-                .hub
-                .recv()
-                .unwrap_or_else(|e| panic!("transport failed during gather: {e}"));
-            log.bytes_back[w] += msg.accounted_bytes();
-            match (pass, msg) {
-                (Pass::Forward, Message::ExpertResult { .. })
-                | (Pass::Backward, Message::GradResult { .. }) => {}
-                (_, other) => panic!("unexpected reply {other:?}"),
-            }
-            outstanding -= 1;
+        while received < sent {
+            received += self.drain_virtual(pass, &mut log);
         }
         if vela_obs::enabled() {
             let rows: Vec<(usize, usize)> = counts
@@ -392,6 +385,90 @@ impl VirtualEngine {
             crate::broker::observe_phase(&log, &rows);
         }
         log
+    }
+
+    /// Ships one microbatch of virtual sends, coalesced per worker when
+    /// enabled, and returns the number of wire frames dispatched.
+    fn send_virtual_chunk(
+        &mut self,
+        block: usize,
+        pass: Pass,
+        sends: &[(usize, u32)],
+        bytes_per_token: u32,
+        log: &mut PhaseLog,
+    ) -> usize {
+        let payload_for = |rows: u32| Payload::Virtual {
+            rows,
+            bytes_per_token,
+        };
+        if self.exchange_cfg.coalesce {
+            let mut groups: Vec<Vec<GroupItem>> = vec![Vec::new(); self.hub.worker_count()];
+            for &(expert, rows) in sends {
+                let w = self.placement.worker_of(block, expert);
+                log.rows[w] += u64::from(rows);
+                groups[w].push(GroupItem {
+                    expert: expert as u32,
+                    payload: payload_for(rows),
+                });
+            }
+            let mut frames = 0usize;
+            for (w, items) in groups.into_iter().enumerate() {
+                if items.is_empty() {
+                    continue;
+                }
+                let msg = Message::DispatchGroup {
+                    block: block as u32,
+                    pass: group_pass(pass),
+                    items,
+                };
+                log.bytes_out[w] += msg.accounted_bytes();
+                self.hub
+                    .send(w, &msg)
+                    .unwrap_or_else(|e| panic!("transport failed during dispatch: {e}"));
+                frames += 1;
+            }
+            frames
+        } else {
+            for &(expert, rows) in sends {
+                let w = self.placement.worker_of(block, expert);
+                let payload = payload_for(rows);
+                let msg = match pass {
+                    Pass::Forward => Message::TokenBatch {
+                        block: block as u32,
+                        expert: expert as u32,
+                        payload,
+                    },
+                    Pass::Backward => Message::GradBatch {
+                        block: block as u32,
+                        expert: expert as u32,
+                        payload,
+                    },
+                };
+                log.bytes_out[w] += msg.accounted_bytes();
+                log.rows[w] += u64::from(rows);
+                self.hub
+                    .send(w, &msg)
+                    .unwrap_or_else(|e| panic!("transport failed during dispatch: {e}"));
+            }
+            sends.len()
+        }
+    }
+
+    /// Drains one reply frame (per-batch echo or a `ResultGroup`),
+    /// accounting its uplink bytes. Returns the frames consumed (1).
+    fn drain_virtual(&mut self, pass: Pass, log: &mut PhaseLog) -> usize {
+        let (w, msg) = self
+            .hub
+            .recv()
+            .unwrap_or_else(|e| panic!("transport failed during gather: {e}"));
+        log.bytes_back[w] += msg.accounted_bytes();
+        match (pass, msg) {
+            (Pass::Forward, Message::ExpertResult { .. })
+            | (Pass::Backward, Message::GradResult { .. }) => {}
+            (_, Message::ResultGroup { pass: rp, .. }) if rp == group_pass(pass) => {}
+            (_, other) => panic!("unexpected reply {other:?}"),
+        }
+        1
     }
 }
 

@@ -22,7 +22,7 @@ use vela_nn::param::Module;
 use vela_nn::swiglu::SwiGlu;
 use vela_tensor::rng::DetRng;
 
-use crate::message::{Message, Payload};
+use crate::message::{GroupItem, GroupPass, Message, Payload};
 use crate::transport::{TransportError, WorkerPort};
 use crate::wire::{ByteReader, ByteWriter, WireError};
 
@@ -362,6 +362,10 @@ fn handle(
                 payload: reply,
             })?;
         }
+        Message::DispatchGroup { block, pass, items } => {
+            let items = serve_group(shard, block as usize, pass, items);
+            port.send(&Message::ResultGroup { block, pass, items })?;
+        }
         Message::StepEnd => {
             opt.step(shard);
             port.send(&Message::StepDone)?;
@@ -398,6 +402,47 @@ fn handle(
         }
     }
     Ok(Flow::Continue)
+}
+
+/// Serves one coalesced dispatch: all real payloads go through a *single*
+/// `forward_block`/`backward_block` call (the same per-expert kernels the
+/// per-batch path runs, so results are bit-identical), virtual payloads
+/// are echoed, and replies come back in item order.
+fn serve_group(
+    shard: &mut LocalExpertStore,
+    block: usize,
+    pass: GroupPass,
+    items: Vec<GroupItem>,
+) -> Vec<GroupItem> {
+    let batches: Vec<ExpertBatch> = items
+        .iter()
+        .filter(|item| matches!(item.payload, Payload::Real { .. }))
+        .map(|item| ExpertBatch {
+            expert: item.expert as usize,
+            xs: item.payload.to_tensor(),
+        })
+        .collect();
+    let outs = if batches.is_empty() {
+        Vec::new()
+    } else {
+        match pass {
+            GroupPass::Forward => shard.forward_block(block, &batches),
+            GroupPass::Backward => shard.backward_block(block, &batches),
+        }
+    };
+    let mut outs = outs.into_iter();
+    items
+        .into_iter()
+        .map(|item| GroupItem {
+            expert: item.expert,
+            payload: match item.payload {
+                Payload::Real { .. } => {
+                    Payload::from_tensor(&outs.next().expect("one output per real batch"))
+                }
+                virt @ Payload::Virtual { .. } => virt,
+            },
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -534,6 +579,80 @@ mod tests {
             panic!()
         };
         assert_eq!(payload.to_tensor(), local_out, "bit-exact parity");
+        hub.send(0, &Message::Shutdown).unwrap();
+        manager.join();
+    }
+
+    #[test]
+    fn dispatch_group_matches_per_batch_replies_bitwise() {
+        // The same two batches, once as individual TokenBatch frames and
+        // once coalesced: the worker must produce bit-identical outputs
+        // and reply in item order. Virtual items are echoed in place.
+        let cfg = ModelConfig::test_small();
+        let mut local = LocalExpertStore::new(&cfg, &mut DetRng::new(5));
+        let (mut hub, manager, _) = spawn_one(); // same seed inside
+        let mut rng = DetRng::new(9);
+        let xs0 = Tensor::uniform((3, cfg.dim), -1.0, 1.0, &mut rng);
+        let xs1 = Tensor::uniform((2, cfg.dim), -1.0, 1.0, &mut rng);
+
+        let expect: Vec<Tensor> = local
+            .forward_block(
+                0,
+                &[
+                    ExpertBatch {
+                        expert: 0,
+                        xs: xs0.clone(),
+                    },
+                    ExpertBatch {
+                        expert: 2,
+                        xs: xs1.clone(),
+                    },
+                ],
+            )
+            .into_iter()
+            .collect();
+
+        hub.send(
+            0,
+            &Message::DispatchGroup {
+                block: 0,
+                pass: GroupPass::Forward,
+                items: vec![
+                    GroupItem {
+                        expert: 0,
+                        payload: Payload::from_tensor(&xs0),
+                    },
+                    GroupItem {
+                        expert: 2,
+                        payload: Payload::from_tensor(&xs1),
+                    },
+                    GroupItem {
+                        expert: 5,
+                        payload: Payload::Virtual {
+                            rows: 4,
+                            bytes_per_token: 64,
+                        },
+                    },
+                ],
+            },
+        )
+        .unwrap();
+        let (_, reply) = hub.recv().unwrap();
+        let Message::ResultGroup { block, pass, items } = reply else {
+            panic!("expected ResultGroup, got {reply:?}");
+        };
+        assert_eq!((block, pass), (0, GroupPass::Forward));
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].expert, 0);
+        assert_eq!(items[0].payload.to_tensor(), expect[0], "bit-exact parity");
+        assert_eq!(items[1].payload.to_tensor(), expect[1], "bit-exact parity");
+        assert_eq!(
+            items[2].payload,
+            Payload::Virtual {
+                rows: 4,
+                bytes_per_token: 64
+            }
+        );
         hub.send(0, &Message::Shutdown).unwrap();
         manager.join();
     }

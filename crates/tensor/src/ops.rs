@@ -88,27 +88,46 @@ pub fn softmax_rows_backward(probs: &Tensor, grad_out: &Tensor) -> Tensor {
 /// # Panics
 /// Panics if `k` is zero or exceeds the number of columns.
 pub fn topk_rows(t: &Tensor, k: usize) -> (Vec<usize>, Vec<f32>) {
+    let mut indices = Vec::new();
+    let mut values = Vec::new();
+    topk_rows_into(t, k, &mut indices, &mut values);
+    (indices, values)
+}
+
+/// Allocation-free [`topk_rows`]: clears and refills the caller's buffers,
+/// reusing their capacity. `k` successive argmax scans per row keep the
+/// selection order bitwise-identical to the sorting formulation: strictly
+/// greater wins, so ties keep the lower index.
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds the number of columns.
+pub fn topk_rows_into(t: &Tensor, k: usize, indices: &mut Vec<usize>, values: &mut Vec<f32>) {
     let (r, c) = t.shape().as_2d();
     assert!(k >= 1 && k <= c, "topk k={k} out of 1..={c}");
-    let mut indices = Vec::with_capacity(r * k);
-    let mut values = Vec::with_capacity(r * k);
-    let mut order: Vec<usize> = Vec::with_capacity(c);
+    indices.clear();
+    values.clear();
+    indices.reserve(r * k);
+    values.reserve(r * k);
     for i in 0..r {
         let row = t.row(i);
-        order.clear();
-        order.extend(0..c);
-        order.sort_by(|&a, &b| {
-            row[b]
-                .partial_cmp(&row[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
-        for &j in order.iter().take(k) {
+        let picked_start = indices.len();
+        for _ in 0..k {
+            let picked = &indices[picked_start..];
+            let mut best: Option<usize> = None;
+            for (j, &v) in row.iter().enumerate() {
+                if picked.contains(&j) {
+                    continue;
+                }
+                match best {
+                    Some(b) if !(v > row[b]) => {}
+                    _ => best = Some(j),
+                }
+            }
+            let j = best.expect("k <= cols leaves a candidate");
             indices.push(j);
             values.push(row[j]);
         }
     }
-    (indices, values)
 }
 
 /// Index of the maximum entry in each row (ties broken by lower index).
@@ -258,6 +277,43 @@ mod tests {
         let t = Tensor::from_rows(&[&[0.5, 0.5, 0.5]]);
         let (idx, _) = topk_rows(&t, 2);
         assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn topk_into_reuses_buffers_and_matches_sort_order() {
+        let mut rng = DetRng::new(23);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for case in 0..50 {
+            let rows = 1 + case % 5;
+            let cols = 2 + case % 7;
+            let k = 1 + case % cols;
+            // Quantized entries force frequent ties.
+            let mut t = Tensor::uniform((rows, cols), -1.0, 1.0, &mut rng);
+            for v in t.as_mut_slice() {
+                *v = (*v * 4.0).round() / 4.0;
+            }
+            topk_rows_into(&t, k, &mut indices, &mut values);
+            // Reference: full descending sort, ties by lower index.
+            let mut want_idx = Vec::new();
+            let mut want_val = Vec::new();
+            for i in 0..rows {
+                let row = t.row(i);
+                let mut order: Vec<usize> = (0..cols).collect();
+                order.sort_by(|&a, &b| {
+                    row[b]
+                        .partial_cmp(&row[a])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                for &j in order.iter().take(k) {
+                    want_idx.push(j);
+                    want_val.push(row[j]);
+                }
+            }
+            assert_eq!(indices, want_idx, "case {case}");
+            assert_eq!(values, want_val, "case {case}");
+        }
     }
 
     #[test]

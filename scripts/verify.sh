@@ -48,6 +48,11 @@ if [ "$run_bench" = 1 ]; then
     echo "==> bench smoke: serial regression gate vs committed BENCH_kernels.json"
     cargo run --release -p vela-bench --bin bench_kernels -- --quick --check BENCH_kernels.json
 
+    echo "==> transport bench check: frame coalescing + ledger invariants"
+    # Needs target/release/vela_worker for the tcp rows; the tier-1 build
+    # above produced it.
+    cargo run --release -p vela-bench --bin bench_transport -- --quick --check BENCH_transport.json
+
     echo "==> kernel micro-bench (BENCH_kernels.json)"
     cargo run --release -p vela-bench --bin bench_kernels
 fi

@@ -6,10 +6,17 @@
 //! windows, simulated time breakdowns, step indices — must be *bitwise*
 //! identical, because the hub accounts protocol bytes identically no
 //! matter what carries the frames.
+//!
+//! The exchange pipeline adds two more axes that must be equally
+//! invisible: per-worker frame coalescing (`VELA_COALESCE`) and
+//! microbatched dispatch (`VELA_MICROBATCH`). The full
+//! {transport × coalesce × microbatch} grid must reproduce the
+//! per-batch, unpipelined baseline bit for bit.
 
 use vela::prelude::*;
+use vela::runtime::ExchangeConfig;
 
-fn workload(transport: TransportConfig) -> Vec<StepMetrics> {
+fn workload(transport: TransportConfig, exchange: ExchangeConfig) -> Vec<StepMetrics> {
     let spec = MoeSpec {
         blocks: 4,
         experts: 8,
@@ -40,6 +47,7 @@ fn workload(transport: TransportConfig) -> Vec<StepMetrics> {
         profile,
         scale,
     );
+    engine.set_exchange(exchange);
     let metrics = engine.run(5);
     engine.shutdown();
     metrics
@@ -47,8 +55,8 @@ fn workload(transport: TransportConfig) -> Vec<StepMetrics> {
 
 #[test]
 fn ledger_windows_are_bitwise_identical_across_transports() {
-    let over_channel = workload(TransportConfig::channel());
-    let over_tcp = workload(TransportConfig::tcp_threads());
+    let over_channel = workload(TransportConfig::channel(), ExchangeConfig::default());
+    let over_tcp = workload(TransportConfig::tcp_threads(), ExchangeConfig::default());
     assert_eq!(
         over_channel, over_tcp,
         "every StepMetrics field must be transport-independent"
@@ -60,10 +68,46 @@ fn ledger_windows_are_bitwise_identical_across_transports() {
 
 #[test]
 fn run_summaries_agree_except_for_the_label() {
-    let a = RunSummary::from_steps(&workload(TransportConfig::channel())).with_transport("channel");
-    let b =
-        RunSummary::from_steps(&workload(TransportConfig::tcp_threads())).with_transport("channel");
+    let a = RunSummary::from_steps(&workload(
+        TransportConfig::channel(),
+        ExchangeConfig::default(),
+    ))
+    .with_transport("channel");
+    let b = RunSummary::from_steps(&workload(
+        TransportConfig::tcp_threads(),
+        ExchangeConfig::default(),
+    ))
+    .with_transport("channel");
     assert_eq!(a, b, "aggregates must be transport-independent");
     assert_eq!(a.steps, 5);
     assert!(a.total_bytes > 0);
+}
+
+/// The full {transport × coalesce × microbatch} grid is bitwise-identical
+/// to the legacy shape (channel, per-batch frames, no pipelining): the
+/// pipeline changes how frames move, never what they say or cost.
+#[test]
+fn exchange_grid_is_bitwise_identical_to_per_batch_baseline() {
+    let baseline = workload(TransportConfig::channel(), ExchangeConfig::per_batch());
+    assert!(baseline.iter().all(|m| m.traffic.total_bytes > 0));
+    let transports: [(&str, fn() -> TransportConfig); 2] = [
+        ("channel", TransportConfig::channel),
+        ("tcp-threads", TransportConfig::tcp_threads),
+    ];
+    for (label, transport) in transports {
+        for coalesce in [false, true] {
+            for microbatch in [1usize, 4] {
+                let cfg = ExchangeConfig {
+                    coalesce,
+                    microbatch,
+                };
+                let metrics = workload(transport(), cfg);
+                assert_eq!(
+                    baseline, metrics,
+                    "({label}, coalesce={coalesce}, microbatch={microbatch}) \
+                     diverged from the per-batch baseline"
+                );
+            }
+        }
+    }
 }

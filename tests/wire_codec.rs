@@ -6,10 +6,27 @@
 //! back as [`WireError`]s — never a panic, never a bogus allocation.
 
 use vela::prelude::*;
-use vela::runtime::message::{Message, Payload};
+use vela::runtime::message::{GroupItem, GroupPass, Message, Payload};
 use vela::runtime::wire::WireError;
 
 const CASES: u64 = 200;
+
+fn random_pass(rng: &mut DetRng) -> GroupPass {
+    if rng.below(2) == 0 {
+        GroupPass::Forward
+    } else {
+        GroupPass::Backward
+    }
+}
+
+fn random_items(rng: &mut DetRng) -> Vec<GroupItem> {
+    (0..rng.below(6))
+        .map(|_| GroupItem {
+            expert: rng.below(1 << 8) as u32,
+            payload: random_payload(rng),
+        })
+        .collect()
+}
 
 fn random_payload(rng: &mut DetRng) -> Payload {
     if rng.below(2) == 0 {
@@ -27,7 +44,7 @@ fn random_payload(rng: &mut DetRng) -> Payload {
 fn random_message(rng: &mut DetRng) -> Message {
     let block = rng.below(1 << 10) as u32;
     let expert = rng.below(1 << 8) as u32;
-    match rng.below(11) {
+    match rng.below(13) {
         0 => Message::StepBegin {
             step: rng.below(usize::MAX / 2) as u64,
         },
@@ -60,7 +77,17 @@ fn random_message(rng: &mut DetRng) -> Message {
             expert,
             data: (0..rng.below(256)).map(|_| rng.below(256) as u8).collect(),
         },
-        _ => Message::InstallDone { block, expert },
+        10 => Message::InstallDone { block, expert },
+        11 => Message::DispatchGroup {
+            block,
+            pass: random_pass(rng),
+            items: random_items(rng),
+        },
+        _ => Message::ResultGroup {
+            block,
+            pass: random_pass(rng),
+            items: random_items(rng),
+        },
     }
 }
 
@@ -148,5 +175,17 @@ fn implausible_length_fields_do_not_allocate() {
         w.put_u32(u32::MAX - rng.below(1 << 16) as u32);
         let frame = w.into_vec();
         assert!(Message::decode(&frame).is_err(), "seed {seed}");
+
+        // A group frame declaring more items than the frame could hold.
+        let mut w = ByteWriter::with_capacity(32);
+        w.put_u8(12 + rng.below(2) as u8); // DispatchGroup / ResultGroup tag
+        w.put_u32(0);
+        w.put_u8(rng.below(2) as u8); // pass
+        w.put_u32(u32::MAX - rng.below(1 << 16) as u32);
+        let frame = w.into_vec();
+        assert!(
+            matches!(Message::decode(&frame), Err(WireError::BadLength { .. })),
+            "seed {seed}"
+        );
     }
 }
