@@ -10,8 +10,11 @@
 //! * final counter values and histogram snapshots.
 //!
 //! With `--check` it instead validates the trace — schema-valid lines,
-//! per-thread monotone timestamps, balanced enter/exit — and exits
-//! non-zero on any violation (used by `scripts/verify.sh`).
+//! per-thread monotone timestamps, balanced enter/exit, and (whenever the
+//! trace contains broker/virtual exchange spans) the presence of the
+//! `runtime.pipeline.*` per-chunk spans, so the ring instrumentation
+//! cannot silently disappear — and exits non-zero on any violation (used
+//! by `scripts/verify.sh`).
 //!
 //! Usage: `trace_summary [--check] [--top N] FILE`
 
@@ -76,6 +79,10 @@ fn main() -> ExitCode {
     if check {
         match validate(&events) {
             Ok(stats) => {
+                if let Err(e) = check_pipeline_instrumentation(&events) {
+                    eprintln!("trace INVALID: {e}");
+                    return ExitCode::FAILURE;
+                }
                 println!(
                     "trace OK: {} events, {} spans, {} threads, {:.3} ms span of wall time",
                     stats.events,
@@ -94,6 +101,39 @@ fn main() -> ExitCode {
         summarize(&events, top);
         ExitCode::SUCCESS
     }
+}
+
+/// Any trace that records an exchange (a broker or virtual fwd/bwd span)
+/// must also record the ring pipeline's per-chunk serialize spans and the
+/// exchange-time counter — otherwise the overlap instrumentation has
+/// silently regressed.
+fn check_pipeline_instrumentation(events: &[RawEvent]) -> Result<(), String> {
+    let span_present = |name: &str| events.iter().any(|ev| ev.ev == "b" && ev.name == name);
+    let exchanges = [
+        "runtime.broker.fwd",
+        "runtime.broker.bwd",
+        "runtime.virtual.fwd",
+        "runtime.virtual.bwd",
+    ];
+    if !exchanges.iter().any(|s| span_present(s)) {
+        return Ok(()); // no exchanges traced, nothing to require
+    }
+    if !span_present("runtime.pipeline.serialize") {
+        return Err(
+            "trace has exchange spans but no runtime.pipeline.serialize spans \
+             (ring pipeline instrumentation missing)"
+                .into(),
+        );
+    }
+    let counter_present = |name: &str| events.iter().any(|ev| ev.ev == "c" && ev.name == name);
+    if !counter_present("runtime.pipeline.exchange_us") {
+        return Err(
+            "trace has exchange spans but no runtime.pipeline.exchange_us counter \
+             (pipeline timing counters missing)"
+                .into(),
+        );
+    }
+    Ok(())
 }
 
 /// Accumulated statistics for one span name.

@@ -281,23 +281,42 @@ impl MoeBlock {
             x.gather_rows_into(&state.toks[range], &mut state.batches[gi].xs);
         }
 
-        let outputs = provider.forward_block(self.block, &state.batches);
-        assert_eq!(outputs.len(), ngroups, "provider returned wrong count");
-
-        // Weighted combine (Eq. (1)): scatter each expert output row back to
-        // its token, scaled by the mixture weight. Groups are visited in
-        // ascending expert order, reproducing the pre-CSR accumulation
-        // order bit for bit.
+        // Weighted combine (Eq. (1)), streamed: scatter each expert output
+        // row back to its token, scaled by the mixture weight, as soon as the
+        // provider delivers that group — a pipelined provider keeps later
+        // chunks in flight while earlier ones combine. The provider contract
+        // (ascending group index, exactly once) makes this visit groups in
+        // ascending expert order, reproducing the pre-CSR accumulation order
+        // bit for bit.
         let mut y = workspace::take((tokens, self.dim));
-        for (gi, out) in outputs.iter().enumerate() {
-            for (pos, p) in (state.offsets[gi]..state.offsets[gi + 1]).enumerate() {
-                let w = rout.weights[state.slots[p]];
-                let dst = y.row_mut(state.toks[p]);
-                for (d, &s) in dst.iter_mut().zip(out.row(pos)) {
-                    *d += w * s;
+        {
+            let DispatchState {
+                offsets,
+                toks,
+                slots,
+                batches,
+                outputs,
+                ..
+            } = &mut *state;
+            outputs.clear();
+            let weights = &rout.weights;
+            provider.forward_block_streamed(self.block, batches, &mut |gi, out| {
+                assert_eq!(gi, outputs.len(), "streamed group out of order");
+                for (pos, p) in (offsets[gi]..offsets[gi + 1]).enumerate() {
+                    let w = weights[slots[p]];
+                    let dst = y.row_mut(toks[p]);
+                    for (d, &s) in dst.iter_mut().zip(out.row(pos)) {
+                        *d += w * s;
+                    }
                 }
-            }
+                outputs.push(out);
+            });
         }
+        assert_eq!(
+            state.outputs.len(),
+            ngroups,
+            "provider returned wrong count"
+        );
 
         // Rebuild per-expert counts for the routing info (cursor pass
         // overwrote them with group indices).
@@ -322,7 +341,6 @@ impl MoeBlock {
         info.k = rout.k;
         info.dropped = dropped;
 
-        state.outputs = outputs;
         state.weights.clear();
         state.weights.extend_from_slice(&rout.weights);
         state.tokens = tokens;
@@ -374,18 +392,25 @@ impl MoeBlock {
             }
         }
 
-        let input_grads = provider.backward_block(self.block, &state.grad_batches);
-        assert_eq!(
-            input_grads.len(),
-            ngroups,
-            "provider returned wrong gradient count"
-        );
-
+        // Streamed gradient scatter: fold each group's input gradient into
+        // `gx` as it arrives; ascending-prefix delivery keeps the
+        // accumulation order identical to the collect-then-scatter path.
         let mut gx = workspace::take((state.tokens, self.dim));
-        for (gi, grads) in input_grads.iter().enumerate() {
-            let range = state.offsets[gi]..state.offsets[gi + 1];
-            gx.scatter_add_rows(&state.toks[range], grads);
+        let mut emitted = 0usize;
+        {
+            let DispatchState {
+                offsets,
+                toks,
+                grad_batches,
+                ..
+            } = &mut *state;
+            provider.backward_block_streamed(self.block, grad_batches, &mut |gi, grads| {
+                assert_eq!(gi, emitted, "streamed group out of order");
+                gx.scatter_add_rows(&toks[offsets[gi]..offsets[gi + 1]], &grads);
+                emitted += 1;
+            });
         }
+        assert_eq!(emitted, ngroups, "provider returned wrong gradient count");
         gx.add_assign(&self.router.backward(&state.grad_weights));
         gx
     }

@@ -44,6 +44,38 @@ pub trait ExpertProvider {
     /// call; `grads[i]` corresponds to that call's `batches[i]`. Returns the
     /// gradients with respect to each batch's input.
     fn backward_block(&mut self, block: usize, grads: &[ExpertBatch]) -> Vec<Tensor>;
+
+    /// Streamed [`forward_block`](Self::forward_block): calls
+    /// `emit(i, output_i)` exactly once per batch, in **ascending batch
+    /// index order** (`i = 0, 1, …, batches.len() − 1`). That contract is
+    /// what lets callers fold results into an accumulator as they arrive
+    /// and still reproduce the collect-then-combine path bit for bit.
+    ///
+    /// The default collects then emits; pipelined providers override it to
+    /// emit each completed prefix while later batches are still in flight.
+    fn forward_block_streamed(
+        &mut self,
+        block: usize,
+        batches: &[ExpertBatch],
+        emit: &mut dyn FnMut(usize, Tensor),
+    ) {
+        for (i, out) in self.forward_block(block, batches).into_iter().enumerate() {
+            emit(i, out);
+        }
+    }
+
+    /// Streamed [`backward_block`](Self::backward_block), same delivery
+    /// contract as [`forward_block_streamed`](Self::forward_block_streamed).
+    fn backward_block_streamed(
+        &mut self,
+        block: usize,
+        grads: &[ExpertBatch],
+        emit: &mut dyn FnMut(usize, Tensor),
+    ) {
+        for (i, out) in self.backward_block(block, grads).into_iter().enumerate() {
+            emit(i, out);
+        }
+    }
 }
 
 /// All experts of a model, held in-process.

@@ -16,7 +16,9 @@ use vela_placement::Placement;
 use vela_tensor::Tensor;
 
 use crate::message::{GroupItem, GroupPass, Message, Payload};
-use crate::transport::{ExchangeConfig, MasterHub, TransportError};
+use crate::pipeline::{AutoTuner, ChunkPlan, ExchangeTimer};
+use crate::pipeline::{SPAN_COMBINE, SPAN_INFLIGHT, SPAN_SERIALIZE, STALLS};
+use crate::transport::{ExchangeConfig, MasterHub, Microbatch, TransportError};
 
 /// Aggregate dispatch/gather telemetry across all phases and engines.
 static PHASE_BYTES_OUT: LazyCounter = LazyCounter::new("runtime.phase.bytes_out");
@@ -37,26 +39,6 @@ pub(crate) fn group_pass(pass: Pass) -> GroupPass {
         Pass::Forward => GroupPass::Forward,
         Pass::Backward => GroupPass::Backward,
     }
-}
-
-/// Splits `len` items into up to `chunks` contiguous, order-preserving
-/// ranges of near-equal size (earlier ranges absorb the remainder). The
-/// microbatch pipeline iterates these; `chunks = 1` is the whole slice.
-pub(crate) fn chunk_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
-    if len == 0 {
-        return Vec::new();
-    }
-    let m = chunks.clamp(1, len);
-    let base = len / m;
-    let extra = len % m;
-    let mut out = Vec::with_capacity(m);
-    let mut start = 0;
-    for i in 0..m {
-        let size = base + usize::from(i < extra);
-        out.push(start..start + size);
-        start += size;
-    }
-    out
 }
 
 /// Mirrors one completed [`PhaseLog`] into `vela-obs`: aggregate and
@@ -120,6 +102,8 @@ pub struct BrokerClient {
     phase_logs: Vec<PhaseLog>,
     step: u64,
     exchange_cfg: ExchangeConfig,
+    plan: ChunkPlan,
+    tuner: AutoTuner,
 }
 
 impl BrokerClient {
@@ -141,6 +125,8 @@ impl BrokerClient {
             phase_logs: Vec::new(),
             step: 0,
             exchange_cfg: ExchangeConfig::from_env(),
+            plan: ChunkPlan::default(),
+            tuner: AutoTuner::default(),
         }
     }
 
@@ -288,27 +274,32 @@ impl BrokerClient {
         std::mem::take(&mut self.phase_logs)
     }
 
-    /// Dispatch + gather for one block and pass: the pipelined, coalescing
-    /// exchange.
+    /// Dispatch + gather for one block and pass: the chunked, coalescing
+    /// ring exchange.
     ///
-    /// The batch list is split into [`ExchangeConfig::microbatch`]
-    /// contiguous chunks. Chunk *j*'s dispatch is written before chunk
-    /// *j−1*'s replies are drained, so the master's serialization/receive
-    /// work overlaps the workers' compute (the transports' writer seam
-    /// keeps sends from blocking on unread replies). With coalescing on,
-    /// each chunk ships at most one [`Message::DispatchGroup`] per worker
-    /// instead of one frame per batch.
+    /// Each worker's batches are split into up to
+    /// [`ExchangeConfig::microbatch`] contiguous chunks (the
+    /// [`ChunkPlan`]), so chunking composes with coalescing: tick *c*
+    /// ships one [`Message::DispatchGroup`] per worker carrying that
+    /// worker's chunk *c*. Up to [`ExchangeConfig::depth`] ticks ride the
+    /// wire at once; before shipping tick *c* the master drains all reply
+    /// frames owed through tick `c − depth`, so serialize/send/compute/
+    /// recv overlap (the transports' writer seam keeps sends from blocking
+    /// on unread replies).
     ///
-    /// Replies may interleave arbitrarily across workers and chunks — they
-    /// are keyed by expert and reassembled into *input batch order* at the
-    /// end, so the result is deterministic regardless of arrival order,
-    /// and bitwise identical across every exchange shape and transport.
+    /// Replies may interleave arbitrarily across workers and chunks — each
+    /// carries its chunk id, is slotted by batch index, and `sink` is
+    /// called with the completed *ascending-prefix* of batch indices as
+    /// soon as it exists. Delivery order is therefore identical to the
+    /// unpipelined exchange no matter how frames arrive, which is what
+    /// keeps every {shape × transport × depth} combination bit-identical.
     fn exchange(
         &mut self,
         block: usize,
         pass: Pass,
         batches: &[ExpertBatch],
-    ) -> Result<Vec<Tensor>, TransportError> {
+        sink: &mut dyn FnMut(usize, Tensor),
+    ) -> Result<(), TransportError> {
         let _span = vela_obs::span(match pass {
             Pass::Forward => "runtime.broker.fwd",
             Pass::Backward => "runtime.broker.bwd",
@@ -321,24 +312,110 @@ impl BrokerClient {
             bytes_back: vec![0; workers],
             rows: vec![0; workers],
         };
+        let cfg = self.exchange_cfg;
+        let backward = matches!(pass, Pass::Backward);
+        let (chunks, probe) = match cfg.microbatch {
+            Microbatch::Fixed(n) => (n, false),
+            Microbatch::Auto => self.tuner.plan(block, backward),
+        };
+        self.plan.build(
+            workers,
+            chunks,
+            batches
+                .iter()
+                .map(|b| self.placement.worker_of(block, b.expert)),
+        );
+        let ticks = self.plan.ticks();
+        let depth = cfg.depth.max(1);
+        let mut timer = ExchangeTimer::new(probe || vela_obs::enabled());
 
-        let chunks = chunk_ranges(batches.len(), self.exchange_cfg.microbatch);
-        let mut by_expert: HashMap<usize, Tensor> = HashMap::with_capacity(batches.len());
+        // Replies slotted by batch index; `next_emit` is the ascending
+        // prefix already handed to the sink.
+        let mut pending: Vec<Option<Tensor>> = Vec::with_capacity(batches.len());
+        pending.resize_with(batches.len(), || None);
+        let mut next_emit = 0usize;
+        // Per-batch replies (coalesce off) carry no chunk id; key them by
+        // expert instead.
+        let mut expert_index: HashMap<usize, usize> = HashMap::new();
+        if !cfg.coalesce {
+            expert_index.extend(batches.iter().enumerate().map(|(i, b)| (b.expert, i)));
+        }
+
+        let mut owed_after: Vec<usize> = Vec::with_capacity(ticks);
         let mut sent = 0usize; // wire frames dispatched so far
         let mut received = 0usize; // reply frames drained so far
-        for range in chunks {
-            let owed = sent; // frames all *previous* chunks owe replies for
-            sent += self.send_chunk(block, pass, &batches[range], &mut log)?;
-            // One-deep pipeline: with this chunk on the wire (workers
-            // start computing it), drain the previous chunks' replies.
-            // Group replies cover several batches, so this counts frames,
-            // not batches.
-            while received < owed {
-                received += self.drain_reply(block, pass, &mut log, &mut by_expert)?;
+        for tick in 0..ticks {
+            if tick >= depth {
+                // Ring full: drain everything owed through tick − depth
+                // before shipping more.
+                let owed = owed_after[tick - depth];
+                if received < owed {
+                    STALLS.add(1);
+                }
+                while received < owed {
+                    received += drain_one(
+                        &mut self.hub,
+                        &self.plan,
+                        &expert_index,
+                        block,
+                        pass,
+                        batches,
+                        &mut log,
+                        &mut timer,
+                        next_emit,
+                        &mut pending,
+                    )?;
+                    timer.drained(received);
+                    flush_prefix(&mut pending, &mut next_emit, sink);
+                }
             }
+            {
+                let _g = vela_obs::span(SPAN_SERIALIZE);
+                let t0 = timer.mark();
+                sent += send_tick(
+                    &mut self.hub,
+                    &self.placement,
+                    &self.plan,
+                    cfg.coalesce,
+                    block,
+                    pass,
+                    tick,
+                    batches,
+                    &mut log,
+                )?;
+                timer.add_serialize(t0);
+            }
+            timer.tick_sent(sent);
+            owed_after.push(sent);
         }
         while received < sent {
-            received += self.drain_reply(block, pass, &mut log, &mut by_expert)?;
+            received += drain_one(
+                &mut self.hub,
+                &self.plan,
+                &expert_index,
+                block,
+                pass,
+                batches,
+                &mut log,
+                &mut timer,
+                next_emit,
+                &mut pending,
+            )?;
+            timer.drained(received);
+            flush_prefix(&mut pending, &mut next_emit, sink);
+        }
+        if next_emit != batches.len() {
+            return Err(TransportError::Protocol(format!(
+                "{} exchange for block {block} drained all frames but only \
+                 {next_emit}/{} batches have replies",
+                pass_name(pass),
+                batches.len()
+            )));
+        }
+        if let Some((serialize_us, wait_us)) = timer.finish() {
+            if probe {
+                self.tuner.record(block, backward, serialize_us, wait_us);
+            }
         }
 
         if vela_obs::enabled() {
@@ -347,57 +424,79 @@ impl BrokerClient {
             observe_phase(&log, &rows);
         }
         self.phase_logs.push(log);
-
-        batches
-            .iter()
-            .map(|b| {
-                by_expert.remove(&b.expert).ok_or_else(|| {
-                    TransportError::Protocol(format!(
-                        "missing {} reply for expert ({block},{})",
-                        pass_name(pass),
-                        b.expert
-                    ))
-                })
-            })
-            .collect()
+        Ok(())
     }
+}
 
-    /// Ships one microbatch chunk; returns the number of wire frames sent.
-    fn send_chunk(
-        &mut self,
-        block: usize,
-        pass: Pass,
-        batches: &[ExpertBatch],
-        log: &mut PhaseLog,
-    ) -> Result<usize, TransportError> {
-        if self.exchange_cfg.coalesce {
-            let mut groups: Vec<Vec<GroupItem>> = vec![Vec::new(); self.hub.worker_count()];
-            for batch in batches {
-                let w = self.placement.worker_of(block, batch.expert);
-                log.rows[w] += batch.xs.rows() as u64;
-                groups[w].push(GroupItem {
-                    expert: batch.expert as u32,
-                    payload: Payload::from_tensor(&batch.xs),
-                });
+/// Hands the sink every completed batch in ascending index order. The
+/// prefix gate is the determinism lever: a chunk that arrives early waits
+/// in `pending` until everything before it has been delivered.
+fn flush_prefix(
+    pending: &mut [Option<Tensor>],
+    next_emit: &mut usize,
+    sink: &mut dyn FnMut(usize, Tensor),
+) {
+    if *next_emit >= pending.len() || pending[*next_emit].is_none() {
+        return;
+    }
+    let _g = vela_obs::span(SPAN_COMBINE);
+    while *next_emit < pending.len() {
+        match pending[*next_emit].take() {
+            Some(t) => {
+                sink(*next_emit, t);
+                *next_emit += 1;
             }
-            let mut frames = 0;
-            for (w, items) in groups.into_iter().enumerate() {
-                if items.is_empty() {
-                    continue;
-                }
-                let msg = Message::DispatchGroup {
-                    block: block as u32,
-                    pass: group_pass(pass),
-                    items,
-                };
-                log.bytes_out[w] += msg.accounted_bytes();
-                self.hub.send(w, &msg)?;
-                frames += 1;
-            }
-            Ok(frames)
+            None => break,
+        }
+    }
+}
+
+/// Ships ring tick `tick`: one coalesced group per worker with items in
+/// that chunk (or per-batch frames with coalescing off). Returns the wire
+/// frames sent.
+#[allow(clippy::too_many_arguments)]
+fn send_tick(
+    hub: &mut MasterHub,
+    placement: &Placement,
+    plan: &ChunkPlan,
+    coalesce: bool,
+    block: usize,
+    pass: Pass,
+    tick: usize,
+    batches: &[ExpertBatch],
+    log: &mut PhaseLog,
+) -> Result<usize, TransportError> {
+    let mut frames = 0usize;
+    for w in 0..hub.worker_count() {
+        let items = plan.chunk_items(w, tick);
+        if items.is_empty() {
+            continue;
+        }
+        if coalesce {
+            let items: Vec<GroupItem> = items
+                .iter()
+                .map(|&i| {
+                    let batch = &batches[i];
+                    log.rows[w] += batch.xs.rows() as u64;
+                    GroupItem {
+                        expert: batch.expert as u32,
+                        payload: Payload::from_tensor(&batch.xs),
+                    }
+                })
+                .collect();
+            let msg = Message::DispatchGroup {
+                block: block as u32,
+                pass: group_pass(pass),
+                chunk: tick as u32,
+                items,
+            };
+            log.bytes_out[w] += msg.accounted_bytes();
+            hub.send(w, &msg)?;
+            frames += 1;
         } else {
-            for batch in batches {
-                let w = self.placement.worker_of(block, batch.expert);
+            for &i in items {
+                let batch = &batches[i];
+                debug_assert_eq!(placement.worker_of(block, batch.expert), w);
                 let payload = Payload::from_tensor(&batch.xs);
                 let (b, e) = (block as u32, batch.expert as u32);
                 let msg = match pass {
@@ -414,72 +513,118 @@ impl BrokerClient {
                 };
                 log.bytes_out[w] += msg.accounted_bytes();
                 log.rows[w] += batch.xs.rows() as u64;
-                self.hub.send(w, &msg)?;
+                hub.send(w, &msg)?;
+                frames += 1;
             }
-            Ok(batches.len())
         }
     }
+    Ok(frames)
+}
 
-    /// Drains one reply frame into `by_expert`; returns 1 (frames drained)
-    /// on success. Wrong kinds, blocks or passes are protocol errors, not
-    /// panics.
-    fn drain_reply(
-        &mut self,
-        block: usize,
-        pass: Pass,
-        log: &mut PhaseLog,
-        by_expert: &mut HashMap<usize, Tensor>,
-    ) -> Result<usize, TransportError> {
-        let (w, msg) = self.hub.recv()?;
-        log.bytes_back[w] += msg.accounted_bytes();
-        match (pass, msg) {
-            (
-                Pass::Forward,
-                Message::ExpertResult {
-                    block: rb,
-                    expert,
-                    payload,
-                },
-            )
-            | (
-                Pass::Backward,
-                Message::GradResult {
-                    block: rb,
-                    expert,
-                    payload,
-                },
-            ) => {
-                check_reply_block(block, rb, pass)?;
-                by_expert.insert(expert as usize, real_tensor(payload, pass)?);
-            }
-            (
-                _,
-                Message::ResultGroup {
-                    block: rb,
-                    pass: rp,
-                    items,
-                },
-            ) => {
-                check_reply_block(block, rb, pass)?;
-                if rp != group_pass(pass) {
-                    return Err(TransportError::Protocol(format!(
-                        "{rp:?} result group during a {} exchange",
-                        pass_name(pass)
-                    )));
-                }
-                for item in items {
-                    by_expert.insert(item.expert as usize, real_tensor(item.payload, pass)?);
-                }
-            }
-            (_, other) => {
-                return Err(TransportError::Protocol(format!(
-                    "unexpected reply during {} exchange: {other:?}",
+/// Drains one reply frame into `pending`, validating it against the plan;
+/// returns 1 (frames drained) on success. Wrong kinds, blocks, passes,
+/// chunks or duplicate batches are protocol errors, not panics.
+#[allow(clippy::too_many_arguments)]
+fn drain_one(
+    hub: &mut MasterHub,
+    plan: &ChunkPlan,
+    expert_index: &HashMap<usize, usize>,
+    block: usize,
+    pass: Pass,
+    batches: &[ExpertBatch],
+    log: &mut PhaseLog,
+    timer: &mut ExchangeTimer,
+    next_emit: usize,
+    pending: &mut [Option<Tensor>],
+) -> Result<usize, TransportError> {
+    let (w, msg) = {
+        let _g = vela_obs::span(SPAN_INFLIGHT);
+        let t0 = timer.mark();
+        let r = hub.recv()?;
+        timer.add_wait(t0);
+        r
+    };
+    log.bytes_back[w] += msg.accounted_bytes();
+    let mut slot = |index: usize, expert: usize, payload: Payload| -> Result<(), TransportError> {
+        if batches[index].expert != expert {
+            return Err(TransportError::Protocol(format!(
+                "worker {w} answered batch {index} with expert {expert}, \
+                 expected {}",
+                batches[index].expert
+            )));
+        }
+        if index < next_emit || pending[index].is_some() {
+            return Err(TransportError::Protocol(format!(
+                "worker {w} sent a duplicate {} reply for expert ({block},{expert})",
+                pass_name(pass)
+            )));
+        }
+        pending[index] = Some(real_tensor(payload, pass)?);
+        Ok(())
+    };
+    match (pass, msg) {
+        (
+            Pass::Forward,
+            Message::ExpertResult {
+                block: rb,
+                expert,
+                payload,
+            },
+        )
+        | (
+            Pass::Backward,
+            Message::GradResult {
+                block: rb,
+                expert,
+                payload,
+            },
+        ) => {
+            check_reply_block(block, rb, pass)?;
+            let index = *expert_index.get(&(expert as usize)).ok_or_else(|| {
+                TransportError::Protocol(format!(
+                    "{} reply for undispatched expert ({block},{expert})",
                     pass_name(pass)
-                )))
+                ))
+            })?;
+            slot(index, expert as usize, payload)?;
+        }
+        (
+            _,
+            Message::ResultGroup {
+                block: rb,
+                pass: rp,
+                chunk,
+                items,
+            },
+        ) => {
+            check_reply_block(block, rb, pass)?;
+            if rp != group_pass(pass) {
+                return Err(TransportError::Protocol(format!(
+                    "{rp:?} result group during a {} exchange",
+                    pass_name(pass)
+                )));
+            }
+            let indices = plan.chunk_items(w, chunk as usize);
+            if indices.len() != items.len() {
+                return Err(TransportError::Protocol(format!(
+                    "worker {w} answered chunk {chunk} with {} items, \
+                     dispatch had {}",
+                    items.len(),
+                    indices.len()
+                )));
+            }
+            for (&index, item) in indices.iter().zip(items) {
+                slot(index, item.expert as usize, item.payload)?;
             }
         }
-        Ok(1)
+        (_, other) => {
+            return Err(TransportError::Protocol(format!(
+                "unexpected reply during {} exchange: {other:?}",
+                pass_name(pass)
+            )))
+        }
     }
+    Ok(1)
 }
 
 fn check_reply_block(block: usize, got: u32, pass: Pass) -> Result<(), TransportError> {
@@ -512,13 +657,41 @@ fn real_tensor(payload: Payload, pass: Pass) -> Result<Tensor, TransportError> {
 // practice (between steps, or while waiting on acks).
 impl ExpertProvider for BrokerClient {
     fn forward_block(&mut self, block: usize, batches: &[ExpertBatch]) -> Vec<Tensor> {
-        self.exchange(block, Pass::Forward, batches)
-            .unwrap_or_else(|e| panic!("transport failed during forward exchange: {e}"))
+        let mut out = Vec::with_capacity(batches.len());
+        self.exchange(block, Pass::Forward, batches, &mut |_, t| out.push(t))
+            .unwrap_or_else(|e| panic!("transport failed during forward exchange: {e}"));
+        out
     }
 
     fn backward_block(&mut self, block: usize, grads: &[ExpertBatch]) -> Vec<Tensor> {
-        self.exchange(block, Pass::Backward, grads)
-            .unwrap_or_else(|e| panic!("transport failed during backward exchange: {e}"))
+        let mut out = Vec::with_capacity(grads.len());
+        self.exchange(block, Pass::Backward, grads, &mut |_, t| out.push(t))
+            .unwrap_or_else(|e| panic!("transport failed during backward exchange: {e}"));
+        out
+    }
+
+    // The streamed overrides are where the model-layer overlap comes
+    // from: `MoeBlock` scatters each chunk's results into its output
+    // buffer while later chunks are still on the wire, instead of parking
+    // them in a Vec until the block-pass completes.
+    fn forward_block_streamed(
+        &mut self,
+        block: usize,
+        batches: &[ExpertBatch],
+        emit: &mut dyn FnMut(usize, Tensor),
+    ) {
+        self.exchange(block, Pass::Forward, batches, emit)
+            .unwrap_or_else(|e| panic!("transport failed during forward exchange: {e}"));
+    }
+
+    fn backward_block_streamed(
+        &mut self,
+        block: usize,
+        grads: &[ExpertBatch],
+        emit: &mut dyn FnMut(usize, Tensor),
+    ) {
+        self.exchange(block, Pass::Backward, grads, emit)
+            .unwrap_or_else(|e| panic!("transport failed during backward exchange: {e}"));
     }
 }
 
@@ -660,27 +833,6 @@ mod tests {
     }
 
     #[test]
-    fn chunk_ranges_partition_in_order() {
-        assert_eq!(chunk_ranges(0, 4), vec![]);
-        assert_eq!(chunk_ranges(5, 1), vec![0..5]);
-        assert_eq!(chunk_ranges(5, 2), vec![0..3, 3..5]);
-        assert_eq!(chunk_ranges(3, 8), vec![0..1, 1..2, 2..3]);
-        // Ranges always cover 0..len contiguously.
-        for len in 0..20 {
-            for m in 1..8 {
-                let ranges = chunk_ranges(len, m);
-                let mut next = 0;
-                for r in &ranges {
-                    assert_eq!(r.start, next);
-                    assert!(r.end > r.start);
-                    next = r.end;
-                }
-                assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), len);
-            }
-        }
-    }
-
-    #[test]
     fn every_exchange_shape_is_bitwise_identical() {
         // The same forward+backward exchange under every {coalesce ×
         // microbatch} shape must reproduce the per-batch baseline bit for
@@ -710,17 +862,49 @@ mod tests {
         };
         let baseline = run(ExchangeConfig::per_batch());
         for coalesce in [false, true] {
-            for microbatch in [1, 3] {
-                let shaped = run(ExchangeConfig {
-                    coalesce,
-                    microbatch,
-                });
-                assert_eq!(
-                    baseline, shaped,
-                    "coalesce={coalesce} microbatch={microbatch} must be invisible"
-                );
+            for microbatch in [Microbatch::Fixed(1), Microbatch::Fixed(3), Microbatch::Auto] {
+                for depth in [1, 2, 4] {
+                    let shaped = run(ExchangeConfig {
+                        coalesce,
+                        microbatch,
+                        depth,
+                    });
+                    assert_eq!(
+                        baseline, shaped,
+                        "coalesce={coalesce} microbatch={microbatch} depth={depth} \
+                         must be invisible"
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn streamed_delivery_is_an_ascending_prefix() {
+        // The sink must see batch indices 0..n in order — with chunking
+        // and a deep ring, out-of-order arrivals have to wait in pending.
+        let (mut broker, managers, mut reference, model_cfg) = setup();
+        broker.set_exchange(ExchangeConfig {
+            coalesce: true,
+            microbatch: Microbatch::Fixed(3),
+            depth: 4,
+        });
+        let mut rng = DetRng::new(21);
+        let batches: Vec<ExpertBatch> = (0..model_cfg.experts)
+            .map(|e| ExpertBatch {
+                expert: e,
+                xs: vela_tensor::Tensor::uniform((2, model_cfg.dim), -1.0, 1.0, &mut rng),
+            })
+            .collect();
+        let mut order = Vec::new();
+        let mut streamed = Vec::new();
+        broker.forward_block_streamed(0, &batches, &mut |i, t| {
+            order.push(i);
+            streamed.push(t);
+        });
+        assert_eq!(order, (0..model_cfg.experts).collect::<Vec<_>>());
+        assert_eq!(streamed, reference.forward_block(0, &batches));
+        teardown(&mut broker, managers);
     }
 
     #[test]

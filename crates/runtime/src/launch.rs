@@ -171,7 +171,7 @@ pub fn launch_process_star(
         let mut hub = builder.accept_workers(ACCEPT_DEADLINE)?;
         let frame = bootstrap.encode();
         for index in 0..workers.len() {
-            hub.send_control(index, &frame)?;
+            hub.send_control(index, frame.clone())?;
         }
         Ok(hub)
     })();

@@ -28,6 +28,7 @@ pub mod ep_engine;
 pub mod launch;
 pub mod message;
 pub mod metrics;
+pub(crate) mod pipeline;
 pub mod routing;
 pub mod runtime;
 pub mod transport;
@@ -40,6 +41,6 @@ pub use ep_engine::EpEngine;
 pub use message::{GroupItem, GroupPass, Message, Payload};
 pub use metrics::{RunSummary, StepMetrics};
 pub use runtime::RealRuntime;
-pub use transport::{ExchangeConfig, TransportConfig, TransportError, TransportMode};
+pub use transport::{ExchangeConfig, Microbatch, TransportConfig, TransportError, TransportMode};
 pub use virtual_engine::{ScaleConfig, VirtualEngine};
 pub use wire::WireError;

@@ -184,14 +184,19 @@ pub enum Message {
     },
     /// Terminates the worker loop.
     Shutdown,
-    /// All of one worker's expert batches for a block-pass in a single
+    /// One chunk of a worker's expert batches for a block-pass in a single
     /// frame (master → worker). Coalesces O(experts-per-worker) per-batch
-    /// frames into one round-trip.
+    /// frames into one round-trip; a microbatched exchange sends one group
+    /// per worker per chunk, each tagged with its chunk id so replies can
+    /// be matched while several chunks are in flight.
     DispatchGroup {
         /// MoE block index.
         block: u32,
         /// Forward (token activations) or backward (gradients).
         pass: GroupPass,
+        /// Pipeline chunk index within the block-pass (0 when the
+        /// exchange is unchunked).
+        chunk: u32,
         /// Per-expert payloads, in the master's dispatch order.
         items: Vec<GroupItem>,
     },
@@ -202,6 +207,8 @@ pub enum Message {
         block: u32,
         /// Pass of the dispatch this answers.
         pass: GroupPass,
+        /// Chunk id echoed from the dispatch this answers.
+        chunk: u32,
         /// Per-expert results, in dispatch order.
         items: Vec<GroupItem>,
     },
@@ -285,12 +292,18 @@ impl Message {
                 buf.put_u32(*expert);
             }
             Message::Shutdown => buf.put_u8(TAG_SHUTDOWN),
-            Message::DispatchGroup { block, pass, items } => {
-                encode_group(&mut buf, TAG_DISPATCH_GROUP, *block, *pass, items)
-            }
-            Message::ResultGroup { block, pass, items } => {
-                encode_group(&mut buf, TAG_RESULT_GROUP, *block, *pass, items)
-            }
+            Message::DispatchGroup {
+                block,
+                pass,
+                chunk,
+                items,
+            } => encode_group(&mut buf, TAG_DISPATCH_GROUP, *block, *pass, *chunk, items),
+            Message::ResultGroup {
+                block,
+                pass,
+                chunk,
+                items,
+            } => encode_group(&mut buf, TAG_RESULT_GROUP, *block, *pass, *chunk, items),
         }
         buf.into_vec()
     }
@@ -378,6 +391,7 @@ impl Message {
                         })
                     }
                 };
+                let chunk = bytes.get_u32()?;
                 let count = bytes.get_u32()?;
                 // Reject impossible counts before allocating: every item
                 // occupies at least MIN_GROUP_ITEM_BYTES on the wire.
@@ -395,9 +409,19 @@ impl Message {
                     items.push(GroupItem { expert, payload });
                 }
                 if tag == TAG_DISPATCH_GROUP {
-                    Message::DispatchGroup { block, pass, items }
+                    Message::DispatchGroup {
+                        block,
+                        pass,
+                        chunk,
+                        items,
+                    }
                 } else {
-                    Message::ResultGroup { block, pass, items }
+                    Message::ResultGroup {
+                        block,
+                        pass,
+                        chunk,
+                        items,
+                    }
                 }
             }
             other => {
@@ -425,7 +449,9 @@ impl Message {
             Message::StepEnd | Message::StepDone | Message::Shutdown => 1,
             // A group accounts exactly what its items would have cost as
             // individual per-batch frames (9-byte routing header each), so
-            // ledgers are coalescing-independent by construction.
+            // ledgers are coalescing- and chunking-independent by
+            // construction: the group/chunk header is local framing, never
+            // accounted.
             Message::DispatchGroup { items, .. } | Message::ResultGroup { items, .. } => items
                 .iter()
                 .map(|item| 9 + item.payload.accounted_bytes())
@@ -434,13 +460,21 @@ impl Message {
     }
 }
 
-fn encode_group(buf: &mut ByteWriter, tag: u8, block: u32, pass: GroupPass, items: &[GroupItem]) {
+fn encode_group(
+    buf: &mut ByteWriter,
+    tag: u8,
+    block: u32,
+    pass: GroupPass,
+    chunk: u32,
+    items: &[GroupItem],
+) {
     buf.put_u8(tag);
     buf.put_u32(block);
     buf.put_u8(match pass {
         GroupPass::Forward => PASS_FORWARD,
         GroupPass::Backward => PASS_BACKWARD,
     });
+    buf.put_u32(chunk);
     buf.put_u32(items.len() as u32);
     for item in items {
         buf.put_u32(item.expert);
@@ -678,6 +712,7 @@ mod tests {
             Message::DispatchGroup {
                 block: 2,
                 pass: GroupPass::Forward,
+                chunk: 3,
                 items: vec![
                     GroupItem {
                         expert: 1,
@@ -695,6 +730,7 @@ mod tests {
             Message::ResultGroup {
                 block: 0,
                 pass: GroupPass::Backward,
+                chunk: u32::MAX,
                 items: vec![],
             },
         ];
@@ -733,9 +769,23 @@ mod tests {
         let group = Message::DispatchGroup {
             block: 1,
             pass: GroupPass::Forward,
+            chunk: 0,
             items,
         };
         assert_eq!(group.accounted_bytes(), per_batch);
+        // The chunk id is local framing: it never changes accounting.
+        let rechunked = match group {
+            Message::DispatchGroup {
+                block, pass, items, ..
+            } => Message::DispatchGroup {
+                block,
+                pass,
+                chunk: 7,
+                items,
+            },
+            _ => unreachable!(),
+        };
+        assert_eq!(rechunked.accounted_bytes(), per_batch);
     }
 
     #[test]
@@ -761,6 +811,7 @@ mod tests {
         w.put_u8(13); // ResultGroup
         w.put_u32(0);
         w.put_u8(0); // Forward
+        w.put_u32(0); // chunk
         w.put_u32(u32::MAX);
         assert!(matches!(
             Message::decode(&w.into_vec()),

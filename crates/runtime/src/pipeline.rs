@@ -1,0 +1,393 @@
+//! The chunked exchange pipeline shared by the real broker and the
+//! virtual engine.
+//!
+//! PR-5's microbatch knob split the *global* batch list, which silently
+//! disabled coalescing: a chunk holding one worker's batch degenerated to
+//! per-batch framing (BENCH_transport.json's 12 → 36 frames/step
+//! regression at `microbatch=4`). This module fixes the composition by
+//! planning chunks **per worker**: worker *w*'s item list is split into
+//! `min(microbatch, items_w)` contiguous chunks, so a chunked block-pass
+//! still ships exactly one coalesced frame per worker per chunk.
+//!
+//! The chunks then flow through a bounded ring: tick *c* ships every
+//! worker's chunk *c*, and before shipping tick *c* the master drains all
+//! replies owed through tick `c − depth` (`VELA_PIPELINE_DEPTH`,
+//! default 2). Serialize, send, worker compute and receive all overlap;
+//! `depth = 1` reproduces the old one-deep send→drain pipeline exactly.
+//!
+//! None of this can change results: chunk boundaries sit at whole
+//! expert-batch granularity (each expert batch is still served by a
+//! single `forward_block`/`backward_block` call on its worker), and the
+//! broker delivers replies to the model in ascending batch-index order no
+//! matter how frames interleave on the wire. That is why
+//! `VELA_MICROBATCH=auto` — whose chunk counts depend on *measured time*
+//! — still passes the bitwise parity grid.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use vela_obs::LazyCounter;
+
+/// Per-tick span around encoding + shipping one tick's frames.
+pub(crate) const SPAN_SERIALIZE: &str = "runtime.pipeline.serialize";
+/// Span around each blocked drain bout (master idle, chunks in flight).
+pub(crate) const SPAN_INFLIGHT: &str = "runtime.pipeline.inflight";
+/// Span around streamed-combine delivery of a completed chunk prefix.
+pub(crate) const SPAN_COMBINE: &str = "runtime.pipeline.combine";
+
+/// Depth-gated sends that found replies still in flight: the ring was
+/// full and the master had to block before shipping the next tick.
+pub(crate) static STALLS: LazyCounter = LazyCounter::new("runtime.pipeline.stalls");
+/// Master time spent encoding + enqueueing frames, µs.
+static SERIALIZE_US: LazyCounter = LazyCounter::new("runtime.pipeline.serialize_us");
+/// Σ over ticks of (tick fully drained − tick fully sent), µs. Overlapped
+/// ticks each count their own window, so this *exceeds* wall time when
+/// the pipeline actually overlaps — the bench's overlap-efficiency column
+/// is `exchange_us / (serialize_us + inflight_us)`, < 1 iff overlap won.
+static INFLIGHT_US: LazyCounter = LazyCounter::new("runtime.pipeline.inflight_us");
+/// Exchange wall time, µs.
+static EXCHANGE_US: LazyCounter = LazyCounter::new("runtime.pipeline.exchange_us");
+
+/// Per-worker chunk plan for one block-pass exchange.
+///
+/// Built once per exchange from the item → worker assignment; buffers are
+/// reused across exchanges. Items keep their dispatch order: worker *w*'s
+/// chunk *c* is a contiguous run of the indices routed to *w*.
+#[derive(Debug, Default)]
+pub(crate) struct ChunkPlan {
+    by_worker: Vec<Vec<usize>>,
+    chunks: Vec<usize>,
+    ticks: usize,
+}
+
+impl ChunkPlan {
+    /// Plans `chunks`-way chunking of an item list over `workers`, given
+    /// each item's assigned worker (in item order).
+    pub(crate) fn build(
+        &mut self,
+        workers: usize,
+        chunks: usize,
+        assignments: impl Iterator<Item = usize>,
+    ) {
+        self.by_worker.resize_with(workers, Vec::new);
+        self.by_worker.truncate(workers);
+        for list in &mut self.by_worker {
+            list.clear();
+        }
+        for (item, w) in assignments.enumerate() {
+            self.by_worker[w].push(item);
+        }
+        self.chunks.clear();
+        self.ticks = 0;
+        for list in &self.by_worker {
+            let c = chunks.max(1).min(list.len());
+            self.chunks.push(c);
+            self.ticks = self.ticks.max(c);
+        }
+    }
+
+    /// Number of ring ticks (= the largest per-worker chunk count).
+    pub(crate) fn ticks(&self) -> usize {
+        self.ticks
+    }
+
+    /// The item indices of worker `w`'s chunk `tick` (empty once `w` has
+    /// run out of chunks). Earlier chunks absorb the remainder, so chunk
+    /// sizes within a worker differ by at most one.
+    pub(crate) fn chunk_items(&self, w: usize, tick: usize) -> &[usize] {
+        let list = &self.by_worker[w];
+        let m = self.chunks[w];
+        if tick >= m {
+            return &[];
+        }
+        let (base, extra) = (list.len() / m, list.len() % m);
+        let start = tick * base + tick.min(extra);
+        let end = start + base + usize::from(tick < extra);
+        &list[start..end]
+    }
+}
+
+/// How often an auto-tuned (block, pass) re-probes, in exchange calls.
+pub(crate) const AUTO_REESTIMATE_EVERY: u64 = 64;
+/// Unchunked probe calls at the start of every re-estimation window.
+pub(crate) const AUTO_WARMUP: u64 = 2;
+/// Largest chunk count auto mode will pick.
+pub(crate) const AUTO_MAX_CHUNKS: usize = 8;
+/// Minimum hideable time (µs) before chunking is worth its frame
+/// overhead. Keeps echo/virtual workloads — where serialize is a few µs —
+/// deterministically at one chunk.
+const AUTO_MIN_OVERLAP_US: f64 = 150.0;
+
+/// The chunk count that best hides `serialize_us` behind `wait_us`
+/// (in-flight worker time): roughly one more chunk than the wait/serialize
+/// ratio, clamped to `2..=AUTO_MAX_CHUNKS`, or 1 when there is not enough
+/// hideable time on either side to pay for extra frames.
+pub(crate) fn pick_chunks(serialize_us: f64, wait_us: f64) -> usize {
+    let hideable = serialize_us.min(wait_us);
+    if !hideable.is_finite() || hideable < AUTO_MIN_OVERLAP_US {
+        return 1;
+    }
+    let ratio = wait_us / serialize_us;
+    ((ratio.round() as usize).saturating_add(1)).clamp(2, AUTO_MAX_CHUNKS)
+}
+
+#[derive(Debug)]
+struct AutoEntry {
+    calls: u64,
+    serialize_us: f64,
+    wait_us: f64,
+    chunks: usize,
+}
+
+/// Online chunk-count tuner for `VELA_MICROBATCH=auto`.
+///
+/// Keyed by (block, backward?): the serialize/compute ratio differs per
+/// block size and pass. The probe schedule is a pure function of the call
+/// count — the first [`AUTO_WARMUP`] calls of every
+/// [`AUTO_REESTIMATE_EVERY`]-call window run unchunked and re-measure —
+/// so *which* calls probe is deterministic even though what they measure
+/// is not. Chunk choices only ever change speed, never bits.
+#[derive(Debug, Default)]
+pub(crate) struct AutoTuner {
+    entries: HashMap<(usize, bool), AutoEntry>,
+}
+
+impl AutoTuner {
+    /// Picks the chunk count for the next exchange of (block, backward).
+    /// Returns `(chunks, probe)`; a probe call runs unchunked and must
+    /// report its measurement via [`record`](Self::record).
+    pub(crate) fn plan(&mut self, block: usize, backward: bool) -> (usize, bool) {
+        let e = self.entries.entry((block, backward)).or_insert(AutoEntry {
+            calls: 0,
+            serialize_us: 0.0,
+            wait_us: 0.0,
+            chunks: 1,
+        });
+        let probe = e.calls % AUTO_REESTIMATE_EVERY < AUTO_WARMUP;
+        e.calls += 1;
+        if probe {
+            (1, true)
+        } else {
+            (e.chunks, false)
+        }
+    }
+
+    /// Feeds one probe measurement back and re-picks the chunk count
+    /// (exponential moving average over probes, α = ½).
+    pub(crate) fn record(&mut self, block: usize, backward: bool, serialize_us: f64, wait_us: f64) {
+        let Some(e) = self.entries.get_mut(&(block, backward)) else {
+            return;
+        };
+        if e.serialize_us == 0.0 && e.wait_us == 0.0 {
+            e.serialize_us = serialize_us;
+            e.wait_us = wait_us;
+        } else {
+            e.serialize_us = 0.5 * (e.serialize_us + serialize_us);
+            e.wait_us = 0.5 * (e.wait_us + wait_us);
+        }
+        e.chunks = pick_chunks(e.serialize_us, e.wait_us);
+    }
+}
+
+/// Wall/serialize/in-flight stopwatch for one exchange. Inert (every
+/// method a no-op returning `None`) unless measuring — probes and
+/// obs-enabled runs — so the fixed-chunk fast path pays one branch.
+#[derive(Debug)]
+pub(crate) struct ExchangeTimer {
+    started: Option<Instant>,
+    serialize: Duration,
+    wait: Duration,
+    inflight: Duration,
+    /// (send-done instant, cumulative frames owed) per shipped tick.
+    sent_at: Vec<(Instant, usize)>,
+    /// First `sent_at` entry whose frames are not yet fully drained.
+    next_done: usize,
+}
+
+impl ExchangeTimer {
+    pub(crate) fn new(measure: bool) -> Self {
+        ExchangeTimer {
+            started: measure.then(Instant::now),
+            serialize: Duration::ZERO,
+            wait: Duration::ZERO,
+            inflight: Duration::ZERO,
+            sent_at: Vec::new(),
+            next_done: 0,
+        }
+    }
+
+    /// A reference instant, or `None` when not measuring.
+    pub(crate) fn mark(&self) -> Option<Instant> {
+        self.started.map(|_| Instant::now())
+    }
+
+    /// Accounts time since `mark` as serialize time.
+    pub(crate) fn add_serialize(&mut self, from: Option<Instant>) {
+        if let Some(t) = from {
+            self.serialize += t.elapsed();
+        }
+    }
+
+    /// Accounts time since `mark` as blocked-drain time.
+    pub(crate) fn add_wait(&mut self, from: Option<Instant>) {
+        if let Some(t) = from {
+            self.wait += t.elapsed();
+        }
+    }
+
+    /// Records that a tick is fully shipped, owing `owed` cumulative
+    /// reply frames.
+    pub(crate) fn tick_sent(&mut self, owed: usize) {
+        if self.started.is_some() {
+            self.sent_at.push((Instant::now(), owed));
+        }
+    }
+
+    /// Advances in-flight accounting to `drained` cumulative frames.
+    pub(crate) fn drained(&mut self, drained: usize) {
+        if self.started.is_none() {
+            return;
+        }
+        let now = Instant::now();
+        while self.next_done < self.sent_at.len() && self.sent_at[self.next_done].1 <= drained {
+            self.inflight += now - self.sent_at[self.next_done].0;
+            self.next_done += 1;
+        }
+    }
+
+    /// Flushes counters (when obs is enabled) and returns
+    /// `(serialize_us, wait_us)` for the auto-tuner.
+    pub(crate) fn finish(self) -> Option<(f64, f64)> {
+        let started = self.started?;
+        if vela_obs::enabled() {
+            SERIALIZE_US.add(self.serialize.as_micros() as u64);
+            INFLIGHT_US.add(self.inflight.as_micros() as u64);
+            EXCHANGE_US.add(started.elapsed().as_micros() as u64);
+        }
+        Some((
+            self.serialize.as_secs_f64() * 1e6,
+            self.wait.as_secs_f64() * 1e6,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(workers: usize, chunks: usize, assign: &[usize]) -> ChunkPlan {
+        let mut p = ChunkPlan::default();
+        p.build(workers, chunks, assign.iter().copied());
+        p
+    }
+
+    #[test]
+    fn chunks_are_per_worker_and_order_preserving() {
+        // 8 items alternating between 2 workers (the bench placement).
+        let assign: Vec<usize> = (0..8).map(|e| e % 2).collect();
+        let p = plan(2, 4, &assign);
+        assert_eq!(p.ticks(), 4);
+        // Worker 0 owns items 0,2,4,6 split into 4 single-item chunks.
+        for tick in 0..4 {
+            assert_eq!(p.chunk_items(0, tick), &[tick * 2]);
+            assert_eq!(p.chunk_items(1, tick), &[tick * 2 + 1]);
+        }
+        assert!(p.chunk_items(0, 4).is_empty());
+    }
+
+    #[test]
+    fn chunk_count_clamps_to_items_per_worker() {
+        // Worker 1 has a single item: asking for 4 chunks gives it 1,
+        // while worker 0 still gets 4. Ticks follow the largest.
+        let p = plan(2, 4, &[0, 0, 0, 0, 1]);
+        assert_eq!(p.ticks(), 4);
+        assert_eq!(p.chunk_items(1, 0), &[4]);
+        assert!(p.chunk_items(1, 1).is_empty());
+        let all: Vec<usize> = (0..4).flat_map(|t| p.chunk_items(0, t).to_vec()).collect();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_chunk_plan_is_the_coalesced_baseline() {
+        let p = plan(3, 1, &[2, 0, 2, 1]);
+        assert_eq!(p.ticks(), 1);
+        assert_eq!(p.chunk_items(0, 0), &[1]);
+        assert_eq!(p.chunk_items(1, 0), &[3]);
+        assert_eq!(p.chunk_items(2, 0), &[0, 2]);
+    }
+
+    #[test]
+    fn workers_without_items_ship_no_chunks() {
+        let p = plan(3, 2, &[1, 1]);
+        assert_eq!(p.ticks(), 2);
+        assert!(p.chunk_items(0, 0).is_empty());
+        assert!(p.chunk_items(2, 0).is_empty());
+        assert_eq!(p.chunk_items(1, 0), &[0]);
+        assert_eq!(p.chunk_items(1, 1), &[1]);
+    }
+
+    #[test]
+    fn remainder_goes_to_earlier_chunks() {
+        // 5 items on one worker in 2 chunks: 3 + 2, like chunk_ranges.
+        let p = plan(1, 2, &[0, 0, 0, 0, 0]);
+        assert_eq!(p.chunk_items(0, 0), &[0, 1, 2]);
+        assert_eq!(p.chunk_items(0, 1), &[3, 4]);
+    }
+
+    #[test]
+    fn pick_chunks_wants_substance_on_both_sides() {
+        // Echo workloads: serialize is microseconds — stay at 1.
+        assert_eq!(pick_chunks(3.0, 500.0), 1);
+        assert_eq!(pick_chunks(500.0, 3.0), 1);
+        assert_eq!(pick_chunks(0.0, 0.0), 1);
+        // Balanced, substantial work: ratio + 1 chunks.
+        assert_eq!(pick_chunks(1000.0, 1000.0), 2);
+        assert_eq!(pick_chunks(1000.0, 3000.0), 4);
+        // Heavily compute-bound clamps at the max.
+        assert_eq!(pick_chunks(1000.0, 100_000.0), AUTO_MAX_CHUNKS);
+    }
+
+    #[test]
+    fn auto_tuner_probe_schedule_is_deterministic() {
+        let mut t = AutoTuner::default();
+        // Warmup probes run unchunked regardless of what they measure.
+        for _ in 0..AUTO_WARMUP {
+            let (chunks, probe) = t.plan(0, false);
+            assert_eq!((chunks, probe), (1, true));
+            t.record(0, false, 2000.0, 6000.0);
+        }
+        // Settled: serves the measured pick without probing...
+        for _ in AUTO_WARMUP..AUTO_REESTIMATE_EVERY {
+            assert_eq!(t.plan(0, false), (4, false));
+        }
+        // ...and the next window re-probes on schedule.
+        assert_eq!(t.plan(0, false), (1, true));
+        // Other (block, pass) keys have their own state.
+        assert_eq!(t.plan(0, true), (1, true));
+        assert_eq!(t.plan(3, false), (1, true));
+    }
+
+    #[test]
+    fn timer_is_inert_when_not_measuring() {
+        let mut t = ExchangeTimer::new(false);
+        assert!(t.mark().is_none());
+        t.tick_sent(1);
+        t.drained(1);
+        assert!(t.finish().is_none());
+    }
+
+    #[test]
+    fn timer_accounts_overlapping_inflight_windows() {
+        let mut t = ExchangeTimer::new(true);
+        let m = t.mark();
+        assert!(m.is_some());
+        t.add_serialize(m);
+        t.tick_sent(2);
+        std::thread::sleep(Duration::from_millis(2));
+        t.tick_sent(4);
+        std::thread::sleep(Duration::from_millis(2));
+        t.drained(4);
+        let (serialize_us, _) = t.finish().unwrap();
+        assert!(serialize_us >= 0.0);
+    }
+}

@@ -1,8 +1,8 @@
 //! The in-process `std::sync::mpsc` star — the original transport,
 //! re-expressed as a [`HubBackend`]/[`PortBackend`] pair.
 //!
-//! Frames never leave the process: the "wire" is a cloned `Vec<u8>` moved
-//! through a channel. Disconnection maps onto channel hang-up, so a dead
+//! Frames never leave the process: the "wire" is the encoded `Vec<u8>`
+//! itself, moved through a channel without ever being copied. Disconnection maps onto channel hang-up, so a dead
 //! worker thread surfaces as [`TransportError::Disconnected`] rather than
 //! a panic.
 //!
@@ -36,9 +36,9 @@ struct ChannelPort {
 }
 
 impl HubBackend for ChannelHub {
-    fn send(&mut self, index: usize, frame: &[u8]) -> Result<(), TransportError> {
+    fn send(&mut self, index: usize, frame: Vec<u8>) -> Result<(), TransportError> {
         self.to_workers[index]
-            .send(frame.to_vec())
+            .send(frame)
             .map_err(|_| TransportError::Disconnected)
     }
 
@@ -59,9 +59,9 @@ impl HubBackend for ChannelHub {
 }
 
 impl PortBackend for ChannelPort {
-    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), TransportError> {
         self.up
-            .send((self.index, frame.to_vec()))
+            .send((self.index, frame))
             .map_err(|_| TransportError::Disconnected)
     }
 

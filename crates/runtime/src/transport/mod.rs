@@ -185,6 +185,44 @@ impl TransportConfig {
     }
 }
 
+/// How many chunks a block-pass exchange is split into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Microbatch {
+    /// Split every worker's item list into (up to) this many chunks.
+    /// `Fixed(1)` is the degenerate single-chunk exchange.
+    Fixed(usize),
+    /// Let the runtime pick the chunk count per (block, pass) from the
+    /// measured serialize/in-flight ratio, re-estimated online with a
+    /// deterministic warmup window (see `runtime::pipeline::AutoTuner`).
+    /// Any choice is bitwise-identical to any other by construction, so
+    /// auto-chunking affects speed only.
+    Auto,
+}
+
+impl Microbatch {
+    /// The chunk count for a fixed setting, or `None` for auto.
+    pub fn fixed(&self) -> Option<usize> {
+        match self {
+            Microbatch::Fixed(n) => Some(*n),
+            Microbatch::Auto => None,
+        }
+    }
+
+    /// Stable label for bench output: the number, or `auto`.
+    pub fn label(&self) -> String {
+        match self {
+            Microbatch::Fixed(n) => n.to_string(),
+            Microbatch::Auto => "auto".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Microbatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
 /// How a block-pass exchange is framed and pipelined.
 ///
 /// Orthogonal to [`TransportConfig`]: any exchange shape runs over any
@@ -192,39 +230,58 @@ impl TransportConfig {
 /// byte-identical ledgers (pinned by `tests/transport_parity.rs`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExchangeConfig {
-    /// Pack all of a worker's expert batches for a block-pass into one
+    /// Pack a worker's expert batches for a chunk into one
     /// `DispatchGroup` frame (default). Off = one frame per batch, the
     /// pre-pipeline wire protocol.
     pub coalesce: bool,
     /// Number of chunks each block-pass is split into so the master can
-    /// drain microbatch *j* while workers compute *j+1*. `1` (the
-    /// default) is the degenerate single-chunk exchange.
-    pub microbatch: usize,
+    /// drain chunk *j* while workers compute *j+1*. Chunking happens
+    /// per worker at whole-expert-batch granularity, so it composes with
+    /// coalescing: one frame per worker per chunk.
+    pub microbatch: Microbatch,
+    /// Maximum chunks in flight per worker before the master drains
+    /// replies (the ring depth). `1` reproduces the one-deep send→drain
+    /// pipeline; deeper rings keep the link busy while earlier chunks are
+    /// still being served.
+    pub depth: usize,
 }
 
 impl Default for ExchangeConfig {
     fn default() -> Self {
         ExchangeConfig {
             coalesce: true,
-            microbatch: 1,
+            microbatch: Microbatch::Fixed(1),
+            depth: 2,
         }
     }
 }
 
 impl ExchangeConfig {
-    /// One frame per batch, single chunk — the exact wire protocol that
-    /// predates the pipeline. Parity tests use this as the baseline.
+    /// One frame per batch, single chunk, no pipelining — the exact wire
+    /// protocol that predates the pipeline. Parity tests use this as the
+    /// baseline.
     pub fn per_batch() -> Self {
         ExchangeConfig {
             coalesce: false,
-            microbatch: 1,
+            microbatch: Microbatch::Fixed(1),
+            depth: 1,
+        }
+    }
+
+    /// Coalesced exchange with a fixed chunk count and the default ring
+    /// depth — the common bench/test shape.
+    pub fn chunked(microbatch: usize) -> Self {
+        ExchangeConfig {
+            microbatch: Microbatch::Fixed(microbatch),
+            ..ExchangeConfig::default()
         }
     }
 
     /// Reads `VELA_COALESCE` (`1`/`on`/`true` — default — or
-    /// `0`/`off`/`false`) and `VELA_MICROBATCH` (a chunk count ≥ 1,
-    /// default 1). Unknown values warn and fall back rather than aborting
-    /// a long run.
+    /// `0`/`off`/`false`), `VELA_MICROBATCH` (a chunk count ≥ 1 or
+    /// `auto`, default 1) and `VELA_PIPELINE_DEPTH` (in-flight chunks
+    /// ≥ 1, default 2). Unknown values warn and fall back rather than
+    /// aborting a long run.
     pub fn from_env() -> Self {
         let mut cfg = ExchangeConfig::default();
         match std::env::var("VELA_COALESCE").as_deref() {
@@ -235,10 +292,22 @@ impl ExchangeConfig {
             }
         }
         if let Ok(raw) = std::env::var("VELA_MICROBATCH") {
+            if raw == "auto" {
+                cfg.microbatch = Microbatch::Auto;
+            } else {
+                match raw.parse::<usize>() {
+                    Ok(n) if n >= 1 => cfg.microbatch = Microbatch::Fixed(n),
+                    _ => {
+                        vela_obs::warn!("invalid VELA_MICROBATCH={raw:?}, using 1");
+                    }
+                }
+            }
+        }
+        if let Ok(raw) = std::env::var("VELA_PIPELINE_DEPTH") {
             match raw.parse::<usize>() {
-                Ok(n) if n >= 1 => cfg.microbatch = n,
+                Ok(n) if n >= 1 => cfg.depth = n,
                 _ => {
-                    vela_obs::warn!("invalid VELA_MICROBATCH={raw:?}, using 1");
+                    vela_obs::warn!("invalid VELA_PIPELINE_DEPTH={raw:?}, using 2");
                 }
             }
         }
@@ -249,8 +318,10 @@ impl ExchangeConfig {
 /// Master-side raw frame mover. Implementations ship opaque frames; all
 /// message encoding and traffic accounting happens in [`MasterHub`].
 pub trait HubBackend: Send + fmt::Debug {
-    /// Ships a frame to worker `index`.
-    fn send(&mut self, index: usize, frame: &[u8]) -> Result<(), TransportError>;
+    /// Ships a frame to worker `index`. Takes the frame by value so
+    /// queueing backends (mpsc, the tcp writer threads) move the encoded
+    /// buffer instead of copying it — one allocation per frame, total.
+    fn send(&mut self, index: usize, frame: Vec<u8>) -> Result<(), TransportError>;
     /// Blocks for the next `(worker_index, frame)` pair.
     fn recv(&mut self) -> Result<(usize, Vec<u8>), TransportError>;
     /// Like [`recv`](Self::recv) with a deadline.
@@ -261,8 +332,8 @@ pub trait HubBackend: Send + fmt::Debug {
 
 /// Worker-side raw frame mover.
 pub trait PortBackend: Send + fmt::Debug {
-    /// Ships a frame to the master.
-    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError>;
+    /// Ships a frame to the master (by value; see [`HubBackend::send`]).
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), TransportError>;
     /// Blocks for the next frame from the master.
     fn recv(&mut self) -> Result<Vec<u8>, TransportError>;
     /// Returns a frame if one is ready, `None` otherwise.
@@ -347,7 +418,7 @@ impl MasterHub {
         self.ledger
             .record(self.device, self.workers[index], msg.accounted_bytes());
         self.frames_out += 1;
-        self.backend.send(index, &msg.encode())
+        self.backend.send(index, msg.encode())
     }
 
     /// Broadcasts a message to every worker.
@@ -376,7 +447,7 @@ impl MasterHub {
     /// [`Message`] protocol. Control frames are setup plumbing that does
     /// not exist in thread mode, so they carry **no accounted bytes** —
     /// accounting them would make ledger totals transport-dependent.
-    pub fn send_control(&mut self, index: usize, frame: &[u8]) -> Result<(), TransportError> {
+    pub fn send_control(&mut self, index: usize, frame: Vec<u8>) -> Result<(), TransportError> {
         self.backend.send(index, frame)
     }
 
@@ -447,7 +518,7 @@ impl WorkerPort {
 
     /// Sends a message to the master.
     pub fn send(&mut self, msg: &Message) -> Result<(), TransportError> {
-        self.backend.send(&msg.encode())
+        self.backend.send(msg.encode())
     }
 
     /// Closes the link to the master (best effort).
@@ -632,10 +703,20 @@ mod tests {
         // Pure constructors only — env vars are process-global.
         let d = ExchangeConfig::default();
         assert!(d.coalesce);
-        assert_eq!(d.microbatch, 1);
+        assert_eq!(d.microbatch, Microbatch::Fixed(1));
+        assert_eq!(d.depth, 2);
         let p = ExchangeConfig::per_batch();
         assert!(!p.coalesce);
-        assert_eq!(p.microbatch, 1);
+        assert_eq!(p.microbatch, Microbatch::Fixed(1));
+        assert_eq!(p.depth, 1);
+        let c = ExchangeConfig::chunked(4);
+        assert!(c.coalesce);
+        assert_eq!(c.microbatch, Microbatch::Fixed(4));
+        assert_eq!(c.depth, 2);
+        assert_eq!(Microbatch::Fixed(4).label(), "4");
+        assert_eq!(Microbatch::Auto.label(), "auto");
+        assert_eq!(Microbatch::Fixed(4).fixed(), Some(4));
+        assert_eq!(Microbatch::Auto.fixed(), None);
     }
 
     #[test]

@@ -131,8 +131,8 @@ impl TcpPort {
 }
 
 impl PortBackend for TcpPort {
-    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
-        write_frame(&mut self.sock, frame)
+    fn send(&mut self, frame: Vec<u8>) -> Result<(), TransportError> {
+        write_frame(&mut self.sock, &frame)
     }
 
     fn recv(&mut self) -> Result<Vec<u8>, TransportError> {
@@ -298,8 +298,8 @@ impl TcpHub {
 }
 
 impl HubBackend for TcpHub {
-    fn send(&mut self, index: usize, frame: &[u8]) -> Result<(), TransportError> {
-        self.writers[index].enqueue(frame.to_vec())
+    fn send(&mut self, index: usize, frame: Vec<u8>) -> Result<(), TransportError> {
+        self.writers[index].enqueue(frame)
     }
 
     fn recv(&mut self) -> Result<(usize, Vec<u8>), TransportError> {

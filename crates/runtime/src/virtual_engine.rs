@@ -22,12 +22,14 @@ use vela_model::MoeSpec;
 use vela_placement::Placement;
 use vela_tensor::rng::DetRng;
 
-use crate::broker::{chunk_ranges, group_pass, Pass, PhaseLog};
+use crate::broker::{group_pass, Pass, PhaseLog};
 use crate::launch::{launch_process_star, WorkerHandle};
 use crate::message::{GroupItem, Message, Payload};
 use crate::metrics::{backbone_flops_per_token, master_worker_time, StepMetrics};
+use crate::pipeline::{AutoTuner, ChunkPlan, ExchangeTimer};
+use crate::pipeline::{SPAN_INFLIGHT, SPAN_SERIALIZE, STALLS};
 use crate::routing::sample_expert_counts;
-use crate::transport::{build_star, ExchangeConfig, MasterHub, TransportConfig};
+use crate::transport::{build_star, ExchangeConfig, MasterHub, Microbatch, TransportConfig};
 use crate::worker::{ExpertManager, WorkerBootstrap};
 
 /// Scale parameters of a virtual evaluation run.
@@ -112,6 +114,8 @@ pub struct VirtualEngine {
     rng: DetRng,
     step: usize,
     exchange_cfg: ExchangeConfig,
+    plan: ChunkPlan,
+    tuner: AutoTuner,
 }
 
 impl VirtualEngine {
@@ -225,6 +229,8 @@ impl VirtualEngine {
             rng,
             step: 0,
             exchange_cfg: ExchangeConfig::from_env(),
+            plan: ChunkPlan::default(),
+            tuner: AutoTuner::default(),
         }
     }
 
@@ -360,20 +366,59 @@ impl VirtualEngine {
             .filter(|&(_, &rows)| rows > 0)
             .map(|(expert, &rows)| (expert, rows as u32))
             .collect();
-        // One-deep pipeline, same shape as `BrokerClient::exchange`: before
-        // dispatching chunk j+1, drain every frame owed by chunks ..=j.
-        let chunks = chunk_ranges(sends.len(), self.exchange_cfg.microbatch);
+        // The same bounded ring as `BrokerClient::exchange`: each worker's
+        // sends are split into per-worker chunks (so chunking composes with
+        // coalescing), up to `depth` ticks ride the wire at once, and
+        // before shipping tick c the master drains every frame owed
+        // through tick c − depth.
+        let cfg = self.exchange_cfg;
+        let backward = matches!(pass, Pass::Backward);
+        let (chunks, probe) = match cfg.microbatch {
+            Microbatch::Fixed(n) => (n, false),
+            Microbatch::Auto => self.tuner.plan(block, backward),
+        };
+        self.plan.build(
+            workers,
+            chunks,
+            sends
+                .iter()
+                .map(|&(e, _)| self.placement.worker_of(block, e)),
+        );
+        let ticks = self.plan.ticks();
+        let depth = cfg.depth.max(1);
+        let mut timer = ExchangeTimer::new(probe || vela_obs::enabled());
+        let mut owed_after: Vec<usize> = Vec::with_capacity(ticks);
         let mut sent = 0usize;
         let mut received = 0usize;
-        for range in chunks {
-            let owed = sent;
-            sent += self.send_virtual_chunk(block, pass, &sends[range], bytes_per_token, &mut log);
-            while received < owed {
-                received += self.drain_virtual(pass, &mut log);
+        for tick in 0..ticks {
+            if tick >= depth {
+                let owed = owed_after[tick - depth];
+                if received < owed {
+                    STALLS.add(1);
+                }
+                while received < owed {
+                    received += self.drain_virtual(pass, &mut log, &mut timer);
+                    timer.drained(received);
+                }
             }
+            {
+                let _g = vela_obs::span(SPAN_SERIALIZE);
+                let t0 = timer.mark();
+                sent +=
+                    self.send_virtual_tick(block, pass, tick, &sends, bytes_per_token, &mut log);
+                timer.add_serialize(t0);
+            }
+            timer.tick_sent(sent);
+            owed_after.push(sent);
         }
         while received < sent {
-            received += self.drain_virtual(pass, &mut log);
+            received += self.drain_virtual(pass, &mut log, &mut timer);
+            timer.drained(received);
+        }
+        if let Some((serialize_us, wait_us)) = timer.finish() {
+            if probe {
+                self.tuner.record(block, backward, serialize_us, wait_us);
+            }
         }
         if vela_obs::enabled() {
             let rows: Vec<(usize, usize)> = counts
@@ -387,12 +432,14 @@ impl VirtualEngine {
         log
     }
 
-    /// Ships one microbatch of virtual sends, coalesced per worker when
-    /// enabled, and returns the number of wire frames dispatched.
-    fn send_virtual_chunk(
+    /// Ships ring tick `tick`: one coalesced group per worker carrying
+    /// that worker's chunk of virtual sends (or per-batch frames with
+    /// coalescing off). Returns the wire frames dispatched.
+    fn send_virtual_tick(
         &mut self,
         block: usize,
         pass: Pass,
+        tick: usize,
         sends: &[(usize, u32)],
         bytes_per_token: u32,
         log: &mut PhaseLog,
@@ -401,24 +448,28 @@ impl VirtualEngine {
             rows,
             bytes_per_token,
         };
-        if self.exchange_cfg.coalesce {
-            let mut groups: Vec<Vec<GroupItem>> = vec![Vec::new(); self.hub.worker_count()];
-            for &(expert, rows) in sends {
-                let w = self.placement.worker_of(block, expert);
-                log.rows[w] += u64::from(rows);
-                groups[w].push(GroupItem {
-                    expert: expert as u32,
-                    payload: payload_for(rows),
-                });
+        let mut frames = 0usize;
+        for w in 0..self.hub.worker_count() {
+            let indices = self.plan.chunk_items(w, tick);
+            if indices.is_empty() {
+                continue;
             }
-            let mut frames = 0usize;
-            for (w, items) in groups.into_iter().enumerate() {
-                if items.is_empty() {
-                    continue;
-                }
+            if self.exchange_cfg.coalesce {
+                let items: Vec<GroupItem> = indices
+                    .iter()
+                    .map(|&i| {
+                        let (expert, rows) = sends[i];
+                        log.rows[w] += u64::from(rows);
+                        GroupItem {
+                            expert: expert as u32,
+                            payload: payload_for(rows),
+                        }
+                    })
+                    .collect();
                 let msg = Message::DispatchGroup {
                     block: block as u32,
                     pass: group_pass(pass),
+                    chunk: tick as u32,
                     items,
                 };
                 log.bytes_out[w] += msg.accounted_bytes();
@@ -426,46 +477,72 @@ impl VirtualEngine {
                     .send(w, &msg)
                     .unwrap_or_else(|e| panic!("transport failed during dispatch: {e}"));
                 frames += 1;
+            } else {
+                for &i in indices {
+                    let (expert, rows) = sends[i];
+                    let payload = payload_for(rows);
+                    let msg = match pass {
+                        Pass::Forward => Message::TokenBatch {
+                            block: block as u32,
+                            expert: expert as u32,
+                            payload,
+                        },
+                        Pass::Backward => Message::GradBatch {
+                            block: block as u32,
+                            expert: expert as u32,
+                            payload,
+                        },
+                    };
+                    log.bytes_out[w] += msg.accounted_bytes();
+                    log.rows[w] += u64::from(rows);
+                    self.hub
+                        .send(w, &msg)
+                        .unwrap_or_else(|e| panic!("transport failed during dispatch: {e}"));
+                    frames += 1;
+                }
             }
-            frames
-        } else {
-            for &(expert, rows) in sends {
-                let w = self.placement.worker_of(block, expert);
-                let payload = payload_for(rows);
-                let msg = match pass {
-                    Pass::Forward => Message::TokenBatch {
-                        block: block as u32,
-                        expert: expert as u32,
-                        payload,
-                    },
-                    Pass::Backward => Message::GradBatch {
-                        block: block as u32,
-                        expert: expert as u32,
-                        payload,
-                    },
-                };
-                log.bytes_out[w] += msg.accounted_bytes();
-                log.rows[w] += u64::from(rows);
-                self.hub
-                    .send(w, &msg)
-                    .unwrap_or_else(|e| panic!("transport failed during dispatch: {e}"));
-            }
-            sends.len()
         }
+        frames
     }
 
     /// Drains one reply frame (per-batch echo or a `ResultGroup`),
     /// accounting its uplink bytes. Returns the frames consumed (1).
-    fn drain_virtual(&mut self, pass: Pass, log: &mut PhaseLog) -> usize {
-        let (w, msg) = self
-            .hub
-            .recv()
-            .unwrap_or_else(|e| panic!("transport failed during gather: {e}"));
+    fn drain_virtual(
+        &mut self,
+        pass: Pass,
+        log: &mut PhaseLog,
+        timer: &mut ExchangeTimer,
+    ) -> usize {
+        let (w, msg) = {
+            let _g = vela_obs::span(SPAN_INFLIGHT);
+            let t0 = timer.mark();
+            let r = self
+                .hub
+                .recv()
+                .unwrap_or_else(|e| panic!("transport failed during gather: {e}"));
+            timer.add_wait(t0);
+            r
+        };
         log.bytes_back[w] += msg.accounted_bytes();
         match (pass, msg) {
             (Pass::Forward, Message::ExpertResult { .. })
             | (Pass::Backward, Message::GradResult { .. }) => {}
-            (_, Message::ResultGroup { pass: rp, .. }) if rp == group_pass(pass) => {}
+            (
+                _,
+                Message::ResultGroup {
+                    pass: rp,
+                    chunk,
+                    ref items,
+                    ..
+                },
+            ) if rp == group_pass(pass) => {
+                let expected = self.plan.chunk_items(w, chunk as usize).len();
+                assert_eq!(
+                    items.len(),
+                    expected,
+                    "worker {w} echoed chunk {chunk} with wrong item count"
+                );
+            }
             (_, other) => panic!("unexpected reply {other:?}"),
         }
         1

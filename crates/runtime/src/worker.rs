@@ -362,9 +362,21 @@ fn handle(
                 payload: reply,
             })?;
         }
-        Message::DispatchGroup { block, pass, items } => {
+        Message::DispatchGroup {
+            block,
+            pass,
+            chunk,
+            items,
+        } => {
             let items = serve_group(shard, block as usize, pass, items);
-            port.send(&Message::ResultGroup { block, pass, items })?;
+            // Echo the chunk id so the master can slot this reply while
+            // other chunks of the same block-pass are still in flight.
+            port.send(&Message::ResultGroup {
+                block,
+                pass,
+                chunk,
+                items,
+            })?;
         }
         Message::StepEnd => {
             opt.step(shard);
@@ -617,6 +629,7 @@ mod tests {
             &Message::DispatchGroup {
                 block: 0,
                 pass: GroupPass::Forward,
+                chunk: 5,
                 items: vec![
                     GroupItem {
                         expert: 0,
@@ -638,10 +651,17 @@ mod tests {
         )
         .unwrap();
         let (_, reply) = hub.recv().unwrap();
-        let Message::ResultGroup { block, pass, items } = reply else {
+        let Message::ResultGroup {
+            block,
+            pass,
+            chunk,
+            items,
+        } = reply
+        else {
             panic!("expected ResultGroup, got {reply:?}");
         };
         assert_eq!((block, pass), (0, GroupPass::Forward));
+        assert_eq!(chunk, 5, "the reply must echo the dispatch chunk id");
         assert_eq!(items.len(), 3);
         assert_eq!(items[0].expert, 0);
         assert_eq!(items[0].payload.to_tensor(), expect[0], "bit-exact parity");

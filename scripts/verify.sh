@@ -27,6 +27,9 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> exchange parity grid (release): {transport x coalesce x microbatch x depth}"
+cargo test --release -q --test transport_parity
+
 echo "==> trace smoke: quickstart under VELA_TRACE=jsonl + trace_summary --check"
 trace_out=target/quickstart-trace.jsonl
 rm -f "$trace_out"

@@ -7,14 +7,15 @@
 //! identical, because the hub accounts protocol bytes identically no
 //! matter what carries the frames.
 //!
-//! The exchange pipeline adds two more axes that must be equally
-//! invisible: per-worker frame coalescing (`VELA_COALESCE`) and
-//! microbatched dispatch (`VELA_MICROBATCH`). The full
-//! {transport × coalesce × microbatch} grid must reproduce the
+//! The exchange pipeline adds three more axes that must be equally
+//! invisible: per-worker frame coalescing (`VELA_COALESCE`), microbatched
+//! dispatch (`VELA_MICROBATCH`, including `auto`) and the ring depth
+//! (`VELA_PIPELINE_DEPTH`). The full
+//! {transport × coalesce × microbatch × depth} grid must reproduce the
 //! per-batch, unpipelined baseline bit for bit.
 
 use vela::prelude::*;
-use vela::runtime::ExchangeConfig;
+use vela::runtime::{ExchangeConfig, Microbatch};
 
 fn workload(transport: TransportConfig, exchange: ExchangeConfig) -> Vec<StepMetrics> {
     let spec = MoeSpec {
@@ -83,9 +84,11 @@ fn run_summaries_agree_except_for_the_label() {
     assert!(a.total_bytes > 0);
 }
 
-/// The full {transport × coalesce × microbatch} grid is bitwise-identical
-/// to the legacy shape (channel, per-batch frames, no pipelining): the
-/// pipeline changes how frames move, never what they say or cost.
+/// The full {transport × coalesce × microbatch × depth} grid is
+/// bitwise-identical to the legacy shape (channel, per-batch frames, no
+/// pipelining): the pipeline changes how frames move, never what they say
+/// or cost. `auto` rides along — whatever chunk count the tuner picks
+/// from its timings must be just as invisible.
 #[test]
 fn exchange_grid_is_bitwise_identical_to_per_batch_baseline() {
     let baseline = workload(TransportConfig::channel(), ExchangeConfig::per_batch());
@@ -96,18 +99,48 @@ fn exchange_grid_is_bitwise_identical_to_per_batch_baseline() {
     ];
     for (label, transport) in transports {
         for coalesce in [false, true] {
-            for microbatch in [1usize, 4] {
-                let cfg = ExchangeConfig {
-                    coalesce,
-                    microbatch,
-                };
-                let metrics = workload(transport(), cfg);
-                assert_eq!(
-                    baseline, metrics,
-                    "({label}, coalesce={coalesce}, microbatch={microbatch}) \
-                     diverged from the per-batch baseline"
-                );
+            for microbatch in [Microbatch::Fixed(1), Microbatch::Fixed(4), Microbatch::Auto] {
+                for depth in [1usize, 2, 4] {
+                    let cfg = ExchangeConfig {
+                        coalesce,
+                        microbatch,
+                        depth,
+                    };
+                    let metrics = workload(transport(), cfg);
+                    assert_eq!(
+                        baseline, metrics,
+                        "({label}, coalesce={coalesce}, microbatch={microbatch}, \
+                         depth={depth}) diverged from the per-batch baseline"
+                    );
+                }
             }
         }
+    }
+}
+
+/// The same grid over real OS worker processes, on a representative
+/// subset (process spawns are expensive): shallow unchunked, the default
+/// chunked ring, and a deep auto-tuned ring. Process transport must be
+/// exactly as invisible as the in-process backends.
+#[test]
+fn process_transport_matches_the_per_batch_baseline() {
+    let baseline = workload(TransportConfig::channel(), ExchangeConfig::per_batch());
+    let shapes = [
+        (Microbatch::Fixed(1), 1usize),
+        (Microbatch::Fixed(4), 2),
+        (Microbatch::Auto, 4),
+    ];
+    for (microbatch, depth) in shapes {
+        let cfg = ExchangeConfig {
+            coalesce: true,
+            microbatch,
+            depth,
+        };
+        let metrics = workload(TransportConfig::tcp_processes(), cfg);
+        assert_eq!(
+            baseline, metrics,
+            "(tcp, coalesce=true, microbatch={microbatch}, depth={depth}) \
+             diverged from the per-batch baseline"
+        );
     }
 }

@@ -81,11 +81,13 @@ fn random_message(rng: &mut DetRng) -> Message {
         11 => Message::DispatchGroup {
             block,
             pass: random_pass(rng),
+            chunk: rng.below(1 << 8) as u32,
             items: random_items(rng),
         },
         _ => Message::ResultGroup {
             block,
             pass: random_pass(rng),
+            chunk: rng.below(1 << 8) as u32,
             items: random_items(rng),
         },
     }
@@ -181,6 +183,7 @@ fn implausible_length_fields_do_not_allocate() {
         w.put_u8(12 + rng.below(2) as u8); // DispatchGroup / ResultGroup tag
         w.put_u32(0);
         w.put_u8(rng.below(2) as u8); // pass
+        w.put_u32(rng.below(8) as u32); // chunk
         w.put_u32(u32::MAX - rng.below(1 << 16) as u32);
         let frame = w.into_vec();
         assert!(
