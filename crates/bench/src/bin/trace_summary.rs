@@ -253,6 +253,39 @@ fn summarize(events: &[RawEvent], top: usize) {
         }
     }
 
+    // Wire-format economics: encoded bytes by frame kind, split into
+    // framing headers vs data payloads (the split the packed layout and
+    // int8 quantization exist to shrink).
+    let wire_rows: Vec<(&str, u64, u64)> = ["dispatch", "result", "expert_state"]
+        .iter()
+        .map(|kind| {
+            let get = |field: &str| {
+                counters
+                    .get(format!("wire.{kind}.{field}").as_str())
+                    .copied()
+                    .unwrap_or(0)
+            };
+            (*kind, get("header_bytes"), get("payload_bytes"))
+        })
+        .filter(|&(_, h, p)| h + p > 0)
+        .collect();
+    if !wire_rows.is_empty() {
+        println!("\n-- wire bytes by frame kind --");
+        println!(
+            "{:<14} {:>14} {:>14} {:>9}",
+            "kind", "header", "payload", "overhead"
+        );
+        for &(kind, header, payload) in &wire_rows {
+            println!(
+                "{:<14} {:>14} {:>14} {:>8.2}%",
+                kind,
+                header,
+                payload,
+                100.0 * header as f64 / (header + payload).max(1) as f64
+            );
+        }
+    }
+
     if !counters.is_empty() {
         println!("\n-- counters (final) --");
         for (name, value) in &counters {

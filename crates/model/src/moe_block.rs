@@ -304,10 +304,7 @@ impl MoeBlock {
                 assert_eq!(gi, outputs.len(), "streamed group out of order");
                 for (pos, p) in (offsets[gi]..offsets[gi + 1]).enumerate() {
                     let w = weights[slots[p]];
-                    let dst = y.row_mut(toks[p]);
-                    for (d, &s) in dst.iter_mut().zip(out.row(pos)) {
-                        *d += w * s;
-                    }
+                    vela_tensor::ops::scaled_add(y.row_mut(toks[p]), w, out.row(pos));
                 }
                 outputs.push(out);
             });

@@ -89,6 +89,11 @@ pub struct LocalExpertStore {
     /// Persistent dispatch buffer: experts move out of their slots for the
     /// duration of one block call, keeping the hot path allocation-free.
     scratch: Vec<SwiGlu>,
+    /// Persistent batch descriptors for the packed-rows path.
+    packed_batches: Vec<ExpertBatch>,
+    /// Recycled input buffers for the packed-rows path: serving a packed
+    /// region allocates no input-side memory after warmup.
+    packed_pool: Vec<Vec<f32>>,
 }
 
 impl LocalExpertStore {
@@ -109,7 +114,7 @@ impl LocalExpertStore {
         }
         LocalExpertStore {
             slots,
-            scratch: Vec::new(),
+            ..LocalExpertStore::default()
         }
     }
 
@@ -118,7 +123,7 @@ impl LocalExpertStore {
     pub fn empty(blocks: usize, experts: usize) -> Self {
         LocalExpertStore {
             slots: vec![std::iter::repeat_with(|| None).take(experts).collect(); blocks],
-            scratch: Vec::new(),
+            ..LocalExpertStore::default()
         }
     }
 
@@ -221,6 +226,90 @@ impl LocalExpertStore {
         for (b, ffn) in batches.iter().zip(self.scratch.drain(..)) {
             row[b.expert] = Some(ffn);
         }
+    }
+
+    /// Forward pass over one packed dispatch region — see
+    /// [`run_rows`](Self::run_rows) for the contract.
+    pub fn forward_rows(
+        &mut self,
+        block: usize,
+        width: usize,
+        parts: &[(usize, usize)],
+        region: &[f32],
+        out: &mut Vec<f32>,
+    ) {
+        self.run_rows(block, false, width, parts, region, out);
+    }
+
+    /// Backward pass over one packed gradient region — see
+    /// [`run_rows`](Self::run_rows) for the contract.
+    pub fn backward_rows(
+        &mut self,
+        block: usize,
+        width: usize,
+        parts: &[(usize, usize)],
+        region: &[f32],
+        out: &mut Vec<f32>,
+    ) {
+        self.run_rows(block, true, width, parts, region, out);
+    }
+
+    /// Runs one packed region through the same per-expert kernels and
+    /// grouping as [`ExpertProvider::forward_block`]/`backward_block`, so
+    /// results are bit-identical to the batch API on equivalent inputs.
+    /// `region` is a single contiguous row-major block of `Σ rows · width`
+    /// values laid out densely in `parts` order (`parts[i] = (expert,
+    /// rows)`); each part's output rows are appended to `out` in the same
+    /// order, so the reply is again one region with no per-item framing.
+    /// Input buffers are recycled through a persistent pool — slicing the
+    /// region into expert batches allocates nothing after warmup.
+    ///
+    /// # Panics
+    /// Panics if `region` does not match the `parts` layout, or on the
+    /// same conditions as the batch API (absent/duplicated experts).
+    fn run_rows(
+        &mut self,
+        block: usize,
+        backward: bool,
+        width: usize,
+        parts: &[(usize, usize)],
+        region: &[f32],
+        out: &mut Vec<f32>,
+    ) {
+        let total: usize = parts.iter().map(|&(_, rows)| rows * width).sum();
+        assert_eq!(
+            region.len(),
+            total,
+            "packed region does not match its span layout"
+        );
+        let mut batches = std::mem::take(&mut self.packed_batches);
+        batches.clear();
+        let mut lo = 0usize;
+        for &(expert, rows) in parts {
+            let mut buf = self.packed_pool.pop().unwrap_or_default();
+            buf.clear();
+            buf.extend_from_slice(&region[lo..lo + rows * width]);
+            lo += rows * width;
+            batches.push(ExpertBatch {
+                expert,
+                xs: Tensor::from_vec((rows, width), buf),
+            });
+        }
+        let outs = if batches.is_empty() {
+            Vec::new()
+        } else if backward {
+            self.backward_block(block, &batches)
+        } else {
+            self.forward_block(block, &batches)
+        };
+        out.reserve(total);
+        for t in &outs {
+            out.extend_from_slice(t.as_slice());
+        }
+        for b in batches.drain(..) {
+            self.packed_pool.push(b.xs.into_vec());
+        }
+        self.packed_batches = batches;
     }
 }
 
@@ -344,6 +433,60 @@ mod tests {
         });
         // 3 projections × 1 weight each per expert.
         assert_eq!(names.len(), cfg.blocks * cfg.experts * 3);
+    }
+
+    #[test]
+    fn packed_rows_match_batch_api_bitwise() {
+        // One contiguous region through the rows API must reproduce the
+        // batch API bit for bit — same expert grouping, same kernels.
+        let cfg = ModelConfig::test_small();
+        let mut s = store();
+        let mut rng = DetRng::new(7);
+        let batches: Vec<ExpertBatch> = (0..3)
+            .map(|e| ExpertBatch {
+                expert: e,
+                xs: Tensor::uniform((e + 1, cfg.dim), -1.0, 1.0, &mut rng),
+            })
+            .collect();
+        let parts: Vec<(usize, usize)> = batches.iter().map(|b| (b.expert, b.xs.rows())).collect();
+        let region: Vec<f32> = batches
+            .iter()
+            .flat_map(|b| b.xs.as_slice().iter().copied())
+            .collect();
+        let bits = |vals: &[f32]| vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+
+        let expect_fwd: Vec<f32> = s
+            .forward_block(0, &batches)
+            .iter()
+            .flat_map(|t| t.as_slice().iter().copied())
+            .collect();
+        let expect_bwd: Vec<f32> = s
+            .backward_block(0, &batches)
+            .iter()
+            .flat_map(|t| t.as_slice().iter().copied())
+            .collect();
+
+        let mut out = Vec::new();
+        s.forward_rows(0, cfg.dim, &parts, &region, &mut out);
+        assert_eq!(bits(&out), bits(&expect_fwd));
+        out.clear();
+        s.backward_rows(0, cfg.dim, &parts, &region, &mut out);
+        assert_eq!(bits(&out), bits(&expect_bwd));
+
+        // A second call draws its input buffers from the recycled pool.
+        assert_eq!(s.packed_pool.len(), parts.len());
+        out.clear();
+        s.forward_rows(0, cfg.dim, &parts, &region, &mut out);
+        assert_eq!(bits(&out), bits(&expect_fwd));
+    }
+
+    #[test]
+    #[should_panic(expected = "packed region does not match")]
+    fn ragged_packed_region_panics() {
+        let mut s = store();
+        let cfg = ModelConfig::test_small();
+        let mut out = Vec::new();
+        s.forward_rows(0, cfg.dim, &[(0, 2)], &[0.0; 3], &mut out);
     }
 
     #[test]

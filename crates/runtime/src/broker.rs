@@ -10,15 +10,18 @@
 
 use std::collections::HashMap;
 
+use vela_model::checkpoint;
 use vela_model::provider::{ExpertBatch, ExpertProvider};
 use vela_obs::LazyCounter;
 use vela_placement::Placement;
 use vela_tensor::Tensor;
 
-use crate::message::{GroupItem, GroupPass, Message, Payload};
+use crate::message::{GroupItem, GroupPass, Message, PackedData, PackedGroup, Payload};
 use crate::pipeline::{AutoTuner, ChunkPlan, ExchangeTimer};
 use crate::pipeline::{SPAN_COMBINE, SPAN_INFLIGHT, SPAN_SERIALIZE, STALLS};
-use crate::transport::{ExchangeConfig, MasterHub, Microbatch, TransportError};
+use crate::transport::{
+    ExchangeConfig, MasterHub, Microbatch, TransportError, WireFormat, WireStats,
+};
 
 /// Aggregate dispatch/gather telemetry across all phases and engines.
 static PHASE_BYTES_OUT: LazyCounter = LazyCounter::new("runtime.phase.bytes_out");
@@ -152,6 +155,15 @@ impl BrokerClient {
         self.hub.frame_counts()
     }
 
+    /// Actual encoded wire bytes shipped/received so far, split per frame
+    /// kind into header vs payload. Distinct from the phase-log ledgers,
+    /// which account a wire-format-independent cost by construction; these
+    /// are the bytes the chosen `VELA_WIRE`/`VELA_QUANT` encoding really
+    /// put on the wire.
+    pub fn wire_stats(&self) -> WireStats {
+        self.hub.wire_stats()
+    }
+
     /// Label of the transport backend in use.
     pub fn transport(&self) -> &'static str {
         self.hub.transport()
@@ -244,6 +256,18 @@ impl BrokerClient {
             return Ok(0);
         }
         let data = self.fetch_expert(block, expert)?;
+        // Only the master → worker install rides the lossy encoding:
+        // worker → master fetches stay f32, so a master that keeps the
+        // fetched bytes keeps an exact copy.
+        let data = if self.exchange_cfg.quantized() {
+            checkpoint::quantize(&data).map_err(|e| {
+                TransportError::Protocol(format!(
+                    "quantizing expert ({block},{expert}) for migration: {e}"
+                ))
+            })?
+        } else {
+            data
+        };
         let bytes = data.len() as u64;
         self.hub.send(
             to,
@@ -376,7 +400,7 @@ impl BrokerClient {
                     &mut self.hub,
                     &self.placement,
                     &self.plan,
-                    cfg.coalesce,
+                    cfg,
                     block,
                     pass,
                     tick,
@@ -452,14 +476,17 @@ fn flush_prefix(
 }
 
 /// Ships ring tick `tick`: one coalesced group per worker with items in
-/// that chunk (or per-batch frames with coalescing off). Returns the wire
+/// that chunk (or per-batch frames with coalescing off). Under
+/// `VELA_WIRE=packed` the coalesced frame is column-packed — a span table
+/// plus one contiguous row region, int8-encoded when quantization is on —
+/// instead of a list of header-laden per-item payloads. Returns the wire
 /// frames sent.
 #[allow(clippy::too_many_arguments)]
 fn send_tick(
     hub: &mut MasterHub,
     placement: &Placement,
     plan: &ChunkPlan,
-    coalesce: bool,
+    cfg: ExchangeConfig,
     block: usize,
     pass: Pass,
     tick: usize,
@@ -472,7 +499,25 @@ fn send_tick(
         if items.is_empty() {
             continue;
         }
-        if coalesce {
+        if cfg.coalesce && cfg.wire == WireFormat::Packed {
+            let width = batches[items[0]].xs.cols() as u32;
+            for &i in items {
+                log.rows[w] += batches[i].xs.rows() as u64;
+            }
+            let msg = Message::PackedDispatch(PackedGroup::pack(
+                block as u32,
+                group_pass(pass),
+                tick as u32,
+                width,
+                cfg.quantized(),
+                items
+                    .iter()
+                    .map(|&i| (batches[i].expert as u32, batches[i].xs.as_slice())),
+            ));
+            log.bytes_out[w] += msg.accounted_bytes();
+            hub.send(w, &msg)?;
+            frames += 1;
+        } else if cfg.coalesce {
             let items: Vec<GroupItem> = items
                 .iter()
                 .map(|&i| {
@@ -545,23 +590,29 @@ fn drain_one(
         r
     };
     log.bytes_back[w] += msg.accounted_bytes();
-    let mut slot = |index: usize, expert: usize, payload: Payload| -> Result<(), TransportError> {
-        if batches[index].expert != expert {
-            return Err(TransportError::Protocol(format!(
-                "worker {w} answered batch {index} with expert {expert}, \
-                 expected {}",
-                batches[index].expert
-            )));
-        }
-        if index < next_emit || pending[index].is_some() {
-            return Err(TransportError::Protocol(format!(
-                "worker {w} sent a duplicate {} reply for expert ({block},{expert})",
-                pass_name(pass)
-            )));
-        }
-        pending[index] = Some(real_tensor(payload, pass)?);
-        Ok(())
-    };
+    // Packed replies carry no per-item expert ids — item identity is
+    // positional against the dispatch layout — so the expert check only
+    // applies to reply kinds that name their expert on the wire.
+    let mut slot =
+        |index: usize, expert: Option<usize>, tensor: Tensor| -> Result<(), TransportError> {
+            if let Some(expert) = expert {
+                if batches[index].expert != expert {
+                    return Err(TransportError::Protocol(format!(
+                        "worker {w} answered batch {index} with expert {expert}, \
+                     expected {}",
+                        batches[index].expert
+                    )));
+                }
+            }
+            if index < next_emit || pending[index].is_some() {
+                return Err(TransportError::Protocol(format!(
+                    "worker {w} sent a duplicate {} reply for batch {index} of block {block}",
+                    pass_name(pass)
+                )));
+            }
+            pending[index] = Some(tensor);
+            Ok(())
+        };
     match (pass, msg) {
         (
             Pass::Forward,
@@ -586,7 +637,7 @@ fn drain_one(
                     pass_name(pass)
                 ))
             })?;
-            slot(index, expert as usize, payload)?;
+            slot(index, Some(expert as usize), real_tensor(payload, pass)?)?;
         }
         (
             _,
@@ -614,7 +665,51 @@ fn drain_one(
                 )));
             }
             for (&index, item) in indices.iter().zip(items) {
-                slot(index, item.expert as usize, item.payload)?;
+                slot(
+                    index,
+                    Some(item.expert as usize),
+                    real_tensor(item.payload, pass)?,
+                )?;
+            }
+        }
+        (_, Message::PackedResult(reply)) => {
+            check_reply_block(block, reply.block, pass)?;
+            if reply.pass != group_pass(pass) {
+                return Err(TransportError::Protocol(format!(
+                    "{:?} packed result during a {} exchange",
+                    reply.pass,
+                    pass_name(pass)
+                )));
+            }
+            if matches!(reply.data, PackedData::Virtual) {
+                return Err(TransportError::Protocol(format!(
+                    "virtual packed reply in a real {} exchange",
+                    pass_name(pass)
+                )));
+            }
+            let chunk = reply.chunk as usize;
+            let indices = plan.chunk_items(w, chunk);
+            let width = reply.width as usize;
+            let total: usize = indices.iter().map(|&i| batches[i].xs.rows()).sum();
+            if indices.len() != reply.items as usize
+                || reply.rows as usize != total
+                || indices.iter().any(|&i| batches[i].xs.cols() != width)
+            {
+                return Err(TransportError::Protocol(format!(
+                    "worker {w} answered chunk {chunk} with {} items × {} rows of \
+                     width {width}, dispatch had {} items × {total} rows",
+                    reply.items,
+                    reply.rows,
+                    indices.len()
+                )));
+            }
+            // The reply region's layout is implied by the dispatch plan:
+            // re-slice it per batch in dispatch order, dequantizing int8
+            // rows on the way in.
+            for (index, lo, rows) in plan.chunk_regions(w, chunk, |i| batches[i].xs.rows()) {
+                let mut vals = Vec::with_capacity(rows * width);
+                reply.data.unpack_rows(width, lo, lo + rows, &mut vals);
+                slot(index, None, Tensor::from_vec((rows, width), vals))?;
             }
         }
         (_, other) => {
@@ -698,7 +793,7 @@ impl ExpertProvider for BrokerClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transport::star;
+    use crate::transport::{star, Quant, WireFormat};
     use crate::worker::ExpertManager;
     use std::sync::Arc;
     use vela_cluster::{DeviceId, Topology, TrafficLedger};
@@ -861,19 +956,25 @@ mod tests {
             (fwd, bwd, logs)
         };
         let baseline = run(ExchangeConfig::per_batch());
-        for coalesce in [false, true] {
-            for microbatch in [Microbatch::Fixed(1), Microbatch::Fixed(3), Microbatch::Auto] {
-                for depth in [1, 2, 4] {
-                    let shaped = run(ExchangeConfig {
-                        coalesce,
-                        microbatch,
-                        depth,
-                    });
-                    assert_eq!(
-                        baseline, shaped,
-                        "coalesce={coalesce} microbatch={microbatch} depth={depth} \
-                         must be invisible"
-                    );
+        for wire in [WireFormat::Legacy, WireFormat::Packed] {
+            for coalesce in [false, true] {
+                for microbatch in [Microbatch::Fixed(1), Microbatch::Fixed(3), Microbatch::Auto] {
+                    for depth in [1, 2, 4] {
+                        let shaped = run(ExchangeConfig {
+                            coalesce,
+                            microbatch,
+                            depth,
+                            wire,
+                            quant: Quant::Off,
+                        });
+                        assert_eq!(
+                            baseline,
+                            shaped,
+                            "wire={} coalesce={coalesce} microbatch={microbatch} depth={depth} \
+                             must be invisible",
+                            wire.label()
+                        );
+                    }
                 }
             }
         }
@@ -888,6 +989,7 @@ mod tests {
             coalesce: true,
             microbatch: Microbatch::Fixed(3),
             depth: 4,
+            ..ExchangeConfig::default()
         });
         let mut rng = DetRng::new(21);
         let batches: Vec<ExpertBatch> = (0..model_cfg.experts)

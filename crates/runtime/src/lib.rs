@@ -38,9 +38,15 @@ pub mod worker;
 
 pub use broker::BrokerClient;
 pub use ep_engine::EpEngine;
-pub use message::{GroupItem, GroupPass, Message, Payload};
+pub use message::{
+    FrameKind, GroupItem, GroupPass, Message, PackedData, PackedGroup, PackedReply, Payload,
+    RowSpan,
+};
 pub use metrics::{RunSummary, StepMetrics};
 pub use runtime::RealRuntime;
-pub use transport::{ExchangeConfig, Microbatch, TransportConfig, TransportError, TransportMode};
+pub use transport::{
+    ExchangeConfig, Microbatch, Quant, TransportConfig, TransportError, TransportMode, WireFormat,
+    WireStats,
+};
 pub use virtual_engine::{ScaleConfig, VirtualEngine};
 pub use wire::WireError;

@@ -109,6 +109,234 @@ pub struct GroupItem {
     pub payload: Payload,
 }
 
+/// One expert's contiguous row region inside a packed frame.
+///
+/// `offset`/`rows` index token rows (not bytes) into the frame's single
+/// data region. Spans are dense and ascending by construction — each
+/// span's `offset` equals the sum of all previous spans' `rows` — and the
+/// decoder rejects any frame violating that, so overlapping or
+/// out-of-range regions can never be installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowSpan {
+    /// Expert index within the block.
+    pub expert: u32,
+    /// First row of this expert's region.
+    pub offset: u32,
+    /// Number of rows in the region.
+    pub rows: u32,
+}
+
+/// The data region of a packed frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PackedData {
+    /// Bit-exact row-major `f32` rows (`total_rows · width` values).
+    F32(Vec<f32>),
+    /// Quantized rows: one `f32` scale per row plus `total_rows · width`
+    /// int8 codes (`value ≈ code · scale`).
+    Int8 {
+        /// Per-row dequantization scales.
+        scales: Vec<f32>,
+        /// Row-major int8 codes.
+        codes: Vec<i8>,
+    },
+    /// Size-only virtual rows; the region carries no bytes at all.
+    Virtual,
+}
+
+impl PackedData {
+    /// Accounted bytes per row for a region of this encoding: actual data
+    /// bytes for real rows (so the lossy mode's ledger reduction is
+    /// honest), the declared token size for virtual rows. `width` is
+    /// features per row for real data, bytes per token for virtual.
+    pub fn row_cost(&self, width: u32) -> u64 {
+        match self {
+            PackedData::F32(_) => u64::from(width) * 4,
+            PackedData::Int8 { .. } => u64::from(width) + 4,
+            PackedData::Virtual => u64::from(width),
+        }
+    }
+
+    /// Borrows the contiguous f32 region of an exact frame.
+    pub fn as_f32(&self) -> Option<&[f32]> {
+        match self {
+            PackedData::F32(data) => Some(data),
+            _ => None,
+        }
+    }
+
+    /// Appends rows `lo..hi` to `out` as f32: exact rows are copied
+    /// verbatim, int8 rows are dequantized. `width` is features per row.
+    ///
+    /// # Panics
+    /// Panics on virtual data or an out-of-range row range.
+    pub fn unpack_rows(&self, width: usize, lo: usize, hi: usize, out: &mut Vec<f32>) {
+        match self {
+            PackedData::F32(data) => out.extend_from_slice(&data[lo * width..hi * width]),
+            PackedData::Int8 { scales, codes } => {
+                out.reserve((hi - lo) * width);
+                for r in lo..hi {
+                    let scale = scales[r];
+                    for &code in &codes[r * width..(r + 1) * width] {
+                        out.push(f32::from(code) * scale);
+                    }
+                }
+            }
+            PackedData::Virtual => panic!("virtual packed data carries no rows"),
+        }
+    }
+}
+
+/// Quantizes `rows × width` f32 values to int8 with one scale per row
+/// (`scale = amax/127`, codes clamped to ±127; an all-zero row gets scale
+/// 0). Deterministic, so quantized runs stay bitwise reproducible.
+pub fn quantize_rows(data: &[f32], width: usize) -> (Vec<f32>, Vec<i8>) {
+    assert!(width > 0 && data.len() % width == 0, "ragged row region");
+    let rows = data.len() / width;
+    let mut scales = Vec::with_capacity(rows);
+    let mut codes = Vec::with_capacity(data.len());
+    for row in data.chunks_exact(width) {
+        let amax = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let scale = if amax > 0.0 { amax / 127.0 } else { 0.0 };
+        scales.push(scale);
+        if scale == 0.0 {
+            codes.extend(std::iter::repeat(0).take(width));
+        } else {
+            codes.extend(
+                row.iter()
+                    .map(|v| (v / scale).round().clamp(-127.0, 127.0) as i8),
+            );
+        }
+    }
+    (scales, codes)
+}
+
+/// A column-packed dispatch frame (master → worker): one contiguous row
+/// region for the whole worker-chunk, prefixed by a compact span table —
+/// no per-item payload headers. Plays the role of [`Message::DispatchGroup`]
+/// under `VELA_WIRE=packed`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedGroup {
+    /// MoE block index.
+    pub block: u32,
+    /// Forward (token activations) or backward (gradients).
+    pub pass: GroupPass,
+    /// Pipeline chunk index within the block-pass.
+    pub chunk: u32,
+    /// Features per row for real data; declared bytes per token for
+    /// virtual rows.
+    pub width: u32,
+    /// Dense ascending per-expert row regions.
+    pub spans: Vec<RowSpan>,
+    /// The single contiguous data region.
+    pub data: PackedData,
+}
+
+impl PackedGroup {
+    /// Packs per-expert row slices into one contiguous frame. `parts`
+    /// yields `(expert, rows)` where each slice is `rows · width` long;
+    /// `quantize` selects int8 encoding.
+    ///
+    /// # Panics
+    /// Panics on ragged slices or more than 65535 rows/expert index per
+    /// span (the packed span format is deliberately compact).
+    pub fn pack<'a>(
+        block: u32,
+        pass: GroupPass,
+        chunk: u32,
+        width: u32,
+        quantize: bool,
+        parts: impl Iterator<Item = (u32, &'a [f32])>,
+    ) -> PackedGroup {
+        let mut spans = Vec::new();
+        let mut region: Vec<f32> = Vec::new();
+        let mut offset = 0u32;
+        for (expert, rows) in parts {
+            assert!(
+                width > 0 && rows.len() % width as usize == 0,
+                "ragged packed rows"
+            );
+            let n = (rows.len() / width as usize) as u32;
+            spans.push(RowSpan {
+                expert,
+                offset,
+                rows: n,
+            });
+            offset += n;
+            region.extend_from_slice(rows);
+        }
+        let data = if quantize {
+            let (scales, codes) = quantize_rows(&region, width as usize);
+            PackedData::Int8 { scales, codes }
+        } else {
+            PackedData::F32(region)
+        };
+        PackedGroup {
+            block,
+            pass,
+            chunk,
+            width,
+            spans,
+            data,
+        }
+    }
+
+    /// Packs size-only virtual rows: `parts` yields `(expert, rows)`.
+    pub fn pack_virtual(
+        block: u32,
+        pass: GroupPass,
+        chunk: u32,
+        bytes_per_token: u32,
+        parts: impl Iterator<Item = (u32, u32)>,
+    ) -> PackedGroup {
+        let mut spans = Vec::new();
+        let mut offset = 0u32;
+        for (expert, rows) in parts {
+            spans.push(RowSpan {
+                expert,
+                offset,
+                rows,
+            });
+            offset += rows;
+        }
+        PackedGroup {
+            block,
+            pass,
+            chunk,
+            width: bytes_per_token,
+            spans,
+            data: PackedData::Virtual,
+        }
+    }
+
+    /// Total rows across all spans.
+    pub fn total_rows(&self) -> u32 {
+        self.spans.iter().map(|s| s.rows).sum()
+    }
+}
+
+/// The reply to a [`PackedGroup`] (worker → master). Carries no span
+/// table at all: results come back in dispatch order, so the master
+/// re-slices the region against the layout it just sent — per-item wire
+/// overhead on the result path is zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedReply {
+    /// MoE block index.
+    pub block: u32,
+    /// Pass of the dispatch this answers.
+    pub pass: GroupPass,
+    /// Chunk id echoed from the dispatch.
+    pub chunk: u32,
+    /// Features per row (bytes per token for virtual rows).
+    pub width: u32,
+    /// Item count echoed from the dispatch (accounting parity with
+    /// per-batch framing needs it; it is 2 bytes, not a span table).
+    pub items: u32,
+    /// Total rows in the region.
+    pub rows: u32,
+    /// The single contiguous data region.
+    pub data: PackedData,
+}
+
 /// A master↔worker protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -212,6 +440,12 @@ pub enum Message {
         /// Per-expert results, in dispatch order.
         items: Vec<GroupItem>,
     },
+    /// Column-packed dispatch frame (`VELA_WIRE=packed`): the role of
+    /// [`Message::DispatchGroup`] with one contiguous region + span table
+    /// instead of per-item payload headers.
+    PackedDispatch(PackedGroup),
+    /// Column-packed reply to a [`Message::PackedDispatch`].
+    PackedResult(PackedReply),
 }
 
 const TAG_STEP_BEGIN: u8 = 1;
@@ -227,12 +461,22 @@ const TAG_EXPERT_STATE: u8 = 10;
 const TAG_INSTALL_DONE: u8 = 11;
 const TAG_DISPATCH_GROUP: u8 = 12;
 const TAG_RESULT_GROUP: u8 = 13;
+const TAG_PACKED_DISPATCH: u8 = 14;
+const TAG_PACKED_RESULT: u8 = 15;
 
 const PAYLOAD_REAL: u8 = 0;
 const PAYLOAD_VIRTUAL: u8 = 1;
 
 const PASS_FORWARD: u8 = 0;
 const PASS_BACKWARD: u8 = 1;
+
+const ENC_F32: u8 = 0;
+const ENC_INT8: u8 = 1;
+const ENC_VIRTUAL: u8 = 2;
+
+/// Encoded bytes of one packed span table entry
+/// (`u16 expert | u32 offset | u16 rows`).
+const SPAN_BYTES: u64 = 8;
 
 /// Smallest possible encoded group item: 4 expert bytes + a virtual
 /// payload (1 tag + 4 rows + 4 bytes-per-token). Used to reject frames
@@ -304,6 +548,8 @@ impl Message {
                 chunk,
                 items,
             } => encode_group(&mut buf, TAG_RESULT_GROUP, *block, *pass, *chunk, items),
+            Message::PackedDispatch(group) => encode_packed_dispatch(&mut buf, group),
+            Message::PackedResult(reply) => encode_packed_result(&mut buf, reply),
         }
         buf.into_vec()
     }
@@ -424,6 +670,8 @@ impl Message {
                     }
                 }
             }
+            TAG_PACKED_DISPATCH => Message::PackedDispatch(decode_packed_dispatch(&mut bytes)?),
+            TAG_PACKED_RESULT => Message::PackedResult(decode_packed_result(&mut bytes)?),
             other => {
                 return Err(WireError::BadTag {
                     what: "message",
@@ -456,8 +704,73 @@ impl Message {
                 .iter()
                 .map(|item| 9 + item.payload.accounted_bytes())
                 .sum(),
+            // Packed frames account the same 9-byte routing header per item
+            // as per-batch framing, plus actual data bytes per row — so
+            // exact (f32/virtual) packed exchanges are ledger-identical to
+            // legacy framing by construction, while int8's smaller rows
+            // show up honestly.
+            Message::PackedDispatch(group) => {
+                9 * group.spans.len() as u64
+                    + u64::from(group.total_rows()) * group.data.row_cost(group.width)
+            }
+            Message::PackedResult(reply) => {
+                9 * u64::from(reply.items)
+                    + u64::from(reply.rows) * reply.data.row_cost(reply.width)
+            }
         }
     }
+
+    /// Classifies this message and splits its encoded size into header
+    /// vs payload bytes for the `wire.*` obs counters: `payload` is data
+    /// actually on the wire (f32 values, int8 scales+codes, expert-state
+    /// blobs — virtual rows carry none), `header` is everything else.
+    /// `encoded_len` must be the length of [`encode`](Self::encode)'s
+    /// output for this message.
+    pub fn wire_cost(&self, encoded_len: usize) -> (FrameKind, u64, u64) {
+        let real_bytes = |payload: &Payload| match payload {
+            Payload::Real { data, .. } => (data.len() * 4) as u64,
+            Payload::Virtual { .. } => 0,
+        };
+        let packed_bytes = |data: &PackedData| match data {
+            PackedData::F32(values) => (values.len() * 4) as u64,
+            PackedData::Int8 { scales, codes } => (scales.len() * 4 + codes.len()) as u64,
+            PackedData::Virtual => 0,
+        };
+        let (kind, payload) = match self {
+            Message::TokenBatch { payload, .. } | Message::GradBatch { payload, .. } => {
+                (FrameKind::Dispatch, real_bytes(payload))
+            }
+            Message::ExpertResult { payload, .. } | Message::GradResult { payload, .. } => {
+                (FrameKind::Result, real_bytes(payload))
+            }
+            Message::DispatchGroup { items, .. } => (
+                FrameKind::Dispatch,
+                items.iter().map(|i| real_bytes(&i.payload)).sum(),
+            ),
+            Message::ResultGroup { items, .. } => (
+                FrameKind::Result,
+                items.iter().map(|i| real_bytes(&i.payload)).sum(),
+            ),
+            Message::PackedDispatch(group) => (FrameKind::Dispatch, packed_bytes(&group.data)),
+            Message::PackedResult(reply) => (FrameKind::Result, packed_bytes(&reply.data)),
+            Message::ExpertState { data, .. } => (FrameKind::ExpertState, data.len() as u64),
+            _ => (FrameKind::Control, 0),
+        };
+        (kind, (encoded_len as u64).saturating_sub(payload), payload)
+    }
+}
+
+/// Frame classification for per-kind wire byte counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Master → worker activation/gradient traffic.
+    Dispatch,
+    /// Worker → master result traffic.
+    Result,
+    /// Expert parameter transfers (migration, seeding, fetch-back).
+    ExpertState,
+    /// Everything else (step markers, acks, shutdown).
+    Control,
 }
 
 fn encode_group(
@@ -509,6 +822,226 @@ fn encode_payload(buf: &mut ByteWriter, payload: &Payload) {
             buf.put_u32(*bytes_per_token);
         }
     }
+}
+
+fn put_pass(buf: &mut ByteWriter, pass: GroupPass) {
+    buf.put_u8(match pass {
+        GroupPass::Forward => PASS_FORWARD,
+        GroupPass::Backward => PASS_BACKWARD,
+    });
+}
+
+fn get_pass(bytes: &mut ByteReader<'_>) -> Result<GroupPass, WireError> {
+    match bytes.get_u8()? {
+        PASS_FORWARD => Ok(GroupPass::Forward),
+        PASS_BACKWARD => Ok(GroupPass::Backward),
+        other => Err(WireError::BadTag {
+            what: "group pass",
+            tag: other,
+        }),
+    }
+}
+
+fn encoding_tag(data: &PackedData) -> u8 {
+    match data {
+        PackedData::F32(_) => ENC_F32,
+        PackedData::Int8 { .. } => ENC_INT8,
+        PackedData::Virtual => ENC_VIRTUAL,
+    }
+}
+
+fn encode_packed_region(buf: &mut ByteWriter, data: &PackedData) {
+    match data {
+        PackedData::F32(values) => {
+            buf.reserve(values.len() * 4);
+            for v in values {
+                buf.put_f32(*v);
+            }
+        }
+        PackedData::Int8 { scales, codes } => {
+            buf.reserve(scales.len() * 4 + codes.len());
+            for s in scales {
+                buf.put_f32(*s);
+            }
+            for &c in codes {
+                buf.put_u8(c as u8);
+            }
+        }
+        PackedData::Virtual => {}
+    }
+}
+
+fn encode_packed_dispatch(buf: &mut ByteWriter, group: &PackedGroup) {
+    buf.put_u8(TAG_PACKED_DISPATCH);
+    buf.put_u32(group.block);
+    put_pass(buf, group.pass);
+    buf.put_u32(group.chunk);
+    buf.put_u8(encoding_tag(&group.data));
+    buf.put_u32(group.width);
+    assert!(
+        group.spans.len() <= u16::MAX as usize,
+        "packed frame caps spans at 65535"
+    );
+    buf.put_u16(group.spans.len() as u16);
+    for span in &group.spans {
+        assert!(
+            span.expert <= u16::MAX as u32 && span.rows <= u16::MAX as u32,
+            "packed spans cap expert index and rows/expert at 65535"
+        );
+        buf.put_u16(span.expert as u16);
+        buf.put_u32(span.offset);
+        buf.put_u16(span.rows as u16);
+    }
+    encode_packed_region(buf, &group.data);
+}
+
+fn encode_packed_result(buf: &mut ByteWriter, reply: &PackedReply) {
+    buf.put_u8(TAG_PACKED_RESULT);
+    buf.put_u32(reply.block);
+    put_pass(buf, reply.pass);
+    buf.put_u32(reply.chunk);
+    buf.put_u8(encoding_tag(&reply.data));
+    buf.put_u32(reply.width);
+    assert!(
+        reply.items <= u16::MAX as u32,
+        "packed frame caps items at 65535"
+    );
+    buf.put_u16(reply.items as u16);
+    buf.put_u32(reply.rows);
+    encode_packed_region(buf, &reply.data);
+}
+
+/// Validates a packed region's declared size against the bytes actually
+/// present, then decodes it. Nothing is allocated before validation.
+fn decode_packed_region(
+    bytes: &mut ByteReader<'_>,
+    enc: u8,
+    width: u32,
+    total_rows: u64,
+) -> Result<PackedData, WireError> {
+    match enc {
+        ENC_F32 => {
+            let declared = total_rows
+                .checked_mul(u64::from(width))
+                .and_then(|n| n.checked_mul(4))
+                .unwrap_or(u64::MAX);
+            if declared > bytes.remaining() as u64 {
+                return Err(WireError::BadLength {
+                    what: "packed f32 region",
+                    declared,
+                    available: bytes.remaining(),
+                });
+            }
+            let n = total_rows as usize * width as usize;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(bytes.get_f32()?);
+            }
+            Ok(PackedData::F32(values))
+        }
+        ENC_INT8 => {
+            let declared = total_rows
+                .checked_mul(u64::from(width) + 4)
+                .unwrap_or(u64::MAX);
+            if declared > bytes.remaining() as u64 {
+                return Err(WireError::BadLength {
+                    what: "packed int8 region",
+                    declared,
+                    available: bytes.remaining(),
+                });
+            }
+            let rows = total_rows as usize;
+            let mut scales = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                scales.push(bytes.get_f32()?);
+            }
+            let raw = bytes.get_bytes(rows * width as usize)?;
+            let codes = raw.iter().map(|&b| b as i8).collect();
+            Ok(PackedData::Int8 { scales, codes })
+        }
+        ENC_VIRTUAL => Ok(PackedData::Virtual),
+        other => Err(WireError::BadTag {
+            what: "packed encoding",
+            tag: other,
+        }),
+    }
+}
+
+fn decode_packed_dispatch(bytes: &mut ByteReader<'_>) -> Result<PackedGroup, WireError> {
+    let block = bytes.get_u32()?;
+    let pass = get_pass(bytes)?;
+    let chunk = bytes.get_u32()?;
+    let enc = bytes.get_u8()?;
+    let width = bytes.get_u32()?;
+    let count = u64::from(bytes.get_u16()?);
+    // The span table itself must fit before the span vector is allocated.
+    if count * SPAN_BYTES > bytes.remaining() as u64 {
+        return Err(WireError::BadLength {
+            what: "packed span table",
+            declared: count,
+            available: bytes.remaining(),
+        });
+    }
+    let mut spans = Vec::with_capacity(count as usize);
+    let mut expected_offset = 0u32;
+    for _ in 0..count {
+        let expert = u32::from(bytes.get_u16()?);
+        let offset = bytes.get_u32()?;
+        let rows = u32::from(bytes.get_u16()?);
+        // Spans must tile the region exactly: each one starts where the
+        // previous ended. Overlapping, out-of-order, or gapped regions are
+        // rejected here, before the data region is even sized.
+        if offset != expected_offset {
+            return Err(WireError::BadSpan {
+                what: "packed row region",
+                expert,
+                declared: offset,
+                expected: expected_offset,
+            });
+        }
+        expected_offset = expected_offset
+            .checked_add(rows)
+            .ok_or(WireError::BadSpan {
+                what: "packed row count",
+                expert,
+                declared: rows,
+                expected: u32::MAX - offset,
+            })?;
+        spans.push(RowSpan {
+            expert,
+            offset,
+            rows,
+        });
+    }
+    let data = decode_packed_region(bytes, enc, width, u64::from(expected_offset))?;
+    Ok(PackedGroup {
+        block,
+        pass,
+        chunk,
+        width,
+        spans,
+        data,
+    })
+}
+
+fn decode_packed_result(bytes: &mut ByteReader<'_>) -> Result<PackedReply, WireError> {
+    let block = bytes.get_u32()?;
+    let pass = get_pass(bytes)?;
+    let chunk = bytes.get_u32()?;
+    let enc = bytes.get_u8()?;
+    let width = bytes.get_u32()?;
+    let items = u32::from(bytes.get_u16()?);
+    let rows = bytes.get_u32()?;
+    let data = decode_packed_region(bytes, enc, width, u64::from(rows))?;
+    Ok(PackedReply {
+        block,
+        pass,
+        chunk,
+        width,
+        items,
+        rows,
+        data,
+    })
 }
 
 fn decode_payload(bytes: &mut ByteReader<'_>) -> Result<Payload, WireError> {
@@ -802,6 +1335,264 @@ mod tests {
                 tag: 7
             })
         );
+    }
+
+    fn sample_packed(quantize: bool) -> PackedGroup {
+        let a: Vec<f32> = (0..8).map(|i| i as f32 * 0.25 - 1.0).collect();
+        let b: Vec<f32> = (0..4).map(|i| -(i as f32) * 0.5).collect();
+        PackedGroup::pack(
+            3,
+            GroupPass::Forward,
+            1,
+            4,
+            quantize,
+            vec![(2u32, a.as_slice()), (5u32, b.as_slice())].into_iter(),
+        )
+    }
+
+    #[test]
+    fn packed_frames_roundtrip() {
+        for quantize in [false, true] {
+            let group = sample_packed(quantize);
+            assert_eq!(group.total_rows(), 3);
+            let msg = Message::PackedDispatch(group);
+            assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        }
+        let reply = Message::PackedResult(PackedReply {
+            block: 3,
+            pass: GroupPass::Backward,
+            chunk: 2,
+            width: 4,
+            items: 2,
+            rows: 3,
+            data: PackedData::F32(vec![0.5; 12]),
+        });
+        assert_eq!(Message::decode(&reply.encode()).unwrap(), reply);
+        let virt = Message::PackedDispatch(PackedGroup::pack_virtual(
+            0,
+            GroupPass::Forward,
+            0,
+            8192,
+            vec![(0u32, 100u32), (1, 50)].into_iter(),
+        ));
+        assert_eq!(Message::decode(&virt.encode()).unwrap(), virt);
+    }
+
+    #[test]
+    fn packed_f32_region_survives_bitwise() {
+        let group = sample_packed(false);
+        let before: Vec<u32> = group
+            .data
+            .as_f32()
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let msg = Message::PackedDispatch(group);
+        match Message::decode(&msg.encode()).unwrap() {
+            Message::PackedDispatch(got) => {
+                let after: Vec<u32> = got
+                    .data
+                    .as_f32()
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect();
+                assert_eq!(before, after);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn packed_f32_accounting_matches_legacy_group() {
+        // The exact packed layout must be ledger-invisible: its accounted
+        // bytes equal the legacy coalesced (and hence per-batch) framing
+        // for the same items, even though far fewer bytes hit the wire.
+        let mut rng = DetRng::new(6);
+        let tensors: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::uniform((i + 1, 4), -1.0, 1.0, &mut rng))
+            .collect();
+        let legacy = Message::DispatchGroup {
+            block: 0,
+            pass: GroupPass::Forward,
+            chunk: 0,
+            items: tensors
+                .iter()
+                .enumerate()
+                .map(|(e, t)| GroupItem {
+                    expert: e as u32,
+                    payload: Payload::from_tensor(t),
+                })
+                .collect(),
+        };
+        let packed = Message::PackedDispatch(PackedGroup::pack(
+            0,
+            GroupPass::Forward,
+            0,
+            4,
+            false,
+            tensors
+                .iter()
+                .enumerate()
+                .map(|(e, t)| (e as u32, t.as_slice())),
+        ));
+        assert_eq!(packed.accounted_bytes(), legacy.accounted_bytes());
+        assert!(
+            packed.encode().len() < legacy.encode().len(),
+            "packing must shrink actual wire bytes"
+        );
+        // Virtual packed frames are ledger-identical to virtual groups too.
+        let virt_legacy = Message::DispatchGroup {
+            block: 0,
+            pass: GroupPass::Forward,
+            chunk: 0,
+            items: (0..3)
+                .map(|e| GroupItem {
+                    expert: e,
+                    payload: Payload::Virtual {
+                        rows: 10 * (e + 1),
+                        bytes_per_token: 8192,
+                    },
+                })
+                .collect(),
+        };
+        let virt_packed = Message::PackedDispatch(PackedGroup::pack_virtual(
+            0,
+            GroupPass::Forward,
+            0,
+            8192,
+            (0..3).map(|e| (e, 10 * (e + 1))),
+        ));
+        assert_eq!(virt_packed.accounted_bytes(), virt_legacy.accounted_bytes());
+    }
+
+    #[test]
+    fn int8_reconstruction_error_is_bounded() {
+        let mut rng = DetRng::new(7);
+        let t = Tensor::uniform((6, 16), -3.0, 3.0, &mut rng);
+        let (scales, codes) = quantize_rows(t.as_slice(), 16);
+        let data = PackedData::Int8 { scales, codes };
+        let mut out = Vec::new();
+        data.unpack_rows(16, 0, 6, &mut out);
+        for (row, (orig, got)) in t.as_slice().chunks(16).zip(out.chunks(16)).enumerate() {
+            let amax = orig.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            for (o, g) in orig.iter().zip(got) {
+                assert!(
+                    (o - g).abs() <= amax / 254.0 + 1e-6,
+                    "row {row}: {o} reconstructed as {g} (amax {amax})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_accounts_actual_quantized_bytes() {
+        let group = sample_packed(true);
+        let msg = Message::PackedDispatch(group);
+        // 2 items × 9-byte routing header + 3 rows × (width 4 codes + 4
+        // scale bytes).
+        assert_eq!(msg.accounted_bytes(), 2 * 9 + 3 * (4 + 4));
+    }
+
+    #[test]
+    fn overlapping_or_gapped_spans_are_rejected() {
+        let encode_with_offsets = |offsets: [u32; 2]| {
+            let mut w = crate::wire::ByteWriter::with_capacity(64);
+            w.put_u8(14); // PackedDispatch
+            w.put_u32(0);
+            w.put_u8(0); // Forward
+            w.put_u32(0); // chunk
+            w.put_u8(0); // f32
+            w.put_u32(2); // width
+            w.put_u16(2); // spans
+            for (i, off) in offsets.iter().enumerate() {
+                w.put_u16(i as u16);
+                w.put_u32(*off);
+                w.put_u16(2); // rows
+            }
+            for _ in 0..8 {
+                w.put_f32(0.0);
+            }
+            w.into_vec()
+        };
+        // Dense layout (offsets 0, 2) decodes fine.
+        assert!(Message::decode(&encode_with_offsets([0, 2])).is_ok());
+        // Overlap (second span re-reads rows 1–2) is rejected.
+        assert!(matches!(
+            Message::decode(&encode_with_offsets([0, 1])),
+            Err(WireError::BadSpan { expert: 1, .. })
+        ));
+        // A gap (span pointing past the dense end) is rejected too.
+        assert!(matches!(
+            Message::decode(&encode_with_offsets([0, 3])),
+            Err(WireError::BadSpan { expert: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn implausible_packed_lengths_never_allocate() {
+        // A span table claiming 65535 entries with no bytes behind it.
+        let mut w = crate::wire::ByteWriter::with_capacity(32);
+        w.put_u8(14);
+        w.put_u32(0);
+        w.put_u8(0);
+        w.put_u32(0);
+        w.put_u8(0);
+        w.put_u32(1024);
+        w.put_u16(u16::MAX);
+        assert!(matches!(
+            Message::decode(&w.into_vec()),
+            Err(WireError::BadLength {
+                what: "packed span table",
+                ..
+            })
+        ));
+        // A result frame declaring u32::MAX rows with an empty region.
+        let mut w = crate::wire::ByteWriter::with_capacity(32);
+        w.put_u8(15);
+        w.put_u32(0);
+        w.put_u8(0);
+        w.put_u32(0);
+        w.put_u8(1); // int8
+        w.put_u32(4096);
+        w.put_u16(1);
+        w.put_u32(u32::MAX);
+        assert!(matches!(
+            Message::decode(&w.into_vec()),
+            Err(WireError::BadLength {
+                what: "packed int8 region",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn wire_cost_splits_header_from_payload() {
+        let t = Tensor::ones((2, 3));
+        let msg = Message::TokenBatch {
+            block: 0,
+            expert: 0,
+            payload: Payload::from_tensor(&t),
+        };
+        let frame = msg.encode();
+        let (kind, header, payload) = msg.wire_cost(frame.len());
+        assert_eq!(kind, FrameKind::Dispatch);
+        assert_eq!(payload, 24);
+        assert_eq!(header, frame.len() as u64 - 24);
+
+        let packed = Message::PackedDispatch(sample_packed(false));
+        let frame = packed.encode();
+        let (kind, header, payload) = packed.wire_cost(frame.len());
+        assert_eq!(kind, FrameKind::Dispatch);
+        assert_eq!(payload, 12 * 4);
+        // tag 1 + block 4 + pass 1 + chunk 4 + enc 1 + width 4 + count 2
+        // + 2 spans × 8.
+        assert_eq!(header, 17 + 16);
+
+        let (kind, _, payload) = Message::StepEnd.wire_cost(1);
+        assert_eq!(kind, FrameKind::Control);
+        assert_eq!(payload, 0);
     }
 
     #[test]

@@ -91,6 +91,29 @@ impl ChunkPlan {
         self.ticks
     }
 
+    /// The packed-region layout of worker `w`'s chunk `tick`: yields
+    /// `(item_index, row_offset, rows)` for each item in the chunk, given
+    /// every item's row count. Packed frames carry one contiguous data
+    /// region and no per-item payload headers, so this is both how a
+    /// dispatch region is laid out and how the master re-slices a reply
+    /// region back into per-batch tensors — the reply's implicit layout is
+    /// the plan itself, never the wire.
+    pub(crate) fn chunk_regions<'a>(
+        &'a self,
+        w: usize,
+        tick: usize,
+        rows_of: impl Fn(usize) -> usize + 'a,
+    ) -> impl Iterator<Item = (usize, usize, usize)> + 'a {
+        self.chunk_items(w, tick)
+            .iter()
+            .scan(0usize, move |offset, &item| {
+                let rows = rows_of(item);
+                let lo = *offset;
+                *offset += rows;
+                Some((item, lo, rows))
+            })
+    }
+
     /// The item indices of worker `w`'s chunk `tick` (empty once `w` has
     /// run out of chunks). Earlier chunks absorb the remainder, so chunk
     /// sizes within a worker differ by at most one.
@@ -324,6 +347,20 @@ mod tests {
         assert!(p.chunk_items(2, 0).is_empty());
         assert_eq!(p.chunk_items(1, 0), &[0]);
         assert_eq!(p.chunk_items(1, 1), &[1]);
+    }
+
+    #[test]
+    fn chunk_regions_tile_the_packed_layout_densely() {
+        // Items 0,2,4 on worker 0 with 1,3,5 rows: chunk 0 holds items
+        // 0,2 (rows 1+3), chunk 1 holds item 4. Offsets restart per chunk
+        // because every chunk is its own packed frame.
+        let p = plan(2, 2, &[0, 1, 0, 1, 0]);
+        let rows_of = |i: usize| i + 1;
+        let c0: Vec<_> = p.chunk_regions(0, 0, rows_of).collect();
+        assert_eq!(c0, vec![(0, 0, 1), (2, 1, 3)]);
+        let c1: Vec<_> = p.chunk_regions(0, 1, rows_of).collect();
+        assert_eq!(c1, vec![(4, 0, 5)]);
+        assert_eq!(p.chunk_regions(0, 2, rows_of).count(), 0);
     }
 
     #[test]

@@ -210,6 +210,13 @@ impl RealRuntime {
         self.broker.frame_counts()
     }
 
+    /// Actual encoded wire bytes by frame kind (headers vs payloads) —
+    /// the quantity `VELA_WIRE` / `VELA_QUANT` exist to shrink. Unlike
+    /// the traffic ledger this *does* depend on the wire format.
+    pub fn wire_stats(&self) -> crate::transport::WireStats {
+        self.broker.wire_stats()
+    }
+
     /// Live-migrates experts so the session matches `target`, between
     /// steps. Returns `(experts_moved, parameter_bytes_moved, traffic)`,
     /// where `traffic` is the byte-accurate ledger window of the migration
@@ -349,18 +356,27 @@ impl RealRuntime {
 
 /// Ships every expert to its placed worker process as an accounted
 /// `ExpertState` frame and waits for all install acks.
+///
+/// With `VELA_QUANT=int8` (and the packed wire) the blobs cross the wire
+/// as `VELQ` checkpoints at roughly a quarter of the f32 size; workers
+/// install the dequantized weights (the lossy opt-in), while teardown
+/// fetch-back always rides exact f32.
 fn seed_processes(
     hub: &mut MasterHub,
     experts: &mut LocalExpertStore,
     placement: &Placement,
     cfg: &vela_model::ModelConfig,
 ) {
+    let quantized = crate::transport::ExchangeConfig::from_env().quantized();
     let mut outstanding = 0usize;
     for l in 0..cfg.blocks {
         for e in 0..cfg.experts {
             let mut ffn = experts.take(l, e);
             let mut data = Vec::new();
             checkpoint::save(&mut ffn, &mut data).expect("in-memory save");
+            if quantized {
+                data = checkpoint::quantize(&data).expect("in-memory transcode");
+            }
             let w = placement.worker_of(l, e);
             hub.send(
                 w,

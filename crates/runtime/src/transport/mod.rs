@@ -32,8 +32,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use vela_cluster::{DeviceId, TrafficLedger};
+use vela_obs::LazyCounter;
 
-use crate::message::Message;
+use crate::message::{FrameKind, Message};
 use crate::wire::WireError;
 
 pub use tcp::{connect_worker, tcp_star, TcpStarBuilder};
@@ -223,11 +224,59 @@ impl fmt::Display for Microbatch {
     }
 }
 
+/// How coalesced group frames are laid out on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFormat {
+    /// One `Payload` header per expert batch inside the group frame (the
+    /// original format).
+    Legacy,
+    /// Column-packed frames: one contiguous row region per worker-chunk
+    /// with a compact span table, no per-item payload headers. Bitwise-
+    /// identical computation and ledger-identical accounting to legacy.
+    Packed,
+}
+
+impl WireFormat {
+    /// Stable label for bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireFormat::Legacy => "legacy",
+            WireFormat::Packed => "packed",
+        }
+    }
+}
+
+/// Opt-in lossy compression of packed activation rows and expert-state
+/// installs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quant {
+    /// Exact f32 everywhere (default).
+    Off,
+    /// int8 rows with per-row f32 scales for activations crossing the
+    /// wire and for master→worker expert-state installs. Deliberately
+    /// lossy on activations — gated by its own loss-curve accuracy test,
+    /// not the bitwise parity grid. Master-side f32 copies stay exact, so
+    /// optimizer state is never quantized.
+    Int8,
+}
+
+impl Quant {
+    /// Stable label for bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Quant::Off => "off",
+            Quant::Int8 => "int8",
+        }
+    }
+}
+
 /// How a block-pass exchange is framed and pipelined.
 ///
 /// Orthogonal to [`TransportConfig`]: any exchange shape runs over any
 /// transport, and every combination produces bitwise-identical results and
-/// byte-identical ledgers (pinned by `tests/transport_parity.rs`).
+/// byte-identical ledgers (pinned by `tests/transport_parity.rs`) — except
+/// `quant: Int8`, which is deliberately lossy on activations and carries
+/// its own accuracy gate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExchangeConfig {
     /// Pack a worker's expert batches for a chunk into one
@@ -244,6 +293,12 @@ pub struct ExchangeConfig {
     /// pipeline; deeper rings keep the link busy while earlier chunks are
     /// still being served.
     pub depth: usize,
+    /// Group frame layout. Packed framing applies to coalesced frames;
+    /// with `coalesce: false` the per-batch protocol is legacy by
+    /// definition.
+    pub wire: WireFormat,
+    /// Opt-in int8 row quantization (packed frames only).
+    pub quant: Quant,
 }
 
 impl Default for ExchangeConfig {
@@ -252,6 +307,8 @@ impl Default for ExchangeConfig {
             coalesce: true,
             microbatch: Microbatch::Fixed(1),
             depth: 2,
+            wire: WireFormat::Legacy,
+            quant: Quant::Off,
         }
     }
 }
@@ -265,6 +322,7 @@ impl ExchangeConfig {
             coalesce: false,
             microbatch: Microbatch::Fixed(1),
             depth: 1,
+            ..ExchangeConfig::default()
         }
     }
 
@@ -277,11 +335,37 @@ impl ExchangeConfig {
         }
     }
 
+    /// The default exchange over column-packed frames, optionally with
+    /// int8 row quantization.
+    pub fn packed(quant: Quant) -> Self {
+        ExchangeConfig {
+            wire: WireFormat::Packed,
+            quant,
+            ..ExchangeConfig::default()
+        }
+    }
+
+    /// Same exchange shape with a different wire format/quantization.
+    pub fn with_wire(self, wire: WireFormat, quant: Quant) -> Self {
+        ExchangeConfig {
+            wire,
+            quant,
+            ..self
+        }
+    }
+
+    /// Whether data-plane rows are int8-quantized on the wire.
+    pub fn quantized(&self) -> bool {
+        self.wire == WireFormat::Packed && self.quant == Quant::Int8
+    }
+
     /// Reads `VELA_COALESCE` (`1`/`on`/`true` — default — or
     /// `0`/`off`/`false`), `VELA_MICROBATCH` (a chunk count ≥ 1 or
-    /// `auto`, default 1) and `VELA_PIPELINE_DEPTH` (in-flight chunks
-    /// ≥ 1, default 2). Unknown values warn and fall back rather than
-    /// aborting a long run.
+    /// `auto`, default 1), `VELA_PIPELINE_DEPTH` (in-flight chunks
+    /// ≥ 1, default 2), `VELA_WIRE` (`legacy` — default — or `packed`)
+    /// and `VELA_QUANT` (`off` — default — or `int8`; requires
+    /// `VELA_WIRE=packed`). Unknown values warn and fall back rather
+    /// than aborting a long run.
     pub fn from_env() -> Self {
         let mut cfg = ExchangeConfig::default();
         match std::env::var("VELA_COALESCE").as_deref() {
@@ -309,6 +393,26 @@ impl ExchangeConfig {
                 _ => {
                     vela_obs::warn!("invalid VELA_PIPELINE_DEPTH={raw:?}, using 2");
                 }
+            }
+        }
+        match std::env::var("VELA_WIRE").as_deref() {
+            Ok("packed") => cfg.wire = WireFormat::Packed,
+            Ok("legacy") | Err(_) => {}
+            Ok(other) => {
+                vela_obs::warn!("unknown VELA_WIRE={other:?}, using legacy framing");
+            }
+        }
+        match std::env::var("VELA_QUANT").as_deref() {
+            Ok("int8") => {
+                if cfg.wire == WireFormat::Packed {
+                    cfg.quant = Quant::Int8;
+                } else {
+                    vela_obs::warn!("VELA_QUANT=int8 needs VELA_WIRE=packed, staying exact");
+                }
+            }
+            Ok("off") | Err(_) => {}
+            Ok(other) => {
+                vela_obs::warn!("unknown VELA_QUANT={other:?}, staying exact");
             }
         }
         cfg
@@ -344,6 +448,82 @@ pub trait PortBackend: Send + fmt::Debug {
     fn shutdown(&mut self);
 }
 
+static WIRE_DISPATCH_HEADER: LazyCounter = LazyCounter::new("wire.dispatch.header_bytes");
+static WIRE_DISPATCH_PAYLOAD: LazyCounter = LazyCounter::new("wire.dispatch.payload_bytes");
+static WIRE_RESULT_HEADER: LazyCounter = LazyCounter::new("wire.result.header_bytes");
+static WIRE_RESULT_PAYLOAD: LazyCounter = LazyCounter::new("wire.result.payload_bytes");
+static WIRE_EXPERT_STATE_HEADER: LazyCounter = LazyCounter::new("wire.expert_state.header_bytes");
+static WIRE_EXPERT_STATE_PAYLOAD: LazyCounter = LazyCounter::new("wire.expert_state.payload_bytes");
+
+/// Actual encoded bytes moved through a [`MasterHub`], split by frame
+/// kind and header vs payload.
+///
+/// This is the *wire* view, distinct from the [`TrafficLedger`]'s
+/// *accounted* view: the ledger stays framing-independent by design (so
+/// fig5/fig6 byte totals are comparable across every exchange shape),
+/// while these counters measure what serialization actually costs —
+/// the thing the packed layout exists to shrink. Virtual payloads carry
+/// no wire payload bytes, only their headers.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WireStats {
+    /// Header bytes of master→worker activation/gradient frames.
+    pub dispatch_header: u64,
+    /// Payload bytes of master→worker activation/gradient frames.
+    pub dispatch_payload: u64,
+    /// Header bytes of worker→master result frames.
+    pub result_header: u64,
+    /// Payload bytes of worker→master result frames.
+    pub result_payload: u64,
+    /// Header bytes of expert-state transfers.
+    pub expert_state_header: u64,
+    /// Payload (checkpoint blob) bytes of expert-state transfers.
+    pub expert_state_payload: u64,
+    /// Bytes of control frames (step markers, acks, fetch requests).
+    pub control: u64,
+}
+
+impl WireStats {
+    /// Total encoded bytes in both directions.
+    pub fn total(&self) -> u64 {
+        self.dispatch_header
+            + self.dispatch_payload
+            + self.result_header
+            + self.result_payload
+            + self.expert_state_header
+            + self.expert_state_payload
+            + self.control
+    }
+
+    /// Total encoded bytes of the master→worker dispatch path.
+    pub fn dispatch_total(&self) -> u64 {
+        self.dispatch_header + self.dispatch_payload
+    }
+
+    fn record(&mut self, kind: FrameKind, header: u64, payload: u64) {
+        match kind {
+            FrameKind::Dispatch => {
+                self.dispatch_header += header;
+                self.dispatch_payload += payload;
+                WIRE_DISPATCH_HEADER.add(header);
+                WIRE_DISPATCH_PAYLOAD.add(payload);
+            }
+            FrameKind::Result => {
+                self.result_header += header;
+                self.result_payload += payload;
+                WIRE_RESULT_HEADER.add(header);
+                WIRE_RESULT_PAYLOAD.add(payload);
+            }
+            FrameKind::ExpertState => {
+                self.expert_state_header += header;
+                self.expert_state_payload += payload;
+                WIRE_EXPERT_STATE_HEADER.add(header);
+                WIRE_EXPERT_STATE_PAYLOAD.add(payload);
+            }
+            FrameKind::Control => self.control += header + payload,
+        }
+    }
+}
+
 /// Master-side endpoint of the star network.
 ///
 /// Wraps any [`HubBackend`] and performs the *only* traffic accounting in
@@ -359,6 +539,7 @@ pub struct MasterHub {
     transport: &'static str,
     frames_out: u64,
     frames_in: u64,
+    wire_stats: WireStats,
 }
 
 impl MasterHub {
@@ -379,6 +560,7 @@ impl MasterHub {
             transport,
             frames_out: 0,
             frames_in: 0,
+            wire_stats: WireStats::default(),
         }
     }
 
@@ -388,6 +570,12 @@ impl MasterHub {
     /// counts while [`TrafficLedger`] bytes stay identical.
     pub fn frame_counts(&self) -> (u64, u64) {
         (self.frames_out, self.frames_in)
+    }
+
+    /// Actual encoded wire bytes moved so far, by frame kind (see
+    /// [`WireStats`]).
+    pub fn wire_stats(&self) -> WireStats {
+        self.wire_stats
     }
 
     /// The master's device.
@@ -418,7 +606,10 @@ impl MasterHub {
         self.ledger
             .record(self.device, self.workers[index], msg.accounted_bytes());
         self.frames_out += 1;
-        self.backend.send(index, msg.encode())
+        let frame = msg.encode();
+        let (kind, header, payload) = msg.wire_cost(frame.len());
+        self.wire_stats.record(kind, header, payload);
+        self.backend.send(index, frame)
     }
 
     /// Broadcasts a message to every worker.
@@ -460,6 +651,8 @@ impl MasterHub {
         self.ledger
             .record(self.workers[index], self.device, msg.accounted_bytes());
         self.frames_in += 1;
+        let (kind, header, payload) = msg.wire_cost(frame.len());
+        self.wire_stats.record(kind, header, payload);
         Ok((index, msg))
     }
 
@@ -713,10 +906,73 @@ mod tests {
         assert!(c.coalesce);
         assert_eq!(c.microbatch, Microbatch::Fixed(4));
         assert_eq!(c.depth, 2);
+        assert_eq!(d.wire, WireFormat::Legacy);
+        assert_eq!(d.quant, Quant::Off);
+        let q = ExchangeConfig::packed(Quant::Int8);
+        assert_eq!(q.wire, WireFormat::Packed);
+        assert!(q.quantized());
+        assert!(!ExchangeConfig::packed(Quant::Off).quantized());
+        // int8 without packed framing never engages.
+        assert!(!d.with_wire(WireFormat::Legacy, Quant::Int8).quantized());
         assert_eq!(Microbatch::Fixed(4).label(), "4");
         assert_eq!(Microbatch::Auto.label(), "auto");
         assert_eq!(Microbatch::Fixed(4).fixed(), Some(4));
         assert_eq!(Microbatch::Auto.fixed(), None);
+        assert_eq!(WireFormat::Packed.label(), "packed");
+        assert_eq!(Quant::Int8.label(), "int8");
+    }
+
+    #[test]
+    fn wire_stats_split_header_from_payload_per_kind() {
+        let (_, mut hub, mut ports) = setup();
+        let t = vela_tensor::Tensor::ones((2, 3));
+        let msg = Message::TokenBatch {
+            block: 0,
+            expert: 0,
+            payload: Payload::from_tensor(&t),
+        };
+        hub.send(1, &msg).unwrap();
+        let w = hub.wire_stats();
+        assert_eq!(w.dispatch_payload, 24);
+        assert_eq!(w.dispatch_header, msg.encode().len() as u64 - 24);
+        assert_eq!(w.result_header + w.result_payload, 0);
+
+        ports[1].recv().unwrap();
+        ports[1]
+            .send(&Message::ExpertResult {
+                block: 0,
+                expert: 0,
+                payload: Payload::from_tensor(&t),
+            })
+            .unwrap();
+        hub.recv().unwrap();
+        let w = hub.wire_stats();
+        assert_eq!(w.result_payload, 24);
+        assert!(w.result_header > 0);
+
+        hub.send(
+            2,
+            &Message::ExpertState {
+                block: 0,
+                expert: 0,
+                data: vec![7; 100],
+            },
+        )
+        .unwrap();
+        hub.send(2, &Message::StepEnd).unwrap();
+        let w = hub.wire_stats();
+        assert_eq!(w.expert_state_payload, 100);
+        assert_eq!(w.expert_state_header, 17);
+        assert_eq!(w.control, 1);
+        assert_eq!(
+            w.total(),
+            w.dispatch_total()
+                + w.result_header
+                + w.result_payload
+                + w.expert_state_header
+                + w.expert_state_payload
+                + w.control
+        );
     }
 
     #[test]

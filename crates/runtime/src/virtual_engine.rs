@@ -24,12 +24,14 @@ use vela_tensor::rng::DetRng;
 
 use crate::broker::{group_pass, Pass, PhaseLog};
 use crate::launch::{launch_process_star, WorkerHandle};
-use crate::message::{GroupItem, Message, Payload};
+use crate::message::{GroupItem, Message, PackedData, PackedGroup, Payload};
 use crate::metrics::{backbone_flops_per_token, master_worker_time, StepMetrics};
 use crate::pipeline::{AutoTuner, ChunkPlan, ExchangeTimer};
 use crate::pipeline::{SPAN_INFLIGHT, SPAN_SERIALIZE, STALLS};
 use crate::routing::sample_expert_counts;
-use crate::transport::{build_star, ExchangeConfig, MasterHub, Microbatch, TransportConfig};
+use crate::transport::{
+    build_star, ExchangeConfig, MasterHub, Microbatch, TransportConfig, WireFormat, WireStats,
+};
 use crate::worker::{ExpertManager, WorkerBootstrap};
 
 /// Scale parameters of a virtual evaluation run.
@@ -251,6 +253,11 @@ impl VirtualEngine {
         self.hub.frame_counts()
     }
 
+    /// Actual encoded wire bytes by frame kind (headers vs payloads).
+    pub fn wire_stats(&self) -> WireStats {
+        self.hub.wire_stats()
+    }
+
     /// The (drifting) locality profile.
     pub fn profile(&self) -> &LocalityProfile {
         &self.profile
@@ -454,7 +461,26 @@ impl VirtualEngine {
             if indices.is_empty() {
                 continue;
             }
-            if self.exchange_cfg.coalesce {
+            if self.exchange_cfg.coalesce && self.exchange_cfg.wire == WireFormat::Packed {
+                // Column-packed framing: one span table, no per-item
+                // Payload headers. Virtual rows carry no data region, so
+                // quantization does not apply here.
+                for &i in indices {
+                    log.rows[w] += u64::from(sends[i].1);
+                }
+                let msg = Message::PackedDispatch(PackedGroup::pack_virtual(
+                    block as u32,
+                    group_pass(pass),
+                    tick as u32,
+                    bytes_per_token,
+                    indices.iter().map(|&i| (sends[i].0 as u32, sends[i].1)),
+                ));
+                log.bytes_out[w] += msg.accounted_bytes();
+                self.hub
+                    .send(w, &msg)
+                    .unwrap_or_else(|e| panic!("transport failed during dispatch: {e}"));
+                frames += 1;
+            } else if self.exchange_cfg.coalesce {
                 let items: Vec<GroupItem> = indices
                     .iter()
                     .map(|&i| {
@@ -541,6 +567,18 @@ impl VirtualEngine {
                     items.len(),
                     expected,
                     "worker {w} echoed chunk {chunk} with wrong item count"
+                );
+            }
+            (_, Message::PackedResult(ref reply)) if reply.pass == group_pass(pass) => {
+                assert!(
+                    matches!(reply.data, PackedData::Virtual),
+                    "real packed reply in a virtual exchange"
+                );
+                let expected = self.plan.chunk_items(w, reply.chunk as usize).len();
+                assert_eq!(
+                    reply.items as usize, expected,
+                    "worker {w} echoed packed chunk {} with wrong item count",
+                    reply.chunk
                 );
             }
             (_, other) => panic!("unexpected reply {other:?}"),
@@ -642,6 +680,41 @@ mod tests {
         let vela = run(Strategy::Vela.place(&problem));
         let seq = run(Strategy::Sequential.place(&problem));
         assert!(vela < seq, "vela {vela} vs sequential {seq}");
+    }
+
+    #[test]
+    fn packed_virtual_ledger_matches_legacy() {
+        let spec = small_spec();
+        let scale = ScaleConfig {
+            batch: 2,
+            seq: 32,
+            ..ScaleConfig::paper_default(spec)
+        };
+        let profile = LocalityProfile::synthetic("p", spec.blocks, spec.experts, 1.2, 2);
+        let run = |wire: WireFormat| {
+            let mut engine = launch(seq_placement(&spec, 6), profile.clone(), scale.clone());
+            engine.set_exchange(ExchangeConfig {
+                wire,
+                microbatch: Microbatch::Fixed(2),
+                ..ExchangeConfig::default()
+            });
+            let metrics = engine.run(3);
+            let stats = engine.wire_stats();
+            engine.shutdown();
+            let bytes: Vec<u64> = metrics.iter().map(|m| m.traffic.total_bytes).collect();
+            (bytes, stats)
+        };
+        let (legacy, legacy_stats) = run(WireFormat::Legacy);
+        let (packed, packed_stats) = run(WireFormat::Packed);
+        // The accounted ledger is identical by construction; the actual
+        // encoded bytes shrink because span tables replace Payload headers.
+        assert_eq!(legacy, packed);
+        assert!(
+            packed_stats.dispatch_total() < legacy_stats.dispatch_total(),
+            "packed {} vs legacy {}",
+            packed_stats.dispatch_total(),
+            legacy_stats.dispatch_total()
+        );
     }
 
     #[test]

@@ -42,6 +42,18 @@ pub enum WireError {
         /// How many bytes were not consumed.
         left: usize,
     },
+    /// A packed row-span table describes overlapping, gapped, or
+    /// out-of-range row regions.
+    BadSpan {
+        /// What was being decoded.
+        what: &'static str,
+        /// Expert index of the offending span.
+        expert: u32,
+        /// The offset/count the span declared.
+        declared: u32,
+        /// What a dense, in-order region layout required instead.
+        expected: u32,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -65,6 +77,16 @@ impl fmt::Display for WireError {
             WireError::TrailingBytes { left } => {
                 write!(f, "frame has {left} trailing bytes after decoding")
             }
+            WireError::BadSpan {
+                what,
+                expert,
+                declared,
+                expected,
+            } => write!(
+                f,
+                "invalid {what} for expert {expert}: declared {declared}, dense layout requires \
+                 {expected}"
+            ),
         }
     }
 }
@@ -88,6 +110,11 @@ impl ByteWriter {
     /// Appends one byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
+    }
+
+    /// Appends a `u16` in big-endian order.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends a `u32` in big-endian order.
@@ -166,6 +193,17 @@ impl<'a> ByteReader<'a> {
     /// Reads one byte.
     pub fn get_u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Borrows the next `n` bytes of the frame without copying. Packed
+    /// frames use this to hand decoded row regions out as slices.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
     }
 
     /// Reads a big-endian `u32`.

@@ -22,7 +22,9 @@ use vela_nn::param::Module;
 use vela_nn::swiglu::SwiGlu;
 use vela_tensor::rng::DetRng;
 
-use crate::message::{GroupItem, GroupPass, Message, Payload};
+use crate::message::{
+    quantize_rows, GroupItem, GroupPass, Message, PackedData, PackedGroup, PackedReply, Payload,
+};
 use crate::transport::{TransportError, WorkerPort};
 use crate::wire::{ByteReader, ByteWriter, WireError};
 
@@ -378,6 +380,10 @@ fn handle(
                 items,
             })?;
         }
+        Message::PackedDispatch(group) => {
+            let reply = serve_packed(shard, group);
+            port.send(&Message::PackedResult(reply))?;
+        }
         Message::StepEnd => {
             opt.step(shard);
             port.send(&Message::StepDone)?;
@@ -400,7 +406,9 @@ fn handle(
         } => {
             let template = template.expect("worker without template cannot receive experts");
             let mut ffn = template.instantiate(block as usize, expert as usize);
-            checkpoint::load(&mut ffn, &mut data.as_slice()).expect("valid expert checkpoint");
+            // load_any dispatches on the blob's magic, so both exact f32
+            // checkpoints and int8-quantized transfer blobs install.
+            checkpoint::load_any(&mut ffn, &mut data.as_slice()).expect("valid expert checkpoint");
             shard.insert(block as usize, expert as usize, ffn);
             port.send(&Message::InstallDone { block, expert })?;
         }
@@ -455,6 +463,70 @@ fn serve_group(
             },
         })
         .collect()
+}
+
+/// Serves one column-packed dispatch: the frame's single row region goes
+/// through one `forward_rows`/`backward_rows` call — the same per-expert
+/// kernels and grouping as [`serve_group`], so exact (f32) frames stay
+/// bit-identical to the legacy path — and the reply is again one
+/// contiguous region with no per-item headers. An int8 dispatch is
+/// dequantized once on the way in and the reply re-quantized, keeping the
+/// lossy encoding symmetric in both directions.
+fn serve_packed(shard: &mut LocalExpertStore, group: PackedGroup) -> PackedReply {
+    let PackedGroup {
+        block,
+        pass,
+        chunk,
+        width,
+        spans,
+        data,
+    } = group;
+    let items = spans.len() as u32;
+    let rows: u32 = spans.iter().map(|s| s.rows).sum();
+    let data = match data {
+        PackedData::Virtual => PackedData::Virtual,
+        real => {
+            let parts: Vec<(usize, usize)> = spans
+                .iter()
+                .map(|s| (s.expert as usize, s.rows as usize))
+                .collect();
+            let mut out = Vec::new();
+            let run = |shard: &mut LocalExpertStore, region: &[f32], out: &mut Vec<f32>| match pass
+            {
+                GroupPass::Forward => {
+                    shard.forward_rows(block as usize, width as usize, &parts, region, out)
+                }
+                GroupPass::Backward => {
+                    shard.backward_rows(block as usize, width as usize, &parts, region, out)
+                }
+            };
+            let quantized = matches!(real, PackedData::Int8 { .. });
+            match &real {
+                PackedData::F32(region) => run(shard, region, &mut out),
+                PackedData::Int8 { .. } => {
+                    let mut dequantized = Vec::with_capacity(rows as usize * width as usize);
+                    real.unpack_rows(width as usize, 0, rows as usize, &mut dequantized);
+                    run(shard, &dequantized, &mut out);
+                }
+                PackedData::Virtual => unreachable!(),
+            }
+            if quantized {
+                let (scales, codes) = quantize_rows(&out, width as usize);
+                PackedData::Int8 { scales, codes }
+            } else {
+                PackedData::F32(out)
+            }
+        }
+    };
+    PackedReply {
+        block,
+        pass,
+        chunk,
+        width,
+        items,
+        rows,
+        data,
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,29 @@
 
 use crate::Tensor;
 
+/// Fused `dst[i] += scale * src[i]` over two equal-length slices — the
+/// row-level AXPY behind the MoE weighted combine and gradient folds.
+///
+/// Unrolled four lanes wide; elements are independent, so the result is
+/// bit-identical to the naive loop at any width.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn scaled_add(dst: &mut [f32], scale: f32, src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "scaled_add length mismatch");
+    let mut d = dst.chunks_exact_mut(4);
+    let mut s = src.chunks_exact(4);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        dc[0] += scale * sc[0];
+        dc[1] += scale * sc[1];
+        dc[2] += scale * sc[2];
+        dc[3] += scale * sc[3];
+    }
+    for (a, &b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *a += scale * b;
+    }
+}
+
 /// Numerically stable row-wise softmax.
 ///
 /// Each row of the 2-D view is shifted by its maximum before

@@ -383,9 +383,7 @@ impl Tensor {
             "shape mismatch: {} vs {}",
             self.shape, other.shape
         );
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += scale * b;
-        }
+        crate::ops::scaled_add(&mut self.data, scale, &other.data);
     }
 
     /// `self * s` for a scalar `s`.

@@ -27,8 +27,11 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
-echo "==> exchange parity grid (release): {transport x coalesce x microbatch x depth}"
+echo "==> exchange parity grid (release): {transport x coalesce x microbatch x depth x wire}"
 cargo test --release -q --test transport_parity
+
+echo "==> int8 wire accuracy gate (release): quantized loss curve tracks exact"
+cargo test --release -q --test quant_accuracy
 
 echo "==> trace smoke: quickstart under VELA_TRACE=jsonl + trace_summary --check"
 trace_out=target/quickstart-trace.jsonl

@@ -7,15 +7,18 @@
 //! identical, because the hub accounts protocol bytes identically no
 //! matter what carries the frames.
 //!
-//! The exchange pipeline adds three more axes that must be equally
+//! The exchange pipeline adds four more axes that must be equally
 //! invisible: per-worker frame coalescing (`VELA_COALESCE`), microbatched
-//! dispatch (`VELA_MICROBATCH`, including `auto`) and the ring depth
-//! (`VELA_PIPELINE_DEPTH`). The full
-//! {transport × coalesce × microbatch × depth} grid must reproduce the
-//! per-batch, unpipelined baseline bit for bit.
+//! dispatch (`VELA_MICROBATCH`, including `auto`), the ring depth
+//! (`VELA_PIPELINE_DEPTH`), and the column-packed wire layout
+//! (`VELA_WIRE=packed`). The full
+//! {transport × coalesce × microbatch × depth × wire} grid must reproduce
+//! the per-batch, unpipelined baseline bit for bit. (Only `VELA_QUANT=int8`
+//! is allowed to change anything, and it is gated separately by the
+//! `quant_accuracy` loss-curve test.)
 
 use vela::prelude::*;
-use vela::runtime::{ExchangeConfig, Microbatch};
+use vela::runtime::{ExchangeConfig, Microbatch, WireFormat};
 
 fn workload(transport: TransportConfig, exchange: ExchangeConfig) -> Vec<StepMetrics> {
     let spec = MoeSpec {
@@ -84,11 +87,13 @@ fn run_summaries_agree_except_for_the_label() {
     assert!(a.total_bytes > 0);
 }
 
-/// The full {transport × coalesce × microbatch × depth} grid is
+/// The full {transport × coalesce × microbatch × depth × wire} grid is
 /// bitwise-identical to the legacy shape (channel, per-batch frames, no
 /// pipelining): the pipeline changes how frames move, never what they say
 /// or cost. `auto` rides along — whatever chunk count the tuner picks
-/// from its timings must be just as invisible.
+/// from its timings must be just as invisible — and so does the packed
+/// wire layout, whose span-table framing accounts the same bytes the
+/// per-item headers did.
 #[test]
 fn exchange_grid_is_bitwise_identical_to_per_batch_baseline() {
     let baseline = workload(TransportConfig::channel(), ExchangeConfig::per_batch());
@@ -98,20 +103,25 @@ fn exchange_grid_is_bitwise_identical_to_per_batch_baseline() {
         ("tcp-threads", TransportConfig::tcp_threads),
     ];
     for (label, transport) in transports {
-        for coalesce in [false, true] {
-            for microbatch in [Microbatch::Fixed(1), Microbatch::Fixed(4), Microbatch::Auto] {
-                for depth in [1usize, 2, 4] {
-                    let cfg = ExchangeConfig {
-                        coalesce,
-                        microbatch,
-                        depth,
-                    };
-                    let metrics = workload(transport(), cfg);
-                    assert_eq!(
-                        baseline, metrics,
-                        "({label}, coalesce={coalesce}, microbatch={microbatch}, \
-                         depth={depth}) diverged from the per-batch baseline"
-                    );
+        for wire in [WireFormat::Legacy, WireFormat::Packed] {
+            for coalesce in [false, true] {
+                for microbatch in [Microbatch::Fixed(1), Microbatch::Fixed(4), Microbatch::Auto] {
+                    for depth in [1usize, 2, 4] {
+                        let cfg = ExchangeConfig {
+                            coalesce,
+                            microbatch,
+                            depth,
+                            wire,
+                            ..ExchangeConfig::default()
+                        };
+                        let metrics = workload(transport(), cfg);
+                        assert_eq!(
+                            baseline, metrics,
+                            "({label}, wire={wire:?}, coalesce={coalesce}, \
+                             microbatch={microbatch}, depth={depth}) diverged from the \
+                             per-batch baseline"
+                        );
+                    }
                 }
             }
         }
@@ -126,20 +136,22 @@ fn exchange_grid_is_bitwise_identical_to_per_batch_baseline() {
 fn process_transport_matches_the_per_batch_baseline() {
     let baseline = workload(TransportConfig::channel(), ExchangeConfig::per_batch());
     let shapes = [
-        (Microbatch::Fixed(1), 1usize),
-        (Microbatch::Fixed(4), 2),
-        (Microbatch::Auto, 4),
+        (Microbatch::Fixed(1), 1usize, WireFormat::Legacy),
+        (Microbatch::Fixed(4), 2, WireFormat::Packed),
+        (Microbatch::Auto, 4, WireFormat::Packed),
     ];
-    for (microbatch, depth) in shapes {
+    for (microbatch, depth, wire) in shapes {
         let cfg = ExchangeConfig {
             coalesce: true,
             microbatch,
             depth,
+            wire,
+            ..ExchangeConfig::default()
         };
         let metrics = workload(TransportConfig::tcp_processes(), cfg);
         assert_eq!(
             baseline, metrics,
-            "(tcp, coalesce=true, microbatch={microbatch}, depth={depth}) \
+            "(tcp, wire={wire:?}, coalesce=true, microbatch={microbatch}, depth={depth}) \
              diverged from the per-batch baseline"
         );
     }

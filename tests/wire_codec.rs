@@ -6,7 +6,9 @@
 //! back as [`WireError`]s — never a panic, never a bogus allocation.
 
 use vela::prelude::*;
-use vela::runtime::message::{GroupItem, GroupPass, Message, Payload};
+use vela::runtime::message::{
+    GroupItem, GroupPass, Message, PackedData, PackedGroup, PackedReply, Payload,
+};
 use vela::runtime::wire::WireError;
 
 const CASES: u64 = 200;
@@ -41,10 +43,97 @@ fn random_payload(rng: &mut DetRng) -> Payload {
     }
 }
 
+/// Row groups for the packed codec: small widths, a few experts, any
+/// f32 bit pattern except NaN (NaN breaks `PartialEq`, not the codec —
+/// bitwise survival is asserted separately).
+fn random_parts(rng: &mut DetRng, width: u32) -> Vec<(u32, Vec<f32>)> {
+    (0..1 + rng.below(5))
+        .map(|gi| {
+            let rows = 1 + rng.below(4);
+            let vals = (0..rows * width as usize)
+                .map(|_| loop {
+                    let v = f32::from_bits(rng.next_u64() as u32);
+                    if !v.is_nan() {
+                        break v;
+                    }
+                })
+                .collect();
+            (gi as u32, vals)
+        })
+        .collect()
+}
+
+fn random_packed_dispatch(rng: &mut DetRng) -> Message {
+    let width = 1 + rng.below(8) as u32;
+    let block = rng.below(1 << 10) as u32;
+    let pass = random_pass(rng);
+    let chunk = rng.below(1 << 8) as u32;
+    match rng.below(3) {
+        0 => {
+            let parts = random_parts(rng, width);
+            Message::PackedDispatch(PackedGroup::pack(
+                block,
+                pass,
+                chunk,
+                width,
+                false,
+                parts.iter().map(|(e, v)| (*e, v.as_slice())),
+            ))
+        }
+        1 => {
+            let parts = random_parts(rng, width);
+            Message::PackedDispatch(PackedGroup::pack(
+                block,
+                pass,
+                chunk,
+                width,
+                true,
+                parts.iter().map(|(e, v)| (*e, v.as_slice())),
+            ))
+        }
+        _ => Message::PackedDispatch(PackedGroup::pack_virtual(
+            block,
+            pass,
+            chunk,
+            width,
+            (0..1 + rng.below(5)).map(|e| (e as u32, 1 + rng.below(1 << 10) as u32)),
+        )),
+    }
+}
+
+fn random_packed_result(rng: &mut DetRng) -> Message {
+    let width = 1 + rng.below(8) as u32;
+    let rows = 1 + rng.below(8) as u32;
+    let items = 1 + rng.below(6) as u32;
+    let data = match rng.below(3) {
+        0 => PackedData::F32(
+            (0..rows * width)
+                .map(|_| rng.uniform(-100.0, 100.0))
+                .collect(),
+        ),
+        1 => PackedData::Int8 {
+            scales: (0..rows).map(|_| rng.uniform(0.0, 2.0)).collect(),
+            codes: (0..rows * width)
+                .map(|_| rng.below(256) as u8 as i8)
+                .collect(),
+        },
+        _ => PackedData::Virtual,
+    };
+    Message::PackedResult(PackedReply {
+        block: rng.below(1 << 10) as u32,
+        pass: random_pass(rng),
+        chunk: rng.below(1 << 8) as u32,
+        width,
+        items,
+        rows,
+        data,
+    })
+}
+
 fn random_message(rng: &mut DetRng) -> Message {
     let block = rng.below(1 << 10) as u32;
     let expert = rng.below(1 << 8) as u32;
-    match rng.below(13) {
+    match rng.below(15) {
         0 => Message::StepBegin {
             step: rng.below(usize::MAX / 2) as u64,
         },
@@ -84,12 +173,14 @@ fn random_message(rng: &mut DetRng) -> Message {
             chunk: rng.below(1 << 8) as u32,
             items: random_items(rng),
         },
-        _ => Message::ResultGroup {
+        12 => Message::ResultGroup {
             block,
             pass: random_pass(rng),
             chunk: rng.below(1 << 8) as u32,
             items: random_items(rng),
         },
+        13 => random_packed_dispatch(rng),
+        _ => random_packed_result(rng),
     }
 }
 
@@ -149,6 +240,161 @@ fn corrupted_frames_never_panic() {
             "seed {seed}"
         );
     }
+}
+
+/// Packed f32 regions survive the wire bit for bit — including
+/// denormals, infinities, and negative zero. This is the property the
+/// packed parity grid leans on: re-framing must never touch the bits.
+#[test]
+fn packed_f32_regions_roundtrip_bitwise() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(0xF32 + seed);
+        let width = 1 + rng.below(8) as u32;
+        let parts = random_parts(&mut rng, width);
+        let msg = Message::PackedDispatch(PackedGroup::pack(
+            7,
+            GroupPass::Forward,
+            0,
+            width,
+            false,
+            parts.iter().map(|(e, v)| (*e, v.as_slice())),
+        ));
+        let decoded = Message::decode(&msg.encode()).unwrap();
+        let Message::PackedDispatch(group) = decoded else {
+            panic!("seed {seed}: wrong message kind");
+        };
+        let PackedData::F32(region) = &group.data else {
+            panic!("seed {seed}: wrong encoding");
+        };
+        let original: Vec<u32> = parts
+            .iter()
+            .flat_map(|(_, v)| v.iter().map(|x| x.to_bits()))
+            .collect();
+        let survived: Vec<u32> = region.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(original, survived, "seed {seed}");
+    }
+}
+
+/// Int8 quantization reconstructs every value within the scheme's bound:
+/// per-row scale is `amax / 127`, codes round to nearest, so the error
+/// is at most half a quantization step (`amax / 254`).
+#[test]
+fn int8_reconstruction_error_is_bounded() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::new(0x18 + seed);
+        let width = 1 + rng.below(12) as u32;
+        let rows = 1 + rng.below(8);
+        let vals: Vec<f32> = (0..rows * width as usize)
+            .map(|_| rng.uniform(-50.0, 50.0))
+            .collect();
+        let group = PackedGroup::pack(
+            0,
+            GroupPass::Forward,
+            0,
+            width,
+            true,
+            std::iter::once((0u32, vals.as_slice())),
+        );
+        let Message::PackedDispatch(group) =
+            Message::decode(&Message::PackedDispatch(group).encode()).unwrap()
+        else {
+            panic!("seed {seed}: wrong message kind");
+        };
+        let mut rebuilt = Vec::new();
+        group
+            .data
+            .unpack_rows(width as usize, 0, rows, &mut rebuilt);
+        assert_eq!(rebuilt.len(), vals.len(), "seed {seed}");
+        for r in 0..rows {
+            let lo = r * width as usize;
+            let hi = lo + width as usize;
+            let amax = vals[lo..hi].iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let bound = amax / 254.0 + 1e-6;
+            for (a, b) in vals[lo..hi].iter().zip(&rebuilt[lo..hi]) {
+                assert!(
+                    (a - b).abs() <= bound,
+                    "seed {seed}: |{a} - {b}| > {bound} (amax {amax})"
+                );
+            }
+        }
+    }
+}
+
+/// Span tables that overlap, leave gaps, or declare more rows than the
+/// frame holds are rejected during the header scan — before the data
+/// region (whose size the spans imply) is allocated.
+#[test]
+fn bad_span_tables_are_rejected_before_allocation() {
+    use vela::runtime::wire::ByteWriter;
+    // A syntactically valid packed-dispatch prefix: tag, block, pass,
+    // chunk, f32 encoding, the given width.
+    let header = |width: u32, count: u16| {
+        let mut w = ByteWriter::with_capacity(64);
+        w.put_u8(14); // PackedDispatch tag
+        w.put_u32(3);
+        w.put_u8(0); // forward
+        w.put_u32(0);
+        w.put_u8(0); // f32 encoding
+        w.put_u32(width);
+        w.put_u16(count);
+        w
+    };
+    let span = |w: &mut ByteWriter, expert: u16, offset: u32, rows: u16| {
+        w.put_u16(expert);
+        w.put_u32(offset);
+        w.put_u16(rows);
+    };
+
+    // Overlapping spans: the second one starts inside the first.
+    let mut w = header(4, 2);
+    span(&mut w, 0, 0, 2);
+    span(&mut w, 1, 1, 2);
+    assert!(matches!(
+        Message::decode(&w.into_vec()),
+        Err(WireError::BadSpan { .. })
+    ));
+
+    // Gapped spans: the second one skips a row.
+    let mut w = header(4, 2);
+    span(&mut w, 0, 0, 2);
+    span(&mut w, 1, 3, 1);
+    assert!(matches!(
+        Message::decode(&w.into_vec()),
+        Err(WireError::BadSpan { .. })
+    ));
+
+    // A span table longer than the frame: rejected before the span
+    // vector is sized from the count field.
+    let w = header(4, u16::MAX);
+    assert!(matches!(
+        Message::decode(&w.into_vec()),
+        Err(WireError::BadLength { .. })
+    ));
+
+    // Dense spans whose implied f32 region dwarfs the frame: rejected
+    // before the region is allocated, even though every span is valid.
+    let mut w = header(u32::MAX, 1);
+    span(&mut w, 0, 0, u16::MAX);
+    assert!(matches!(
+        Message::decode(&w.into_vec()),
+        Err(WireError::BadLength { .. })
+    ));
+
+    // Same guard on the result path: a reply declaring a huge row count
+    // with no region behind it.
+    let mut w = ByteWriter::with_capacity(32);
+    w.put_u8(15); // PackedResult tag
+    w.put_u32(3);
+    w.put_u8(0);
+    w.put_u32(0);
+    w.put_u8(0); // f32 encoding
+    w.put_u32(u32::MAX); // width
+    w.put_u16(1); // items
+    w.put_u32(u32::MAX); // rows
+    assert!(matches!(
+        Message::decode(&w.into_vec()),
+        Err(WireError::BadLength { .. })
+    ));
 }
 
 /// Length fields that promise more data than the frame holds must be
