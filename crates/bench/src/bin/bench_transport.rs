@@ -17,7 +17,14 @@
 //!   serialize + in-flight pipeline windows (from the
 //!   `runtime.pipeline.*` counters, measured in a short instrumented
 //!   pass after the timed one). Below 1.0 means the ring genuinely
-//!   overlapped serialization with in-flight chunks.
+//!   overlapped serialization with in-flight chunks,
+//! - `compute_us_per_step` / `stall_us_per_step` / `wire_us_per_step` —
+//!   the same instrumented pass split three ways: worker expert-serve
+//!   time, ring-full backpressure, and the wire remainder
+//!   (`inflight − stall − compute`, clamped at 0). On the `tcp` rows the
+//!   compute column reads 0 by construction: the serve counter
+//!   accumulates inside the worker *processes*, not this one, so their
+//!   whole inflight window attributes to wire + stall.
 //!
 //! A second, real-tensor sweep (`wire_rows`) runs a fine-grained broker
 //! workload — one single-row batch per expert, so per-item framing
@@ -76,6 +83,9 @@ struct Row {
     frames_per_step: f64,
     bytes_per_step: u64,
     overlap_efficiency: f64,
+    compute_us_per_step: f64,
+    stall_us_per_step: f64,
+    wire_us_per_step: f64,
 }
 
 impl Row {
@@ -174,6 +184,13 @@ fn run_row(
     } else {
         0.0
     };
+    // Phase attribution of the inflight window. The serve counter only
+    // advances in *this* process, so the tcp rows (worker processes)
+    // report compute 0 and fold it into the wire remainder.
+    let inflight_us = delta("runtime.pipeline.inflight_us");
+    let serve_us = delta("runtime.worker.serve_us");
+    let stall_us = delta("runtime.pipeline.stall_us");
+    let per_step = |us: u64| us as f64 / COUNTER_STEPS as f64;
 
     Row {
         transport: label,
@@ -183,6 +200,9 @@ fn run_row(
         frames_per_step: (frames_after - frames_before) as f64 / steps as f64,
         bytes_per_step: bytes / steps as u64,
         overlap_efficiency,
+        compute_us_per_step: per_step(serve_us),
+        stall_us_per_step: per_step(stall_us),
+        wire_us_per_step: per_step(inflight_us.saturating_sub(stall_us + serve_us)),
     }
 }
 
@@ -376,8 +396,8 @@ fn emit_json(steps: usize, rows: &[Row], wire_rows: &[WireRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"transport\": \"{}\", \"coalesce\": {}, \"microbatch\": \"{}\", \"secs_per_step\": {:.9}, \"frames_per_step\": {:.1}, \"bytes_per_step\": {}, \"overlap_efficiency\": {:.3}}}",
-            r.transport, r.coalesce, r.microbatch.label(), r.secs_per_step, r.frames_per_step, r.bytes_per_step, r.overlap_efficiency
+            "    {{\"transport\": \"{}\", \"coalesce\": {}, \"microbatch\": \"{}\", \"secs_per_step\": {:.9}, \"frames_per_step\": {:.1}, \"bytes_per_step\": {}, \"overlap_efficiency\": {:.3}, \"compute_us_per_step\": {:.1}, \"stall_us_per_step\": {:.1}, \"wire_us_per_step\": {:.1}}}",
+            r.transport, r.coalesce, r.microbatch.label(), r.secs_per_step, r.frames_per_step, r.bytes_per_step, r.overlap_efficiency, r.compute_us_per_step, r.stall_us_per_step, r.wire_us_per_step
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -588,14 +608,17 @@ fn main() {
     println!("steps: {steps}, workers: {WORKERS}");
     for r in &rows {
         println!(
-            "{:<12} coalesce {:<5} microbatch {:<4}  {:>10.3e}s/step  {:>7.1} frames/step  {:>10} bytes/step  overlap {:>5.3}",
+            "{:<12} coalesce {:<5} microbatch {:<4}  {:>10.3e}s/step  {:>7.1} frames/step  {:>10} bytes/step  overlap {:>5.3}  compute {:>7.1}µs  stall {:>6.1}µs  wire {:>7.1}µs",
             r.transport,
             r.coalesce,
             r.microbatch.label(),
             r.secs_per_step,
             r.frames_per_step,
             r.bytes_per_step,
-            r.overlap_efficiency
+            r.overlap_efficiency,
+            r.compute_us_per_step,
+            r.stall_us_per_step,
+            r.wire_us_per_step
         );
     }
     println!("wire sweep ({WIRE_EXPERTS} single-row experts x {WIRE_BLOCKS} blocks, dim {WIRE_DIM}, channel):");

@@ -44,8 +44,12 @@ fn main() {
             );
             let mut ep_time = None;
             for strategy in eval_strategies() {
+                let probe = vela_bench::AttributionProbe::start();
                 let metrics = vela_bench::run_strategy(strategy, &profile, &spec, &scale, steps);
-                let summary = vela_bench::summarize_strategy(strategy, &metrics);
+                let mut summary = vela_bench::summarize_strategy(strategy, &metrics);
+                if let Some(attribution) = probe.finish(metrics.len()) {
+                    summary = summary.with_attribution(attribution);
+                }
                 if strategy.label() == "EP" {
                     ep_time = Some(summary.avg_step_time);
                 }
@@ -65,6 +69,21 @@ fn main() {
                     summary.avg_comm_time,
                     summary.avg_sync_time,
                 );
+                if let Some(a) = summary.attribution {
+                    println!(
+                        "{:>10} | measured µs/step: serialize {:.1} | inflight {:.1} \
+                         (stall {:.1}, compute {:.1}, wire {:.1}) | combine {:.1} | \
+                         exchange wall {:.1}",
+                        "",
+                        a.serialize_us,
+                        a.inflight_us,
+                        a.stall_us,
+                        a.compute_us,
+                        a.wire_us(),
+                        a.combine_us,
+                        a.exchange_us,
+                    );
+                }
             }
             println!("(paper: VELA accelerates steps by 20.6%..28.2% vs EP)");
         }

@@ -10,34 +10,50 @@
 //! * final counter values and histogram snapshots.
 //!
 //! With `--check` it instead validates the trace — schema-valid lines,
-//! per-thread monotone timestamps, balanced enter/exit, and (whenever the
-//! trace contains broker/virtual exchange spans) the presence of the
-//! `runtime.pipeline.*` per-chunk spans, so the ring instrumentation
-//! cannot silently disappear — and exits non-zero on any violation (used
-//! by `scripts/verify.sh`).
+//! per-lane monotone timestamps, balanced enter/exit, complete dispatch →
+//! compute → result flow chains, (whenever the trace contains
+//! broker/virtual exchange spans) the presence of the
+//! `runtime.pipeline.*` per-chunk spans, and (on merged distributed
+//! traces) ≥90% attribution coverage of exchange wall time — exiting
+//! non-zero on any violation (used by `scripts/verify.sh`).
 //!
-//! Usage: `trace_summary [--check] [--top N] FILE`
+//! With `merge` it joins a process-mode run's master trace with its
+//! `FILE.worker{i}` siblings into one timeline: worker timestamps are
+//! rebased onto the master clock using the handshake's minimum-RTT
+//! offset samples, every record gains a process lane (`pid`), and the
+//! result is written both as mergeable JSONL (`FILE.merged`) and as a
+//! Chrome trace (`FILE.merged.json`) whose flow arrows connect each
+//! dispatch to its worker compute span and result. A per-step phase
+//! attribution report (serialize / wire / worker compute / stall /
+//! combine, per-worker busy time, straggler index) is printed after the
+//! merge.
+//!
+//! Usage: `trace_summary [--check | merge] [--top N] FILE`
 
 use std::collections::BTreeMap;
 use std::fs::File;
-use std::io::{BufRead, BufReader};
+use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
 
-use vela_obs::reader::{parse_line, validate, RawEvent};
+use vela_obs::reader::{
+    attribute, clock_table, merge_traces, parse_line, to_jsonl, validate, Attribution, RawEvent,
+};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: trace_summary [--check] [--top N] FILE");
+    eprintln!("usage: trace_summary [--check | merge] [--top N] FILE");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut check = false;
+    let mut merge = false;
     let mut top = 10usize;
     let mut file: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => check = true,
+            "merge" if file.is_none() => merge = true,
             "--top" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) => top = n,
                 None => return usage(),
@@ -47,59 +63,237 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = file else { return usage() };
-    let f = match File::open(&path) {
-        Ok(f) => f,
+    if check && merge {
+        return usage();
+    }
+    let events = match load_trace(&path) {
+        Ok(events) => events,
         Err(e) => {
-            eprintln!("trace_summary: cannot open {path}: {e}");
+            eprintln!("trace_summary: {e}");
             return ExitCode::FAILURE;
         }
     };
 
-    let mut events: Vec<RawEvent> = Vec::new();
+    if merge {
+        run_merge(&path, events)
+    } else if check {
+        run_check(&events)
+    } else {
+        summarize(&events, top);
+        ExitCode::SUCCESS
+    }
+}
+
+fn load_trace(path: &str) -> Result<Vec<RawEvent>, String> {
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut events = Vec::new();
     for (lineno, line) in BufReader::new(f).lines().enumerate() {
-        let line = match line {
-            Ok(l) => l,
-            Err(e) => {
-                eprintln!("trace_summary: read error at line {}: {e}", lineno + 1);
-                return ExitCode::FAILURE;
-            }
-        };
+        let line = line.map_err(|e| format!("read error at {path}:{}: {e}", lineno + 1))?;
         if line.trim().is_empty() {
             continue;
         }
-        match parse_line(&line) {
-            Ok(ev) => events.push(ev),
+        events.push(parse_line(&line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?);
+    }
+    Ok(events)
+}
+
+fn run_check(events: &[RawEvent]) -> ExitCode {
+    let stats = match validate(events) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("trace INVALID: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = check_pipeline_instrumentation(events) {
+        eprintln!("trace INVALID: {e}");
+        return ExitCode::FAILURE;
+    }
+    // A merged distributed trace (multiple process lanes, flow-correlated
+    // exchanges) must attribute ≥90% of the exchange wall time to the
+    // serialize/inflight/combine phases; less means the pipeline
+    // instrumentation lost track of where a step's time went.
+    let distributed = events.iter().any(|ev| ev.pid != 0);
+    if distributed && stats.flows > 0 {
+        let attr = attribute(events);
+        if attr.exchange_us > 0 && attr.coverage() < 0.9 {
+            eprintln!(
+                "trace INVALID: attribution covers only {:.1}% of exchange wall time (< 90%)",
+                attr.coverage() * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "trace OK: {} events, {} spans, {} flows, {} threads, {:.3} ms span of wall time",
+        stats.events,
+        stats.spans,
+        stats.flows,
+        stats.threads,
+        stats.max_t as f64 / 1e3
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_merge(path: &str, master: Vec<RawEvent>) -> ExitCode {
+    let mut workers: Vec<(u64, Vec<RawEvent>)> = Vec::new();
+    loop {
+        let wpath = format!("{path}.worker{}", workers.len());
+        if !std::path::Path::new(&wpath).exists() {
+            break;
+        }
+        match load_trace(&wpath) {
+            Ok(events) => workers.push((workers.len() as u64, events)),
             Err(e) => {
-                eprintln!("trace_summary: {path}:{}: {e}", lineno + 1);
+                eprintln!("trace_summary: {e}");
                 return ExitCode::FAILURE;
             }
         }
     }
-
-    if check {
-        match validate(&events) {
-            Ok(stats) => {
-                if let Err(e) = check_pipeline_instrumentation(&events) {
-                    eprintln!("trace INVALID: {e}");
-                    return ExitCode::FAILURE;
-                }
-                println!(
-                    "trace OK: {} events, {} spans, {} threads, {:.3} ms span of wall time",
-                    stats.events,
-                    stats.spans,
-                    stats.threads,
-                    stats.max_t as f64 / 1e3
-                );
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("trace INVALID: {e}");
-                ExitCode::FAILURE
-            }
+    if workers.is_empty() {
+        eprintln!(
+            "trace_summary: no {path}.worker0 sibling trace found — merge needs the \
+             per-worker traces a traced process-mode (VELA_TRANSPORT=tcp) run writes"
+        );
+        return ExitCode::FAILURE;
+    }
+    let clocks = clock_table(&master);
+    let n_workers = workers.len();
+    let merged = match merge_traces(master, workers) {
+        Ok(merged) => merged,
+        Err(e) => {
+            eprintln!("trace_summary: {e}");
+            return ExitCode::FAILURE;
         }
-    } else {
-        summarize(&events, top);
-        ExitCode::SUCCESS
+    };
+    let out_jsonl = format!("{path}.merged");
+    let out_chrome = format!("{path}.merged.json");
+    if let Err(e) = write_merged(&out_jsonl, &out_chrome, &merged, n_workers) {
+        eprintln!("trace_summary: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "merged 1 master + {n_workers} worker traces: {} events",
+        merged.len()
+    );
+    for (w, (offset, rtt)) in &clocks {
+        println!("  worker {w}: clock offset {offset:+} µs (min rtt {rtt} µs)");
+    }
+    println!("wrote {out_jsonl} (JSONL) and {out_chrome} (Chrome trace)");
+    print_attribution(&attribute(&merged));
+    ExitCode::SUCCESS
+}
+
+/// Writes the merged timeline as (a) JSONL in the trace's own schema
+/// (with `pid` lanes, so `--check` and a re-merge both accept it) and
+/// (b) a Chrome `chrome://tracing` / Perfetto JSON array with one
+/// process lane per original process and flow arrows between them.
+fn write_merged(
+    out_jsonl: &str,
+    out_chrome: &str,
+    merged: &[RawEvent],
+    n_workers: usize,
+) -> Result<(), String> {
+    let mut jf = File::create(out_jsonl).map_err(|e| format!("cannot create {out_jsonl}: {e}"))?;
+    for ev in merged {
+        jf.write_all(to_jsonl(ev).as_bytes())
+            .and_then(|_| jf.write_all(b"\n"))
+            .map_err(|e| format!("writing {out_jsonl}: {e}"))?;
+    }
+
+    let mut out = String::from("[");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"master\"}}",
+    );
+    for w in 0..n_workers {
+        out.push_str(&format!(
+            ",\n{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":\"worker {w}\"}}}}",
+            w + 1
+        ));
+    }
+    for ev in merged {
+        if let Some(line) = chrome_record(ev) {
+            out.push_str(",\n");
+            out.push_str(&line);
+        }
+    }
+    out.push_str("]\n");
+    std::fs::write(out_chrome, out).map_err(|e| format!("cannot write {out_chrome}: {e}"))
+}
+
+/// One merged record as a Chrome trace event, if it has a Chrome
+/// counterpart (histogram and expert-rows records do not).
+fn chrome_record(ev: &RawEvent) -> Option<String> {
+    let name = ev.name.replace('\\', "\\\\").replace('"', "\\\"");
+    match ev.ev.as_str() {
+        "b" | "e" => {
+            let ph = if ev.ev == "b" { "B" } else { "E" };
+            Some(format!(
+                "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"pid\":{},\"tid\":{},\"ts\":{}}}",
+                ev.pid, ev.tid, ev.t
+            ))
+        }
+        "c" => Some(format!(
+            "{{\"name\":\"{name}\",\"ph\":\"C\",\"pid\":{},\"tid\":0,\"ts\":{},\
+             \"args\":{{\"value\":{}}}}}",
+            ev.pid,
+            ev.t,
+            ev.value.unwrap_or(0)
+        )),
+        "f" => {
+            let ph = ev.ph.as_deref()?;
+            let bp = if ph == "f" { ",\"bp\":\"e\"" } else { "" };
+            Some(format!(
+                "{{\"name\":\"exchange\",\"cat\":\"exchange\",\"ph\":\"{ph}\",\"id\":{},\
+                 \"pid\":{},\"tid\":{},\"ts\":{}{bp}}}",
+                ev.corr.unwrap_or(0),
+                ev.pid,
+                ev.tid,
+                ev.t
+            ))
+        }
+        "k" => Some(format!(
+            "{{\"name\":\"clock sample\",\"ph\":\"i\",\"s\":\"g\",\"pid\":{},\"tid\":0,\
+             \"ts\":{},\"args\":{{\"worker\":{},\"offset_us\":{},\"rtt_us\":{}}}}}",
+            ev.pid,
+            ev.t,
+            ev.worker.unwrap_or(0),
+            ev.offset.unwrap_or(0),
+            ev.rtt.unwrap_or(0)
+        )),
+        _ => None,
+    }
+}
+
+fn print_attribution(attr: &Attribution) {
+    let steps = attr.steps.max(1);
+    let per = |v: u64| v as f64 / steps as f64;
+    println!("\n-- per-step attribution ({} steps) --", attr.steps);
+    println!("{:<18} {:>12}", "phase", "µs/step");
+    println!("{:<18} {:>12.1}", "serialize", per(attr.serialize_us));
+    println!("{:<18} {:>12.1}", "wire", per(attr.wire_us));
+    println!("{:<18} {:>12.1}", "worker compute", per(attr.compute_us));
+    println!("{:<18} {:>12.1}", "stall", per(attr.stall_us));
+    println!("{:<18} {:>12.1}", "combine", per(attr.combine_us));
+    println!(
+        "{:<18} {:>12.1}   (coverage {:.1}%)",
+        "exchange wall",
+        per(attr.exchange_us),
+        100.0 * attr.coverage()
+    );
+    if !attr.worker_busy_us.is_empty() {
+        let busy: Vec<String> = attr
+            .worker_busy_us
+            .iter()
+            .map(|(w, us)| format!("w{w}:{:.1}", per(*us)))
+            .collect();
+        println!(
+            "worker busy µs/step: {}   (straggler index {:.2})",
+            busy.join("  "),
+            attr.straggler_index()
+        );
     }
 }
 

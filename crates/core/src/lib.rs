@@ -68,7 +68,8 @@ pub mod prelude {
     pub use vela_nn::optim::{AdamW, AdamWConfig, Sgd};
     pub use vela_placement::{Placement, PlacementProblem, Strategy};
     pub use vela_runtime::{
-        EpEngine, RealRuntime, RunSummary, ScaleConfig, StepMetrics, TransportConfig, VirtualEngine,
+        EpEngine, PhaseAttribution, RealRuntime, RunSummary, ScaleConfig, StepMetrics,
+        TransportConfig, VirtualEngine,
     };
     pub use vela_tensor::rng::DetRng;
     pub use vela_tensor::Tensor;

@@ -181,3 +181,51 @@ impl LazyHistogram {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registries are process-global and shared with other tests, so
+    // these use distinctive name prefixes and only assert about them.
+
+    #[test]
+    fn counter_snapshot_is_sorted_and_skips_zeros() {
+        counter("snaptest.zz").add(2);
+        counter("snaptest.aa").add(1);
+        counter("snaptest.mm").add(3);
+        counter("snaptest.zero"); // registered but never incremented
+        let snap: Vec<(String, u64)> = counter_snapshot()
+            .into_iter()
+            .filter(|(n, _)| n.starts_with("snaptest."))
+            .collect();
+        assert_eq!(
+            snap,
+            vec![
+                ("snaptest.aa".to_string(), 1),
+                ("snaptest.mm".to_string(), 3),
+                ("snaptest.zz".to_string(), 2),
+            ],
+            "snapshot must be name-sorted with zero counters dropped"
+        );
+    }
+
+    #[test]
+    fn histogram_snapshot_is_sorted_by_name_and_bucket() {
+        histogram("hsnaptest.b").record(17); // bucket ≥16
+        histogram("hsnaptest.a").record(0); // bucket ≥0
+        histogram("hsnaptest.a").record(5); // bucket ≥4
+        let snap: Vec<(String, Vec<(u64, u64)>)> = histogram_snapshot()
+            .into_iter()
+            .filter(|(n, _)| n.starts_with("hsnaptest."))
+            .collect();
+        assert_eq!(
+            snap,
+            vec![
+                ("hsnaptest.a".to_string(), vec![(0, 1), (4, 1)]),
+                ("hsnaptest.b".to_string(), vec![(16, 1)]),
+            ],
+            "snapshot must be name-sorted with ascending bucket bounds"
+        );
+    }
+}

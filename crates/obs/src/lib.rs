@@ -27,6 +27,9 @@
 //!   JSON (load in `chrome://tracing` / Perfetto).
 //! * `VELA_TRACE_OUT` — output path (default `vela-trace.jsonl` or
 //!   `vela-trace.json` for chrome mode).
+//! * `VELA_METRICS_ADDR` — serve a live plain-text counter/histogram
+//!   snapshot on this TCP address (see [`endpoint`]); implies at least
+//!   [`TraceMode::Counters`].
 //! * `VELA_LOG` — stderr logger level: `error`, `warn` (default),
 //!   `info`, `debug`.
 //!
@@ -41,14 +44,29 @@
 //! {"ev":"c","t":99,"tid":0,"name":"tensor.workspace.hit","value":42}
 //! {"ev":"h","t":99,"tid":0,"name":"model.moe.group_rows","buckets":[[16,7],[32,3]]}
 //! {"ev":"x","t":50,"tid":1,"step":3,"name":"fwd","src":"runtime","block":0,"rows":[[0,128],[3,64]]}
+//! {"ev":"f","t":60,"tid":1,"step":3,"ph":"s","corr":412317122560}   flow endpoint
+//! {"ev":"k","t":70,"tid":0,"worker":1,"offset":-1423,"rtt":88}      clock sample
 //! ```
 //!
-//! Chrome mode maps `b`/`e` to `ph:"B"/"E"`, counters to `ph:"C"` and
-//! expert rows to instant events. The chrome file is a JSON array that
-//! is intentionally left unterminated (the format tolerates it, and it
-//! lets us stream without an exit hook).
+//! `"f"` records are the endpoints of one dispatch → worker-compute →
+//! result chain, keyed by the [`corr`] correlation key: the master
+//! emits `ph:"s"` at serialize and `ph:"f"` at result drain, the
+//! worker emits `ph:"t"` twice around the serve. `"k"` records are
+//! NTP-style clock samples (`offset` = worker clock − master clock,
+//! signed; `rtt` the round trip that measured it) that let
+//! `trace_summary merge` rebase a worker trace onto the master
+//! timeline. A merged trace additionally carries a `"pid"` field on
+//! every record (0 = master, `i + 1` = worker `i`); unmerged
+//! single-process traces omit it.
+//!
+//! Chrome mode maps `b`/`e` to `ph:"B"/"E"`, counters to `ph:"C"`,
+//! expert rows and clock samples to instant events, and flow endpoints
+//! to `ph:"s"/"t"/"f"` flow events. The chrome file is a JSON array
+//! that is intentionally left unterminated (the format tolerates it,
+//! and it lets us stream without an exit hook).
 
 pub mod counters;
+pub mod endpoint;
 pub mod logger;
 pub mod reader;
 pub mod sink;
@@ -63,7 +81,55 @@ pub use counters::{
     LazyCounter, LazyHistogram,
 };
 pub use logger::Level;
-pub use span::{expert_rows, span, SpanGuard};
+pub use span::{expert_rows, flow, span, FlowPhase, SpanGuard};
+
+/// Compact correlation key identifying one dispatch frame of one
+/// exchange: `(step, worker, block, pass, chunk)` packed into a `u64`.
+///
+/// The layout is part of the trace schema (readers decode it without
+/// the runtime):
+///
+/// ```text
+/// bits 63..38   step   (mod 2^26)
+/// bits 37..33   worker (mod 2^5)
+/// bits 32..17   block  (mod 2^16)
+/// bit  16       pass   (0 = forward, 1 = backward)
+/// bits 15..0    chunk  (mod 2^16)
+/// ```
+///
+/// Within one run the tuple is unique per in-flight frame: the ring
+/// sends exactly one dispatch per `(worker, block, pass, chunk)` per
+/// step, and the step component keeps keys distinct for the lifetime
+/// of any realistic trace.
+pub mod corr {
+    /// Pack a correlation key. `pass` is 0 for forward, 1 for backward.
+    #[inline]
+    pub fn pack(step: u64, worker: u64, block: u64, pass: u64, chunk: u64) -> u64 {
+        ((step & 0x3ff_ffff) << 38)
+            | ((worker & 0x1f) << 33)
+            | ((block & 0xffff) << 17)
+            | ((pass & 1) << 16)
+            | (chunk & 0xffff)
+    }
+
+    /// The step component of a packed key.
+    #[inline]
+    pub fn step(corr: u64) -> u64 {
+        (corr >> 38) & 0x3ff_ffff
+    }
+
+    /// The worker component of a packed key.
+    #[inline]
+    pub fn worker(corr: u64) -> u64 {
+        (corr >> 33) & 0x1f
+    }
+
+    /// The pass component of a packed key (0 = forward, 1 = backward).
+    #[inline]
+    pub fn pass(corr: u64) -> u64 {
+        (corr >> 16) & 1
+    }
+}
 
 /// What the process records, ordered by increasing capability.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -83,7 +149,7 @@ pub enum TraceMode {
 static MODE: AtomicU8 = AtomicU8::new(0);
 
 fn init_mode_from_env() -> TraceMode {
-    match std::env::var("VELA_TRACE").ok().as_deref() {
+    let mode = match std::env::var("VELA_TRACE").ok().as_deref() {
         None | Some("") | Some("0") | Some("off") => TraceMode::Off,
         Some("counters") => TraceMode::Counters,
         Some("jsonl") | Some("1") => TraceMode::Jsonl,
@@ -95,6 +161,15 @@ fn init_mode_from_env() -> TraceMode {
             );
             TraceMode::Off
         }
+    };
+    // A live metrics endpoint needs counters to snapshot, so the env
+    // knob lifts an otherwise-off process to Counters mode.
+    match std::env::var("VELA_METRICS_ADDR").ok().as_deref() {
+        Some(addr) if !addr.is_empty() => {
+            endpoint::start_from_env(addr);
+            mode.max(TraceMode::Counters)
+        }
+        _ => mode,
     }
 }
 
@@ -161,6 +236,35 @@ pub fn step_begin(step: u64) {
 #[inline]
 pub fn current_step() -> u64 {
     STEP.load(Ordering::Relaxed)
+}
+
+static NEXT_STEP: AtomicU64 = AtomicU64::new(0);
+
+/// Allocate the next process-unique trace step and make it current.
+///
+/// Distributed engines use this instead of [`step_begin`] on the master
+/// side: several engine launches in one process each restart their local
+/// step counter at 1, and were they to tag traces with it, correlation
+/// keys from different runs would collide in one trace file. The master
+/// broadcasts the returned value in `StepBegin` so workers tag the same
+/// step via [`step_begin`].
+#[inline]
+pub fn next_trace_step() -> u64 {
+    let step = NEXT_STEP.fetch_add(1, Ordering::Relaxed) + 1;
+    STEP.store(step, Ordering::Relaxed);
+    step
+}
+
+/// Record one NTP-style clock sample for `worker`: `offset_us` is the
+/// worker clock minus the master clock (signed), `rtt_us` the round
+/// trip of the probe that measured it. Written directly to the sink as
+/// a `"k"` record; `trace_summary merge` uses the minimum-RTT sample
+/// per worker to rebase that worker's timestamps.
+pub fn clock_sample(worker: usize, offset_us: i64, rtt_us: u64) {
+    if !tracing() {
+        return;
+    }
+    sink::write_clock(worker as u64, offset_us, rtt_us);
 }
 
 /// Drain every thread's event buffer to the sink, append a cumulative

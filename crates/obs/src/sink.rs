@@ -142,6 +142,13 @@ fn fmt_jsonl(out: &mut String, tid: u64, ev: &Event) {
                 "{{\"ev\":\"e\",\"t\":{t},\"tid\":{tid},\"name\":\"{name}\"}}"
             );
         }
+        Event::Flow { ph, corr, t, step } => {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"f\",\"t\":{t},\"tid\":{tid},\"step\":{step},\"ph\":\"{}\",\"corr\":{corr}}}",
+                ph.letter()
+            );
+        }
         Event::ExpertRows {
             pass,
             src,
@@ -183,6 +190,19 @@ fn fmt_chrome(out: &mut String, tid: u64, ev: &Event, wrote_any: &mut bool) {
             let _ = write!(
                 out,
                 "{{\"ph\":\"E\",\"ts\":{t},\"pid\":1,\"tid\":{tid},\"name\":\"{name}\"}}"
+            );
+        }
+        Event::Flow { ph, corr, t, .. } => {
+            // Chrome flow events bind to the slice enclosing (tid, ts);
+            // `bp:"e"` on the finish keeps the arrow attached to it.
+            let bp = match ph {
+                crate::span::FlowPhase::Finish => ",\"bp\":\"e\"",
+                _ => "",
+            };
+            let _ = write!(
+                out,
+                "{{\"ph\":\"{}\",\"ts\":{t},\"pid\":1,\"tid\":{tid},\"cat\":\"exchange\",\"name\":\"exchange\",\"id\":{corr}{bp}}}",
+                ph.letter()
             );
         }
         Event::ExpertRows {
@@ -228,14 +248,19 @@ pub(crate) fn write_events(tid: u64, events: &[Event]) {
 }
 
 /// Append a cumulative counter + histogram snapshot (pseudo-thread 0).
+/// Snapshot and timestamp are both taken *inside* the sink lock: two
+/// racing flushes (say an engine shutdown and a worker thread exiting)
+/// would otherwise stamp their batches before serializing on the lock
+/// and could write them in reverse timestamp order, breaking the
+/// tid-0 monotonicity `trace_summary --check` enforces.
 pub(crate) fn write_snapshots() {
-    let counters = crate::counters::counter_snapshot();
-    let hists = crate::counters::histogram_snapshot();
-    if counters.is_empty() && hists.is_empty() {
-        return;
-    }
-    let t = crate::now_us();
     with_sink(|s| {
+        let counters = crate::counters::counter_snapshot();
+        let hists = crate::counters::histogram_snapshot();
+        if counters.is_empty() && hists.is_empty() {
+            return;
+        }
+        let t = crate::now_us();
         let mut out = String::new();
         for (name, value) in &counters {
             if s.chrome {
@@ -284,6 +309,31 @@ pub(crate) fn write_snapshots() {
                 out.push_str("]}");
                 out.push('\n');
             }
+        }
+        s.write(out.as_bytes());
+    });
+}
+
+/// Append one clock-offset sample for `worker` (pseudo-thread 0). The
+/// timestamp is taken *inside* the sink lock so tid-0 records stay
+/// monotone even when samples race a snapshot flush.
+pub(crate) fn write_clock(worker: u64, offset_us: i64, rtt_us: u64) {
+    with_sink(|s| {
+        let t = crate::now_us();
+        let mut out = String::new();
+        if s.chrome {
+            let mut wrote_any = s.wrote_any;
+            chrome_sep(&mut out, &mut wrote_any);
+            s.wrote_any = wrote_any;
+            let _ = write!(
+                out,
+                "{{\"ph\":\"i\",\"ts\":{t},\"pid\":1,\"tid\":0,\"name\":\"clock.worker{worker}\",\"s\":\"g\",\"args\":{{\"offset_us\":{offset_us},\"rtt_us\":{rtt_us}}}}}"
+            );
+        } else {
+            let _ = write!(
+                out,
+                "{{\"ev\":\"k\",\"t\":{t},\"tid\":0,\"worker\":{worker},\"offset\":{offset_us},\"rtt\":{rtt_us}}}\n"
+            );
         }
         s.write(out.as_bytes());
     });

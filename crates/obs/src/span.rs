@@ -11,6 +11,30 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+/// Position of a flow record within its dispatch → worker-compute →
+/// result chain. The letters mirror the Chrome `trace_event` flow
+/// phases so a merged trace renders arrows between process lanes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowPhase {
+    /// Producer end: the master serialized a dispatch frame.
+    Start,
+    /// Intermediate hop: the worker entered / left the serve for the
+    /// frame (emitted twice, so the pair bounds worker compute).
+    Step,
+    /// Consumer end: the master drained the matching result frame.
+    Finish,
+}
+
+impl FlowPhase {
+    pub(crate) fn letter(self) -> &'static str {
+        match self {
+            FlowPhase::Start => "s",
+            FlowPhase::Step => "t",
+            FlowPhase::Finish => "f",
+        }
+    }
+}
+
 /// An in-memory trace event; serialisation happens at drain time.
 pub(crate) enum Event {
     Enter {
@@ -21,6 +45,12 @@ pub(crate) enum Event {
     Exit {
         name: &'static str,
         t: u64,
+    },
+    Flow {
+        ph: FlowPhase,
+        corr: u64,
+        t: u64,
+        step: u64,
     },
     ExpertRows {
         /// `"fwd"` or `"bwd"`.
@@ -118,6 +148,25 @@ impl Drop for SpanGuard {
             });
         }
     }
+}
+
+/// Record one end of a cross-process flow identified by its correlation
+/// key (see [`crate::corr`]). The master emits [`FlowPhase::Start`] when
+/// it serializes a dispatch frame and [`FlowPhase::Finish`] when it
+/// drains the matching result; the worker emits [`FlowPhase::Step`]
+/// twice — on entering and leaving the serve — so the pair bounds the
+/// worker compute for that frame.
+#[inline]
+pub fn flow(ph: FlowPhase, corr: u64) {
+    if !crate::tracing() {
+        return;
+    }
+    record(Event::Flow {
+        ph,
+        corr,
+        t: crate::now_us(),
+        step: crate::current_step(),
+    });
 }
 
 /// Record per-expert routed-row counts for one (step, block, pass)

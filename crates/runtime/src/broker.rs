@@ -9,16 +9,17 @@
 //! exchanged with each worker — the inputs to the Eq. (7) time model.
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use vela_model::checkpoint;
 use vela_model::provider::{ExpertBatch, ExpertProvider};
-use vela_obs::LazyCounter;
+use vela_obs::{Counter, FlowPhase, LazyCounter};
 use vela_placement::Placement;
 use vela_tensor::Tensor;
 
 use crate::message::{GroupItem, GroupPass, Message, PackedData, PackedGroup, Payload};
 use crate::pipeline::{AutoTuner, ChunkPlan, ExchangeTimer};
-use crate::pipeline::{SPAN_COMBINE, SPAN_INFLIGHT, SPAN_SERIALIZE, STALLS};
+use crate::pipeline::{COMBINE_US, SPAN_COMBINE, SPAN_INFLIGHT, SPAN_SERIALIZE, STALLS, STALL_US};
 use crate::transport::{
     ExchangeConfig, MasterHub, Microbatch, TransportError, WireFormat, WireStats,
 };
@@ -27,6 +28,32 @@ use crate::transport::{
 static PHASE_BYTES_OUT: LazyCounter = LazyCounter::new("runtime.phase.bytes_out");
 static PHASE_BYTES_BACK: LazyCounter = LazyCounter::new("runtime.phase.bytes_back");
 static PHASE_ROWS: LazyCounter = LazyCounter::new("runtime.phase.rows");
+
+/// One worker's byte/row counter handles, resolved once per worker index
+/// instead of re-registering `runtime.worker.{w}.*` by formatted name on
+/// every completed phase.
+#[derive(Clone, Copy)]
+struct WorkerCounters {
+    out: Counter,
+    back: Counter,
+    rows: Counter,
+}
+
+/// Process-global cache of per-worker counter handles, grown lazily to
+/// cover the highest worker index observed.
+fn worker_counters(w: usize) -> WorkerCounters {
+    static CACHE: Mutex<Vec<WorkerCounters>> = Mutex::new(Vec::new());
+    let mut cache = CACHE.lock().unwrap();
+    while cache.len() <= w {
+        let i = cache.len();
+        cache.push(WorkerCounters {
+            out: vela_obs::counter(&format!("runtime.worker.{i}.bytes_out")),
+            back: vela_obs::counter(&format!("runtime.worker.{i}.bytes_back")),
+            rows: vela_obs::counter(&format!("runtime.worker.{i}.rows")),
+        });
+    }
+    cache[w]
+}
 
 /// Short span/event tag for a pass.
 pub(crate) fn pass_name(pass: Pass) -> &'static str {
@@ -42,6 +69,20 @@ pub(crate) fn group_pass(pass: Pass) -> GroupPass {
         Pass::Forward => GroupPass::Forward,
         Pass::Backward => GroupPass::Backward,
     }
+}
+
+/// Correlation key tying this master-side dispatch (and its reply) to the
+/// worker's serve span. Both sides derive the step component from their
+/// own [`vela_obs::current_step`], which agree because `StepBegin` frames
+/// precede dispatches on every per-link FIFO.
+pub(crate) fn exchange_corr(w: usize, block: usize, pass: Pass, chunk: usize) -> u64 {
+    vela_obs::corr::pack(
+        vela_obs::current_step(),
+        w as u64,
+        block as u64,
+        matches!(pass, Pass::Backward) as u64,
+        chunk as u64,
+    )
 }
 
 /// Mirrors one completed [`PhaseLog`] into `vela-obs`: aggregate and
@@ -66,9 +107,10 @@ pub(crate) fn observe_phase(log: &PhaseLog, expert_rows: &[(usize, usize)]) {
         if out == 0 && back == 0 && rows == 0 {
             continue;
         }
-        vela_obs::counter(&format!("runtime.worker.{w}.bytes_out")).add(out);
-        vela_obs::counter(&format!("runtime.worker.{w}.bytes_back")).add(back);
-        vela_obs::counter(&format!("runtime.worker.{w}.rows")).add(rows);
+        let c = worker_counters(w);
+        c.out.add(out);
+        c.back.add(back);
+        c.rows.add(rows);
     }
     vela_obs::expert_rows("runtime", pass_name(log.pass), log.block, expert_rows);
 }
@@ -169,10 +211,21 @@ impl BrokerClient {
         self.hub.transport()
     }
 
-    /// Broadcasts `StepBegin`, starting a new step on every worker.
+    /// Broadcasts `StepBegin`, starting a new step on every worker. The
+    /// step sent on the wire is the process-unique trace step (not the
+    /// engine-local count): the master tags its own trace stream with it
+    /// and the workers adopt it from the frame, so flow correlation keys
+    /// agree across processes and never collide across engine launches.
+    /// Under tracing the master also periodically re-probes worker clocks
+    /// in the quiescent window between steps (the handshake sample alone
+    /// would drift on long runs).
     pub fn step_begin(&mut self) -> Result<(), TransportError> {
         self.step += 1;
-        self.hub.broadcast(&Message::StepBegin { step: self.step })
+        let trace_step = vela_obs::next_trace_step();
+        if vela_obs::tracing() && self.step > 1 && self.step % 64 == 1 {
+            self.hub.probe_clocks(4);
+        }
+        self.hub.broadcast(&Message::StepBegin { step: trace_step })
     }
 
     /// Broadcasts `StepEnd` and waits for every worker's `StepDone`.
@@ -373,9 +426,12 @@ impl BrokerClient {
                 // Ring full: drain everything owed through tick − depth
                 // before shipping more.
                 let owed = owed_after[tick - depth];
-                if received < owed {
+                let stall_t0 = if received < owed {
                     STALLS.add(1);
-                }
+                    vela_obs::enabled().then(vela_obs::now_us)
+                } else {
+                    None
+                };
                 while received < owed {
                     received += drain_one(
                         &mut self.hub,
@@ -391,6 +447,9 @@ impl BrokerClient {
                     )?;
                     timer.drained(received);
                     flush_prefix(&mut pending, &mut next_emit, sink);
+                }
+                if let Some(t0) = stall_t0 {
+                    STALL_US.add(vela_obs::now_us().saturating_sub(t0));
                 }
             }
             {
@@ -464,6 +523,7 @@ fn flush_prefix(
         return;
     }
     let _g = vela_obs::span(SPAN_COMBINE);
+    let t0 = vela_obs::enabled().then(vela_obs::now_us);
     while *next_emit < pending.len() {
         match pending[*next_emit].take() {
             Some(t) => {
@@ -472,6 +532,9 @@ fn flush_prefix(
             }
             None => break,
         }
+    }
+    if let Some(t0) = t0 {
+        COMBINE_US.add(vela_obs::now_us().saturating_sub(t0));
     }
 }
 
@@ -515,6 +578,7 @@ fn send_tick(
                     .map(|&i| (batches[i].expert as u32, batches[i].xs.as_slice())),
             ));
             log.bytes_out[w] += msg.accounted_bytes();
+            vela_obs::flow(FlowPhase::Start, exchange_corr(w, block, pass, tick));
             hub.send(w, &msg)?;
             frames += 1;
         } else if cfg.coalesce {
@@ -536,6 +600,7 @@ fn send_tick(
                 items,
             };
             log.bytes_out[w] += msg.accounted_bytes();
+            vela_obs::flow(FlowPhase::Start, exchange_corr(w, block, pass, tick));
             hub.send(w, &msg)?;
             frames += 1;
         } else {
@@ -671,6 +736,10 @@ fn drain_one(
                     real_tensor(item.payload, pass)?,
                 )?;
             }
+            vela_obs::flow(
+                FlowPhase::Finish,
+                exchange_corr(w, block, pass, chunk as usize),
+            );
         }
         (_, Message::PackedResult(reply)) => {
             check_reply_block(block, reply.block, pass)?;
@@ -711,6 +780,7 @@ fn drain_one(
                 reply.data.unpack_rows(width, lo, lo + rows, &mut vals);
                 slot(index, None, Tensor::from_vec((rows, width), vals))?;
             }
+            vela_obs::flow(FlowPhase::Finish, exchange_corr(w, block, pass, chunk));
         }
         (_, other) => {
             return Err(TransportError::Protocol(format!(

@@ -446,6 +446,23 @@ pub enum Message {
     PackedDispatch(PackedGroup),
     /// Column-packed reply to a [`Message::PackedDispatch`].
     PackedResult(PackedReply),
+    /// NTP-style clock probe (master → worker): `t1` is the master's
+    /// send timestamp, echoed back so the reply is self-contained.
+    /// Clock traffic is pure observability — the transport keeps it out
+    /// of the ledger, frame counts and wire stats entirely.
+    ClockProbe {
+        /// Master clock at probe send (µs since its trace epoch).
+        t1: u64,
+    },
+    /// The worker's answer to a [`Message::ClockProbe`].
+    ClockReply {
+        /// The probe's `t1`, echoed.
+        t1: u64,
+        /// Worker clock at probe receipt.
+        t2: u64,
+        /// Worker clock at reply send.
+        t3: u64,
+    },
 }
 
 const TAG_STEP_BEGIN: u8 = 1;
@@ -463,6 +480,8 @@ const TAG_DISPATCH_GROUP: u8 = 12;
 const TAG_RESULT_GROUP: u8 = 13;
 const TAG_PACKED_DISPATCH: u8 = 14;
 const TAG_PACKED_RESULT: u8 = 15;
+const TAG_CLOCK_PROBE: u8 = 16;
+const TAG_CLOCK_REPLY: u8 = 17;
 
 const PAYLOAD_REAL: u8 = 0;
 const PAYLOAD_VIRTUAL: u8 = 1;
@@ -550,6 +569,16 @@ impl Message {
             } => encode_group(&mut buf, TAG_RESULT_GROUP, *block, *pass, *chunk, items),
             Message::PackedDispatch(group) => encode_packed_dispatch(&mut buf, group),
             Message::PackedResult(reply) => encode_packed_result(&mut buf, reply),
+            Message::ClockProbe { t1 } => {
+                buf.put_u8(TAG_CLOCK_PROBE);
+                buf.put_u64(*t1);
+            }
+            Message::ClockReply { t1, t2, t3 } => {
+                buf.put_u8(TAG_CLOCK_REPLY);
+                buf.put_u64(*t1);
+                buf.put_u64(*t2);
+                buf.put_u64(*t3);
+            }
         }
         buf.into_vec()
     }
@@ -672,6 +701,14 @@ impl Message {
             }
             TAG_PACKED_DISPATCH => Message::PackedDispatch(decode_packed_dispatch(&mut bytes)?),
             TAG_PACKED_RESULT => Message::PackedResult(decode_packed_result(&mut bytes)?),
+            TAG_CLOCK_PROBE => Message::ClockProbe {
+                t1: bytes.get_u64()?,
+            },
+            TAG_CLOCK_REPLY => Message::ClockReply {
+                t1: bytes.get_u64()?,
+                t2: bytes.get_u64()?,
+                t3: bytes.get_u64()?,
+            },
             other => {
                 return Err(WireError::BadTag {
                     what: "message",
@@ -692,6 +729,10 @@ impl Message {
             | Message::GradBatch { payload, .. }
             | Message::GradResult { payload, .. } => 9 + payload.accounted_bytes(),
             Message::StepBegin { .. } => 9,
+            // Clock probes exist only to timestamp the wire; they must
+            // not perturb ledgers (the hub additionally skips them in
+            // its frame/byte accounting entirely).
+            Message::ClockProbe { .. } | Message::ClockReply { .. } => 0,
             Message::ExpertState { data, .. } => 17 + data.len() as u64,
             Message::FetchExpert { .. } | Message::InstallDone { .. } => 9,
             Message::StepEnd | Message::StepDone | Message::Shutdown => 1,
@@ -718,6 +759,16 @@ impl Message {
                     + u64::from(reply.rows) * reply.data.row_cost(reply.width)
             }
         }
+    }
+
+    /// Whether this is clock-probe traffic, which every accounting layer
+    /// (ledger, frame counters, wire stats) must bypass so traced runs
+    /// stay byte- and frame-identical to untraced ones.
+    pub fn is_clock(&self) -> bool {
+        matches!(
+            self,
+            Message::ClockProbe { .. } | Message::ClockReply { .. }
+        )
     }
 
     /// Classifies this message and splits its encoded size into header
@@ -1116,10 +1167,32 @@ mod tests {
             Message::StepEnd,
             Message::StepDone,
             Message::Shutdown,
+            Message::ClockProbe { t1: 123_456_789 },
+            Message::ClockReply {
+                t1: 123_456_789,
+                t2: 123_400_000,
+                t3: 123_400_050,
+            },
         ];
         for msg in msgs {
             assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn clock_messages_are_unaccounted_control_frames() {
+        let probe = Message::ClockProbe { t1: 9 };
+        let reply = Message::ClockReply {
+            t1: 9,
+            t2: 1,
+            t3: 2,
+        };
+        assert!(probe.is_clock() && reply.is_clock());
+        assert!(!Message::StepEnd.is_clock());
+        assert_eq!(probe.accounted_bytes(), 0);
+        assert_eq!(reply.accounted_bytes(), 0);
+        let len = probe.encode().len();
+        assert_eq!(probe.wire_cost(len), (FrameKind::Control, len as u64, 0));
     }
 
     #[test]

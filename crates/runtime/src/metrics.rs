@@ -18,6 +18,38 @@ pub struct StepMetrics {
     pub time: TimeBreakdown,
 }
 
+/// Where a run's *measured* exchange wall time went, in µs per step —
+/// averaged from the `runtime.pipeline.*` and `runtime.worker.serve_us`
+/// counters, so it reflects real elapsed time on this host, unlike the
+/// simulated [`TimeBreakdown`] columns.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseAttribution {
+    /// Master time encoding + enqueueing dispatch frames.
+    pub serialize_us: f64,
+    /// Master time blocked draining replies (chunks in flight).
+    pub inflight_us: f64,
+    /// Slice of the inflight window spent in ring-full backpressure.
+    pub stall_us: f64,
+    /// Worker expert-serve time. Zero when workers run in separate
+    /// processes (their counters live in the worker traces, not here).
+    pub compute_us: f64,
+    /// Master time delivering completed chunk prefixes to the sink.
+    pub combine_us: f64,
+    /// Exchange wall time (dispatch through last reply).
+    pub exchange_us: f64,
+    /// Ring-full stall events per step.
+    pub stalls: f64,
+}
+
+impl PhaseAttribution {
+    /// The wire share of the inflight window: what remains after worker
+    /// compute and ring-full stalls, clamped at zero. Only meaningful
+    /// when `compute_us` was measured in this process (threaded modes).
+    pub fn wire_us(&self) -> f64 {
+        (self.inflight_us - self.stall_us - self.compute_us).max(0.0)
+    }
+}
+
 /// Aggregates of a run, used by the figure harnesses.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
@@ -46,6 +78,9 @@ pub struct RunSummary {
     /// baseline). Purely descriptive — the byte and time columns are
     /// transport-independent.
     pub transport: &'static str,
+    /// Measured per-step phase attribution, when the engine captured
+    /// counter deltas around the run (requires `VELA_TRACE`).
+    pub attribution: Option<PhaseAttribution>,
 }
 
 impl RunSummary {
@@ -82,6 +117,7 @@ impl RunSummary {
             total_bytes: steps.iter().map(|s| s.traffic.total_bytes).sum(),
             steps: steps.len(),
             transport: crate::transport::TransportConfig::from_env().label(),
+            attribution: None,
         }
     }
 
@@ -90,6 +126,13 @@ impl RunSummary {
     /// which moves no bytes through a transport at all).
     pub fn with_transport(mut self, label: &'static str) -> Self {
         self.transport = label;
+        self
+    }
+
+    /// Attaches a measured phase attribution (counter deltas captured by
+    /// the harness around the run).
+    pub fn with_attribution(mut self, attribution: PhaseAttribution) -> Self {
+        self.attribution = Some(attribution);
         self
     }
 

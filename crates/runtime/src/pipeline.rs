@@ -38,6 +38,11 @@ pub(crate) const SPAN_COMBINE: &str = "runtime.pipeline.combine";
 /// Depth-gated sends that found replies still in flight: the ring was
 /// full and the master had to block before shipping the next tick.
 pub(crate) static STALLS: LazyCounter = LazyCounter::new("runtime.pipeline.stalls");
+/// Master time blocked in ring-full drains (the [`STALLS`] bouts), µs —
+/// the backpressure slice of the inflight window.
+pub(crate) static STALL_US: LazyCounter = LazyCounter::new("runtime.pipeline.stall_us");
+/// Master time spent in streamed-combine delivery, µs.
+pub(crate) static COMBINE_US: LazyCounter = LazyCounter::new("runtime.pipeline.combine_us");
 /// Master time spent encoding + enqueueing frames, µs.
 static SERIALIZE_US: LazyCounter = LazyCounter::new("runtime.pipeline.serialize_us");
 /// Σ over ticks of (tick fully drained − tick fully sent), µs. Overlapped

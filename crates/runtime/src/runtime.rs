@@ -255,12 +255,14 @@ impl RealRuntime {
         seq: usize,
     ) -> StepMetrics {
         self.step += 1;
-        vela_obs::step_begin(self.step as u64);
-        let _span = vela_obs::span("runtime.step");
         self.ledger.take_step();
+        // `BrokerClient::step_begin` advances the process-unique trace
+        // step, so it must precede the span open for the span to be
+        // tagged with this step.
         self.broker
             .step_begin()
             .unwrap_or_else(|e| panic!("transport failed at step begin: {e}"));
+        let _span = vela_obs::span("runtime.step");
         let stats = self
             .model
             .train_step(inputs, targets, batch, seq, &mut self.broker);

@@ -601,8 +601,14 @@ impl MasterHub {
         self.transport
     }
 
-    /// Sends a message to worker `index`, recording its bytes.
+    /// Sends a message to worker `index`, recording its bytes. Clock
+    /// probes skip *all* accounting (ledger, frame counts, wire stats):
+    /// they are observability traffic, and a traced run must stay
+    /// byte- and frame-identical to an untraced one.
     pub fn send(&mut self, index: usize, msg: &Message) -> Result<(), TransportError> {
+        if msg.is_clock() {
+            return self.backend.send(index, msg.encode());
+        }
         self.ledger
             .record(self.device, self.workers[index], msg.accounted_bytes());
         self.frames_out += 1;
@@ -648,12 +654,63 @@ impl MasterHub {
         frame: &[u8],
     ) -> Result<(usize, Message), TransportError> {
         let msg = Message::decode(frame)?;
+        if msg.is_clock() {
+            return Ok((index, msg));
+        }
         self.ledger
             .record(self.workers[index], self.device, msg.accounted_bytes());
         self.frames_in += 1;
         let (kind, header, payload) = msg.wire_cost(frame.len());
         self.wire_stats.record(kind, header, payload);
         Ok((index, msg))
+    }
+
+    /// Runs `rounds` NTP-style clock probes against every worker and
+    /// records the minimum-RTT sample per worker as a trace `"k"`
+    /// record (via [`vela_obs::clock_sample`]). Must be called in a
+    /// quiescent window — between steps, when no exchange replies are
+    /// pending — because it drains the hub inline waiting for each
+    /// reply. Failures are swallowed: a lost probe only degrades trace
+    /// alignment, never the run.
+    pub fn probe_clocks(&mut self, rounds: usize) {
+        for index in 0..self.workers.len() {
+            let mut best: Option<(u64, i64)> = None;
+            'rounds: for _ in 0..rounds {
+                let t1 = vela_obs::now_us();
+                if self.send(index, &Message::ClockProbe { t1 }).is_err() {
+                    return;
+                }
+                let (t2, t3) = loop {
+                    match self.recv_timeout(Duration::from_millis(500)) {
+                        Ok((i, Message::ClockReply { t1: echoed, t2, t3 }))
+                            if i == index && echoed == t1 =>
+                        {
+                            break (t2, t3);
+                        }
+                        // A stale reply from an earlier, timed-out
+                        // round is clock traffic too — keep draining.
+                        Ok((_, msg)) if msg.is_clock() => continue,
+                        Ok((i, msg)) => {
+                            vela_obs::warn!(
+                                "clock probe drained unexpected frame from worker {i}: \
+                                 {msg:?}; aborting probes"
+                            );
+                            return;
+                        }
+                        Err(_) => break 'rounds,
+                    }
+                };
+                let t4 = vela_obs::now_us();
+                let rtt = (t4 - t1).saturating_sub(t3.saturating_sub(t2));
+                let offset = ((t2 as i64 - t1 as i64) + (t3 as i64 - t4 as i64)) / 2;
+                if best.map_or(true, |(r, _)| rtt < r) {
+                    best = Some((rtt, offset));
+                }
+            }
+            if let Some((rtt, offset)) = best {
+                vela_obs::clock_sample(index, offset, rtt);
+            }
+        }
     }
 
     /// Closes all links (best effort).

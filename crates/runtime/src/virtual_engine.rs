@@ -22,7 +22,9 @@ use vela_model::MoeSpec;
 use vela_placement::Placement;
 use vela_tensor::rng::DetRng;
 
-use crate::broker::{group_pass, Pass, PhaseLog};
+use vela_obs::FlowPhase;
+
+use crate::broker::{exchange_corr, group_pass, Pass, PhaseLog};
 use crate::launch::{launch_process_star, WorkerHandle};
 use crate::message::{GroupItem, Message, PackedData, PackedGroup, Payload};
 use crate::metrics::{backbone_flops_per_token, master_worker_time, StepMetrics};
@@ -276,13 +278,13 @@ impl VirtualEngine {
     /// Panics if the transport fails mid-step.
     pub fn step(&mut self) -> StepMetrics {
         self.step += 1;
-        vela_obs::step_begin(self.step as u64);
+        // Process-unique trace step: broadcast so worker-side correlation
+        // keys match the master's and never collide across engine runs.
+        let trace_step = vela_obs::next_trace_step();
         let _span = vela_obs::span("runtime.virtual.step");
         self.ledger.take_step();
         self.hub
-            .broadcast(&Message::StepBegin {
-                step: self.step as u64,
-            })
+            .broadcast(&Message::StepBegin { step: trace_step })
             .unwrap_or_else(|e| panic!("transport failed at step begin: {e}"));
 
         let spec = self.scale.spec;
@@ -476,6 +478,7 @@ impl VirtualEngine {
                     indices.iter().map(|&i| (sends[i].0 as u32, sends[i].1)),
                 ));
                 log.bytes_out[w] += msg.accounted_bytes();
+                vela_obs::flow(FlowPhase::Start, exchange_corr(w, block, pass, tick));
                 self.hub
                     .send(w, &msg)
                     .unwrap_or_else(|e| panic!("transport failed during dispatch: {e}"));
@@ -499,6 +502,7 @@ impl VirtualEngine {
                     items,
                 };
                 log.bytes_out[w] += msg.accounted_bytes();
+                vela_obs::flow(FlowPhase::Start, exchange_corr(w, block, pass, tick));
                 self.hub
                     .send(w, &msg)
                     .unwrap_or_else(|e| panic!("transport failed during dispatch: {e}"));
@@ -556,10 +560,10 @@ impl VirtualEngine {
             (
                 _,
                 Message::ResultGroup {
+                    block,
                     pass: rp,
                     chunk,
                     ref items,
-                    ..
                 },
             ) if rp == group_pass(pass) => {
                 let expected = self.plan.chunk_items(w, chunk as usize).len();
@@ -567,6 +571,10 @@ impl VirtualEngine {
                     items.len(),
                     expected,
                     "worker {w} echoed chunk {chunk} with wrong item count"
+                );
+                vela_obs::flow(
+                    FlowPhase::Finish,
+                    exchange_corr(w, block as usize, pass, chunk as usize),
                 );
             }
             (_, Message::PackedResult(ref reply)) if reply.pass == group_pass(pass) => {
@@ -579,6 +587,10 @@ impl VirtualEngine {
                     reply.items as usize, expected,
                     "worker {w} echoed packed chunk {} with wrong item count",
                     reply.chunk
+                );
+                vela_obs::flow(
+                    FlowPhase::Finish,
+                    exchange_corr(w, reply.block as usize, pass, reply.chunk as usize),
                 );
             }
             (_, other) => panic!("unexpected reply {other:?}"),

@@ -22,11 +22,33 @@ use vela_nn::param::Module;
 use vela_nn::swiglu::SwiGlu;
 use vela_tensor::rng::DetRng;
 
+use vela_obs::{FlowPhase, LazyCounter};
+
 use crate::message::{
     quantize_rows, GroupItem, GroupPass, Message, PackedData, PackedGroup, PackedReply, Payload,
 };
 use crate::transport::{TransportError, WorkerPort};
 use crate::wire::{ByteReader, ByteWriter, WireError};
+
+/// Wall time spent inside [`serve_group`]/[`serve_packed`] — the
+/// worker-compute term of the step-time attribution.
+static SERVE_US: LazyCounter = LazyCounter::new("runtime.worker.serve_us");
+
+/// The worker-side span wrapping one coalesced serve (+ its reply send).
+const SPAN_SERVE: &str = "runtime.worker.serve";
+
+/// The correlation key of a coalesced dispatch as seen from the worker:
+/// the step comes from the last `StepBegin` (per-link FIFO order makes
+/// that the step the frame belongs to), the worker index from the port.
+fn serve_corr(index: usize, block: u32, pass: GroupPass, chunk: u32) -> u64 {
+    vela_obs::corr::pack(
+        vela_obs::current_step(),
+        index as u64,
+        u64::from(block),
+        matches!(pass, GroupPass::Backward) as u64,
+        u64::from(chunk),
+    )
+}
 
 /// Architectural description of an expert, enough for a worker to rebuild
 /// one that migrates in (the weights arrive as checkpoint bytes).
@@ -295,7 +317,17 @@ fn handle(
     msg: Message,
 ) -> Result<Flow, TransportError> {
     match msg {
-        Message::StepBegin { .. } => shard.zero_grad(),
+        Message::StepBegin { step } => {
+            // Tag this worker's spans/flows with the master's step: every
+            // dispatch that follows on this FIFO link belongs to it.
+            vela_obs::step_begin(step);
+            shard.zero_grad();
+        }
+        Message::ClockProbe { t1 } => {
+            let t2 = vela_obs::now_us();
+            let t3 = vela_obs::now_us();
+            port.send(&Message::ClockReply { t1, t2, t3 })?;
+        }
         Message::TokenBatch {
             block,
             expert,
@@ -370,7 +402,17 @@ fn handle(
             chunk,
             items,
         } => {
+            let corr = serve_corr(port.index, block, pass, chunk);
+            let _serve = vela_obs::span(SPAN_SERVE);
+            // The flow pair bounds the compute; the reply send after the
+            // second endpoint is wire time from the master's viewpoint.
+            vela_obs::flow(FlowPhase::Step, corr);
+            let t0 = vela_obs::enabled().then(vela_obs::now_us);
             let items = serve_group(shard, block as usize, pass, items);
+            if let Some(t0) = t0 {
+                SERVE_US.add(vela_obs::now_us() - t0);
+            }
+            vela_obs::flow(FlowPhase::Step, corr);
             // Echo the chunk id so the master can slot this reply while
             // other chunks of the same block-pass are still in flight.
             port.send(&Message::ResultGroup {
@@ -381,7 +423,15 @@ fn handle(
             })?;
         }
         Message::PackedDispatch(group) => {
+            let corr = serve_corr(port.index, group.block, group.pass, group.chunk);
+            let _serve = vela_obs::span(SPAN_SERVE);
+            vela_obs::flow(FlowPhase::Step, corr);
+            let t0 = vela_obs::enabled().then(vela_obs::now_us);
             let reply = serve_packed(shard, group);
+            if let Some(t0) = t0 {
+                SERVE_US.add(vela_obs::now_us() - t0);
+            }
+            vela_obs::flow(FlowPhase::Step, corr);
             port.send(&Message::PackedResult(reply))?;
         }
         Message::StepEnd => {

@@ -41,14 +41,30 @@ VELA_TRACE=jsonl VELA_TRACE_OUT="$trace_out" \
 cargo run --release -p vela-bench --bin trace_summary -- --check "$trace_out"
 
 echo "==> multi-process smoke: master + worker processes over TCP loopback"
-tcp_trace=target/tcp-smoke-trace.jsonl
-rm -f "$tcp_trace" "$tcp_trace".worker*
-VELA_TRACE=jsonl VELA_TRACE_OUT="$tcp_trace" \
-    cargo run --release -p vela --example tcp_smoke
-cargo run --release -p vela-bench --bin trace_summary -- --check "$tcp_trace"
+cargo run --release -p vela --example tcp_smoke
+
+echo "==> distributed trace gate: traced tcp quickstart, merge, --check"
+tcp_trace=target/tcp-quickstart-trace.jsonl
+rm -f "$tcp_trace" "$tcp_trace".worker* "$tcp_trace".merged*
+VELA_TRANSPORT=tcp VELA_TRACE=jsonl VELA_TRACE_OUT="$tcp_trace" \
+    cargo run --release -p vela --example quickstart >/dev/null
+# Each unmerged per-process trace holds only its own half of every
+# dispatch->compute->result flow chain, so --check must REJECT it:
+# passing here means the flow-endpoint validation is broken.
+if cargo run --release -p vela-bench --bin trace_summary -- --check "$tcp_trace" >/dev/null 2>&1; then
+    echo "FAIL: unmerged master trace must not pass trace_summary --check" >&2
+    exit 1
+fi
 for worker_trace in "$tcp_trace".worker*; do
-    cargo run --release -p vela-bench --bin trace_summary -- --check "$worker_trace"
+    if cargo run --release -p vela-bench --bin trace_summary -- --check "$worker_trace" >/dev/null 2>&1; then
+        echo "FAIL: unmerged worker trace must not pass trace_summary --check" >&2
+        exit 1
+    fi
 done
+# The merged trace rebases worker clocks onto the master timeline and
+# completes every flow chain; --check also gates attribution coverage.
+cargo run --release -p vela-bench --bin trace_summary -- merge "$tcp_trace"
+cargo run --release -p vela-bench --bin trace_summary -- --check "$tcp_trace".merged
 
 if [ "$run_bench" = 1 ]; then
     echo "==> bench smoke: serial regression gate vs committed BENCH_kernels.json"
