@@ -26,6 +26,19 @@
 //!   accumulates inside the worker *processes*, not this one, so their
 //!   whole inflight window attributes to wire + stall.
 //!
+//! A third sweep (`replication_rows`) runs a skewed-routing workload
+//! twice — single-copy vs `VELA_REPLICATION`-style cost-model replicas —
+//! and gates that least-loaded routing over the replicas cuts the
+//! straggler index (max/mean routed rows per worker) by ≥20% at equal
+//! correctness: both arms route exactly the same total token rows
+//! (replication only changes *where* batches go, never how many there
+//! are), and the replicated arm's gradient-sync traffic is ledgered
+//! separately from the exchange. Exchange *bytes* may legitimately
+//! differ between the arms — one worker shares the master's device, and
+//! the ledger does not account intra-device traffic, so rebalancing rows
+//! on or off that worker shifts the accounted total. Routing is
+//! deterministic, so the gate is enforced on every run.
+//!
 //! A second, real-tensor sweep (`wire_rows`) runs a fine-grained broker
 //! workload — one single-row batch per expert, so per-item framing
 //! overhead is at its worst — under each wire format
@@ -347,6 +360,159 @@ fn run_wire_rows() -> Vec<WireRow> {
     ]
 }
 
+/// Workers in the replication sweep (more workers than the pipeline grid
+/// so a hot expert's worker visibly straggles).
+const REPL_WORKERS: usize = 4;
+/// Steps of the replication sweep (routing is deterministic; a few steps
+/// pin the straggler index exactly).
+const REPL_STEPS: usize = 6;
+
+/// One replication-sweep row: the same skewed-routing workload run
+/// single-copy and with cost-model replicas.
+struct ReplRow {
+    mode: &'static str,
+    max_degree: usize,
+    avg_degree: f64,
+    straggler_index: f64,
+    routed_rows: u64,
+    sync_bytes_per_step: u64,
+    exchange_bytes_per_step: u64,
+}
+
+/// Runs the skewed workload on `placement` and measures the routed-row
+/// straggler index (max/mean rows per worker) plus the ledger's split of
+/// exchange vs replica-sync bytes.
+fn run_repl_row(mode: &'static str, placement: ReplicatedPlacement) -> ReplRow {
+    let spec = spec();
+    let scale = ScaleConfig {
+        batch: 4,
+        seq: 64,
+        drift: 1e-3,
+        ..ScaleConfig::paper_default(spec)
+    };
+    let (max_degree, avg_degree) = (placement.max_degree(), placement.avg_degree());
+    let mut engine = VirtualEngine::launch_with(
+        TransportConfig::channel(),
+        Topology::paper_testbed(),
+        DeviceId(0),
+        (0..REPL_WORKERS).map(DeviceId).collect(),
+        placement,
+        skew_profile(),
+        scale,
+    );
+    let mut sync = 0u64;
+    let mut exchange = 0u64;
+    for _ in 0..REPL_STEPS {
+        let m = engine.step();
+        sync += m.traffic.sync_bytes;
+        exchange += m.traffic.total_bytes - m.traffic.sync_bytes;
+    }
+    let straggler_index = engine.straggler_index();
+    let routed_rows = engine.routed_rows();
+    engine.shutdown();
+    ReplRow {
+        mode,
+        max_degree,
+        avg_degree,
+        straggler_index,
+        routed_rows,
+        sync_bytes_per_step: sync / REPL_STEPS as u64,
+        exchange_bytes_per_step: exchange / REPL_STEPS as u64,
+    }
+}
+
+/// A heavily concentrated access profile: the routing mix that makes a
+/// single-owner placement straggle on the hot experts' worker.
+fn skew_profile() -> LocalityProfile {
+    let spec = spec();
+    LocalityProfile::synthetic("skew", spec.blocks, spec.experts, 1.5, 3)
+}
+
+/// The single-copy baseline vs the cost model's budgeted replicas, on an
+/// identical skewed workload.
+fn run_repl_rows() -> Vec<ReplRow> {
+    let spec = spec();
+    let base = Placement::new(
+        (0..spec.blocks)
+            .map(|_| (0..spec.experts).map(|e| e % REPL_WORKERS).collect())
+            .collect(),
+        REPL_WORKERS,
+    );
+    let topology = Topology::paper_testbed();
+    let scale = ScaleConfig {
+        batch: 4,
+        seq: 64,
+        drift: 1e-3,
+        ..ScaleConfig::paper_default(spec)
+    };
+    let problem = PlacementProblem::new(
+        topology,
+        DeviceId(0),
+        (0..REPL_WORKERS).map(DeviceId).collect(),
+        skew_profile().to_matrix(),
+        (scale.tokens() * spec.top_k) as f64,
+        spec.token_bytes(),
+        vec![spec.blocks * spec.experts / REPL_WORKERS + 4; REPL_WORKERS],
+    );
+    vec![
+        run_repl_row("single-copy", ReplicatedPlacement::from(&base)),
+        run_repl_row(
+            "replicated",
+            ReplicationConfig::Budget { frac: 1.0 }.apply(&base, &problem),
+        ),
+    ]
+}
+
+/// The replication gate: under the skewed routing mix, least-loaded
+/// routing over the cost model's replicas must cut the straggler index by
+/// ≥20% vs the single-copy baseline — at equal correctness, witnessed by
+/// the routed-row total: both arms dispatch exactly the same token rows
+/// (replicas change only *where* batches go, never how many there are),
+/// and only the replicated arm pays ledgered sync traffic on top.
+/// Exchange *bytes* are deliberately not compared: worker 0 shares the
+/// master's device, whose traffic the ledger leaves unaccounted, so
+/// moving rows on or off it shifts accounted bytes without moving a
+/// single extra token. Routing and the profile are deterministic, so
+/// this gate cannot flake.
+fn replication_violations(rows: &[ReplRow]) -> Vec<String> {
+    let mut bad = Vec::new();
+    let find = |mode: &str| rows.iter().find(|r| r.mode == mode);
+    let (Some(single), Some(multi)) = (find("single-copy"), find("replicated")) else {
+        return vec!["replication sweep: missing single-copy/replicated rows".into()];
+    };
+    if single.max_degree != 1 || single.sync_bytes_per_step != 0 {
+        bad.push(format!(
+            "single-copy row has degree {} and {} sync bytes/step; both must be trivial",
+            single.max_degree, single.sync_bytes_per_step
+        ));
+    }
+    if multi.max_degree < 2 || multi.sync_bytes_per_step == 0 {
+        bad.push(format!(
+            "replicated row has degree {} and {} sync bytes/step; the budget must buy \
+             real replicas and their sync must be on the ledger",
+            multi.max_degree, multi.sync_bytes_per_step
+        ));
+    }
+    if single.routed_rows != multi.routed_rows {
+        bad.push(format!(
+            "routed rows diverge: {} single-copy vs {} replicated — replication must \
+             not change what the exchange moves, only where",
+            single.routed_rows, multi.routed_rows
+        ));
+    }
+    let cut = 1.0 - multi.straggler_index / single.straggler_index;
+    if cut < 0.20 {
+        bad.push(format!(
+            "straggler index only improved {:.1}% ({:.3} -> {:.3}), need >=20% under \
+             skewed routing",
+            100.0 * cut,
+            single.straggler_index,
+            multi.straggler_index
+        ));
+    }
+    bad
+}
+
 /// The wire-format gates: on the fine-grained dispatch workload the
 /// packed layout must cut total encoded bytes/step by ≥15% vs legacy,
 /// and int8 quantization must cut the dispatch path by ≥50%. Byte
@@ -382,7 +548,7 @@ fn wire_violations(rows: &[WireRow]) -> Vec<String> {
     bad
 }
 
-fn emit_json(steps: usize, rows: &[Row], wire_rows: &[WireRow]) -> String {
+fn emit_json(steps: usize, rows: &[Row], wire_rows: &[WireRow], repl_rows: &[ReplRow]) -> String {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"steps\": {steps},");
@@ -410,6 +576,16 @@ fn emit_json(steps: usize, rows: &[Row], wire_rows: &[WireRow]) -> String {
             r.wire, r.dispatch_bytes_per_step, r.result_bytes_per_step, r.total_bytes_per_step
         );
         json.push_str(if i + 1 < wire_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"replication_rows\": [\n");
+    for (i, r) in repl_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"mode\": \"{}\", \"max_degree\": {}, \"avg_degree\": {:.3}, \"straggler_index\": {:.4}, \"routed_rows\": {}, \"sync_bytes_per_step\": {}, \"exchange_bytes_per_step\": {}}}",
+            r.mode, r.max_degree, r.avg_degree, r.straggler_index, r.routed_rows, r.sync_bytes_per_step, r.exchange_bytes_per_step
+        );
+        json.push_str(if i + 1 < repl_rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
     json
@@ -604,6 +780,7 @@ fn main() {
     let steps = if quick { 5 } else { 20 };
     let rows = run_all(steps);
     let wire_rows = run_wire_rows();
+    let repl_rows = run_repl_rows();
 
     println!("steps: {steps}, workers: {WORKERS}");
     for r in &rows {
@@ -628,9 +805,23 @@ fn main() {
             r.wire, r.dispatch_bytes_per_step, r.result_bytes_per_step, r.total_bytes_per_step
         );
     }
+    println!("replication sweep (skewed routing, {REPL_WORKERS} workers, channel):");
+    for r in &repl_rows {
+        println!(
+            "{:<12} degree max {} avg {:.2}  straggler {:>5.3}  {:>8} rows  {:>9} sync bytes/step  {:>10} exchange bytes/step",
+            r.mode,
+            r.max_degree,
+            r.avg_degree,
+            r.straggler_index,
+            r.routed_rows,
+            r.sync_bytes_per_step,
+            r.exchange_bytes_per_step
+        );
+    }
 
     let mut bad = violations(&rows);
     bad.extend(wire_violations(&wire_rows));
+    bad.extend(replication_violations(&repl_rows));
     if let Some(path) = &check {
         bad.extend(timing_violations(&rows));
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -665,7 +856,8 @@ fn main() {
             println!(
                 "transport bench check OK: >=2x frame reduction, frames match the closed \
                  form, ledger bytes identical, auto chunking never slower than the sweep's \
-                 best, packed wire >=15% and int8 dispatch >=50% smaller"
+                 best, packed wire >=15% and int8 dispatch >=50% smaller, replication cuts \
+                 the skewed-routing straggler index >=20% at equal routed rows"
             );
         } else {
             eprintln!("transport bench check FAILED:");
@@ -685,8 +877,11 @@ fn main() {
     }
 
     if !quick {
-        std::fs::write("BENCH_transport.json", emit_json(steps, &rows, &wire_rows))
-            .expect("write BENCH_transport.json");
+        std::fs::write(
+            "BENCH_transport.json",
+            emit_json(steps, &rows, &wire_rows, &repl_rows),
+        )
+        .expect("write BENCH_transport.json");
         println!("wrote BENCH_transport.json");
     }
 }

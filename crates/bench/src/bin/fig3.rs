@@ -70,6 +70,14 @@ fn main() {
         let nums: Vec<String> = f.iter().map(|p| format!("{p:.3}")).collect();
         println!("{:>7} | [{}]  {}", l + 1, heat, nums.join(" "));
     }
+    // Persist the histogram for downstream consumers (the replication
+    // cost model sizes replica degrees from exactly these shares).
+    let access_path = "results/expert_access.json";
+    match std::fs::write(access_path, tracker.to_json()) {
+        Ok(()) => println!("wrote per-(block,expert) access histogram to {access_path}"),
+        Err(e) => eprintln!("could not write {access_path}: {e}"),
+    }
+
     let peak: f64 = (0..cfg.blocks).map(|l| tracker.peak_share(l)).sum::<f64>() / cfg.blocks as f64;
     println!(
         "mean peak expert share: {:.3} (uniform would be {:.3}) -> locality {}",

@@ -109,6 +109,10 @@ fn run_check(events: &[RawEvent]) -> ExitCode {
         eprintln!("trace INVALID: {e}");
         return ExitCode::FAILURE;
     }
+    if let Err(e) = check_replica_shares(events) {
+        eprintln!("trace INVALID: {e}");
+        return ExitCode::FAILURE;
+    }
     // A merged distributed trace (multiple process lanes, flow-correlated
     // exchanges) must attribute ≥90% of the exchange wall time to the
     // serialize/inflight/combine phases; less means the pipeline
@@ -297,6 +301,70 @@ fn print_attribution(attr: &Attribution) {
     }
 }
 
+/// Replica routing data recovered from the trace's `"x"` (expert-rows)
+/// events: the broker emits one event per worker (`src: "workerN"`) per
+/// routed exchange when the placement holds ≥ 2 replicas of anything,
+/// alongside the usual per-exchange totals (`src: "runtime"`).
+#[derive(Default)]
+struct ReplicaRows {
+    /// `(pass, block, expert) -> worker -> rows` from `workerN` events.
+    per_worker: BTreeMap<(String, u64, u64), BTreeMap<u64, u64>>,
+    /// `(pass, block, expert) -> rows` from the runtime totals.
+    totals: BTreeMap<(String, u64, u64), u64>,
+}
+
+fn replica_rows(events: &[RawEvent]) -> ReplicaRows {
+    let mut out = ReplicaRows::default();
+    for ev in events {
+        if ev.ev != "x" {
+            continue;
+        }
+        let block = ev.block.unwrap_or(0);
+        match ev.src.as_deref() {
+            Some(s) if s.starts_with("worker") => {
+                let Ok(w) = s["worker".len()..].parse::<u64>() else {
+                    continue;
+                };
+                for &(expert, rows) in &ev.rows {
+                    *out.per_worker
+                        .entry((ev.name.clone(), block, expert))
+                        .or_default()
+                        .entry(w)
+                        .or_insert(0) += rows;
+                }
+            }
+            Some("runtime") | None => {
+                for &(expert, rows) in &ev.rows {
+                    *out.totals
+                        .entry((ev.name.clone(), block, expert))
+                        .or_insert(0) += rows;
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// When the trace carries per-replica routing events, every routed row
+/// must be accounted: for each `(pass, block, expert)`, the per-worker
+/// shares must sum to exactly the runtime's per-expert total.
+fn check_replica_shares(events: &[RawEvent]) -> Result<(), String> {
+    let rows = replica_rows(events);
+    for (key, workers) in &rows.per_worker {
+        let split: u64 = workers.values().sum();
+        let total = rows.totals.get(key).copied().unwrap_or(0);
+        if split != total {
+            let (pass, block, expert) = key;
+            return Err(format!(
+                "replica shares for block {block} expert {expert} ({pass}) sum to {split}, \
+                 runtime total is {total}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Any trace that records an exchange (a broker or virtual fwd/bwd span)
 /// must also record the ring pipeline's per-chunk serialize spans and the
 /// exchange-time counter — otherwise the overlap instrumentation has
@@ -381,6 +449,9 @@ fn summarize(events: &[RawEvent], top: usize) {
                 }
                 let by_block = match ev.src.as_deref() {
                     Some("model") => &mut rows_model,
+                    // Per-replica worker events feed the replication
+                    // section, not the per-expert totals.
+                    Some(s) if s.starts_with("worker") => continue,
                     _ => &mut rows_runtime,
                 };
                 let per_expert = by_block.entry(ev.block.unwrap_or(0)).or_default();
@@ -445,6 +516,47 @@ fn summarize(events: &[RawEvent], top: usize) {
                 .collect();
             println!("  block {block:>2} | {}", parts.join("  "));
         }
+    }
+
+    // Replication: when the broker routed over ≥ 2 replicas it traced a
+    // per-worker row split — report replica counts, token shares, and the
+    // resulting load balance.
+    let replicas = replica_rows(events);
+    let fwd: Vec<(&(String, u64, u64), &BTreeMap<u64, u64>)> = replicas
+        .per_worker
+        .iter()
+        .filter(|(k, _)| k.0 == "fwd")
+        .collect();
+    if !fwd.is_empty() {
+        println!("\n-- replication (per-replica token shares, forward) --");
+        let mut worker_totals: BTreeMap<u64, u64> = BTreeMap::new();
+        for (key, workers) in &fwd {
+            let (_, block, expert) = key;
+            let total: u64 = workers.values().sum();
+            for (&w, &r) in workers.iter() {
+                *worker_totals.entry(w).or_insert(0) += r;
+            }
+            if workers.len() < 2 {
+                continue; // routed but never actually split
+            }
+            let shares: Vec<String> = workers
+                .iter()
+                .map(|(w, r)| format!("w{w}:{:.1}%", 100.0 * *r as f64 / total.max(1) as f64))
+                .collect();
+            println!(
+                "  block {block:>2} expert {expert:>2} | replicas {} | {}  (rows {total})",
+                workers.len(),
+                shares.join("  ")
+            );
+        }
+        let split_pairs = fwd.iter().filter(|(_, w)| w.len() >= 2).count();
+        let max = worker_totals.values().copied().max().unwrap_or(0) as f64;
+        let mean = worker_totals.values().sum::<u64>() as f64 / worker_totals.len().max(1) as f64;
+        println!(
+            "  {} expert(s) split across replicas; load imbalance (max/mean worker rows): {:.2}",
+            split_pairs,
+            if mean > 0.0 { max / mean } else { 1.0 }
+        );
     }
 
     // Wire-format economics: encoded bytes by frame kind, split into

@@ -193,7 +193,8 @@ pub fn scale_problem(
 
 /// Runs one strategy of one setting for `steps` steps and returns per-step
 /// metrics (EP runs its own engine; everything else runs the master–worker
-/// virtual engine).
+/// virtual engine). Single-owner placements only; the figure binaries use
+/// [`run_strategy_with`] to honor `VELA_REPLICATION`.
 pub fn run_strategy(
     strategy: Strategy,
     profile: &LocalityProfile,
@@ -201,16 +202,44 @@ pub fn run_strategy(
     scale: &ScaleConfig,
     steps: usize,
 ) -> Vec<StepMetrics> {
+    run_strategy_with(
+        strategy,
+        ReplicationConfig::Off,
+        profile,
+        spec,
+        scale,
+        steps,
+    )
+    .0
+}
+
+/// [`run_strategy`] with a replication knob: the strategy's single-owner
+/// placement is expanded into a [`ReplicatedPlacement`] by `replication`
+/// (degree 1 under [`ReplicationConfig::Off`] — bitwise-identical to the
+/// plain run) before the engine launches. Returns the per-step metrics
+/// and, for engine-backed strategies, the run's
+/// [`ReplicationSummary`] (replica degrees, sync bytes/step, and the
+/// routed-row straggler index). EP simulates its own all-to-all and has
+/// no expert placement to replicate, so its summary is `None`.
+pub fn run_strategy_with(
+    strategy: Strategy,
+    replication: ReplicationConfig,
+    profile: &LocalityProfile,
+    spec: &MoeSpec,
+    scale: &ScaleConfig,
+    steps: usize,
+) -> (Vec<StepMetrics>, Option<ReplicationSummary>) {
     let topology = Topology::paper_testbed();
     match strategy {
         Strategy::ExpertParallel => {
             let devices: Vec<DeviceId> = topology.devices().iter().map(|d| d.id).collect();
             let mut ep = EpEngine::new(topology, devices, profile.clone(), scale.clone());
-            ep.run(steps)
+            (ep.run(steps), None)
         }
         _ => {
             let problem = scale_problem(profile, spec, &topology, scale);
-            let placement = strategy.place(&problem);
+            let placement = replication.apply(&strategy.place(&problem), &problem);
+            let (max_degree, avg_degree) = (placement.max_degree(), placement.avg_degree());
             let workers: Vec<DeviceId> = topology.devices().iter().map(|d| d.id).collect();
             let mut engine = VirtualEngine::launch(
                 topology,
@@ -221,8 +250,14 @@ pub fn run_strategy(
                 scale.clone(),
             );
             let metrics = engine.run(steps);
+            let summary = ReplicationSummary {
+                max_degree,
+                avg_degree,
+                sync_bytes_per_step: RunSummary::avg_sync_bytes(&metrics),
+                straggler_index: engine.straggler_index(),
+            };
             engine.shutdown();
-            metrics
+            (metrics, Some(summary))
         }
     }
 }

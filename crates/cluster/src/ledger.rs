@@ -29,6 +29,10 @@ pub struct StepTraffic {
     pub internal_bytes: u64,
     /// All bytes moved (internal + external).
     pub total_bytes: u64,
+    /// Subset of `total_bytes` spent keeping expert replicas
+    /// bit-identical (gradient fetch/install frames). Zero when
+    /// replication is off.
+    pub sync_bytes: u64,
 }
 
 impl StepTraffic {
@@ -67,6 +71,7 @@ impl TrafficLedger {
                 external_recv_per_node: vec![0; nodes],
                 internal_bytes: 0,
                 total_bytes: 0,
+                sync_bytes: 0,
             }),
         }
     }
@@ -102,6 +107,18 @@ impl TrafficLedger {
         }
     }
 
+    /// Records a replica gradient-sync transfer. The bytes land in the
+    /// same per-link totals as [`TrafficLedger::record`] — sync traffic
+    /// is real traffic — and are additionally tallied under
+    /// [`StepTraffic::sync_bytes`] so reports can break it out.
+    pub fn record_sync(&self, src: DeviceId, dst: DeviceId, bytes: u64) {
+        if src == dst || bytes == 0 {
+            return;
+        }
+        self.record(src, dst, bytes);
+        self.window.lock().unwrap().sync_bytes += bytes;
+    }
+
     /// Current window without resetting.
     pub fn peek(&self) -> StepTraffic {
         self.window.lock().unwrap().clone()
@@ -117,6 +134,7 @@ impl TrafficLedger {
                 external_recv_per_node: vec![0; nodes],
                 internal_bytes: 0,
                 total_bytes: 0,
+                sync_bytes: 0,
             },
         )
     }
@@ -187,6 +205,20 @@ mod tests {
             t.external_sent_per_node.iter().sum::<u64>(),
             t.external_recv_per_node.iter().sum::<u64>()
         );
+    }
+
+    #[test]
+    fn sync_bytes_counted_and_included_in_totals() {
+        let l = ledger();
+        l.record(DeviceId(0), DeviceId(2), 100);
+        l.record_sync(DeviceId(0), DeviceId(1), 40); // internal link
+        l.record_sync(DeviceId(2), DeviceId(0), 60); // external link
+        l.record_sync(DeviceId(3), DeviceId(3), 999); // self: free
+        let t = l.take_step();
+        assert_eq!(t.sync_bytes, 100);
+        assert_eq!(t.total_bytes, 200);
+        assert_eq!(t.internal_bytes, 40);
+        assert_eq!(l.peek().sync_bytes, 0);
     }
 
     #[test]

@@ -66,10 +66,12 @@ pub mod prelude {
     pub use vela_model::pretrain::{pretrain, PretrainConfig};
     pub use vela_model::{ExpertProvider, LocalExpertStore, ModelConfig, MoeModel, MoeSpec};
     pub use vela_nn::optim::{AdamW, AdamWConfig, Sgd};
-    pub use vela_placement::{Placement, PlacementProblem, Strategy};
+    pub use vela_placement::{
+        Placement, PlacementProblem, ReplicatedPlacement, ReplicationConfig, Strategy,
+    };
     pub use vela_runtime::{
-        EpEngine, PhaseAttribution, RealRuntime, RunSummary, ScaleConfig, StepMetrics,
-        TransportConfig, VirtualEngine,
+        EpEngine, PhaseAttribution, RealRuntime, ReplicationSummary, RunSummary, ScaleConfig,
+        StepMetrics, TransportConfig, VirtualEngine,
     };
     pub use vela_tensor::rng::DetRng;
     pub use vela_tensor::Tensor;

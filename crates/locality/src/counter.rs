@@ -92,6 +92,35 @@ impl AccessTracker {
     pub fn peak_share(&self, block: usize) -> f64 {
         self.frequencies(block).into_iter().fold(0.0f64, f64::max)
     }
+
+    /// Serializes the per-`(block, expert)` access histogram as JSON —
+    /// the `results/expert_access.json` artifact. Raw counts are exact;
+    /// frequencies are rounded to six decimals for a stable, diffable
+    /// file. This is the Fig. 3 measurement that drives the replication
+    /// cost model's degree choices (`VELA_REPLICATION`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"blocks\": {},\n", self.blocks()));
+        out.push_str(&format!("  \"experts\": {},\n", self.experts()));
+        out.push_str("  \"access\": [\n");
+        for l in 0..self.blocks() {
+            let counts: Vec<String> = self.counts[l].iter().map(u64::to_string).collect();
+            let freqs: Vec<String> = self
+                .frequencies(l)
+                .iter()
+                .map(|f| format!("{f:.6}"))
+                .collect();
+            out.push_str(&format!(
+                "    {{\"block\": {l}, \"assignments\": {}, \"counts\": [{}], \"frequencies\": [{}]}}{}\n",
+                self.assignments[l],
+                counts.join(", "),
+                freqs.join(", "),
+                if l + 1 == self.blocks() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +176,27 @@ mod tests {
         assert_eq!(m[0].len(), 4);
         assert_eq!(t.blocks(), 3);
         assert_eq!(t.experts(), 4);
+    }
+
+    #[test]
+    fn json_export_carries_counts_and_frequencies() {
+        let mut t = AccessTracker::new(2, 3);
+        t.record(&[info(vec![4, 2, 2], 4, 2), info(vec![8, 0, 0], 4, 2)]);
+        let json = t.to_json();
+        assert!(json.contains("\"blocks\": 2"));
+        assert!(json.contains("\"experts\": 3"));
+        assert!(json.contains("\"block\": 0, \"assignments\": 8, \"counts\": [4, 2, 2]"));
+        assert!(json.contains("\"frequencies\": [0.500000, 0.250000, 0.250000]"));
+        assert!(json.contains("\"counts\": [8, 0, 0]"));
+        // Balanced braces/brackets — a cheap structural sanity check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // The last array element must not have a trailing comma.
+        assert!(!json.contains("},\n  ]"));
     }
 
     #[test]

@@ -18,6 +18,10 @@ static MOE_DROPPED: LazyCounter = LazyCounter::new("model.moe.dropped");
 static MOE_ACTIVE: LazyCounter = LazyCounter::new("model.moe.active_experts");
 /// Distribution of per-expert group sizes (rows per dispatch group).
 static MOE_GROUP_ROWS: LazyHistogram = LazyHistogram::new("model.moe.group_rows");
+/// Assignments that landed on an expert with ≥ 2 live replicas (only
+/// incremented when the provider actually replicates, so single-owner
+/// traces carry no trace of this counter).
+static MOE_REPLICATED_ROWS: LazyCounter = LazyCounter::new("model.moe.replicated_rows");
 
 use crate::provider::{ExpertBatch, ExpertProvider};
 use crate::router::Router;
@@ -225,6 +229,16 @@ impl MoeBlock {
             MOE_ACTIVE.add(ngroups as u64);
             for gi in 0..ngroups {
                 MOE_GROUP_ROWS.record((state.offsets[gi + 1] - state.offsets[gi]) as u64);
+            }
+            let replicated: u64 = state
+                .experts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &e)| provider.replica_degree(self.block, e) > 1)
+                .map(|(gi, _)| (state.offsets[gi + 1] - state.offsets[gi]) as u64)
+                .sum();
+            if replicated > 0 {
+                MOE_REPLICATED_ROWS.add(replicated);
             }
             if vela_obs::tracing() {
                 let rows: Vec<(usize, usize)> = state

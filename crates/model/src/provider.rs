@@ -37,6 +37,15 @@ pub struct ExpertBatch {
 /// [`forward_block`]: ExpertProvider::forward_block
 /// [`backward_block`]: ExpertProvider::backward_block
 pub trait ExpertProvider {
+    /// Live replica count serving `(block, expert)`. Providers with
+    /// single-owner experts — the default — report 1; the distributed
+    /// broker overrides this with its placement's replica-set size so the
+    /// backbone can observe which token groups ride a replicated expert.
+    /// Purely informational: dispatch semantics never depend on it.
+    fn replica_degree(&self, _block: usize, _expert: usize) -> usize {
+        1
+    }
+
     /// Runs each batch through its expert; returns outputs in input order.
     fn forward_block(&mut self, block: usize, batches: &[ExpertBatch]) -> Vec<Tensor>;
 
@@ -370,6 +379,14 @@ mod tests {
         assert_eq!(s.experts_per_block(), cfg.experts);
         assert_eq!(s.present_count(), cfg.blocks * cfg.experts);
         assert!(s.contains(0, 0));
+    }
+
+    #[test]
+    fn local_store_reports_single_owner_experts() {
+        let s = store();
+        for e in 0..s.experts_per_block() {
+            assert_eq!(s.replica_degree(0, e), 1);
+        }
     }
 
     #[test]

@@ -23,8 +23,10 @@
 pub mod exact;
 pub mod lp;
 pub mod problem;
+pub mod replicated;
 pub mod strategy;
 
 pub use lp::simplex::{LpBuilder, LpSolution, LpStatus};
 pub use problem::{Placement, PlacementProblem};
+pub use replicated::{replicate_by_cost, ReplicatedPlacement, ReplicationConfig};
 pub use strategy::Strategy;

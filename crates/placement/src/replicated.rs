@@ -1,0 +1,516 @@
+//! Expert→worker mapping as a *relation*: cost-aware replication.
+//!
+//! The paper's LP (§IV-B) assigns each expert to exactly one device, so a
+//! hot expert makes its worker the straggler. Following CRAFT's cost-aware
+//! replication and MoETuner's balanced routing, [`ReplicatedPlacement`]
+//! generalises [`Placement`] to a per-`(block, expert)` *replica set*: the
+//! first entry is the **primary** (the seed owner — checkpoints, migration
+//! and bootstrap still root there) and any further entries are extra live
+//! copies the runtime may route token batches to.
+//!
+//! Degree 1 everywhere is the identity refactor: a `ReplicatedPlacement`
+//! built [`From`] a `Placement` routes, accounts and trains bit-for-bit
+//! identically to the single-owner code it replaced.
+//!
+//! [`replicate_by_cost`] chooses degrees from the measured access
+//! histogram (the Fig.-3 `P` matrix carried by [`PlacementProblem`]) under
+//! a per-worker memory budget: the hottest experts — the ones whose token
+//! load dominates `max_n E[T_{n,l}]` — gain replicas on the least-loaded
+//! eligible workers until the budget runs out or no expert is hotter than
+//! uniform. Every choice breaks ties on the lowest index so the result is
+//! deterministic for a given problem.
+
+use crate::problem::{Placement, PlacementProblem};
+
+/// A per-`(block, expert)` replica set over `workers` workers.
+///
+/// Invariants (checked by [`ReplicatedPlacement::new`]):
+/// * every replica list is non-empty and every worker index is in range;
+/// * no worker appears twice in one list;
+/// * entry 0 is the primary; the remaining entries are sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicatedPlacement {
+    /// `replicas[block][expert]` = primary-first replica list.
+    replicas: Vec<Vec<Vec<usize>>>,
+    workers: usize,
+}
+
+impl ReplicatedPlacement {
+    /// Builds a replicated placement from explicit replica lists.
+    ///
+    /// # Panics
+    /// Panics if any list is empty, any worker index is out of range, a
+    /// worker is listed twice for one `(block, expert)`, or the non-primary
+    /// tail is not sorted ascending.
+    pub fn new(replicas: Vec<Vec<Vec<usize>>>, workers: usize) -> Self {
+        for (l, row) in replicas.iter().enumerate() {
+            for (e, reps) in row.iter().enumerate() {
+                assert!(!reps.is_empty(), "empty replica set for ({l}, {e})");
+                for &w in reps {
+                    assert!(w < workers, "worker index {w} out of {workers}");
+                }
+                let tail = &reps[1..];
+                assert!(
+                    tail.windows(2).all(|p| p[0] < p[1]),
+                    "replica tail for ({l}, {e}) must be sorted ascending"
+                );
+                assert!(
+                    !tail.contains(&reps[0]),
+                    "duplicate replica {} for ({l}, {e})",
+                    reps[0]
+                );
+            }
+        }
+        Self { replicas, workers }
+    }
+
+    /// Number of MoE blocks.
+    pub fn blocks(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Number of experts per block.
+    pub fn experts(&self) -> usize {
+        self.replicas.first().map_or(0, Vec::len)
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The replica set for `(block, expert)`, primary first.
+    pub fn replicas_of(&self, block: usize, expert: usize) -> &[usize] {
+        &self.replicas[block][expert]
+    }
+
+    /// The primary (seed-owner) worker — the single owner of the degree-1
+    /// world; checkpoints and migration root here.
+    pub fn primary(&self, block: usize, expert: usize) -> usize {
+        self.replicas[block][expert][0]
+    }
+
+    /// Replica count for `(block, expert)`.
+    pub fn degree(&self, block: usize, expert: usize) -> usize {
+        self.replicas[block][expert].len()
+    }
+
+    /// The largest replica count across all `(block, expert)` pairs.
+    pub fn max_degree(&self) -> usize {
+        self.replicas
+            .iter()
+            .flat_map(|row| row.iter().map(Vec::len))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean replica count across all `(block, expert)` pairs.
+    pub fn avg_degree(&self) -> f64 {
+        let slots = self.blocks() * self.experts();
+        if slots == 0 {
+            return 0.0;
+        }
+        self.total_replicas() as f64 / slots as f64
+    }
+
+    /// Total replica slots across all workers.
+    pub fn total_replicas(&self) -> usize {
+        self.replicas
+            .iter()
+            .flat_map(|row| row.iter().map(Vec::len))
+            .sum()
+    }
+
+    /// `true` iff every `(block, expert)` has exactly one replica — the
+    /// configuration that must be bitwise-identical to [`Placement`].
+    pub fn is_degree_one(&self) -> bool {
+        self.replicas
+            .iter()
+            .all(|row| row.iter().all(|r| r.len() == 1))
+    }
+
+    /// All `(block, expert)` pairs with more than one replica, ascending.
+    pub fn replicated_pairs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (l, row) in self.replicas.iter().enumerate() {
+            for (e, reps) in row.iter().enumerate() {
+                if reps.len() > 1 {
+                    out.push((l, e));
+                }
+            }
+        }
+        out
+    }
+
+    /// Replica slots hosted per worker (memory-proxy load).
+    pub fn load(&self) -> Vec<usize> {
+        let mut load = vec![0usize; self.workers];
+        for row in &self.replicas {
+            for reps in row {
+                for &w in reps {
+                    load[w] += 1;
+                }
+            }
+        }
+        load
+    }
+
+    /// `true` iff each worker hosts at most its capacity in replica slots.
+    pub fn respects_capacities(&self, capacities: &[usize]) -> bool {
+        self.load()
+            .iter()
+            .zip(capacities)
+            .all(|(&used, &cap)| used <= cap)
+    }
+
+    /// Adds `worker` as a replica of `(block, expert)`; no-op if already
+    /// one.
+    ///
+    /// # Panics
+    /// Panics if `worker` is out of range.
+    pub fn add_replica(&mut self, block: usize, expert: usize, worker: usize) {
+        assert!(
+            worker < self.workers,
+            "worker index {worker} out of {}",
+            self.workers
+        );
+        let reps = &mut self.replicas[block][expert];
+        if reps.contains(&worker) {
+            return;
+        }
+        reps.push(worker);
+        reps[1..].sort_unstable();
+    }
+
+    /// Migration bookkeeping: the old primary leaves the replica set (its
+    /// copy is evicted by the migration fetch) and `to` becomes primary
+    /// (deduped if it was already a tail replica).
+    pub fn set_primary(&mut self, block: usize, expert: usize, to: usize) {
+        assert!(
+            to < self.workers,
+            "worker index {to} out of {}",
+            self.workers
+        );
+        let reps = &mut self.replicas[block][expert];
+        reps.remove(0);
+        reps.retain(|&w| w != to);
+        reps.insert(0, to);
+        reps[1..].sort_unstable();
+    }
+
+    /// The degree-1 projection: each expert mapped to its primary. This is
+    /// what checkpointing, migration diffs and capacity baselines operate
+    /// on.
+    pub fn primaries(&self) -> Placement {
+        let assign = self
+            .replicas
+            .iter()
+            .map(|row| row.iter().map(|reps| reps[0]).collect())
+            .collect();
+        Placement::new(assign, self.workers)
+    }
+}
+
+impl From<Placement> for ReplicatedPlacement {
+    fn from(p: Placement) -> Self {
+        Self::from(&p)
+    }
+}
+
+impl From<&Placement> for ReplicatedPlacement {
+    fn from(p: &Placement) -> Self {
+        let replicas = (0..p.blocks())
+            .map(|l| (0..p.experts()).map(|e| vec![p.worker_of(l, e)]).collect())
+            .collect();
+        Self {
+            replicas,
+            workers: p.workers(),
+        }
+    }
+}
+
+/// The `VELA_REPLICATION` knob: `off` (default) keeps the single-owner
+/// mapping; `budget:<frac>` lets replication grow each worker's expert
+/// slots by up to `frac` of its capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReplicationConfig {
+    /// Degree 1 everywhere — bitwise-identical to the pre-replication code.
+    Off,
+    /// Cost-aware replication with at most `floor(frac · capacity)` extra
+    /// replica slots per worker.
+    Budget {
+        /// Fraction of each worker's capacity available for replicas.
+        frac: f64,
+    },
+}
+
+impl ReplicationConfig {
+    /// Reads `VELA_REPLICATION` (`off` | `budget:<frac>`; unset = `off`).
+    ///
+    /// # Panics
+    /// Panics on an unrecognised value — a silently ignored knob would
+    /// invalidate a benchmark run.
+    pub fn from_env() -> Self {
+        match std::env::var("VELA_REPLICATION") {
+            Ok(v) => Self::parse(&v),
+            Err(_) => Self::Off,
+        }
+    }
+
+    /// Parses a `VELA_REPLICATION` value.
+    ///
+    /// # Panics
+    /// Panics on anything other than `off` or `budget:<frac>` with
+    /// `frac ∈ (0, 8]`.
+    pub fn parse(value: &str) -> Self {
+        let v = value.trim();
+        if v.is_empty() || v.eq_ignore_ascii_case("off") {
+            return Self::Off;
+        }
+        if let Some(frac) = v.strip_prefix("budget:") {
+            let frac: f64 = frac.parse().unwrap_or_else(|_| {
+                panic!("VELA_REPLICATION=budget:<frac> needs a number, got {v:?}")
+            });
+            assert!(
+                frac > 0.0 && frac <= 8.0,
+                "VELA_REPLICATION budget fraction must be in (0, 8], got {frac}"
+            );
+            return Self::Budget { frac };
+        }
+        panic!("VELA_REPLICATION must be `off` or `budget:<frac>`, got {v:?}");
+    }
+
+    /// `true` for [`ReplicationConfig::Off`].
+    pub fn is_off(&self) -> bool {
+        matches!(self, Self::Off)
+    }
+
+    /// Label for summaries (`off` or `budget:<frac>`).
+    pub fn label(&self) -> String {
+        match self {
+            Self::Off => "off".to_string(),
+            Self::Budget { frac } => format!("budget:{frac}"),
+        }
+    }
+
+    /// Applies the knob to a base placement: [`ReplicationConfig::Off`]
+    /// yields the degree-1 identity; `budget:<frac>` runs
+    /// [`replicate_by_cost`].
+    pub fn apply(&self, base: &Placement, problem: &PlacementProblem) -> ReplicatedPlacement {
+        match self {
+            Self::Off => ReplicatedPlacement::from(base),
+            Self::Budget { frac } => replicate_by_cost(base, problem, *frac),
+        }
+    }
+}
+
+/// Chooses replica degrees from the access histogram under a per-worker
+/// memory budget.
+///
+/// Greedy, deterministic: repeatedly pick the `(block, expert)` with the
+/// largest *residual* per-replica token share `P_{l,e} / degree` (ties →
+/// lowest `(block, expert)`), and add one replica on the eligible worker —
+/// not already a replica, budget left — with the smallest
+/// `(replica load, comm coeff, index)`. Stops when the per-worker budgets
+/// (`floor(frac · capacity)` extra slots each) are exhausted or no
+/// remaining candidate's residual share exceeds the uniform share `1/E`
+/// (replicating a colder-than-uniform expert cannot reduce the straggler
+/// term).
+pub fn replicate_by_cost(
+    base: &Placement,
+    problem: &PlacementProblem,
+    budget_frac: f64,
+) -> ReplicatedPlacement {
+    assert!(budget_frac > 0.0, "budget fraction must be positive");
+    let mut placement = ReplicatedPlacement::from(base);
+    let (blocks, experts, workers) = (base.blocks(), base.experts(), base.workers());
+    assert_eq!(
+        problem.probs().len(),
+        blocks,
+        "problem/placement block mismatch"
+    );
+    let caps = problem.capacities();
+    let mut extra_left: Vec<usize> = caps
+        .iter()
+        .map(|&c| (budget_frac * c as f64).floor() as usize)
+        .collect();
+    let mut load = placement.load();
+    let uniform = 1.0 / experts.max(1) as f64;
+
+    loop {
+        // Hottest residual share first; deterministic lowest-index ties.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for l in 0..blocks {
+            for e in 0..experts {
+                let share = problem.probs()[l][e] / placement.degree(l, e) as f64;
+                if share <= uniform {
+                    continue;
+                }
+                let beats = match best {
+                    None => true,
+                    Some((s, bl, be)) => share > s || (share == s && (l, e) < (bl, be)),
+                };
+                if beats {
+                    best = Some((share, l, e));
+                }
+            }
+        }
+        let Some((_, l, e)) = best else { break };
+        // Cheapest eligible host: least replica load, then cheapest link,
+        // then lowest index.
+        let current = placement.replicas_of(l, e);
+        let target = (0..workers)
+            .filter(|&w| extra_left[w] > 0 && !current.contains(&w))
+            .min_by(|&a, &b| {
+                let ka = (load[a], problem.coeff(a, l, e), a);
+                let kb = (load[b], problem.coeff(b, l, e), b);
+                ka.partial_cmp(&kb).expect("no NaN coefficients")
+            });
+        let Some(w) = target else {
+            // No host has budget for this expert; try the next-hottest by
+            // pretending this one is saturated. Simplest deterministic way:
+            // stop replicating entirely — remaining candidates are colder
+            // and would land on the same exhausted workers.
+            break;
+        };
+        placement.add_replica(l, e, w);
+        extra_left[w] -= 1;
+        load[w] += 1;
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vela_cluster::{DeviceId, Topology};
+
+    fn base_and_problem() -> (Placement, PlacementProblem) {
+        // 2 blocks × 4 experts over 2 workers; expert 0 is hot.
+        let probs: Vec<Vec<f64>> = (0..2).map(|_| vec![0.7, 0.1, 0.1, 0.1]).collect();
+        let problem = PlacementProblem::new(
+            Topology::builder(1, 3).build(),
+            DeviceId(0),
+            vec![DeviceId(1), DeviceId(2)],
+            probs,
+            768.0,
+            8192,
+            vec![8, 8],
+        );
+        let assign = vec![vec![0, 1, 0, 1], vec![1, 0, 1, 0]];
+        (Placement::new(assign, 2), problem)
+    }
+
+    #[test]
+    fn degree_one_roundtrips_the_placement() {
+        let (base, _) = base_and_problem();
+        let rep = ReplicatedPlacement::from(&base);
+        assert!(rep.is_degree_one());
+        assert_eq!(rep.max_degree(), 1);
+        assert_eq!(rep.primaries(), base);
+        for l in 0..base.blocks() {
+            for e in 0..base.experts() {
+                assert_eq!(rep.primary(l, e), base.worker_of(l, e));
+                assert_eq!(rep.replicas_of(l, e), &[base.worker_of(l, e)]);
+            }
+        }
+        assert_eq!(rep.load(), base.load());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty replica set")]
+    fn empty_replica_set_is_rejected() {
+        ReplicatedPlacement::new(vec![vec![vec![]]], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_worker_is_rejected() {
+        ReplicatedPlacement::new(vec![vec![vec![2]]], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate replica")]
+    fn duplicate_replica_is_rejected() {
+        ReplicatedPlacement::new(vec![vec![vec![1, 1]]], 2);
+    }
+
+    #[test]
+    fn add_replica_keeps_primary_first_and_tail_sorted() {
+        let (base, _) = base_and_problem();
+        let mut rep = ReplicatedPlacement::from(&base);
+        rep.add_replica(0, 2, 1);
+        assert_eq!(rep.replicas_of(0, 2), &[0, 1]);
+        rep.add_replica(0, 2, 1); // no-op
+        assert_eq!(rep.degree(0, 2), 2);
+        assert!(!rep.is_degree_one());
+        assert_eq!(rep.replicated_pairs(), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn set_primary_evicts_the_old_primary() {
+        let (base, _) = base_and_problem();
+        let mut rep = ReplicatedPlacement::from(&base);
+        // Degree 1: plain migration, [0] → [1].
+        rep.set_primary(0, 2, 1);
+        assert_eq!(rep.replicas_of(0, 2), &[1]);
+        // Degree 2 onto an existing tail replica: [0, 1] → [1].
+        rep.add_replica(0, 0, 1);
+        rep.set_primary(0, 0, 1);
+        assert_eq!(rep.replicas_of(0, 0), &[1]);
+    }
+
+    #[test]
+    fn replicate_by_cost_targets_hot_experts_within_budget() {
+        let (base, problem) = base_and_problem();
+        let rep = replicate_by_cost(&base, &problem, 0.25);
+        // floor(0.25 · 8) = 2 extra slots per worker.
+        let extra = rep.total_replicas() - base.blocks() * base.experts();
+        assert!(extra >= 1, "budget should admit at least one replica");
+        assert!(extra <= 4, "budget of 2+2 extra slots exceeded: {extra}");
+        // The hot expert (P = 0.7 ≫ uniform 0.25) replicates first.
+        assert!(rep.degree(0, 0) > 1, "hot expert not replicated");
+        // Cold experts (P = 0.1 < uniform) never replicate.
+        for l in 0..2 {
+            for e in 1..4 {
+                assert_eq!(rep.degree(l, e), 1, "cold expert ({l}, {e}) replicated");
+            }
+        }
+        let caps: Vec<usize> = problem
+            .capacities()
+            .iter()
+            .map(|&c| c + (0.25 * c as f64).floor() as usize)
+            .collect();
+        assert!(rep.respects_capacities(&caps));
+    }
+
+    #[test]
+    fn replicate_by_cost_is_deterministic() {
+        let (base, problem) = base_and_problem();
+        let a = replicate_by_cost(&base, &problem, 0.5);
+        let b = replicate_by_cost(&base, &problem, 0.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replication_config_parses_and_applies() {
+        assert!(ReplicationConfig::parse("off").is_off());
+        assert!(ReplicationConfig::parse("").is_off());
+        assert_eq!(
+            ReplicationConfig::parse("budget:0.5"),
+            ReplicationConfig::Budget { frac: 0.5 }
+        );
+        assert_eq!(ReplicationConfig::parse("budget:0.5").label(), "budget:0.5");
+        let (base, problem) = base_and_problem();
+        let off = ReplicationConfig::Off.apply(&base, &problem);
+        assert!(off.is_degree_one());
+        let on = ReplicationConfig::Budget { frac: 0.5 }.apply(&base, &problem);
+        assert!(on.max_degree() > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "VELA_REPLICATION")]
+    fn replication_config_rejects_garbage() {
+        ReplicationConfig::parse("always");
+    }
+}

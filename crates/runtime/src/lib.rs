@@ -42,7 +42,9 @@ pub use message::{
     FrameKind, GroupItem, GroupPass, Message, PackedData, PackedGroup, PackedReply, Payload,
     RowSpan,
 };
-pub use metrics::{PhaseAttribution, RunSummary, StepMetrics};
+pub use metrics::{
+    routing_straggler_index, PhaseAttribution, ReplicationSummary, RunSummary, StepMetrics,
+};
 pub use runtime::RealRuntime;
 pub use transport::{
     ExchangeConfig, Microbatch, Quant, TransportConfig, TransportError, TransportMode, WireFormat,

@@ -463,6 +463,39 @@ pub enum Message {
         /// Worker clock at reply send.
         t3: u64,
     },
+    /// Asks the serving replica to serialize one expert's accumulated
+    /// trainable-parameter gradients (master → worker, replica sync after
+    /// backward). `grad_bytes` is the real gradient size, carried so an
+    /// echo (virtual) worker can size its reply honestly.
+    FetchGrads {
+        /// MoE block index.
+        block: u32,
+        /// Expert index within the block.
+        expert: u32,
+        /// Byte size of the expert's flattened trainable gradients.
+        grad_bytes: u32,
+    },
+    /// Flattened trainable-parameter gradients in transit (serving
+    /// replica → master, then master → each peer replica, which installs
+    /// them before its optimizer step). Exactly one replica serves an
+    /// expert per step, so sync is copy-and-install — no summation — and
+    /// replicas stay bitwise identical.
+    GradState {
+        /// MoE block index.
+        block: u32,
+        /// Expert index within the block.
+        expert: u32,
+        /// `1 × N` row of gradients in parameter-visit order (virtual in
+        /// the simulated engine).
+        payload: Payload,
+    },
+    /// Worker acknowledgement that replica gradients were installed.
+    GradSyncDone {
+        /// MoE block index.
+        block: u32,
+        /// Expert index within the block.
+        expert: u32,
+    },
 }
 
 const TAG_STEP_BEGIN: u8 = 1;
@@ -482,6 +515,9 @@ const TAG_PACKED_DISPATCH: u8 = 14;
 const TAG_PACKED_RESULT: u8 = 15;
 const TAG_CLOCK_PROBE: u8 = 16;
 const TAG_CLOCK_REPLY: u8 = 17;
+const TAG_FETCH_GRADS: u8 = 18;
+const TAG_GRAD_STATE: u8 = 19;
+const TAG_GRAD_SYNC_DONE: u8 = 20;
 
 const PAYLOAD_REAL: u8 = 0;
 const PAYLOAD_VIRTUAL: u8 = 1;
@@ -578,6 +614,26 @@ impl Message {
                 buf.put_u64(*t1);
                 buf.put_u64(*t2);
                 buf.put_u64(*t3);
+            }
+            Message::FetchGrads {
+                block,
+                expert,
+                grad_bytes,
+            } => {
+                buf.put_u8(TAG_FETCH_GRADS);
+                buf.put_u32(*block);
+                buf.put_u32(*expert);
+                buf.put_u32(*grad_bytes);
+            }
+            Message::GradState {
+                block,
+                expert,
+                payload,
+            } => encode_payload_msg(&mut buf, TAG_GRAD_STATE, *block, *expert, payload),
+            Message::GradSyncDone { block, expert } => {
+                buf.put_u8(TAG_GRAD_SYNC_DONE);
+                buf.put_u32(*block);
+                buf.put_u32(*expert);
             }
         }
         buf.into_vec()
@@ -709,6 +765,25 @@ impl Message {
                 t2: bytes.get_u64()?,
                 t3: bytes.get_u64()?,
             },
+            TAG_FETCH_GRADS => Message::FetchGrads {
+                block: bytes.get_u32()?,
+                expert: bytes.get_u32()?,
+                grad_bytes: bytes.get_u32()?,
+            },
+            TAG_GRAD_STATE => {
+                let block = bytes.get_u32()?;
+                let expert = bytes.get_u32()?;
+                let payload = decode_payload(&mut bytes)?;
+                Message::GradState {
+                    block,
+                    expert,
+                    payload,
+                }
+            }
+            TAG_GRAD_SYNC_DONE => Message::GradSyncDone {
+                block: bytes.get_u32()?,
+                expert: bytes.get_u32()?,
+            },
             other => {
                 return Err(WireError::BadTag {
                     what: "message",
@@ -735,6 +810,12 @@ impl Message {
             Message::ClockProbe { .. } | Message::ClockReply { .. } => 0,
             Message::ExpertState { data, .. } => 17 + data.len() as u64,
             Message::FetchExpert { .. } | Message::InstallDone { .. } => 9,
+            // Replica gradient sync is real traffic the ledger must see:
+            // the state frame accounts like any payload frame, and the
+            // request/ack frames account their routing headers.
+            Message::GradState { payload, .. } => 9 + payload.accounted_bytes(),
+            Message::FetchGrads { .. } => 13,
+            Message::GradSyncDone { .. } => 9,
             Message::StepEnd | Message::StepDone | Message::Shutdown => 1,
             // A group accounts exactly what its items would have cost as
             // individual per-batch frames (9-byte routing header each), so
@@ -768,6 +849,16 @@ impl Message {
         matches!(
             self,
             Message::ClockProbe { .. } | Message::ClockReply { .. }
+        )
+    }
+
+    /// Whether this frame belongs to the replica gradient-sync protocol,
+    /// so the ledger can attribute its bytes to `sync_bytes` as well as
+    /// the ordinary per-link totals.
+    pub fn is_grad_sync(&self) -> bool {
+        matches!(
+            self,
+            Message::FetchGrads { .. } | Message::GradState { .. } | Message::GradSyncDone { .. }
         )
     }
 
@@ -805,6 +896,10 @@ impl Message {
             Message::PackedDispatch(group) => (FrameKind::Dispatch, packed_bytes(&group.data)),
             Message::PackedResult(reply) => (FrameKind::Result, packed_bytes(&reply.data)),
             Message::ExpertState { data, .. } => (FrameKind::ExpertState, data.len() as u64),
+            // Replica gradient state rides the expert-state lane of the
+            // wire counters: like migration, it moves per-parameter
+            // tensors, not token batches.
+            Message::GradState { payload, .. } => (FrameKind::ExpertState, real_bytes(payload)),
             _ => (FrameKind::Control, 0),
         };
         (kind, (encoded_len as u64).saturating_sub(payload), payload)
@@ -1251,6 +1346,54 @@ mod tests {
         for msg in msgs {
             assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
         }
+    }
+
+    #[test]
+    fn grad_sync_messages_roundtrip_and_account() {
+        let mut rng = DetRng::new(3);
+        let t = Tensor::uniform((1, 12), -1.0, 1.0, &mut rng);
+        let msgs = vec![
+            Message::FetchGrads {
+                block: 2,
+                expert: 4,
+                grad_bytes: 48,
+            },
+            Message::GradState {
+                block: 2,
+                expert: 4,
+                payload: Payload::from_tensor(&t),
+            },
+            Message::GradState {
+                block: 2,
+                expert: 4,
+                payload: Payload::Virtual {
+                    rows: 1,
+                    bytes_per_token: 48,
+                },
+            },
+            Message::GradSyncDone {
+                block: 2,
+                expert: 4,
+            },
+        ];
+        for msg in &msgs {
+            assert_eq!(&Message::decode(&msg.encode()).unwrap(), msg);
+            assert!(msg.is_grad_sync());
+            assert!(!msg.is_clock());
+        }
+        assert!(!Message::StepEnd.is_grad_sync());
+        // Request/ack account their headers; state frames account like any
+        // payload frame (9-byte routing header + payload bytes).
+        assert_eq!(msgs[0].accounted_bytes(), 13);
+        assert_eq!(msgs[1].accounted_bytes(), 9 + 48);
+        assert_eq!(msgs[2].accounted_bytes(), 9 + 48);
+        assert_eq!(msgs[3].accounted_bytes(), 9);
+        // Gradient state rides the expert-state wire lane.
+        let len = msgs[1].encode().len();
+        let (kind, header, payload) = msgs[1].wire_cost(len);
+        assert_eq!(kind, FrameKind::ExpertState);
+        assert_eq!(payload, 48);
+        assert_eq!(header + payload, len as u64);
     }
 
     #[test]

@@ -50,6 +50,45 @@ impl PhaseAttribution {
     }
 }
 
+/// Replication facts attached to a run when `VELA_REPLICATION` places
+/// extra expert copies — the fig6 `replication` column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationSummary {
+    /// Maximum replica count over all (block, expert) pairs.
+    pub max_degree: usize,
+    /// Mean replica count over all (block, expert) pairs.
+    pub avg_degree: f64,
+    /// Mean replica gradient-sync bytes per step (subset of the total
+    /// byte columns, not an addition to them).
+    pub sync_bytes_per_step: f64,
+    /// Max/mean routed token rows per worker over the run; 1.0 is a
+    /// perfectly balanced fleet, higher means a straggler.
+    pub straggler_index: f64,
+}
+
+/// Max/mean per-worker routed rows across one or more steps' phase
+/// logs — the routing-skew straggler index replication is meant to
+/// flatten. Returns 1.0 (balanced) for empty input or an idle fleet.
+pub fn routing_straggler_index(logs: &[PhaseLog]) -> f64 {
+    let workers = logs.first().map_or(0, |l| l.rows.len());
+    if workers == 0 {
+        return 1.0;
+    }
+    let mut totals = vec![0u64; workers];
+    for log in logs {
+        for (t, &r) in totals.iter_mut().zip(&log.rows) {
+            *t += r;
+        }
+    }
+    let max = *totals.iter().max().expect("workers > 0") as f64;
+    let mean = totals.iter().sum::<u64>() as f64 / workers as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
 /// Aggregates of a run, used by the figure harnesses.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunSummary {
@@ -81,6 +120,8 @@ pub struct RunSummary {
     /// Measured per-step phase attribution, when the engine captured
     /// counter deltas around the run (requires `VELA_TRACE`).
     pub attribution: Option<PhaseAttribution>,
+    /// Replication facts, when the run placed extra expert copies.
+    pub replication: Option<ReplicationSummary>,
 }
 
 impl RunSummary {
@@ -118,7 +159,17 @@ impl RunSummary {
             steps: steps.len(),
             transport: crate::transport::TransportConfig::from_env().label(),
             attribution: None,
+            replication: None,
         }
+    }
+
+    /// Mean `sync_bytes` per step — replica gradient-sync traffic as the
+    /// ledger recorded it.
+    pub fn avg_sync_bytes(steps: &[StepMetrics]) -> f64 {
+        if steps.is_empty() {
+            return 0.0;
+        }
+        steps.iter().map(|s| s.traffic.sync_bytes).sum::<u64>() as f64 / steps.len() as f64
     }
 
     /// Replaces the transport label — for engines that know their backend
@@ -133,6 +184,12 @@ impl RunSummary {
     /// the harness around the run).
     pub fn with_attribution(mut self, attribution: PhaseAttribution) -> Self {
         self.attribution = Some(attribution);
+        self
+    }
+
+    /// Attaches the replication column.
+    pub fn with_replication(mut self, replication: ReplicationSummary) -> Self {
+        self.replication = Some(replication);
         self
     }
 
@@ -249,6 +306,7 @@ mod tests {
                 external_recv_per_node: vec![0, external, 0],
                 internal_bytes: 0,
                 total_bytes: external,
+                sync_bytes: 0,
             },
             time: TimeBreakdown {
                 comm_s: time,
@@ -288,6 +346,37 @@ mod tests {
         let s = RunSummary::from_steps(&shuffled);
         assert_eq!(s.p50_step_time, 2.0);
         assert_eq!(s.p99_step_time, 3.0);
+    }
+
+    #[test]
+    fn straggler_index_measures_row_skew() {
+        let log = |rows: Vec<u64>| PhaseLog {
+            block: 0,
+            pass: Pass::Forward,
+            bytes_out: vec![0; rows.len()],
+            bytes_back: vec![0; rows.len()],
+            rows,
+        };
+        // Balanced fleet: index 1.0.
+        assert!((routing_straggler_index(&[log(vec![10, 10, 10, 10])]) - 1.0).abs() < 1e-12);
+        // One worker takes everything: max/mean = 4 over 4 workers.
+        assert!((routing_straggler_index(&[log(vec![40, 0, 0, 0])]) - 4.0).abs() < 1e-12);
+        // Totals accumulate across logs before the ratio is taken.
+        let two = [log(vec![30, 10]), log(vec![10, 30])];
+        assert!((routing_straggler_index(&two) - 1.0).abs() < 1e-12);
+        // Degenerate inputs read as balanced.
+        assert_eq!(routing_straggler_index(&[]), 1.0);
+        assert_eq!(routing_straggler_index(&[log(vec![0, 0])]), 1.0);
+    }
+
+    #[test]
+    fn avg_sync_bytes_averages_the_ledger_column() {
+        let mut a = dummy_step(100, 1.0);
+        a.traffic.sync_bytes = 30;
+        let mut b = dummy_step(100, 1.0);
+        b.traffic.sync_bytes = 50;
+        assert!((RunSummary::avg_sync_bytes(&[a, b]) - 40.0).abs() < 1e-12);
+        assert_eq!(RunSummary::avg_sync_bytes(&[]), 0.0);
     }
 
     #[test]

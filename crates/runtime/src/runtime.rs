@@ -24,14 +24,14 @@ use vela_model::{checkpoint, LocalExpertStore, MoeModel, MoeSpec};
 use vela_nn::loss::cross_entropy;
 use vela_nn::optim::{AdamW, AdamWConfig};
 
-use vela_placement::Placement;
+use vela_placement::{Placement, ReplicatedPlacement};
 
 use crate::broker::BrokerClient;
 use crate::launch::{launch_process_star, WorkerHandle};
 use crate::message::Message;
 use crate::metrics::{backbone_flops_per_token, master_worker_time, StepMetrics};
 use crate::transport::{build_star, ExchangeConfig, MasterHub, TransportConfig};
-use crate::worker::{ExpertManager, ExpertTemplate, WorkerBootstrap};
+use crate::worker::{expert_grads, ExpertManager, ExpertTemplate, WorkerBootstrap};
 
 /// A live distributed fine-tuning session with real tensors.
 #[derive(Debug)]
@@ -47,6 +47,9 @@ pub struct RealRuntime {
     worker_devices: Vec<DeviceId>,
     spec: MoeSpec,
     process_mode: bool,
+    /// Flattened trainable-gradient bytes of one expert — the payload
+    /// size of each replica gradient-sync transfer.
+    grad_bytes: u32,
     step: usize,
 }
 
@@ -57,7 +60,7 @@ impl RealRuntime {
     pub fn launch(
         model: MoeModel,
         experts: LocalExpertStore,
-        placement: Placement,
+        placement: impl Into<ReplicatedPlacement>,
         topology: Topology,
         master: DeviceId,
         worker_devices: Vec<DeviceId>,
@@ -96,12 +99,13 @@ impl RealRuntime {
         transport: TransportConfig,
         model: MoeModel,
         mut experts: LocalExpertStore,
-        placement: Placement,
+        placement: impl Into<ReplicatedPlacement>,
         topology: Topology,
         master: DeviceId,
         worker_devices: Vec<DeviceId>,
         optim: AdamWConfig,
     ) -> Self {
+        let placement: ReplicatedPlacement = placement.into();
         let cfg = model.config().clone();
         assert_eq!(placement.blocks(), cfg.blocks, "placement block mismatch");
         assert_eq!(
@@ -116,6 +120,7 @@ impl RealRuntime {
         );
 
         let template = ExpertTemplate::from_expert(experts.expert_mut(0, 0));
+        let grad_bytes = (expert_grads(experts.expert_mut(0, 0)).len() * 4) as u32;
         let ledger = Arc::new(TrafficLedger::new(topology.clone()));
         let cost = CostModel::new(topology);
 
@@ -139,13 +144,27 @@ impl RealRuntime {
             )
         } else {
             // Shard the expert population and hand each worker its shard.
+            // The primary gets the expert itself; any extra replicas get
+            // exact f32 checkpoint clones, so every copy starts
+            // bit-identical.
             let mut shards: Vec<LocalExpertStore> = (0..worker_devices.len())
                 .map(|_| LocalExpertStore::empty(cfg.blocks, cfg.experts))
                 .collect();
             for l in 0..cfg.blocks {
                 for e in 0..cfg.experts {
-                    let w = placement.worker_of(l, e);
-                    shards[w].insert(l, e, experts.take(l, e));
+                    let mut ffn = experts.take(l, e);
+                    let replicas = placement.replicas_of(l, e).to_vec();
+                    if replicas.len() > 1 {
+                        let mut data = Vec::new();
+                        checkpoint::save(&mut ffn, &mut data).expect("in-memory save");
+                        for &w in &replicas[1..] {
+                            let mut copy = template.instantiate(l, e);
+                            checkpoint::load(&mut copy, &mut data.as_slice())
+                                .expect("in-memory load");
+                            shards[w].insert(l, e, copy);
+                        }
+                    }
+                    shards[replicas[0]].insert(l, e, ffn);
                 }
             }
             let (hub, ports) = build_star(transport, ledger.clone(), master, &worker_devices)
@@ -179,6 +198,7 @@ impl RealRuntime {
             master,
             worker_devices,
             process_mode: transport.is_process_mode(),
+            grad_bytes,
             step: 0,
         }
     }
@@ -188,8 +208,9 @@ impl RealRuntime {
         &self.model
     }
 
-    /// The placement currently in force.
-    pub fn placement(&self) -> &Placement {
+    /// The placement currently in force (the replica relation; degree 1
+    /// everywhere when replication is off).
+    pub fn placement(&self) -> &ReplicatedPlacement {
         self.broker.placement()
     }
 
@@ -230,7 +251,7 @@ impl RealRuntime {
         target: &Placement,
     ) -> (usize, u64, vela_cluster::StepTraffic) {
         self.ledger.take_step();
-        let plan = self.broker.placement().diff(target);
+        let plan = self.broker.placement().primaries().diff(target);
         let mut bytes = 0;
         let moved = plan.len();
         for (block, expert, _, to) in plan {
@@ -270,6 +291,15 @@ impl RealRuntime {
             let _opt = vela_obs::span("runtime.optimizer");
             self.opt_model.step(&mut self.model);
         }
+        // Replica gradient sync rides between backward and StepEnd: the
+        // workers' optimizers only run on StepEnd, so every replica steps
+        // on the serving replica's gradients and copies stay bit-identical.
+        let sync_flows = {
+            let _sync = vela_obs::span("runtime.grad_sync");
+            self.broker
+                .sync_replica_grads(self.grad_bytes)
+                .unwrap_or_else(|e| panic!("transport failed during replica grad sync: {e}"))
+        };
         self.broker
             .step_end_and_wait()
             .unwrap_or_else(|e| panic!("transport failed at step end: {e}"));
@@ -277,7 +307,7 @@ impl RealRuntime {
         let traffic = self.ledger.take_step();
         let logs = self.broker.take_phase_logs();
         let master_flops = inputs.len() as f64 * backbone_flops_per_token(&self.spec, seq) * 3.0;
-        let time = master_worker_time(
+        let mut time = master_worker_time(
             &self.cost,
             self.master,
             &self.worker_devices,
@@ -285,6 +315,15 @@ impl RealRuntime {
             &self.spec,
             master_flops,
         );
+        // The sync protocol is sequential round-trips through the master,
+        // so its modeled time is the sum of the per-flow transfer times.
+        time.sync_s += sync_flows
+            .iter()
+            .map(|&(w, bytes)| {
+                self.cost
+                    .transfer_time(self.master, self.worker_devices[w], bytes)
+            })
+            .sum::<f64>();
         StepMetrics {
             step: self.step,
             loss: Some(stats.loss),
@@ -344,7 +383,9 @@ impl RealRuntime {
             if let Some(mut shard) = worker.finish() {
                 for l in 0..cfg.blocks {
                     for e in 0..cfg.experts {
-                        if shard.contains(l, e) {
+                        // Replicas are bit-identical, so the first copy
+                        // seen wins and the rest are dropped.
+                        if shard.contains(l, e) && !merged.contains(l, e) {
                             merged.insert(l, e, shard.take(l, e));
                         }
                     }
@@ -366,7 +407,7 @@ impl RealRuntime {
 fn seed_processes(
     hub: &mut MasterHub,
     experts: &mut LocalExpertStore,
-    placement: &Placement,
+    placement: &ReplicatedPlacement,
     cfg: &vela_model::ModelConfig,
 ) {
     let quantized = crate::transport::ExchangeConfig::from_env().quantized();
@@ -379,17 +420,20 @@ fn seed_processes(
             if quantized {
                 data = checkpoint::quantize(&data).expect("in-memory transcode");
             }
-            let w = placement.worker_of(l, e);
-            hub.send(
-                w,
-                &Message::ExpertState {
-                    block: l as u32,
-                    expert: e as u32,
-                    data,
-                },
-            )
-            .unwrap_or_else(|err| panic!("seeding expert ({l},{e}) failed: {err}"));
-            outstanding += 1;
+            // Every replica receives the same blob, so copies start
+            // bit-identical on whichever worker hosts them.
+            for &w in placement.replicas_of(l, e) {
+                hub.send(
+                    w,
+                    &Message::ExpertState {
+                        block: l as u32,
+                        expert: e as u32,
+                        data: data.clone(),
+                    },
+                )
+                .unwrap_or_else(|err| panic!("seeding expert ({l},{e}) failed: {err}"));
+                outstanding += 1;
+            }
         }
     }
     while outstanding > 0 {

@@ -609,8 +609,13 @@ impl MasterHub {
         if msg.is_clock() {
             return self.backend.send(index, msg.encode());
         }
-        self.ledger
-            .record(self.device, self.workers[index], msg.accounted_bytes());
+        if msg.is_grad_sync() {
+            self.ledger
+                .record_sync(self.device, self.workers[index], msg.accounted_bytes());
+        } else {
+            self.ledger
+                .record(self.device, self.workers[index], msg.accounted_bytes());
+        }
         self.frames_out += 1;
         let frame = msg.encode();
         let (kind, header, payload) = msg.wire_cost(frame.len());
@@ -657,8 +662,13 @@ impl MasterHub {
         if msg.is_clock() {
             return Ok((index, msg));
         }
-        self.ledger
-            .record(self.workers[index], self.device, msg.accounted_bytes());
+        if msg.is_grad_sync() {
+            self.ledger
+                .record_sync(self.workers[index], self.device, msg.accounted_bytes());
+        } else {
+            self.ledger
+                .record(self.workers[index], self.device, msg.accounted_bytes());
+        }
         self.frames_in += 1;
         let (kind, header, payload) = msg.wire_cost(frame.len());
         self.wire_stats.record(kind, header, payload);

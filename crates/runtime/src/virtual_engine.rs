@@ -14,17 +14,21 @@
 //! byte-identical across channel, TCP-thread and TCP-process backends
 //! (pinned by the `transport_parity` integration test).
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use vela_cluster::{CostModel, DeviceId, Topology, TrafficLedger};
 use vela_locality::LocalityProfile;
 use vela_model::MoeSpec;
-use vela_placement::Placement;
+use vela_placement::ReplicatedPlacement;
 use vela_tensor::rng::DetRng;
 
 use vela_obs::FlowPhase;
 
-use crate::broker::{exchange_corr, group_pass, Pass, PhaseLog};
+use crate::broker::{
+    exchange_corr, group_pass, pass_name, route_experts, sync_grads_over, worker_src, Pass,
+    PhaseLog,
+};
 use crate::launch::{launch_process_star, WorkerHandle};
 use crate::message::{GroupItem, Message, PackedData, PackedGroup, Payload};
 use crate::metrics::{backbone_flops_per_token, master_worker_time, StepMetrics};
@@ -81,6 +85,15 @@ pub fn expert_param_bytes(spec: &MoeSpec) -> u64 {
     3 * spec.hidden as u64 * spec.ffn as u64 * (spec.bits as u64 / 8)
 }
 
+/// Bytes of one expert's trainable LoRA gradients at rank `rank`: an
+/// `H × r` A and `r × ffn` B adapter on each of the three projections,
+/// fp32 gradients. This is what a replica gradient-sync frame carries at
+/// evaluation scale (~1.8 MB for Mixtral-8x7B at r = 8 — far below the
+/// ~352 MB full expert, which is why replication syncs are cheap).
+pub fn expert_lora_grad_bytes(spec: &MoeSpec, rank: usize) -> u64 {
+    (3 * rank * (spec.hidden + spec.ffn) * 4) as u64
+}
+
 /// Per-worker expert capacities derived from device memory (constraint
 /// (11)): `C_n = reserve_frac · mem / expert_bytes`.
 ///
@@ -108,7 +121,9 @@ pub fn capacity_from_memory(
 pub struct VirtualEngine {
     hub: MasterHub,
     workers: Vec<WorkerHandle>,
-    placement: Placement,
+    placement: ReplicatedPlacement,
+    routes: HashMap<(usize, usize), usize>,
+    row_totals: Vec<u64>,
     profile: LocalityProfile,
     scale: ScaleConfig,
     ledger: Arc<TrafficLedger>,
@@ -130,7 +145,7 @@ impl VirtualEngine {
         topology: Topology,
         master: DeviceId,
         worker_devices: Vec<DeviceId>,
-        placement: Placement,
+        placement: impl Into<ReplicatedPlacement>,
         profile: LocalityProfile,
         scale: ScaleConfig,
     ) -> Self {
@@ -157,10 +172,11 @@ impl VirtualEngine {
         topology: Topology,
         master: DeviceId,
         worker_devices: Vec<DeviceId>,
-        placement: Placement,
+        placement: impl Into<ReplicatedPlacement>,
         profile: LocalityProfile,
         scale: ScaleConfig,
     ) -> Self {
+        let placement: ReplicatedPlacement = placement.into();
         assert_eq!(
             profile.blocks(),
             scale.spec.blocks,
@@ -220,10 +236,13 @@ impl VirtualEngine {
             (hub, workers)
         };
         let rng = DetRng::new(scale.seed);
+        let row_totals = vec![0; worker_devices.len()];
         VirtualEngine {
             hub,
             workers,
             placement,
+            routes: HashMap::new(),
+            row_totals,
             profile,
             scale,
             ledger,
@@ -239,8 +258,32 @@ impl VirtualEngine {
     }
 
     /// The placement driving this session.
-    pub fn placement(&self) -> &Placement {
+    pub fn placement(&self) -> &ReplicatedPlacement {
         &self.placement
+    }
+
+    /// Total token rows routed to experts across every step so far
+    /// (summed over workers, both passes). Replication rebalances *where*
+    /// rows go, never how many there are, so two engines running the same
+    /// workload must agree on this exactly whatever their placements —
+    /// the correctness witness the bench_transport replication gate uses
+    /// (ledger bytes are not placement-independent: traffic to a worker
+    /// sharing the master's device is unaccounted).
+    pub fn routed_rows(&self) -> u64 {
+        self.row_totals.iter().sum()
+    }
+
+    /// Max/mean routed token rows per worker, accumulated over every
+    /// step so far — the straggler index the fig6/bench replication
+    /// column reports. 1.0 before any step has run.
+    pub fn straggler_index(&self) -> f64 {
+        let max = self.row_totals.iter().copied().max().unwrap_or(0) as f64;
+        let mean = self.row_totals.iter().sum::<u64>() as f64 / self.row_totals.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
     }
 
     /// Overrides the exchange shape (coalescing / microbatching) chosen
@@ -297,6 +340,21 @@ impl VirtualEngine {
             logs.push(self.exchange(block, Pass::Forward, &counts, bytes_per_token));
             logs.push(self.exchange(block, Pass::Backward, &counts, bytes_per_token));
         }
+        for log in &logs {
+            for (t, &r) in self.row_totals.iter_mut().zip(&log.rows) {
+                *t += r;
+            }
+        }
+
+        // Replica gradient sync: the same protocol frames as the real
+        // runtime, with virtual payloads sized to one expert's LoRA
+        // gradients. A no-op (zero frames, zero bytes) at degree 1.
+        let sync_flows = {
+            let _sync = vela_obs::span("runtime.virtual.grad_sync");
+            let grad_bytes = expert_lora_grad_bytes(&spec, self.scale.lora_rank) as u32;
+            sync_grads_over(&mut self.hub, &self.placement, &self.routes, grad_bytes)
+                .unwrap_or_else(|e| panic!("transport failed during grad sync: {e}"))
+        };
 
         // Step end: workers ack their (empty) optimizer step.
         self.hub
@@ -314,7 +372,7 @@ impl VirtualEngine {
 
         let traffic = self.ledger.take_step();
         let master_flops = tokens as f64 * backbone_flops_per_token(&spec, self.scale.seq) * 3.0;
-        let time = master_worker_time(
+        let mut time = master_worker_time(
             &self.cost,
             self.master,
             &self.worker_devices,
@@ -322,6 +380,13 @@ impl VirtualEngine {
             &spec,
             master_flops,
         );
+        time.sync_s += sync_flows
+            .iter()
+            .map(|&(w, bytes)| {
+                self.cost
+                    .transfer_time(self.master, self.worker_devices[w], bytes)
+            })
+            .sum::<f64>();
         self.profile.sharpen(self.scale.drift);
         StepMetrics {
             step: self.step,
@@ -382,17 +447,16 @@ impl VirtualEngine {
         // through tick c − depth.
         let cfg = self.exchange_cfg;
         let backward = matches!(pass, Pass::Backward);
+        let loads: Vec<(usize, u64)> = sends
+            .iter()
+            .map(|&(e, rows)| (e, u64::from(rows)))
+            .collect();
+        let routes = route_experts(&self.placement, &mut self.routes, block, backward, &loads);
         let (chunks, probe) = match cfg.microbatch {
             Microbatch::Fixed(n) => (n, false),
             Microbatch::Auto => self.tuner.plan(block, backward),
         };
-        self.plan.build(
-            workers,
-            chunks,
-            sends
-                .iter()
-                .map(|&(e, _)| self.placement.worker_of(block, e)),
-        );
+        self.plan.build(workers, chunks, routes.iter().copied());
         let ticks = self.plan.ticks();
         let depth = cfg.depth.max(1);
         let mut timer = ExchangeTimer::new(probe || vela_obs::enabled());
@@ -437,6 +501,17 @@ impl VirtualEngine {
                 .map(|(e, &c)| (e, c))
                 .collect();
             crate::broker::observe_phase(&log, &rows);
+            if !self.placement.is_degree_one() {
+                for w in 0..workers {
+                    let wrows: Vec<(usize, usize)> = sends
+                        .iter()
+                        .zip(&routes)
+                        .filter(|&(_, &r)| r == w)
+                        .map(|(&(e, n), _)| (e, n as usize))
+                        .collect();
+                    vela_obs::expert_rows(worker_src(w), pass_name(pass), block, &wrows);
+                }
+            }
         }
         log
     }
@@ -602,6 +677,7 @@ impl VirtualEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vela_placement::Placement;
     use vela_placement::PlacementProblem;
     use vela_placement::Strategy;
 
@@ -616,7 +692,11 @@ mod tests {
         }
     }
 
-    fn launch(placement: Placement, profile: LocalityProfile, scale: ScaleConfig) -> VirtualEngine {
+    fn launch(
+        placement: impl Into<ReplicatedPlacement>,
+        profile: LocalityProfile,
+        scale: ScaleConfig,
+    ) -> VirtualEngine {
         VirtualEngine::launch(
             Topology::paper_testbed(),
             DeviceId(0),
@@ -726,6 +806,53 @@ mod tests {
             "packed {} vs legacy {}",
             packed_stats.dispatch_total(),
             legacy_stats.dispatch_total()
+        );
+    }
+
+    #[test]
+    fn replication_balances_routing_and_accounts_sync_traffic() {
+        use vela_placement::ReplicationConfig;
+        let spec = small_spec();
+        let scale = ScaleConfig {
+            batch: 4,
+            seq: 64,
+            ..ScaleConfig::paper_default(spec)
+        };
+        let profile = LocalityProfile::synthetic("skew", spec.blocks, spec.experts, 1.5, 3);
+        let problem = PlacementProblem::new(
+            Topology::paper_testbed(),
+            DeviceId(0),
+            (0..6).map(DeviceId).collect(),
+            profile.to_matrix(),
+            (scale.tokens() * spec.top_k) as f64,
+            spec.token_bytes(),
+            vec![8; 6],
+        );
+        let base = Strategy::Vela.place(&problem);
+
+        let mut single = launch(base.clone(), profile.clone(), scale.clone());
+        let single_steps = single.run(4);
+        let single_straggler = single.straggler_index();
+        single.shutdown();
+        assert!(single_steps.iter().all(|m| m.traffic.sync_bytes == 0));
+        assert!(single_steps.iter().all(|m| m.time.sync_s == 0.0));
+
+        let replicated = ReplicationConfig::Budget { frac: 1.0 }.apply(&base, &problem);
+        assert!(replicated.total_replicas() > base.blocks() * base.experts());
+        let mut engine = launch(replicated, profile, scale);
+        let steps = engine.run(4);
+        let straggler = engine.straggler_index();
+        engine.shutdown();
+        // The sync frames are real, accounted traffic...
+        assert!(steps.iter().all(|m| m.traffic.sync_bytes > 0));
+        assert!(steps.iter().any(|m| m.time.sync_s > 0.0));
+        assert!(steps
+            .iter()
+            .all(|m| m.traffic.sync_bytes < m.traffic.total_bytes));
+        // ...and least-loaded routing flattens the skewed row distribution.
+        assert!(
+            straggler < single_straggler,
+            "replicated {straggler} vs single {single_straggler}"
         );
     }
 

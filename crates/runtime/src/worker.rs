@@ -37,6 +37,44 @@ static SERVE_US: LazyCounter = LazyCounter::new("runtime.worker.serve_us");
 /// The worker-side span wrapping one coalesced serve (+ its reply send).
 const SPAN_SERVE: &str = "runtime.worker.serve";
 
+/// Flattens an expert's trainable-parameter gradients into one row, in
+/// `visit_params` order — the wire format of [`Message::GradState`].
+pub(crate) fn expert_grads(ffn: &mut SwiGlu) -> Vec<f32> {
+    let mut out = Vec::new();
+    ffn.visit_params(&mut |p| {
+        if p.is_trainable() {
+            out.extend_from_slice(p.grad.as_slice());
+        }
+    });
+    out
+}
+
+/// Installs a [`expert_grads`] row back into an expert's trainable
+/// gradients, overwriting whatever the replica accumulated locally.
+///
+/// # Panics
+/// Panics if the blob's length does not match the expert's trainable
+/// parameter count — a protocol violation, like a corrupt checkpoint.
+pub(crate) fn install_expert_grads(ffn: &mut SwiGlu, grads: &[f32]) {
+    let mut cursor = 0;
+    ffn.visit_params(&mut |p| {
+        if p.is_trainable() {
+            let g = p.grad.as_mut_slice();
+            g.copy_from_slice(
+                grads
+                    .get(cursor..cursor + g.len())
+                    .expect("gradient blob shorter than expert's trainable parameters"),
+            );
+            cursor += g.len();
+        }
+    });
+    assert_eq!(
+        cursor,
+        grads.len(),
+        "gradient blob longer than expert's trainable parameters"
+    );
+}
+
 /// The correlation key of a coalesced dispatch as seen from the worker:
 /// the step comes from the last `StepBegin` (per-link FIFO order makes
 /// that the step the frame belongs to), the worker index from the port.
@@ -461,6 +499,51 @@ fn handle(
             checkpoint::load_any(&mut ffn, &mut data.as_slice()).expect("valid expert checkpoint");
             shard.insert(block as usize, expert as usize, ffn);
             port.send(&Message::InstallDone { block, expert })?;
+        }
+        Message::FetchGrads {
+            block,
+            expert,
+            grad_bytes,
+        } => {
+            // Replica sync: ship this replica's accumulated gradients to
+            // the master. Echo workers (no real experts) answer with a
+            // virtual payload of the declared size so simulated runs
+            // account the same bytes a real run would.
+            let payload = if shard.contains(block as usize, expert as usize) {
+                let grads = expert_grads(shard.expert_mut(block as usize, expert as usize));
+                Payload::Real {
+                    rows: 1,
+                    cols: grads.len() as u32,
+                    data: grads,
+                }
+            } else {
+                Payload::Virtual {
+                    rows: 1,
+                    bytes_per_token: grad_bytes,
+                }
+            };
+            port.send(&Message::GradState {
+                block,
+                expert,
+                payload,
+            })?;
+        }
+        Message::GradState {
+            block,
+            expert,
+            payload,
+        } => {
+            if let Payload::Real { data, .. } = &payload {
+                if !shard.contains(block as usize, expert as usize) {
+                    vela_obs::error!(
+                        "worker {}: grad state for absent expert ({block}, {expert}), exiting",
+                        port.index
+                    );
+                    return Ok(Flow::Stop);
+                }
+                install_expert_grads(shard.expert_mut(block as usize, expert as usize), data);
+            }
+            port.send(&Message::GradSyncDone { block, expert })?;
         }
         Message::Shutdown => return Ok(Flow::Stop),
         other => {

@@ -27,8 +27,11 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
-echo "==> exchange parity grid (release): {transport x coalesce x microbatch x depth x wire}"
+echo "==> exchange parity grid (release): {transport x coalesce x microbatch x depth x wire}, single-owner + replicated arms"
 cargo test --release -q --test transport_parity
+
+echo "==> replication gate (release): degree-1 bitwise identity + loss-for-loss replicated training"
+cargo test --release -q --test replication
 
 echo "==> int8 wire accuracy gate (release): quantized loss curve tracks exact"
 cargo test --release -q --test quant_accuracy
@@ -70,7 +73,7 @@ if [ "$run_bench" = 1 ]; then
     echo "==> bench smoke: serial regression gate vs committed BENCH_kernels.json"
     cargo run --release -p vela-bench --bin bench_kernels -- --quick --check BENCH_kernels.json
 
-    echo "==> transport bench check: frame coalescing + ledger invariants"
+    echo "==> transport bench check: frame coalescing + ledger invariants + replication straggler gate"
     # Needs target/release/vela_worker for the tcp rows; the tier-1 build
     # above produced it.
     cargo run --release -p vela-bench --bin bench_transport -- --quick --check BENCH_transport.json

@@ -68,7 +68,7 @@ fn migration_preserves_computation_exactly() {
 
     // Scatter every expert somewhere else.
     let mut rng = DetRng::new(3);
-    let mut target = rt.placement().clone();
+    let mut target = rt.placement().primaries();
     for l in 0..cfg.blocks {
         for e in 0..cfg.experts {
             target.set_worker(l, e, rng.below(6));
@@ -77,7 +77,7 @@ fn migration_preserves_computation_exactly() {
     let (moved, bytes, _) = rt.apply_placement(&target);
     assert!(moved > 0, "the shuffle should move something");
     assert!(bytes > 0, "moved experts carry parameter bytes");
-    assert_eq!(rt.placement(), &target);
+    assert_eq!(rt.placement().primaries(), target);
 
     let loss_after = rt.evaluate(
         &batch.inputs,
@@ -135,7 +135,7 @@ fn training_continues_after_migration() {
 #[test]
 fn apply_placement_is_idempotent() {
     let (mut rt, _, _) = launch(seq_placement(&ModelConfig::test_small()));
-    let same = rt.placement().clone();
+    let same = rt.placement().primaries();
     let (moved, bytes, traffic) = rt.apply_placement(&same);
     assert_eq!((moved, bytes), (0, 0));
     assert_eq!(traffic.total_bytes, 0);
@@ -148,7 +148,7 @@ fn migration_bytes_are_accounted_as_traffic() {
     // Move one expert from worker 1 (node 0) to worker 2 (node 1): the
     // serialized parameters cross a node boundary (master -> worker 2),
     // while the fetch leg (worker 1 -> master) stays on-node.
-    let mut target = rt.placement().clone();
+    let mut target = rt.placement().primaries();
     target.set_worker(0, 1, 2);
     let (moved, bytes, traffic) = rt.apply_placement(&target);
     assert_eq!(moved, 1);

@@ -17,18 +17,51 @@
 //! is allowed to change anything, and it is gated separately by the
 //! `quant_accuracy` loss-curve test.)
 
+use vela::placement::ReplicatedPlacement;
 use vela::prelude::*;
 use vela::runtime::{ExchangeConfig, Microbatch, WireFormat};
 
-fn workload(transport: TransportConfig, exchange: ExchangeConfig) -> Vec<StepMetrics> {
-    let spec = MoeSpec {
+fn parity_spec() -> MoeSpec {
+    MoeSpec {
         blocks: 4,
         experts: 8,
         top_k: 2,
         hidden: 1024,
         ffn: 4096,
         bits: 16,
-    };
+    }
+}
+
+fn parity_placement() -> Placement {
+    let spec = parity_spec();
+    Placement::new(
+        (0..spec.blocks)
+            .map(|_| (0..spec.experts).map(|e| e % 6).collect())
+            .collect(),
+        6,
+    )
+}
+
+/// The seed placement with real replicas grafted on: the hot low-index
+/// experts gain extra copies (degrees 3 and 2), everything else stays
+/// single-owner. Exercises least-loaded routing and replica gradient
+/// sync on every step.
+fn replicated_parity_placement() -> ReplicatedPlacement {
+    let mut rep = ReplicatedPlacement::from(&parity_placement());
+    for l in 0..parity_spec().blocks {
+        rep.add_replica(l, 0, 1);
+        rep.add_replica(l, 0, 3);
+        rep.add_replica(l, 1, 5);
+    }
+    rep
+}
+
+fn workload_on(
+    transport: TransportConfig,
+    exchange: ExchangeConfig,
+    placement: impl Into<ReplicatedPlacement>,
+) -> Vec<StepMetrics> {
+    let spec = parity_spec();
     let scale = ScaleConfig {
         batch: 4,
         seq: 64,
@@ -36,12 +69,6 @@ fn workload(transport: TransportConfig, exchange: ExchangeConfig) -> Vec<StepMet
         ..ScaleConfig::paper_default(spec)
     };
     let profile = LocalityProfile::synthetic("parity", spec.blocks, spec.experts, 1.2, 17);
-    let placement = Placement::new(
-        (0..spec.blocks)
-            .map(|_| (0..spec.experts).map(|e| e % 6).collect())
-            .collect(),
-        6,
-    );
     let mut engine = VirtualEngine::launch_with(
         transport,
         Topology::paper_testbed(),
@@ -55,6 +82,10 @@ fn workload(transport: TransportConfig, exchange: ExchangeConfig) -> Vec<StepMet
     let metrics = engine.run(5);
     engine.shutdown();
     metrics
+}
+
+fn workload(transport: TransportConfig, exchange: ExchangeConfig) -> Vec<StepMetrics> {
+    workload_on(transport, exchange, parity_placement())
 }
 
 #[test]
@@ -126,6 +157,106 @@ fn exchange_grid_is_bitwise_identical_to_per_batch_baseline() {
             }
         }
     }
+}
+
+/// Degree 1 is the identity refactor: a [`ReplicatedPlacement`] built
+/// from the seed placement (one replica everywhere) must reproduce the
+/// single-owner baseline bit for bit across the
+/// {transport × wire × coalesce × microbatch} grid — and move zero
+/// gradient-sync bytes, because there are no peers to keep in sync.
+#[test]
+fn degree_one_replication_is_bitwise_identical_to_the_single_owner_seed() {
+    let baseline = workload(TransportConfig::channel(), ExchangeConfig::per_batch());
+    assert!(
+        baseline.iter().all(|m| m.traffic.sync_bytes == 0),
+        "degree 1 must not move sync bytes"
+    );
+    let transports: [(&str, fn() -> TransportConfig); 2] = [
+        ("channel", TransportConfig::channel),
+        ("tcp-threads", TransportConfig::tcp_threads),
+    ];
+    for (label, transport) in transports {
+        for wire in [WireFormat::Legacy, WireFormat::Packed] {
+            for coalesce in [false, true] {
+                for microbatch in [Microbatch::Fixed(1), Microbatch::Fixed(4), Microbatch::Auto] {
+                    let cfg = ExchangeConfig {
+                        coalesce,
+                        microbatch,
+                        wire,
+                        ..ExchangeConfig::default()
+                    };
+                    let metrics = workload_on(
+                        transport(),
+                        cfg,
+                        ReplicatedPlacement::from(&parity_placement()),
+                    );
+                    assert_eq!(
+                        baseline, metrics,
+                        "degree-1 replication diverged from the seed at \
+                         ({label}, wire={wire:?}, coalesce={coalesce}, microbatch={microbatch})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A placement with real replicas must itself be a fixed point of the
+/// parity grid: least-loaded routing and the replica gradient-sync round
+/// are deterministic, so every {transport × shape} combination — OS
+/// worker processes included — reports bitwise-identical metrics, with
+/// the sync traffic honestly on the ledger.
+#[test]
+fn replicated_arm_is_bitwise_identical_across_transports_and_shapes() {
+    let baseline = workload_on(
+        TransportConfig::channel(),
+        ExchangeConfig::per_batch(),
+        replicated_parity_placement(),
+    );
+    for m in &baseline {
+        assert!(m.traffic.sync_bytes > 0, "replicas must sync every step");
+        assert!(
+            m.traffic.sync_bytes < m.traffic.total_bytes,
+            "sync traffic is a strict subset of the ledger"
+        );
+        assert!(m.time.sync_s > 0.0, "sync time must be modeled");
+    }
+    let transports: [(&str, fn() -> TransportConfig); 2] = [
+        ("channel", TransportConfig::channel),
+        ("tcp-threads", TransportConfig::tcp_threads),
+    ];
+    for (label, transport) in transports {
+        for wire in [WireFormat::Legacy, WireFormat::Packed] {
+            for (coalesce, microbatch) in [
+                (false, Microbatch::Fixed(1)),
+                (true, Microbatch::Fixed(4)),
+                (true, Microbatch::Auto),
+            ] {
+                let cfg = ExchangeConfig {
+                    coalesce,
+                    microbatch,
+                    wire,
+                    ..ExchangeConfig::default()
+                };
+                let metrics = workload_on(transport(), cfg, replicated_parity_placement());
+                assert_eq!(
+                    baseline, metrics,
+                    "replicated arm diverged at ({label}, wire={wire:?}, \
+                     coalesce={coalesce}, microbatch={microbatch})"
+                );
+            }
+        }
+    }
+    // And over real OS worker processes on the default shape.
+    let metrics = workload_on(
+        TransportConfig::tcp_processes(),
+        ExchangeConfig::default(),
+        replicated_parity_placement(),
+    );
+    assert_eq!(
+        baseline, metrics,
+        "replicated arm diverged over OS worker processes"
+    );
 }
 
 /// The same grid over real OS worker processes, on a representative
