@@ -592,6 +592,35 @@ fn summarize(events: &[RawEvent], top: usize) {
         }
     }
 
+    // Background migration: the chunked shadow-install lane's counters
+    // and the step-boundary pump span, when the run moved experts with
+    // `VELA_MIGRATION=overlap`.
+    let mig = |field: &str| {
+        counters
+            .get(format!("runtime.migration.{field}").as_str())
+            .copied()
+            .unwrap_or(0)
+    };
+    let (chunks, mig_bytes, commits) = (mig("chunks"), mig("bytes"), mig("commits"));
+    if chunks + mig_bytes + commits > 0 {
+        println!("\n-- background migration --");
+        println!(
+            "  {commits} cutover(s); {chunks} chunk frame(s), {mig_bytes} payload bytes relayed"
+        );
+        println!(
+            "  boundary pump {:.3} ms, shutdown flush {:.3} ms",
+            mig("pump_us") as f64 / 1e3,
+            mig("flush_us") as f64 / 1e3
+        );
+        if let Some(s) = stats.get("runtime.migration.pump") {
+            println!(
+                "  pump span: {} boundary drain(s), mean {:.1} µs",
+                s.count,
+                s.total_us as f64 / s.count.max(1) as f64
+            );
+        }
+    }
+
     if !counters.is_empty() {
         println!("\n-- counters (final) --");
         for (name, value) in &counters {

@@ -33,6 +33,13 @@ pub struct StepTraffic {
     /// bit-identical (gradient fetch/install frames). Zero when
     /// replication is off.
     pub sync_bytes: u64,
+    /// Subset of `total_bytes` spent moving expert parameters between
+    /// workers (migration fetches, expert-state installs, chunked
+    /// shadow transfers). Background migration spreads these bytes
+    /// across several step windows; summed over the migration window
+    /// they equal a stop-the-world migration's single-window total by
+    /// construction.
+    pub migration_bytes: u64,
 }
 
 impl StepTraffic {
@@ -72,6 +79,7 @@ impl TrafficLedger {
                 internal_bytes: 0,
                 total_bytes: 0,
                 sync_bytes: 0,
+                migration_bytes: 0,
             }),
         }
     }
@@ -119,6 +127,19 @@ impl TrafficLedger {
         self.window.lock().unwrap().sync_bytes += bytes;
     }
 
+    /// Records an expert parameter-movement transfer (migration fetch,
+    /// expert-state install, or chunked shadow-transfer frame). Like
+    /// [`TrafficLedger::record_sync`] the bytes land in the normal
+    /// per-link totals and are additionally tallied under
+    /// [`StepTraffic::migration_bytes`].
+    pub fn record_migration(&self, src: DeviceId, dst: DeviceId, bytes: u64) {
+        if src == dst || bytes == 0 {
+            return;
+        }
+        self.record(src, dst, bytes);
+        self.window.lock().unwrap().migration_bytes += bytes;
+    }
+
     /// Current window without resetting.
     pub fn peek(&self) -> StepTraffic {
         self.window.lock().unwrap().clone()
@@ -135,6 +156,7 @@ impl TrafficLedger {
                 internal_bytes: 0,
                 total_bytes: 0,
                 sync_bytes: 0,
+                migration_bytes: 0,
             },
         )
     }
@@ -219,6 +241,21 @@ mod tests {
         assert_eq!(t.total_bytes, 200);
         assert_eq!(t.internal_bytes, 40);
         assert_eq!(l.peek().sync_bytes, 0);
+    }
+
+    #[test]
+    fn migration_bytes_counted_and_included_in_totals() {
+        let l = ledger();
+        l.record(DeviceId(0), DeviceId(2), 100);
+        l.record_migration(DeviceId(0), DeviceId(1), 70); // internal link
+        l.record_migration(DeviceId(2), DeviceId(0), 30); // external link
+        l.record_migration(DeviceId(3), DeviceId(3), 999); // self: free
+        let t = l.take_step();
+        assert_eq!(t.migration_bytes, 100);
+        assert_eq!(t.sync_bytes, 0);
+        assert_eq!(t.total_bytes, 200);
+        assert_eq!(t.internal_bytes, 70);
+        assert_eq!(l.peek().migration_bytes, 0);
     }
 
     #[test]

@@ -213,18 +213,24 @@ impl VelaSession {
     }
 
     /// Runs `steps` distributed fine-tuning steps.
+    ///
+    /// # Panics
+    /// Panics if the transport fails mid-run — a session has no way to
+    /// resume a half-finished step.
     pub fn finetune(&mut self, steps: usize) -> Vec<StepMetrics> {
         (0..steps)
             .map(|_| {
                 let batch = self
                     .dataset
                     .sample_batch(self.batch, self.seq_len, &mut self.rng);
-                self.runtime.train_step(
-                    &batch.inputs,
-                    &batch.targets,
-                    batch.batch_size,
-                    batch.seq_len,
-                )
+                self.runtime
+                    .train_step(
+                        &batch.inputs,
+                        &batch.targets,
+                        batch.batch_size,
+                        batch.seq_len,
+                    )
+                    .unwrap_or_else(|e| panic!("transport failed mid-session: {e}"))
             })
             .collect()
     }

@@ -43,22 +43,49 @@ pub const QUANT_GROUP: usize = 64;
 /// # Errors
 /// Returns any I/O error from the writer.
 pub fn save(module: &mut dyn Module, writer: &mut dyn Write) -> io::Result<()> {
-    let mut params: Vec<(String, Vec<f32>)> = Vec::new();
-    module.visit_params(&mut |p| {
-        params.push((p.name().to_string(), p.value.as_slice().to_vec()));
-    });
+    let mut count: u32 = 0;
+    module.visit_params(&mut |_| count += 1);
     writer.write_all(MAGIC)?;
     writer.write_all(&VERSION.to_le_bytes())?;
-    writer.write_all(&(params.len() as u32).to_le_bytes())?;
-    for (name, values) in &params {
-        writer.write_all(&(name.len() as u32).to_le_bytes())?;
-        writer.write_all(name.as_bytes())?;
-        writer.write_all(&(values.len() as u32).to_le_bytes())?;
-        for v in values {
-            writer.write_all(&v.to_le_bytes())?;
+    writer.write_all(&count.to_le_bytes())?;
+    // Stream each parameter straight out of the module — no cloned value
+    // vectors, and each tensor goes through the writer as one bulk write
+    // instead of a virtual call per element (expert migration serializes
+    // megabytes through this path on the step critical path).
+    let mut result = Ok(());
+    module.visit_params(&mut |p| {
+        if result.is_err() {
+            return;
         }
+        let name = p.name();
+        let values = p.value.as_slice();
+        result = (|| {
+            writer.write_all(&(name.len() as u32).to_le_bytes())?;
+            writer.write_all(name.as_bytes())?;
+            writer.write_all(&(values.len() as u32).to_le_bytes())?;
+            writer.write_all(&f32s_to_le_bytes(values))
+        })();
+    });
+    result
+}
+
+/// Bulk-encodes an `f32` slice into its little-endian byte image — one
+/// allocation and a vectorizable copy loop, replacing per-element writes.
+fn f32s_to_le_bytes(values: &[f32]) -> Vec<u8> {
+    let mut out = vec![0u8; values.len() * 4];
+    for (chunk, v) in out.chunks_exact_mut(4).zip(values) {
+        chunk.copy_from_slice(&v.to_le_bytes());
     }
-    Ok(())
+    out
+}
+
+/// Bulk-decodes a little-endian byte image back into `f32`s — the exact
+/// inverse of [`f32s_to_le_bytes`], bit for bit.
+fn le_bytes_to_f32s(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect()
 }
 
 /// Restores parameters into `module` from `reader`.
@@ -133,12 +160,9 @@ pub fn quantize(data: &[u8]) -> io::Result<Vec<u8>> {
         out.extend_from_slice(&name);
         let value_len = read_u32(reader)? as usize;
         out.extend_from_slice(&(value_len as u32).to_le_bytes());
-        let mut values = vec![0.0f32; value_len];
-        let mut buf = [0u8; 4];
-        for v in &mut values {
-            reader.read_exact(&mut buf)?;
-            *v = f32::from_le_bytes(buf);
-        }
+        let mut raw = vec![0u8; value_len * 4];
+        reader.read_exact(&mut raw)?;
+        let values = le_bytes_to_f32s(&raw);
         for group in values.chunks(QUANT_GROUP) {
             let amax = group.iter().fold(0.0f32, |m, v| m.max(v.abs()));
             let scale = if amax > 0.0 { amax / 127.0 } else { 0.0 };
@@ -182,9 +206,9 @@ fn read_entries(
         reader.read_exact(&mut name)?;
         let name = String::from_utf8(name).map_err(|_| bad("non-UTF8 parameter name"))?;
         let value_len = read_u32(reader)? as usize;
-        let mut values = Vec::with_capacity(value_len);
-        let mut buf = [0u8; 4];
-        if quantized {
+        let values = if quantized {
+            let mut values = Vec::with_capacity(value_len);
+            let mut buf = [0u8; 4];
             while values.len() < value_len {
                 reader.read_exact(&mut buf)?;
                 let scale = f32::from_le_bytes(buf);
@@ -193,12 +217,15 @@ fn read_entries(
                 reader.read_exact(&mut codes)?;
                 values.extend(codes.iter().map(|&c| f32::from(c as i8) * scale));
             }
+            values
         } else {
-            for _ in 0..value_len {
-                reader.read_exact(&mut buf)?;
-                values.push(f32::from_le_bytes(buf));
-            }
-        }
+            // One bulk read per tensor, then a vectorizable conversion —
+            // the element-at-a-time loop this replaces paid a virtual
+            // `read_exact` per value.
+            let mut raw = vec![0u8; value_len * 4];
+            reader.read_exact(&mut raw)?;
+            le_bytes_to_f32s(&raw)
+        };
         entries.insert(name, values);
     }
     Ok(entries)

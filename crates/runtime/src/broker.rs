@@ -8,8 +8,9 @@
 //! backward pass. It also logs, per MoE block and pass, the bytes and rows
 //! exchanged with each worker — the inputs to the Eq. (7) time model.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use vela_model::checkpoint;
 use vela_model::provider::{ExpertBatch, ExpertProvider};
@@ -19,7 +20,11 @@ use vela_tensor::Tensor;
 
 use crate::message::{GroupItem, GroupPass, Message, PackedData, PackedGroup, Payload};
 use crate::pipeline::{AutoTuner, ChunkPlan, ExchangeTimer};
-use crate::pipeline::{COMBINE_US, SPAN_COMBINE, SPAN_INFLIGHT, SPAN_SERIALIZE, STALLS, STALL_US};
+use crate::pipeline::{
+    COMBINE_US, MIGRATION_BYTES, MIGRATION_CHUNKS, MIGRATION_COMMITS, MIGRATION_FLUSH_US,
+    MIGRATION_PUMP_US, SPAN_COMBINE, SPAN_INFLIGHT, SPAN_MIGRATION_PUMP, SPAN_SERIALIZE, STALLS,
+    STALL_US,
+};
 use crate::transport::{
     ExchangeConfig, MasterHub, Microbatch, TransportError, WireFormat, WireStats,
 };
@@ -182,23 +187,257 @@ pub(crate) fn route_experts(
     out
 }
 
+/// One in-flight background migration: expert `(block, expert)` is being
+/// shadow-installed on `to` while `from` keeps serving it. The master
+/// relays the source's chunk stream to the destination from whatever
+/// drain loop happens to be running, so the transfer rides the per-link
+/// writer threads underneath training compute.
+#[derive(Debug)]
+struct Lane {
+    block: usize,
+    expert: usize,
+    from: usize,
+    to: usize,
+    /// Serialized parameter bytes relayed so far (payload, not framing) —
+    /// what the synchronous `migrate_expert` would have reported.
+    forwarded: u64,
+    /// Destination acked `InstallDone`: the shadow now tracks the source
+    /// in lockstep (forwarded gradients step it through the same
+    /// updates), waiting for the rest of the plan so the whole placement
+    /// change cuts over at one boundary.
+    installed: bool,
+}
+
+/// How many lanes may *stream* concurrently. A full re-placement can
+/// move the whole population; letting every source serialize at once
+/// would dump all of it onto one step's critical path (the destination
+/// ingests and installs megabytes inside a single window). Capping the
+/// streaming lanes spreads the movement across several step boundaries,
+/// so each step only carries a slice small enough to hide in worker idle
+/// time — the queue drains as installs complete. Installed lanes hold no
+/// slot: they sit in cheap gradient lockstep until the group cutover.
+const MAX_ACTIVE_LANES: usize = 2;
+
+/// Book-keeping for background migrations (overlap mode). Empty in sync
+/// mode, in which case every routed drain degenerates to a plain `recv`.
+#[derive(Debug, Default)]
+pub(crate) struct MigrationState {
+    lanes: Vec<Lane>,
+    /// Requested moves waiting for an active-lane slot, in request order:
+    /// `(block, expert, from, to)`. Queued experts keep training at their
+    /// source untouched — their shadow window only opens on admission.
+    queued: VecDeque<(usize, usize, usize, usize)>,
+    /// Parameter bytes moved by committed lanes.
+    bytes: u64,
+    /// Lanes committed (cut over) so far.
+    committed: u64,
+    /// Engine step of the most recent cutover (0 = none yet).
+    last_commit_step: u64,
+}
+
+impl MigrationState {
+    /// Moves still streaming, awaiting cutover, or queued for a slot.
+    pub(crate) fn in_flight(&self) -> usize {
+        self.lanes.len() + self.queued.len()
+    }
+
+    /// Lanes still streaming chunks (not yet installed) — the admission
+    /// cap counts these, not installed lanes awaiting the group cutover.
+    fn streaming(&self) -> usize {
+        self.lanes.iter().filter(|l| !l.installed).count()
+    }
+
+    /// The whole plan has landed: every requested move is installed and
+    /// nothing waits in the queue. Only then may the cutover fire — all
+    /// lanes commit at one step boundary, so the placement change is
+    /// atomic and bit-identical to a stop-the-world migration there.
+    fn group_ready(&self) -> bool {
+        !self.lanes.is_empty() && self.queued.is_empty() && self.lanes.iter().all(|l| l.installed)
+    }
+}
+
+/// Inspects a drained frame: if it belongs to an in-flight migration
+/// lane it is serviced here — source chunks (`ExpertChunk`/`OptimState`)
+/// relay to the destination over the accounted hub path, `InstallDone`
+/// from the destination marks the lane ready for cutover — and `None` is
+/// returned. Any other frame is handed back to the caller's protocol
+/// loop untouched.
+fn route_lane_frame(
+    hub: &mut MasterHub,
+    st: &mut MigrationState,
+    w: usize,
+    msg: Message,
+) -> Result<Option<(usize, Message)>, TransportError> {
+    let key = match &msg {
+        Message::ExpertChunk { block, expert, .. }
+        | Message::OptimState { block, expert, .. }
+        | Message::InstallDone { block, expert } => (*block as usize, *expert as usize),
+        _ => return Ok(Some((w, msg))),
+    };
+    let Some(lane) = st.lanes.iter_mut().find(|l| (l.block, l.expert) == key) else {
+        // Not lane traffic (e.g. the sync-mode install ack) — the
+        // caller's own protocol validation deals with it.
+        return Ok(Some((w, msg)));
+    };
+    match msg {
+        Message::ExpertChunk { ref data, .. } => {
+            if w != lane.from {
+                return Err(TransportError::Protocol(format!(
+                    "migration chunk for expert ({},{}) arrived from worker {w}, \
+                     lane source is {}",
+                    key.0, key.1, lane.from
+                )));
+            }
+            lane.forwarded += data.len() as u64;
+            MIGRATION_CHUNKS.add(1);
+            MIGRATION_BYTES.add(data.len() as u64);
+            let to = lane.to;
+            hub.send(to, &msg)?;
+            Ok(None)
+        }
+        Message::OptimState { .. } => {
+            if w != lane.from {
+                return Err(TransportError::Protocol(format!(
+                    "migration optimizer state for expert ({},{}) arrived from \
+                     worker {w}, lane source is {}",
+                    key.0, key.1, lane.from
+                )));
+            }
+            let to = lane.to;
+            hub.send(to, &msg)?;
+            Ok(None)
+        }
+        Message::InstallDone { .. } => {
+            if w != lane.to {
+                return Err(TransportError::Protocol(format!(
+                    "install ack for migrating expert ({},{}) arrived from worker \
+                     {w}, lane destination is {}",
+                    key.0, key.1, lane.to
+                )));
+            }
+            lane.installed = true;
+            Ok(None)
+        }
+        _ => unreachable!("key extraction and servicing must cover the same variants"),
+    }
+}
+
+/// `hub.recv()` that transparently services migration-lane traffic:
+/// chunk relays interleave with whatever protocol frames the caller is
+/// actually waiting on. Every blocking drain in the broker goes through
+/// here, so a background migration makes progress at any point of the
+/// step — not just at boundaries.
+pub(crate) fn recv_routed(
+    hub: &mut MasterHub,
+    st: &mut MigrationState,
+) -> Result<(usize, Message), TransportError> {
+    loop {
+        let (w, msg) = hub.recv()?;
+        if let Some(out) = route_lane_frame(hub, st, w, msg)? {
+            return Ok(out);
+        }
+    }
+}
+
+/// One gradient-sync target: the serving worker's gradients for
+/// `(block, expert)` are copied into each peer.
+struct SyncTarget {
+    block: usize,
+    expert: usize,
+    serving: usize,
+    peers: Vec<usize>,
+}
+
+/// The sync fan-out for this step: every replicated pair, plus every
+/// in-flight migration lane — the shadow install must see each window
+/// step's gradients to stay in lockstep with the source.
+fn sync_targets(
+    placement: &ReplicatedPlacement,
+    routes: &HashMap<(usize, usize), usize>,
+    st: &MigrationState,
+) -> Vec<SyncTarget> {
+    let mut targets: Vec<SyncTarget> = placement
+        .replicated_pairs()
+        .into_iter()
+        .map(|(block, expert)| {
+            let serving = routes
+                .get(&(block, expert))
+                .copied()
+                .unwrap_or_else(|| placement.primary(block, expert));
+            let peers = placement
+                .replicas_of(block, expert)
+                .iter()
+                .copied()
+                .filter(|&w| w != serving)
+                .collect();
+            SyncTarget {
+                block,
+                expert,
+                serving,
+                peers,
+            }
+        })
+        .collect();
+    for lane in &st.lanes {
+        let key = (lane.block, lane.expert);
+        if let Some(t) = targets.iter_mut().find(|t| (t.block, t.expert) == key) {
+            if !t.peers.contains(&lane.to) {
+                t.peers.push(lane.to);
+            }
+        } else {
+            targets.push(SyncTarget {
+                block: lane.block,
+                expert: lane.expert,
+                serving: routes.get(&key).copied().unwrap_or(lane.from),
+                peers: vec![lane.to],
+            });
+        }
+    }
+    targets
+}
+
 /// The replica gradient-sync round shared by the real and virtual
-/// engines: for each `(block, expert)` with degree ≥ 2, fetch the serving
-/// replica's gradients and install them into every peer, frame by frame
-/// over the accounted hub. See
+/// engines: for each sync target (replicated pairs plus migration
+/// lanes), fetch the serving worker's gradients and install them into
+/// every peer, frame by frame over the accounted hub. See
 /// [`BrokerClient::sync_replica_grads`] for the protocol contract.
+///
+/// With `overlap` off the protocol is strictly sequential round-trips —
+/// the seed behavior, byte- and flow-identical. With `overlap` on, every
+/// `FetchGrads` is issued up front and gradient states are forwarded to
+/// peers as they arrive, so per-target round-trips ride the wire
+/// concurrently. Workers only *apply* synced gradients on `StepEnd`
+/// either way, so the result is bitwise identical; the returned flow
+/// list is emitted in canonical per-target order regardless of arrival
+/// order, keeping the modeled sync time deterministic.
 pub(crate) fn sync_grads_over(
     hub: &mut MasterHub,
     placement: &ReplicatedPlacement,
     routes: &HashMap<(usize, usize), usize>,
     grad_bytes: u32,
+    overlap: bool,
+    st: &mut MigrationState,
+) -> Result<Vec<(usize, u64)>, TransportError> {
+    let targets = sync_targets(placement, routes, st);
+    if targets.is_empty() {
+        return Ok(Vec::new());
+    }
+    if !overlap {
+        return sync_sequential(hub, &targets, grad_bytes, st);
+    }
+    sync_overlapped(hub, &targets, grad_bytes, st)
+}
+
+/// Sequential per-target round-trips (the seed protocol).
+fn sync_sequential(
+    hub: &mut MasterHub,
+    targets: &[SyncTarget],
+    grad_bytes: u32,
+    st: &mut MigrationState,
 ) -> Result<Vec<(usize, u64)>, TransportError> {
     let mut flows = Vec::new();
-    for (block, expert) in placement.replicated_pairs() {
-        let serving = routes
-            .get(&(block, expert))
-            .copied()
-            .unwrap_or_else(|| placement.primary(block, expert));
+    for t in targets {
+        let (block, expert, serving) = (t.block, t.expert, t.serving);
         let req = Message::FetchGrads {
             block: block as u32,
             expert: expert as u32,
@@ -206,7 +445,7 @@ pub(crate) fn sync_grads_over(
         };
         flows.push((serving, req.accounted_bytes()));
         hub.send(serving, &req)?;
-        let (src, msg) = hub.recv()?;
+        let (src, msg) = recv_routed(hub, st)?;
         if src != serving {
             return Err(TransportError::Protocol(format!(
                 "grad state arrived from worker {src}, expected {serving}"
@@ -229,13 +468,7 @@ pub(crate) fn sync_grads_over(
             )));
         }
         flows.push((serving, reply_bytes));
-        let peers: Vec<usize> = placement
-            .replicas_of(block, expert)
-            .iter()
-            .copied()
-            .filter(|&w| w != serving)
-            .collect();
-        for w in peers {
+        for &w in &t.peers {
             let install = Message::GradState {
                 block: block as u32,
                 expert: expert as u32,
@@ -243,7 +476,7 @@ pub(crate) fn sync_grads_over(
             };
             flows.push((w, install.accounted_bytes()));
             hub.send(w, &install)?;
-            let (dst, ack) = hub.recv()?;
+            let (dst, ack) = recv_routed(hub, st)?;
             if dst != w {
                 return Err(TransportError::Protocol(format!(
                     "grad sync ack arrived from worker {dst}, expected {w}"
@@ -263,6 +496,102 @@ pub(crate) fn sync_grads_over(
         }
     }
     Ok(flows)
+}
+
+/// All fetches issued up front; states forwarded to peers on arrival;
+/// acks collected last. Flow accounting is slotted per target so the
+/// returned list is identical to the sequential protocol's no matter
+/// how replies interleave.
+fn sync_overlapped(
+    hub: &mut MasterHub,
+    targets: &[SyncTarget],
+    grad_bytes: u32,
+    st: &mut MigrationState,
+) -> Result<Vec<(usize, u64)>, TransportError> {
+    let mut slots: Vec<Vec<(usize, u64)>> = Vec::with_capacity(targets.len());
+    let mut index: HashMap<(usize, usize), usize> = HashMap::new();
+    for (i, t) in targets.iter().enumerate() {
+        index.insert((t.block, t.expert), i);
+        let req = Message::FetchGrads {
+            block: t.block as u32,
+            expert: t.expert as u32,
+            grad_bytes,
+        };
+        slots.push(vec![(t.serving, req.accounted_bytes())]);
+        hub.send(t.serving, &req)?;
+    }
+    let mut states_left = targets.len();
+    // Acks still owed, tracked per target by peer index so duplicates
+    // and strangers are protocol errors, not miscounts.
+    let mut acks_owed: Vec<Vec<usize>> = targets.iter().map(|t| t.peers.clone()).collect();
+    let mut total_acks: usize = acks_owed.iter().map(Vec::len).sum();
+    while states_left > 0 || total_acks > 0 {
+        let (w, msg) = recv_routed(hub, st)?;
+        let bytes = msg.accounted_bytes();
+        match msg {
+            Message::GradState {
+                block,
+                expert,
+                payload,
+            } => {
+                let key = (block as usize, expert as usize);
+                let &i = index.get(&key).ok_or_else(|| {
+                    TransportError::Protocol(format!(
+                        "grad state for unsynced expert ({block},{expert})"
+                    ))
+                })?;
+                let t = &targets[i];
+                if w != t.serving {
+                    return Err(TransportError::Protocol(format!(
+                        "grad state arrived from worker {w}, expected {}",
+                        t.serving
+                    )));
+                }
+                if slots[i].len() > 1 {
+                    return Err(TransportError::Protocol(format!(
+                        "duplicate grad state for expert ({block},{expert})"
+                    )));
+                }
+                slots[i].push((w, bytes));
+                for &p in &t.peers {
+                    let install = Message::GradState {
+                        block,
+                        expert,
+                        payload: payload.clone(),
+                    };
+                    slots[i].push((p, install.accounted_bytes()));
+                    hub.send(p, &install)?;
+                    // The fixed-size ack is appended now so the flow
+                    // list comes out in canonical per-target order.
+                    let ack = Message::GradSyncDone { block, expert };
+                    slots[i].push((p, ack.accounted_bytes()));
+                }
+                states_left -= 1;
+            }
+            Message::GradSyncDone { block, expert } => {
+                let key = (block as usize, expert as usize);
+                let &i = index.get(&key).ok_or_else(|| {
+                    TransportError::Protocol(format!(
+                        "grad sync ack for unsynced expert ({block},{expert})"
+                    ))
+                })?;
+                let Some(pos) = acks_owed[i].iter().position(|&p| p == w) else {
+                    return Err(TransportError::Protocol(format!(
+                        "unexpected grad sync ack from worker {w} for expert \
+                         ({block},{expert})"
+                    )));
+                };
+                acks_owed[i].swap_remove(pos);
+                total_acks -= 1;
+            }
+            other => {
+                return Err(TransportError::Protocol(format!(
+                    "unexpected frame during grad sync: {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(slots.concat())
 }
 
 /// Emits per-worker `(expert, rows)` trace events for a routed exchange —
@@ -322,6 +651,8 @@ pub struct BrokerClient {
     exchange_cfg: ExchangeConfig,
     plan: ChunkPlan,
     tuner: AutoTuner,
+    /// Background migration lanes (overlap mode); empty in sync mode.
+    migrations: MigrationState,
 }
 
 impl BrokerClient {
@@ -348,6 +679,7 @@ impl BrokerClient {
             exchange_cfg: ExchangeConfig::from_env(),
             plan: ChunkPlan::default(),
             tuner: AutoTuner::default(),
+            migrations: MigrationState::default(),
         }
     }
 
@@ -405,11 +737,13 @@ impl BrokerClient {
     }
 
     /// Broadcasts `StepEnd` and waits for every worker's `StepDone`.
+    /// Migration-lane frames drained while waiting are relayed, not
+    /// errors: the wait is a natural window for background transfers.
     pub fn step_end_and_wait(&mut self) -> Result<(), TransportError> {
         self.hub.broadcast(&Message::StepEnd)?;
         let mut pending = self.hub.worker_count();
         while pending > 0 {
-            let (w, msg) = self.hub.recv()?;
+            let (w, msg) = recv_routed(&mut self.hub, &mut self.migrations)?;
             if msg != Message::StepDone {
                 return Err(TransportError::Protocol(format!(
                     "worker {w}: expected StepDone, got {msg:?}"
@@ -441,7 +775,7 @@ impl BrokerClient {
                 expert: expert as u32,
             },
         )?;
-        let (src, msg) = self.hub.recv()?;
+        let (src, msg) = recv_routed(&mut self.hub, &mut self.migrations)?;
         if src != from {
             return Err(TransportError::Protocol(format!(
                 "expert state arrived from worker {src}, expected {from}"
@@ -515,7 +849,7 @@ impl BrokerClient {
                 data,
             },
         )?;
-        let (dst, ack) = self.hub.recv()?;
+        let (dst, ack) = recv_routed(&mut self.hub, &mut self.migrations)?;
         if dst != to {
             return Err(TransportError::Protocol(format!(
                 "install ack arrived from worker {dst}, expected {to}"
@@ -531,6 +865,249 @@ impl BrokerClient {
         // stale forward route to it.
         self.routes.remove(&(block, expert));
         Ok(bytes)
+    }
+
+    /// Starts a background migration of one expert to worker `to` and
+    /// returns immediately: the destination is told to expect a shadow
+    /// install (`ShadowBegin`, control plane), the source is told to
+    /// stream a boundary snapshot (`FetchShadow`), and the chunk stream
+    /// is relayed by whatever routed drain runs next — the transfer rides
+    /// the per-link writer threads underneath training compute. The old
+    /// placement keeps serving until the lane cuts over at a step
+    /// boundary (see [`Self::pump_migrations`]).
+    ///
+    /// No-ops when `to` is already the primary; the replica fast path
+    /// re-roots the primary synchronously, exactly like
+    /// [`Self::migrate_expert`] — there is nothing to stream.
+    pub fn start_migration(
+        &mut self,
+        block: usize,
+        expert: usize,
+        to: usize,
+    ) -> Result<(), TransportError> {
+        let from = self.placement.primary(block, expert);
+        if from == to {
+            return Ok(());
+        }
+        if self
+            .migrations
+            .lanes
+            .iter()
+            .any(|l| (l.block, l.expert) == (block, expert))
+            || self
+                .migrations
+                .queued
+                .iter()
+                .any(|&(b, e, ..)| (b, e) == (block, expert))
+        {
+            return Err(TransportError::Protocol(format!(
+                "expert ({block},{expert}) already has a migration lane in flight"
+            )));
+        }
+        if self.placement.replicas_of(block, expert).contains(&to) {
+            // `to` already holds a bit-identical replica (gradient sync
+            // keeps copies equal), so re-rooting the primary needs only
+            // the eviction fetch.
+            self.fetch_expert(block, expert)?;
+            self.placement.set_primary(block, expert, to);
+            self.routes.remove(&(block, expert));
+            return Ok(());
+        }
+        if self.migrations.streaming() >= MAX_ACTIVE_LANES || !self.migrations.queued.is_empty() {
+            // No free streaming slot (or earlier moves are already
+            // waiting): the move queues so the per-step slice stays
+            // small enough to hide. Admitted in request order as
+            // installs complete.
+            self.migrations.queued.push_back((block, expert, from, to));
+            return Ok(());
+        }
+        self.begin_lane(block, expert, from, to)
+    }
+
+    /// Opens the shadow window for one admitted move: announce, snapshot
+    /// request, lane record.
+    fn begin_lane(
+        &mut self,
+        block: usize,
+        expert: usize,
+        from: usize,
+        to: usize,
+    ) -> Result<(), TransportError> {
+        // The announce must precede any relayed frame on the
+        // master → destination FIFO (a forwarded gradient state can
+        // otherwise outrun the first chunk). It moves no parameters, so
+        // it rides the unaccounted control path.
+        self.hub.send_control(
+            to,
+            Message::ShadowBegin {
+                block: block as u32,
+                expert: expert as u32,
+            }
+            .encode(),
+        )?;
+        self.hub.send(
+            from,
+            &Message::FetchShadow {
+                block: block as u32,
+                expert: expert as u32,
+            },
+        )?;
+        self.migrations.lanes.push(Lane {
+            block,
+            expert,
+            from,
+            to,
+            forwarded: 0,
+            installed: false,
+        });
+        Ok(())
+    }
+
+    /// Fills freed streaming slots from the admission queue.
+    fn admit_queued(&mut self) -> Result<(), TransportError> {
+        while self.migrations.streaming() < MAX_ACTIVE_LANES {
+            let Some((block, expert, from, to)) = self.migrations.queued.pop_front() else {
+                break;
+            };
+            self.begin_lane(block, expert, from, to)?;
+        }
+        Ok(())
+    }
+
+    /// Boundary service for background lanes: drains already-arrived lane
+    /// frames without blocking, refills the streaming slots from the
+    /// queue, and — once the *entire* plan is installed — cuts every lane
+    /// over together. Returns the number of lanes committed. Must be
+    /// called between steps — the next `StepBegin` on each link fences
+    /// the cutover so both sides switch placement at the same step
+    /// boundary.
+    pub fn pump_migrations(&mut self, step: u64) -> Result<usize, TransportError> {
+        if self.migrations.in_flight() == 0 {
+            return Ok(0);
+        }
+        let _g = vela_obs::span(SPAN_MIGRATION_PUMP);
+        let t0 = vela_obs::enabled().then(vela_obs::now_us);
+        loop {
+            match self.hub.recv_timeout(Duration::ZERO) {
+                Ok((w, msg)) => {
+                    if let Some((w, msg)) =
+                        route_lane_frame(&mut self.hub, &mut self.migrations, w, msg)?
+                    {
+                        // Not lane traffic — put it back for the next
+                        // real drain.
+                        self.hub.push_pending(w, msg);
+                        break;
+                    }
+                }
+                Err(TransportError::Timeout) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        self.admit_queued()?;
+        let committed = self.commit_installed(step)?;
+        if let Some(t0) = t0 {
+            MIGRATION_PUMP_US.add(vela_obs::now_us().saturating_sub(t0));
+        }
+        Ok(committed)
+    }
+
+    /// Blocks until every in-flight lane has installed, then commits them
+    /// all. Returns the number of lanes committed. Called before
+    /// re-planning placement (a new `apply_placement` must observe the
+    /// previous one's final state) and at shutdown.
+    pub fn finish_migrations(&mut self, step: u64) -> Result<usize, TransportError> {
+        if self.migrations.in_flight() == 0 {
+            return Ok(0);
+        }
+        let t0 = vela_obs::enabled().then(vela_obs::now_us);
+        let mut committed = 0usize;
+        while self.migrations.in_flight() > 0 {
+            // Keep the streaming slots full — a flush is stop-the-world
+            // anyway, so the queue drains without steps to hide under.
+            self.admit_queued()?;
+            while self.migrations.lanes.iter().any(|l| !l.installed) {
+                let (w, msg) = self.hub.recv()?;
+                if let Some((w, msg)) =
+                    route_lane_frame(&mut self.hub, &mut self.migrations, w, msg)?
+                {
+                    return Err(TransportError::Protocol(format!(
+                        "unexpected frame from worker {w} while flushing migrations: {msg:?}"
+                    )));
+                }
+            }
+            committed += self.commit_installed(step)?;
+        }
+        if let Some(t0) = t0 {
+            MIGRATION_FLUSH_US.add(vela_obs::now_us().saturating_sub(t0));
+        }
+        Ok(committed)
+    }
+
+    /// Cuts the whole plan over at once — but only when every lane is
+    /// installed and the admission queue is empty. Committing lanes
+    /// piecemeal as they land would reset each expert's destination
+    /// optimizer moments at a *different* boundary, and AdamW is
+    /// path-dependent: the result would diverge bitwise from a
+    /// stop-the-world migration. Holding installed lanes in gradient
+    /// lockstep until the group is complete keeps the single-boundary
+    /// equivalence exact. Each cutover is `Evict` to the source and
+    /// `MigrationCommit` to the destination (control-plane frames — the
+    /// cutover itself moves no parameters), then the primary flips and
+    /// any cached route to the evicted copy is dropped. FIFO links order
+    /// both frames before the next step's traffic, so each side switches
+    /// exactly at the boundary.
+    fn commit_installed(&mut self, step: u64) -> Result<usize, TransportError> {
+        if !self.migrations.group_ready() {
+            return Ok(0);
+        }
+        let mut committed = 0usize;
+        for lane in std::mem::take(&mut self.migrations.lanes) {
+            let (b, e) = (lane.block as u32, lane.expert as u32);
+            self.hub.send_control(
+                lane.from,
+                Message::Evict {
+                    block: b,
+                    expert: e,
+                }
+                .encode(),
+            )?;
+            self.hub.send_control(
+                lane.to,
+                Message::MigrationCommit {
+                    block: b,
+                    expert: e,
+                }
+                .encode(),
+            )?;
+            self.placement.set_primary(lane.block, lane.expert, lane.to);
+            self.routes.remove(&(lane.block, lane.expert));
+            self.migrations.bytes += lane.forwarded;
+            self.migrations.committed += 1;
+            self.migrations.last_commit_step = step;
+            MIGRATION_COMMITS.add(1);
+            committed += 1;
+        }
+        Ok(committed)
+    }
+
+    /// Lanes still streaming or awaiting cutover.
+    pub fn migrations_in_flight(&self) -> usize {
+        self.migrations.in_flight()
+    }
+
+    /// Parameter bytes moved by committed background lanes so far.
+    pub fn migration_bytes(&self) -> u64 {
+        self.migrations.bytes
+    }
+
+    /// Background lanes committed (cut over) so far.
+    pub fn migrations_committed(&self) -> u64 {
+        self.migrations.committed
+    }
+
+    /// Engine step of the most recent background cutover (0 = none yet).
+    pub fn last_commit_step(&self) -> u64 {
+        self.migrations.last_commit_step
     }
 
     /// Drains the per-block communication logs accumulated since the last
@@ -559,7 +1136,14 @@ impl BrokerClient {
         &mut self,
         grad_bytes: u32,
     ) -> Result<Vec<(usize, u64)>, TransportError> {
-        sync_grads_over(&mut self.hub, &self.placement, &self.routes, grad_bytes)
+        sync_grads_over(
+            &mut self.hub,
+            &self.placement,
+            &self.routes,
+            grad_bytes,
+            self.exchange_cfg.sync_overlap,
+            &mut self.migrations,
+        )
     }
 
     /// Dispatch + gather for one block and pass: the chunked, coalescing
@@ -645,6 +1229,7 @@ impl BrokerClient {
                 while received < owed {
                     received += drain_one(
                         &mut self.hub,
+                        &mut self.migrations,
                         &self.plan,
                         &expert_index,
                         block,
@@ -684,6 +1269,7 @@ impl BrokerClient {
         while received < sent {
             received += drain_one(
                 &mut self.hub,
+                &mut self.migrations,
                 &self.plan,
                 &expert_index,
                 block,
@@ -854,6 +1440,7 @@ fn send_tick(
 #[allow(clippy::too_many_arguments)]
 fn drain_one(
     hub: &mut MasterHub,
+    migrations: &mut MigrationState,
     plan: &ChunkPlan,
     expert_index: &HashMap<usize, usize>,
     block: usize,
@@ -867,7 +1454,7 @@ fn drain_one(
     let (w, msg) = {
         let _g = vela_obs::span(SPAN_INFLIGHT);
         let t0 = timer.mark();
-        let r = hub.recv()?;
+        let r = recv_routed(hub, migrations)?;
         timer.add_wait(t0);
         r
     };
@@ -1084,7 +1671,7 @@ impl ExpertProvider for BrokerClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transport::{star, Quant, WireFormat};
+    use crate::transport::{star, WireFormat};
     use crate::worker::ExpertManager;
     use std::sync::Arc;
     use vela_cluster::{DeviceId, Topology, TrafficLedger};
@@ -1257,7 +1844,7 @@ mod tests {
                             microbatch,
                             depth,
                             wire,
-                            quant: Quant::Off,
+                            ..ExchangeConfig::default()
                         });
                         assert_eq!(
                             baseline,

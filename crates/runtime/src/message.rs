@@ -496,6 +496,73 @@ pub enum Message {
         /// Expert index within the block.
         expert: u32,
     },
+    /// Asks the worker to serialize one expert *without evicting it*
+    /// (master → source worker, background migration). The worker streams
+    /// the checkpoint back as bounded [`Message::ExpertChunk`] frames
+    /// followed by one [`Message::OptimState`] frame, then keeps serving
+    /// the expert until it receives [`Message::Evict`] at cutover.
+    FetchShadow {
+        /// MoE block index.
+        block: u32,
+        /// Expert index within the block.
+        expert: u32,
+    },
+    /// One bounded chunk of a serialized expert in transit (source →
+    /// master → destination). Chunks are emitted in offset order on one
+    /// link, so the receiver enforces contiguity (`offset` must equal the
+    /// bytes received so far) instead of allocating `total` up front.
+    ExpertChunk {
+        /// MoE block index.
+        block: u32,
+        /// Expert index within the block.
+        expert: u32,
+        /// Byte offset of this chunk within the serialized expert.
+        offset: u64,
+        /// Total serialized size, repeated in every chunk.
+        total: u64,
+        /// The chunk's bytes (at most [`EXPERT_CHUNK_BYTES`]).
+        data: Vec<u8>,
+    },
+    /// Flattened Adam moment estimates for one expert (source → master →
+    /// destination): for each trainable parameter in visit order, the
+    /// first-moment row then the second-moment row. Part of the pinned
+    /// snapshot a shadow install replays forward from.
+    OptimState {
+        /// MoE block index.
+        block: u32,
+        /// Expert index within the block.
+        expert: u32,
+        /// `1 × 2N` row of moments (virtual in the simulated engine).
+        payload: Payload,
+    },
+    /// Announces an incoming shadow install (master → destination,
+    /// control plane): the destination starts buffering chunks and any
+    /// gradients forwarded for the expert before its install completes.
+    ShadowBegin {
+        /// MoE block index.
+        block: u32,
+        /// Expert index within the block.
+        expert: u32,
+    },
+    /// Cutover control frame (master → source): drop the now-stale source
+    /// copy of a migrated expert.
+    Evict {
+        /// MoE block index.
+        block: u32,
+        /// Expert index within the block.
+        expert: u32,
+    },
+    /// Cutover control frame (master → destination): the shadow install
+    /// becomes the serving copy; the destination restores whatever
+    /// optimizer-moment entries the expert's parameters had before the
+    /// install, so its state is exactly what a stop-the-world migration
+    /// at the cutover step would have produced.
+    MigrationCommit {
+        /// MoE block index.
+        block: u32,
+        /// Expert index within the block.
+        expert: u32,
+    },
 }
 
 const TAG_STEP_BEGIN: u8 = 1;
@@ -518,6 +585,18 @@ const TAG_CLOCK_REPLY: u8 = 17;
 const TAG_FETCH_GRADS: u8 = 18;
 const TAG_GRAD_STATE: u8 = 19;
 const TAG_GRAD_SYNC_DONE: u8 = 20;
+const TAG_FETCH_SHADOW: u8 = 21;
+const TAG_EXPERT_CHUNK: u8 = 22;
+const TAG_OPTIM_STATE: u8 = 23;
+const TAG_SHADOW_BEGIN: u8 = 24;
+const TAG_EVICT: u8 = 25;
+const TAG_MIGRATION_COMMIT: u8 = 26;
+
+/// Upper bound on the payload of one [`Message::ExpertChunk`] frame.
+/// Bounded chunks keep the per-link writer queues responsive: a multi-MB
+/// expert transfer interleaves with dispatch frames instead of
+/// head-of-line blocking them.
+pub const EXPERT_CHUNK_BYTES: usize = 64 * 1024;
 
 const PAYLOAD_REAL: u8 = 0;
 const PAYLOAD_VIRTUAL: u8 = 1;
@@ -632,6 +711,46 @@ impl Message {
             } => encode_payload_msg(&mut buf, TAG_GRAD_STATE, *block, *expert, payload),
             Message::GradSyncDone { block, expert } => {
                 buf.put_u8(TAG_GRAD_SYNC_DONE);
+                buf.put_u32(*block);
+                buf.put_u32(*expert);
+            }
+            Message::FetchShadow { block, expert } => {
+                buf.put_u8(TAG_FETCH_SHADOW);
+                buf.put_u32(*block);
+                buf.put_u32(*expert);
+            }
+            Message::ExpertChunk {
+                block,
+                expert,
+                offset,
+                total,
+                data,
+            } => {
+                buf.put_u8(TAG_EXPERT_CHUNK);
+                buf.put_u32(*block);
+                buf.put_u32(*expert);
+                buf.put_u64(*offset);
+                buf.put_u64(*total);
+                buf.put_u64(data.len() as u64);
+                buf.put_slice(data);
+            }
+            Message::OptimState {
+                block,
+                expert,
+                payload,
+            } => encode_payload_msg(&mut buf, TAG_OPTIM_STATE, *block, *expert, payload),
+            Message::ShadowBegin { block, expert } => {
+                buf.put_u8(TAG_SHADOW_BEGIN);
+                buf.put_u32(*block);
+                buf.put_u32(*expert);
+            }
+            Message::Evict { block, expert } => {
+                buf.put_u8(TAG_EVICT);
+                buf.put_u32(*block);
+                buf.put_u32(*expert);
+            }
+            Message::MigrationCommit { block, expert } => {
+                buf.put_u8(TAG_MIGRATION_COMMIT);
                 buf.put_u32(*block);
                 buf.put_u32(*expert);
             }
@@ -784,6 +903,65 @@ impl Message {
                 block: bytes.get_u32()?,
                 expert: bytes.get_u32()?,
             },
+            TAG_FETCH_SHADOW => Message::FetchShadow {
+                block: bytes.get_u32()?,
+                expert: bytes.get_u32()?,
+            },
+            TAG_EXPERT_CHUNK => {
+                let block = bytes.get_u32()?;
+                let expert = bytes.get_u32()?;
+                let offset = bytes.get_u64()?;
+                let total = bytes.get_u64()?;
+                let len = bytes.get_u64()?;
+                if len > bytes.remaining() as u64 {
+                    return Err(WireError::BadLength {
+                        what: "expert chunk",
+                        declared: len,
+                        available: bytes.remaining(),
+                    });
+                }
+                // A chunk that would run past the declared blob size is
+                // corrupt; reject before allocating, like the length check
+                // above.
+                if offset.checked_add(len).map_or(true, |end| end > total) {
+                    return Err(WireError::BadLength {
+                        what: "expert chunk span",
+                        declared: offset.saturating_add(len),
+                        available: total as usize,
+                    });
+                }
+                let mut data = vec![0u8; len as usize];
+                bytes.copy_to_slice(&mut data)?;
+                Message::ExpertChunk {
+                    block,
+                    expert,
+                    offset,
+                    total,
+                    data,
+                }
+            }
+            TAG_OPTIM_STATE => {
+                let block = bytes.get_u32()?;
+                let expert = bytes.get_u32()?;
+                let payload = decode_payload(&mut bytes)?;
+                Message::OptimState {
+                    block,
+                    expert,
+                    payload,
+                }
+            }
+            TAG_SHADOW_BEGIN => Message::ShadowBegin {
+                block: bytes.get_u32()?,
+                expert: bytes.get_u32()?,
+            },
+            TAG_EVICT => Message::Evict {
+                block: bytes.get_u32()?,
+                expert: bytes.get_u32()?,
+            },
+            TAG_MIGRATION_COMMIT => Message::MigrationCommit {
+                block: bytes.get_u32()?,
+                expert: bytes.get_u32()?,
+            },
             other => {
                 return Err(WireError::BadTag {
                     what: "message",
@@ -816,6 +994,27 @@ impl Message {
             Message::GradState { payload, .. } => 9 + payload.accounted_bytes(),
             Message::FetchGrads { .. } => 13,
             Message::GradSyncDone { .. } => 9,
+            // A chunked expert transfer accounts exactly what the single
+            // ExpertState frame it replaces would have (17 + blob bytes):
+            // the first chunk carries the 17-byte header charge, later
+            // chunks account data only. FetchShadow mirrors FetchExpert's
+            // 9 bytes, so a full shadow migration's ledger bytes equal a
+            // stop-the-world migration's by construction.
+            Message::FetchShadow { .. } => 9,
+            Message::ExpertChunk { offset, data, .. } => {
+                if *offset == 0 {
+                    17 + data.len() as u64
+                } else {
+                    data.len() as u64
+                }
+            }
+            Message::OptimState { payload, .. } => 9 + payload.accounted_bytes(),
+            // Cutover/announce frames are control-plane plumbing sent via
+            // the hub's unaccounted control path (like bootstrap frames);
+            // the values here are their header sizes for completeness.
+            Message::ShadowBegin { .. }
+            | Message::Evict { .. }
+            | Message::MigrationCommit { .. } => 9,
             Message::StepEnd | Message::StepDone | Message::Shutdown => 1,
             // A group accounts exactly what its items would have cost as
             // individual per-batch frames (9-byte routing header each), so
@@ -858,7 +1057,31 @@ impl Message {
     pub fn is_grad_sync(&self) -> bool {
         matches!(
             self,
-            Message::FetchGrads { .. } | Message::GradState { .. } | Message::GradSyncDone { .. }
+            Message::FetchGrads { .. }
+                | Message::GradState { .. }
+                | Message::GradSyncDone { .. }
+                // Optimizer moments ride the sync bucket, not the
+                // migration bucket: they are extra state the overlap path
+                // ships to keep the shadow in lockstep, priced honestly
+                // but kept out of the migration-byte parity between sync
+                // and overlap modes.
+                | Message::OptimState { .. }
+        )
+    }
+
+    /// Whether this frame moves expert parameters between workers
+    /// (stop-the-world migration, chunked shadow transfer, or the
+    /// fetch/ack frames around them), so the ledger can attribute its
+    /// bytes to `migration_bytes` as well as the ordinary per-link
+    /// totals.
+    pub fn is_migration(&self) -> bool {
+        matches!(
+            self,
+            Message::FetchExpert { .. }
+                | Message::ExpertState { .. }
+                | Message::InstallDone { .. }
+                | Message::FetchShadow { .. }
+                | Message::ExpertChunk { .. }
         )
     }
 
@@ -900,6 +1123,8 @@ impl Message {
             // wire counters: like migration, it moves per-parameter
             // tensors, not token batches.
             Message::GradState { payload, .. } => (FrameKind::ExpertState, real_bytes(payload)),
+            Message::ExpertChunk { data, .. } => (FrameKind::ExpertState, data.len() as u64),
+            Message::OptimState { payload, .. } => (FrameKind::ExpertState, real_bytes(payload)),
             _ => (FrameKind::Control, 0),
         };
         (kind, (encoded_len as u64).saturating_sub(payload), payload)
@@ -917,6 +1142,122 @@ pub enum FrameKind {
     ExpertState,
     /// Everything else (step markers, acks, shutdown).
     Control,
+}
+
+/// Splits a serialized expert into bounded [`Message::ExpertChunk`]
+/// frames in offset order. Always yields at least one frame (an empty
+/// chunk for an empty blob) so the receiver learns `total` even when it
+/// is zero.
+pub fn chunk_expert_state(block: u32, expert: u32, data: &[u8]) -> Vec<Message> {
+    let total = data.len() as u64;
+    if data.is_empty() {
+        return vec![Message::ExpertChunk {
+            block,
+            expert,
+            offset: 0,
+            total,
+            data: Vec::new(),
+        }];
+    }
+    let mut frames = Vec::with_capacity(data.len().div_ceil(EXPERT_CHUNK_BYTES));
+    let mut offset = 0u64;
+    for chunk in data.chunks(EXPERT_CHUNK_BYTES) {
+        frames.push(Message::ExpertChunk {
+            block,
+            expert,
+            offset,
+            total,
+            data: chunk.to_vec(),
+        });
+        offset += chunk.len() as u64;
+    }
+    frames
+}
+
+/// Reassembles [`Message::ExpertChunk`] frames back into the serialized
+/// expert. The buffer grows chunk by chunk — never allocated from the
+/// declared `total` — and every frame must continue exactly where the
+/// previous one ended: overlaps, gaps, inconsistent totals and overruns
+/// are all rejected before any bytes are copied.
+#[derive(Debug)]
+pub struct ChunkAssembler {
+    block: u32,
+    expert: u32,
+    total: Option<u64>,
+    buf: Vec<u8>,
+}
+
+impl ChunkAssembler {
+    /// An empty assembler for one expert's transfer.
+    pub fn new(block: u32, expert: u32) -> Self {
+        ChunkAssembler {
+            block,
+            expert,
+            total: None,
+            buf: Vec::new(),
+        }
+    }
+
+    /// The expert this assembler collects, as `(block, expert)`.
+    pub fn key(&self) -> (u32, u32) {
+        (self.block, self.expert)
+    }
+
+    /// Bytes received so far.
+    pub fn received(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Accepts one chunk. `offset` must equal the bytes received so far
+    /// (frames arrive in order on one link, so anything else is a gap,
+    /// an overlap or a reordering bug) and every frame must agree on
+    /// `total`.
+    pub fn accept(&mut self, offset: u64, total: u64, data: &[u8]) -> Result<(), WireError> {
+        let clamp = |v: u64| v.min(u32::MAX as u64) as u32;
+        if let Some(t) = self.total {
+            if t != total {
+                return Err(WireError::BadSpan {
+                    what: "expert chunk total",
+                    expert: self.expert,
+                    declared: clamp(total),
+                    expected: clamp(t),
+                });
+            }
+        } else {
+            self.total = Some(total);
+        }
+        if offset != self.received() {
+            return Err(WireError::BadSpan {
+                what: "expert chunk offset",
+                expert: self.expert,
+                declared: clamp(offset),
+                expected: clamp(self.received()),
+            });
+        }
+        let end = offset
+            .checked_add(data.len() as u64)
+            .filter(|&end| end <= total);
+        if end.is_none() {
+            return Err(WireError::BadLength {
+                what: "expert chunk span",
+                declared: offset.saturating_add(data.len() as u64),
+                available: total as usize,
+            });
+        }
+        self.buf.extend_from_slice(data);
+        Ok(())
+    }
+
+    /// Whether every byte of the transfer has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.total == Some(self.received())
+    }
+
+    /// The reassembled blob. Call once [`ChunkAssembler::is_complete`].
+    pub fn into_bytes(self) -> Vec<u8> {
+        debug_assert!(self.total == Some(self.buf.len() as u64));
+        self.buf
+    }
 }
 
 fn encode_group(
@@ -954,10 +1295,7 @@ fn encode_payload(buf: &mut ByteWriter, payload: &Payload) {
             buf.put_u8(PAYLOAD_REAL);
             buf.put_u32(*rows);
             buf.put_u32(*cols);
-            buf.reserve(data.len() * 4);
-            for v in data {
-                buf.put_f32(*v);
-            }
+            buf.put_f32s(data);
         }
         Payload::Virtual {
             rows,
@@ -999,16 +1337,11 @@ fn encoding_tag(data: &PackedData) -> u8 {
 fn encode_packed_region(buf: &mut ByteWriter, data: &PackedData) {
     match data {
         PackedData::F32(values) => {
-            buf.reserve(values.len() * 4);
-            for v in values {
-                buf.put_f32(*v);
-            }
+            buf.put_f32s(values);
         }
         PackedData::Int8 { scales, codes } => {
-            buf.reserve(scales.len() * 4 + codes.len());
-            for s in scales {
-                buf.put_f32(*s);
-            }
+            buf.put_f32s(scales);
+            buf.reserve(codes.len());
             for &c in codes {
                 buf.put_u8(c as u8);
             }
@@ -1079,11 +1412,7 @@ fn decode_packed_region(
                 });
             }
             let n = total_rows as usize * width as usize;
-            let mut values = Vec::with_capacity(n);
-            for _ in 0..n {
-                values.push(bytes.get_f32()?);
-            }
-            Ok(PackedData::F32(values))
+            Ok(PackedData::F32(bytes.get_f32s(n)?))
         }
         ENC_INT8 => {
             let declared = total_rows
@@ -1097,10 +1426,7 @@ fn decode_packed_region(
                 });
             }
             let rows = total_rows as usize;
-            let mut scales = Vec::with_capacity(rows);
-            for _ in 0..rows {
-                scales.push(bytes.get_f32()?);
-            }
+            let scales = bytes.get_f32s(rows)?;
             let raw = bytes.get_bytes(rows * width as usize)?;
             let codes = raw.iter().map(|&b| b as i8).collect();
             Ok(PackedData::Int8 { scales, codes })
@@ -1205,10 +1531,7 @@ fn decode_payload(bytes: &mut ByteReader<'_>) -> Result<Payload, WireError> {
                     available: bytes.remaining(),
                 });
             }
-            let mut data = Vec::with_capacity(n as usize);
-            for _ in 0..n {
-                data.push(bytes.get_f32()?);
-            }
+            let data = bytes.get_f32s(n as usize)?;
             Ok(Payload::Real { rows, cols, data })
         }
         PAYLOAD_VIRTUAL => Ok(Payload::Virtual {
@@ -1859,6 +2182,246 @@ mod tests {
             Message::decode(&w.into_vec()),
             Err(WireError::BadLength {
                 what: "expert state",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn migration_frames_roundtrip() {
+        let msgs = [
+            Message::FetchShadow {
+                block: 3,
+                expert: 7,
+            },
+            Message::ExpertChunk {
+                block: 1,
+                expert: 2,
+                offset: 64,
+                total: 200,
+                data: vec![9u8; 32],
+            },
+            Message::OptimState {
+                block: 0,
+                expert: 5,
+                payload: Payload::Real {
+                    rows: 1,
+                    cols: 4,
+                    data: vec![0.5, -1.0, 2.0, 0.25],
+                },
+            },
+            Message::ShadowBegin {
+                block: 2,
+                expert: 9,
+            },
+            Message::Evict {
+                block: 4,
+                expert: 0,
+            },
+            Message::MigrationCommit {
+                block: 4,
+                expert: 0,
+            },
+        ];
+        for msg in &msgs {
+            assert_eq!(&Message::decode(&msg.encode()).unwrap(), msg);
+            assert!(!msg.is_clock());
+        }
+    }
+
+    #[test]
+    fn migration_classification_and_bucket_split() {
+        // The migration bucket sees exactly the frames that move
+        // parameter bytes (plus their fetch/ack), in both modes.
+        for msg in [
+            Message::FetchExpert {
+                block: 0,
+                expert: 0,
+            },
+            Message::ExpertState {
+                block: 0,
+                expert: 0,
+                data: vec![1, 2, 3],
+            },
+            Message::InstallDone {
+                block: 0,
+                expert: 0,
+            },
+            Message::FetchShadow {
+                block: 0,
+                expert: 0,
+            },
+            Message::ExpertChunk {
+                block: 0,
+                expert: 0,
+                offset: 0,
+                total: 3,
+                data: vec![1, 2, 3],
+            },
+        ] {
+            assert!(msg.is_migration(), "{msg:?}");
+            assert!(!msg.is_grad_sync(), "{msg:?}");
+        }
+        // Moments ride the sync bucket so migration-byte parity between
+        // sync and overlap modes holds by construction.
+        let optim = Message::OptimState {
+            block: 0,
+            expert: 0,
+            payload: Payload::Real {
+                rows: 1,
+                cols: 1,
+                data: vec![1.0],
+            },
+        };
+        assert!(optim.is_grad_sync() && !optim.is_migration());
+        // Control-plane cutover frames are in neither bucket.
+        let evict = Message::Evict {
+            block: 0,
+            expert: 0,
+        };
+        assert!(!evict.is_migration() && !evict.is_grad_sync());
+    }
+
+    #[test]
+    fn chunked_transfer_accounts_like_one_expert_state() {
+        let data = vec![7u8; 3 * EXPERT_CHUNK_BYTES + 123];
+        let whole = Message::ExpertState {
+            block: 0,
+            expert: 0,
+            data: data.clone(),
+        };
+        let frames = chunk_expert_state(0, 0, &data);
+        assert_eq!(frames.len(), 4);
+        let chunked: u64 = frames.iter().map(|f| f.accounted_bytes()).sum();
+        assert_eq!(chunked, whole.accounted_bytes());
+        // FetchShadow accounts like FetchExpert, so the full shadow
+        // transfer's ledger bytes equal a stop-the-world migration's.
+        assert_eq!(
+            Message::FetchShadow {
+                block: 0,
+                expert: 0
+            }
+            .accounted_bytes(),
+            Message::FetchExpert {
+                block: 0,
+                expert: 0
+            }
+            .accounted_bytes(),
+        );
+    }
+
+    #[test]
+    fn chunk_assembler_reassembles_bitwise() {
+        let data: Vec<u8> = (0..(2 * EXPERT_CHUNK_BYTES + 77))
+            .map(|i| i as u8)
+            .collect();
+        let mut asm = ChunkAssembler::new(1, 2);
+        for frame in chunk_expert_state(1, 2, &data) {
+            let decoded = Message::decode(&frame.encode()).unwrap();
+            match decoded {
+                Message::ExpertChunk {
+                    offset,
+                    total,
+                    data,
+                    ..
+                } => asm.accept(offset, total, &data).unwrap(),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(asm.is_complete());
+        assert_eq!(asm.into_bytes(), data);
+    }
+
+    #[test]
+    fn empty_expert_still_sends_one_chunk() {
+        let frames = chunk_expert_state(0, 1, &[]);
+        assert_eq!(frames.len(), 1);
+        let mut asm = ChunkAssembler::new(0, 1);
+        match &frames[0] {
+            Message::ExpertChunk {
+                offset,
+                total,
+                data,
+                ..
+            } => asm.accept(*offset, *total, data).unwrap(),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(asm.is_complete());
+        assert!(asm.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn chunk_assembler_rejects_gap_overlap_and_overrun() {
+        // Gap: second chunk skips ahead.
+        let mut asm = ChunkAssembler::new(0, 0);
+        asm.accept(0, 10, &[1, 2, 3]).unwrap();
+        assert!(matches!(
+            asm.accept(5, 10, &[4, 5]),
+            Err(WireError::BadSpan {
+                what: "expert chunk offset",
+                ..
+            })
+        ));
+        // Overlap: second chunk rewinds.
+        assert!(matches!(
+            asm.accept(1, 10, &[4, 5]),
+            Err(WireError::BadSpan {
+                what: "expert chunk offset",
+                ..
+            })
+        ));
+        // Inconsistent total.
+        assert!(matches!(
+            asm.accept(3, 11, &[4]),
+            Err(WireError::BadSpan {
+                what: "expert chunk total",
+                ..
+            })
+        ));
+        // Overrun past the declared total.
+        assert!(matches!(
+            asm.accept(3, 10, &[0; 8]),
+            Err(WireError::BadLength {
+                what: "expert chunk span",
+                ..
+            })
+        ));
+        // The rejected frames left the buffer untouched.
+        assert_eq!(asm.received(), 3);
+    }
+
+    #[test]
+    fn implausible_chunk_lengths_never_allocate() {
+        // Claims a huge chunk length but carries no data.
+        let mut w = crate::wire::ByteWriter::with_capacity(40);
+        w.put_u8(22); // ExpertChunk
+        w.put_u32(0);
+        w.put_u32(0);
+        w.put_u64(0); // offset
+        w.put_u64(u64::MAX); // total
+        w.put_u64(u64::MAX); // len
+        assert!(matches!(
+            Message::decode(&w.into_vec()),
+            Err(WireError::BadLength {
+                what: "expert chunk",
+                ..
+            })
+        ));
+
+        // A chunk whose span runs past its declared total is rejected at
+        // decode, before the receiver ever sees it.
+        let mut w = crate::wire::ByteWriter::with_capacity(40);
+        w.put_u8(22); // ExpertChunk
+        w.put_u32(0);
+        w.put_u32(0);
+        w.put_u64(90); // offset
+        w.put_u64(100); // total: 90 + 20 > 100
+        w.put_u64(20); // len
+        w.put_slice(&[0u8; 20]);
+        assert!(matches!(
+            Message::decode(&w.into_vec()),
+            Err(WireError::BadLength {
+                what: "expert chunk span",
                 ..
             })
         ));

@@ -307,6 +307,7 @@ mod tests {
                 internal_bytes: 0,
                 total_bytes: external,
                 sync_bytes: 0,
+                migration_bytes: 0,
             },
             time: TimeBreakdown {
                 comm_s: time,

@@ -34,6 +34,8 @@ pub(crate) const SPAN_SERIALIZE: &str = "runtime.pipeline.serialize";
 pub(crate) const SPAN_INFLIGHT: &str = "runtime.pipeline.inflight";
 /// Span around streamed-combine delivery of a completed chunk prefix.
 pub(crate) const SPAN_COMBINE: &str = "runtime.pipeline.combine";
+/// Span around the boundary migration pump (non-blocking lane service).
+pub(crate) const SPAN_MIGRATION_PUMP: &str = "runtime.migration.pump";
 
 /// Depth-gated sends that found replies still in flight: the ring was
 /// full and the master had to block before shipping the next tick.
@@ -43,6 +45,17 @@ pub(crate) static STALLS: LazyCounter = LazyCounter::new("runtime.pipeline.stall
 pub(crate) static STALL_US: LazyCounter = LazyCounter::new("runtime.pipeline.stall_us");
 /// Master time spent in streamed-combine delivery, µs.
 pub(crate) static COMBINE_US: LazyCounter = LazyCounter::new("runtime.pipeline.combine_us");
+/// Background migration chunk frames relayed master → destination.
+pub(crate) static MIGRATION_CHUNKS: LazyCounter = LazyCounter::new("runtime.migration.chunks");
+/// Background migration parameter bytes relayed master → destination.
+pub(crate) static MIGRATION_BYTES: LazyCounter = LazyCounter::new("runtime.migration.bytes");
+/// Background migrations cut over at a step boundary.
+pub(crate) static MIGRATION_COMMITS: LazyCounter = LazyCounter::new("runtime.migration.commits");
+/// Master time in the boundary migration pump, µs (lane relays that did
+/// not overlap compute — the visible cost of background migration).
+pub(crate) static MIGRATION_PUMP_US: LazyCounter = LazyCounter::new("runtime.migration.pump_us");
+/// Master time blocked flushing in-flight lanes (`finish_migrations`), µs.
+pub(crate) static MIGRATION_FLUSH_US: LazyCounter = LazyCounter::new("runtime.migration.flush_us");
 /// Master time spent encoding + enqueueing frames, µs.
 static SERIALIZE_US: LazyCounter = LazyCounter::new("runtime.pipeline.serialize_us");
 /// Σ over ticks of (tick fully drained − tick fully sent), µs. Overlapped

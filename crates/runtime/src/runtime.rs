@@ -30,8 +30,36 @@ use crate::broker::BrokerClient;
 use crate::launch::{launch_process_star, WorkerHandle};
 use crate::message::Message;
 use crate::metrics::{backbone_flops_per_token, master_worker_time, StepMetrics};
-use crate::transport::{build_star, ExchangeConfig, MasterHub, TransportConfig};
+use crate::transport::{
+    build_star, ExchangeConfig, MasterHub, MigrationMode, TransportConfig, TransportError,
+};
 use crate::worker::{expert_grads, ExpertManager, ExpertTemplate, WorkerBootstrap};
+
+/// What one [`RealRuntime::apply_placement`] call set in motion.
+///
+/// In sync mode everything already happened: the parameters moved inside
+/// the call and `traffic` holds the whole transfer. In overlap mode the
+/// call only planned and announced the lanes — the chunk streams ride
+/// subsequent step windows, `in_flight` lanes are still streaming, and
+/// the runtime cuts each one over at the first step boundary after its
+/// install acks (see [`RealRuntime::migrations_in_flight`] /
+/// [`RealRuntime::finish_migrations`]).
+#[derive(Debug, Clone)]
+pub struct MigrationHandle {
+    /// Experts whose primary changes under the target placement.
+    pub moved: usize,
+    /// Parameter bytes already moved when the call returned (the full
+    /// transfer in sync mode; replica fast-path moves are always 0).
+    pub bytes: u64,
+    /// Lanes still streaming in the background (always 0 in sync mode).
+    pub in_flight: usize,
+    /// The migration mode that produced this handle.
+    pub mode: MigrationMode,
+    /// Ledger window of the apply call itself: the whole transfer in sync
+    /// mode, just the snapshot requests in overlap mode — in-flight chunk
+    /// traffic lands in the step windows it actually overlaps.
+    pub traffic: vela_cluster::StepTraffic,
+}
 
 /// A live distributed fine-tuning session with real tensors.
 #[derive(Debug)]
@@ -51,6 +79,11 @@ pub struct RealRuntime {
     /// size of each replica gradient-sync transfer.
     grad_bytes: u32,
     step: usize,
+    /// Cumulative wall seconds the training loop has been *blocked* on
+    /// parameter movement: the sync-mode transfer loop, boundary pumps,
+    /// and migration flushes. Overlap-mode chunk relays that ride inside
+    /// step drains are not blocked time and are not counted here.
+    migration_blocked: f64,
 }
 
 impl RealRuntime {
@@ -200,6 +233,7 @@ impl RealRuntime {
             process_mode: transport.is_process_mode(),
             grad_bytes,
             step: 0,
+            migration_blocked: 0.0,
         }
     }
 
@@ -226,6 +260,26 @@ impl RealRuntime {
         self.broker.set_exchange(cfg);
     }
 
+    /// Overrides how `apply_placement` moves parameters (the
+    /// `VELA_MIGRATION` knob): stop-the-world inside the call, or
+    /// streamed in the background with a boundary cutover. Both end
+    /// states are bit-identical.
+    pub fn set_migration(&mut self, mode: MigrationMode) {
+        let mut cfg = self.broker.exchange_config();
+        cfg.migration = mode;
+        self.broker.set_exchange(cfg);
+    }
+
+    /// Overrides the replica grad-sync shape (the `VELA_SYNC_OVERLAP`
+    /// knob): sequential round-trips, or all fetches in flight at once.
+    /// Workers only apply synced gradients on `StepEnd`, so both shapes
+    /// are bit-identical.
+    pub fn set_sync_overlap(&mut self, on: bool) {
+        let mut cfg = self.broker.exchange_config();
+        cfg.sync_overlap = on;
+        self.broker.set_exchange(cfg);
+    }
+
     /// Wire frames shipped/drained by the master hub so far (out, in).
     pub fn frame_counts(&self) -> (u64, u64) {
         self.broker.frame_counts()
@@ -238,51 +292,108 @@ impl RealRuntime {
         self.broker.wire_stats()
     }
 
-    /// Live-migrates experts so the session matches `target`, between
-    /// steps. Returns `(experts_moved, parameter_bytes_moved, traffic)`,
-    /// where `traffic` is the byte-accurate ledger window of the migration
-    /// itself (fetch requests, parameter transfers, install acks).
+    /// Migrates experts so the session matches `target`, between steps.
+    ///
+    /// In sync mode (`VELA_MIGRATION=sync`, the default) each expert is
+    /// moved with a stop-the-world fetch/install round inside this call.
+    /// In overlap mode (`VELA_MIGRATION=overlap`) the call returns as
+    /// soon as the shadow installs are announced: parameter chunks stream
+    /// through the per-link writer threads underneath the following
+    /// training steps, the old placement keeps serving, and each expert
+    /// cuts over at the first step boundary after its install acks — at
+    /// which point it is bit-identical to a stop-the-world migration
+    /// performed at that boundary.
+    ///
+    /// Any background lanes still in flight from a previous call are
+    /// flushed first, so the plan always diffs against settled state.
     ///
     /// # Panics
-    /// Panics if `target`'s shape disagrees with the session or the
-    /// transport fails mid-migration.
+    /// Panics if `target`'s shape disagrees with the session. Transport
+    /// and protocol failures surface as [`TransportError`].
     pub fn apply_placement(
         &mut self,
         target: &Placement,
-    ) -> (usize, u64, vela_cluster::StepTraffic) {
+    ) -> Result<MigrationHandle, TransportError> {
+        self.finish_migrations()?;
         self.ledger.take_step();
         let plan = self.broker.placement().primaries().diff(target);
+        let mode = self.broker.exchange_config().migration;
         let mut bytes = 0;
         let moved = plan.len();
+        let t0 = std::time::Instant::now();
         for (block, expert, _, to) in plan {
-            bytes += self
-                .broker
-                .migrate_expert(block, expert, to)
-                .unwrap_or_else(|e| panic!("transport failed migrating expert: {e}"));
+            match mode {
+                MigrationMode::Sync => bytes += self.broker.migrate_expert(block, expert, to)?,
+                MigrationMode::Overlap => self.broker.start_migration(block, expert, to)?,
+            }
         }
-        (moved, bytes, self.ledger.take_step())
+        self.migration_blocked += t0.elapsed().as_secs_f64();
+        Ok(MigrationHandle {
+            moved,
+            bytes,
+            in_flight: self.broker.migrations_in_flight(),
+            mode,
+            traffic: self.ledger.take_step(),
+        })
+    }
+
+    /// Background migration lanes still streaming or awaiting cutover.
+    pub fn migrations_in_flight(&self) -> usize {
+        self.broker.migrations_in_flight()
+    }
+
+    /// Parameter bytes moved by committed background lanes so far.
+    pub fn migration_bytes(&self) -> u64 {
+        self.broker.migration_bytes()
+    }
+
+    /// Engine step at which the most recent background lane cut over
+    /// (0 = none yet). Post-cutover steps are bit-identical to a run that
+    /// stop-the-world-migrated at this boundary.
+    pub fn last_cutover_step(&self) -> u64 {
+        self.broker.last_commit_step()
+    }
+
+    /// Blocks until every background lane has installed and cuts them all
+    /// over. Returns the number of experts committed by this flush; 0
+    /// when nothing was in flight.
+    pub fn finish_migrations(&mut self) -> Result<usize, TransportError> {
+        let t0 = std::time::Instant::now();
+        let committed = self.broker.finish_migrations(self.step as u64)?;
+        self.migration_blocked += t0.elapsed().as_secs_f64();
+        Ok(committed)
+    }
+
+    /// Cumulative wall seconds the training loop has been blocked on
+    /// parameter movement (sync transfers, boundary pumps, flushes) since
+    /// launch. In overlap mode the chunk streams ride the step windows,
+    /// so only the apply call and the per-boundary pump/cutover service
+    /// accrue here — the benchmark's exposed-time column reads this.
+    pub fn migration_blocked_secs(&self) -> f64 {
+        self.migration_blocked
     }
 
     /// Runs one full distributed fine-tuning step and returns its metrics.
     ///
     /// # Panics
     /// Panics if `inputs.len() != batch * seq` (propagated from the model)
-    /// or the transport fails mid-step.
+    /// or the transport fails mid-exchange (the [`ExpertProvider`] seam is
+    /// infallible); control-plane failures surface as [`TransportError`].
+    ///
+    /// [`ExpertProvider`]: vela_model::provider::ExpertProvider
     pub fn train_step(
         &mut self,
         inputs: &[usize],
         targets: &[usize],
         batch: usize,
         seq: usize,
-    ) -> StepMetrics {
+    ) -> Result<StepMetrics, TransportError> {
         self.step += 1;
         self.ledger.take_step();
         // `BrokerClient::step_begin` advances the process-unique trace
         // step, so it must precede the span open for the span to be
         // tagged with this step.
-        self.broker
-            .step_begin()
-            .unwrap_or_else(|e| panic!("transport failed at step begin: {e}"));
+        self.broker.step_begin()?;
         let _span = vela_obs::span("runtime.step");
         let stats = self
             .model
@@ -294,15 +405,22 @@ impl RealRuntime {
         // Replica gradient sync rides between backward and StepEnd: the
         // workers' optimizers only run on StepEnd, so every replica steps
         // on the serving replica's gradients and copies stay bit-identical.
+        // In-flight migration destinations ride the same window, keeping
+        // each shadow install in lockstep with its source.
         let sync_flows = {
             let _sync = vela_obs::span("runtime.grad_sync");
-            self.broker
-                .sync_replica_grads(self.grad_bytes)
-                .unwrap_or_else(|e| panic!("transport failed during replica grad sync: {e}"))
+            self.broker.sync_replica_grads(self.grad_bytes)?
         };
-        self.broker
-            .step_end_and_wait()
-            .unwrap_or_else(|e| panic!("transport failed at step end: {e}"));
+        self.broker.step_end_and_wait()?;
+        // Step boundary: relay any lane chunks that already arrived,
+        // refill the streaming slots, and — once the whole plan has
+        // installed — cut every lane over together; both sides observe
+        // the flip before the next `StepBegin` on their FIFO links.
+        if self.broker.migrations_in_flight() > 0 {
+            let t0 = std::time::Instant::now();
+            self.broker.pump_migrations(self.step as u64)?;
+            self.migration_blocked += t0.elapsed().as_secs_f64();
+        }
 
         let traffic = self.ledger.take_step();
         let logs = self.broker.take_phase_logs();
@@ -324,12 +442,12 @@ impl RealRuntime {
                     .transfer_time(self.master, self.worker_devices[w], bytes)
             })
             .sum::<f64>();
-        StepMetrics {
+        Ok(StepMetrics {
             step: self.step,
             loss: Some(stats.loss),
             traffic,
             time,
-        }
+        })
     }
 
     /// Evaluates the loss on a batch without updating anything (used by
@@ -359,8 +477,15 @@ impl RealRuntime {
             workers,
             template,
             process_mode,
+            step,
             ..
         } = self;
+        // Settle any background lanes first: a half-streamed expert must
+        // either finish installing or stay owned by its source before the
+        // population is reassembled.
+        if let Err(e) = broker.finish_migrations(step as u64) {
+            vela_obs::warn!("flushing in-flight migrations at shutdown failed: {e}");
+        }
         let cfg = model.config().clone();
         let mut merged = LocalExpertStore::empty(cfg.blocks, cfg.experts);
         if process_mode {
@@ -495,7 +620,7 @@ mod tests {
         );
         assert_eq!(rt.transport_label(), "channel");
         let (inputs, targets) = toy_batch(&cfg, 2, 1);
-        let m = rt.train_step(&inputs, &targets, 2, cfg.seq_len);
+        let m = rt.train_step(&inputs, &targets, 2, cfg.seq_len).unwrap();
         assert_eq!(m.step, 1);
         assert!(m.loss.unwrap().is_finite());
         assert!(m.traffic.total_bytes > 0, "tokens must cross the transport");
@@ -524,12 +649,14 @@ mod tests {
         let (inputs, targets) = toy_batch(&cfg, 2, 2);
         let first = rt
             .train_step(&inputs, &targets, 2, cfg.seq_len)
+            .unwrap()
             .loss
             .unwrap();
         let mut last = first;
         for _ in 0..15 {
             last = rt
                 .train_step(&inputs, &targets, 2, cfg.seq_len)
+                .unwrap()
                 .loss
                 .unwrap();
         }
@@ -556,7 +683,7 @@ mod tests {
             AdamWConfig::default(),
         );
         let (inputs, targets) = toy_batch(&cfg, 1, 3);
-        let m = rt.train_step(&inputs, &targets, 1, cfg.seq_len);
+        let m = rt.train_step(&inputs, &targets, 1, cfg.seq_len).unwrap();
         // Only tiny control messages (StepBegin/StepEnd/StepDone) remain.
         assert!(
             m.traffic.total_bytes < 200,
@@ -587,6 +714,7 @@ mod tests {
             let losses: Vec<f32> = (0..2)
                 .map(|_| {
                     rt.train_step(&inputs, &targets, 2, cfg.seq_len)
+                        .unwrap()
                         .loss
                         .unwrap()
                 })
@@ -624,6 +752,7 @@ mod tests {
             for _ in 0..3 {
                 total += rt
                     .train_step(&inputs, &targets, 2, cfg.seq_len)
+                    .unwrap()
                     .traffic
                     .external_total();
             }

@@ -27,6 +27,7 @@
 pub mod channel;
 pub mod tcp;
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -270,6 +271,30 @@ impl Quant {
     }
 }
 
+/// How `apply_placement` moves expert parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationMode {
+    /// Stop-the-world: every `ExpertState` transfer completes between
+    /// steps before `apply_placement` returns (default).
+    Sync,
+    /// Background shadow install: `apply_placement` returns immediately
+    /// and chunked transfers interleave with training traffic through the
+    /// per-link writer threads; cutover happens at the first step boundary
+    /// after the destination acks, bit-identical to a stop-the-world
+    /// migration performed at that boundary.
+    Overlap,
+}
+
+impl MigrationMode {
+    /// Stable label for bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MigrationMode::Sync => "sync",
+            MigrationMode::Overlap => "overlap",
+        }
+    }
+}
+
 /// How a block-pass exchange is framed and pipelined.
 ///
 /// Orthogonal to [`TransportConfig`]: any exchange shape runs over any
@@ -299,6 +324,14 @@ pub struct ExchangeConfig {
     pub wire: WireFormat,
     /// Opt-in int8 row quantization (packed frames only).
     pub quant: Quant,
+    /// How expert migration moves parameters (stop-the-world or
+    /// background shadow install).
+    pub migration: MigrationMode,
+    /// Issue replica gradient-sync flows up front and drain replies in
+    /// arrival order instead of one sequential round-trip per expert.
+    /// Workers only apply gradients on `StepEnd`, so results stay
+    /// loss-for-loss bitwise identical either way.
+    pub sync_overlap: bool,
 }
 
 impl Default for ExchangeConfig {
@@ -309,6 +342,8 @@ impl Default for ExchangeConfig {
             depth: 2,
             wire: WireFormat::Legacy,
             quant: Quant::Off,
+            migration: MigrationMode::Sync,
+            sync_overlap: false,
         }
     }
 }
@@ -414,6 +449,29 @@ impl ExchangeConfig {
             Ok(other) => {
                 vela_obs::warn!("unknown VELA_QUANT={other:?}, staying exact");
             }
+        }
+        match std::env::var("VELA_MIGRATION").as_deref() {
+            Ok("overlap") => cfg.migration = MigrationMode::Overlap,
+            Ok("sync") | Err(_) => {}
+            Ok(other) => {
+                vela_obs::warn!("unknown VELA_MIGRATION={other:?}, using sync migration");
+            }
+        }
+        match std::env::var("VELA_SYNC_OVERLAP").as_deref() {
+            Ok("1") | Ok("on") | Ok("true") => cfg.sync_overlap = true,
+            Ok("0") | Ok("off") | Ok("false") | Err(_) => {}
+            Ok(other) => {
+                vela_obs::warn!("unknown VELA_SYNC_OVERLAP={other:?}, staying sequential");
+            }
+        }
+        if cfg.migration == MigrationMode::Overlap && cfg.quantized() {
+            // Sync-mode migration quantizes the master→destination install
+            // when VELA_QUANT=int8; the shadow lane is always exact, so the
+            // two modes would not be byte-identical. Overlap wins.
+            vela_obs::warn!(
+                "VELA_MIGRATION=overlap streams exact expert chunks; int8 expert-state \
+                 installs do not apply to migration in this mode"
+            );
         }
         cfg
     }
@@ -540,6 +598,11 @@ pub struct MasterHub {
     frames_out: u64,
     frames_in: u64,
     wire_stats: WireStats,
+    /// Frames drained out of order (e.g. a migration chunk surfacing
+    /// during a clock-probe window) are stashed here, already accounted,
+    /// and re-delivered by the next `recv`/`recv_timeout` — the hub never
+    /// drops a frame it has read off the wire.
+    pending: VecDeque<(usize, Message)>,
 }
 
 impl MasterHub {
@@ -561,6 +624,7 @@ impl MasterHub {
             frames_out: 0,
             frames_in: 0,
             wire_stats: WireStats::default(),
+            pending: VecDeque::new(),
         }
     }
 
@@ -612,6 +676,9 @@ impl MasterHub {
         if msg.is_grad_sync() {
             self.ledger
                 .record_sync(self.device, self.workers[index], msg.accounted_bytes());
+        } else if msg.is_migration() {
+            self.ledger
+                .record_migration(self.device, self.workers[index], msg.accounted_bytes());
         } else {
             self.ledger
                 .record(self.device, self.workers[index], msg.accounted_bytes());
@@ -632,16 +699,30 @@ impl MasterHub {
     }
 
     /// Blocks for the next worker message, recording its bytes; returns
-    /// `(worker_index, message)`.
+    /// `(worker_index, message)`. Frames stashed by an earlier
+    /// out-of-order drain are delivered first.
     pub fn recv(&mut self) -> Result<(usize, Message), TransportError> {
+        if let Some(stashed) = self.pending.pop_front() {
+            return Ok(stashed);
+        }
         let (index, frame) = self.backend.recv()?;
         self.account_up(index, &frame)
     }
 
     /// Like [`recv`](Self::recv) with a deadline.
     pub fn recv_timeout(&mut self, timeout: Duration) -> Result<(usize, Message), TransportError> {
+        if let Some(stashed) = self.pending.pop_front() {
+            return Ok(stashed);
+        }
         let (index, frame) = self.backend.recv_timeout(timeout)?;
         self.account_up(index, &frame)
+    }
+
+    /// Stashes an already-received (and already-accounted) message for
+    /// re-delivery by the next `recv`/`recv_timeout`. Used by drain loops
+    /// that pull a frame belonging to a different protocol exchange.
+    pub fn push_pending(&mut self, index: usize, msg: Message) {
+        self.pending.push_back((index, msg));
     }
 
     /// Ships a raw control frame (e.g. the process-mode
@@ -665,6 +746,9 @@ impl MasterHub {
         if msg.is_grad_sync() {
             self.ledger
                 .record_sync(self.workers[index], self.device, msg.accounted_bytes());
+        } else if msg.is_migration() {
+            self.ledger
+                .record_migration(self.workers[index], self.device, msg.accounted_bytes());
         } else {
             self.ledger
                 .record(self.workers[index], self.device, msg.accounted_bytes());
@@ -701,10 +785,15 @@ impl MasterHub {
                         // round is clock traffic too — keep draining.
                         Ok((_, msg)) if msg.is_clock() => continue,
                         Ok((i, msg)) => {
+                            // A background migration frame can surface
+                            // during the probe window; stash it for the
+                            // next real recv instead of dropping it, and
+                            // stop probing.
                             vela_obs::warn!(
                                 "clock probe drained unexpected frame from worker {i}: \
-                                 {msg:?}; aborting probes"
+                                 {msg:?}; stashing and aborting probes"
                             );
+                            self.pending.push_back((i, msg));
                             return;
                         }
                         Err(_) => break 'rounds,

@@ -26,8 +26,8 @@ use vela_tensor::rng::DetRng;
 use vela_obs::FlowPhase;
 
 use crate::broker::{
-    exchange_corr, group_pass, pass_name, route_experts, sync_grads_over, worker_src, Pass,
-    PhaseLog,
+    exchange_corr, group_pass, pass_name, route_experts, sync_grads_over, worker_src,
+    MigrationState, Pass, PhaseLog,
 };
 use crate::launch::{launch_process_star, WorkerHandle};
 use crate::message::{GroupItem, Message, PackedData, PackedGroup, Payload};
@@ -352,8 +352,18 @@ impl VirtualEngine {
         let sync_flows = {
             let _sync = vela_obs::span("runtime.virtual.grad_sync");
             let grad_bytes = expert_lora_grad_bytes(&spec, self.scale.lora_rank) as u32;
-            sync_grads_over(&mut self.hub, &self.placement, &self.routes, grad_bytes)
-                .unwrap_or_else(|e| panic!("transport failed during grad sync: {e}"))
+            // The virtual engine never migrates, so it syncs over an
+            // empty lane table; the overlap knob still applies.
+            let mut no_lanes = MigrationState::default();
+            sync_grads_over(
+                &mut self.hub,
+                &self.placement,
+                &self.routes,
+                grad_bytes,
+                self.exchange_cfg.sync_overlap,
+                &mut no_lanes,
+            )
+            .unwrap_or_else(|e| panic!("transport failed during grad sync: {e}"))
         };
 
         // Step end: workers ack their (empty) optimizer step.

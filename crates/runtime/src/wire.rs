@@ -132,6 +132,19 @@ impl ByteWriter {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
+    /// Appends a whole `f32` slice in big-endian IEEE-754 order: one
+    /// reservation and a vectorizable conversion loop, bit-identical to
+    /// calling [`put_f32`](Self::put_f32) per element. Tensor payloads
+    /// (dispatches, gradient rows, optimizer moments) are megabytes — a
+    /// push per value is measurable on the step critical path.
+    pub fn put_f32s(&mut self, values: &[f32]) {
+        let start = self.buf.len();
+        self.buf.resize(start + values.len() * 4, 0);
+        for (chunk, v) in self.buf[start..].chunks_exact_mut(4).zip(values) {
+            chunk.copy_from_slice(&v.to_be_bytes());
+        }
+    }
+
     /// Appends raw bytes verbatim.
     pub fn put_slice(&mut self, v: &[u8]) {
         self.buf.extend_from_slice(v);
@@ -219,6 +232,16 @@ impl<'a> ByteReader<'a> {
     /// Reads a big-endian IEEE-754 `f32`.
     pub fn get_f32(&mut self) -> Result<f32, WireError> {
         Ok(f32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads `n` big-endian IEEE-754 `f32`s with a single bounds check,
+    /// bit-identical to `n` [`get_f32`](Self::get_f32) calls.
+    pub fn get_f32s(&mut self, n: usize) -> Result<Vec<f32>, WireError> {
+        Ok(self
+            .take(n * 4)?
+            .chunks_exact(4)
+            .map(|c| f32::from_be_bytes(c.try_into().expect("4-byte chunk")))
+            .collect())
     }
 
     /// Reads exactly `out.len()` raw bytes into `out`.

@@ -12,6 +12,7 @@
 //! flushes its observability buffers and returns its shard instead of
 //! aborting the process.
 
+use std::collections::HashMap;
 use std::thread::JoinHandle;
 
 use vela_model::checkpoint;
@@ -21,11 +22,13 @@ use vela_nn::optim::{AdamW, AdamWConfig};
 use vela_nn::param::Module;
 use vela_nn::swiglu::SwiGlu;
 use vela_tensor::rng::DetRng;
+use vela_tensor::Tensor;
 
 use vela_obs::{FlowPhase, LazyCounter};
 
 use crate::message::{
-    quantize_rows, GroupItem, GroupPass, Message, PackedData, PackedGroup, PackedReply, Payload,
+    chunk_expert_state, quantize_rows, ChunkAssembler, GroupItem, GroupPass, Message, PackedData,
+    PackedGroup, PackedReply, Payload,
 };
 use crate::transport::{TransportError, WorkerPort};
 use crate::wire::{ByteReader, ByteWriter, WireError};
@@ -73,6 +76,101 @@ pub(crate) fn install_expert_grads(ffn: &mut SwiGlu, grads: &[f32]) {
         grads.len(),
         "gradient blob longer than expert's trainable parameters"
     );
+}
+
+/// Flattens an expert's AdamW moment estimates into one row: for each
+/// trainable parameter in `visit_params` order, the first-moment values
+/// then the second-moment values. Parameters the optimizer has not
+/// touched yet contribute zeros — exactly the state a lazily-initialized
+/// entry would start from.
+pub(crate) fn expert_moments(opt: &AdamW, ffn: &mut SwiGlu) -> Vec<f32> {
+    let mut out = Vec::new();
+    ffn.visit_params(&mut |p| {
+        if !p.is_trainable() {
+            return;
+        }
+        match opt.moments(p.name()) {
+            Some((m, v)) => {
+                out.extend_from_slice(m.as_slice());
+                out.extend_from_slice(v.as_slice());
+            }
+            None => out.extend(std::iter::repeat(0.0).take(2 * p.value.len())),
+        }
+    });
+    out
+}
+
+/// Installs an [`expert_moments`] row into the optimizer for an expert's
+/// trainable parameters, replacing any existing entries.
+///
+/// # Panics
+/// Panics if the blob's length does not match `2 ×` the expert's
+/// trainable parameter count.
+pub(crate) fn install_expert_moments(opt: &mut AdamW, ffn: &mut SwiGlu, moments: &[f32]) {
+    let mut cursor = 0;
+    ffn.visit_params(&mut |p| {
+        if !p.is_trainable() {
+            return;
+        }
+        let n = p.value.len();
+        let m = moments
+            .get(cursor..cursor + n)
+            .expect("moment blob shorter than expert's trainable parameters");
+        let v = moments
+            .get(cursor + n..cursor + 2 * n)
+            .expect("moment blob shorter than expert's trainable parameters");
+        opt.set_moments(
+            p.name(),
+            Tensor::from_vec(p.value.shape().clone(), m.to_vec()),
+            Tensor::from_vec(p.value.shape().clone(), v.to_vec()),
+        );
+        cursor += 2 * n;
+    });
+    assert_eq!(
+        cursor,
+        moments.len(),
+        "moment blob longer than expert's trainable parameters"
+    );
+}
+
+/// Removes the optimizer's moment entries for an expert's trainable
+/// parameters, returning them (absent entries return `None`) so a
+/// later [`Message::MigrationCommit`] can restore the pre-install state.
+fn stash_expert_moments(
+    opt: &mut AdamW,
+    ffn: &mut SwiGlu,
+) -> Vec<(String, Option<(Tensor, Tensor)>)> {
+    let mut out = Vec::new();
+    ffn.visit_params(&mut |p| {
+        if p.is_trainable() {
+            out.push((p.name().to_string(), opt.take_moments(p.name())));
+        }
+    });
+    out
+}
+
+/// One in-flight shadow install on the destination worker: the chunk
+/// reassembly buffer, the pinned-snapshot moments once they arrive, and
+/// every gradient row forwarded for the expert before its install
+/// completed, tagged with the optimizer step index it must be replayed
+/// at.
+#[derive(Debug)]
+struct PendingInstall {
+    asm: ChunkAssembler,
+    moments: Option<Vec<f32>>,
+    grads: Vec<(u64, Vec<f32>)>,
+}
+
+/// Worker-side migration bookkeeping, keyed by `(block, expert)`.
+#[derive(Debug, Default)]
+struct MigrationTable {
+    /// Shadow installs still streaming in.
+    pending: HashMap<(u32, u32), PendingInstall>,
+    /// Installed-but-uncommitted shadows: the moment entries the expert's
+    /// parameters had *before* the install, restored at commit so the
+    /// final state matches a stop-the-world migration (whose destination
+    /// starts with fresh moments).
+    installed: HashMap<(u32, u32), Vec<(String, Option<(Tensor, Tensor)>)>>,
 }
 
 /// The correlation key of a coalesced dispatch as seen from the worker:
@@ -319,9 +417,17 @@ pub(crate) fn worker_loop(
     template: Option<ExpertTemplate>,
 ) -> LocalExpertStore {
     let mut opt = AdamW::new(optim);
+    let mut migrations = MigrationTable::default();
     loop {
         match port.recv() {
-            Ok(msg) => match handle(&mut port, &mut shard, &mut opt, template.as_ref(), msg) {
+            Ok(msg) => match handle(
+                &mut port,
+                &mut shard,
+                &mut opt,
+                template.as_ref(),
+                &mut migrations,
+                msg,
+            ) {
                 Ok(Flow::Continue) => {}
                 Ok(Flow::Stop) => break,
                 Err(e) => {
@@ -352,6 +458,7 @@ fn handle(
     shard: &mut LocalExpertStore,
     opt: &mut AdamW,
     template: Option<&ExpertTemplate>,
+    migrations: &mut MigrationTable,
     msg: Message,
 ) -> Result<Flow, TransportError> {
     match msg {
@@ -534,16 +641,134 @@ fn handle(
             payload,
         } => {
             if let Payload::Real { data, .. } = &payload {
-                if !shard.contains(block as usize, expert as usize) {
+                if let Some(pending) = migrations.pending.get_mut(&(block, expert)) {
+                    // The shadow install has not finished streaming in;
+                    // buffer the gradients with the step index the serving
+                    // copy applies them at (the step after the steps this
+                    // optimizer has run — gradients sync before StepEnd),
+                    // for replay once the weights land.
+                    pending.grads.push((opt.steps() + 1, data.clone()));
+                } else if !shard.contains(block as usize, expert as usize) {
                     vela_obs::error!(
                         "worker {}: grad state for absent expert ({block}, {expert}), exiting",
                         port.index
                     );
                     return Ok(Flow::Stop);
+                } else {
+                    install_expert_grads(shard.expert_mut(block as usize, expert as usize), data);
                 }
-                install_expert_grads(shard.expert_mut(block as usize, expert as usize), data);
             }
             port.send(&Message::GradSyncDone { block, expert })?;
+        }
+        Message::FetchShadow { block, expert } => {
+            // Serialize the expert *without evicting it*: the source keeps
+            // serving until cutover. The checkpoint plus the optimizer
+            // moments form the pinned snapshot the shadow replays forward
+            // from; chunks stay exact (never quantized) so the cutover
+            // state is bit-identical to a stop-the-world migration.
+            let mut ffn = shard.take(block as usize, expert as usize);
+            let mut data = Vec::new();
+            checkpoint::save(&mut ffn, &mut data).expect("in-memory save");
+            let moments = expert_moments(opt, &mut ffn);
+            shard.insert(block as usize, expert as usize, ffn);
+            for frame in chunk_expert_state(block, expert, &data) {
+                port.send(&frame)?;
+            }
+            port.send(&Message::OptimState {
+                block,
+                expert,
+                payload: Payload::Real {
+                    rows: 1,
+                    cols: moments.len() as u32,
+                    data: moments,
+                },
+            })?;
+        }
+        Message::ShadowBegin { block, expert } => {
+            migrations.pending.insert(
+                (block, expert),
+                PendingInstall {
+                    asm: ChunkAssembler::new(block, expert),
+                    moments: None,
+                    grads: Vec::new(),
+                },
+            );
+        }
+        Message::ExpertChunk {
+            block,
+            expert,
+            offset,
+            total,
+            data,
+        } => {
+            let Some(pending) = migrations.pending.get_mut(&(block, expert)) else {
+                vela_obs::error!(
+                    "worker {}: expert chunk for unannounced install ({block}, {expert}), exiting",
+                    port.index
+                );
+                return Ok(Flow::Stop);
+            };
+            if let Err(e) = pending.asm.accept(offset, total, &data) {
+                vela_obs::error!("worker {}: rejected expert chunk: {e}, exiting", port.index);
+                return Ok(Flow::Stop);
+            }
+            finalize_install(port, shard, opt, template, migrations, block, expert)?;
+        }
+        Message::OptimState {
+            block,
+            expert,
+            payload,
+        } => {
+            let Some(pending) = migrations.pending.get_mut(&(block, expert)) else {
+                vela_obs::error!(
+                    "worker {}: optim state for unannounced install ({block}, {expert}), exiting",
+                    port.index
+                );
+                return Ok(Flow::Stop);
+            };
+            match payload {
+                Payload::Real { data, .. } => pending.moments = Some(data),
+                Payload::Virtual { .. } => {
+                    vela_obs::error!(
+                        "worker {}: virtual optim state cannot be installed, exiting",
+                        port.index
+                    );
+                    return Ok(Flow::Stop);
+                }
+            }
+            finalize_install(port, shard, opt, template, migrations, block, expert)?;
+        }
+        Message::Evict { block, expert } => {
+            // Cutover: drop the stale source copy. Its moment entries stay
+            // behind exactly as a sync-mode FetchExpert leaves them.
+            if shard.contains(block as usize, expert as usize) {
+                drop(shard.take(block as usize, expert as usize));
+            } else {
+                vela_obs::warn!(
+                    "worker {}: evict for absent expert ({block}, {expert})",
+                    port.index
+                );
+            }
+        }
+        Message::MigrationCommit { block, expert } => {
+            // Cutover: the shadow becomes the serving copy. Restore the
+            // moment entries its parameters had before the install so the
+            // optimizer state matches a stop-the-world migration's
+            // fresh-destination semantics.
+            match migrations.installed.remove(&(block, expert)) {
+                Some(saved) => {
+                    for (name, prior) in saved {
+                        opt.take_moments(&name);
+                        if let Some((m, v)) = prior {
+                            opt.set_moments(&name, m, v);
+                        }
+                    }
+                }
+                None => vela_obs::warn!(
+                    "worker {}: commit for unknown shadow install ({block}, {expert})",
+                    port.index
+                ),
+            }
         }
         Message::Shutdown => return Ok(Flow::Stop),
         other => {
@@ -555,6 +780,65 @@ fn handle(
         }
     }
     Ok(Flow::Continue)
+}
+
+/// Completes a shadow install if every chunk and the moment snapshot have
+/// arrived: rebuild the expert, install the pinned snapshot, replay
+/// buffered gradients, and ack with [`Message::InstallDone`].
+///
+/// Buffered gradients split by their step index: steps whose `StepEnd`
+/// this worker has already run are replayed via [`AdamW::step_at`] (the
+/// serving copy applied them at those indices); a gradient for the
+/// *current* step is only installed into the gradient tensors — the
+/// upcoming `StepEnd` applies it, exactly once, like any live replica.
+fn finalize_install(
+    port: &mut WorkerPort,
+    shard: &mut LocalExpertStore,
+    opt: &mut AdamW,
+    template: Option<&ExpertTemplate>,
+    migrations: &mut MigrationTable,
+    block: u32,
+    expert: u32,
+) -> Result<(), TransportError> {
+    let ready = migrations
+        .pending
+        .get(&(block, expert))
+        .map_or(false, |p| p.asm.is_complete() && p.moments.is_some());
+    if !ready {
+        return Ok(());
+    }
+    let PendingInstall {
+        asm,
+        moments,
+        grads,
+    } = migrations
+        .pending
+        .remove(&(block, expert))
+        .expect("pending install present");
+    let template = template.expect("worker without template cannot receive experts");
+    let mut ffn = template.instantiate(block as usize, expert as usize);
+    checkpoint::load_any(&mut ffn, &mut asm.into_bytes().as_slice())
+        .expect("valid expert checkpoint");
+    let saved = stash_expert_moments(opt, &mut ffn);
+    install_expert_moments(opt, &mut ffn, &moments.expect("moments present"));
+    let applied = opt.steps();
+    for (t, row) in &grads {
+        if *t <= applied {
+            install_expert_grads(&mut ffn, row);
+            opt.step_at(&mut ffn, *t);
+        }
+    }
+    ffn.visit_params(&mut |p| p.zero_grad());
+    for (t, row) in &grads {
+        if *t > applied {
+            // Current-step gradients: the StepEnd that applies them has
+            // not run here yet.
+            install_expert_grads(&mut ffn, row);
+        }
+    }
+    shard.insert(block as usize, expert as usize, ffn);
+    migrations.installed.insert((block, expert), saved);
+    port.send(&Message::InstallDone { block, expert })
 }
 
 /// Serves one coalesced dispatch: all real payloads go through a *single*

@@ -79,12 +79,14 @@ fn main() {
     for step in 1..=8 {
         let batch = dataset.sample_batch(4, cfg.seq_len, &mut rng);
         // Distributed step.
-        let m = runtime.train_step(
-            &batch.inputs,
-            &batch.targets,
-            batch.batch_size,
-            batch.seq_len,
-        );
+        let m = runtime
+            .train_step(
+                &batch.inputs,
+                &batch.targets,
+                batch.batch_size,
+                batch.seq_len,
+            )
+            .expect("transport failed mid-step");
         // Identical local step.
         local_experts.zero_grad();
         let stats = local_model.train_step(

@@ -59,7 +59,9 @@ fn main() {
     let mut naive_external = 0u64;
     for step in 1..=6 {
         let b = data.sample_batch(4, cfg.seq_len, &mut rng);
-        let m = rt.train_step(&b.inputs, &b.targets, b.batch_size, b.seq_len);
+        let m = rt
+            .train_step(&b.inputs, &b.targets, b.batch_size, b.seq_len)
+            .expect("transport failed mid-step");
         tracker.record(&rt.model().routing_snapshot());
         naive_external += m.traffic.external_total();
         println!(
@@ -82,17 +84,29 @@ fn main() {
         PlacementProblem::even_capacities(cfg.blocks, cfg.experts, 6, 2),
     );
     let optimized = Strategy::Vela.place(&problem);
-    let (moved, bytes, _migration_traffic) = rt.apply_placement(&optimized);
-    println!(
-        "migrated {moved} experts ({:.2} MB of parameters) while the session stayed live",
-        bytes as f64 / 1048576.0
-    );
+    let handle = rt
+        .apply_placement(&optimized)
+        .expect("transport failed mid-migration");
+    match handle.in_flight {
+        0 => println!(
+            "migrated {} experts ({:.2} MB of parameters) while the session stayed live",
+            handle.moved,
+            handle.bytes as f64 / 1048576.0
+        ),
+        lanes => println!(
+            "migrating {} experts in the background ({lanes} lanes streaming \
+             under the next steps)",
+            handle.moved
+        ),
+    }
 
     println!("\nphase 2: locality-aware placement");
     let mut optimized_external = 0u64;
     for step in 7..=12 {
         let b = data.sample_batch(4, cfg.seq_len, &mut rng);
-        let m = rt.train_step(&b.inputs, &b.targets, b.batch_size, b.seq_len);
+        let m = rt
+            .train_step(&b.inputs, &b.targets, b.batch_size, b.seq_len)
+            .expect("transport failed mid-step");
         optimized_external += m.traffic.external_total();
         println!(
             "  step {step}: loss {:.4}, external {:.2} MB",
@@ -107,5 +121,11 @@ fn main() {
         optimized_external as f64 / 1048576.0,
         (optimized_external as f64 / naive_external as f64 - 1.0) * 100.0
     );
+    if rt.migrations_in_flight() > 0 {
+        let committed = rt
+            .finish_migrations()
+            .expect("transport failed flushing migrations");
+        println!("flushed {committed} background migrations before shutdown");
+    }
     rt.shutdown();
 }

@@ -86,6 +86,7 @@ fn real_run(transport: TransportConfig) -> Vec<f32> {
     let losses: Vec<f32> = (0..2)
         .map(|_| {
             rt.train_step(&inputs, &targets, 2, cfg.seq_len)
+                .expect("transport failed mid-step")
                 .loss
                 .unwrap()
         })

@@ -33,6 +33,9 @@ cargo test --release -q --test transport_parity
 echo "==> replication gate (release): degree-1 bitwise identity + loss-for-loss replicated training"
 cargo test --release -q --test replication
 
+echo "==> migration/overlap parity grid (release): background shadow-install cutover bitwise identical to stop-the-world sync on {channel, tcp-threads, tcp}, incl. replicated arm"
+cargo test --release -q --test migration
+
 echo "==> int8 wire accuracy gate (release): quantized loss curve tracks exact"
 cargo test --release -q --test quant_accuracy
 
@@ -73,7 +76,7 @@ if [ "$run_bench" = 1 ]; then
     echo "==> bench smoke: serial regression gate vs committed BENCH_kernels.json"
     cargo run --release -p vela-bench --bin bench_kernels -- --quick --check BENCH_kernels.json
 
-    echo "==> transport bench check: frame coalescing + ledger invariants + replication straggler gate"
+    echo "==> transport bench check: frame coalescing + ledger invariants + replication straggler gate + migration overlap gate (>=50% of sync blocking hidden at equal ledger bytes)"
     # Needs target/release/vela_worker for the tcp rows; the tier-1 build
     # above produced it.
     cargo run --release -p vela-bench --bin bench_transport -- --quick --check BENCH_transport.json

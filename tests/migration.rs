@@ -4,12 +4,17 @@
 //!
 //! These tests verify migration is *semantically invisible* — the model
 //! computes identical results before and after experts move — and that
-//! moved parameter bytes are accounted as real traffic.
+//! moved parameter bytes are accounted as real traffic. The parity arm at
+//! the bottom proves the background (overlap) migration lane is bitwise
+//! identical to stop-the-world migration on every transport.
 
 use vela::model::finetune::prepare_for_finetune;
 use vela::prelude::*;
 
-fn launch(placement: Placement) -> (RealRuntime, ModelConfig, TokenDataset) {
+fn launch_on(
+    transport: TransportConfig,
+    placement: Placement,
+) -> (RealRuntime, ModelConfig, TokenDataset) {
     let mut cfg = ModelConfig::test_small();
     cfg.vocab = CharTokenizer::new().vocab_size();
     let pre = pretrain(
@@ -31,7 +36,8 @@ fn launch(placement: Placement) -> (RealRuntime, ModelConfig, TokenDataset) {
     );
     let topology = Topology::paper_testbed();
     let workers: Vec<DeviceId> = topology.devices().iter().map(|d| d.id).collect();
-    let runtime = RealRuntime::launch(
+    let runtime = RealRuntime::launch_with(
+        transport,
         model,
         experts,
         placement,
@@ -45,6 +51,10 @@ fn launch(placement: Placement) -> (RealRuntime, ModelConfig, TokenDataset) {
     (runtime, cfg, data)
 }
 
+fn launch(placement: Placement) -> (RealRuntime, ModelConfig, TokenDataset) {
+    launch_on(TransportConfig::from_env(), placement)
+}
+
 fn seq_placement(cfg: &ModelConfig) -> Placement {
     Placement::new(
         (0..cfg.blocks)
@@ -52,6 +62,19 @@ fn seq_placement(cfg: &ModelConfig) -> Placement {
             .collect(),
         6,
     )
+}
+
+/// Deterministic shuffle of every expert; identical across arms because
+/// both start from the same placement and the rng is seeded.
+fn scatter_target(rt: &RealRuntime, cfg: &ModelConfig) -> Placement {
+    let mut rng = DetRng::new(3);
+    let mut target = rt.placement().primaries();
+    for l in 0..cfg.blocks {
+        for e in 0..cfg.experts {
+            target.set_worker(l, e, rng.below(6));
+        }
+    }
+    target
 }
 
 #[test]
@@ -67,16 +90,14 @@ fn migration_preserves_computation_exactly() {
     );
 
     // Scatter every expert somewhere else.
-    let mut rng = DetRng::new(3);
-    let mut target = rt.placement().primaries();
-    for l in 0..cfg.blocks {
-        for e in 0..cfg.experts {
-            target.set_worker(l, e, rng.below(6));
-        }
-    }
-    let (moved, bytes, _) = rt.apply_placement(&target);
-    assert!(moved > 0, "the shuffle should move something");
-    assert!(bytes > 0, "moved experts carry parameter bytes");
+    let target = scatter_target(&rt, &cfg);
+    let handle = rt.apply_placement(&target).expect("migration failed");
+    assert!(handle.moved > 0, "the shuffle should move something");
+    assert!(handle.bytes > 0, "moved experts carry parameter bytes");
+    assert_eq!(
+        handle.in_flight, 0,
+        "sync migration completes before returning"
+    );
     assert_eq!(rt.placement().primaries(), target);
 
     let loss_after = rt.evaluate(
@@ -104,25 +125,29 @@ fn training_continues_after_migration() {
             batch.batch_size,
             batch.seq_len,
         )
+        .expect("transport failed mid-step")
         .loss
         .unwrap();
 
     // Consolidate everything onto worker 3 mid-run.
     let target = Placement::new(vec![vec![3; cfg.experts]; cfg.blocks], 6);
-    rt.apply_placement(&target);
+    rt.apply_placement(&target).expect("migration failed");
 
     let mut last = first;
     for _ in 0..5 {
         let b = data.sample_batch(2, cfg.seq_len, &mut rng);
         last = rt
             .train_step(&b.inputs, &b.targets, b.batch_size, b.seq_len)
+            .expect("transport failed mid-step")
             .loss
             .unwrap();
         assert!(last.is_finite());
     }
     // All experts now on one worker: dispatch traffic goes to device 3.
     let b = data.sample_batch(2, cfg.seq_len, &mut rng);
-    let m = rt.train_step(&b.inputs, &b.targets, b.batch_size, b.seq_len);
+    let m = rt
+        .train_step(&b.inputs, &b.targets, b.batch_size, b.seq_len)
+        .expect("transport failed mid-step");
     assert!(
         m.traffic.external_total() > 0,
         "device 3 is off the master node"
@@ -136,9 +161,9 @@ fn training_continues_after_migration() {
 fn apply_placement_is_idempotent() {
     let (mut rt, _, _) = launch(seq_placement(&ModelConfig::test_small()));
     let same = rt.placement().primaries();
-    let (moved, bytes, traffic) = rt.apply_placement(&same);
-    assert_eq!((moved, bytes), (0, 0));
-    assert_eq!(traffic.total_bytes, 0);
+    let handle = rt.apply_placement(&same).expect("migration failed");
+    assert_eq!((handle.moved, handle.bytes), (0, 0));
+    assert_eq!(handle.traffic.total_bytes, 0);
     rt.shutdown();
 }
 
@@ -150,7 +175,8 @@ fn migration_bytes_are_accounted_as_traffic() {
     // while the fetch leg (worker 1 -> master) stays on-node.
     let mut target = rt.placement().primaries();
     target.set_worker(0, 1, 2);
-    let (moved, bytes, traffic) = rt.apply_placement(&target);
+    let handle = rt.apply_placement(&target).expect("migration failed");
+    let (moved, bytes, traffic) = (handle.moved, handle.bytes, handle.traffic);
     assert_eq!(moved, 1);
     assert!(
         traffic.total_bytes >= 2 * bytes,
@@ -164,6 +190,10 @@ fn migration_bytes_are_accounted_as_traffic() {
     assert!(
         traffic.internal_bytes >= bytes,
         "the fetch leg is intra-node"
+    );
+    assert!(
+        traffic.migration_bytes >= 2 * bytes,
+        "both legs land in the migration bucket"
     );
     rt.shutdown();
 }
@@ -190,6 +220,7 @@ fn dynamic_replanning_improves_traffic_mid_run() {
             batch.batch_size,
             batch.seq_len,
         )
+        .expect("transport failed mid-step")
         .traffic
         .external_total();
 
@@ -211,14 +242,16 @@ fn dynamic_replanning_improves_traffic_mid_run() {
         PlacementProblem::even_capacities(cfg.blocks, cfg.experts, 6, 2),
     );
     let better = Strategy::Vela.place(&problem);
-    let (_, _, migration_traffic) = rt.apply_placement(&better);
-    assert!(migration_traffic.total_bytes > 0);
+    let handle = rt.apply_placement(&better).expect("migration failed");
+    assert!(handle.traffic.total_bytes > 0);
     let b2 = data.sample_batch(4, cfg.seq_len, &mut rng);
-    rt.train_step(&b2.inputs, &b2.targets, b2.batch_size, b2.seq_len);
+    rt.train_step(&b2.inputs, &b2.targets, b2.batch_size, b2.seq_len)
+        .expect("transport failed mid-step");
 
     let b3 = data.sample_batch(4, cfg.seq_len, &mut rng);
     let after = rt
         .train_step(&b3.inputs, &b3.targets, b3.batch_size, b3.seq_len)
+        .expect("transport failed mid-step")
         .traffic
         .external_total();
     assert!(
@@ -226,4 +259,174 @@ fn dynamic_replanning_improves_traffic_mid_run() {
         "re-planning should slash external traffic: {before} -> {after}"
     );
     rt.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Overlap ≡ sync parity: the background migration lane must produce the
+// same training run, bit for bit, as stopping the world at the cutover
+// boundary — and must move exactly the same migration-bucket bytes.
+// ---------------------------------------------------------------------------
+
+/// Steps taken before the placement change is requested.
+const PRE_STEPS: usize = 2;
+/// Steps compared after the cutover commits.
+const POST_STEPS: usize = 3;
+/// Safety cap on the overlap window (lanes that never install are a bug).
+const MAX_WINDOW: usize = 32;
+
+struct ArmResult {
+    /// Loss of every training step, in order.
+    losses: Vec<f32>,
+    /// Full metrics of the `POST_STEPS` steps after the cutover.
+    post: Vec<StepMetrics>,
+    /// Migration-bucket bytes summed over the apply window and every
+    /// step window (overlap mode spreads them across steps).
+    migration_bytes: u64,
+    /// The 1-based step index whose boundary committed the move.
+    cutover: u64,
+    /// Loss of a fixed eval batch after the run: final-weight parity.
+    final_eval: f32,
+}
+
+/// Runs one arm of the parity experiment. `cutover_at: None` runs the
+/// overlap arm (apply early, let lanes stream, observe the boundary);
+/// `Some(t)` runs the sync arm, replaying the stop-the-world migration
+/// at the boundary the overlap arm actually cut over at.
+fn run_arm(transport: TransportConfig, cutover_at: Option<u64>) -> ArmResult {
+    let (mut rt, cfg, data) = launch_on(transport, seq_placement(&ModelConfig::test_small()));
+    if cutover_at.is_none() {
+        rt.set_migration(MigrationMode::Overlap);
+    }
+    let target = scatter_target(&rt, &cfg);
+    let mut rng = DetRng::new(11);
+    let mut losses = Vec::new();
+    let mut migration_bytes = 0u64;
+
+    let step = |rt: &mut RealRuntime, rng: &mut DetRng| -> StepMetrics {
+        let b = data.sample_batch(2, cfg.seq_len, rng);
+        rt.train_step(&b.inputs, &b.targets, b.batch_size, b.seq_len)
+            .expect("transport failed mid-step")
+    };
+
+    for _ in 0..PRE_STEPS {
+        let m = step(&mut rt, &mut rng);
+        migration_bytes += m.traffic.migration_bytes;
+        losses.push(m.loss.unwrap());
+    }
+
+    let cutover = match cutover_at {
+        None => {
+            // Overlap arm: apply returns immediately; lanes stream and
+            // commit under the following steps.
+            let handle = rt.apply_placement(&target).expect("migration failed");
+            assert!(handle.moved > 0, "the shuffle should move something");
+            assert!(
+                handle.in_flight > 0,
+                "overlap migration must not block in apply_placement"
+            );
+            migration_bytes += handle.traffic.migration_bytes;
+            let mut window = 0;
+            while rt.migrations_in_flight() > 0 {
+                assert!(window < MAX_WINDOW, "lanes never finished installing");
+                let m = step(&mut rt, &mut rng);
+                migration_bytes += m.traffic.migration_bytes;
+                losses.push(m.loss.unwrap());
+                window += 1;
+            }
+            rt.last_cutover_step()
+        }
+        Some(t) => {
+            // Sync arm: train up to the observed boundary, then stop the
+            // world and move everything at once.
+            while (losses.len() as u64) < t {
+                let m = step(&mut rt, &mut rng);
+                migration_bytes += m.traffic.migration_bytes;
+                losses.push(m.loss.unwrap());
+            }
+            let handle = rt.apply_placement(&target).expect("migration failed");
+            assert!(handle.moved > 0, "the shuffle should move something");
+            assert_eq!(handle.in_flight, 0, "sync migration blocks to completion");
+            migration_bytes += handle.traffic.migration_bytes;
+            t
+        }
+    };
+    assert_eq!(rt.placement().primaries(), target);
+
+    let mut post = Vec::new();
+    for _ in 0..POST_STEPS {
+        let m = step(&mut rt, &mut rng);
+        migration_bytes += m.traffic.migration_bytes;
+        losses.push(m.loss.unwrap());
+        post.push(m);
+    }
+
+    let eval_batch = data.sample_batch(2, cfg.seq_len, &mut DetRng::new(13));
+    let final_eval = rt.evaluate(
+        &eval_batch.inputs,
+        &eval_batch.targets,
+        eval_batch.batch_size,
+        eval_batch.seq_len,
+    );
+    rt.shutdown();
+    ArmResult {
+        losses,
+        post,
+        migration_bytes,
+        cutover,
+        final_eval,
+    }
+}
+
+fn overlap_matches_sync_on(transport: fn() -> TransportConfig) {
+    let overlap = run_arm(transport(), None);
+    assert!(
+        overlap.cutover > PRE_STEPS as u64,
+        "cutover must land on a later step boundary, got {}",
+        overlap.cutover
+    );
+    let sync = run_arm(transport(), Some(overlap.cutover));
+
+    assert_eq!(
+        overlap.losses.len(),
+        sync.losses.len(),
+        "arms must train the same number of steps"
+    );
+    for (i, (a, b)) in overlap.losses.iter().zip(&sync.losses).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "loss diverged at step {} ({a} vs {b}): the lockstep window leaked",
+            i + 1
+        );
+    }
+    assert_eq!(
+        overlap.post, sync.post,
+        "post-cutover step metrics must be bitwise identical"
+    );
+    assert_eq!(
+        overlap.migration_bytes, sync.migration_bytes,
+        "overlap must move exactly the sync ledger's migration bytes"
+    );
+    assert_eq!(
+        overlap.final_eval.to_bits(),
+        sync.final_eval.to_bits(),
+        "final weights diverged ({} vs {})",
+        overlap.final_eval,
+        sync.final_eval
+    );
+}
+
+#[test]
+fn overlap_migration_matches_sync_over_channel() {
+    overlap_matches_sync_on(TransportConfig::channel);
+}
+
+#[test]
+fn overlap_migration_matches_sync_over_tcp_threads() {
+    overlap_matches_sync_on(TransportConfig::tcp_threads);
+}
+
+#[test]
+fn overlap_migration_matches_sync_over_tcp_processes() {
+    overlap_matches_sync_on(TransportConfig::tcp_processes);
 }

@@ -82,12 +82,14 @@ fn run_parity_over(
     let mut rng = DetRng::new(55);
     for step in 0..steps {
         let batch = dataset.sample_batch(4, cfg.seq_len, &mut rng);
-        let dist = runtime.train_step(
-            &batch.inputs,
-            &batch.targets,
-            batch.batch_size,
-            batch.seq_len,
-        );
+        let dist = runtime
+            .train_step(
+                &batch.inputs,
+                &batch.targets,
+                batch.batch_size,
+                batch.seq_len,
+            )
+            .expect("transport failed mid-step");
         local_experts.zero_grad();
         let local = local_model.train_step(
             &batch.inputs,
@@ -202,12 +204,14 @@ fn routing_decisions_are_identical_too() {
     let dataset = TokenDataset::from_text(&tok, &Corpus::Alpaca.generate(15_000, 2));
     let batch = dataset.sample_batch(2, cfg.seq_len, &mut DetRng::new(8));
 
-    runtime.train_step(
-        &batch.inputs,
-        &batch.targets,
-        batch.batch_size,
-        batch.seq_len,
-    );
+    runtime
+        .train_step(
+            &batch.inputs,
+            &batch.targets,
+            batch.batch_size,
+            batch.seq_len,
+        )
+        .expect("transport failed mid-step");
     let dist_routing = runtime.model().routing_snapshot();
 
     local_experts.zero_grad();

@@ -47,6 +47,7 @@ fn loss_curve(quant: Quant) -> Vec<f32> {
     let losses: Vec<f32> = (0..STEPS)
         .map(|_| {
             rt.train_step(&inputs, &targets, 2, cfg.seq_len)
+                .expect("transport failed mid-step")
                 .loss
                 .unwrap()
         })

@@ -438,3 +438,153 @@ fn implausible_length_fields_do_not_allocate() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Chunked expert transfers: the background-migration codec. Frames are
+// bounded, reassembly is bitwise, and malformed span tables (gaps,
+// overlaps, drifting totals, overruns) die before a byte is copied.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn expert_chunks_reassemble_bitwise() {
+    use vela::runtime::{chunk_expert_state, ChunkAssembler, EXPERT_CHUNK_BYTES};
+    let mut rng = DetRng::new(0xC4A);
+    // Edge sizes first, then random blobs straddling several frames.
+    let mut sizes = vec![
+        0,
+        1,
+        EXPERT_CHUNK_BYTES - 1,
+        EXPERT_CHUNK_BYTES,
+        EXPERT_CHUNK_BYTES + 1,
+        3 * EXPERT_CHUNK_BYTES + 7,
+    ];
+    sizes.extend((0..20).map(|_| rng.below(4 * EXPERT_CHUNK_BYTES)));
+    for size in sizes {
+        let blob: Vec<u8> = (0..size).map(|_| rng.next_u64() as u8).collect();
+        let frames = chunk_expert_state(3, 7, &blob);
+        assert!(!frames.is_empty(), "even empty blobs announce their total");
+        let mut asm = ChunkAssembler::new(3, 7);
+        for frame in frames {
+            // Every frame survives the wire and stays bounded.
+            let decoded = Message::decode(&frame.encode()).unwrap();
+            assert_eq!(decoded, frame);
+            match decoded {
+                Message::ExpertChunk {
+                    offset,
+                    total,
+                    data,
+                    ..
+                } => {
+                    assert!(data.len() <= EXPERT_CHUNK_BYTES, "frame exceeds bound");
+                    assert_eq!(total, blob.len() as u64);
+                    asm.accept(offset, total, &data).unwrap();
+                }
+                other => panic!("chunking produced {other:?}"),
+            }
+        }
+        assert!(asm.is_complete());
+        assert_eq!(asm.into_bytes(), blob, "size {size}");
+    }
+}
+
+#[test]
+fn chunk_assembler_rejects_gaps_overlaps_and_total_drift() {
+    use vela::runtime::{chunk_expert_state, ChunkAssembler};
+    let mut rng = DetRng::new(0xC4B);
+    let blob: Vec<u8> = (0..1000).map(|_| rng.next_u64() as u8).collect();
+    let chunk = |m: &Message| match m {
+        Message::ExpertChunk {
+            offset,
+            total,
+            data,
+            ..
+        } => (*offset, *total, data.clone()),
+        other => panic!("{other:?}"),
+    };
+    // Hand-rolled 250-byte frames so there are several to misorder.
+    let frames: Vec<(u64, u64, Vec<u8>)> = blob
+        .chunks(250)
+        .enumerate()
+        .map(|(i, c)| (i as u64 * 250, blob.len() as u64, c.to_vec()))
+        .collect();
+
+    // A gap: frame 1 skipped.
+    let mut asm = ChunkAssembler::new(0, 0);
+    asm.accept(frames[0].0, frames[0].1, &frames[0].2).unwrap();
+    assert!(matches!(
+        asm.accept(frames[2].0, frames[2].1, &frames[2].2),
+        Err(WireError::BadSpan { .. })
+    ));
+
+    // An overlap: frame 0 delivered twice.
+    let mut asm = ChunkAssembler::new(0, 0);
+    asm.accept(frames[0].0, frames[0].1, &frames[0].2).unwrap();
+    assert!(matches!(
+        asm.accept(frames[0].0, frames[0].1, &frames[0].2),
+        Err(WireError::BadSpan { .. })
+    ));
+
+    // A drifting total: the second frame disagrees about the blob size.
+    let mut asm = ChunkAssembler::new(0, 0);
+    asm.accept(frames[0].0, frames[0].1, &frames[0].2).unwrap();
+    assert!(matches!(
+        asm.accept(frames[1].0, frames[1].1 + 1, &frames[1].2),
+        Err(WireError::BadSpan { .. })
+    ));
+
+    // An overrun: more data than the declared total.
+    let mut asm = ChunkAssembler::new(0, 0);
+    assert!(matches!(
+        asm.accept(0, 10, &blob[..11]),
+        Err(WireError::BadLength { .. })
+    ));
+
+    // And the happy path still assembles after a rejected frame: the
+    // assembler state is untouched by errors.
+    let mut asm = ChunkAssembler::new(0, 0);
+    for f in chunk_expert_state(0, 0, &blob) {
+        let (o, t, d) = chunk(&f);
+        let _ = asm.accept(o + 1, t, &d); // rejected, no effect
+        asm.accept(o, t, &d).unwrap();
+    }
+    assert_eq!(asm.into_bytes(), blob);
+}
+
+#[test]
+fn implausible_chunk_lengths_do_not_allocate() {
+    use vela::runtime::wire::ByteWriter;
+    let mut rng = DetRng::new(0xC4C);
+    for seed in 0..CASES {
+        // A chunk frame whose length field promises far more data than
+        // the frame carries: rejected by the remaining-bytes check, and
+        // no buffer of the declared size is ever allocated.
+        let mut w = ByteWriter::with_capacity(64);
+        w.put_u8(22); // ExpertChunk tag
+        w.put_u32(rng.below(8) as u32);
+        w.put_u32(rng.below(8) as u32);
+        w.put_u64(0);
+        w.put_u64(u64::MAX - rng.below(1 << 20) as u64); // total
+        w.put_u64(u64::MAX - rng.below(1 << 20) as u64); // len >> frame
+        w.put_slice(&[0u8; 16]);
+        let frame = w.into_vec();
+        assert!(
+            matches!(Message::decode(&frame), Err(WireError::BadLength { .. })),
+            "seed {seed}"
+        );
+
+        // A chunk whose span runs past its own declared total.
+        let mut w = ByteWriter::with_capacity(64);
+        w.put_u8(22);
+        w.put_u32(0);
+        w.put_u32(0);
+        w.put_u64(100 + rng.below(100) as u64); // offset
+        w.put_u64(50); // total < offset
+        w.put_u64(8);
+        w.put_slice(&[0u8; 8]);
+        let frame = w.into_vec();
+        assert!(
+            matches!(Message::decode(&frame), Err(WireError::BadLength { .. })),
+            "seed {seed}"
+        );
+    }
+}
